@@ -1,0 +1,50 @@
+# SDMMon — build, test and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench fuzz experiments examples verilog clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Brief fuzzing pass over the attacker-facing parsers.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzAssemble -fuzztime=30s ./internal/asm/
+	$(GO) test -run=NONE -fuzz=FuzzDeserializeProgram -fuzztime=30s ./internal/asm/
+	$(GO) test -run=NONE -fuzz=FuzzDeserializeGraph -fuzztime=30s ./internal/monitor/
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshalPackage -fuzztime=30s ./internal/seccrypto/
+
+# Regenerate every table/figure of the paper (EXPERIMENTS.md source).
+experiments:
+	$(GO) run ./cmd/experiments
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/secure_install
+	$(GO) run ./examples/attack_detection
+	$(GO) run ./examples/multicore_router
+	$(GO) run ./examples/hardware_flow
+
+# Emit the RTL artifacts.
+verilog:
+	$(GO) run ./cmd/hwgen -unit merkle -o merkle_hash_unit.v
+	$(GO) run ./cmd/hwgen -unit bitcount -o bitcount_hash_unit.v
+	$(GO) run ./cmd/hwgen -unit comparator -o hash_comparator.v
+
+clean:
+	rm -f merkle_hash_unit.v bitcount_hash_unit.v hash_comparator.v
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,134 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation plus the prose-claim experiments E5–E8. Running it with no
+// flags reproduces everything; EXPERIMENTS.md records its output.
+//
+// Usage:
+//
+//	experiments [-t1] [-t2] [-t3] [-f6] [-e5] [-e6] [-e7] [-e8]
+//	            [-pairs N] [-trials N] [-fleet N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdmmon/internal/experiments"
+)
+
+func main() {
+	t1 := flag.Bool("t1", false, "Table 1: DE4 resource use")
+	t2 := flag.Bool("t2", false, "Table 2: security-function timings")
+	t3 := flag.Bool("t3", false, "Table 3: hash implementation cost")
+	f6 := flag.Bool("f6", false, "Figure 6: hash Hamming distributions")
+	e5 := flag.Bool("e5", false, "E5: geometric escape probability")
+	e6 := flag.Bool("e6", false, "E6: cascade containment")
+	e7 := flag.Bool("e7", false, "E7: security requirements SR1-SR4")
+	e8 := flag.Bool("e8", false, "E8: end-to-end detection")
+	e9 := flag.Bool("e9", false, "E9: dynamic workload management (extension)")
+	e10 := flag.Bool("e10", false, "E10: cost-model sensitivity (extension)")
+	e11 := flag.Bool("e11", false, "E11: congestion management under queueing (extension)")
+	e12 := flag.Bool("e12", false, "E12: brute-force probe cost (extension)")
+	e13 := flag.Bool("e13", false, "E13: resident switching vs secure install (extension)")
+	pairs := flag.Int("pairs", 3000, "Figure 6 pairs per input distance (paper: 100000 total)")
+	trials := flag.Int("trials", 200000, "E5 trials per k")
+	fleet := flag.Int("fleet", 32, "E6 fleet size")
+	benign := flag.Int("benign", 500, "E8 benign packets")
+	attacks := flag.Int("attacks", 200, "E8 attack packets")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	csv := flag.String("csv", "", "also write the Figure 6 distribution to this CSV file")
+	flag.Parse()
+
+	all := !(*t1 || *t2 || *t3 || *f6 || *e5 || *e6 || *e7 || *e8 || *e9 || *e10 || *e11 || *e12 || *e13)
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	section := func(s string) { fmt.Println(s) }
+
+	if all || *t1 {
+		s, err := experiments.Table1()
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if all || *t2 {
+		s, err := experiments.Table2()
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if all || *t3 {
+		s, err := experiments.Table3()
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if all || *f6 {
+		section(experiments.Figure6(*pairs, *seed))
+		if *csv != "" {
+			if err := experiments.Figure6CSV(*csv, *pairs, *seed); err != nil {
+				fail(err)
+			}
+			fmt.Fprintln(os.Stderr, "figure 6 data written to", *csv)
+		}
+	}
+	if all || *e5 {
+		section(experiments.E5(*trials, *seed))
+	}
+	if all || *e6 {
+		s, err := experiments.E6(*fleet, *seed)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if all || *e7 {
+		s, err := experiments.E7()
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if all || *e8 {
+		s, err := experiments.E8(*benign, *attacks, *seed)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if all || *e9 {
+		s, err := experiments.E9(4, 600, *seed)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if all || *e10 {
+		section(experiments.E10())
+	}
+	if all || *e11 {
+		s, err := experiments.E11(*seed)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if all || *e12 {
+		s, err := experiments.E12(10, *seed)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if all || *e13 {
+		s, err := experiments.E13(*seed)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+}

@@ -1,0 +1,76 @@
+// Command hwgen emits the hardware artifacts of the flow: structural
+// Verilog for the hash units and the monitor comparator, and their
+// technology-mapping reports.
+//
+//	hwgen -unit merkle -o merkle.v
+//	hwgen -unit bitcount -report
+//	hwgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdmmon/internal/netlist"
+	"sdmmon/internal/techmap"
+)
+
+func main() {
+	unit := flag.String("unit", "merkle", "unit: merkle, bitcount, comparator")
+	out := flag.String("o", "", "output file (default stdout)")
+	registered := flag.Bool("registered", true, "include pipeline registers")
+	report := flag.Bool("report", false, "print the techmap report instead of Verilog")
+	k := flag.Int("k", 4, "LUT input count for -report")
+	chains := flag.Bool("chains", true, "use carry chains for -report (merkle)")
+	list := flag.Bool("list", false, "list units")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("merkle      parameterizable Merkle-tree hash unit (Table 3)")
+		fmt.Println("bitcount    popcount baseline hash unit (Table 3)")
+		fmt.Println("comparator  4-bit monitor hash comparator")
+		return
+	}
+	if err := run(*unit, *out, *registered, *report, *k, *chains); err != nil {
+		fmt.Fprintln(os.Stderr, "hwgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(unit, out string, registered, report bool, k int, chains bool) error {
+	var ckt *netlist.Circuit
+	useChains := false
+	switch unit {
+	case "merkle":
+		ckt = netlist.BuildMerkleUnit(netlist.MerkleUnitOptions{Registered: registered})
+		useChains = chains
+	case "bitcount":
+		ckt = netlist.BuildBitcountUnit(netlist.BitcountUnitOptions{Registered: registered})
+	case "comparator":
+		ckt = netlist.BuildComparator(4)
+	default:
+		return fmt.Errorf("unknown unit %q", unit)
+	}
+
+	if report {
+		m, err := techmap.MapNetwork(ckt, techmap.Options{K: k, UseCarryChains: useChains})
+		if err != nil {
+			return err
+		}
+		if err := techmap.VerifyMapping(ckt, m, 100, 1); err != nil {
+			return fmt.Errorf("post-mapping verification: %w", err)
+		}
+		fmt.Printf("%s\n", m.Result)
+		fmt.Printf("gates: %d logic, %d FFs; mapped LUT count verified against the gate netlist\n",
+			ckt.NumGates(), ckt.NumDFFs())
+		return nil
+	}
+
+	v := ckt.Verilog()
+	if out == "" {
+		fmt.Print(v)
+		return nil
+	}
+	return os.WriteFile(out, []byte(v), 0o644)
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunVerilogToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "merkle.v")
+	if err := run("merkle", out, true, false, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	v, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(v), "module merkle_hash_unit") {
+		t.Error("verilog output malformed")
+	}
+}
+
+func TestRunReports(t *testing.T) {
+	for _, unit := range []string{"merkle", "bitcount", "comparator"} {
+		if err := run(unit, "", true, true, 4, true); err != nil {
+			t.Fatalf("%s: %v", unit, err)
+		}
+	}
+	if err := run("merkle", "", true, true, 6, false); err != nil {
+		t.Fatalf("K=6: %v", err)
+	}
+}
+
+func TestRunBadUnit(t *testing.T) {
+	if err := run("bogus", "", true, false, 4, true); err == nil {
+		t.Error("bogus unit accepted")
+	}
+}

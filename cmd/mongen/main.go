@@ -1,0 +1,129 @@
+// Command mongen is the operator's offline analysis tool (Figure 1): it
+// assembles an application (a built-in one or an assembly source file),
+// extracts the monitoring graph under a hash parameter, and prints the
+// basic-block CFG, the per-instruction graph, and size statistics.
+//
+//	mongen -app ipv4cm -param 0xdeadbeef
+//	mongen -src my.s -param 0x1 -dump-graph graph.bin -dump-binary app.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/asm"
+	"sdmmon/internal/isa"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+)
+
+func main() {
+	appName := flag.String("app", "", "built-in application name")
+	srcFile := flag.String("src", "", "assembly source file")
+	paramStr := flag.String("param", "0xdeadbeef", "32-bit hash parameter")
+	width := flag.Int("width", 4, "hash width in bits (1,2,4,8)")
+	dumpGraph := flag.String("dump-graph", "", "write serialized graph to file")
+	dumpBinary := flag.String("dump-binary", "", "write serialized binary to file")
+	dotFile := flag.String("dot", "", "write the Graphviz CFG to file")
+	cfgDump := flag.Bool("cfg", true, "print the basic-block CFG")
+	nodes := flag.Bool("nodes", false, "print every graph node")
+	flag.Parse()
+
+	if err := run(*appName, *srcFile, *paramStr, *width, *dumpGraph, *dumpBinary, *cfgDump, *nodes, *dotFile); err != nil {
+		fmt.Fprintln(os.Stderr, "mongen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appName, srcFile, paramStr string, width int, dumpGraph, dumpBinary string, cfgDump, nodes bool, dotFile string) error {
+	var prog *asm.Program
+	var err error
+	switch {
+	case appName != "" && srcFile != "":
+		return fmt.Errorf("give either -app or -src, not both")
+	case appName != "":
+		app, err := apps.ByName(appName)
+		if err != nil {
+			return err
+		}
+		prog, err = app.Program()
+		if err != nil {
+			return err
+		}
+	case srcFile != "":
+		src, err := os.ReadFile(srcFile)
+		if err != nil {
+			return err
+		}
+		prog, err = asm.Assemble(string(src))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -app or -src is required")
+	}
+
+	param64, err := strconv.ParseUint(paramStr, 0, 32)
+	if err != nil {
+		return fmt.Errorf("bad -param: %w", err)
+	}
+	h, err := mhash.NewMerkleWith(uint32(param64), width, nil)
+	if err != nil {
+		return err
+	}
+	g, err := monitor.Extract(prog, h)
+	if err != nil {
+		return err
+	}
+
+	binBytes := prog.Serialize()
+	graphBytes := g.Serialize()
+	fmt.Printf("binary: %d instructions, %d bytes serialized, entry 0x%x\n",
+		len(prog.CodeWords()), len(binBytes), prog.Entry)
+	fmt.Printf("graph:  %d nodes, %d bytes serialized, %d bits in hardware layout (%.1f%% of binary)\n",
+		g.Len(), len(graphBytes), g.MemoryBits(),
+		100*float64(g.MemoryBits())/float64(8*len(binBytes)))
+	fmt.Printf("hash:   %d-bit Merkle sum tree, param 0x%08x\n\n", width, uint32(param64))
+
+	if cfgDump {
+		cfg, err := monitor.BuildCFG(prog, g)
+		if err != nil {
+			return err
+		}
+		fmt.Println(cfg.Dump(prog))
+	}
+	if nodes {
+		for _, a := range g.Addrs() {
+			n := g.Node(a)
+			w, _ := prog.WordAt(a)
+			fmt.Printf("%06x  h=%x  %-28s ->", a, n.Hash, isa.Disasm(a, w))
+			for _, s := range n.Succ {
+				fmt.Printf(" %06x", s)
+			}
+			fmt.Println()
+		}
+	}
+	if dotFile != "" {
+		cfg, err := monitor.BuildCFG(prog, g)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(dotFile, []byte(cfg.DotCFG(prog)), 0o644); err != nil {
+			return err
+		}
+	}
+	if dumpBinary != "" {
+		if err := os.WriteFile(dumpBinary, binBytes, 0o644); err != nil {
+			return err
+		}
+	}
+	if dumpGraph != "" {
+		if err := os.WriteFile(dumpGraph, graphBytes, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

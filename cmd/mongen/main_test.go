@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sdmmon/internal/asm"
+	"sdmmon/internal/monitor"
+)
+
+func TestRunBuiltinApp(t *testing.T) {
+	if err := run("ipv4cm", "", "0xdeadbeef", 4, "", "", true, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSourceFileWithDumps(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.s")
+	if err := os.WriteFile(src, []byte(`
+	.text 0x0
+main:
+	li $t0, 3
+loop:
+	addiu $t0, $t0, -1
+	bnez $t0, loop
+	break
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gout := filepath.Join(dir, "graph.bin")
+	bout := filepath.Join(dir, "app.bin")
+	if err := run("", src, "0x42", 4, gout, bout, false, false, filepath.Join(dir, "cfg.dot")); err != nil {
+		t.Fatal(err)
+	}
+	graw, err := os.ReadFile(gout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := monitor.Deserialize(graw); err != nil {
+		t.Fatalf("dumped graph invalid: %v", err)
+	}
+	braw, err := os.ReadFile(bout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := asm.Deserialize(braw); err != nil {
+		t.Fatalf("dumped binary invalid: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "0x1", 4, "", "", true, false, ""); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("ipv4cm", "also.s", "0x1", 4, "", "", true, false, ""); err == nil {
+		t.Error("both inputs accepted")
+	}
+	if err := run("ipv4cm", "", "zzz", 4, "", "", true, false, ""); err == nil {
+		t.Error("bad param accepted")
+	}
+	if err := run("ipv4cm", "", "0x1", 5, "", "", true, false, ""); err == nil {
+		t.Error("bad width accepted")
+	}
+	if err := run("bogus", "", "0x1", 4, "", "", true, false, ""); err == nil {
+		t.Error("bogus app accepted")
+	}
+	if err := run("", "/nonexistent/file.s", "0x1", 4, "", "", true, false, ""); err == nil {
+		t.Error("missing source accepted")
+	}
+}

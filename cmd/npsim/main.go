@@ -1,0 +1,131 @@
+// Command npsim runs the multicore network-processor simulator under
+// synthetic traffic with optional interleaved data-plane attacks, and
+// reports throughput and detection statistics. It bypasses the secure
+// installation path (use cmd/sdmmon for the full lifecycle).
+//
+//	npsim -app ipv4cm -cores 4 -packets 20000 -attacks 20 -monitors=true
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/attack"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+	"sdmmon/internal/npu"
+	"sdmmon/internal/packet"
+)
+
+func main() {
+	appName := flag.String("app", "ipv4cm", "application (see sdmmon apps)")
+	cores := flag.Int("cores", 4, "NP cores")
+	packets := flag.Int("packets", 10000, "benign packets")
+	attacks := flag.Int("attacks", 0, "interleaved attack packets")
+	monitors := flag.Bool("monitors", true, "hardware monitors enabled")
+	qdepth := flag.Int("qdepth", 0, "simulated output queue depth")
+	optWords := flag.Int("optwords", 1, "IP option words in benign traffic")
+	seed := flag.Int64("seed", 1, "seed for traffic and hash parameter")
+	clockMHz := flag.Float64("clock", 100, "core clock in MHz for throughput reporting")
+	trace := flag.Int("trace", 0, "forensic trace depth; dumps the trace of the first alarm")
+	flag.Parse()
+
+	if err := run(*appName, *cores, *packets, *attacks, *monitors, *qdepth, *optWords, *seed, *clockMHz, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "npsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appName string, cores, packets, attacks int, monitors bool, qdepth, optWords int, seed int64, clockMHz float64, traceDepth int) error {
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return err
+	}
+	prog, err := app.Program()
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	param := rng.Uint32()
+	h := mhash.NewMerkle(param)
+	g, err := monitor.Extract(prog, h)
+	if err != nil {
+		return err
+	}
+	np, err := npu.New(npu.Config{Cores: cores, MonitorsEnabled: monitors, TraceDepth: traceDepth})
+	if err != nil {
+		return err
+	}
+	if err := np.InstallAll(appName, prog.Serialize(), g.Serialize(), param); err != nil {
+		return err
+	}
+	fmt.Printf("npsim: %s on %d cores, monitors=%v, graph %d nodes (%d bits)\n",
+		appName, cores, monitors, g.Len(), g.MemoryBits())
+
+	gen := packet.NewGenerator(seed)
+	gen.OptionWords = optWords
+
+	var atk []byte
+	if attacks > 0 {
+		smash := attack.DefaultSmash()
+		code, err := smash.HijackPayload()
+		if err != nil {
+			return err
+		}
+		atk, err = smash.CraftPacket(code)
+		if err != nil {
+			return err
+		}
+	}
+
+	total := packets + attacks
+	every := 0
+	if attacks > 0 {
+		every = total / attacks
+	}
+	hijacked := 0
+	attacksSent := 0
+	for i := 0; i < total; i++ {
+		var pkt []byte
+		isAttack := every > 0 && attacksSent < attacks && i%every == every-1
+		if isAttack {
+			pkt = atk
+			attacksSent++
+		} else {
+			pkt = gen.Next()
+		}
+		res, err := np.Process(pkt, qdepth)
+		if err != nil {
+			return err
+		}
+		if isAttack && attack.Succeeded(apps.PacketResult{Verdict: res.Verdict, Packet: res.Packet}) {
+			hijacked++
+		}
+		if res.Detected && traceDepth > 0 {
+			fmt.Printf("\nALARM on core %d — forensic trace (last %d instructions, !! = alarm):\n%s\n",
+				res.Core, traceDepth, np.TraceDump(res.Core, traceDepth))
+			traceDepth = 0 // dump the first alarm only
+		}
+	}
+
+	s := np.Stats()
+	fmt.Printf("packets: %d benign + %d attacks\n", packets, attacksSent)
+	fmt.Printf("  forwarded=%d dropped=%d alarms=%d faults=%d hijacked=%d\n",
+		s.Forwarded, s.Dropped, s.Alarms, s.Faults, hijacked)
+	if s.Processed > 0 {
+		cpp := float64(s.Cycles) / float64(s.Processed)
+		mpps := clockMHz / cpp
+		fmt.Printf("  %.0f cycles/packet -> %.2f Mpps/core, %.2f Mpps aggregate at %.0f MHz\n",
+			cpp, mpps, mpps*float64(cores), clockMHz)
+	}
+	for c := 0; c < cores; c++ {
+		if checked, alarms, maxPos, err := np.MonitorStats(c); err == nil {
+			fmt.Printf("  core %d monitor: %d instructions checked, %d alarms, max %d parallel positions\n",
+				c, checked, alarms, maxPos)
+		}
+	}
+	return nil
+}

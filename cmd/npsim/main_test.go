@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunBasic(t *testing.T) {
+	if err := run("ipv4cm", 2, 200, 2, true, 0, 1, 1, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	if err := run("ipv4cm", 1, 50, 1, true, 0, 0, 2, 100, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnmonitored(t *testing.T) {
+	if err := run("ipv4safe", 1, 50, 1, false, 0, 1, 3, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllApps(t *testing.T) {
+	for _, app := range []string{"ipv4cm", "ipv4safe", "udpecho", "counter", "acl"} {
+		if err := run(app, 1, 30, 0, true, 0, 0, 4, 100, 0); err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+	}
+}
+
+func TestRunBadApp(t *testing.T) {
+	if err := run("bogus", 1, 1, 0, true, 0, 0, 1, 100, 0); err == nil {
+		t.Error("bogus app accepted")
+	}
+}

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/asm"
+	"sdmmon/internal/attack"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+	"sdmmon/internal/npu"
+	"sdmmon/internal/packet"
+	"sdmmon/internal/seccrypto"
+	"sdmmon/internal/timing"
+)
+
+func cmdInitManufacturer(st *state, args []string) error {
+	fs := flag.NewFlagSet("init-manufacturer", flag.ExitOnError)
+	name := fs.String("name", "manufacturer", "manufacturer name")
+	fs.Parse(args)
+	m, err := seccrypto.NewManufacturer(*name, rng)
+	if err != nil {
+		return err
+	}
+	if err := st.saveManufacturer(m, 1); err != nil {
+		return err
+	}
+	fmt.Printf("manufacturer %q created (RSA-%d root of trust) in %s\n",
+		*name, seccrypto.KeyBits, st.dir)
+	return nil
+}
+
+func cmdInitOperator(st *state, args []string) error {
+	fs := flag.NewFlagSet("init-operator", flag.ExitOnError)
+	name := fs.String("name", "operator", "operator name")
+	fs.Parse(args)
+	mfr, meta, err := st.loadManufacturer()
+	if err != nil {
+		return err
+	}
+	op, err := seccrypto.NewOperator(*name, rng)
+	if err != nil {
+		return err
+	}
+	cert, err := mfr.IssueCertificate(op)
+	if err != nil {
+		return err
+	}
+	op.SetCertificate(cert)
+	if err := st.saveOperator(op); err != nil {
+		return err
+	}
+	meta.Serial = cert.Serial + 1
+	if err := st.saveManufacturer(mfr, meta.Serial); err != nil {
+		return err
+	}
+	fmt.Printf("operator %q created; certificate serial %d issued by %q\n",
+		*name, cert.Serial, mfr.Name)
+	return nil
+}
+
+func cmdProvision(st *state, args []string) error {
+	fs := flag.NewFlagSet("provision", flag.ExitOnError)
+	id := fs.String("id", "", "device id")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("provision: -id required")
+	}
+	mfr, _, err := st.loadManufacturer()
+	if err != nil {
+		return err
+	}
+	dev, err := mfr.ProvisionDevice(*id, rng)
+	if err != nil {
+		return err
+	}
+	if err := st.saveDevice(dev, mfr.PublicDER()); err != nil {
+		return err
+	}
+	fmt.Printf("device %q provisioned: router key pair + %q root of trust installed\n",
+		*id, mfr.Name)
+	return nil
+}
+
+func cmdPackage(st *state, args []string) error {
+	fs := flag.NewFlagSet("package", flag.ExitOnError)
+	deviceID := fs.String("device", "", "target device id")
+	appName := fs.String("app", "ipv4cm", "application name")
+	out := fs.String("out", "pkg.bin", "output package file")
+	fs.Parse(args)
+	if *deviceID == "" {
+		return fmt.Errorf("package: -device required")
+	}
+	op, err := st.loadOperator()
+	if err != nil {
+		return err
+	}
+	devPub, err := st.devicePublic(*deviceID)
+	if err != nil {
+		return err
+	}
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		return err
+	}
+	prog, err := app.Program()
+	if err != nil {
+		return err
+	}
+	var pb [4]byte
+	if _, err := io.ReadFull(rng, pb[:]); err != nil {
+		return err
+	}
+	param := binary.BigEndian.Uint32(pb[:])
+	h := mhash.NewMerkle(param)
+	g, err := monitor.Extract(prog, h)
+	if err != nil {
+		return err
+	}
+	bundle := &seccrypto.Bundle{
+		Binary:    prog.Serialize(),
+		Graph:     g.Serialize(),
+		HashParam: param,
+	}
+	pkg, err := op.BuildPackage(devPub, bundle, rng)
+	if err != nil {
+		return err
+	}
+	wire := pkg.Marshal()
+	if err := os.WriteFile(*out, wire, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("package %s for %q: app=%s binary=%dB graph=%dB (%d nodes) wire=%dB\n",
+		pkg.DigestHex(), *deviceID, *appName, len(bundle.Binary), len(bundle.Graph), g.Len(), len(wire))
+	fmt.Printf("hash parameter: (fresh 32-bit secret, encrypted in package)\n")
+	return nil
+}
+
+func cmdInstall(st *state, args []string) error {
+	fs := flag.NewFlagSet("install", flag.ExitOnError)
+	deviceID := fs.String("device", "", "device id")
+	pkgFile := fs.String("pkg", "pkg.bin", "package file")
+	skipCert := fs.Bool("skip-cert", false, "skip the certificate check (subsequent installs)")
+	fs.Parse(args)
+	if *deviceID == "" {
+		return fmt.Errorf("install: -device required")
+	}
+	dev, err := st.loadDevice(*deviceID)
+	if err != nil {
+		return err
+	}
+	wire, err := os.ReadFile(*pkgFile)
+	if err != nil {
+		return err
+	}
+	pkg, err := seccrypto.UnmarshalPackage(wire)
+	if err != nil {
+		return err
+	}
+	bundle, ops, err := dev.OpenPackage(pkg, *skipCert)
+	if err != nil {
+		return fmt.Errorf("verification FAILED: %w", err)
+	}
+	ops.DownloadBytes = len(wire)
+	if err := st.saveBundle(*deviceID, bundle); err != nil {
+		return err
+	}
+	model := timing.NiosIIPrototype()
+	fmt.Printf("package verified and installed on %q\n", *deviceID)
+	fmt.Printf("  crypto work: %d RSA-priv, %d RSA-pub, %d SHA bytes, %d AES bytes\n",
+		ops.RSAPrivateOps, ops.RSAPublicOps, ops.SHA256Bytes, ops.AESBytes)
+	fmt.Printf("  modeled Nios II time (Table 2 constants): %.2f s\n", model.EstimateOps(ops))
+	return nil
+}
+
+func cmdRun(st *state, args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	deviceID := fs.String("device", "", "device id")
+	packets := fs.Int("packets", 1000, "benign packets")
+	attacks := fs.Int("attacks", 0, "attack packets interleaved")
+	qdepth := fs.Int("qdepth", 0, "simulated output queue depth")
+	cores := fs.Int("cores", 1, "NP cores")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	fs.Parse(args)
+	if *deviceID == "" {
+		return fmt.Errorf("run: -device required")
+	}
+	bundle, err := st.loadBundle(*deviceID)
+	if err != nil {
+		return err
+	}
+	np, err := npu.New(npu.Config{Cores: *cores, MonitorsEnabled: true})
+	if err != nil {
+		return err
+	}
+	if err := np.InstallAll("installed", bundle.Binary, bundle.Graph, bundle.HashParam); err != nil {
+		return err
+	}
+	gen := packet.NewGenerator(*seed)
+	gen.OptionWords = 1
+
+	var atkPkt []byte
+	if *attacks > 0 {
+		smash := attack.DefaultSmash()
+		code, err := smash.HijackPayload()
+		if err != nil {
+			return err
+		}
+		atkPkt, err = smash.CraftPacket(code)
+		if err != nil {
+			return err
+		}
+	}
+	sent := 0
+	attacksSent := 0
+	every := 0
+	if *attacks > 0 {
+		every = (*packets + *attacks) / (*attacks)
+	}
+	total := *packets + *attacks
+	for sent < total {
+		var pkt []byte
+		if every > 0 && attacksSent < *attacks && sent%every == every-1 {
+			pkt = atkPkt
+			attacksSent++
+		} else {
+			pkt = gen.Next()
+		}
+		if _, err := np.Process(pkt, *qdepth); err != nil {
+			return err
+		}
+		sent++
+	}
+	s := np.Stats()
+	fmt.Printf("device %q: %d packets (%d attacks)\n", *deviceID, s.Processed, attacksSent)
+	fmt.Printf("  forwarded=%d dropped=%d alarms=%d faults=%d\n",
+		s.Forwarded, s.Dropped, s.Alarms, s.Faults)
+	if s.Processed > 0 {
+		cpp := float64(s.Cycles) / float64(s.Processed)
+		fmt.Printf("  %.0f cycles/packet -> %.2f Mpps per core at 100 MHz\n",
+			cpp, 100.0/cpp)
+	}
+	return nil
+}
+
+func cmdInspect(st *state, args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	pkgFile := fs.String("pkg", "pkg.bin", "package file")
+	fs.Parse(args)
+	wire, err := os.ReadFile(*pkgFile)
+	if err != nil {
+		return err
+	}
+	pkg, err := seccrypto.UnmarshalPackage(wire)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("package %s\n", pkg.DigestHex())
+	fmt.Printf("  device:      %s\n", pkg.DeviceID)
+	fmt.Printf("  operator:    %s (certificate serial %d)\n", pkg.Cert.Subject, pkg.Cert.Serial)
+	fmt.Printf("  session key: %d bytes (RSA-OAEP to device)\n", len(pkg.EncKey))
+	fmt.Printf("  payload:     %d bytes AES-256-CBC\n", len(pkg.EncPayload))
+	fmt.Printf("  signature:   %d bytes (operator, over plaintext)\n", len(pkg.Signature))
+	return nil
+}
+
+func cmdApps() error {
+	for _, a := range apps.All() {
+		prog, err := a.Program()
+		if err != nil {
+			return err
+		}
+		vuln := ""
+		if a.Vulnerable {
+			vuln = "  [VULNERABLE option copy]"
+		}
+		fmt.Printf("%-10s %4d instructions  %s%s\n",
+			a.Name, len(prog.CodeWords()), a.Description, vuln)
+	}
+	return nil
+}
+
+// ensure asm import is used (Program types flow through interfaces).
+var _ = asm.Deserialize

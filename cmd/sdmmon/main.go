@@ -1,0 +1,74 @@
+// Command sdmmon drives the SDMMon lifecycle from the command line with
+// persistent state: manufacturer and operator key ceremonies, device
+// provisioning, package building, device-side verification/installation,
+// and monitored traffic runs.
+//
+//	sdmmon -dir state init-manufacturer -name acme
+//	sdmmon -dir state init-operator -name isp
+//	sdmmon -dir state provision -id router-0
+//	sdmmon -dir state package -device router-0 -app ipv4cm -out pkg.bin
+//	sdmmon -dir state install -device router-0 -pkg pkg.bin
+//	sdmmon -dir state run -device router-0 -packets 1000 -attacks 3
+//	sdmmon -dir state inspect -pkg pkg.bin
+//	sdmmon apps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	dir := flag.String("dir", "sdmmon-state", "state directory")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	st := &state{dir: *dir}
+	var err error
+	switch args[0] {
+	case "init-manufacturer":
+		err = cmdInitManufacturer(st, args[1:])
+	case "init-operator":
+		err = cmdInitOperator(st, args[1:])
+	case "provision":
+		err = cmdProvision(st, args[1:])
+	case "package":
+		err = cmdPackage(st, args[1:])
+	case "install":
+		err = cmdInstall(st, args[1:])
+	case "run":
+		err = cmdRun(st, args[1:])
+	case "inspect":
+		err = cmdInspect(st, args[1:])
+	case "apps":
+		err = cmdApps()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdmmon:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sdmmon [-dir state] <command> [flags]
+
+commands:
+  init-manufacturer -name N     create the manufacturer root of trust
+  init-operator     -name N     create an operator and issue its certificate
+  provision         -id ID      manufacture a device (keys + root of trust)
+  package           -device ID -app NAME [-out FILE]
+                                build the signed, encrypted bundle package
+  install           -device ID -pkg FILE
+                                device-side verify + install (Table 2 costs)
+  run               -device ID [-packets N] [-attacks N] [-qdepth N]
+                                run monitored traffic on the installed app
+  inspect           -pkg FILE   print package envelope metadata
+  apps                          list built-in applications`)
+}

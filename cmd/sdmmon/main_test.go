@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The CLI is exercised end to end through its command functions with a
+// temporary state directory.
+func TestCLILifecycle(t *testing.T) {
+	dir := t.TempDir()
+	st := &state{dir: filepath.Join(dir, "state")}
+	pkgFile := filepath.Join(dir, "pkg.bin")
+
+	if err := cmdInitManufacturer(st, []string{"-name", "acme"}); err != nil {
+		t.Fatalf("init-manufacturer: %v", err)
+	}
+	if err := cmdInitOperator(st, []string{"-name", "isp"}); err != nil {
+		t.Fatalf("init-operator: %v", err)
+	}
+	if err := cmdProvision(st, []string{"-id", "router-0"}); err != nil {
+		t.Fatalf("provision: %v", err)
+	}
+	if err := cmdPackage(st, []string{"-device", "router-0", "-app", "ipv4cm", "-out", pkgFile}); err != nil {
+		t.Fatalf("package: %v", err)
+	}
+	if err := cmdInspect(st, []string{"-pkg", pkgFile}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if err := cmdInstall(st, []string{"-device", "router-0", "-pkg", pkgFile}); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if err := cmdRun(st, []string{"-device", "router-0", "-packets", "200", "-attacks", "2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := cmdApps(); err != nil {
+		t.Fatalf("apps: %v", err)
+	}
+}
+
+func TestCLICrossDeviceRejected(t *testing.T) {
+	dir := t.TempDir()
+	st := &state{dir: filepath.Join(dir, "state")}
+	pkgFile := filepath.Join(dir, "pkg.bin")
+	if err := cmdInitManufacturer(st, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInitOperator(st, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdProvision(st, []string{"-id", "r0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdProvision(st, []string{"-id", "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPackage(st, []string{"-device", "r0", "-out", pkgFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInstall(st, []string{"-device", "r1", "-pkg", pkgFile}); err == nil {
+		t.Fatal("package for r0 installed on r1")
+	}
+}
+
+func TestCLITamperedPackageRejected(t *testing.T) {
+	dir := t.TempDir()
+	st := &state{dir: filepath.Join(dir, "state")}
+	pkgFile := filepath.Join(dir, "pkg.bin")
+	if err := cmdInitManufacturer(st, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInitOperator(st, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdProvision(st, []string{"-id", "r0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPackage(st, []string{"-device", "r0", "-out", pkgFile}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(pkgFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(pkgFile, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInstall(st, []string{"-device", "r0", "-pkg", pkgFile}); err == nil {
+		t.Fatal("tampered package installed")
+	}
+}
+
+func TestCLIMissingState(t *testing.T) {
+	st := &state{dir: filepath.Join(t.TempDir(), "empty")}
+	if err := cmdInitOperator(st, nil); err == nil {
+		t.Error("operator created without manufacturer")
+	}
+	if err := cmdProvision(st, []string{"-id", "x"}); err == nil {
+		t.Error("device provisioned without manufacturer")
+	}
+	if err := cmdPackage(st, []string{"-device", "x"}); err == nil {
+		t.Error("package built without operator")
+	}
+	if err := cmdRun(st, []string{"-device", "x"}); err == nil {
+		t.Error("run without installed bundle")
+	}
+	if err := cmdProvision(st, nil); err == nil {
+		t.Error("provision without -id")
+	}
+	if err := cmdPackage(st, nil); err == nil {
+		t.Error("package without -device")
+	}
+	if err := cmdInstall(st, nil); err == nil {
+		t.Error("install without -device")
+	}
+	if err := cmdRun(st, nil); err == nil {
+		t.Error("run without -device")
+	}
+	if err := cmdPackage(st, []string{"-device", "x", "-app", "bogus"}); err == nil {
+		t.Error("bogus app accepted")
+	}
+}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sdmmon/internal/seccrypto"
+)
+
+// state persists entities under a directory:
+//
+//	<dir>/manufacturer.json + manufacturer.key.pem
+//	<dir>/operator.json     + operator.key.pem
+//	<dir>/devices/<id>.json + <id>.key.pem
+//	<dir>/installed/<id>.bundle
+type state struct {
+	dir string
+}
+
+func (s *state) path(parts ...string) string {
+	return filepath.Join(append([]string{s.dir}, parts...)...)
+}
+
+func (s *state) writeFile(rel string, data []byte, secret bool) error {
+	p := s.path(rel)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	mode := os.FileMode(0o644)
+	if secret {
+		mode = 0o600
+	}
+	return os.WriteFile(p, data, mode)
+}
+
+func (s *state) readFile(rel string) ([]byte, error) {
+	return os.ReadFile(s.path(rel))
+}
+
+type manufacturerMeta struct {
+	Name   string `json:"name"`
+	Serial uint64 `json:"next_serial"`
+	PubDER string `json:"public_der"`
+}
+
+func (s *state) saveManufacturer(m *seccrypto.Manufacturer, serial uint64) error {
+	pemBytes, err := m.Keys().MarshalPEM()
+	if err != nil {
+		return err
+	}
+	if err := s.writeFile("manufacturer.key.pem", pemBytes, true); err != nil {
+		return err
+	}
+	meta := manufacturerMeta{
+		Name:   m.Name,
+		Serial: serial,
+		PubDER: base64.StdEncoding.EncodeToString(m.PublicDER()),
+	}
+	j, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	return s.writeFile("manufacturer.json", j, false)
+}
+
+func (s *state) loadManufacturer() (*seccrypto.Manufacturer, *manufacturerMeta, error) {
+	j, err := s.readFile("manufacturer.json")
+	if err != nil {
+		return nil, nil, fmt.Errorf("no manufacturer (run init-manufacturer): %w", err)
+	}
+	var meta manufacturerMeta
+	if err := json.Unmarshal(j, &meta); err != nil {
+		return nil, nil, err
+	}
+	pemBytes, err := s.readFile("manufacturer.key.pem")
+	if err != nil {
+		return nil, nil, err
+	}
+	keys, err := seccrypto.UnmarshalKeyPairPEM(pemBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return seccrypto.NewManufacturerWithKeys(meta.Name, keys, meta.Serial), &meta, nil
+}
+
+type operatorMeta struct {
+	Name string `json:"name"`
+	Cert string `json:"certificate"`
+}
+
+func (s *state) saveOperator(o *seccrypto.Operator) error {
+	pemBytes, err := o.Keys().MarshalPEM()
+	if err != nil {
+		return err
+	}
+	if err := s.writeFile("operator.key.pem", pemBytes, true); err != nil {
+		return err
+	}
+	meta := operatorMeta{
+		Name: o.Name,
+		Cert: base64.StdEncoding.EncodeToString(o.Certificate().Marshal()),
+	}
+	j, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	return s.writeFile("operator.json", j, false)
+}
+
+func (s *state) loadOperator() (*seccrypto.Operator, error) {
+	j, err := s.readFile("operator.json")
+	if err != nil {
+		return nil, fmt.Errorf("no operator (run init-operator): %w", err)
+	}
+	var meta operatorMeta
+	if err := json.Unmarshal(j, &meta); err != nil {
+		return nil, err
+	}
+	pemBytes, err := s.readFile("operator.key.pem")
+	if err != nil {
+		return nil, err
+	}
+	keys, err := seccrypto.UnmarshalKeyPairPEM(pemBytes)
+	if err != nil {
+		return nil, err
+	}
+	o := seccrypto.NewOperatorWithKeys(meta.Name, keys)
+	certRaw, err := base64.StdEncoding.DecodeString(meta.Cert)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := seccrypto.UnmarshalCertificate(certRaw)
+	if err != nil {
+		return nil, err
+	}
+	o.SetCertificate(cert)
+	return o, nil
+}
+
+type deviceMeta struct {
+	ID     string `json:"id"`
+	MfrDER string `json:"manufacturer_public_der"`
+	PubDER string `json:"device_public_der"`
+}
+
+func (s *state) saveDevice(d *seccrypto.DeviceIdentity, mfrDER []byte) error {
+	pemBytes, err := d.Keys().MarshalPEM()
+	if err != nil {
+		return err
+	}
+	if err := s.writeFile(filepath.Join("devices", d.ID+".key.pem"), pemBytes, true); err != nil {
+		return err
+	}
+	meta := deviceMeta{
+		ID:     d.ID,
+		MfrDER: base64.StdEncoding.EncodeToString(mfrDER),
+		PubDER: base64.StdEncoding.EncodeToString(d.PublicInfo().KeyDER),
+	}
+	j, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	return s.writeFile(filepath.Join("devices", d.ID+".json"), j, false)
+}
+
+func (s *state) loadDevice(id string) (*seccrypto.DeviceIdentity, error) {
+	j, err := s.readFile(filepath.Join("devices", id+".json"))
+	if err != nil {
+		return nil, fmt.Errorf("no device %q (run provision): %w", id, err)
+	}
+	var meta deviceMeta
+	if err := json.Unmarshal(j, &meta); err != nil {
+		return nil, err
+	}
+	pemBytes, err := s.readFile(filepath.Join("devices", id+".key.pem"))
+	if err != nil {
+		return nil, err
+	}
+	keys, err := seccrypto.UnmarshalKeyPairPEM(pemBytes)
+	if err != nil {
+		return nil, err
+	}
+	mfrDER, err := base64.StdEncoding.DecodeString(meta.MfrDER)
+	if err != nil {
+		return nil, err
+	}
+	return seccrypto.NewDeviceIdentityWithKeys(id, keys, mfrDER)
+}
+
+func (s *state) devicePublic(id string) (seccrypto.DevicePublic, error) {
+	j, err := s.readFile(filepath.Join("devices", id+".json"))
+	if err != nil {
+		return seccrypto.DevicePublic{}, fmt.Errorf("no device %q: %w", id, err)
+	}
+	var meta deviceMeta
+	if err := json.Unmarshal(j, &meta); err != nil {
+		return seccrypto.DevicePublic{}, err
+	}
+	der, err := base64.StdEncoding.DecodeString(meta.PubDER)
+	if err != nil {
+		return seccrypto.DevicePublic{}, err
+	}
+	return seccrypto.DevicePublic{ID: meta.ID, KeyDER: der}, nil
+}
+
+func (s *state) saveBundle(id string, b *seccrypto.Bundle) error {
+	return s.writeFile(filepath.Join("installed", id+".bundle"), b.Marshal(), true)
+}
+
+func (s *state) loadBundle(id string) (*seccrypto.Bundle, error) {
+	raw, err := s.readFile(filepath.Join("installed", id+".bundle"))
+	if err != nil {
+		return nil, fmt.Errorf("nothing installed on %q (run install): %w", id, err)
+	}
+	return seccrypto.UnmarshalBundle(raw)
+}
+
+// rng is the randomness source for key generation and parameters.
+var rng = rand.Reader

@@ -1,0 +1,23 @@
+// Package sdmmon is a from-scratch reproduction of "System-Level Security
+// for Network Processors with Hardware Monitors" (Hu, Wolf, Teixeira,
+// Tessier — DAC 2014).
+//
+// The repository implements the complete system in Go: a MIPS-I network
+// processor core simulator with an instruction-granular hardware monitor, a
+// parameterizable Merkle-tree hash, the three-entity secure installation
+// protocol (manufacturer → operator → device), a gate-level netlist +
+// LUT-mapping flow that regenerates the FPGA resource tables, an embedded
+// cost model for the control-processor timings, and the attack models the
+// security argument rests on.
+//
+// Entry points:
+//   - internal/core: the SDMMon facade (manufacture → certify → program →
+//     install → run).
+//   - cmd/experiments: regenerates every table and figure of the paper.
+//   - cmd/sdmmon: file-based CLI for the full lifecycle.
+//   - examples/: runnable walk-throughs.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results, including two reproduction findings about the
+// arithmetic-sum compression function.
+package sdmmon

@@ -1,0 +1,139 @@
+// Multicore router with dynamic workloads and fleet-scale homogeneity:
+// installs different applications per core, reprograms a core at runtime
+// (the "Dynamics" requirement), then runs the cascade-containment
+// experiment across a fleet — including the reproduction finding that the
+// paper's arithmetic-sum compression makes hash-matching attacks
+// parameter-independent, and the S-box variant that restores containment.
+//
+//	go run ./examples/multicore_router
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/core"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/network"
+	"sdmmon/internal/packet"
+)
+
+func main() {
+	fmt.Println("== per-core dynamic workloads on one router ==")
+	mfr, err := core.NewManufacturer("acme-np", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	op, err := core.NewOperator("isp", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mfr.Certify(op); err != nil {
+		log.Fatal(err)
+	}
+	dev, err := mfr.Manufacture("edge-router", core.DeviceConfig{Cores: 3, MonitorsEnabled: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, app := range []string{"ipv4cm", "udpecho", "counter"} {
+		a, err := apps.ByName(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wire, err := op.ProgramWire(dev.Public(), a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := dev.InstallOn(wire, i); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("core %d <- %s\n", i, app)
+	}
+	gen := packet.NewGenerator(3)
+	for i := 0; i < 300; i++ {
+		if _, err := dev.Process(gen.Next(), 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	s := dev.Stats()
+	fmt.Printf("mixed workload: %d packets, %d forwarded, %d alarms\n", s.Processed, s.Forwarded, s.Alarms)
+
+	// Runtime reprogramming: traffic shifted, core 2 switches from the
+	// counter to another IPv4 pipeline — with a fresh hash parameter.
+	a, err := apps.ByName("ipv4safe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	wire, err := op.ProgramWire(dev.Public(), a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dev.InstallOn(wire, 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("core 2 reprogrammed to ipv4safe at runtime (fresh parameter, no reboot)")
+	for i := 0; i < 100; i++ {
+		if _, err := dev.Process(gen.Next(), 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after reprogramming: %d packets, %d alarms\n\n",
+		dev.Stats().Processed, dev.Stats().Alarms)
+
+	fmt.Println("== resident application library: µs switching (§4.2) ==")
+	lib, err := mfr.Manufacture("lib-router", core.DeviceConfig{Cores: 1, MonitorsEnabled: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"ipv4safe", "udpecho"} {
+		a, err := apps.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wire, err := op.ProgramWire(lib.Public(), a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := lib.InstallResident(wire, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("resident install %-9s (full crypto, modeled %.1f s on Nios II)\n",
+			name+":", rep.ModelSeconds)
+	}
+	for _, name := range []string{"ipv4safe", "udpecho", "ipv4safe"} {
+		cycles, err := lib.Switch(0, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("switch core 0 -> %-9s %d cycles (%.2f µs at 100 MHz)\n",
+			name+":", cycles, float64(cycles)/100)
+	}
+	fmt.Println()
+
+	fmt.Println("== fleet homogeneity: one brute-forced attack replayed everywhere ==")
+	run := func(name string, diverse bool, compression mhash.Compress) {
+		f, err := network.NewFleet(network.FleetConfig{
+			Size: 16, DiverseParams: diverse, Compression: compression, Seed: 11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := f.Cascade()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Engineered {
+			fmt.Printf("  %-52s attacker found no matching attack for this parameter\n", name)
+			return
+		}
+		fmt.Printf("  %-52s compromised %2d/16, detected on %2d\n",
+			name, res.Compromised, res.Detected)
+	}
+	run("homogeneous parameters (paper's warning case):", false, nil)
+	run("diverse parameters, sum compression (paper's fix):", true, nil)
+	run("diverse parameters, s-box compression (hardened):", true, mhash.SBoxCompress())
+	fmt.Println("\nfinding: the arithmetic-sum tree makes hash equality parameter-independent,")
+	fmt.Println("so the paper's diversity only helps once the compression is nonlinear.")
+}

@@ -1,0 +1,3 @@
+module sdmmon
+
+go 1.22

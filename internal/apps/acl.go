@@ -1,0 +1,102 @@
+package apps
+
+import "encoding/binary"
+
+// ACL-related scratch layout: the rule count lives at ScratchBase+ACLCountOff,
+// rules at ScratchBase+ACLRulesOff. Each rule is three words: source prefix,
+// mask, action (0 = drop, 1 = forward).
+const (
+	ACLCountOff = 0xFC
+	ACLRulesOff = 0x100
+	ACLRuleSize = 12
+	ACLMaxRules = 32
+)
+
+// ACL returns a stateful firewall application: the packet's source address
+// is matched against a rule table in scratch memory (first match wins,
+// default forward). Its nested lookup loop gives the monitor a deeper CFG
+// than the forwarding apps.
+func ACL() *App {
+	return &App{
+		Name:        "acl",
+		Description: "source-address firewall with a scratch-memory rule table",
+		Source: header + `
+	.equ ACL_COUNT, 0x38FC
+	.equ ACL_RULES, 0x3900
+	.text 0x0
+main:
+	slti $t0, $a1, 20
+	bnez $t0, drop
+	lw $s0, 12($a0)           # source address
+	li $t1, ACL_COUNT
+	lw $t2, 0($t1)            # rule count
+	li $t3, ACL_RULES
+	move $t4, $zero           # rule index
+loop:
+	slt $at, $t4, $t2
+	beqz $at, fwd             # no more rules: default forward
+	lw $t5, 0($t3)            # prefix
+	lw $t6, 4($t3)            # mask
+	and $t8, $s0, $t6
+	bne $t8, $t5, next
+	lw $v0, 8($t3)            # matched: action is the verdict
+	break
+next:
+	addiu $t3, $t3, 12
+	addiu $t4, $t4, 1
+	b loop
+fwd:
+	li $v0, 1
+	break
+drop:
+	li $v0, 0
+	break
+`,
+	}
+}
+
+// ACLRule is one firewall rule.
+type ACLRule struct {
+	Prefix  uint32
+	Mask    uint32
+	Forward bool
+}
+
+// InstallACLRules writes the rule table into a core's scratch memory.
+func InstallACLRules(c *Core, rules []ACLRule) {
+	if len(rules) > ACLMaxRules {
+		rules = rules[:ACLMaxRules]
+	}
+	var cnt [4]byte
+	binary.BigEndian.PutUint32(cnt[:], uint32(len(rules)))
+	c.Mem().WriteBytes(uint32(ScratchBase+ACLCountOff), cnt[:])
+	buf := make([]byte, ACLRuleSize*len(rules))
+	for i, r := range rules {
+		off := ACLRuleSize * i
+		binary.BigEndian.PutUint32(buf[off:], r.Prefix)
+		binary.BigEndian.PutUint32(buf[off+4:], r.Mask)
+		action := uint32(0)
+		if r.Forward {
+			action = 1
+		}
+		binary.BigEndian.PutUint32(buf[off+8:], action)
+	}
+	c.Mem().WriteBytes(uint32(ScratchBase+ACLRulesOff), buf)
+}
+
+// RefACL is the Go reference model of the acl application.
+func RefACL(pkt []byte, rules []ACLRule) int {
+	if len(pkt) < 20 {
+		return VerdictDrop
+	}
+	src := binary.BigEndian.Uint32(pkt[12:16])
+	for _, r := range rules {
+		if src&r.Mask == r.Prefix {
+			if r.Forward {
+				return VerdictForward
+			}
+			return VerdictDrop
+		}
+	}
+	return VerdictForward
+}

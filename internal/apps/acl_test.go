@@ -1,0 +1,159 @@
+package apps
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+	"sdmmon/internal/packet"
+)
+
+func aclRules() []ACLRule {
+	return []ACLRule{
+		{Prefix: 0x0A000000, Mask: 0xFF000000, Forward: false}, // drop 10.0.0.0/8
+		{Prefix: 0xC0A80100, Mask: 0xFFFFFF00, Forward: true},  // allow 192.168.1.0/24
+		{Prefix: 0xC0A80000, Mask: 0xFFFF0000, Forward: false}, // drop rest of 192.168/16
+	}
+}
+
+func aclPacket(t *testing.T, src uint32) []byte {
+	t.Helper()
+	p := &packet.IPv4{
+		TTL:     9,
+		Proto:   packet.ProtoUDP,
+		Src:     packet.IP(byte(src>>24), byte(src>>16), byte(src>>8), byte(src)),
+		Dst:     packet.IP(8, 8, 8, 8),
+		Payload: (&packet.UDP{SrcPort: 99, DstPort: 53, Payload: []byte("q")}).Marshal(),
+	}
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestACLMatchesReference(t *testing.T) {
+	prog, err := ACL().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := NewCore(prog)
+	rules := aclRules()
+	InstallACLRules(core, rules)
+
+	cases := []uint32{
+		0x0A010203, // 10.1.2.3 -> drop (rule 0)
+		0xC0A80105, // 192.168.1.5 -> forward (rule 1)
+		0xC0A80205, // 192.168.2.5 -> drop (rule 2)
+		0x08080808, // 8.8.8.8 -> default forward
+	}
+	for _, src := range cases {
+		pkt := aclPacket(t, src)
+		res := core.Process(pkt, 0)
+		if res.Exc != nil {
+			t.Fatalf("src %08x: %v", src, res.Exc)
+		}
+		want := RefACL(pkt, rules)
+		if res.Verdict != want {
+			t.Errorf("src %08x: verdict %d, ref %d", src, res.Verdict, want)
+		}
+	}
+}
+
+func TestACLRandomDifferential(t *testing.T) {
+	prog, err := ACL().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := NewCore(prog)
+	rng := rand.New(rand.NewSource(17))
+	var rules []ACLRule
+	for i := 0; i < 8; i++ {
+		maskBits := uint32(8 * (1 + rng.Intn(3)))
+		mask := uint32(0xFFFFFFFF) << (32 - maskBits)
+		rules = append(rules, ACLRule{
+			Prefix:  rng.Uint32() & mask,
+			Mask:    mask,
+			Forward: rng.Intn(2) == 0,
+		})
+	}
+	InstallACLRules(core, rules)
+	for i := 0; i < 300; i++ {
+		src := rng.Uint32()
+		if i%3 == 0 && len(rules) > 0 {
+			// Force rule hits regularly.
+			r := rules[rng.Intn(len(rules))]
+			src = r.Prefix | (rng.Uint32() &^ r.Mask)
+		}
+		pkt := aclPacket(t, src)
+		res := core.Process(pkt, 0)
+		if res.Exc != nil {
+			t.Fatalf("src %08x: %v", src, res.Exc)
+		}
+		if want := RefACL(pkt, rules); res.Verdict != want {
+			t.Fatalf("src %08x: verdict %d, ref %d", src, res.Verdict, want)
+		}
+	}
+}
+
+func TestACLEmptyTableForwardsAll(t *testing.T) {
+	prog, err := ACL().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := NewCore(prog)
+	res := core.Process(aclPacket(t, 0x0A000001), 0)
+	if res.Exc != nil || res.Verdict != VerdictForward {
+		t.Errorf("empty table: verdict=%d exc=%v", res.Verdict, res.Exc)
+	}
+}
+
+func TestACLRuleCapEnforced(t *testing.T) {
+	prog, err := ACL().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := NewCore(prog)
+	many := make([]ACLRule, ACLMaxRules+10)
+	for i := range many {
+		many[i] = ACLRule{Prefix: uint32(i) << 24, Mask: 0xFF000000, Forward: true}
+	}
+	InstallACLRules(core, many)
+	cnt := binary.BigEndian.Uint32(core.Scratch(ACLCountOff, 4))
+	if cnt != ACLMaxRules {
+		t.Errorf("installed %d rules, want cap %d", cnt, ACLMaxRules)
+	}
+}
+
+func TestACLUnderMonitor(t *testing.T) {
+	// The deeper-CFG app must run alarm-free under the monitor across
+	// parameters, including rule-hit and rule-miss paths.
+	prog, err := ACL().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 10; trial++ {
+		h := mhash.NewMerkle(rng.Uint32())
+		g, err := monitor.Extract(prog, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := monitor.New(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core := NewCore(prog)
+		core.Trace = m.Observe
+		InstallACLRules(core, aclRules())
+		for _, src := range []uint32{0x0A010203, 0xC0A80105, 0x08080808} {
+			m.Reset()
+			res := core.Process(aclPacket(t, src), 0)
+			if res.Exc != nil {
+				t.Fatalf("trial %d src %08x: %v", trial, src, res.Exc)
+			}
+		}
+	}
+}

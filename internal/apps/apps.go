@@ -1,0 +1,330 @@
+// Package apps contains the packet-processing applications that run on the
+// simulated PLASMA cores, written in the MIPS assembly dialect of
+// internal/asm. The flagship application is IPv4 forwarding with congestion
+// management ("IPv4+CM", the binary the prototype installs in §4.2) in two
+// variants: the vulnerable one with an unchecked IP-option copy (the attack
+// surface of Chasaki & Wolf that the hardware monitor must catch) and a
+// bounds-checked one.
+//
+// Calling convention between the NP dispatcher (internal/npu) and an app:
+//
+//	$a0 = packet base address (PktBase), $a1 = packet length in bytes,
+//	$a2 = current output-queue depth (for congestion management),
+//	$sp = top of core-private memory.
+//
+// The app returns with break; $v0 holds the verdict: 0 = drop,
+// 1 = forward. Packets are modified in place.
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"sdmmon/internal/asm"
+)
+
+// Memory map shared by the dispatcher and the applications.
+const (
+	// PktBase is where the dispatcher DMA-writes the packet.
+	PktBase = 0x4000
+	// ScratchBase is per-core persistent scratch (counters, tables).
+	ScratchBase = 0x3800
+	// MemSize is the per-core memory size.
+	MemSize = 64 * 1024
+	// StackTop is the initial stack pointer.
+	StackTop = MemSize
+	// CMThreshold is the queue depth above which congestion management
+	// marks packets (ECN CE).
+	CMThreshold = 32
+	// OptBufSize is the on-stack option buffer of the vulnerable app.
+	OptBufSize = 16
+)
+
+// Verdicts returned in $v0.
+const (
+	VerdictDrop    = 0
+	VerdictForward = 1
+)
+
+// App is one packet-processing application.
+type App struct {
+	Name        string
+	Description string
+	Source      string
+	Vulnerable  bool // has the unchecked option copy
+
+	once sync.Once
+	prog *asm.Program
+	err  error
+}
+
+// Program assembles the application (cached).
+func (a *App) Program() (*asm.Program, error) {
+	a.once.Do(func() {
+		a.prog, a.err = asm.Assemble(a.Source)
+		if a.err != nil {
+			a.err = fmt.Errorf("apps: %s: %w", a.Name, a.err)
+		}
+	})
+	return a.prog, a.err
+}
+
+// All returns every built-in application.
+func All() []*App {
+	return []*App{IPv4CM(), IPv4Safe(), UDPEcho(), Counter(), ACL()}
+}
+
+// ByName looks up a built-in application.
+func ByName(name string) (*App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// common header shared by the sources.
+const header = `
+	.equ PKT, 0x4000
+	.equ SCRATCH, 0x3800
+	.equ CM_THRESH, 32
+`
+
+// IPv4CM returns the vulnerable IPv4-forwarding-with-congestion-management
+// application: version check, TTL decrement with incremental checksum
+// update, ECN marking under queue pressure, and an *unchecked* copy of IP
+// options into a 16-byte stack buffer — a stack-smashing surface reachable
+// from the wire.
+func IPv4CM() *App {
+	return &App{
+		Name:        "ipv4cm",
+		Description: "IPv4 forwarding + congestion marking (vulnerable option copy)",
+		Vulnerable:  true,
+		Source: header + `
+	.text 0x0
+main:
+	jal process
+	break                      # $v0 = verdict
+
+# process(a0=pkt, a1=len, a2=qdepth) -> v0
+process:
+	addiu $sp, $sp, -24
+	sw $ra, 20($sp)            # saved ra sits 4 bytes above the 16B buffer
+
+	# -- header validation --
+	slti $t0, $a1, 20          # runt packet?
+	bnez $t0, drop
+	lbu $t0, 0($a0)
+	srl $t1, $t0, 4            # version
+	li  $t2, 4
+	bne $t1, $t2, drop
+	andi $s0, $t0, 0xF         # ihl in words
+	slti $t0, $s0, 5
+	bnez $t0, drop
+
+	# -- TTL --
+	lbu $t3, 8($a0)
+	beqz $t3, drop             # TTL expired
+	addiu $t3, $t3, -1
+	sb $t3, 8($a0)
+
+	# -- incremental checksum update (RFC 1141: TTL -1 adds 0x0100) --
+	lhu $t4, 10($a0)
+	addiu $t4, $t4, 0x100
+	srl $t5, $t4, 16           # fold carry
+	andi $t4, $t4, 0xFFFF
+	addu $t4, $t4, $t5
+	sh $t4, 10($a0)
+
+	# -- congestion management: ECN CE mark under queue pressure --
+	li $t5, CM_THRESH
+	ble $a2, $t5, no_cm
+	lbu $t6, 1($a0)
+	ori $t6, $t6, 0x3
+	sb $t6, 1($a0)
+	# count marked packets in scratch word 0
+	li $t7, SCRATCH
+	lw $t6, 0($t7)
+	addiu $t6, $t6, 1
+	sw $t6, 0($t7)
+no_cm:
+
+	# -- option processing (VULNERABLE: length from header, no clamp) --
+	li $t7, 5
+	ble $s0, $t7, fwd
+	addiu $t8, $s0, -5
+	sll $t8, $t8, 2            # option bytes = (ihl-5)*4, up to 40
+	addiu $t0, $a0, 20         # src = options in packet
+	move $t1, $sp              # dst = 16-byte stack buffer
+	move $t2, $zero
+copy:
+	slt $at, $t2, $t8
+	beqz $at, fwd
+	addu $t3, $t0, $t2
+	lbu $t4, 0($t3)
+	addu $t5, $t1, $t2
+	sb $t4, 0($t5)             # bytes 20..23 clobber the saved $ra
+	addiu $t2, $t2, 1
+	b copy
+
+fwd:
+	li $v0, 1
+	lw $ra, 20($sp)
+	addiu $sp, $sp, 24
+	jr $ra
+drop:
+	li $v0, 0
+	lw $ra, 20($sp)
+	addiu $sp, $sp, 24
+	jr $ra
+`,
+	}
+}
+
+// IPv4Safe returns the bounds-checked variant: identical processing, but
+// the option copy clamps the length to the buffer size.
+func IPv4Safe() *App {
+	return &App{
+		Name:        "ipv4safe",
+		Description: "IPv4 forwarding + congestion marking (bounds-checked)",
+		Source: header + `
+	.text 0x0
+main:
+	jal process
+	break
+
+process:
+	addiu $sp, $sp, -24
+	sw $ra, 20($sp)
+
+	slti $t0, $a1, 20
+	bnez $t0, drop
+	lbu $t0, 0($a0)
+	srl $t1, $t0, 4
+	li  $t2, 4
+	bne $t1, $t2, drop
+	andi $s0, $t0, 0xF
+	slti $t0, $s0, 5
+	bnez $t0, drop
+
+	lbu $t3, 8($a0)
+	beqz $t3, drop
+	addiu $t3, $t3, -1
+	sb $t3, 8($a0)
+
+	lhu $t4, 10($a0)
+	addiu $t4, $t4, 0x100
+	srl $t5, $t4, 16
+	andi $t4, $t4, 0xFFFF
+	addu $t4, $t4, $t5
+	sh $t4, 10($a0)
+
+	li $t5, CM_THRESH
+	ble $a2, $t5, no_cm
+	lbu $t6, 1($a0)
+	ori $t6, $t6, 0x3
+	sb $t6, 1($a0)
+no_cm:
+
+	li $t7, 5
+	ble $s0, $t7, fwd
+	addiu $t8, $s0, -5
+	sll $t8, $t8, 2
+	# clamp to the buffer size: the one-line fix
+	li $t9, 16
+	ble $t8, $t9, clamped
+	move $t8, $t9
+clamped:
+	addiu $t0, $a0, 20
+	move $t1, $sp
+	move $t2, $zero
+copy:
+	slt $at, $t2, $t8
+	beqz $at, fwd
+	addu $t3, $t0, $t2
+	lbu $t4, 0($t3)
+	addu $t5, $t1, $t2
+	sb $t4, 0($t5)
+	addiu $t2, $t2, 1
+	b copy
+
+fwd:
+	li $v0, 1
+	lw $ra, 20($sp)
+	addiu $sp, $sp, 24
+	jr $ra
+drop:
+	li $v0, 0
+	lw $ra, 20($sp)
+	addiu $sp, $sp, 24
+	jr $ra
+`,
+	}
+}
+
+// UDPEcho returns a UDP echo responder: swaps IP addresses and UDP ports of
+// UDP packets, forwards everything else unchanged.
+func UDPEcho() *App {
+	return &App{
+		Name:        "udpecho",
+		Description: "UDP echo: swap IP addresses and UDP ports",
+		Source: header + `
+	.text 0x0
+main:
+	slti $t0, $a1, 28          # IP + UDP minimum
+	bnez $t0, fwd
+	lbu $t0, 9($a0)            # protocol
+	li  $t1, 17
+	bne $t0, $t1, fwd
+
+	# swap src/dst IP (words at 12 and 16)
+	lw $t2, 12($a0)
+	lw $t3, 16($a0)
+	sw $t3, 12($a0)
+	sw $t2, 16($a0)
+
+	# header length -> start of UDP
+	lbu $t4, 0($a0)
+	andi $t4, $t4, 0xF
+	sll $t4, $t4, 2
+	addu $t5, $a0, $t4
+	# swap UDP ports (halfwords at +0 and +2)
+	lhu $t6, 0($t5)
+	lhu $t7, 2($t5)
+	sh $t7, 0($t5)
+	sh $t6, 2($t5)
+fwd:
+	li $v0, 1
+	break
+`,
+	}
+}
+
+// Counter returns a per-protocol packet counter: increments a 64-entry
+// table in scratch memory keyed by (protocol & 0x3F) and forwards.
+func Counter() *App {
+	return &App{
+		Name:        "counter",
+		Description: "per-protocol packet counters in scratch memory",
+		Source: header + `
+	.text 0x0
+main:
+	slti $t0, $a1, 20
+	bnez $t0, drop
+	lbu $t0, 9($a0)            # protocol
+	andi $t0, $t0, 0x3F
+	sll $t0, $t0, 2
+	li $t1, SCRATCH
+	addu $t1, $t1, $t0
+	lw $t2, 0($t1)
+	addiu $t2, $t2, 1
+	sw $t2, 0($t1)
+	li $v0, 1
+	break
+drop:
+	li $v0, 0
+	break
+`,
+	}
+}

@@ -1,0 +1,271 @@
+package apps
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"sdmmon/internal/packet"
+)
+
+func TestAllAppsAssemble(t *testing.T) {
+	for _, a := range All() {
+		p, err := a.Program()
+		if err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+			continue
+		}
+		if len(p.CodeWords()) == 0 {
+			t.Errorf("%s: no code", a.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("ipv4cm")
+	if err != nil || a.Name != "ipv4cm" || !a.Vulnerable {
+		t.Errorf("ByName(ipv4cm) = %v, %v", a, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func benignPacket(t *testing.T, optWords int, ttl uint8) []byte {
+	t.Helper()
+	opts := make([]byte, 4*optWords)
+	for i := range opts {
+		opts[i] = byte(0x40 + i)
+	}
+	p := &packet.IPv4{
+		TOS:     0x10,
+		ID:      7,
+		TTL:     ttl,
+		Proto:   packet.ProtoUDP,
+		Src:     packet.IP(10, 0, 0, 1),
+		Dst:     packet.IP(192, 168, 1, 2),
+		Options: opts,
+		Payload: (&packet.UDP{SrcPort: 5000, DstPort: 53, Payload: []byte("query")}).Marshal(),
+	}
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestIPv4CMMatchesReference(t *testing.T) {
+	for _, app := range []*App{IPv4CM(), IPv4Safe()} {
+		for _, optWords := range []int{0, 1, 2, 3, 4} { // ≤16 bytes: benign range
+			for _, qdepth := range []int{0, 10, 33, 100} {
+				pkt := benignPacket(t, optWords, 17)
+				res, err := RunApp(app, pkt, qdepth)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Exc != nil {
+					t.Fatalf("%s opts=%d: exception %v", app.Name, optWords, res.Exc)
+				}
+				ref := RefIPv4CM(pkt, qdepth)
+				if res.Verdict != ref.Verdict {
+					t.Errorf("%s opts=%d q=%d: verdict %d, ref %d",
+						app.Name, optWords, qdepth, res.Verdict, ref.Verdict)
+				}
+				if !bytes.Equal(res.Packet, ref.Packet) {
+					t.Errorf("%s opts=%d q=%d: packet mismatch\n got % x\n ref % x",
+						app.Name, optWords, qdepth, res.Packet, ref.Packet)
+				}
+			}
+		}
+	}
+}
+
+func TestIPv4CMDropsBadPackets(t *testing.T) {
+	app := IPv4CM()
+	// TTL 0 drops.
+	res, err := RunApp(app, benignPacket(t, 0, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictDrop {
+		t.Error("TTL=0 packet forwarded")
+	}
+	// Version 6 drops.
+	pkt := benignPacket(t, 0, 9)
+	pkt[0] = 0x65
+	res, err = RunApp(app, pkt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictDrop {
+		t.Error("version-6 packet forwarded")
+	}
+	// Runt packet drops.
+	res, err = RunApp(app, []byte{0x45, 0, 0, 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictDrop {
+		t.Error("runt packet forwarded")
+	}
+}
+
+func TestIPv4CMChecksumStaysValid(t *testing.T) {
+	// After TTL decrement + incremental update, the checksum must still
+	// verify.
+	pkt := benignPacket(t, 2, 17)
+	if !packet.ChecksumOK(pkt) {
+		t.Fatal("generator produced bad checksum")
+	}
+	res, err := RunApp(IPv4CM(), pkt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !packet.ChecksumOK(res.Packet) {
+		t.Error("checksum invalid after TTL decrement")
+	}
+	if res.Packet[8] != pkt[8]-1 {
+		t.Error("TTL not decremented")
+	}
+}
+
+func TestCongestionMarking(t *testing.T) {
+	pkt := benignPacket(t, 0, 17)
+	res, err := RunApp(IPv4CM(), pkt, CMThreshold+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packet[1]&0x3 != 0x3 {
+		t.Error("ECN CE not set under queue pressure")
+	}
+	res, err = RunApp(IPv4CM(), pkt, CMThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packet[1]&0x3 != 0 {
+		t.Error("ECN CE set without queue pressure")
+	}
+}
+
+func TestCMCounterPersists(t *testing.T) {
+	prog, err := IPv4CM().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := NewCore(prog)
+	for i := 0; i < 5; i++ {
+		res := core.Process(benignPacket(t, 0, 17), CMThreshold+10)
+		if res.Exc != nil {
+			t.Fatal(res.Exc)
+		}
+	}
+	marked := binary.BigEndian.Uint32(core.Scratch(0, 4))
+	if marked != 5 {
+		t.Errorf("marked counter = %d, want 5", marked)
+	}
+}
+
+func TestUDPEchoMatchesReference(t *testing.T) {
+	pkt := benignPacket(t, 0, 9)
+	res, err := RunApp(UDPEcho(), pkt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exc != nil {
+		t.Fatal(res.Exc)
+	}
+	ref := RefUDPEcho(pkt)
+	if res.Verdict != ref.Verdict || !bytes.Equal(res.Packet, ref.Packet) {
+		t.Errorf("udpecho mismatch\n got % x\n ref % x", res.Packet, ref.Packet)
+	}
+	// Addresses really swapped.
+	if !bytes.Equal(res.Packet[12:16], pkt[16:20]) || !bytes.Equal(res.Packet[16:20], pkt[12:16]) {
+		t.Error("IPs not swapped")
+	}
+}
+
+func TestUDPEchoIgnoresTCP(t *testing.T) {
+	pkt := benignPacket(t, 0, 9)
+	pkt[9] = packet.ProtoTCP
+	res, err := RunApp(UDPEcho(), pkt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Packet, pkt) {
+		t.Error("non-UDP packet modified")
+	}
+}
+
+func TestCounterApp(t *testing.T) {
+	prog, err := Counter().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := NewCore(prog)
+	protos := []uint8{17, 17, 6, 1, 17}
+	for _, proto := range protos {
+		pkt := benignPacket(t, 0, 9)
+		pkt[9] = proto
+		res := core.Process(pkt, 0)
+		if res.Exc != nil {
+			t.Fatal(res.Exc)
+		}
+		if res.Verdict != VerdictForward {
+			t.Error("counter dropped a packet")
+		}
+	}
+	if n := binary.BigEndian.Uint32(core.Scratch(17*4, 4)); n != 3 {
+		t.Errorf("UDP count = %d, want 3", n)
+	}
+	if n := binary.BigEndian.Uint32(core.Scratch(6*4, 4)); n != 1 {
+		t.Errorf("TCP count = %d, want 1", n)
+	}
+	if v, slot := RefCounter(benignPacket(t, 0, 9)); v != VerdictForward || slot != 17 {
+		t.Errorf("RefCounter = %d, %d", v, slot)
+	}
+}
+
+func TestOversizePacketDropped(t *testing.T) {
+	prog, err := Counter().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := NewCore(prog)
+	res := core.Process(make([]byte, MemSize), 0)
+	if res.Verdict != VerdictDrop {
+		t.Error("oversize packet not dropped")
+	}
+}
+
+func TestVulnerableOverflowSmashesStackWithoutMonitor(t *testing.T) {
+	// The raw vulnerability, no monitor attached: a 40-byte option field
+	// overruns the 16-byte buffer and clobbers the saved return address.
+	// With garbage bytes the core wanders off and faults; the app must
+	// *not* complete normally.
+	opts := make([]byte, 40)
+	for i := range opts {
+		opts[i] = 0xEE
+	}
+	p := &packet.IPv4{TTL: 9, Proto: packet.ProtoUDP,
+		Src: packet.IP(1, 2, 3, 4), Dst: packet.IP(5, 6, 7, 8),
+		Options: opts, Payload: []byte("xx")}
+	pkt, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunApp(IPv4CM(), pkt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exc == nil && res.Verdict == VerdictForward {
+		t.Error("stack smash completed as a normal forward")
+	}
+	// The safe variant shrugs it off.
+	res, err = RunApp(IPv4Safe(), pkt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exc != nil || res.Verdict != VerdictForward {
+		t.Errorf("safe variant: exc=%v verdict=%d", res.Exc, res.Verdict)
+	}
+}

@@ -1,0 +1,93 @@
+package apps
+
+import (
+	"fmt"
+
+	"sdmmon/internal/asm"
+	"sdmmon/internal/cpu"
+	"sdmmon/internal/isa"
+)
+
+// Core is a single NP core with a loaded application, retaining scratch
+// state across packets. The multicore dispatcher in internal/npu composes
+// these; the helper is also used directly by tests and examples.
+type Core struct {
+	prog *asm.Program
+	mem  *cpu.Memory
+	cpu  *cpu.CPU
+	// Trace, if set, is attached to the core for every packet (monitor
+	// port).
+	Trace cpu.TraceFunc
+	// MaxCyclesPerPacket is the watchdog budget (default 200k).
+	MaxCyclesPerPacket uint64
+}
+
+// NewCore loads prog into a fresh core.
+func NewCore(prog *asm.Program) *Core {
+	mem := cpu.NewMemory(MemSize)
+	prog.LoadInto(mem)
+	return &Core{
+		prog:               prog,
+		mem:                mem,
+		cpu:                cpu.New(mem, prog.Entry),
+		MaxCyclesPerPacket: 200_000,
+	}
+}
+
+// PacketResult is the outcome of processing one packet.
+type PacketResult struct {
+	Verdict int
+	Packet  []byte // packet bytes after processing
+	Cycles  uint64
+	Exc     *cpu.Exception // nil on clean completion
+}
+
+// Process runs the loaded application over one packet. The core is reset
+// (registers, PC) per packet — the recovery model of §2.1 — but memory
+// persists so scratch state survives.
+func (c *Core) Process(pkt []byte, qdepth int) PacketResult {
+	if len(pkt) > MemSize-PktBase {
+		return PacketResult{Verdict: VerdictDrop, Packet: pkt}
+	}
+	c.cpu.Reset(c.prog.Entry)
+	c.cpu.Trace = c.Trace
+	// DMA the packet in. The buffer is not scrubbed beyond the packet:
+	// stale bytes from prior packets remain, as in real packet memory.
+	c.mem.WriteBytes(PktBase, pkt)
+	c.cpu.Regs[isa.RegA0] = PktBase
+	c.cpu.Regs[isa.RegA1] = uint32(len(pkt))
+	c.cpu.Regs[isa.RegA2] = uint32(qdepth)
+	c.cpu.Regs[isa.RegSP] = StackTop
+
+	cycles, exc := c.cpu.Run(c.MaxCyclesPerPacket)
+	out := c.mem.ReadBytes(PktBase, len(pkt))
+	verdict := int(c.cpu.Regs[isa.RegV0])
+	if exc != nil {
+		verdict = VerdictDrop // recovery drops the attack packet
+	}
+	return PacketResult{Verdict: verdict, Packet: out, Cycles: cycles, Exc: exc}
+}
+
+// Scratch reads n bytes of the core's scratch region.
+func (c *Core) Scratch(off, n int) []byte {
+	return c.mem.ReadBytes(uint32(ScratchBase+off), n)
+}
+
+// CPU exposes the underlying core for diagnostics.
+func (c *Core) CPU() *cpu.CPU { return c.cpu }
+
+// Mem exposes the core memory (tests, attack staging).
+func (c *Core) Mem() *cpu.Memory { return c.mem }
+
+// RunApp is a one-shot convenience: assemble, load, process a single
+// packet.
+func RunApp(a *App, pkt []byte, qdepth int) (PacketResult, error) {
+	prog, err := a.Program()
+	if err != nil {
+		return PacketResult{}, err
+	}
+	if prog.Entry != 0 && !prog.IsCode(prog.Entry) {
+		return PacketResult{}, fmt.Errorf("apps: %s: bad entry", a.Name)
+	}
+	return NewCore(prog).Process(pkt, qdepth), nil
+}

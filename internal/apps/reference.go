@@ -1,0 +1,73 @@
+package apps
+
+import "encoding/binary"
+
+// This file holds Go reference models of the applications, used for
+// differential testing against the assembly running on the simulated core:
+// same packet in, same verdict and packet bytes out.
+
+// RefResult is the reference model outcome.
+type RefResult struct {
+	Verdict int
+	Packet  []byte // packet after in-place modification
+}
+
+// RefIPv4CM models ipv4cm/ipv4safe on a *benign* packet (options within the
+// buffer for the vulnerable variant — beyond it the assembly's behaviour is
+// the bug under study, not a function to model).
+func RefIPv4CM(pkt []byte, qdepth int) RefResult {
+	out := append([]byte(nil), pkt...)
+	if len(out) < 20 {
+		return RefResult{VerdictDrop, out}
+	}
+	if out[0]>>4 != 4 {
+		return RefResult{VerdictDrop, out}
+	}
+	ihl := int(out[0] & 0xF)
+	if ihl < 5 {
+		return RefResult{VerdictDrop, out}
+	}
+	if out[8] == 0 {
+		return RefResult{VerdictDrop, out}
+	}
+	out[8]--
+	// Incremental checksum per RFC 1141 (as the assembly implements it).
+	cs := binary.BigEndian.Uint16(out[10:])
+	v := uint32(cs) + 0x100
+	v = v&0xFFFF + v>>16
+	binary.BigEndian.PutUint16(out[10:], uint16(v))
+	if qdepth > CMThreshold {
+		out[1] |= 0x3
+	}
+	return RefResult{VerdictForward, out}
+}
+
+// RefUDPEcho models udpecho.
+func RefUDPEcho(pkt []byte) RefResult {
+	out := append([]byte(nil), pkt...)
+	if len(out) < 28 || out[9] != 17 {
+		return RefResult{VerdictForward, out}
+	}
+	var src, dst [4]byte
+	copy(src[:], out[12:16])
+	copy(dst[:], out[16:20])
+	copy(out[12:16], dst[:])
+	copy(out[16:20], src[:])
+	ihl := int(out[0]&0xF) * 4
+	if ihl+4 <= len(out) {
+		sp := binary.BigEndian.Uint16(out[ihl:])
+		dp := binary.BigEndian.Uint16(out[ihl+2:])
+		binary.BigEndian.PutUint16(out[ihl:], dp)
+		binary.BigEndian.PutUint16(out[ihl+2:], sp)
+	}
+	return RefResult{VerdictForward, out}
+}
+
+// RefCounter models counter: returns the verdict and the scratch table
+// index it increments (-1 for drop).
+func RefCounter(pkt []byte) (verdict, slot int) {
+	if len(pkt) < 20 {
+		return VerdictDrop, -1
+	}
+	return VerdictForward, int(pkt[9] & 0x3F)
+}

@@ -1,0 +1,601 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"sdmmon/internal/isa"
+)
+
+// Error is an assembly error annotated with the source line that caused it.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// Assemble translates MIPS assembly source into a Program. The dialect:
+//
+//	label:  mnemonic op1, op2, op3    # comment
+//
+// Directives: .text [addr], .data [addr], .org addr, .align n, .space n,
+// .word e[, e...], .half ..., .byte ..., .ascii "s", .asciiz "s",
+// .equ name, value, .globl name (accepted, ignored).
+//
+// Pseudo-instructions: nop, li, la, move, b, beqz, bnez, blt/bgt/ble/bge
+// (+u), not, neg, push, pop, call, ret, halt (break).
+//
+// The entry point is the symbol "main" if defined, otherwise the first code
+// address.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		symbols: map[string]uint32{},
+		equs:    map[string]uint32{},
+	}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	if err := a.layout(); err != nil {
+		return nil, err
+	}
+	if err := a.encode(); err != nil {
+		return nil, err
+	}
+	return a.finish()
+}
+
+// MustAssemble is Assemble but panics on error; used for the built-in
+// applications whose sources are compile-time constants.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type stmtKind int
+
+const (
+	stInstr stmtKind = iota
+	stDirective
+)
+
+type stmt struct {
+	line     int
+	kind     stmtKind
+	labels   []string
+	mnemonic string   // lower-cased instruction or directive (with '.')
+	ops      []string // raw operand strings
+	addr     uint32   // assigned in layout
+	size     uint32   // bytes occupied, assigned in layout
+	code     bool     // belongs to a code region
+}
+
+type assembler struct {
+	stmts   []stmt
+	symbols map[string]uint32 // labels
+	equs    map[string]uint32 // .equ constants
+	segs    []Segment
+}
+
+// --- Pass 0: parse lines into statements -------------------------------
+
+func (a *assembler) parse(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		s := stripComment(raw)
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		// Peel off leading labels.
+		var labels []string
+		for {
+			idx := strings.Index(s, ":")
+			if idx < 0 {
+				break
+			}
+			cand := strings.TrimSpace(s[:idx])
+			if !isIdent(cand) {
+				break
+			}
+			labels = append(labels, cand)
+			s = strings.TrimSpace(s[idx+1:])
+		}
+		if s == "" {
+			if len(labels) > 0 {
+				a.stmts = append(a.stmts, stmt{line: line, kind: stInstr, labels: labels, mnemonic: "", size: 0})
+			}
+			continue
+		}
+		mn, rest := splitMnemonic(s)
+		mn = strings.ToLower(mn)
+		st := stmt{line: line, labels: labels, mnemonic: mn, ops: splitOperands(rest)}
+		if strings.HasPrefix(mn, ".") {
+			st.kind = stDirective
+		}
+		a.stmts = append(a.stmts, st)
+	}
+	return nil
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '"' {
+			inStr = !inStr
+			continue
+		}
+		if inStr {
+			if c == '\\' {
+				i++
+			}
+			continue
+		}
+		if c == '#' || c == ';' {
+			return s[:i]
+		}
+		if c == '/' && i+1 < len(s) && s[i+1] == '/' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitMnemonic(s string) (mn, rest string) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			return s[:i], strings.TrimSpace(s[i:])
+		}
+	}
+	return s, ""
+}
+
+// splitOperands splits on commas at top level (not inside quoted strings or
+// parentheses).
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth, inStr, start := 0, false, 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+// --- Pass 1: layout (assign addresses, define symbols) ------------------
+
+func (a *assembler) layout() error {
+	lc := uint32(0)
+	code := true
+	dataNext := uint32(0) // running high-water mark for implicit .data
+	hiWater := func() uint32 {
+		if lc > dataNext {
+			return lc
+		}
+		return dataNext
+	}
+	for i := range a.stmts {
+		st := &a.stmts[i]
+		st.addr = lc
+		st.code = code
+
+		if st.kind == stDirective {
+			switch st.mnemonic {
+			case ".equ":
+				if len(st.ops) != 2 {
+					return a.errf(st, ".equ needs name, value")
+				}
+				v, err := a.eval(st.ops[1], st, false)
+				if err != nil {
+					return err
+				}
+				a.equs[st.ops[0]] = v
+				a.defineLabels(st, lc)
+				continue
+			case ".text":
+				if len(st.ops) == 1 {
+					v, err := a.eval(st.ops[0], st, false)
+					if err != nil {
+						return err
+					}
+					if v > MaxAddress {
+						return a.errf(st, "address 0x%x exceeds the cap", v)
+					}
+					lc = v
+				}
+				code = true
+				st.addr, st.code = lc, code
+				a.defineLabels(st, lc)
+				continue
+			case ".data":
+				dataNext = hiWater()
+				if len(st.ops) == 1 {
+					v, err := a.eval(st.ops[0], st, false)
+					if err != nil {
+						return err
+					}
+					if v > MaxAddress {
+						return a.errf(st, "address 0x%x exceeds the cap", v)
+					}
+					lc = v
+				} else {
+					lc = align4(dataNext)
+				}
+				code = false
+				st.addr, st.code = lc, code
+				a.defineLabels(st, lc)
+				continue
+			case ".org":
+				if len(st.ops) != 1 {
+					return a.errf(st, ".org needs an address")
+				}
+				v, err := a.eval(st.ops[0], st, false)
+				if err != nil {
+					return err
+				}
+				if v > MaxAddress {
+					return a.errf(st, "address 0x%x exceeds the cap", v)
+				}
+				lc = v
+				st.addr = lc
+				a.defineLabels(st, lc)
+				continue
+			case ".align":
+				if len(st.ops) != 1 {
+					return a.errf(st, ".align needs a power")
+				}
+				v, err := a.eval(st.ops[0], st, false)
+				if err != nil {
+					return err
+				}
+				mask := (uint32(1) << v) - 1
+				old := lc
+				lc = (lc + mask) &^ mask
+				st.addr, st.size = old, lc-old
+				a.defineLabels(st, lc)
+				continue
+			case ".globl", ".global", ".ent", ".end", ".set":
+				a.defineLabels(st, lc)
+				continue
+			}
+		}
+
+		a.defineLabels(st, lc)
+		sz, err := a.sizeOf(st)
+		if err != nil {
+			return err
+		}
+		st.size = sz
+		lc += sz
+		if lc > MaxAddress {
+			return a.errf(st, "program exceeds the %d-byte address cap", MaxAddress)
+		}
+	}
+	return nil
+}
+
+func (a *assembler) defineLabels(st *stmt, at uint32) {
+	for _, l := range st.labels {
+		a.symbols[l] = at
+	}
+}
+
+func align4(v uint32) uint32 { return (v + 3) &^ 3 }
+
+// sizeOf returns the byte size a statement occupies.
+func (a *assembler) sizeOf(st *stmt) (uint32, error) {
+	if st.mnemonic == "" {
+		return 0, nil
+	}
+	if st.kind == stDirective {
+		switch st.mnemonic {
+		case ".word", ".half", ".byte":
+			if len(st.ops) == 0 {
+				return 0, a.errf(st, "%s needs at least one value", st.mnemonic)
+			}
+			switch st.mnemonic {
+			case ".word":
+				return uint32(4 * len(st.ops)), nil
+			case ".half":
+				return uint32(2 * len(st.ops)), nil
+			}
+			return uint32(len(st.ops)), nil
+		case ".space":
+			v, err := a.eval(st.ops[0], st, false)
+			return v, err
+		case ".ascii", ".asciiz":
+			if len(st.ops) != 1 {
+				return 0, a.errf(st, "%s needs one string", st.mnemonic)
+			}
+			s, err := parseString(st.ops[0])
+			if err != nil {
+				return 0, a.errf(st, "%v", err)
+			}
+			n := uint32(len(s))
+			if st.mnemonic == ".asciiz" {
+				n++
+			}
+			return n, nil
+		}
+		return 0, a.errf(st, "unknown directive %q", st.mnemonic)
+	}
+	// Instructions: everything is 4 bytes except multi-word pseudos.
+	switch st.mnemonic {
+	case "la":
+		return 8, nil
+	case "li":
+		if len(st.ops) != 2 {
+			return 0, a.errf(st, "li needs rt, imm")
+		}
+		v, err := a.eval(st.ops[1], st, false)
+		if err != nil {
+			return 0, a.errf(st, "li needs a constant known at its point of use (use la for addresses)")
+		}
+		if int32(v) >= -32768 && int32(v) <= 32767 {
+			return 4, nil
+		}
+		if v <= 0xFFFF {
+			return 4, nil
+		}
+		return 8, nil
+	case "blt", "bgt", "ble", "bge", "bltu", "bgtu", "bleu", "bgeu":
+		return 8, nil
+	case "push", "pop":
+		return 8, nil
+	}
+	return 4, nil
+}
+
+// --- Pass 2: encode ------------------------------------------------------
+
+type chunk struct {
+	addr uint32
+	data []byte
+	code bool
+}
+
+func (a *assembler) encode() error {
+	var chunks []chunk
+	emit := func(st *stmt, data []byte) {
+		chunks = append(chunks, chunk{addr: st.addr, data: data, code: st.code})
+	}
+	emitWords := func(st *stmt, ws ...isa.Word) {
+		data := make([]byte, 4*len(ws))
+		for i, w := range ws {
+			putBE32(data[4*i:], uint32(w))
+		}
+		emit(st, data)
+	}
+
+	for i := range a.stmts {
+		st := &a.stmts[i]
+		if st.mnemonic == "" {
+			continue
+		}
+		if st.kind == stDirective {
+			switch st.mnemonic {
+			case ".equ", ".text", ".data", ".org", ".globl", ".global", ".ent", ".end", ".set":
+				continue
+			case ".align":
+				if st.size > 0 {
+					emit(st, make([]byte, st.size))
+				}
+				continue
+			case ".space":
+				emit(st, make([]byte, st.size))
+				continue
+			case ".word":
+				data := make([]byte, 4*len(st.ops))
+				for j, op := range st.ops {
+					v, err := a.eval(op, st, true)
+					if err != nil {
+						return err
+					}
+					putBE32(data[4*j:], v)
+				}
+				emit(st, data)
+				continue
+			case ".half":
+				data := make([]byte, 2*len(st.ops))
+				for j, op := range st.ops {
+					v, err := a.eval(op, st, true)
+					if err != nil {
+						return err
+					}
+					data[2*j] = byte(v >> 8)
+					data[2*j+1] = byte(v)
+				}
+				emit(st, data)
+				continue
+			case ".byte":
+				data := make([]byte, len(st.ops))
+				for j, op := range st.ops {
+					v, err := a.eval(op, st, true)
+					if err != nil {
+						return err
+					}
+					data[j] = byte(v)
+				}
+				emit(st, data)
+				continue
+			case ".ascii", ".asciiz":
+				s, err := parseString(st.ops[0])
+				if err != nil {
+					return a.errf(st, "%v", err)
+				}
+				if st.mnemonic == ".asciiz" {
+					s = append(s, 0)
+				}
+				emit(st, s)
+				continue
+			}
+		}
+		ws, err := a.encodeInstr(st)
+		if err != nil {
+			return err
+		}
+		if uint32(4*len(ws)) != st.size {
+			return a.errf(st, "internal: size mismatch for %q (%d != %d)", st.mnemonic, 4*len(ws), st.size)
+		}
+		emitWords(st, ws...)
+	}
+
+	// Merge chunks into segments.
+	a.segs = mergeChunks(chunks)
+	return nil
+}
+
+func mergeChunks(chunks []chunk) []Segment {
+	var nonEmpty []chunk
+	for _, c := range chunks {
+		if len(c.data) > 0 {
+			nonEmpty = append(nonEmpty, c)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return nil
+	}
+	// Stable sort by address (layout already emits in address order per
+	// region, but .org can jump around).
+	for i := 1; i < len(nonEmpty); i++ {
+		for j := i; j > 0 && nonEmpty[j].addr < nonEmpty[j-1].addr; j-- {
+			nonEmpty[j], nonEmpty[j-1] = nonEmpty[j-1], nonEmpty[j]
+		}
+	}
+	var segs []Segment
+	cur := Segment{Addr: nonEmpty[0].addr, Code: nonEmpty[0].code}
+	cur.Data = append(cur.Data, nonEmpty[0].data...)
+	for _, c := range nonEmpty[1:] {
+		if c.addr == cur.Addr+uint32(len(cur.Data)) && c.code == cur.Code {
+			cur.Data = append(cur.Data, c.data...)
+			continue
+		}
+		segs = append(segs, cur)
+		cur = Segment{Addr: c.addr, Code: c.code, Data: append([]byte(nil), c.data...)}
+	}
+	segs = append(segs, cur)
+	return segs
+}
+
+func (a *assembler) finish() (*Program, error) {
+	p := &Program{Segments: a.segs, Symbols: a.symbols}
+	if e, ok := a.symbols["main"]; ok {
+		p.Entry = e
+	} else {
+		for _, s := range a.segs {
+			if s.Code {
+				p.Entry = s.Addr
+				break
+			}
+		}
+	}
+	// Overlap check.
+	for i := 0; i < len(a.segs); i++ {
+		for j := i + 1; j < len(a.segs); j++ {
+			aSeg, bSeg := a.segs[i], a.segs[j]
+			aEnd := aSeg.Addr + uint32(len(aSeg.Data))
+			bEnd := bSeg.Addr + uint32(len(bSeg.Data))
+			if aSeg.Addr < bEnd && bSeg.Addr < aEnd {
+				return nil, fmt.Errorf("asm: overlapping segments at 0x%x and 0x%x", aSeg.Addr, bSeg.Addr)
+			}
+		}
+	}
+	return p, nil
+}
+
+func putBE32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+// --- Expression evaluation ----------------------------------------------
+
+// eval resolves an operand expression (full precedence with parentheses;
+// see internal/asm/expr.go for the grammar).
+func (a *assembler) eval(expr string, st *stmt, labels bool) (uint32, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return 0, a.errf(st, "empty expression")
+	}
+	return a.evalExpr(expr, st, labels)
+}
+
+func parseString(op string) ([]byte, error) {
+	op = strings.TrimSpace(op)
+	if len(op) < 2 || op[0] != '"' || op[len(op)-1] != '"' {
+		return nil, fmt.Errorf("expected quoted string, got %q", op)
+	}
+	body := op[1 : len(op)-1]
+	var out []byte
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return nil, fmt.Errorf("trailing backslash in string")
+		}
+		switch body[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case '0':
+			out = append(out, 0)
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		default:
+			return nil, fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return out, nil
+}
+
+func (a *assembler) errf(st *stmt, format string, args ...interface{}) error {
+	return &Error{Line: st.line, Msg: fmt.Sprintf(format, args...)}
+}

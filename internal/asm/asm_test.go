@@ -1,0 +1,405 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"sdmmon/internal/isa"
+)
+
+func mustAsm(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicEncoding(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x0
+	main:
+		addu $v0, $a0, $a1
+		addiu $sp, $sp, -8
+		ori $t0, $zero, 0xbeef
+		lw  $t1, 4($sp)
+		sw  $t1, 0($sp)
+		jr  $ra
+	`)
+	words := p.CodeWords()
+	if len(words) != 6 {
+		t.Fatalf("got %d words, want 6", len(words))
+	}
+	want := []isa.Word{
+		isa.EncodeR(isa.FnADDU, isa.RegA0, isa.RegA1, isa.RegV0, 0),
+		isa.EncodeI(isa.OpADDIU, isa.RegSP, isa.RegSP, 0xFFF8),
+		isa.EncodeI(isa.OpORI, isa.RegZero, isa.RegT0, 0xBEEF),
+		isa.EncodeI(isa.OpLW, isa.RegSP, isa.RegT1, 4),
+		isa.EncodeI(isa.OpSW, isa.RegSP, isa.RegT1, 0),
+		isa.EncodeR(isa.FnJR, isa.RegRA, 0, 0, 0),
+	}
+	for i, w := range want {
+		if words[i].W != w {
+			t.Errorf("word %d = %08x (%s), want %08x (%s)", i,
+				uint32(words[i].W), isa.Disasm(words[i].Addr, words[i].W),
+				uint32(w), isa.Disasm(words[i].Addr, w))
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x100
+	main:
+		beq $t0, $t1, done
+		addiu $t0, $t0, 1
+		b main
+	done:
+		jr $ra
+	`)
+	ws := p.CodeWords()
+	// beq at 0x100 targets done at 0x10C: offset = (0x10C-0x104)/4 = 2.
+	if ws[0].W != isa.EncodeI(isa.OpBEQ, isa.RegT0, isa.RegT1, 2) {
+		t.Errorf("beq encoded %08x", uint32(ws[0].W))
+	}
+	// b at 0x108 targets main at 0x100: offset = (0x100-0x10C)/4 = -3.
+	if ws[2].W != isa.EncodeI(isa.OpBEQ, 0, 0, 0xFFFD) {
+		t.Errorf("b encoded %08x", uint32(ws[2].W))
+	}
+	if p.Entry != 0x100 {
+		t.Errorf("entry = %#x, want 0x100", p.Entry)
+	}
+}
+
+func TestJumpEncoding(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x400
+	main:
+		jal func
+		break
+	func:
+		jr $ra
+	`)
+	ws := p.CodeWords()
+	if got := isa.JumpTarget(0x400, ws[0].W); got != 0x408 {
+		t.Errorf("jal target = %#x, want 0x408", got)
+	}
+}
+
+func TestPseudoLI(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x0
+	main:
+		li $t0, 42
+		li $t1, -7
+		li $t2, 0xFFFF
+		li $t3, 0x12345678
+		break
+	`)
+	ws := p.CodeWords()
+	if len(ws) != 6 {
+		t.Fatalf("got %d words, want 6 (li large = 2 words)", len(ws))
+	}
+	if ws[0].W != isa.EncodeI(isa.OpADDIU, 0, isa.RegT0, 42) {
+		t.Errorf("li small = %08x", uint32(ws[0].W))
+	}
+	if ws[1].W != isa.EncodeI(isa.OpADDIU, 0, isa.RegT1, 0xFFF9) {
+		t.Errorf("li negative = %08x", uint32(ws[1].W))
+	}
+	if ws[2].W != isa.EncodeI(isa.OpORI, 0, isa.RegT2, 0xFFFF) {
+		t.Errorf("li 0xFFFF = %08x", uint32(ws[2].W))
+	}
+	if ws[3].W != isa.EncodeI(isa.OpLUI, 0, isa.RegT3, 0x1234) ||
+		ws[4].W != isa.EncodeI(isa.OpORI, isa.RegT3, isa.RegT3, 0x5678) {
+		t.Errorf("li large = %08x %08x", uint32(ws[3].W), uint32(ws[4].W))
+	}
+}
+
+func TestPseudoLA(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x0
+	main:
+		la $t0, buf
+		break
+		.data 0x340004
+	buf:
+		.word 1
+	`)
+	ws := p.CodeWords()
+	if ws[0].W != isa.EncodeI(isa.OpLUI, 0, isa.RegT0, 0x0034) ||
+		ws[1].W != isa.EncodeI(isa.OpORI, isa.RegT0, isa.RegT0, 0x0004) {
+		t.Errorf("la = %08x %08x", uint32(ws[0].W), uint32(ws[1].W))
+	}
+}
+
+func TestPseudoCmpBranches(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x0
+	main:
+		blt $t0, $t1, out
+		bge $t0, $t1, out
+		bgtu $t0, $t1, out
+	out:
+		break
+	`)
+	ws := p.CodeWords()
+	// blt: slt $at, $t0, $t1 ; bne $at, $zero, out
+	if ws[0].W != isa.EncodeR(isa.FnSLT, isa.RegT0, isa.RegT1, isa.RegAT, 0) {
+		t.Errorf("blt slt = %s", isa.Disasm(0, ws[0].W))
+	}
+	if ws[1].W.Op() != isa.OpBNE {
+		t.Errorf("blt branch = %s", isa.Disasm(4, ws[1].W))
+	}
+	// Branch offset from 0x4 to out=0x18: (0x18-0x8)/4 = 4.
+	if ws[1].W.SImm() != 4 {
+		t.Errorf("blt offset = %d, want 4", ws[1].W.SImm())
+	}
+	// bge uses beq on the slt result.
+	if ws[3].W.Op() != isa.OpBEQ {
+		t.Errorf("bge branch = %s", isa.Disasm(12, ws[3].W))
+	}
+	// bgtu: sltu $at, $t1, $t0 ; bne
+	if ws[4].W != isa.EncodeR(isa.FnSLTU, isa.RegT1, isa.RegT0, isa.RegAT, 0) {
+		t.Errorf("bgtu sltu = %s", isa.Disasm(16, ws[4].W))
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x0
+	main:
+		break
+		.data 0x1000
+	w:	.word 0xDEADBEEF, 2
+	h:	.half 0x1234
+	b:	.byte 1, 2, 3
+	s:	.asciiz "hi\n"
+		.align 2
+	e:	.space 8
+	`)
+	if p.Symbols["w"] != 0x1000 || p.Symbols["h"] != 0x1008 || p.Symbols["b"] != 0x100A {
+		t.Errorf("data symbols: w=%#x h=%#x b=%#x", p.Symbols["w"], p.Symbols["h"], p.Symbols["b"])
+	}
+	if p.Symbols["s"] != 0x100D {
+		t.Errorf("s = %#x, want 0x100D", p.Symbols["s"])
+	}
+	// s is 4 bytes ("hi\n\0"), so next free is 0x1011, aligned to 0x1014.
+	if p.Symbols["e"] != 0x1014 {
+		t.Errorf("e = %#x, want 0x1014", p.Symbols["e"])
+	}
+	img, base := p.Image()
+	if base != 0 {
+		t.Fatalf("base = %#x", base)
+	}
+	if img[0x1000] != 0xDE || img[0x1001] != 0xAD || img[0x1002] != 0xBE || img[0x1003] != 0xEF {
+		t.Errorf(".word not big-endian: % x", img[0x1000:0x1004])
+	}
+	if string(img[0x100D:0x1011]) != "hi\n\x00" {
+		t.Errorf("asciiz = %q", img[0x100D:0x1011])
+	}
+}
+
+func TestEquConstants(t *testing.T) {
+	p := mustAsm(t, `
+		.equ BUFSZ, 64
+		.equ PORT, 0x2000
+		.text 0x0
+	main:
+		li $t0, BUFSZ
+		li $t1, PORT+4
+		break
+	`)
+	ws := p.CodeWords()
+	if ws[0].W != isa.EncodeI(isa.OpADDIU, 0, isa.RegT0, 64) {
+		t.Errorf("equ use = %s", isa.Disasm(0, ws[0].W))
+	}
+	if ws[1].W != isa.EncodeI(isa.OpADDIU, 0, isa.RegT1, 0x2004) {
+		t.Errorf("equ expr = %s", isa.Disasm(4, ws[1].W))
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x0
+	main:
+		push $ra
+		pop $ra
+		break
+	`)
+	ws := p.CodeWords()
+	if ws[0].W != isa.EncodeI(isa.OpADDIU, isa.RegSP, isa.RegSP, 0xFFFC) ||
+		ws[1].W != isa.EncodeI(isa.OpSW, isa.RegSP, isa.RegRA, 0) {
+		t.Error("push expansion wrong")
+	}
+	if ws[2].W != isa.EncodeI(isa.OpLW, isa.RegSP, isa.RegRA, 0) ||
+		ws[3].W != isa.EncodeI(isa.OpADDIU, isa.RegSP, isa.RegSP, 4) {
+		t.Error("pop expansion wrong")
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x0          # hash comment
+	main:                      ; semicolon comment
+		nop                // slash comment
+		break
+	`)
+	if len(p.CodeWords()) != 2 {
+		t.Errorf("got %d words, want 2", len(p.CodeWords()))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"bogus $t0, $t1", "unknown mnemonic"},
+		{"addi $t0, $t1, 70000", "out of signed"},
+		{"andi $t0, $t1, 0x10000", "out of unsigned"},
+		{"lw $t0, 4", "bad memory operand"},
+		{"add $t0, $t1", "needs rd, rs, rt"},
+		{"beq $t0, $t1, nowhere", "undefined symbol"},
+		{"add $t0, $t1, $zz", "bad register"},
+		{".word", "at least one value"},
+		{".asciiz hi", "quoted string"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(".text 0x0\n" + c.src + "\n")
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestOverlapDetected(t *testing.T) {
+	_, err := Assemble(`
+		.text 0x0
+	main:
+		nop
+		nop
+		.data 0x4
+		.word 1
+	`)
+	if err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("overlap not detected: %v", err)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x100
+	main:
+		li $t0, 5
+	loop:
+		addiu $t0, $t0, -1
+		bnez $t0, loop
+		break
+		.data 0x1000
+	tbl:	.word 1, 2, 3
+	`)
+	b := p.Serialize()
+	q, err := Deserialize(b)
+	if err != nil {
+		t.Fatalf("Deserialize: %v", err)
+	}
+	if q.Entry != p.Entry {
+		t.Errorf("entry %#x != %#x", q.Entry, p.Entry)
+	}
+	if len(q.Segments) != len(p.Segments) {
+		t.Fatalf("segments %d != %d", len(q.Segments), len(p.Segments))
+	}
+	for i := range p.Segments {
+		a, b := p.Segments[i], q.Segments[i]
+		if a.Addr != b.Addr || a.Code != b.Code || string(a.Data) != string(b.Data) {
+			t.Errorf("segment %d mismatch", i)
+		}
+	}
+}
+
+func TestDeserializeErrors(t *testing.T) {
+	if _, err := Deserialize([]byte("nope")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	p := mustAsm(t, ".text 0x0\nmain:\nbreak\n")
+	b := p.Serialize()
+	if _, err := Deserialize(b[:len(b)-1]); err == nil {
+		t.Error("truncated program accepted")
+	}
+	if _, err := Deserialize(append(b, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestDisasmRoundTrip(t *testing.T) {
+	// Every non-branch instruction the disassembler emits should
+	// re-assemble to the identical word.
+	p := mustAsm(t, `
+		.text 0x0
+	main:
+		addu $v0, $a0, $a1
+		sub $t0, $t1, $t2
+		and $t3, $t4, $t5
+		nor $s0, $s1, $s2
+		sll $t0, $t1, 7
+		srav $t0, $t1, $t2
+		mult $a0, $a1
+		mfhi $t0
+		addiu $sp, $sp, -64
+		ori $t0, $zero, 0xffff
+		lui $gp, 0x1000
+		lw $t0, 12($sp)
+		sb $t1, -3($a0)
+		jr $ra
+		syscall
+		break
+	`)
+	for _, cw := range p.CodeWords() {
+		text := isa.Disasm(cw.Addr, cw.W)
+		q, err := Assemble(".text 0x0\nmain:\n" + text + "\n")
+		if err != nil {
+			t.Errorf("%q does not re-assemble: %v", text, err)
+			continue
+		}
+		if got := q.CodeWords()[0].W; got != cw.W {
+			t.Errorf("%q round-trips to %08x, want %08x", text, uint32(got), uint32(cw.W))
+		}
+	}
+}
+
+func TestCodeWordHelpers(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x10
+	main:
+		nop
+		break
+		.data 0x100
+	d:	.word 7
+	`)
+	if w, ok := p.WordAt(0x10); !ok || w != isa.NOP {
+		t.Error("WordAt(0x10) failed")
+	}
+	if _, ok := p.WordAt(0x100); ok {
+		t.Error("WordAt on data segment should fail")
+	}
+	if !p.IsCode(0x14) || p.IsCode(0x100) || p.IsCode(0x5000) {
+		t.Error("IsCode misclassifies")
+	}
+	if p.Size() != 12 {
+		t.Errorf("Size = %d, want 12", p.Size())
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bogus instruction here")
+}

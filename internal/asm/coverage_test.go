@@ -1,0 +1,159 @@
+package asm
+
+import (
+	"testing"
+
+	"sdmmon/internal/isa"
+)
+
+func TestImplicitDataSection(t *testing.T) {
+	// .data without an address continues, word-aligned, after the text.
+	p := mustAsm(t, `
+		.text 0x0
+	main:
+		nop
+		nop
+		break
+		.data
+	v:	.word 42
+	`)
+	if p.Symbols["v"] != 12 {
+		t.Errorf("implicit .data placed v at %#x, want 0xC", p.Symbols["v"])
+	}
+	img, _ := p.Image()
+	if img[12] != 0 || img[15] != 42 {
+		t.Errorf("word at v = % x", img[12:16])
+	}
+}
+
+func TestRegisterPseudoOps(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x0
+	main:
+		move $t0, $t1
+		not $t2, $t3
+		neg $t4, $t5
+		call sub
+		ret
+	sub:
+		jr $ra
+	`)
+	ws := p.CodeWords()
+	if ws[0].W != isa.EncodeR(isa.FnADDU, isa.RegT1, isa.RegZero, isa.RegT0, 0) {
+		t.Errorf("move = %s", isa.Disasm(0, ws[0].W))
+	}
+	if ws[1].W != isa.EncodeR(isa.FnNOR, isa.RegT3, isa.RegZero, isa.RegT2, 0) {
+		t.Errorf("not = %s", isa.Disasm(4, ws[1].W))
+	}
+	if ws[2].W != isa.EncodeR(isa.FnSUB, isa.RegZero, isa.RegT5, isa.RegT4, 0) {
+		t.Errorf("neg = %s", isa.Disasm(8, ws[2].W))
+	}
+	if ws[3].W.Op() != isa.OpJAL {
+		t.Errorf("call = %s", isa.Disasm(12, ws[3].W))
+	}
+	if ws[4].W != isa.EncodeR(isa.FnJR, isa.RegRA, 0, 0, 0) {
+		t.Errorf("ret = %s", isa.Disasm(16, ws[4].W))
+	}
+}
+
+func TestLoadIntoWritesSegments(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x10
+	main:
+		break
+		.data 0x40
+	d:	.byte 7
+	`)
+	sink := &captureLoader{data: map[uint32][]byte{}}
+	p.LoadInto(sink)
+	if len(sink.data) != 2 {
+		t.Fatalf("loaded %d segments", len(sink.data))
+	}
+	if sink.data[0x40][0] != 7 {
+		t.Error("data segment content wrong")
+	}
+}
+
+type captureLoader struct{ data map[uint32][]byte }
+
+func (c *captureLoader) WriteBytes(addr uint32, b []byte) {
+	c.data[addr] = append([]byte(nil), b...)
+}
+
+func TestCharEscapes(t *testing.T) {
+	p := mustAsm(t, `
+		.text 0x0
+	main:
+		li $t0, '\t'
+		li $t1, '\0'
+		li $t2, '\\'
+		li $t3, '\''
+		break
+	`)
+	ws := p.CodeWords()
+	wants := []uint16{'\t', 0, '\\', '\''}
+	for i, want := range wants {
+		if ws[i].W.Imm() != want {
+			t.Errorf("escape %d = %d, want %d", i, ws[i].W.Imm(), want)
+		}
+	}
+	if _, err := Assemble(".text 0x0\nmain:\nli $t0, '\\q'\n"); err == nil {
+		t.Error("unknown escape accepted")
+	}
+	if _, err := Assemble(".text 0x0\nmain:\nli $t0, 'ab'\n"); err == nil {
+		t.Error("multi-char literal accepted")
+	}
+}
+
+func TestMoreEncodeErrors(t *testing.T) {
+	cases := []string{
+		"move $t0",
+		"li $t0",
+		"la $t0",
+		"b",
+		"beqz $t0",
+		"push",
+		"pop",
+		"call",
+		"jr",
+		"jalr $t0, $t1, $t2",
+		"sll $t0, $t1",
+		"sll $t0, $t1, 99",
+		"mult $t0",
+		"mfhi",
+		"mthi",
+		"lui $t0",
+		"lui $t0, 0x12345",
+		"beq $t0, $t1",
+		"blez $t0",
+		"bltz $t0",
+		"j",
+		"lw $t0",
+		"syscall extra? no",
+		"blt $t0, $t1",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(".text 0x0\nmain:\n" + src + "\n"); err == nil {
+			t.Errorf("%q accepted", src)
+		}
+	}
+}
+
+func TestBranchAlignmentAndRange(t *testing.T) {
+	if _, err := Assemble(`
+		.text 0x0
+	main:
+		.equ ODD, 0x1001
+		beq $t0, $t1, ODD
+	`); err == nil {
+		t.Error("unaligned branch target accepted")
+	}
+	if _, err := Assemble(`
+		.text 0x0
+	main:
+		.equ FAR, 0x1000000
+		beq $t0, $t1, FAR
+	`); err == nil {
+		t.Error("out-of-range branch accepted")
+	}
+}

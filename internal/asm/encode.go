@@ -1,0 +1,644 @@
+package asm
+
+import (
+	"strings"
+
+	"sdmmon/internal/isa"
+)
+
+// encodeInstr translates one (possibly pseudo) instruction statement into
+// machine words.
+func (a *assembler) encodeInstr(st *stmt) ([]isa.Word, error) {
+	mn := st.mnemonic
+	switch mn {
+	case "nop", "halt", "ret", "syscall", "break":
+		if len(st.ops) != 0 {
+			return nil, a.errf(st, "%s takes no operands", mn)
+		}
+	}
+	switch mn {
+	// --- pseudo-instructions ---
+	case "nop":
+		return []isa.Word{isa.NOP}, nil
+	case "halt":
+		return []isa.Word{isa.EncodeR(isa.FnBREAK, 0, 0, 0, 0)}, nil
+	case "move":
+		rd, rs, err := a.reg2(st)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeR(isa.FnADDU, rs, isa.RegZero, rd, 0)}, nil
+	case "not":
+		rd, rs, err := a.reg2(st)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeR(isa.FnNOR, rs, isa.RegZero, rd, 0)}, nil
+	case "neg":
+		rd, rs, err := a.reg2(st)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeR(isa.FnSUB, isa.RegZero, rs, rd, 0)}, nil
+	case "li":
+		if len(st.ops) != 2 {
+			return nil, a.errf(st, "li needs rt, imm")
+		}
+		rt, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.eval(st.ops[1], st, true)
+		if err != nil {
+			return nil, err
+		}
+		return encodeLI(rt, v), nil
+	case "la":
+		if len(st.ops) != 2 {
+			return nil, a.errf(st, "la needs rt, symbol")
+		}
+		rt, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.eval(st.ops[1], st, true)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{
+			isa.EncodeI(isa.OpLUI, 0, rt, uint16(v>>16)),
+			isa.EncodeI(isa.OpORI, rt, rt, uint16(v)),
+		}, nil
+	case "b":
+		if len(st.ops) != 1 {
+			return nil, a.errf(st, "b needs a target")
+		}
+		off, err := a.branchOff(st, st.ops[0], st.addr)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeI(isa.OpBEQ, isa.RegZero, isa.RegZero, off)}, nil
+	case "beqz", "bnez":
+		if len(st.ops) != 2 {
+			return nil, a.errf(st, "%s needs rs, target", mn)
+		}
+		rs, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchOff(st, st.ops[1], st.addr)
+		if err != nil {
+			return nil, err
+		}
+		op := isa.OpBEQ
+		if mn == "bnez" {
+			op = isa.OpBNE
+		}
+		return []isa.Word{isa.EncodeI(op, rs, isa.RegZero, off)}, nil
+	case "blt", "bgt", "ble", "bge", "bltu", "bgtu", "bleu", "bgeu":
+		return a.encodeCmpBranch(st, mn)
+	case "push":
+		if len(st.ops) != 1 {
+			return nil, a.errf(st, "push needs a register")
+		}
+		rs, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{
+			isa.EncodeI(isa.OpADDIU, isa.RegSP, isa.RegSP, uint16(0xFFFC)), // sp -= 4
+			isa.EncodeI(isa.OpSW, isa.RegSP, rs, 0),
+		}, nil
+	case "pop":
+		if len(st.ops) != 1 {
+			return nil, a.errf(st, "pop needs a register")
+		}
+		rt, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{
+			isa.EncodeI(isa.OpLW, isa.RegSP, rt, 0),
+			isa.EncodeI(isa.OpADDIU, isa.RegSP, isa.RegSP, 4),
+		}, nil
+	case "call":
+		if len(st.ops) != 1 {
+			return nil, a.errf(st, "call needs a target")
+		}
+		v, err := a.eval(st.ops[0], st, true)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeJ(isa.OpJAL, v)}, nil
+	case "ret":
+		return []isa.Word{isa.EncodeR(isa.FnJR, isa.RegRA, 0, 0, 0)}, nil
+
+	// --- R-type three-register ---
+	case "add", "addu", "sub", "subu", "and", "or", "xor", "nor", "slt", "sltu":
+		rd, rs, rt, err := a.reg3(st)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeR(rFn(mn), rs, rt, rd, 0)}, nil
+	case "sllv", "srlv", "srav":
+		// rd, rt, rs order in assembly.
+		if len(st.ops) != 3 {
+			return nil, a.errf(st, "%s needs rd, rt, rs", mn)
+		}
+		rd, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rt, err := a.reg(st, st.ops[1])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(st, st.ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeR(rFn(mn), rs, rt, rd, 0)}, nil
+	case "sll", "srl", "sra":
+		if len(st.ops) != 3 {
+			return nil, a.errf(st, "%s needs rd, rt, shamt", mn)
+		}
+		rd, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rt, err := a.reg(st, st.ops[1])
+		if err != nil {
+			return nil, err
+		}
+		sh, err := a.eval(st.ops[2], st, true)
+		if err != nil {
+			return nil, err
+		}
+		if sh > 31 {
+			return nil, a.errf(st, "shift amount %d out of range", sh)
+		}
+		return []isa.Word{isa.EncodeR(rFn(mn), 0, rt, rd, sh)}, nil
+	case "mult", "multu", "div", "divu":
+		if len(st.ops) != 2 {
+			return nil, a.errf(st, "%s needs rs, rt", mn)
+		}
+		rs, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rt, err := a.reg(st, st.ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeR(rFn(mn), rs, rt, 0, 0)}, nil
+	case "mfhi", "mflo":
+		if len(st.ops) != 1 {
+			return nil, a.errf(st, "%s needs rd", mn)
+		}
+		rd, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeR(rFn(mn), 0, 0, rd, 0)}, nil
+	case "mthi", "mtlo":
+		if len(st.ops) != 1 {
+			return nil, a.errf(st, "%s needs rs", mn)
+		}
+		rs, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeR(rFn(mn), rs, 0, 0, 0)}, nil
+	case "jr":
+		if len(st.ops) != 1 {
+			return nil, a.errf(st, "jr needs rs")
+		}
+		rs, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeR(isa.FnJR, rs, 0, 0, 0)}, nil
+	case "jalr":
+		switch len(st.ops) {
+		case 1:
+			rs, err := a.reg(st, st.ops[0])
+			if err != nil {
+				return nil, err
+			}
+			return []isa.Word{isa.EncodeR(isa.FnJALR, rs, 0, isa.RegRA, 0)}, nil
+		case 2:
+			rd, err := a.reg(st, st.ops[0])
+			if err != nil {
+				return nil, err
+			}
+			rs, err := a.reg(st, st.ops[1])
+			if err != nil {
+				return nil, err
+			}
+			return []isa.Word{isa.EncodeR(isa.FnJALR, rs, 0, rd, 0)}, nil
+		}
+		return nil, a.errf(st, "jalr needs [rd,] rs")
+	case "syscall":
+		return []isa.Word{isa.EncodeR(isa.FnSYSCALL, 0, 0, 0, 0)}, nil
+	case "break":
+		return []isa.Word{isa.EncodeR(isa.FnBREAK, 0, 0, 0, 0)}, nil
+
+	// --- I-type ALU ---
+	case "addi", "addiu", "slti", "sltiu":
+		rt, rs, imm, err := a.immArgs(st, true)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeI(iOp(mn), rs, rt, imm)}, nil
+	case "andi", "ori", "xori":
+		rt, rs, imm, err := a.immArgs(st, false)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeI(iOp(mn), rs, rt, imm)}, nil
+	case "lui":
+		if len(st.ops) != 2 {
+			return nil, a.errf(st, "lui needs rt, imm")
+		}
+		rt, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.eval(st.ops[1], st, true)
+		if err != nil {
+			return nil, err
+		}
+		if v > 0xFFFF {
+			return nil, a.errf(st, "lui immediate 0x%x out of range", v)
+		}
+		return []isa.Word{isa.EncodeI(isa.OpLUI, 0, rt, uint16(v))}, nil
+
+	// --- branches ---
+	case "beq", "bne":
+		if len(st.ops) != 3 {
+			return nil, a.errf(st, "%s needs rs, rt, target", mn)
+		}
+		rs, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rt, err := a.reg(st, st.ops[1])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchOff(st, st.ops[2], st.addr)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeI(iOp(mn), rs, rt, off)}, nil
+	case "blez", "bgtz":
+		if len(st.ops) != 2 {
+			return nil, a.errf(st, "%s needs rs, target", mn)
+		}
+		rs, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchOff(st, st.ops[1], st.addr)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeI(iOp(mn), rs, 0, off)}, nil
+	case "bltz", "bgez", "bltzal", "bgezal":
+		if len(st.ops) != 2 {
+			return nil, a.errf(st, "%s needs rs, target", mn)
+		}
+		rs, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchOff(st, st.ops[1], st.addr)
+		if err != nil {
+			return nil, err
+		}
+		var rt uint32
+		switch mn {
+		case "bltz":
+			rt = isa.RtBLTZ
+		case "bgez":
+			rt = isa.RtBGEZ
+		case "bltzal":
+			rt = isa.RtBLTZAL
+		case "bgezal":
+			rt = isa.RtBGEZAL
+		}
+		return []isa.Word{isa.EncodeI(isa.OpRegImm, rs, rt, off)}, nil
+
+	// --- jumps ---
+	case "j", "jal":
+		if len(st.ops) != 1 {
+			return nil, a.errf(st, "%s needs a target", mn)
+		}
+		v, err := a.eval(st.ops[0], st, true)
+		if err != nil {
+			return nil, err
+		}
+		op := isa.OpJ
+		if mn == "jal" {
+			op = isa.OpJAL
+		}
+		return []isa.Word{isa.EncodeJ(op, v)}, nil
+
+	// --- memory ---
+	case "lb", "lh", "lw", "lbu", "lhu", "sb", "sh", "sw":
+		if len(st.ops) != 2 {
+			return nil, a.errf(st, "%s needs rt, off(rs)", mn)
+		}
+		rt, err := a.reg(st, st.ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs, err := a.memOperand(st, st.ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{isa.EncodeI(iOp(mn), rs, rt, off)}, nil
+	}
+	return nil, a.errf(st, "unknown mnemonic %q", mn)
+}
+
+func encodeLI(rt, v uint32) []isa.Word {
+	if int32(v) >= -32768 && int32(v) <= 32767 {
+		return []isa.Word{isa.EncodeI(isa.OpADDIU, isa.RegZero, rt, uint16(v))}
+	}
+	if v <= 0xFFFF {
+		return []isa.Word{isa.EncodeI(isa.OpORI, isa.RegZero, rt, uint16(v))}
+	}
+	return []isa.Word{
+		isa.EncodeI(isa.OpLUI, 0, rt, uint16(v>>16)),
+		isa.EncodeI(isa.OpORI, rt, rt, uint16(v)),
+	}
+}
+
+// encodeCmpBranch expands blt/bgt/ble/bge (+unsigned) into slt(u) $at + branch.
+func (a *assembler) encodeCmpBranch(st *stmt, mn string) ([]isa.Word, error) {
+	if len(st.ops) != 3 {
+		return nil, a.errf(st, "%s needs rs, rt, target", mn)
+	}
+	rs, err := a.reg(st, st.ops[0])
+	if err != nil {
+		return nil, err
+	}
+	rt, err := a.reg(st, st.ops[1])
+	if err != nil {
+		return nil, err
+	}
+	// The branch is the second emitted word.
+	off, err := a.branchOff(st, st.ops[2], st.addr+4)
+	if err != nil {
+		return nil, err
+	}
+	fn := isa.FnSLT
+	if strings.HasSuffix(mn, "u") {
+		fn = isa.FnSLTU
+		mn = mn[:len(mn)-1]
+	}
+	var slt isa.Word
+	var br isa.Word
+	switch mn {
+	case "blt": // rs < rt
+		slt = isa.EncodeR(fn, rs, rt, isa.RegAT, 0)
+		br = isa.EncodeI(isa.OpBNE, isa.RegAT, isa.RegZero, off)
+	case "bge": // !(rs < rt)
+		slt = isa.EncodeR(fn, rs, rt, isa.RegAT, 0)
+		br = isa.EncodeI(isa.OpBEQ, isa.RegAT, isa.RegZero, off)
+	case "bgt": // rt < rs
+		slt = isa.EncodeR(fn, rt, rs, isa.RegAT, 0)
+		br = isa.EncodeI(isa.OpBNE, isa.RegAT, isa.RegZero, off)
+	case "ble": // !(rt < rs)
+		slt = isa.EncodeR(fn, rt, rs, isa.RegAT, 0)
+		br = isa.EncodeI(isa.OpBEQ, isa.RegAT, isa.RegZero, off)
+	}
+	return []isa.Word{slt, br}, nil
+}
+
+func rFn(mn string) uint32 {
+	switch mn {
+	case "add":
+		return isa.FnADD
+	case "addu":
+		return isa.FnADDU
+	case "sub":
+		return isa.FnSUB
+	case "subu":
+		return isa.FnSUBU
+	case "and":
+		return isa.FnAND
+	case "or":
+		return isa.FnOR
+	case "xor":
+		return isa.FnXOR
+	case "nor":
+		return isa.FnNOR
+	case "slt":
+		return isa.FnSLT
+	case "sltu":
+		return isa.FnSLTU
+	case "sll":
+		return isa.FnSLL
+	case "srl":
+		return isa.FnSRL
+	case "sra":
+		return isa.FnSRA
+	case "sllv":
+		return isa.FnSLLV
+	case "srlv":
+		return isa.FnSRLV
+	case "srav":
+		return isa.FnSRAV
+	case "mult":
+		return isa.FnMULT
+	case "multu":
+		return isa.FnMULTU
+	case "div":
+		return isa.FnDIV
+	case "divu":
+		return isa.FnDIVU
+	case "mfhi":
+		return isa.FnMFHI
+	case "mflo":
+		return isa.FnMFLO
+	case "mthi":
+		return isa.FnMTHI
+	case "mtlo":
+		return isa.FnMTLO
+	}
+	panic("rFn: " + mn)
+}
+
+func iOp(mn string) uint32 {
+	switch mn {
+	case "addi":
+		return isa.OpADDI
+	case "addiu":
+		return isa.OpADDIU
+	case "slti":
+		return isa.OpSLTI
+	case "sltiu":
+		return isa.OpSLTIU
+	case "andi":
+		return isa.OpANDI
+	case "ori":
+		return isa.OpORI
+	case "xori":
+		return isa.OpXORI
+	case "beq":
+		return isa.OpBEQ
+	case "bne":
+		return isa.OpBNE
+	case "blez":
+		return isa.OpBLEZ
+	case "bgtz":
+		return isa.OpBGTZ
+	case "lb":
+		return isa.OpLB
+	case "lh":
+		return isa.OpLH
+	case "lw":
+		return isa.OpLW
+	case "lbu":
+		return isa.OpLBU
+	case "lhu":
+		return isa.OpLHU
+	case "sb":
+		return isa.OpSB
+	case "sh":
+		return isa.OpSH
+	case "sw":
+		return isa.OpSW
+	}
+	panic("iOp: " + mn)
+}
+
+// --- operand helpers -----------------------------------------------------
+
+func (a *assembler) reg(st *stmt, op string) (uint32, error) {
+	r, ok := isa.RegNumber(strings.TrimSpace(op))
+	if !ok {
+		return 0, a.errf(st, "bad register %q", op)
+	}
+	return r, nil
+}
+
+func (a *assembler) reg2(st *stmt) (r1, r2 uint32, err error) {
+	if len(st.ops) != 2 {
+		return 0, 0, a.errf(st, "%s needs two registers", st.mnemonic)
+	}
+	if r1, err = a.reg(st, st.ops[0]); err != nil {
+		return
+	}
+	r2, err = a.reg(st, st.ops[1])
+	return
+}
+
+func (a *assembler) reg3(st *stmt) (rd, rs, rt uint32, err error) {
+	if len(st.ops) != 3 {
+		return 0, 0, 0, a.errf(st, "%s needs rd, rs, rt", st.mnemonic)
+	}
+	if rd, err = a.reg(st, st.ops[0]); err != nil {
+		return
+	}
+	if rs, err = a.reg(st, st.ops[1]); err != nil {
+		return
+	}
+	rt, err = a.reg(st, st.ops[2])
+	return
+}
+
+// immArgs parses "rt, rs, imm". signed selects the immediate range check.
+func (a *assembler) immArgs(st *stmt, signed bool) (rt, rs uint32, imm uint16, err error) {
+	if len(st.ops) != 3 {
+		return 0, 0, 0, a.errf(st, "%s needs rt, rs, imm", st.mnemonic)
+	}
+	if rt, err = a.reg(st, st.ops[0]); err != nil {
+		return
+	}
+	if rs, err = a.reg(st, st.ops[1]); err != nil {
+		return
+	}
+	var v uint32
+	if v, err = a.eval(st.ops[2], st, true); err != nil {
+		return
+	}
+	if signed {
+		if int32(v) < -32768 || int32(v) > 32767 {
+			err = a.errf(st, "immediate %d out of signed 16-bit range", int32(v))
+			return
+		}
+	} else if v > 0xFFFF {
+		err = a.errf(st, "immediate 0x%x out of unsigned 16-bit range", v)
+		return
+	}
+	imm = uint16(v)
+	return
+}
+
+// branchOff computes the 16-bit branch offset from the instruction at
+// brAddr to the target expression.
+func (a *assembler) branchOff(st *stmt, expr string, brAddr uint32) (uint16, error) {
+	t, err := a.eval(expr, st, true)
+	if err != nil {
+		return 0, err
+	}
+	diff := int64(t) - int64(brAddr) - 4
+	if diff&3 != 0 {
+		return 0, a.errf(st, "branch target 0x%x not word aligned", t)
+	}
+	off := diff >> 2
+	if off < -32768 || off > 32767 {
+		return 0, a.errf(st, "branch target 0x%x out of range", t)
+	}
+	return uint16(int16(off)), nil
+}
+
+// memOperand parses "off(rs)" — the offset may be any expression, including
+// a parenthesized one, so the register is delimited by the LAST balanced
+// paren group, which must close the operand.
+func (a *assembler) memOperand(st *stmt, op string) (off uint16, rs uint32, err error) {
+	op = strings.TrimSpace(op)
+	if len(op) == 0 || op[len(op)-1] != ')' {
+		return 0, 0, a.errf(st, "bad memory operand %q", op)
+	}
+	depth := 0
+	lp := -1
+	for i := len(op) - 1; i >= 0; i-- {
+		switch op[i] {
+		case ')':
+			depth++
+		case '(':
+			depth--
+			if depth == 0 {
+				lp = i
+			}
+		}
+		if lp >= 0 {
+			break
+		}
+	}
+	if lp < 0 {
+		return 0, 0, a.errf(st, "bad memory operand %q", op)
+	}
+	rp := len(op) - 1
+	regPart := op[lp+1 : rp]
+	offPart := strings.TrimSpace(op[:lp])
+	if rs, err = a.reg(st, regPart); err != nil {
+		return
+	}
+	var v uint32
+	if offPart == "" {
+		v = 0
+	} else if v, err = a.eval(offPart, st, true); err != nil {
+		return
+	}
+	if int32(v) < -32768 || int32(v) > 32767 {
+		err = a.errf(st, "memory offset %d out of range", int32(v))
+		return
+	}
+	off = uint16(v)
+	return
+}

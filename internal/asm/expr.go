@@ -1,0 +1,333 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expression parser for operand fields: full precedence with parentheses.
+//
+//	expr   := or
+//	or     := xor ('|' xor)*
+//	xor    := and ('^' and)*
+//	and    := shift ('&' shift)*
+//	shift  := sum (('<<'|'>>') sum)*
+//	sum    := prod (('+'|'-') prod)*
+//	prod   := unary (('*'|'/'|'%') unary)*
+//	unary  := ('-'|'~')* atom
+//	atom   := number | char | symbol | '(' expr ')'
+//
+// Numbers accept 0x/0b/0o prefixes and decimal. Symbols resolve .equ
+// constants first, then labels.
+type exprParser struct {
+	a      *assembler
+	st     *stmt
+	labels bool
+	src    string
+	pos    int
+}
+
+func (a *assembler) evalExpr(expr string, st *stmt, labels bool) (uint32, error) {
+	p := &exprParser{a: a, st: st, labels: labels, src: expr}
+	v, err := p.parseOr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, a.errf(st, "trailing %q in expression %q", p.src[p.pos:], expr)
+	}
+	return v, nil
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *exprParser) take(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		// Avoid eating "<<" as "<" etc.: the caller passes the longest
+		// token first.
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *exprParser) parseOr() (uint32, error) {
+	v, err := p.parseXor()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == '|' {
+		p.pos++
+		r, err := p.parseXor()
+		if err != nil {
+			return 0, err
+		}
+		v |= r
+	}
+	return v, nil
+}
+
+func (p *exprParser) parseXor() (uint32, error) {
+	v, err := p.parseAnd()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == '^' {
+		p.pos++
+		r, err := p.parseAnd()
+		if err != nil {
+			return 0, err
+		}
+		v ^= r
+	}
+	return v, nil
+}
+
+func (p *exprParser) parseAnd() (uint32, error) {
+	v, err := p.parseShift()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == '&' {
+		p.pos++
+		r, err := p.parseShift()
+		if err != nil {
+			return 0, err
+		}
+		v &= r
+	}
+	return v, nil
+}
+
+func (p *exprParser) parseShift() (uint32, error) {
+	v, err := p.parseSum()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch {
+		case p.take("<<"):
+			r, err := p.parseSum()
+			if err != nil {
+				return 0, err
+			}
+			if r > 31 {
+				return 0, p.a.errf(p.st, "shift count %d out of range", r)
+			}
+			v <<= r
+		case p.take(">>"):
+			r, err := p.parseSum()
+			if err != nil {
+				return 0, err
+			}
+			if r > 31 {
+				return 0, p.a.errf(p.st, "shift count %d out of range", r)
+			}
+			v >>= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseSum() (uint32, error) {
+	v, err := p.parseProd()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch p.peek() {
+		case '+':
+			p.pos++
+			r, err := p.parseProd()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case '-':
+			p.pos++
+			r, err := p.parseProd()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseProd() (uint32, error) {
+	v, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		c := p.peek()
+		// '>>' handled above; a single '/' here is division.
+		switch c {
+		case '*':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case '/':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, p.a.errf(p.st, "division by zero in expression")
+			}
+			v /= r
+		case '%':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, p.a.errf(p.st, "modulo by zero in expression")
+			}
+			v %= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseUnary() (uint32, error) {
+	switch p.peek() {
+	case '-':
+		p.pos++
+		v, err := p.parseUnary()
+		return -v, err
+	case '~':
+		p.pos++
+		v, err := p.parseUnary()
+		return ^v, err
+	}
+	return p.parseAtom()
+}
+
+func (p *exprParser) parseAtom() (uint32, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, p.a.errf(p.st, "empty expression")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		v, err := p.parseOr()
+		if err != nil {
+			return 0, err
+		}
+		if p.peek() != ')' {
+			return 0, p.a.errf(p.st, "missing ')' in expression")
+		}
+		p.pos++
+		return v, nil
+	case c == '\'':
+		// A backslash escapes the next character, including a quote.
+		body := p.src[p.pos+1:]
+		length := 0
+		switch {
+		case len(body) >= 3 && body[0] == '\\' && body[2] == '\'':
+			length = 4 // 'x\'' escaped form
+		case len(body) >= 2 && body[0] != '\\' && body[1] == '\'':
+			length = 3 // plain 'x'
+		default:
+			return 0, p.a.errf(p.st, "unterminated char literal")
+		}
+		lit := p.src[p.pos : p.pos+length]
+		p.pos += length
+		return charValue(lit, p.a, p.st)
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && isNumChar(p.src[p.pos]) {
+			p.pos++
+		}
+		tok := p.src[start:p.pos]
+		if v, err := strconv.ParseInt(tok, 0, 64); err == nil {
+			return uint32(v), nil
+		}
+		if v, err := strconv.ParseUint(tok, 0, 64); err == nil {
+			return uint32(v), nil
+		}
+		return 0, p.a.errf(p.st, "bad number %q", tok)
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		if v, ok := p.a.equs[name]; ok {
+			return v, nil
+		}
+		if v, ok := p.a.symbols[name]; ok {
+			return v, nil
+		}
+		if p.labels {
+			return 0, p.a.errf(p.st, "undefined symbol %q", name)
+		}
+		return 0, p.a.errf(p.st, "symbol %q not resolvable here", name)
+	}
+	return 0, p.a.errf(p.st, "unexpected %q in expression", string(c))
+}
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' ||
+		c == 'x' || c == 'X' || c == 'o' || c == 'O'
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '.'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func charValue(lit string, a *assembler, st *stmt) (uint32, error) {
+	inner := lit[1 : len(lit)-1]
+	if len(inner) == 2 && inner[0] == '\\' {
+		switch inner[1] {
+		case 'n':
+			return '\n', nil
+		case 't':
+			return '\t', nil
+		case '0':
+			return 0, nil
+		case '\\':
+			return '\\', nil
+		case '\'':
+			return '\'', nil
+		}
+	}
+	if len(inner) == 1 {
+		return uint32(inner[0]), nil
+	}
+	return 0, a.errf(st, "bad char literal %q", lit)
+}
+
+// ensure fmt stays imported if error paths change.
+var _ = fmt.Sprintf

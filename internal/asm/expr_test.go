@@ -1,0 +1,124 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"sdmmon/internal/isa"
+)
+
+// exprValue assembles "li $t0, <expr>" and extracts the loaded constant.
+func exprValue(t *testing.T, expr string) uint32 {
+	t.Helper()
+	p, err := Assemble(".equ BASE, 0x1000\n.equ N, 5\n.text 0x0\nmain:\n la $t0, " + expr + "\n break\n")
+	if err != nil {
+		t.Fatalf("%q: %v", expr, err)
+	}
+	ws := p.CodeWords()
+	hi := uint32(ws[0].W.Imm())
+	lo := uint32(ws[1].W.Imm())
+	return hi<<16 | lo
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	cases := map[string]uint32{
+		"1+2*3":             7,
+		"(1+2)*3":           9,
+		"16/4/2":            2,
+		"17%5":              2,
+		"1<<4":              16,
+		"0xF0>>4":           0xF,
+		"1<<4+1":            32, // shift binds looser than sum
+		"0xFF&0x0F":         0x0F,
+		"0xF0|0x0F":         0xFF,
+		"0xFF^0x0F":         0xF0,
+		"~0":                0xFFFFFFFF,
+		"-1":                0xFFFFFFFF,
+		"-(2+3)":            0xFFFFFFFB,
+		"BASE+N*4":          0x1014,
+		"(BASE>>8)&0xF":     0x0,
+		"BASE|N":            0x1005,
+		"'A'":               65,
+		"'\\n'":             10,
+		"'A'+1":             66,
+		"0b1010":            10,
+		"0o17":              15,
+		"2*(N+(1<<2))":      18,
+		"1 + 2 * ( 3 - 1 )": 5,
+	}
+	for expr, want := range cases {
+		if got := exprValue(t, expr); got != want {
+			t.Errorf("%q = %#x, want %#x", expr, got, want)
+		}
+	}
+}
+
+func TestExpressionErrors(t *testing.T) {
+	cases := []struct{ expr, frag string }{
+		{"(1+2", "missing ')'"},
+		{"1/0", "division by zero"},
+		{"5%0", "modulo by zero"},
+		{"1<<40", "out of range"},
+		{"nope+1", "undefined symbol"},
+		{"1 2", "trailing"},
+		{"$t0", "unexpected"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(".text 0x0\nmain:\n la $t0, " + c.expr + "\n")
+		if err == nil {
+			t.Errorf("%q accepted", c.expr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error %q does not mention %q", c.expr, err, c.frag)
+		}
+	}
+}
+
+func TestParenthesizedMemoryOffset(t *testing.T) {
+	p, err := Assemble(`
+		.equ SLOT, 3
+		.text 0x0
+	main:
+		lw $t0, (SLOT*4)($sp)
+		sw $t1, (SLOT+1)*4($sp)
+		lw $t2, 8($sp)
+		break
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := p.CodeWords()
+	if ws[0].W.SImm() != 12 {
+		t.Errorf("lw offset = %d, want 12", ws[0].W.SImm())
+	}
+	if ws[1].W.SImm() != 16 {
+		t.Errorf("sw offset = %d, want 16", ws[1].W.SImm())
+	}
+	if ws[2].W.SImm() != 8 {
+		t.Errorf("plain offset = %d, want 8", ws[2].W.SImm())
+	}
+	if ws[0].W.Rs() != isa.RegSP || ws[1].W.Rs() != isa.RegSP {
+		t.Error("base register wrong")
+	}
+}
+
+func TestExpressionInDirectives(t *testing.T) {
+	p := MustAssemble(`
+		.equ SIZE, 8
+		.text 0x0
+	main:
+		break
+		.data 0x1000
+	tbl:	.word SIZE*4, SIZE<<1, ~SIZE&0xFF
+		.space SIZE*2
+	end:	.byte 1
+	`)
+	img, _ := p.Image()
+	if got := uint32(img[0x1000])<<24 | uint32(img[0x1001])<<16 | uint32(img[0x1002])<<8 | uint32(img[0x1003]); got != 32 {
+		t.Errorf("word 0 = %d", got)
+	}
+	if p.Symbols["end"] != 0x1000+12+16 {
+		t.Errorf("end = %#x", p.Symbols["end"])
+	}
+}

@@ -1,0 +1,42 @@
+package asm
+
+import "testing"
+
+func FuzzDeserializeProgram(f *testing.F) {
+	p := MustAssemble(".text 0x0\nmain:\n li $t0, 1\n break\n.data 0x100\nx: .word 7\n")
+	f.Add(p.Serialize())
+	f.Add([]byte("SDMB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := Deserialize(data)
+		if err != nil {
+			return
+		}
+		_ = q.Serialize()
+		q.CodeWords()
+		q.Image()
+		q.IsCode(q.Entry)
+	})
+}
+
+func FuzzAssemble(f *testing.F) {
+	f.Add(".text 0x0\nmain:\n addu $v0, $a0, $a1\n jr $ra\n")
+	f.Add("li $t0, 0x12345678")
+	f.Add(".word 1, 2, 3")
+	f.Add(".asciiz \"hi\\n\"")
+	f.Add("lw $t0, 4($sp)")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		// Valid programs must round-trip their serialization.
+		q, err := Deserialize(p.Serialize())
+		if err != nil {
+			t.Fatalf("assembled program does not deserialize: %v", err)
+		}
+		if q.Entry != p.Entry {
+			t.Fatal("entry changed in round trip")
+		}
+	})
+}

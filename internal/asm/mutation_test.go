@@ -1,0 +1,73 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Deserialize handles device-side bytes that arrive through the (verified)
+// package path, but the parser itself must be robust to arbitrary
+// corruption: errors, never panics, and accepted outputs must be usable.
+func TestDeserializeMutationRobustness(t *testing.T) {
+	p := MustAssemble(`
+		.text 0x0
+	main:
+		li $t0, 5
+	loop:
+		addiu $t0, $t0, -1
+		bnez $t0, loop
+		jal sub
+		break
+	sub:
+		jr $ra
+		.data 0x1000
+	tbl:	.word 1, 2, 3, 4
+	msg:	.asciiz "hello"
+	`)
+	good := p.Serialize()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		mut := append([]byte(nil), good...)
+		switch rng.Intn(4) {
+		case 0:
+			for j := 0; j < 1+rng.Intn(5); j++ {
+				mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+			}
+		case 1:
+			mut = mut[:rng.Intn(len(mut))]
+		case 2:
+			extra := make([]byte, 1+rng.Intn(32))
+			rng.Read(extra)
+			mut = append(mut, extra...)
+		case 3:
+			if len(mut) > 12 {
+				at := 4 + rng.Intn(len(mut)-8)
+				rng.Read(mut[at : at+4])
+			}
+		}
+		q, err := Deserialize(mut)
+		if err != nil {
+			continue
+		}
+		// Whatever is accepted must answer queries without panicking.
+		q.CodeWords()
+		q.Image()
+		q.Size()
+		q.IsCode(q.Entry)
+	}
+}
+
+// Assemble must reject arbitrary text gracefully.
+func TestAssembleGarbageRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	alphabet := []byte("abcdefghijklmnopqrstuvwxyz $,.()#:0123456789\n\t\"\\-+")
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(200)
+		src := make([]byte, n)
+		for j := range src {
+			src[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		// Must not panic; errors are expected and fine.
+		_, _ = Assemble(string(src))
+	}
+}

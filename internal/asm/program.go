@@ -1,0 +1,183 @@
+// Package asm implements a two-pass assembler for the MIPS-I subset defined
+// in internal/isa. Packet-processing applications (internal/apps) are written
+// in this assembly dialect and assembled at runtime; the resulting Program is
+// what the network operator signs, the router installs, and the offline
+// analyzer (internal/monitor) turns into a monitoring graph.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"sdmmon/internal/isa"
+)
+
+// Segment is a contiguous run of assembled bytes at a fixed address.
+type Segment struct {
+	Addr uint32 // base byte address
+	Data []byte
+	Code bool // true if the segment holds instruction words
+}
+
+// Program is the output of the assembler: a set of non-overlapping segments,
+// a symbol table, and an entry point.
+type Program struct {
+	Entry    uint32
+	Segments []Segment // sorted by Addr
+	Symbols  map[string]uint32
+}
+
+// CodeWord is one instruction word at its byte address.
+type CodeWord struct {
+	Addr uint32
+	W    isa.Word
+}
+
+// CodeWords returns every instruction word in the program in address order.
+func (p *Program) CodeWords() []CodeWord {
+	var out []CodeWord
+	for _, s := range p.Segments {
+		if !s.Code {
+			continue
+		}
+		for i := 0; i+4 <= len(s.Data); i += 4 {
+			w := isa.Word(beWord(s.Data[i:]))
+			out = append(out, CodeWord{Addr: s.Addr + uint32(i), W: w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// WordAt returns the instruction word at byte address a, if a lies in a code
+// segment.
+func (p *Program) WordAt(a uint32) (isa.Word, bool) {
+	for _, s := range p.Segments {
+		if s.Code && a >= s.Addr && a+4 <= s.Addr+uint32(len(s.Data)) {
+			return isa.Word(beWord(s.Data[a-s.Addr:])), true
+		}
+	}
+	return 0, false
+}
+
+// IsCode reports whether byte address a lies inside a code segment.
+func (p *Program) IsCode(a uint32) bool {
+	for _, s := range p.Segments {
+		if s.Code && a >= s.Addr && a < s.Addr+uint32(len(s.Data)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the total number of assembled bytes across all segments.
+func (p *Program) Size() int {
+	n := 0
+	for _, s := range p.Segments {
+		n += len(s.Data)
+	}
+	return n
+}
+
+// Image flattens the program into a single byte image plus its base address.
+// Gaps between segments are zero-filled. The second return value is the base
+// address of the image.
+func (p *Program) Image() ([]byte, uint32) {
+	if len(p.Segments) == 0 {
+		return nil, 0
+	}
+	lo := p.Segments[0].Addr
+	hi := lo
+	for _, s := range p.Segments {
+		if s.Addr < lo {
+			lo = s.Addr
+		}
+		if end := s.Addr + uint32(len(s.Data)); end > hi {
+			hi = end
+		}
+	}
+	img := make([]byte, hi-lo)
+	for _, s := range p.Segments {
+		copy(img[s.Addr-lo:], s.Data)
+	}
+	return img, lo
+}
+
+// Loader is any memory a Program can be loaded into (the CPU bus satisfies
+// this).
+type Loader interface {
+	WriteBytes(addr uint32, data []byte)
+}
+
+// LoadInto writes every segment into mem.
+func (p *Program) LoadInto(mem Loader) {
+	for _, s := range p.Segments {
+		mem.WriteBytes(s.Addr, s.Data)
+	}
+}
+
+// Serialize encodes the program into a deterministic binary form: this is
+// the "processing binary" that the network operator signs and ships inside
+// the SDMMon package.
+func (p *Program) Serialize() []byte {
+	var out []byte
+	put32 := func(v uint32) { out = append(out, byte(v>>24), byte(v>>16), byte(v>>8), byte(v)) }
+	out = append(out, 'S', 'D', 'M', 'B') // magic
+	put32(p.Entry)
+	put32(uint32(len(p.Segments)))
+	for _, s := range p.Segments {
+		put32(s.Addr)
+		put32(uint32(len(s.Data)))
+		if s.Code {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		out = append(out, s.Data...)
+	}
+	return out
+}
+
+// MaxAddress bounds segment addresses and sizes accepted by Deserialize: NP
+// core memories are small (64 KiB in this simulator, a few MiB on real
+// devices), so anything beyond 64 MiB is corrupt or hostile input that would
+// otherwise provoke huge allocations in Image.
+const MaxAddress = 64 << 20
+
+// Deserialize decodes a binary produced by Serialize.
+func Deserialize(b []byte) (*Program, error) {
+	if len(b) < 12 || b[0] != 'S' || b[1] != 'D' || b[2] != 'M' || b[3] != 'B' {
+		return nil, fmt.Errorf("asm: bad program magic")
+	}
+	get32 := func(off int) uint32 { return beWord(b[off:]) }
+	p := &Program{Entry: get32(4), Symbols: map[string]uint32{}}
+	n := int(get32(8))
+	off := 12
+	for i := 0; i < n; i++ {
+		if off+9 > len(b) {
+			return nil, fmt.Errorf("asm: truncated segment header %d", i)
+		}
+		addr := get32(off)
+		ln := int(get32(off + 4))
+		code := b[off+8] == 1
+		off += 9
+		if ln < 0 || off+ln > len(b) {
+			return nil, fmt.Errorf("asm: truncated segment data %d", i)
+		}
+		if addr > MaxAddress || ln > MaxAddress || int(addr)+ln > MaxAddress {
+			return nil, fmt.Errorf("asm: segment %d at 0x%x+%d exceeds the address cap", i, addr, ln)
+		}
+		data := make([]byte, ln)
+		copy(data, b[off:off+ln])
+		off += ln
+		p.Segments = append(p.Segments, Segment{Addr: addr, Data: data, Code: code})
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("asm: %d trailing bytes after program", len(b)-off)
+	}
+	return p, nil
+}
+
+func beWord(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

@@ -1,0 +1,124 @@
+package attack
+
+import (
+	"sdmmon/internal/apps"
+	"sdmmon/internal/asm"
+	"sdmmon/internal/isa"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+)
+
+// §3.2 argues that without the parameter "the only viable attack would be a
+// brute force enumeration of different hash sequences" and that this is
+// "difficult to implement for longer attacks". This file quantifies the
+// easy end the paper does not dwell on: the attacker probes a live router
+// (send attack variant, observe whether the persistent corruption landed —
+// AC1 lets them observe behaviour) until one variant passes. For a
+// one-instruction attack against a W-bit hash the expected probe count is
+// only 2^W; the geometric hardness genuinely protects only multi-instruction
+// sequences.
+
+// ProbeOracle abstracts the victim: it reports whether one attack packet
+// achieved persistent compromise (the attacker can test this via subsequent
+// behaviour).
+type ProbeOracle func(pkt []byte) (compromised bool, err error)
+
+// BruteForceResult records one probing campaign.
+type BruteForceResult struct {
+	Probes    int  // packets sent until success (or budget exhaustion)
+	Succeeded bool // a variant passed within the budget
+}
+
+// BruteForcePersist enumerates the persist-attack store variants against
+// the oracle until one lands, up to maxProbes.
+func (c SmashConfig) BruteForcePersist(oracle ProbeOracle, maxProbes int) (BruteForceResult, error) {
+	probes := 0
+	for _, v := range c.persistVariants() {
+		if probes >= maxProbes {
+			break
+		}
+		pkt, err := c.CraftPacket([]isa.Word{v})
+		if err != nil {
+			return BruteForceResult{Probes: probes}, err
+		}
+		probes++
+		hit, err := oracle(pkt)
+		if err != nil {
+			return BruteForceResult{Probes: probes}, err
+		}
+		if hit {
+			return BruteForceResult{Probes: probes, Succeeded: true}, nil
+		}
+	}
+	return BruteForceResult{Probes: probes}, nil
+}
+
+// ExpectedProbes returns the analytic expected probe count for a
+// k-instruction attack against a W-bit hash: each probe succeeds with
+// probability 2^(-W·k), so the expectation is 2^(W·k).
+func ExpectedProbes(width, k int) float64 {
+	v := 1.0
+	for i := 0; i < width*k; i++ {
+		v *= 2
+	}
+	return v
+}
+
+// NPOracle is a ProbeOracle over a real monitored core holding a hidden
+// parameter: each probe runs the packet on a fresh core and observes
+// whether scratch memory was corrupted (the attacker-visible outcome).
+type NPOracle struct {
+	core   *apps.Core
+	mon    *monitor.PackedMonitor
+	tested int
+}
+
+// NewNPOracle builds the victim. The parameter stays inside; the attacker
+// only calls Probe.
+func NewNPOracle(prog *asm.Program, mk func(uint32) mhash.Hasher, param uint32) (*NPOracle, error) {
+	h := mk(param)
+	g, err := monitor.Extract(prog, h)
+	if err != nil {
+		return nil, err
+	}
+	p, err := monitor.Pack(g)
+	if err != nil {
+		return nil, err
+	}
+	m, err := monitor.NewPacked(p, h)
+	if err != nil {
+		return nil, err
+	}
+	core := apps.NewCore(prog)
+	core.Trace = m.Observe
+	return &NPOracle{core: core, mon: m}, nil
+}
+
+// Probe runs the packet and reports persistent compromise. The victim
+// recovers (monitor reset, scratch scrubbed) between probes, modelling an
+// operator who reimages after each detected incident — the attacker still
+// wins as soon as one variant slips its store through.
+func (o *NPOracle) Probe(pkt []byte) (bool, error) {
+	o.mon.Reset()
+	o.core.Process(pkt, 0)
+	o.tested++
+	hit, err := PersistSucceeded(coreScratch{o.core}, 0)
+	if err != nil {
+		return false, err
+	}
+	if hit {
+		return true, nil
+	}
+	// Scrub scratch for the next probe.
+	o.core.Mem().WriteBytes(uint32(apps.ScratchBase), make([]byte, 2048))
+	return false, nil
+}
+
+// Tested reports how many probes the oracle served.
+func (o *NPOracle) Tested() int { return o.tested }
+
+type coreScratch struct{ core *apps.Core }
+
+func (c coreScratch) Scratch(coreID, off, n int) ([]byte, error) {
+	return c.core.Scratch(off, n), nil
+}

@@ -1,0 +1,112 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/mhash"
+)
+
+func TestBruteForcePersistAgainstSBox(t *testing.T) {
+	// Against the nonlinear compression the attacker needs ≈2^4 probes on
+	// average; measure over several hidden parameters.
+	prog, err := apps.IPv4CM().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(p uint32) mhash.Hasher {
+		h, err := mhash.NewMerkleWith(p, 4, mhash.SBoxCompress())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	smash := DefaultSmash()
+	rng := rand.New(rand.NewSource(31))
+	totalProbes, successes := 0, 0
+	const victims = 12
+	for i := 0; i < victims; i++ {
+		oracle, err := NewNPOracle(prog, mk, rng.Uint32())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := smash.BruteForcePersist(oracle.Probe, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Succeeded {
+			successes++
+			totalProbes += res.Probes
+		}
+		if oracle.Tested() != res.Probes {
+			t.Errorf("oracle served %d probes, campaign says %d", oracle.Tested(), res.Probes)
+		}
+	}
+	if successes < victims-1 {
+		t.Fatalf("only %d/%d campaigns succeeded", successes, victims)
+	}
+	mean := float64(totalProbes) / float64(successes)
+	// Expected ≈16 (analytic: ExpectedProbes(4,1)); the enumerated variant
+	// order is not hash-uniform, so allow wide slack.
+	if mean < 2 || mean > 120 {
+		t.Errorf("mean probes %.1f, want O(16)", mean)
+	}
+}
+
+func TestBruteForceSumIsImmediate(t *testing.T) {
+	// Against the paper's sum compression the first matching variant is
+	// parameter-independent: the same probe index succeeds on every
+	// victim (and typically within the first ~16 variants).
+	prog, err := apps.IPv4CM().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(p uint32) mhash.Hasher { return mhash.NewMerkle(p) }
+	smash := DefaultSmash()
+	rng := rand.New(rand.NewSource(32))
+	var probeCounts []int
+	for i := 0; i < 6; i++ {
+		oracle, err := NewNPOracle(prog, mk, rng.Uint32())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := smash.BruteForcePersist(oracle.Probe, 254)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Succeeded {
+			t.Fatal("brute force failed against sum compression")
+		}
+		probeCounts = append(probeCounts, res.Probes)
+	}
+	for _, p := range probeCounts[1:] {
+		if p != probeCounts[0] {
+			t.Errorf("probe counts differ across parameters (%v) — sum collapse predicts identical",
+				probeCounts)
+		}
+	}
+}
+
+func TestBruteForceBudgetRespected(t *testing.T) {
+	neverHit := func(pkt []byte) (bool, error) { return false, nil }
+	res, err := DefaultSmash().BruteForcePersist(neverHit, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded || res.Probes != 10 {
+		t.Errorf("budget ignored: %+v", res)
+	}
+}
+
+func TestExpectedProbes(t *testing.T) {
+	if ExpectedProbes(4, 1) != 16 {
+		t.Error("4-bit single instruction should cost 16")
+	}
+	if ExpectedProbes(4, 2) != 256 {
+		t.Error("two instructions should cost 256")
+	}
+	if ExpectedProbes(8, 1) != 256 {
+		t.Error("8-bit hash should cost 256")
+	}
+}

@@ -1,0 +1,193 @@
+package attack
+
+import (
+	"fmt"
+
+	"sdmmon/internal/isa"
+	"sdmmon/internal/mhash"
+)
+
+// Template is an attack instruction with don't-care bits: every variant
+// Base | (x & Mask) is semantically acceptable to the attacker (unused
+// immediate bits, interchangeable scratch registers, the ignored code field
+// of break). The hash-matching engineering of §3.2 searches these variants
+// for one whose hash equals the monitor's expected value.
+type Template struct {
+	Name string
+	Base isa.Word
+	Mask uint32
+}
+
+// Variants enumerates up to limit variants of the template.
+func (t Template) Variants(limit int) []isa.Word {
+	if t.Mask == 0 {
+		return []isa.Word{t.Base}
+	}
+	var out []isa.Word
+	// Enumerate values of the masked field by iterating a counter through
+	// the mask's bit positions.
+	var bits []uint
+	for i := uint(0); i < 32; i++ {
+		if t.Mask&(1<<i) != 0 {
+			bits = append(bits, i)
+		}
+	}
+	n := 1 << uint(len(bits))
+	if n > limit {
+		n = limit
+	}
+	for v := 0; v < n; v++ {
+		var field uint32
+		for j, b := range bits {
+			if v&(1<<uint(j)) != 0 {
+				field |= 1 << b
+			}
+		}
+		out = append(out, t.Base|isa.Word(field))
+	}
+	return out
+}
+
+// FillerTemplate is a semantically inert instruction with 16 don't-care
+// bits: andi $t6, $t6, imm only narrows a scratch register.
+func FillerTemplate() Template {
+	return Template{
+		Name: "filler-andi",
+		Base: isa.EncodeI(isa.OpANDI, isa.RegT6, isa.RegT6, 0),
+		Mask: 0x0000FFFF,
+	}
+}
+
+// FillerTemplates returns several inert instruction families (all only
+// touch the $t6 scratch register), so that a position can be matched even
+// when one family's variant set misses the target hash value.
+func FillerTemplates() []Template {
+	return []Template{
+		FillerTemplate(),
+		{Name: "filler-ori", Base: isa.EncodeI(isa.OpORI, isa.RegT6, isa.RegT6, 0), Mask: 0x0000FFFF},
+		{Name: "filler-xori", Base: isa.EncodeI(isa.OpXORI, isa.RegT6, isa.RegT6, 0), Mask: 0x0000FFFF},
+		{Name: "filler-lui", Base: isa.EncodeI(isa.OpLUI, 0, isa.RegT6, 0), Mask: 0x0000FFFF},
+		{Name: "filler-slti", Base: isa.EncodeI(isa.OpSLTI, isa.RegT6, isa.RegT6, 0), Mask: 0x0000FFFF},
+	}
+}
+
+// BreakTemplate is break with its 20-bit ignored code field free — always
+// hash-matchable in practice.
+func BreakTemplate() Template {
+	return Template{
+		Name: "break",
+		Base: isa.EncodeR(isa.FnBREAK, 0, 0, 0, 0),
+		Mask: 0x03FFFFC0,
+	}
+}
+
+// HijackTemplates is the hijack payload of SmashConfig.HijackPayload with
+// the attacker's degrees of freedom made explicit: the sink address's low
+// bits and break's ignored code field are free; the rest are exact and rely
+// on filler-sliding to land on a matching position.
+func HijackTemplates(pktBase uint32) []Template {
+	return []Template{
+		{Name: "lui-base", Base: isa.EncodeI(isa.OpLUI, 0, isa.RegT0, uint16(pktBase>>16))},
+		{Name: "ori-base", Base: isa.EncodeI(isa.OpORI, isa.RegT0, isa.RegT0, uint16(pktBase))},
+		{Name: "lui-sink", Base: isa.EncodeI(isa.OpLUI, 0, isa.RegT1, 0x0A42)},
+		// The sink's low 16 bits are attacker-chosen: full freedom.
+		{Name: "ori-sink", Base: isa.EncodeI(isa.OpORI, isa.RegT1, isa.RegT1, 0), Mask: 0x0000FFFF},
+		{Name: "sw-dst", Base: isa.EncodeI(isa.OpSW, isa.RegT0, isa.RegT1, 16)},
+		{Name: "li-verdict", Base: isa.EncodeI(isa.OpADDIU, isa.RegZero, isa.RegV0, 1)},
+		BreakTemplate(),
+	}
+}
+
+// EngineerResult is the outcome of hash-matching engineering.
+type EngineerResult struct {
+	Code    []isa.Word
+	Fillers int  // inert instructions inserted to realign
+	OK      bool // every payload instruction placed
+}
+
+// Engineer builds an attack instruction sequence whose hash sequence equals
+// `want` (the hashes the monitor expects along a valid path) under the
+// *known* hash unit h — the attacker's position once a parameter has leaked
+// or been brute-forced on one router of a homogeneous fleet. Payload
+// instructions are emitted in order; where a payload instruction cannot
+// match the expected hash at its position, inert fillers are inserted to
+// slide it to a matching position.
+func Engineer(h mhash.Hasher, want []uint8, payload []Template) EngineerResult {
+	var out []isa.Word
+	fillers := 0
+	pos := 0
+	fillerSet := FillerTemplates()
+
+	match := func(t Template) (isa.Word, bool) {
+		for _, v := range t.Variants(1 << 16) {
+			if h.Hash(uint32(v)) == want[pos] {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	matchFiller := func() (isa.Word, bool) {
+		for _, f := range fillerSet {
+			if w, ok := match(f); ok {
+				return w, true
+			}
+		}
+		return 0, false
+	}
+
+	for _, t := range payload {
+		placed := false
+		for pos < len(want) {
+			if w, ok := match(t); ok {
+				out = append(out, w)
+				pos++
+				placed = true
+				break
+			}
+			// Slide: insert a filler matching this position instead.
+			fw, ok := matchFiller()
+			if !ok {
+				return EngineerResult{Code: out, Fillers: fillers, OK: false}
+			}
+			out = append(out, fw)
+			fillers++
+			pos++
+		}
+		if !placed {
+			return EngineerResult{Code: out, Fillers: fillers, OK: false}
+		}
+	}
+	return EngineerResult{Code: out, Fillers: fillers, OK: true}
+}
+
+// AcceptedBy reports whether the engineered sequence's hashes match the
+// expected sequence under hash unit h (e.g., a *different* router's
+// parameter): the replay test of the homogeneity experiment.
+func AcceptedBy(h mhash.Hasher, want []uint8, code []isa.Word) bool {
+	if len(code) > len(want) {
+		return false
+	}
+	for i, w := range code {
+		if h.Hash(uint32(w)) != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExpectedHashes computes the monitor's expected hash sequence along a
+// known-valid instruction trace (the attacker derives this from the binary,
+// which AC2 grants them).
+func ExpectedHashes(h mhash.Hasher, trace []isa.Word) []uint8 {
+	out := make([]uint8, len(trace))
+	for i, w := range trace {
+		out[i] = h.Hash(uint32(w))
+	}
+	return out
+}
+
+// String renders the engineered code.
+func (r EngineerResult) String() string {
+	s := fmt.Sprintf("engineered %d instructions (%d fillers, ok=%v)", len(r.Code), r.Fillers, r.OK)
+	return s
+}

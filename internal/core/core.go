@@ -1,0 +1,209 @@
+// Package core is the SDMMon facade: it wires the substrates into the
+// paper's three-entity system (Figure 3) and exposes the lifecycle a
+// downstream user drives:
+//
+//	manufacturer := core.NewManufacturer("acme")
+//	operator     := core.NewOperator("isp")
+//	manufacturer.Certify(operator)                    // installation time
+//	device       := manufacturer.Manufacture("r0", 2) // manufacturing time
+//	pkg          := operator.Program(device.Public(), apps.IPv4CM()) // programming time
+//	report       := device.Install(pkg)               // secure installation
+//	device.Process(packet)                            // runtime, monitored
+//
+// The Device couples a control processor (package verification with Table 2
+// cost accounting) to a multicore NP (internal/npu) whose monitors enforce
+// the installed monitoring graphs.
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+	"sdmmon/internal/npu"
+	"sdmmon/internal/seccrypto"
+	"sdmmon/internal/timing"
+)
+
+// Manufacturer produces devices and certifies operators (root of trust).
+type Manufacturer struct {
+	sec *seccrypto.Manufacturer
+	rng io.Reader
+}
+
+// NewManufacturer creates a manufacturer. rng may be nil (crypto/rand).
+func NewManufacturer(name string, rng io.Reader) (*Manufacturer, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	m, err := seccrypto.NewManufacturer(name, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Manufacturer{sec: m, rng: rng}, nil
+}
+
+// Certify issues the operator's certificate and attaches it ("at
+// installation time", §3.1).
+func (m *Manufacturer) Certify(o *Operator) error {
+	cert, err := m.sec.IssueCertificate(o.sec)
+	if err != nil {
+		return err
+	}
+	o.sec.SetCertificate(cert)
+	return nil
+}
+
+// DeviceConfig sizes a manufactured device.
+type DeviceConfig struct {
+	Cores int
+	// MonitorsEnabled=false builds the insecure baseline device.
+	MonitorsEnabled bool
+	// Compression selects the Merkle compression function; nil means the
+	// paper's arithmetic sum.
+	Compression mhash.Compress
+}
+
+// DefaultDeviceConfig is a 4-core monitored device with the paper's hash.
+func DefaultDeviceConfig() DeviceConfig {
+	return DeviceConfig{Cores: 4, MonitorsEnabled: true}
+}
+
+// Manufacture provisions a device with keys and the manufacturer's root of
+// trust ("at manufacturing time", §3.1).
+func (m *Manufacturer) Manufacture(id string, cfg DeviceConfig) (*Device, error) {
+	ident, err := m.sec.ProvisionDevice(id, m.rng)
+	if err != nil {
+		return nil, err
+	}
+	newHasher := func(p uint32) mhash.Hasher { return mhash.NewMerkle(p) }
+	if cfg.Compression != nil {
+		c := cfg.Compression
+		newHasher = func(p uint32) mhash.Hasher {
+			h, err := mhash.NewMerkleWith(p, 4, c)
+			if err != nil {
+				// Width 4 is always valid; only a nil-safe guard.
+				panic(err)
+			}
+			return h
+		}
+	}
+	np, err := npu.New(npu.Config{
+		Cores:           cfg.Cores,
+		MonitorsEnabled: cfg.MonitorsEnabled,
+		NewHasher:       newHasher,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Device{
+		ID:        id,
+		identity:  ident,
+		np:        np,
+		cost:      timing.NiosIIPrototype(),
+		newHasher: newHasher,
+	}, nil
+}
+
+// Operator prepares and ships signed application bundles.
+type Operator struct {
+	Name string
+	sec  *seccrypto.Operator
+	rng  io.Reader
+	// Compression must match the fleet's device configuration; nil means
+	// the paper's arithmetic sum.
+	Compression mhash.Compress
+}
+
+// NewOperator creates an operator. rng may be nil (crypto/rand).
+func NewOperator(name string, rng io.Reader) (*Operator, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	o, err := seccrypto.NewOperator(name, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Operator{Name: name, sec: o, rng: rng}, nil
+}
+
+// PrepareBundle performs the operator's offline work for one device: draw a
+// fresh random 32-bit hash parameter, assemble the application, and extract
+// the monitoring graph under that parameter.
+func (o *Operator) PrepareBundle(app *apps.App) (*seccrypto.Bundle, error) {
+	prog, err := app.Program()
+	if err != nil {
+		return nil, err
+	}
+	var pb [4]byte
+	if _, err := io.ReadFull(o.rng, pb[:]); err != nil {
+		return nil, fmt.Errorf("core: parameter: %w", err)
+	}
+	param := binary.BigEndian.Uint32(pb[:])
+	var h mhash.Hasher = mhash.NewMerkle(param)
+	if o.Compression != nil {
+		h, err = mhash.NewMerkleWith(param, 4, o.Compression)
+		if err != nil {
+			return nil, err
+		}
+	}
+	g, err := monitor.Extract(prog, h)
+	if err != nil {
+		return nil, err
+	}
+	return &seccrypto.Bundle{
+		Binary:    prog.Serialize(),
+		Graph:     g.Serialize(),
+		HashParam: param,
+	}, nil
+}
+
+// Program builds the signed, encrypted package for one device ("at
+// programming time", §3.1). Each call draws a fresh hash parameter — the
+// heterogeneity requirement SR2.
+func (o *Operator) Program(dev seccrypto.DevicePublic, app *apps.App) (*seccrypto.Package, error) {
+	b, err := o.PrepareBundle(app)
+	if err != nil {
+		return nil, err
+	}
+	return o.sec.BuildPackage(dev, b, o.rng)
+}
+
+// ProgramWire is Program plus wire serialization (what the network
+// transports).
+func (o *Operator) ProgramWire(dev seccrypto.DevicePublic, app *apps.App) ([]byte, error) {
+	p, err := o.Program(dev, app)
+	if err != nil {
+		return nil, err
+	}
+	return p.Marshal(), nil
+}
+
+// Sec exposes the underlying crypto operator (attack models use it to build
+// adversarial packages).
+func (o *Operator) Sec() *seccrypto.Operator { return o.sec }
+
+// Rotate replaces the operator's key pair and obtains a fresh certificate
+// from the manufacturer — the key-rotation extension. The old certificate's
+// serial and key are returned so it can be revoked on the fleet via
+// Device.RevokeCertificate.
+func (o *Operator) Rotate(m *Manufacturer) (oldSerial uint64, oldKeyDER []byte, err error) {
+	old := o.sec.Certificate()
+	if old != nil {
+		oldSerial = old.Serial
+		oldKeyDER = append([]byte(nil), old.KeyDER...)
+	}
+	fresh, err := seccrypto.NewOperator(o.Name, o.rng)
+	if err != nil {
+		return 0, nil, err
+	}
+	o.sec = fresh
+	if err := m.Certify(o); err != nil {
+		return 0, nil, err
+	}
+	return oldSerial, oldKeyDER, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/attack"
+	"sdmmon/internal/mhash"
+)
+
+func TestDeviceAccessors(t *testing.T) {
+	f := getFixture(t)
+	if f.dev.Stats().Processed == 0 {
+		t.Log("no traffic yet on shared fixture (fine)")
+	}
+	if f.dev.CostModel().ClockHz != 100e6 {
+		t.Errorf("cost model clock = %f", f.dev.CostModel().ClockHz)
+	}
+	if f.op.Sec() == nil {
+		t.Error("Sec accessor nil")
+	}
+}
+
+func TestManufactureWithCustomCompression(t *testing.T) {
+	f := getFixture(t)
+	dev, err := f.mfr.Manufacture("router-sbox", DeviceConfig{
+		Cores: 1, MonitorsEnabled: true, Compression: mhash.SBoxCompress(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := NewOperator("sbox-isp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.Compression = mhash.SBoxCompress()
+	if err := f.mfr.Certify(op); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := op.ProgramWire(dev.Public(), apps.IPv4CM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Install(wire); err != nil {
+		t.Fatalf("s-box install: %v", err)
+	}
+	// The device still detects the smash under the hardened hash.
+	smash := attack.DefaultSmash()
+	code, err := smash.HijackPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := smash.CraftPacket(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.Process(atk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Error("s-box device missed the attack")
+	}
+}
+
+func TestCompressionMismatchRejectedAtInstall(t *testing.T) {
+	// Operator extracts the graph with the sum hash but the device runs
+	// the s-box family: the device-side self-check must refuse the bundle.
+	f := getFixture(t)
+	dev, err := f.mfr.Manufacture("router-mismatch", DeviceConfig{
+		Cores: 1, MonitorsEnabled: true, Compression: mhash.SBoxCompress(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := f.op.ProgramWire(dev.Public(), apps.IPv4CM()) // sum-based operator
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Install(wire); err == nil {
+		t.Error("hash-family mismatch installed")
+	}
+}
+
+func TestInstallResidentAndSwitch(t *testing.T) {
+	f := getFixture(t)
+	dev, err := f.mfr.Manufacture("router-lib", DeviceConfig{Cores: 1, MonitorsEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ipv4cm", "udpecho"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := f.op.ProgramWire(dev.Public(), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := dev.InstallResident(wire, name)
+		if err != nil {
+			t.Fatalf("InstallResident(%s): %v", name, err)
+		}
+		if rep.Ops.RSAPrivateOps != 1 {
+			t.Errorf("%s: resident install skipped crypto: %+v", name, rep.Ops)
+		}
+	}
+	// Fast switches between the resident apps, crypto-free.
+	for _, name := range []string{"ipv4cm", "udpecho", "ipv4cm"} {
+		cycles, err := dev.Switch(0, name)
+		if err != nil {
+			t.Fatalf("Switch(%s): %v", name, err)
+		}
+		if cycles == 0 || cycles > 1000 {
+			t.Errorf("switch cycles = %d", cycles)
+		}
+	}
+	// The rogue operator cannot sneak into the library either.
+	rw, err := f.rogue.ProgramWire(dev.Public(), apps.Counter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.InstallResident(rw, "evil"); err == nil {
+		t.Error("rogue resident install accepted")
+	}
+}
+
+func TestPrepareBundleBadApp(t *testing.T) {
+	f := getFixture(t)
+	bad := &apps.App{Name: "broken", Source: "bogus instruction"}
+	if _, err := f.op.PrepareBundle(bad); err == nil {
+		t.Error("broken app bundled")
+	}
+	if _, err := f.op.Program(f.dev.Public(), bad); err == nil {
+		t.Error("broken app programmed")
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/npu"
+	"sdmmon/internal/seccrypto"
+	"sdmmon/internal/timing"
+)
+
+// Device is one router: a control processor holding the device identity and
+// running the secure-installation pipeline, plus a multicore NP.
+type Device struct {
+	ID        string
+	identity  *seccrypto.DeviceIdentity
+	np        *npu.NP
+	cost      timing.CostModel
+	newHasher func(uint32) mhash.Hasher
+
+	installs []InstallReport
+	// pinnedOperatorKey is the operator public key (DER) pinned after the
+	// first successful certificate verification. Later installs skip the
+	// certificate check (the §4.2 optimization) only when the presented
+	// certificate carries this exact key — skipping unconditionally would
+	// let any self-signed certificate through.
+	pinnedOperatorKey []byte
+	// revoked lists certificate serials this device refuses (an extension
+	// beyond the paper: operator key rotation needs a way to retire the
+	// old certificate).
+	revoked map[uint64]bool
+}
+
+// RevokeCertificate blacklists a certificate serial (distributed by the
+// manufacturer out of band). If the pinned operator key was established by
+// that certificate, the pin is dropped so the next install re-verifies.
+func (d *Device) RevokeCertificate(serial uint64, keyDER []byte) {
+	if d.revoked == nil {
+		d.revoked = map[uint64]bool{}
+	}
+	d.revoked[serial] = true
+	if keyDER != nil && bytes.Equal(d.pinnedOperatorKey, keyDER) {
+		d.pinnedOperatorKey = nil
+	}
+}
+
+// Public returns the device's public identity for the operator inventory.
+func (d *Device) Public() seccrypto.DevicePublic { return d.identity.PublicInfo() }
+
+// NP exposes the network processor (stats, scratch, per-core access).
+func (d *Device) NP() *npu.NP { return d.np }
+
+// InstallReport records one secure installation with its cost accounting.
+type InstallReport struct {
+	App          string
+	WireBytes    int
+	Ops          seccrypto.OpCounts
+	ModelSeconds float64 // control-processor time per the Table 2 model
+	CertChecked  bool
+}
+
+// Installs returns the install history.
+func (d *Device) Installs() []InstallReport { return d.installs }
+
+// Install runs the device side of the protocol on a wire-format package:
+// verify, decrypt, check, then load binary+graph+parameter onto every NP
+// core. The certificate check runs on the first installation and is skipped
+// afterwards, as in §4.2.
+func (d *Device) Install(wire []byte) (*InstallReport, error) {
+	return d.install(wire, -1)
+}
+
+// InstallOn installs onto a single core (dynamic per-core workloads, §1).
+func (d *Device) InstallOn(wire []byte, coreID int) (*InstallReport, error) {
+	return d.install(wire, coreID)
+}
+
+func (d *Device) install(wire []byte, coreID int) (*InstallReport, error) {
+	pkg, err := seccrypto.UnmarshalPackage(wire)
+	if err != nil {
+		return nil, err
+	}
+	if pkg.Cert != nil && d.revoked[pkg.Cert.Serial] {
+		return nil, fmt.Errorf("core: certificate serial %d revoked: %w",
+			pkg.Cert.Serial, seccrypto.ErrBadCertificate)
+	}
+	skipCert := pkg.Cert != nil && d.pinnedOperatorKey != nil &&
+		bytes.Equal(pkg.Cert.KeyDER, d.pinnedOperatorKey)
+	bundle, ops, err := d.identity.OpenPackage(pkg, skipCert)
+	if err != nil {
+		return nil, err
+	}
+	ops.DownloadBytes = len(wire)
+
+	name := fmt.Sprintf("bundle-%s", pkg.DigestHex())
+	if coreID < 0 {
+		err = d.np.InstallAll(name, bundle.Binary, bundle.Graph, bundle.HashParam)
+	} else {
+		err = d.np.Install(coreID, name, bundle.Binary, bundle.Graph, bundle.HashParam)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d.pinnedOperatorKey = append([]byte(nil), pkg.Cert.KeyDER...)
+
+	rep := InstallReport{
+		App:          name,
+		WireBytes:    len(wire),
+		Ops:          ops,
+		ModelSeconds: d.cost.EstimateOps(ops),
+		CertChecked:  !skipCert,
+	}
+	d.installs = append(d.installs, rep)
+	return &rep, nil
+}
+
+// InstallResident verifies a package and stores its bundle in the NP's
+// resident application library under the given name, without programming
+// any core. Cores switch to resident applications in microseconds via
+// Switch — the §4.2 fast path for dynamic workload changes.
+func (d *Device) InstallResident(wire []byte, name string) (*InstallReport, error) {
+	pkg, err := seccrypto.UnmarshalPackage(wire)
+	if err != nil {
+		return nil, err
+	}
+	if pkg.Cert != nil && d.revoked[pkg.Cert.Serial] {
+		return nil, fmt.Errorf("core: certificate serial %d revoked: %w",
+			pkg.Cert.Serial, seccrypto.ErrBadCertificate)
+	}
+	skipCert := pkg.Cert != nil && d.pinnedOperatorKey != nil &&
+		bytes.Equal(pkg.Cert.KeyDER, d.pinnedOperatorKey)
+	bundle, ops, err := d.identity.OpenPackage(pkg, skipCert)
+	if err != nil {
+		return nil, err
+	}
+	ops.DownloadBytes = len(wire)
+	if err := d.np.LoadLibrary(name, bundle.Binary, bundle.Graph, bundle.HashParam); err != nil {
+		return nil, err
+	}
+	d.pinnedOperatorKey = append([]byte(nil), pkg.Cert.KeyDER...)
+	rep := InstallReport{
+		App:          name,
+		WireBytes:    len(wire),
+		Ops:          ops,
+		ModelSeconds: d.cost.EstimateOps(ops),
+		CertChecked:  !skipCert,
+	}
+	d.installs = append(d.installs, rep)
+	return &rep, nil
+}
+
+// Switch points a core at a resident application (no cryptography on this
+// path). Returns the simulated switch cost in core cycles.
+func (d *Device) Switch(coreID int, name string) (uint64, error) {
+	return d.np.Switch(coreID, name)
+}
+
+// Process runs one packet through the NP (round-robin core dispatch).
+func (d *Device) Process(pkt []byte, qdepth int) (npu.Result, error) {
+	return d.np.Process(pkt, qdepth)
+}
+
+// Stats returns the NP statistics.
+func (d *Device) Stats() npu.Stats { return d.np.Stats() }
+
+// CostModel exposes the control-processor timing model.
+func (d *Device) CostModel() timing.CostModel { return d.cost }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/seccrypto"
+)
+
+// Key rotation + revocation extension: the operator rotates its keys, the
+// fleet revokes the old certificate, and packages signed before the
+// rotation stop installing while fresh ones flow.
+func TestKeyRotationAndRevocation(t *testing.T) {
+	f := getFixture(t)
+	dev, err := f.mfr.Manufacture("router-rot", DeviceConfig{Cores: 1, MonitorsEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := NewOperator("rotating-isp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.mfr.Certify(op); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-rotation package installs and pins the old key.
+	oldWire, err := op.ProgramWire(dev.Public(), apps.Counter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Install(oldWire); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rotate and revoke the old certificate on the device.
+	oldSerial, oldKey, err := op.Rotate(f.mfr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldSerial == 0 || len(oldKey) == 0 {
+		t.Fatal("rotation did not report the old credential")
+	}
+	dev.RevokeCertificate(oldSerial, oldKey)
+
+	// A replay of the pre-rotation package is now refused.
+	if _, err := dev.Install(oldWire); !errors.Is(err, seccrypto.ErrBadCertificate) {
+		t.Errorf("pre-rotation package: err = %v, want revoked certificate", err)
+	}
+
+	// Fresh packages signed with the rotated key install (full cert check
+	// since the pin was dropped), and re-pin the new key.
+	newWire, err := op.ProgramWire(dev.Public(), apps.UDPEcho())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dev.Install(newWire)
+	if err != nil {
+		t.Fatalf("post-rotation install: %v", err)
+	}
+	if !rep.CertChecked {
+		t.Error("post-rotation install skipped the certificate check")
+	}
+	// Second post-rotation install skips the check again (new pin).
+	newWire2, err := op.ProgramWire(dev.Public(), apps.Counter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := dev.Install(newWire2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.CertChecked {
+		t.Error("new key not pinned after rotation")
+	}
+}
+
+func TestRevocationWithoutPinDrop(t *testing.T) {
+	f := getFixture(t)
+	dev, err := f.mfr.Manufacture("router-rev", DeviceConfig{Cores: 1, MonitorsEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Revoking an unrelated serial must not disturb normal operation.
+	dev.RevokeCertificate(9999, nil)
+	wire, err := f.op.ProgramWire(dev.Public(), apps.Counter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Install(wire); err != nil {
+		t.Fatalf("unrelated revocation broke installs: %v", err)
+	}
+}

@@ -1,0 +1,166 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"sdmmon/internal/asm"
+	"sdmmon/internal/isa"
+)
+
+func TestExceptionStringsAndErrors(t *testing.T) {
+	kinds := []ExceptionKind{ExcNone, ExcReservedInstr, ExcUnaligned, ExcBusError,
+		ExcOverflow, ExcMonitorAlarm, ExcCycleLimit, ExcSyscall, ExceptionKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", int(k))
+		}
+	}
+	e := &Exception{Kind: ExcBusError, PC: 0x40, Addr: 0x1000}
+	msg := e.Error()
+	for _, want := range []string{"bus-error", "0x40", "0x1000"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestMemoryStringer(t *testing.T) {
+	m := NewMemory(8192)
+	if !strings.Contains(m.String(), "8 KiB") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestMemorySubWordBounds(t *testing.T) {
+	m := NewMemory(16)
+	// In-range sub-word accesses.
+	if !m.Store16(0, 0xAABB) || !m.Store8(2, 0xCC) {
+		t.Fatal("in-range stores failed")
+	}
+	if v, ok := m.Load16(0); !ok || v != 0xAABB {
+		t.Errorf("Load16 = %#x, %v", v, ok)
+	}
+	if v, ok := m.Load8(2); !ok || v != 0xCC {
+		t.Errorf("Load8 = %#x, %v", v, ok)
+	}
+	// Out-of-range accesses fail cleanly at every width.
+	if m.Store16(15, 1) || m.Store8(16, 1) || m.Store32(14, 1) {
+		t.Error("out-of-range store succeeded")
+	}
+	if _, ok := m.Load16(15); ok {
+		t.Error("out-of-range Load16 succeeded")
+	}
+	if _, ok := m.Load8(16); ok {
+		t.Error("out-of-range Load8 succeeded")
+	}
+	if _, ok := m.Load32(14); ok {
+		t.Error("out-of-range Load32 succeeded")
+	}
+}
+
+func TestMMIOSubWordAccess(t *testing.T) {
+	m := NewMemory(4096)
+	dev := &recordingDevice{}
+	m.MapMMIO(0xF00, 16, dev)
+	p := asm.MustAssemble(`
+		.equ DEV, 0xF00
+		.text 0x0
+	main:
+		li $t0, DEV
+		li $t1, 0xAB
+		sb $t1, 0($t0)
+		sh $t1, 2($t0)
+		lbu $v0, 4($t0)
+		lhu $v1, 6($t0)
+		break
+	`)
+	p.LoadInto(m)
+	c := New(m, 0)
+	if _, exc := c.Run(1000); exc != nil {
+		t.Fatal(exc)
+	}
+	if dev.stores[1] != 1 || dev.stores[2] != 1 {
+		t.Errorf("sub-word stores not routed: %v", dev.stores)
+	}
+	if c.Regs[isa.RegV0] != 0x5A || c.Regs[isa.RegV1] != 0x5A5A&0xFFFF {
+		t.Errorf("sub-word loads: v0=%#x v1=%#x", c.Regs[isa.RegV0], c.Regs[isa.RegV1])
+	}
+}
+
+type recordingDevice struct {
+	stores map[int]int
+}
+
+func (d *recordingDevice) Load(addr uint32, size int) uint32 {
+	if size == 1 {
+		return 0x5A
+	}
+	return 0x5A5A
+}
+
+func (d *recordingDevice) Store(addr uint32, size int, v uint32) {
+	if d.stores == nil {
+		d.stores = map[int]int{}
+	}
+	d.stores[size]++
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	p := asm.MustAssemble(".text 0x0\nmain:\nbreak\n")
+	m := NewMemory(4096)
+	p.LoadInto(m)
+	c := New(m, 0)
+	if _, exc := c.Run(10); exc != nil {
+		t.Fatal(exc)
+	}
+	if !c.Halted() {
+		t.Fatal("not halted")
+	}
+	// A second Run is a no-op on a halted core.
+	cycles, exc := c.Run(10)
+	if exc != nil || cycles != 0 {
+		t.Errorf("halted Run: %d cycles, %v", cycles, exc)
+	}
+}
+
+func TestUnalignedHalfwordStore(t *testing.T) {
+	p := asm.MustAssemble(`
+		.text 0x0
+	main:
+		li $t0, 0x1001
+		sh $t1, 0($t0)
+		break
+	`)
+	m := NewMemory(8192)
+	p.LoadInto(m)
+	c := New(m, 0)
+	_, exc := c.Run(100)
+	if exc == nil || exc.Kind != ExcUnaligned {
+		t.Errorf("exc = %v", exc)
+	}
+}
+
+func TestStoreBusErrors(t *testing.T) {
+	for _, src := range []string{
+		"li $t0, 0x7000\nlui $t0, 0x7000\nsb $t1, 0($t0)",
+		"lui $t0, 0x7000\nsh $t1, 0($t0)",
+		"lui $t0, 0x7000\nsw $t1, 0($t0)",
+		"lui $t0, 0x7000\nlb $v0, 0($t0)",
+		"lui $t0, 0x7000\nlh $v0, 0($t0)",
+		"lui $t0, 0x7000\nlhu $v0, 0($t0)",
+		"lui $t0, 0x7000\nlbu $v0, 0($t0)",
+	} {
+		p, err := asm.Assemble(".text 0x0\nmain:\n" + src + "\nbreak\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMemory(4096)
+		p.LoadInto(m)
+		c := New(m, 0)
+		_, exc := c.Run(100)
+		if exc == nil || exc.Kind != ExcBusError {
+			t.Errorf("%q: exc = %v", src, exc)
+		}
+	}
+}

@@ -1,0 +1,547 @@
+package cpu
+
+import (
+	"testing"
+
+	"sdmmon/internal/asm"
+	"sdmmon/internal/isa"
+)
+
+// runProgram assembles src, loads it into a fresh 64 KiB machine and runs to
+// completion (or exception).
+func runProgram(t *testing.T, src string) (*CPU, *Exception) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	mem := NewMemory(64 * 1024)
+	p.LoadInto(mem)
+	c := New(mem, p.Entry)
+	c.Regs[isa.RegSP] = uint32(mem.Size())
+	_, exc := c.Run(1_000_000)
+	return c, exc
+}
+
+func TestArithmetic(t *testing.T) {
+	c, exc := runProgram(t, `
+		.text 0x0
+	main:
+		li $t0, 20
+		li $t1, 22
+		addu $v0, $t0, $t1     # 42
+		subu $v1, $t1, $t0     # 2
+		and  $a0, $t0, $t1     # 20 & 22 = 20
+		or   $a1, $t0, $t1     # 22
+		xor  $a2, $t0, $t1     # 2
+		nor  $a3, $zero, $zero # 0xFFFFFFFF
+		break
+	`)
+	if exc != nil {
+		t.Fatalf("exception: %v", exc)
+	}
+	if c.Regs[isa.RegV0] != 42 {
+		t.Errorf("v0 = %d, want 42", c.Regs[isa.RegV0])
+	}
+	if c.Regs[isa.RegV1] != 2 {
+		t.Errorf("v1 = %d", c.Regs[isa.RegV1])
+	}
+	if c.Regs[isa.RegA0] != 20 || c.Regs[isa.RegA1] != 22 || c.Regs[isa.RegA2] != 2 {
+		t.Errorf("logic ops wrong: %d %d %d", c.Regs[isa.RegA0], c.Regs[isa.RegA1], c.Regs[isa.RegA2])
+	}
+	if c.Regs[isa.RegA3] != 0xFFFFFFFF {
+		t.Errorf("nor = %#x", c.Regs[isa.RegA3])
+	}
+	if !c.Halted() {
+		t.Error("core should have halted on break")
+	}
+}
+
+func TestShifts(t *testing.T) {
+	c, exc := runProgram(t, `
+		.text 0x0
+	main:
+		li $t0, 0x80000000
+		srl $t1, $t0, 4        # 0x08000000
+		sra $t2, $t0, 4        # 0xF8000000
+		li $t3, 3
+		sllv $t4, $t3, $t3     # 3 << 3 = 24
+		break
+	`)
+	if exc != nil {
+		t.Fatalf("exception: %v", exc)
+	}
+	if c.Regs[isa.RegT1] != 0x08000000 {
+		t.Errorf("srl = %#x", c.Regs[isa.RegT1])
+	}
+	if c.Regs[isa.RegT2] != 0xF8000000 {
+		t.Errorf("sra = %#x", c.Regs[isa.RegT2])
+	}
+	if c.Regs[isa.RegT4] != 24 {
+		t.Errorf("sllv = %d", c.Regs[isa.RegT4])
+	}
+}
+
+func TestMultDiv(t *testing.T) {
+	c, exc := runProgram(t, `
+		.text 0x0
+	main:
+		li $t0, -6
+		li $t1, 7
+		mult $t0, $t1
+		mflo $v0              # -42
+		li $t2, 45
+		li $t3, 7
+		divu $t2, $t3
+		mflo $v1              # 6
+		mfhi $a0              # 3
+		break
+	`)
+	if exc != nil {
+		t.Fatalf("exception: %v", exc)
+	}
+	if int32(c.Regs[isa.RegV0]) != -42 {
+		t.Errorf("mult lo = %d", int32(c.Regs[isa.RegV0]))
+	}
+	if c.Regs[isa.RegV1] != 6 || c.Regs[isa.RegA0] != 3 {
+		t.Errorf("divu = %d rem %d", c.Regs[isa.RegV1], c.Regs[isa.RegA0])
+	}
+}
+
+func TestMult64BitResult(t *testing.T) {
+	c, exc := runProgram(t, `
+		.text 0x0
+	main:
+		li $t0, 0x10000
+		li $t1, 0x10000
+		multu $t0, $t1
+		mfhi $v0              # 1
+		mflo $v1              # 0
+		break
+	`)
+	if exc != nil {
+		t.Fatalf("exception: %v", exc)
+	}
+	if c.Regs[isa.RegV0] != 1 || c.Regs[isa.RegV1] != 0 {
+		t.Errorf("hi:lo = %#x:%#x", c.Regs[isa.RegV0], c.Regs[isa.RegV1])
+	}
+}
+
+func TestLoadsStores(t *testing.T) {
+	c, exc := runProgram(t, `
+		.text 0x0
+	main:
+		la $t0, buf
+		li $t1, 0xDEADBEEF
+		sw $t1, 0($t0)
+		lw $v0, 0($t0)
+		lb $v1, 0($t0)        # 0xDE sign-extended = -34
+		lbu $a0, 0($t0)       # 0xDE = 222
+		lh $a1, 2($t0)        # 0xBEEF sign-extended
+		lhu $a2, 2($t0)       # 0xBEEF
+		sb $zero, 3($t0)
+		lw $a3, 0($t0)        # 0xDEADBE00
+		break
+		.data 0x1000
+	buf:	.space 16
+	`)
+	if exc != nil {
+		t.Fatalf("exception: %v", exc)
+	}
+	if c.Regs[isa.RegV0] != 0xDEADBEEF {
+		t.Errorf("lw = %#x", c.Regs[isa.RegV0])
+	}
+	if int32(c.Regs[isa.RegV1]) != -34 {
+		t.Errorf("lb = %d", int32(c.Regs[isa.RegV1]))
+	}
+	if c.Regs[isa.RegA0] != 222 {
+		t.Errorf("lbu = %d", c.Regs[isa.RegA0])
+	}
+	beef := uint16(0xBEEF)
+	if int32(c.Regs[isa.RegA1]) != int32(int16(beef)) {
+		t.Errorf("lh = %d", int32(c.Regs[isa.RegA1]))
+	}
+	if c.Regs[isa.RegA2] != 0xBEEF {
+		t.Errorf("lhu = %#x", c.Regs[isa.RegA2])
+	}
+	if c.Regs[isa.RegA3] != 0xDEADBE00 {
+		t.Errorf("after sb: %#x", c.Regs[isa.RegA3])
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..10 = 55.
+	c, exc := runProgram(t, `
+		.text 0x0
+	main:
+		li $t0, 10
+		li $v0, 0
+	loop:
+		addu $v0, $v0, $t0
+		addiu $t0, $t0, -1
+		bgtz $t0, loop
+		break
+	`)
+	if exc != nil {
+		t.Fatalf("exception: %v", exc)
+	}
+	if c.Regs[isa.RegV0] != 55 {
+		t.Errorf("sum = %d, want 55", c.Regs[isa.RegV0])
+	}
+}
+
+func TestFunctionCall(t *testing.T) {
+	c, exc := runProgram(t, `
+		.text 0x0
+	main:
+		li $a0, 5
+		jal double
+		move $t5, $v0
+		li $a0, 21
+		jal double
+		addu $v0, $v0, $t5    # 10 + 42 = 52
+		break
+	double:
+		addu $v0, $a0, $a0
+		jr $ra
+	`)
+	if exc != nil {
+		t.Fatalf("exception: %v", exc)
+	}
+	if c.Regs[isa.RegV0] != 52 {
+		t.Errorf("v0 = %d, want 52", c.Regs[isa.RegV0])
+	}
+}
+
+func TestStackPushPop(t *testing.T) {
+	c, exc := runProgram(t, `
+		.text 0x0
+	main:
+		li $t0, 111
+		li $t1, 222
+		push $t0
+		push $t1
+		pop $t2              # 222
+		pop $t3              # 111
+		break
+	`)
+	if exc != nil {
+		t.Fatalf("exception: %v", exc)
+	}
+	if c.Regs[isa.RegT2] != 222 || c.Regs[isa.RegT3] != 111 {
+		t.Errorf("stack: t2=%d t3=%d", c.Regs[isa.RegT2], c.Regs[isa.RegT3])
+	}
+	if c.Regs[isa.RegSP] != uint32(c.Mem.Size()) {
+		t.Errorf("sp not restored: %#x", c.Regs[isa.RegSP])
+	}
+}
+
+func TestRegZeroIsHardwired(t *testing.T) {
+	c, exc := runProgram(t, `
+		.text 0x0
+	main:
+		li $t0, 7
+		addu $zero, $t0, $t0
+		move $v0, $zero
+		break
+	`)
+	if exc != nil {
+		t.Fatalf("exception: %v", exc)
+	}
+	if c.Regs[isa.RegZero] != 0 || c.Regs[isa.RegV0] != 0 {
+		t.Error("$zero was written")
+	}
+}
+
+func TestOverflowException(t *testing.T) {
+	_, exc := runProgram(t, `
+		.text 0x0
+	main:
+		li $t0, 0x7FFFFFFF
+		li $t1, 1
+		add $v0, $t0, $t1
+		break
+	`)
+	if exc == nil || exc.Kind != ExcOverflow {
+		t.Errorf("exception = %v, want overflow", exc)
+	}
+}
+
+func TestUnalignedException(t *testing.T) {
+	_, exc := runProgram(t, `
+		.text 0x0
+	main:
+		li $t0, 0x1001
+		lw $v0, 0($t0)
+		break
+	`)
+	if exc == nil || exc.Kind != ExcUnaligned {
+		t.Errorf("exception = %v, want unaligned", exc)
+	}
+}
+
+func TestBusErrorException(t *testing.T) {
+	_, exc := runProgram(t, `
+		.text 0x0
+	main:
+		lui $t0, 0x7000
+		lw $v0, 0($t0)
+		break
+	`)
+	if exc == nil || exc.Kind != ExcBusError {
+		t.Errorf("exception = %v, want bus error", exc)
+	}
+}
+
+func TestReservedInstructionException(t *testing.T) {
+	_, exc := runProgram(t, `
+		.text 0x0
+	main:
+		.word 0xFC000000
+		break
+	`)
+	if exc == nil || exc.Kind != ExcReservedInstr {
+		t.Errorf("exception = %v, want reserved instruction", exc)
+	}
+}
+
+func TestCycleLimit(t *testing.T) {
+	_, exc := runProgram(t, `
+		.text 0x0
+	main:
+		b main
+	`)
+	if exc == nil || exc.Kind != ExcCycleLimit {
+		t.Errorf("exception = %v, want cycle limit", exc)
+	}
+}
+
+func TestSyscallHook(t *testing.T) {
+	p := asm.MustAssemble(`
+		.text 0x0
+	main:
+		li $v0, 7
+		syscall
+		li $v1, 1
+		break
+	`)
+	mem := NewMemory(4096)
+	p.LoadInto(mem)
+	c := New(mem, p.Entry)
+	var got uint32
+	c.Syscall = func(c *CPU) bool {
+		got = c.Regs[isa.RegV0]
+		return true
+	}
+	if _, exc := c.Run(1000); exc != nil {
+		t.Fatalf("exception: %v", exc)
+	}
+	if got != 7 {
+		t.Errorf("syscall saw v0=%d", got)
+	}
+	if c.Regs[isa.RegV1] != 1 {
+		t.Error("execution did not continue after syscall")
+	}
+}
+
+func TestSyscallWithoutHandler(t *testing.T) {
+	_, exc := runProgram(t, `
+		.text 0x0
+	main:
+		syscall
+		break
+	`)
+	if exc == nil || exc.Kind != ExcSyscall {
+		t.Errorf("exception = %v, want syscall", exc)
+	}
+}
+
+func TestTraceTapSeesEveryInstruction(t *testing.T) {
+	p := asm.MustAssemble(`
+		.text 0x0
+	main:
+		li $t0, 3
+	loop:
+		addiu $t0, $t0, -1
+		bgtz $t0, loop
+		break
+	`)
+	mem := NewMemory(4096)
+	p.LoadInto(mem)
+	c := New(mem, p.Entry)
+	var trace []uint32
+	c.Trace = func(pc uint32, w isa.Word) bool {
+		trace = append(trace, pc)
+		return true
+	}
+	if _, exc := c.Run(1000); exc != nil {
+		t.Fatalf("exception: %v", exc)
+	}
+	// li; (addiu; bgtz) x3; break = 8 instructions.
+	if len(trace) != 8 {
+		t.Fatalf("trace length = %d, want 8: %x", len(trace), trace)
+	}
+	if uint64(len(trace)) != c.Retired {
+		t.Errorf("Retired = %d, trace = %d", c.Retired, len(trace))
+	}
+	want := []uint32{0, 4, 8, 4, 8, 4, 8, 12}
+	for i, pc := range want {
+		if trace[i] != pc {
+			t.Errorf("trace[%d] = %#x, want %#x", i, trace[i], pc)
+		}
+	}
+}
+
+func TestTraceAlarmStopsCore(t *testing.T) {
+	p := asm.MustAssemble(`
+		.text 0x0
+	main:
+		nop
+		nop
+		nop
+		break
+	`)
+	mem := NewMemory(4096)
+	p.LoadInto(mem)
+	c := New(mem, p.Entry)
+	n := 0
+	c.Trace = func(pc uint32, w isa.Word) bool {
+		n++
+		return n < 2 // alarm on the second instruction
+	}
+	_, exc := c.Run(1000)
+	if exc == nil || exc.Kind != ExcMonitorAlarm {
+		t.Fatalf("exception = %v, want monitor alarm", exc)
+	}
+	if exc.PC != 4 {
+		t.Errorf("alarm pc = %#x, want 0x4", exc.PC)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	mem := NewMemory(4096)
+	c := New(mem, 0x40)
+	c.Regs[5] = 99
+	c.Hi, c.Lo = 1, 2
+	c.PC = 0x80
+	c.Reset(0x10)
+	if c.PC != 0x10 || c.Regs[5] != 0 || c.Hi != 0 || c.Lo != 0 {
+		t.Error("reset did not clear state")
+	}
+	if c.Halted() {
+		t.Error("reset core should not be halted")
+	}
+}
+
+func TestCycleCosts(t *testing.T) {
+	p := asm.MustAssemble(`
+		.text 0x0
+	main:
+		mult $t0, $t1
+		break
+	`)
+	mem := NewMemory(4096)
+	p.LoadInto(mem)
+	c := New(mem, 0)
+	c.Run(1000)
+	// mult = 1+3, break = 1.
+	if c.Cycles != 5 {
+		t.Errorf("cycles = %d, want 5", c.Cycles)
+	}
+	if c.Retired != 2 {
+		t.Errorf("retired = %d, want 2", c.Retired)
+	}
+}
+
+func TestMMIO(t *testing.T) {
+	mem := NewMemory(4096)
+	dev := &testDevice{}
+	mem.MapMMIO(0x0000F000, 16, dev)
+	p := asm.MustAssemble(`
+		.equ DEV, 0xF000
+		.text 0x0
+	main:
+		li $t0, DEV
+		li $t1, 0x1234
+		sw $t1, 0($t0)
+		lw $v0, 4($t0)
+		break
+	`)
+	p.LoadInto(mem)
+	c := New(mem, 0)
+	if _, exc := c.Run(1000); exc != nil {
+		t.Fatalf("exception: %v", exc)
+	}
+	if dev.stored != 0x1234 {
+		t.Errorf("MMIO store saw %#x", dev.stored)
+	}
+	if c.Regs[isa.RegV0] != 0xCAFE {
+		t.Errorf("MMIO load = %#x", c.Regs[isa.RegV0])
+	}
+}
+
+type testDevice struct{ stored uint32 }
+
+func (d *testDevice) Load(addr uint32, size int) uint32     { return 0xCAFE }
+func (d *testDevice) Store(addr uint32, size int, v uint32) { d.stored = v }
+
+func TestMemoryHelpers(t *testing.T) {
+	m := NewMemory(100) // rounds to 100 -> 100 already multiple of 4
+	if m.Size() != 100 {
+		t.Errorf("size = %d", m.Size())
+	}
+	m.WriteBytes(10, []byte{1, 2, 3, 4})
+	got := m.ReadBytes(10, 4)
+	if got[0] != 1 || got[3] != 4 {
+		t.Errorf("ReadBytes = %v", got)
+	}
+	// Out-of-range operations are safe no-ops / zero fills.
+	m.WriteBytes(1000, []byte{9})
+	z := m.ReadBytes(1000, 2)
+	if z[0] != 0 {
+		t.Error("out-of-range read should return zeros")
+	}
+	m.Reset()
+	if m.ReadBytes(10, 1)[0] != 0 {
+		t.Error("Reset did not clear RAM")
+	}
+}
+
+func TestJALRLinksCorrectly(t *testing.T) {
+	c, exc := runProgram(t, `
+		.text 0x0
+	main:
+		la $t9, target
+		jalr $t9
+		break
+	target:
+		move $v0, $ra
+		jr $ra
+	`)
+	if exc != nil {
+		t.Fatalf("exception: %v", exc)
+	}
+	// jalr is the third instruction (la = 2 words), so ra = 0xC.
+	if c.Regs[isa.RegV0] != 0xC {
+		t.Errorf("ra = %#x, want 0xC", c.Regs[isa.RegV0])
+	}
+}
+
+func TestBltzalLinks(t *testing.T) {
+	c, exc := runProgram(t, `
+		.text 0x0
+	main:
+		li $t0, -1
+		bltzal $t0, sub
+		break
+	sub:
+		move $v0, $ra
+		jr $ra
+	`)
+	if exc != nil {
+		t.Fatalf("exception: %v", exc)
+	}
+	if c.Regs[isa.RegV0] != 0x8 {
+		t.Errorf("ra = %#x, want 0x8", c.Regs[isa.RegV0])
+	}
+}

@@ -1,0 +1,21 @@
+package cpu
+
+import (
+	"testing"
+
+	"sdmmon/internal/isa"
+)
+
+func TestDivOverflowCornerDoesNotPanic(t *testing.T) {
+	mem := NewMemory(4096)
+	mem.Store32(0, uint32(isa.EncodeR(isa.FnDIV, isa.RegT0, isa.RegT1, 0, 0)))
+	c := New(mem, 0)
+	c.Regs[isa.RegT0] = 0x80000000 // INT_MIN
+	c.Regs[isa.RegT1] = 0xFFFFFFFF // -1
+	if exc := c.Step(); exc != nil {
+		t.Fatal(exc)
+	}
+	if c.Lo != 0x80000000 || c.Hi != 0 {
+		t.Errorf("hi:lo = %#x:%#x", c.Hi, c.Lo)
+	}
+}

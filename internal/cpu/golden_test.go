@@ -1,0 +1,287 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdmmon/internal/isa"
+)
+
+// Golden-model differential test: execute single random ALU instructions on
+// the core and compare every architectural effect against an independent
+// Go model of the MIPS semantics.
+
+type aluCase struct {
+	fn       uint32
+	signedOv bool
+	model    func(rs, rt uint32) uint32
+}
+
+var aluCases = []aluCase{
+	{isa.FnADDU, false, func(rs, rt uint32) uint32 { return rs + rt }},
+	{isa.FnSUBU, false, func(rs, rt uint32) uint32 { return rs - rt }},
+	{isa.FnAND, false, func(rs, rt uint32) uint32 { return rs & rt }},
+	{isa.FnOR, false, func(rs, rt uint32) uint32 { return rs | rt }},
+	{isa.FnXOR, false, func(rs, rt uint32) uint32 { return rs ^ rt }},
+	{isa.FnNOR, false, func(rs, rt uint32) uint32 { return ^(rs | rt) }},
+	{isa.FnSLT, false, func(rs, rt uint32) uint32 {
+		if int32(rs) < int32(rt) {
+			return 1
+		}
+		return 0
+	}},
+	{isa.FnSLTU, false, func(rs, rt uint32) uint32 {
+		if rs < rt {
+			return 1
+		}
+		return 0
+	}},
+	{isa.FnSLLV, false, func(rs, rt uint32) uint32 { return rt << (rs & 31) }},
+	{isa.FnSRLV, false, func(rs, rt uint32) uint32 { return rt >> (rs & 31) }},
+	{isa.FnSRAV, false, func(rs, rt uint32) uint32 { return uint32(int32(rt) >> (rs & 31)) }},
+}
+
+func TestGoldenRTypeALU(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	mem := NewMemory(4096)
+	for iter := 0; iter < 4000; iter++ {
+		tc := aluCases[rng.Intn(len(aluCases))]
+		rsN, rtN, rdN := uint32(8+rng.Intn(8)), uint32(16+rng.Intn(8)), uint32(2+rng.Intn(4))
+		rsV, rtV := rng.Uint32(), rng.Uint32()
+		w := isa.EncodeR(tc.fn, rsN, rtN, rdN, 0)
+		mem.Store32(0, uint32(w))
+		c := New(mem, 0)
+		c.Regs[rsN] = rsV
+		c.Regs[rtN] = rtV
+		if exc := c.Step(); exc != nil {
+			t.Fatalf("%s: %v", isa.Disasm(0, w), exc)
+		}
+		// The model must read the *possibly aliased* register state: if
+		// rs == rt the written value is whatever was stored last.
+		mrs, mrt := rsV, rtV
+		if rsN == rtN {
+			mrs = rtV
+			mrt = rtV
+		}
+		want := tc.model(mrs, mrt)
+		if c.Regs[rdN] != want {
+			t.Fatalf("%s with rs=%#x rt=%#x: rd=%#x, want %#x",
+				isa.Disasm(0, w), mrs, mrt, c.Regs[rdN], want)
+		}
+		if c.PC != 4 {
+			t.Fatalf("pc = %#x after ALU op", c.PC)
+		}
+	}
+}
+
+func TestGoldenShiftImmediates(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	mem := NewMemory(4096)
+	for iter := 0; iter < 2000; iter++ {
+		sh := uint32(rng.Intn(32))
+		rtV := rng.Uint32()
+		var fn uint32
+		var want uint32
+		switch rng.Intn(3) {
+		case 0:
+			fn, want = isa.FnSLL, rtV<<sh
+		case 1:
+			fn, want = isa.FnSRL, rtV>>sh
+		case 2:
+			fn, want = isa.FnSRA, uint32(int32(rtV)>>sh)
+		}
+		w := isa.EncodeR(fn, 0, isa.RegT0, isa.RegT1, sh)
+		mem.Store32(0, uint32(w))
+		c := New(mem, 0)
+		c.Regs[isa.RegT0] = rtV
+		if exc := c.Step(); exc != nil {
+			t.Fatal(exc)
+		}
+		if c.Regs[isa.RegT1] != want {
+			t.Fatalf("%s rt=%#x: got %#x want %#x", isa.Disasm(0, w), rtV, c.Regs[isa.RegT1], want)
+		}
+	}
+}
+
+func TestGoldenImmediates(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	mem := NewMemory(4096)
+	type icase struct {
+		op    uint32
+		model func(rs uint32, imm uint16) uint32
+	}
+	cases := []icase{
+		{isa.OpADDIU, func(rs uint32, imm uint16) uint32 { return rs + uint32(int32(int16(imm))) }},
+		{isa.OpANDI, func(rs uint32, imm uint16) uint32 { return rs & uint32(imm) }},
+		{isa.OpORI, func(rs uint32, imm uint16) uint32 { return rs | uint32(imm) }},
+		{isa.OpXORI, func(rs uint32, imm uint16) uint32 { return rs ^ uint32(imm) }},
+		{isa.OpLUI, func(rs uint32, imm uint16) uint32 { return uint32(imm) << 16 }},
+		{isa.OpSLTI, func(rs uint32, imm uint16) uint32 {
+			if int32(rs) < int32(int16(imm)) {
+				return 1
+			}
+			return 0
+		}},
+		{isa.OpSLTIU, func(rs uint32, imm uint16) uint32 {
+			if rs < uint32(int32(int16(imm))) {
+				return 1
+			}
+			return 0
+		}},
+	}
+	for iter := 0; iter < 4000; iter++ {
+		tc := cases[rng.Intn(len(cases))]
+		rsV := rng.Uint32()
+		imm := uint16(rng.Uint32())
+		w := isa.EncodeI(tc.op, isa.RegT0, isa.RegT1, imm)
+		mem.Store32(0, uint32(w))
+		c := New(mem, 0)
+		c.Regs[isa.RegT0] = rsV
+		if exc := c.Step(); exc != nil {
+			t.Fatal(exc)
+		}
+		if want := tc.model(rsV, imm); c.Regs[isa.RegT1] != want {
+			t.Fatalf("%s rs=%#x: got %#x want %#x", isa.Disasm(0, w), rsV, c.Regs[isa.RegT1], want)
+		}
+	}
+}
+
+func TestGoldenMultDiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	mem := NewMemory(4096)
+	for iter := 0; iter < 3000; iter++ {
+		rsV, rtV := rng.Uint32(), rng.Uint32()
+		var fn uint32
+		var wantHi, wantLo uint32
+		switch rng.Intn(4) {
+		case 0:
+			fn = isa.FnMULT
+			p := int64(int32(rsV)) * int64(int32(rtV))
+			wantHi, wantLo = uint32(uint64(p)>>32), uint32(uint64(p))
+		case 1:
+			fn = isa.FnMULTU
+			p := uint64(rsV) * uint64(rtV)
+			wantHi, wantLo = uint32(p>>32), uint32(p)
+		case 2:
+			fn = isa.FnDIV
+			if rtV == 0 {
+				continue
+			}
+			if int32(rsV) == -2147483648 && int32(rtV) == -1 {
+				// The overflow corner wraps on MIPS (no trap).
+				wantLo, wantHi = rsV, 0
+				break
+			}
+			wantLo = uint32(int32(rsV) / int32(rtV))
+			wantHi = uint32(int32(rsV) % int32(rtV))
+		case 3:
+			fn = isa.FnDIVU
+			if rtV == 0 {
+				continue
+			}
+			wantLo = rsV / rtV
+			wantHi = rsV % rtV
+		}
+		w := isa.EncodeR(fn, isa.RegT0, isa.RegT1, 0, 0)
+		mem.Store32(0, uint32(w))
+		c := New(mem, 0)
+		c.Regs[isa.RegT0] = rsV
+		c.Regs[isa.RegT1] = rtV
+		if exc := c.Step(); exc != nil {
+			t.Fatal(exc)
+		}
+		if c.Hi != wantHi || c.Lo != wantLo {
+			t.Fatalf("%s rs=%#x rt=%#x: hi:lo=%#x:%#x want %#x:%#x",
+				isa.Disasm(0, w), rsV, rtV, c.Hi, c.Lo, wantHi, wantLo)
+		}
+	}
+}
+
+func TestGoldenBranchDecisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	mem := NewMemory(4096)
+	for iter := 0; iter < 4000; iter++ {
+		rsV := rng.Uint32()
+		rtV := rng.Uint32()
+		if rng.Intn(4) == 0 {
+			rtV = rsV // force equality sometimes
+		}
+		var w isa.Word
+		var taken bool
+		switch rng.Intn(6) {
+		case 0:
+			w = isa.EncodeI(isa.OpBEQ, isa.RegT0, isa.RegT1, 4)
+			taken = rsV == rtV
+		case 1:
+			w = isa.EncodeI(isa.OpBNE, isa.RegT0, isa.RegT1, 4)
+			taken = rsV != rtV
+		case 2:
+			w = isa.EncodeI(isa.OpBLEZ, isa.RegT0, 0, 4)
+			taken = int32(rsV) <= 0
+		case 3:
+			w = isa.EncodeI(isa.OpBGTZ, isa.RegT0, 0, 4)
+			taken = int32(rsV) > 0
+		case 4:
+			w = isa.EncodeI(isa.OpRegImm, isa.RegT0, isa.RtBLTZ, 4)
+			taken = int32(rsV) < 0
+		case 5:
+			w = isa.EncodeI(isa.OpRegImm, isa.RegT0, isa.RtBGEZ, 4)
+			taken = int32(rsV) >= 0
+		}
+		mem.Store32(0, uint32(w))
+		c := New(mem, 0)
+		c.Regs[isa.RegT0] = rsV
+		c.Regs[isa.RegT1] = rtV
+		if exc := c.Step(); exc != nil {
+			t.Fatal(exc)
+		}
+		wantPC := uint32(4)
+		if taken {
+			wantPC = isa.BranchTarget(0, w)
+		}
+		if c.PC != wantPC {
+			t.Fatalf("%s rs=%#x rt=%#x: pc=%#x want %#x",
+				isa.Disasm(0, w), rsV, rtV, c.PC, wantPC)
+		}
+	}
+}
+
+func TestGoldenLoadStoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	mem := NewMemory(8192)
+	for iter := 0; iter < 3000; iter++ {
+		v := rng.Uint32()
+		addr := uint32(0x1000 + 4*rng.Intn(256))
+		// Store then load through the core; the loaded value must match
+		// the store's width semantics.
+		prog := []isa.Word{
+			isa.EncodeI(isa.OpSW, isa.RegT0, isa.RegT1, uint16(addr)),
+			isa.EncodeI(isa.OpLW, isa.RegT0, isa.RegT2, uint16(addr)),
+			isa.EncodeI(isa.OpLHU, isa.RegT0, isa.RegT3, uint16(addr+2)),
+			isa.EncodeI(isa.OpLBU, isa.RegT0, isa.RegT4, uint16(addr+3)),
+			isa.EncodeI(isa.OpLB, isa.RegT0, isa.RegT5, uint16(addr)),
+		}
+		for i, w := range prog {
+			mem.Store32(uint32(4*i), uint32(w))
+		}
+		c := New(mem, 0)
+		c.Regs[isa.RegT1] = v
+		for range prog {
+			if exc := c.Step(); exc != nil {
+				t.Fatal(exc)
+			}
+		}
+		if c.Regs[isa.RegT2] != v {
+			t.Fatalf("lw: %#x want %#x", c.Regs[isa.RegT2], v)
+		}
+		if c.Regs[isa.RegT3] != v&0xFFFF {
+			t.Fatalf("lhu: %#x want %#x", c.Regs[isa.RegT3], v&0xFFFF)
+		}
+		if c.Regs[isa.RegT4] != v&0xFF {
+			t.Fatalf("lbu: %#x want %#x", c.Regs[isa.RegT4], v&0xFF)
+		}
+		if c.Regs[isa.RegT5] != uint32(int32(int8(v>>24))) {
+			t.Fatalf("lb: %#x want %#x", c.Regs[isa.RegT5], uint32(int32(int8(v>>24))))
+		}
+	}
+}

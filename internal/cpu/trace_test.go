@@ -1,0 +1,95 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"sdmmon/internal/asm"
+	"sdmmon/internal/isa"
+)
+
+func TestTracerRecordsExecution(t *testing.T) {
+	p := asm.MustAssemble(`
+		.text 0x0
+	main:
+		li $t0, 2
+	loop:
+		addiu $t0, $t0, -1
+		bgtz $t0, loop
+		break
+	`)
+	mem := NewMemory(4096)
+	p.LoadInto(mem)
+	c := New(mem, 0)
+	tr := NewTracer(16, nil)
+	c.Trace = tr.Observe
+	if _, exc := c.Run(1000); exc != nil {
+		t.Fatal(exc)
+	}
+	// li; (addiu,bgtz)x2; break = 6.
+	if tr.Retired() != 6 {
+		t.Fatalf("retired = %d", tr.Retired())
+	}
+	last := tr.Last(3)
+	if len(last) != 3 {
+		t.Fatalf("Last(3) returned %d", len(last))
+	}
+	if last[2].PC != 0xC { // break
+		t.Errorf("newest entry pc = %#x", last[2].PC)
+	}
+	if last[0].Seq >= last[1].Seq || last[1].Seq >= last[2].Seq {
+		t.Error("entries not oldest-first")
+	}
+	d := tr.Dump(6)
+	if !strings.Contains(d, "break") || !strings.Contains(d, "addiu") {
+		t.Errorf("dump missing disasm:\n%s", d)
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4, nil)
+	for i := 0; i < 10; i++ {
+		tr.Observe(uint32(4*i), isa.NOP)
+	}
+	last := tr.Last(10) // only 4 kept
+	if len(last) != 4 {
+		t.Fatalf("kept %d", len(last))
+	}
+	if last[0].Seq != 6 || last[3].Seq != 9 {
+		t.Errorf("window = [%d..%d], want [6..9]", last[0].Seq, last[3].Seq)
+	}
+}
+
+func TestTracerChainsToMonitorAndFlagsAlarm(t *testing.T) {
+	calls := 0
+	inner := func(pc uint32, w isa.Word) bool {
+		calls++
+		return calls < 3 // alarm on the third instruction
+	}
+	tr := NewTracer(8, inner)
+	ok := true
+	for i := 0; i < 3 && ok; i++ {
+		ok = tr.Observe(uint32(4*i), isa.NOP)
+	}
+	if ok {
+		t.Fatal("alarm not propagated")
+	}
+	last := tr.Last(3)
+	if !last[2].Rejected {
+		t.Error("alarm instruction not flagged")
+	}
+	if last[0].Rejected || last[1].Rejected {
+		t.Error("pre-alarm instructions flagged")
+	}
+	if !strings.Contains(tr.Dump(3), "!!") {
+		t.Error("dump does not flag the alarm")
+	}
+}
+
+func TestTracerMinimumSize(t *testing.T) {
+	tr := NewTracer(0, nil)
+	tr.Observe(0, isa.NOP)
+	if len(tr.Last(5)) != 1 {
+		t.Error("degenerate tracer broken")
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/core"
+	"sdmmon/internal/seccrypto"
+)
+
+// E7 exercises the security requirements SR1–SR4 end to end with real
+// cryptographic entities and reports pass/fail per check.
+func E7() (string, error) {
+	mfr, err := core.NewManufacturer("acme", nil)
+	if err != nil {
+		return "", err
+	}
+	evil, err := core.NewManufacturer("evil-fab", nil)
+	if err != nil {
+		return "", err
+	}
+	op, err := core.NewOperator("backbone-isp", nil)
+	if err != nil {
+		return "", err
+	}
+	if err := mfr.Certify(op); err != nil {
+		return "", err
+	}
+	rogue, err := core.NewOperator("rogue", nil)
+	if err != nil {
+		return "", err
+	}
+	if err := evil.Certify(rogue); err != nil {
+		return "", err
+	}
+	cfg := core.DeviceConfig{Cores: 1, MonitorsEnabled: true}
+	dev0, err := mfr.Manufacture("router-0", cfg)
+	if err != nil {
+		return "", err
+	}
+	dev1, err := mfr.Manufacture("router-1", cfg)
+	if err != nil {
+		return "", err
+	}
+
+	var sb strings.Builder
+	sb.WriteString("E7: security requirements SR1-SR4 (real RSA-2048/AES-256 pipeline)\n")
+	check := func(name string, pass bool, detail string) {
+		status := "PASS"
+		if !pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&sb, "  [%s] %-52s %s\n", status, name, detail)
+	}
+
+	// Honest path.
+	wire, err := op.ProgramWire(dev0.Public(), apps.IPv4CM())
+	if err != nil {
+		return "", err
+	}
+	_, err = dev0.Install(wire)
+	check("honest package installs", err == nil, fmt.Sprintf("err=%v", err))
+
+	// SR1a: rogue operator rejected.
+	rw, err := rogue.ProgramWire(dev0.Public(), apps.IPv4CM())
+	if err != nil {
+		return "", err
+	}
+	_, err = dev0.Install(rw)
+	check("SR1: rogue operator certificate rejected",
+		errors.Is(err, seccrypto.ErrBadCertificate), fmt.Sprintf("err=%v", err))
+
+	// SR1b: tampered payload rejected.
+	tam := append([]byte(nil), wire...)
+	tam[len(tam)/2] ^= 1
+	_, err = dev0.Install(tam)
+	check("SR1: tampered package rejected", err != nil, fmt.Sprintf("err=%v", err))
+
+	// SR3: confidentiality — no plaintext on the wire.
+	prog, err := apps.IPv4CM().Program()
+	if err != nil {
+		return "", err
+	}
+	bin := prog.Serialize()
+	leak := false
+	for i := 0; i+32 <= len(bin); i += 512 {
+		if strings.Contains(string(wire), string(bin[i:i+32])) {
+			leak = true
+		}
+	}
+	check("SR3: binary fragments not visible on the wire", !leak, "")
+
+	// SR4: cross-device rejection.
+	_, err = dev1.Install(wire)
+	check("SR4: package bound to one device",
+		errors.Is(err, seccrypto.ErrWrongDevice), fmt.Sprintf("err=%v", err))
+
+	// SR2: fresh parameters per programming.
+	b1, err := op.PrepareBundle(apps.IPv4CM())
+	if err != nil {
+		return "", err
+	}
+	b2, err := op.PrepareBundle(apps.IPv4CM())
+	if err != nil {
+		return "", err
+	}
+	check("SR2: per-programming hash parameters differ", b1.HashParam != b2.HashParam,
+		fmt.Sprintf("p1=%08x p2=%08x", b1.HashParam, b2.HashParam))
+
+	return sb.String(), nil
+}

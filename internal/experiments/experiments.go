@@ -1,0 +1,499 @@
+// Package experiments regenerates every quantitative artifact of the
+// paper's evaluation — Tables 1–3 and Figure 6 — plus the experiments
+// (E5–E8) that quantify claims the paper makes in prose. The cmd/experiments
+// binary and the repository-level benchmarks are thin wrappers around this
+// package; EXPERIMENTS.md records its output.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/attack"
+	"sdmmon/internal/fpga"
+	"sdmmon/internal/isa"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+	"sdmmon/internal/network"
+	"sdmmon/internal/npu"
+	"sdmmon/internal/packet"
+	"sdmmon/internal/timing"
+)
+
+// Table1 regenerates "Table 1: Resource use on DE4 FPGA".
+func Table1() (string, error) {
+	rows, err := fpga.Table1(fpga.DefaultMonitorConfig())
+	if err != nil {
+		return "", err
+	}
+	out := fpga.RenderRows("Table 1: Resource use on DE4 FPGA (model vs paper)", rows)
+	ratio, err := fpga.ControlToNPRatio(fpga.DefaultMonitorConfig())
+	if err != nil {
+		return "", err
+	}
+	cores, err := fpga.MaxCoresOnDevice(fpga.DefaultMonitorConfig())
+	if err != nil {
+		return "", err
+	}
+	out += fmt.Sprintf("\ncontrol-processor / NP-core LUT ratio: %.2f (paper: \"about one third\")\n", ratio)
+	out += fmt.Sprintf("extension: monitored NP cores fitting on the DE4 beside one control processor: %d\n", cores)
+	return out, nil
+}
+
+// Table2 regenerates "Table 2: Processing of security functions on Nios II"
+// at the prototype's package scale and, for contrast, at the scale of our
+// actual IPv4+CM bundle.
+func Table2() (string, error) {
+	m := timing.NiosIIPrototype()
+	out := timing.Render("Table 2: security-function processing on the Nios II model (prototype-scale ~2MB package)",
+		m.Table2(timing.PrototypePackageInput()))
+
+	// Actual bundle scale: assemble the real app and size its package
+	// parts (binary + graph + overheads) without the RSA cost of building
+	// a full package.
+	prog, err := apps.IPv4CM().Program()
+	if err != nil {
+		return "", err
+	}
+	h := mhash.NewMerkle(0xC0DE1234)
+	g, err := monitor.Extract(prog, h)
+	if err != nil {
+		return "", err
+	}
+	payload := len(prog.Serialize()) + len(g.Serialize()) + 64
+	in := timing.Table2Input{
+		WireBytes:     payload + 1200,
+		CertBodyBytes: 300,
+		PayloadBytes:  payload,
+		PlainBytes:    payload,
+	}
+	out += "\n" + timing.Render(
+		fmt.Sprintf("Table 2 at our actual bundle scale (%d-byte payload; RSA/process overheads dominate)", payload),
+		m.Table2(in))
+	return out, nil
+}
+
+// Table3 regenerates "Table 3: Implementation cost of hash functions" from
+// live gate-level synthesis + technology mapping, plus the §4.3 cycle-time
+// check.
+func Table3() (string, error) {
+	rows, err := fpga.Table3()
+	if err != nil {
+		return "", err
+	}
+	out := fpga.RenderRows("Table 3: hash-unit implementation cost (live techmap vs paper)", rows)
+	timing, err := fpga.HashUnitTiming()
+	if err != nil {
+		return "", err
+	}
+	out += "\n§4.3 cycle-time check (first-order STA):\n"
+	for _, r := range timing {
+		out += "  " + r.String() + "\n"
+	}
+	return out, nil
+}
+
+// Figure6 regenerates the Hamming-distance distribution experiment.
+func Figure6(pairsPerDistance int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(p uint32) mhash.Hasher { return mhash.NewMerkle(p) }
+	pd := mhash.HammingDistribution(mk, pairsPerDistance, rng)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 6: output-HD distribution per input HD (Merkle sum tree, %d pairs/distance)\n", pairsPerDistance)
+	sb.WriteString(pd.Table())
+	ref := mhash.ReferenceBinomial(4)
+	fmt.Fprintf(&sb, "ideal random reference: p = %.4f %.4f %.4f %.4f %.4f (mean 2.000)\n",
+		ref[0], ref[1], ref[2], ref[3], ref[4])
+	sb.WriteString("\npaper's reading: Gaussian-like, indistinguishable from random except input HD 1.\n")
+	sb.WriteString("reproduction finding: the sum-compression tree also deviates at extreme input HDs\n")
+	sb.WriteString("(e.g. HD 32 forces an even hash delta); random-pair sampling hides this at HD≈16.\n")
+
+	// Collision / sensitivity summary.
+	fmt.Fprintf(&sb, "\ncollision rate (random pairs, random params): %.4f (ideal 0.0625)\n",
+		mhash.CollisionRate(mk, 40000, rng))
+	fmt.Fprintf(&sb, "parameter sensitivity P[h_p1(x) == h_p2(x)]:   %.4f (ideal 0.0625)\n",
+		mhash.ParameterSensitivity(mk, 40000, rng))
+	return sb.String()
+}
+
+// E5 measures the geometric escape probability of §2.1.
+func E5(trials int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(p uint32) mhash.Hasher { return mhash.NewMerkle(p) }
+	probs := mhash.EscapeProbability(mk, 4, trials, rng)
+	var sb strings.Builder
+	sb.WriteString("E5: escape probability of a k-instruction attack (paper §2.1: 16^-k)\n")
+	sb.WriteString("  k   measured     theory\n")
+	for k := 1; k < len(probs); k++ {
+		fmt.Fprintf(&sb, "  %d   %.6f   %.6f\n", k, probs[k], math.Pow(16, -float64(k)))
+	}
+	return sb.String()
+}
+
+// E6 runs the fleet cascade-containment experiment, including the
+// compression-function ablation and the collapse finding.
+func E6(fleetSize int, seed int64) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("E6: homogeneity / cascade containment (persistent-corruption attack replayed fleet-wide)\n")
+	type cfg struct {
+		name        string
+		diverse     bool
+		compression mhash.Compress
+	}
+	for _, c := range []cfg{
+		{"homogeneous fleet, sum compression (paper's warning case)", false, nil},
+		{"diverse parameters, sum compression (paper's fix, faithful)", true, nil},
+		{"diverse parameters, s-box compression (hardened variant)", true, mhash.SBoxCompress()},
+	} {
+		f, err := network.NewFleet(network.FleetConfig{
+			Size: fleetSize, DiverseParams: c.diverse, Compression: c.compression, Seed: seed,
+		})
+		if err != nil {
+			return "", err
+		}
+		res, err := f.Cascade()
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "  %-58s engineered=%v compromised=%d/%d detected=%d\n",
+			c.name, res.Engineered, res.Compromised, res.Fleet, res.Detected)
+	}
+	sumT := attack.TransferProbability(func(p uint32) mhash.Hasher { return mhash.NewMerkle(p) }, 4000, seed)
+	boxT := attack.TransferProbability(func(p uint32) mhash.Hasher {
+		h, _ := mhash.NewMerkleWith(p, 4, mhash.SBoxCompress())
+		return h
+	}, 4000, seed+1)
+	fmt.Fprintf(&sb, "  analytic transfer probability: sum=%.3f (collapse finding), s-box=%.3f (≈1/16)\n", sumT, boxT)
+	sb.WriteString("  finding: with the paper's arithmetic-sum compression, hash equality is\n")
+	sb.WriteString("  parameter-independent — SR2's diversity does not contain engineered attacks;\n")
+	sb.WriteString("  a nonlinear compression restores the intended containment.\n")
+	return sb.String(), nil
+}
+
+// E9 is the dynamics extension experiment: a workload manager rebalances a
+// multicore NP across traffic classes at runtime, with every reprogramming
+// drawing a fresh hash parameter; monitors must stay quiet throughout.
+func E9(cores, packetsPerPhase int, seed int64) (string, error) {
+	np, err := npu.New(npu.Config{Cores: cores, MonitorsEnabled: true})
+	if err != nil {
+		return "", err
+	}
+	m, err := network.NewWorkloadManager(np, network.DefaultClasses(), 200, seed)
+	if err != nil {
+		return "", err
+	}
+	gen := packet.NewGenerator(seed)
+	var sb strings.Builder
+	sb.WriteString("E9 (extension): dynamic multicore workload management under traffic shift\n")
+	for phase, udpShare := range []float64{0.1, 0.9, 0.3} {
+		gen.UDPShare = udpShare
+		for i := 0; i < packetsPerPhase; i++ {
+			if _, err := m.Process(gen.Next(), 0); err != nil {
+				return "", err
+			}
+		}
+		asg := m.Assignment()
+		counts := map[string]int{}
+		for _, a := range asg {
+			counts[a]++
+		}
+		fmt.Fprintf(&sb, "  phase %d (udp share %.0f%%): cores %v\n", phase+1, udpShare*100, counts)
+	}
+	s := np.Stats()
+	fmt.Fprintf(&sb, "  reprogrammings: %d, distinct hash parameters: %d (every install re-keyed)\n",
+		m.Reprograms, m.FreshParameters())
+	fmt.Fprintf(&sb, "  packets: %d, false alarms: %d, fallback-routed: %d\n",
+		s.Processed, s.Alarms, m.Fallback)
+	return sb.String(), nil
+}
+
+// E12 quantifies §3.2's brute-force claim: the expected number of probe
+// packets an attacker needs to push a one-instruction persistent-corruption
+// attack past the monitor, measured against live monitored cores with
+// hidden parameters, across compression functions and hash widths.
+func E12(victims int, seed int64) (string, error) {
+	prog, err := apps.IPv4CM().Program()
+	if err != nil {
+		return "", err
+	}
+	smash := attack.DefaultSmash()
+	rng := rand.New(rand.NewSource(seed))
+
+	measure := func(mk func(uint32) mhash.Hasher) (mean float64, ok int, err error) {
+		total := 0
+		for i := 0; i < victims; i++ {
+			oracle, err := attack.NewNPOracle(prog, mk, rng.Uint32())
+			if err != nil {
+				return 0, 0, err
+			}
+			res, err := smash.BruteForcePersist(oracle.Probe, 4000)
+			if err != nil {
+				return 0, 0, err
+			}
+			if res.Succeeded {
+				ok++
+				total += res.Probes
+			}
+		}
+		if ok == 0 {
+			return 0, 0, nil
+		}
+		return float64(total) / float64(ok), ok, nil
+	}
+
+	var sb strings.Builder
+	sb.WriteString("E12 (extension): probe cost of brute-forcing a 1-instruction attack (§3.2)\n")
+	sb.WriteString("  configuration                         mean probes  success  analytic E[probes]\n")
+	type cfg struct {
+		name  string
+		mk    func(uint32) mhash.Hasher
+		width int
+	}
+	cfgs := []cfg{
+		{"sum compression, 4-bit (paper)", func(p uint32) mhash.Hasher { return mhash.NewMerkle(p) }, 4},
+		{"s-box compression, 4-bit", func(p uint32) mhash.Hasher {
+			h, _ := mhash.NewMerkleWith(p, 4, mhash.SBoxCompress())
+			return h
+		}, 4},
+		{"s-box compression, 8-bit", func(p uint32) mhash.Hasher {
+			h, _ := mhash.NewMerkleWith(p, 8, mhash.SumCompress(8))
+			return h
+		}, 8},
+	}
+	for _, c := range cfgs {
+		mean, ok, err := measure(c.mk)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "  %-36s  %10.1f  %3d/%2d   %14.0f\n",
+			c.name, mean, ok, victims, attack.ExpectedProbes(c.width, 1))
+	}
+	sb.WriteString("  reading: one-instruction attacks cost only ~2^W probes — the geometric\n")
+	sb.WriteString("  argument protects multi-instruction sequences; short state-corruption\n")
+	sb.WriteString("  attacks need wider hashes (or write-protected state) to resist probing.\n")
+	return sb.String(), nil
+}
+
+// E13 quantifies §4.2's parenthetical: switching between resident
+// applications is fast enough for dynamic workloads, in contrast to the
+// ~25 s secure installation. Both numbers come from the same device model.
+func E13(seed int64) (string, error) {
+	np, err := npu.New(npu.Config{Cores: 2, MonitorsEnabled: true})
+	if err != nil {
+		return "", err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	list := []*apps.App{apps.IPv4CM(), apps.UDPEcho(), apps.Counter(), apps.ACL()}
+	for _, app := range list {
+		if err := np.LoadLibraryApp(app, rng.Uint32()); err != nil {
+			return "", err
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("E13 (extension): resident-application switching vs secure installation (§4.2)\n")
+	model := timing.NiosIIPrototype()
+	install := model.Table2(timing.PrototypePackageInput())
+	var installS float64
+	for _, s := range install {
+		if s.Name == "Total" {
+			installS = s.Seconds
+		}
+	}
+	gen := packet.NewGenerator(seed)
+	for _, app := range list {
+		cycles, err := np.Switch(0, app.Name)
+		if err != nil {
+			return "", err
+		}
+		// Prove the switch took: run traffic alarm-free.
+		for i := 0; i < 50; i++ {
+			res, err := np.ProcessOn(0, gen.Next(), 0)
+			if err != nil {
+				return "", err
+			}
+			if res.Detected {
+				return "", fmt.Errorf("false alarm after switch to %s", app.Name)
+			}
+		}
+		switchS := float64(cycles) / 100e6
+		fmt.Fprintf(&sb, "  switch to %-9s %5d cycles = %8.2f µs   (vs %.1f s secure install, %.0fx)\n",
+			app.Name+":", cycles, switchS*1e6, installS, installS/switchS)
+	}
+	sb.WriteString("  resident switching accommodates per-epoch workload changes; the secure\n")
+	sb.WriteString("  installation path is only needed when new code enters the device.\n")
+	return sb.String(), nil
+}
+
+// E11 is the congestion-management extension: the NP runs behind a real
+// ingress queue in virtual time, so IPv4+CM's ECN marking is driven by the
+// actual backlog. Sweeping the offered load shows the marking/drop onset.
+func E11(seed int64) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("E11 (extension): IPv4+CM behind a real ingress queue (1 core)\n")
+	sb.WriteString("  inter-arrival  util   avgQ   maxQ   marked%   taildrop%\n")
+	prog, err := apps.IPv4CM().Program()
+	if err != nil {
+		return "", err
+	}
+	for _, ia := range []float64{400, 160, 100, 60, 40, 25} {
+		np, err := npu.New(npu.Config{Cores: 1, MonitorsEnabled: true})
+		if err != nil {
+			return "", err
+		}
+		h := mhash.NewMerkle(0xE11)
+		g, err := monitor.Extract(prog, h)
+		if err != nil {
+			return "", err
+		}
+		if err := np.InstallAll("ipv4cm", prog.Serialize(), g.Serialize(), 0xE11); err != nil {
+			return "", err
+		}
+		gen := packet.NewGenerator(seed)
+		q := &npu.QueueSim{NP: np, Capacity: 64, MeanInterArrival: ia, Seed: seed}
+		st, err := q.Run(3000, gen.Next)
+		if err != nil {
+			return "", err
+		}
+		util := st.Utilization(1) * 100
+		markPct, dropPct := 0.0, 0.0
+		if st.Forwarded > 0 {
+			markPct = 100 * float64(st.ECNMarked) / float64(st.Forwarded)
+		}
+		if st.Arrived > 0 {
+			dropPct = 100 * float64(st.TailDrops) / float64(st.Arrived)
+		}
+		fmt.Fprintf(&sb, "  %8.0f cyc  %4.0f%%  %5.1f  %5d  %7.1f%%  %8.1f%%\n",
+			ia, util, st.AvgQueue, st.MaxQueue, markPct, dropPct)
+	}
+	sb.WriteString("  (marking begins once the backlog crosses the CM threshold of 32; tail drops at 64)\n")
+	return sb.String(), nil
+}
+
+// E10 is the model-robustness experiment: the Table 2 shape claims must
+// survive ±20% perturbation of every cost constant (and must break under
+// extreme perturbation, proving the check is not vacuous).
+func E10() string {
+	var sb strings.Builder
+	sb.WriteString("E10 (extension): Table 2 cost-model sensitivity\n")
+	in := timing.PrototypePackageInput()
+	rows := timing.SensitivityAnalysis(timing.NiosIIPrototype(), 0.20, in)
+	held := 0
+	for _, r := range rows {
+		if r.ShapeHeld {
+			held++
+		}
+	}
+	fmt.Fprintf(&sb, "  ±20%%: shape held in %d/%d single-constant perturbations\n", held, len(rows))
+	sb.WriteString(indent(timing.RenderSensitivity(rows), "  "))
+	extreme := timing.SensitivityAnalysis(timing.NiosIIPrototype(), 0.95, in)
+	broke := 0
+	for _, r := range extreme {
+		if !r.ShapeHeld {
+			broke++
+		}
+	}
+	fmt.Fprintf(&sb, "  ±95%%: shape broke in %d/%d perturbations (the check has teeth)\n", broke, len(extreme))
+	return sb.String()
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// E8 measures end-to-end detection: benign traffic alarm-free, attacks
+// detected, and the detection-latency distribution in attacker
+// instructions.
+func E8(benign, attacks int, seed int64) (string, error) {
+	f, err := network.NewFleet(network.FleetConfig{Size: 1, DiverseParams: true, Seed: seed})
+	if err != nil {
+		return "", err
+	}
+	falseAlarms, err := f.RunTraffic(benign, seed+1)
+	if err != nil {
+		return "", err
+	}
+
+	// Detection latency: attacker instructions retired before the alarm,
+	// measured over fresh parameters.
+	prog, err := apps.IPv4CM().Program()
+	if err != nil {
+		return "", err
+	}
+	smash := attack.DefaultSmash()
+	hijack, err := smash.HijackPayload()
+	if err != nil {
+		return "", err
+	}
+	rng := rand.New(rand.NewSource(seed + 2))
+	latency := map[int]int{}
+	detected := 0
+	escaped := 0
+	for i := 0; i < attacks; i++ {
+		// Each attacker varies their code (random scratch setup ahead of
+		// the hijack body), so the survival depth varies per §2.1's
+		// geometric argument rather than being fixed by one code choice.
+		code := []isa.Word{
+			isa.EncodeI(isa.OpORI, isa.RegT6, isa.RegT6, uint16(rng.Uint32())),
+			isa.EncodeI(isa.OpXORI, isa.RegT6, isa.RegT6, uint16(rng.Uint32())),
+			isa.EncodeI(isa.OpANDI, isa.RegT6, isa.RegT6, uint16(rng.Uint32())),
+		}
+		code = append(code, hijack...)
+		pkt, err := smash.CraftPacket(code)
+		if err != nil {
+			return "", err
+		}
+		h := mhash.NewMerkle(rng.Uint32())
+		g, err := monitor.Extract(prog, h)
+		if err != nil {
+			return "", err
+		}
+		m, err := monitor.New(g, h)
+		if err != nil {
+			return "", err
+		}
+		core := apps.NewCore(prog)
+		inAttack := 0
+		core.Trace = func(pc uint32, w isa.Word) bool {
+			if pc >= smash.CodeAddr() {
+				inAttack++
+			}
+			return m.Observe(pc, w)
+		}
+		res := core.Process(pkt, 0)
+		if res.Exc != nil && m.Alarmed() {
+			detected++
+			latency[inAttack]++
+		} else if attack.Succeeded(res) {
+			escaped++
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("E8: end-to-end detection of the data-plane stack-smash on IPv4+CM\n")
+	fmt.Fprintf(&sb, "  benign packets: %d, false alarms: %d\n", benign, falseAlarms)
+	fmt.Fprintf(&sb, "  attacks: %d, detected: %d, escaped: %d\n", attacks, detected, escaped)
+	sb.WriteString("  detection latency (attacker instructions retired before alarm):\n")
+	for k := 1; k <= 8; k++ {
+		if latency[k] > 0 {
+			fmt.Fprintf(&sb, "    %d instruction(s): %d  (theory: 16^-%d of attacks survive %d)\n",
+				k, latency[k], k-1, k-1)
+		}
+	}
+	return sb.String(), nil
+}
+
+// Figure6CSV writes the Figure 6 distribution to a CSV file for plotting.
+func Figure6CSV(path string, pairsPerDistance int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(p uint32) mhash.Hasher { return mhash.NewMerkle(p) }
+	pd := mhash.HammingDistribution(mk, pairsPerDistance, rng)
+	return os.WriteFile(path, []byte(pd.CSV()), 0o644)
+}

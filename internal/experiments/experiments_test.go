@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Driver(t *testing.T) {
+	s, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "Nios II", "NP core", "one third"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2Driver(t *testing.T) {
+	s, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"prototype-scale", "actual bundle scale", "Decrypt AES key", "Total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestTable3Driver(t *testing.T) {
+	s, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "Merkle") || !strings.Contains(s, "Bitcount") {
+		t.Errorf("missing rows:\n%s", s)
+	}
+}
+
+func TestFigure6Driver(t *testing.T) {
+	s := Figure6(60, 1)
+	for _, want := range []string{"Figure 6", "inHD", "collision rate", "parameter sensitivity"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestE5Driver(t *testing.T) {
+	s := E5(2000, 2)
+	if !strings.Contains(s, "E5") || !strings.Contains(s, "0.06") {
+		t.Errorf("E5 output unexpected:\n%s", s)
+	}
+}
+
+func TestE6Driver(t *testing.T) {
+	s, err := E6(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"homogeneous", "diverse", "s-box", "transfer probability"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestE8Driver(t *testing.T) {
+	s, err := E8(30, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "false alarms: 0") {
+		t.Errorf("benign false alarms:\n%s", s)
+	}
+	if !strings.Contains(s, "detected: 20") {
+		t.Errorf("not all attacks detected:\n%s", s)
+	}
+}
+
+func TestE9Driver(t *testing.T) {
+	s, err := E9(3, 250, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"phase 1", "phase 3", "reprogrammings", "false alarms: 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestE10Driver(t *testing.T) {
+	s := E10()
+	if !strings.Contains(s, "shape held in 10/10") {
+		t.Errorf("E10 robustness failed:\n%s", s)
+	}
+	if !strings.Contains(s, "the check has teeth") {
+		t.Errorf("E10 missing vacuity check:\n%s", s)
+	}
+}
+
+func TestE11Driver(t *testing.T) {
+	s, err := E11(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "marked%") || !strings.Contains(s, "taildrop%") {
+		t.Errorf("E11 malformed:\n%s", s)
+	}
+	// The highest load row must show marking.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	last := lines[len(lines)-2]
+	if strings.Contains(last, "   0.0%   ") {
+		t.Errorf("no marking at the highest load:\n%s", s)
+	}
+}
+
+func TestE12Driver(t *testing.T) {
+	s, err := E12(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"probe cost", "sum compression", "s-box compression, 8-bit", "2^W"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestE13Driver(t *testing.T) {
+	s, err := E13(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"switch to ipv4cm", "µs", "secure install"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+// E7 generates five RSA-2048 keys; keep it in the long bucket but verify it
+// end to end once.
+func TestE7Driver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RSA keygen heavy")
+	}
+	s, err := E7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(s, "FAIL") {
+		t.Errorf("E7 has failing checks:\n%s", s)
+	}
+	for _, want := range []string{"SR1", "SR2", "SR3", "SR4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}

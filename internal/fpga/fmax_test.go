@@ -1,0 +1,50 @@
+package fpga
+
+import (
+	"strings"
+	"testing"
+
+	"sdmmon/internal/netlist"
+	"sdmmon/internal/techmap"
+)
+
+func TestHashUnitTimingMeets100MHz(t *testing.T) {
+	reports, err := HashUnitTiming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	for _, r := range reports {
+		t.Log(r)
+		if !r.MeetsTarget {
+			t.Errorf("%s misses the prototype's 100 MHz: %.0f MHz", r.Name, r.FmaxMHz)
+		}
+		if r.CriticalNS <= 0 || r.FmaxMHz <= 0 {
+			t.Errorf("%s: degenerate timing %+v", r.Name, r)
+		}
+	}
+}
+
+func TestEstimateFmaxScalesWithDepth(t *testing.T) {
+	// A deliberately deep circuit must estimate slower than a shallow one.
+	shallow := netlist.BuildComparator(4)
+	deep := netlist.BuildBitcountUnit(netlist.BitcountUnitOptions{})
+	tm := StratixIVTiming()
+	rs, err := EstimateFmax(shallow, techmap.Options{K: 4}, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := EstimateFmax(deep, techmap.Options{K: 4}, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.FmaxMHz <= rd.FmaxMHz {
+		t.Errorf("comparator (%.0f MHz) should be faster than popcount (%.0f MHz)",
+			rs.FmaxMHz, rd.FmaxMHz)
+	}
+	if !strings.Contains(rs.String(), "Fmax") {
+		t.Error("report string malformed")
+	}
+}

@@ -1,0 +1,92 @@
+// Package fpga models the DE4 (Stratix IV EP4SGX230) resource accounting of
+// the paper's prototype and regenerates Tables 1 and 3.
+//
+// Two kinds of numbers feed the model:
+//
+//   - Genuinely synthesized: the small hash units and comparators are built
+//     as gate-level netlists (internal/netlist) and technology-mapped onto
+//     LUTs (internal/techmap). Their LUT/FF counts are mapper output, and
+//     the monitoring-graph memory is measured from a real extracted graph.
+//
+//   - Macro-calibrated: the large soft cores (Nios II/f system, PLASMA
+//     core, MACs, DDR controller) cannot be re-synthesized from scratch;
+//     they are modelled as compositions of sub-blocks whose per-block
+//     resource constants are estimates calibrated against published Altera
+//     IP figures and the paper's Table 1 totals. EXPERIMENTS.md reports
+//     model-vs-paper error per row.
+package fpga
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Resources counts the three quantities Table 1 reports.
+type Resources struct {
+	LUTs    int
+	FFs     int
+	MemBits int
+}
+
+// Add returns the sum of two resource vectors.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.LUTs + o.LUTs, r.FFs + o.FFs, r.MemBits + o.MemBits}
+}
+
+// Scale returns the resource vector multiplied by n.
+func (r Resources) Scale(n int) Resources {
+	return Resources{r.LUTs * n, r.FFs * n, r.MemBits * n}
+}
+
+// FitsIn reports whether r fits within capacity c.
+func (r Resources) FitsIn(c Resources) bool {
+	return r.LUTs <= c.LUTs && r.FFs <= c.FFs && r.MemBits <= c.MemBits
+}
+
+func (r Resources) String() string {
+	return fmt.Sprintf("%d LUTs, %d FFs, %d memory bits", r.LUTs, r.FFs, r.MemBits)
+}
+
+// Component is a node of a hierarchical resource model.
+type Component struct {
+	Name string
+	Own  Resources // resources of this block excluding children
+	Sub  []*Component
+	Note string // provenance: "techmap", "measured", or "calibrated"
+}
+
+// Total returns the component's resources including all children.
+func (c *Component) Total() Resources {
+	t := c.Own
+	for _, s := range c.Sub {
+		t = t.Add(s.Total())
+	}
+	return t
+}
+
+// Report renders the component tree with per-node totals.
+func (c *Component) Report() string {
+	var sb strings.Builder
+	var walk func(*Component, int)
+	walk = func(n *Component, depth int) {
+		t := n.Total()
+		fmt.Fprintf(&sb, "%s%-38s %8d %8d %10d", strings.Repeat("  ", depth),
+			n.Name, t.LUTs, t.FFs, t.MemBits)
+		if n.Note != "" {
+			fmt.Fprintf(&sb, "  [%s]", n.Note)
+		}
+		sb.WriteString("\n")
+		for _, s := range n.Sub {
+			walk(s, depth+1)
+		}
+	}
+	fmt.Fprintf(&sb, "%-38s %8s %8s %10s\n", "component", "LUTs", "FFs", "mem bits")
+	walk(c, 0)
+	return sb.String()
+}
+
+// DE4Capacity is the usable fabric of the Stratix IV EP4SGX230 on the
+// Terasic DE4 board, as reported in Table 1's "Available on FPGA" row.
+func DE4Capacity() Resources {
+	return Resources{LUTs: 182400, FFs: 182400, MemBits: 14625792}
+}

@@ -1,0 +1,169 @@
+package fpga
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{1, 2, 3}
+	b := Resources{10, 20, 30}
+	if got := a.Add(b); got != (Resources{11, 22, 33}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Scale(4); got != (Resources{4, 8, 12}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if !a.FitsIn(b) || b.FitsIn(a) {
+		t.Error("FitsIn wrong")
+	}
+	if len(a.String()) == 0 {
+		t.Error("empty String")
+	}
+}
+
+func TestComponentTotals(t *testing.T) {
+	c := &Component{
+		Name: "top",
+		Own:  Resources{1, 1, 1},
+		Sub: []*Component{
+			{Name: "a", Own: Resources{10, 0, 0}},
+			{Name: "b", Own: Resources{0, 10, 0}, Sub: []*Component{
+				{Name: "b1", Own: Resources{0, 0, 10}},
+			}},
+		},
+	}
+	if got := c.Total(); got != (Resources{11, 11, 11}) {
+		t.Errorf("Total = %v", got)
+	}
+	rep := c.Report()
+	for _, want := range []string{"top", "a", "b1", "LUTs"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestTable1ShapeHolds(t *testing.T) {
+	rows, err := Table1(DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if e := r.ErrPct(); e > 12 {
+			t.Errorf("%s: model deviates %.1f%% from paper (model %v, paper %v)",
+				r.Name, e, r.Model, r.Paper)
+		}
+	}
+	cap, cp, np := rows[0].Model, rows[1].Model, rows[2].Model
+	// Shape: everything fits, control processor clearly smaller than the
+	// monitored NP core.
+	if !cp.Add(np).FitsIn(cap) {
+		t.Error("design does not fit the DE4")
+	}
+	if cp.LUTs >= np.LUTs {
+		t.Error("control processor should be smaller than NP core")
+	}
+}
+
+func TestControlToNPRatioIsAboutOneThird(t *testing.T) {
+	// §4.1: "The control processor ... is only about one third the size of
+	// a network processor core with hardware monitor."
+	r, err := ControlToNPRatio(DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.25 || r > 0.42 {
+		t.Errorf("control/NP LUT ratio = %.2f, want ≈1/3", r)
+	}
+}
+
+func TestTable3ShapeHolds(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, mk := rows[0].Model, rows[1].Model
+	t.Logf("bitcount: %v", bc)
+	t.Logf("merkle:   %v", mk)
+	// The paper's qualitative claims: comparable resources, Merkle needs
+	// less logic but 32 memory bits for the parameter, bitcount none.
+	if mk.LUTs >= bc.LUTs {
+		t.Errorf("Merkle LUTs (%d) should be below bitcount (%d)", mk.LUTs, bc.LUTs)
+	}
+	if mk.MemBits != 32 {
+		t.Errorf("Merkle memory bits = %d, want 32", mk.MemBits)
+	}
+	if bc.MemBits != 0 {
+		t.Errorf("bitcount memory bits = %d, want 0", bc.MemBits)
+	}
+	if mk.FFs != 37 || bc.FFs != 38 {
+		t.Errorf("FFs: merkle %d (paper 37), bitcount %d (paper 38)", mk.FFs, bc.FFs)
+	}
+	// LUT counts within a reasonable band of the paper's synthesis.
+	for _, r := range rows {
+		if e := r.ErrPct(); e > 30 {
+			t.Errorf("%s deviates %.1f%% from paper", r.Name, e)
+		}
+	}
+}
+
+func TestRenderRows(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RenderRows("Table 3", rows)
+	if !strings.Contains(s, "Merkle") || !strings.Contains(s, "paper") {
+		t.Errorf("render missing content:\n%s", s)
+	}
+}
+
+func TestMaxCoresOnDevice(t *testing.T) {
+	n, err := MaxCoresOnDevice(DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DE4 fits the prototype's 1 core with plenty of headroom; the
+	// model should report at least 2 and a sane upper bound.
+	if n < 2 || n > 16 {
+		t.Errorf("MaxCoresOnDevice = %d", n)
+	}
+	// Memory is the binding constraint with 2Mbit graphs per monitor.
+	big := DefaultMonitorConfig()
+	big.GraphMemBits = 8 * 1024 * 1024
+	nBig, err := MaxCoresOnDevice(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nBig >= n {
+		t.Errorf("larger graphs (%d cores) should fit fewer than default (%d)", nBig, n)
+	}
+}
+
+func TestHashUnitResources(t *testing.T) {
+	r, err := HashUnitResources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LUTs == 0 || r.FFs != 37 || r.MemBits != 32 {
+		t.Errorf("hash unit = %v", r)
+	}
+	b, err := BitcountUnitResources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.LUTs == 0 || b.MemBits != 0 {
+		t.Errorf("bitcount unit = %v", b)
+	}
+}
+
+func TestErrPctIgnoresZeroPaperDims(t *testing.T) {
+	r := Row{Model: Resources{10, 10, 999}, Paper: Resources{10, 10, 0}}
+	if r.ErrPct() != 0 {
+		t.Errorf("ErrPct = %f", r.ErrPct())
+	}
+}

@@ -1,0 +1,154 @@
+package fpga
+
+import (
+	"fmt"
+
+	"sdmmon/internal/netlist"
+	"sdmmon/internal/techmap"
+)
+
+// NiosControlProcessor models the control-processor subsystem of Figure 5:
+// a Nios II/f soft core running µClinux with the peripherals needed for
+// download/decryption/verification (Ethernet, DDR2, boot memory, Avalon
+// fabric, low-speed peripherals). Paper total (Table 1): 13,477 LUTs,
+// 16,899 FFs, 798,976 memory bits.
+func NiosControlProcessor() *Component {
+	return &Component{
+		Name: "Nios II control processor system",
+		Sub: []*Component{
+			{Name: "Nios II/f core (incl. 4KB I$ + 4KB D$)",
+				Own: Resources{3050, 2580, 139264}, Note: "calibrated"},
+			{Name: "triple-speed Ethernet MAC + FIFOs",
+				Own: Resources{3320, 4260, 294912}, Note: "calibrated"},
+			{Name: "DDR2 SDRAM controller + PHY",
+				Own: Resources{3610, 5280, 36864}, Note: "calibrated"},
+			{Name: "Avalon fabric, bridges, arbitration",
+				Own: Resources{1930, 2710, 16384}, Note: "calibrated"},
+			{Name: "boot/descriptor on-chip memory",
+				Own: Resources{240, 370, 294912}, Note: "calibrated"},
+			{Name: "JTAG UART, timers, sysid, PIO",
+				Own: Resources{1310, 1690, 16384}, Note: "calibrated"},
+		},
+	}
+}
+
+// MonitorConfig sizes the hardware-monitor block of an NP core.
+type MonitorConfig struct {
+	// GraphMemBits is the monitor-memory size provisioned for monitoring
+	// graphs. The prototype reserves room for several application graphs;
+	// a measured graph (monitor.Graph.MemoryBits) of the installed app
+	// occupies part of it.
+	GraphMemBits int
+	// Positions is the number of parallel candidate positions the monitor
+	// tracks (the NFA width implemented in hardware).
+	Positions int
+	// HashWidth is the monitor hash width in bits.
+	HashWidth int
+}
+
+// DefaultMonitorConfig matches the prototype dimensioning: 2 Mbit of
+// monitor memory, 16 parallel positions, 4-bit hashes.
+func DefaultMonitorConfig() MonitorConfig {
+	return MonitorConfig{GraphMemBits: 2 * 1024 * 1024, Positions: 16, HashWidth: 4}
+}
+
+// HashUnitResources technology-maps the Merkle hash datapath and returns
+// its resources plus the 32 parameter memory bits (Table 3's Merkle row).
+func HashUnitResources() (Resources, error) {
+	ckt := netlist.BuildMerkleUnit(netlist.MerkleUnitOptions{Registered: true})
+	r, err := techmap.Map(ckt, techmap.Options{K: 4, UseCarryChains: true})
+	if err != nil {
+		return Resources{}, err
+	}
+	return Resources{LUTs: r.TotalALUTs(), FFs: r.FFs, MemBits: 32}, nil
+}
+
+// BitcountUnitResources technology-maps the baseline bitcount datapath
+// (Table 3's first row). The behavioral popcount maps to generic LUTs, as
+// in the prototype.
+func BitcountUnitResources() (Resources, error) {
+	ckt := netlist.BuildBitcountUnit(netlist.BitcountUnitOptions{Registered: true})
+	r, err := techmap.Map(ckt, techmap.Options{K: 4})
+	if err != nil {
+		return Resources{}, err
+	}
+	return Resources{LUTs: r.TotalALUTs(), FFs: r.FFs, MemBits: 0}, nil
+}
+
+// comparatorResources maps the monitor's hash comparator once and scales it
+// by the number of parallel positions.
+func comparatorResources(width, positions int) (Resources, error) {
+	ckt := netlist.BuildComparator(width)
+	r, err := techmap.Map(ckt, techmap.Options{K: 4})
+	if err != nil {
+		return Resources{}, err
+	}
+	per := Resources{LUTs: r.TotalALUTs(), FFs: r.FFs}
+	return per.Scale(positions), nil
+}
+
+// NPCoreWithMonitor models one PLASMA network-processor core with its
+// reconfigurable hardware monitor and packet path. Paper total (Table 1):
+// 41,735 LUTs, 40,590 FFs, 2,883,088 memory bits.
+func NPCoreWithMonitor(cfg MonitorConfig) (*Component, error) {
+	hash, err := HashUnitResources()
+	if err != nil {
+		return nil, err
+	}
+	cmps, err := comparatorResources(cfg.HashWidth, cfg.Positions)
+	if err != nil {
+		return nil, err
+	}
+	perPosition := Resources{
+		// Candidate position state: current graph index register + next
+		// fetch address + valid bit ≈ 2 words of control.
+		LUTs: 210, FFs: 64,
+	}
+	monitor := &Component{
+		Name: "reconfigurable hardware monitor",
+		Sub: []*Component{
+			{Name: fmt.Sprintf("monitor memory (%d Kbit graphs)", cfg.GraphMemBits/1024),
+				Own: Resources{0, 0, cfg.GraphMemBits}, Note: "measured graphs fill this"},
+			{Name: "parameterizable Merkle hash unit",
+				Own: hash, Note: "techmap"},
+			{Name: fmt.Sprintf("hash comparators (%d positions)", cfg.Positions),
+				Own: cmps, Note: "techmap"},
+			{Name: "position tracking + graph walker",
+				Own: perPosition.Scale(cfg.Positions), Note: "calibrated"},
+			{Name: "graph load/reconfiguration engine",
+				Own: Resources{2870, 2410, 32768}, Note: "calibrated"},
+			{Name: "alarm/reset and recovery sequencer",
+				Own: Resources{540, 410, 0}, Note: "calibrated"},
+		},
+	}
+	core := &Component{
+		Name: "NP core with hardware monitor",
+		Sub: []*Component{
+			{Name: "PLASMA MIPS core (3-stage, mult/div)",
+				Own: Resources{2390, 1290, 38912}, Note: "calibrated"},
+			{Name: "processor instruction/data memory",
+				Own: Resources{180, 120, 524288}, Note: "calibrated"},
+			{Name: "packet I/O: 4x GbE MAC + DMA rings",
+				Own: Resources{13840, 16960, 180224}, Note: "calibrated"},
+			{Name: "packet buffers",
+				Own: Resources{420, 310, 0}, Note: "calibrated"},
+			{Name: "reconfigurable overlay, binary loader, core control",
+				Own: Resources{17900, 17800, 0}, Note: "calibrated"},
+			monitor,
+		},
+	}
+	return core, nil
+}
+
+// PaperTable1 holds the published Table 1 rows for comparison.
+var PaperTable1 = map[string]Resources{
+	"Available on FPGA":             {182400, 182400, 14625792},
+	"Nios II control processor":     {13477, 16899, 798976},
+	"NP core with hardware monitor": {41735, 40590, 2883088},
+}
+
+// PaperTable3 holds the published Table 3 rows for comparison.
+var PaperTable3 = map[string]Resources{
+	"Bitcount hash":    {81, 38, 0},
+	"Merkle tree hash": {49, 37, 32},
+}

@@ -1,0 +1,113 @@
+package fpga
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Row is one line of a reproduced table: the modelled/measured resources
+// next to the paper's published numbers.
+type Row struct {
+	Name  string
+	Model Resources
+	Paper Resources
+}
+
+// ErrPct returns the worst-case relative error (in percent) across the
+// three resource dimensions, ignoring dimensions where the paper reports 0.
+func (r Row) ErrPct() float64 {
+	worst := 0.0
+	for _, p := range []struct{ m, q int }{
+		{r.Model.LUTs, r.Paper.LUTs},
+		{r.Model.FFs, r.Paper.FFs},
+		{r.Model.MemBits, r.Paper.MemBits},
+	} {
+		if p.q == 0 {
+			continue
+		}
+		e := math.Abs(float64(p.m-p.q)) / float64(p.q) * 100
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Table1 regenerates "Table 1: Resource use on DE4 FPGA".
+func Table1(cfg MonitorConfig) ([]Row, error) {
+	np, err := NPCoreWithMonitor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []Row{
+		{"Available on FPGA", DE4Capacity(), PaperTable1["Available on FPGA"]},
+		{"Nios II control processor", NiosControlProcessor().Total(), PaperTable1["Nios II control processor"]},
+		{"NP core with hardware monitor", np.Total(), PaperTable1["NP core with hardware monitor"]},
+	}, nil
+}
+
+// Table3 regenerates "Table 3: Implementation cost of hash functions" from
+// live technology-mapping runs.
+func Table3() ([]Row, error) {
+	bc, err := BitcountUnitResources()
+	if err != nil {
+		return nil, err
+	}
+	mk, err := HashUnitResources()
+	if err != nil {
+		return nil, err
+	}
+	return []Row{
+		{"Bitcount hash", bc, PaperTable3["Bitcount hash"]},
+		{"Merkle tree hash", mk, PaperTable3["Merkle tree hash"]},
+	}, nil
+}
+
+// RenderRows formats rows as a fixed-width table with model-vs-paper
+// columns.
+func RenderRows(title string, rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-34s %28s %28s %7s\n", "", "model (LUT/FF/mem)", "paper (LUT/FF/mem)", "err%")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-34s %8d %8d %10d %8d %8d %10d %6.1f\n",
+			r.Name, r.Model.LUTs, r.Model.FFs, r.Model.MemBits,
+			r.Paper.LUTs, r.Paper.FFs, r.Paper.MemBits, r.ErrPct())
+	}
+	return sb.String()
+}
+
+// ControlToNPRatio returns the paper's headline size comparison (§4.1): the
+// control processor is "only about one third the size" of an NP core with
+// monitor. Returned as the LUT ratio of the modelled blocks.
+func ControlToNPRatio(cfg MonitorConfig) (float64, error) {
+	np, err := NPCoreWithMonitor(cfg)
+	if err != nil {
+		return 0, err
+	}
+	cp := NiosControlProcessor().Total()
+	return float64(cp.LUTs) / float64(np.Total().LUTs), nil
+}
+
+// MaxCoresOnDevice is an extension experiment: how many monitored NP cores
+// fit on the DE4 next to one control processor — the multicore scaling
+// headroom of the SDMMon architecture (§1 "Dynamics").
+func MaxCoresOnDevice(cfg MonitorConfig) (int, error) {
+	np, err := NPCoreWithMonitor(cfg)
+	if err != nil {
+		return 0, err
+	}
+	budget := DE4Capacity()
+	used := NiosControlProcessor().Total()
+	per := np.Total()
+	n := 0
+	for {
+		next := used.Add(per)
+		if !next.FitsIn(budget) {
+			return n, nil
+		}
+		used = next
+		n++
+	}
+}

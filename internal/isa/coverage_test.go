@@ -1,0 +1,69 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every implemented instruction must disassemble to real text (never the
+// .word fallback) and name its operands consistently.
+func TestDisasmCoversEveryValidForm(t *testing.T) {
+	var words []Word
+	// All SPECIAL functions.
+	for _, fn := range []uint32{
+		FnSLL, FnSRL, FnSRA, FnSLLV, FnSRLV, FnSRAV,
+		FnJR, FnJALR, FnSYSCALL, FnBREAK,
+		FnMFHI, FnMTHI, FnMFLO, FnMTLO,
+		FnMULT, FnMULTU, FnDIV, FnDIVU,
+		FnADD, FnADDU, FnSUB, FnSUBU,
+		FnAND, FnOR, FnXOR, FnNOR, FnSLT, FnSLTU,
+	} {
+		words = append(words, EncodeR(fn, RegT0, RegT1, RegT2, 3))
+		words = append(words, EncodeR(fn, RegA0, RegA1, RegRA, 0))
+	}
+	// All I-type opcodes.
+	for _, op := range []uint32{
+		OpADDI, OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI, OpLUI,
+		OpBEQ, OpBNE, OpBLEZ, OpBGTZ,
+		OpLB, OpLH, OpLW, OpLBU, OpLHU, OpSB, OpSH, OpSW,
+	} {
+		words = append(words, EncodeI(op, RegSP, RegT3, 0x10))
+		words = append(words, EncodeI(op, RegGP, RegS0, 0xFFF0))
+	}
+	// REGIMM selectors and jumps.
+	for _, rt := range []uint32{RtBLTZ, RtBGEZ, RtBLTZAL, RtBGEZAL} {
+		words = append(words, EncodeI(OpRegImm, RegT4, rt, 8))
+	}
+	words = append(words, EncodeJ(OpJ, 0x1000), EncodeJ(OpJAL, 0x2000))
+
+	for _, w := range words {
+		if !Valid(w) {
+			t.Fatalf("%08x should be valid", uint32(w))
+		}
+		text := Disasm(0x400, w)
+		if strings.HasPrefix(text, ".word") {
+			t.Errorf("%08x disassembles to fallback %q", uint32(w), text)
+		}
+		if text == "" {
+			t.Errorf("%08x disassembles to empty string", uint32(w))
+		}
+	}
+}
+
+func TestDisasmFallbacksOnReservedEncodings(t *testing.T) {
+	for _, w := range []Word{
+		EncodeR(0x3E, 0, 0, 0, 0),     // reserved SPECIAL fn
+		EncodeI(OpRegImm, 0, 0x15, 0), // reserved REGIMM rt
+		Word(0x2F) << 26,              // reserved major opcode
+	} {
+		if got := Disasm(0, w); !strings.HasPrefix(got, ".word") {
+			t.Errorf("%08x: expected .word fallback, got %q", uint32(w), got)
+		}
+	}
+}
+
+func TestRegNameOutOfRange(t *testing.T) {
+	if got := RegName(40); !strings.Contains(got, "?") {
+		t.Errorf("RegName(40) = %q", got)
+	}
+}

@@ -1,0 +1,149 @@
+package isa
+
+import "fmt"
+
+// Disasm renders the instruction word at byte address pc as assembly text in
+// the same syntax accepted by the internal assembler, so that
+// asm → isa → Disasm → asm round-trips.
+func Disasm(pc uint32, w Word) string {
+	if w == NOP {
+		return "nop"
+	}
+	switch w.Op() {
+	case OpSpecial:
+		return disasmSpecial(w)
+	case OpRegImm:
+		return disasmRegImm(pc, w)
+	case OpJ:
+		return fmt.Sprintf("j 0x%x", JumpTarget(pc, w))
+	case OpJAL:
+		return fmt.Sprintf("jal 0x%x", JumpTarget(pc, w))
+	case OpBEQ:
+		return fmt.Sprintf("beq %s, %s, 0x%x", RegName(w.Rs()), RegName(w.Rt()), BranchTarget(pc, w))
+	case OpBNE:
+		return fmt.Sprintf("bne %s, %s, 0x%x", RegName(w.Rs()), RegName(w.Rt()), BranchTarget(pc, w))
+	case OpBLEZ:
+		return fmt.Sprintf("blez %s, 0x%x", RegName(w.Rs()), BranchTarget(pc, w))
+	case OpBGTZ:
+		return fmt.Sprintf("bgtz %s, 0x%x", RegName(w.Rs()), BranchTarget(pc, w))
+	case OpADDI:
+		return fmt.Sprintf("addi %s, %s, %d", RegName(w.Rt()), RegName(w.Rs()), w.SImm())
+	case OpADDIU:
+		return fmt.Sprintf("addiu %s, %s, %d", RegName(w.Rt()), RegName(w.Rs()), w.SImm())
+	case OpSLTI:
+		return fmt.Sprintf("slti %s, %s, %d", RegName(w.Rt()), RegName(w.Rs()), w.SImm())
+	case OpSLTIU:
+		return fmt.Sprintf("sltiu %s, %s, %d", RegName(w.Rt()), RegName(w.Rs()), w.SImm())
+	case OpANDI:
+		return fmt.Sprintf("andi %s, %s, 0x%x", RegName(w.Rt()), RegName(w.Rs()), w.Imm())
+	case OpORI:
+		return fmt.Sprintf("ori %s, %s, 0x%x", RegName(w.Rt()), RegName(w.Rs()), w.Imm())
+	case OpXORI:
+		return fmt.Sprintf("xori %s, %s, 0x%x", RegName(w.Rt()), RegName(w.Rs()), w.Imm())
+	case OpLUI:
+		return fmt.Sprintf("lui %s, 0x%x", RegName(w.Rt()), w.Imm())
+	case OpLB:
+		return memForm("lb", w)
+	case OpLH:
+		return memForm("lh", w)
+	case OpLW:
+		return memForm("lw", w)
+	case OpLBU:
+		return memForm("lbu", w)
+	case OpLHU:
+		return memForm("lhu", w)
+	case OpSB:
+		return memForm("sb", w)
+	case OpSH:
+		return memForm("sh", w)
+	case OpSW:
+		return memForm("sw", w)
+	}
+	return fmt.Sprintf(".word 0x%08x", uint32(w))
+}
+
+func memForm(mn string, w Word) string {
+	return fmt.Sprintf("%s %s, %d(%s)", mn, RegName(w.Rt()), w.SImm(), RegName(w.Rs()))
+}
+
+func disasmSpecial(w Word) string {
+	rd, rs, rt := RegName(w.Rd()), RegName(w.Rs()), RegName(w.Rt())
+	switch w.Fn() {
+	case FnSLL:
+		return fmt.Sprintf("sll %s, %s, %d", rd, rt, w.Shamt())
+	case FnSRL:
+		return fmt.Sprintf("srl %s, %s, %d", rd, rt, w.Shamt())
+	case FnSRA:
+		return fmt.Sprintf("sra %s, %s, %d", rd, rt, w.Shamt())
+	case FnSLLV:
+		return fmt.Sprintf("sllv %s, %s, %s", rd, rt, rs)
+	case FnSRLV:
+		return fmt.Sprintf("srlv %s, %s, %s", rd, rt, rs)
+	case FnSRAV:
+		return fmt.Sprintf("srav %s, %s, %s", rd, rt, rs)
+	case FnJR:
+		return fmt.Sprintf("jr %s", rs)
+	case FnJALR:
+		if w.Rd() == RegRA {
+			return fmt.Sprintf("jalr %s", rs)
+		}
+		return fmt.Sprintf("jalr %s, %s", rd, rs)
+	case FnSYSCALL:
+		return "syscall"
+	case FnBREAK:
+		return "break"
+	case FnMFHI:
+		return fmt.Sprintf("mfhi %s", rd)
+	case FnMTHI:
+		return fmt.Sprintf("mthi %s", rs)
+	case FnMFLO:
+		return fmt.Sprintf("mflo %s", rd)
+	case FnMTLO:
+		return fmt.Sprintf("mtlo %s", rs)
+	case FnMULT:
+		return fmt.Sprintf("mult %s, %s", rs, rt)
+	case FnMULTU:
+		return fmt.Sprintf("multu %s, %s", rs, rt)
+	case FnDIV:
+		return fmt.Sprintf("div %s, %s", rs, rt)
+	case FnDIVU:
+		return fmt.Sprintf("divu %s, %s", rs, rt)
+	case FnADD:
+		return fmt.Sprintf("add %s, %s, %s", rd, rs, rt)
+	case FnADDU:
+		return fmt.Sprintf("addu %s, %s, %s", rd, rs, rt)
+	case FnSUB:
+		return fmt.Sprintf("sub %s, %s, %s", rd, rs, rt)
+	case FnSUBU:
+		return fmt.Sprintf("subu %s, %s, %s", rd, rs, rt)
+	case FnAND:
+		return fmt.Sprintf("and %s, %s, %s", rd, rs, rt)
+	case FnOR:
+		return fmt.Sprintf("or %s, %s, %s", rd, rs, rt)
+	case FnXOR:
+		return fmt.Sprintf("xor %s, %s, %s", rd, rs, rt)
+	case FnNOR:
+		return fmt.Sprintf("nor %s, %s, %s", rd, rs, rt)
+	case FnSLT:
+		return fmt.Sprintf("slt %s, %s, %s", rd, rs, rt)
+	case FnSLTU:
+		return fmt.Sprintf("sltu %s, %s, %s", rd, rs, rt)
+	}
+	return fmt.Sprintf(".word 0x%08x", uint32(w))
+}
+
+func disasmRegImm(pc uint32, w Word) string {
+	rs := RegName(w.Rs())
+	t := BranchTarget(pc, w)
+	switch w.Rt() {
+	case RtBLTZ:
+		return fmt.Sprintf("bltz %s, 0x%x", rs, t)
+	case RtBGEZ:
+		return fmt.Sprintf("bgez %s, 0x%x", rs, t)
+	case RtBLTZAL:
+		return fmt.Sprintf("bltzal %s, 0x%x", rs, t)
+	case RtBGEZAL:
+		return fmt.Sprintf("bgezal %s, 0x%x", rs, t)
+	}
+	return fmt.Sprintf(".word 0x%08x", uint32(w))
+}

@@ -1,0 +1,50 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisasmForms(t *testing.T) {
+	cases := []struct {
+		pc   uint32
+		w    Word
+		want string
+	}{
+		{0, NOP, "nop"},
+		{0, EncodeR(FnADD, RegT1, RegT2, RegT0, 0), "add $t0, $t1, $t2"},
+		{0, EncodeR(FnADDU, RegA0, RegA1, RegV0, 0), "addu $v0, $a0, $a1"},
+		{0, EncodeR(FnSLL, 0, RegT0, RegT1, 4), "sll $t1, $t0, 4"},
+		{0, EncodeR(FnSLLV, RegT2, RegT0, RegT1, 0), "sllv $t1, $t0, $t2"},
+		{0, EncodeR(FnJR, RegRA, 0, 0, 0), "jr $ra"},
+		{0, EncodeR(FnJALR, RegT9, 0, RegRA, 0), "jalr $t9"},
+		{0, EncodeR(FnJALR, RegT9, 0, RegT0, 0), "jalr $t0, $t9"},
+		{0, EncodeR(FnSYSCALL, 0, 0, 0, 0), "syscall"},
+		{0, EncodeR(FnBREAK, 0, 0, 0, 0), "break"},
+		{0, EncodeR(FnMFHI, 0, 0, RegT0, 0), "mfhi $t0"},
+		{0, EncodeR(FnMULT, RegT0, RegT1, 0, 0), "mult $t0, $t1"},
+		{0, EncodeI(OpADDIU, RegSP, RegSP, 0xFFFC), "addiu $sp, $sp, -4"},
+		{0, EncodeI(OpORI, RegZero, RegT0, 0xBEEF), "ori $t0, $zero, 0xbeef"},
+		{0, EncodeI(OpLUI, 0, RegT0, 0x1234), "lui $t0, 0x1234"},
+		{0, EncodeI(OpLW, RegSP, RegT0, 8), "lw $t0, 8($sp)"},
+		{0, EncodeI(OpSB, RegA0, RegT1, 0xFFFF), "sb $t1, -1($a0)"},
+		{0x100, EncodeI(OpBEQ, RegT0, RegT1, 3), "beq $t0, $t1, 0x110"},
+		{0x100, EncodeI(OpBLEZ, RegT0, 0, 3), "blez $t0, 0x110"},
+		{0x100, EncodeI(OpRegImm, RegT0, RtBLTZ, 3), "bltz $t0, 0x110"},
+		{0x100, EncodeJ(OpJ, 0x4000), "j 0x4000"},
+		{0x100, EncodeJ(OpJAL, 0x4000), "jal 0x4000"},
+	}
+	for _, c := range cases {
+		if got := Disasm(c.pc, c.w); got != c.want {
+			t.Errorf("Disasm(%#x, %08x) = %q, want %q", c.pc, uint32(c.w), got, c.want)
+		}
+	}
+}
+
+func TestDisasmUnknownWord(t *testing.T) {
+	w := Word(0xFC000000) // opcode 0x3F, unassigned
+	got := Disasm(0, w)
+	if !strings.HasPrefix(got, ".word") {
+		t.Errorf("unknown word disassembled to %q, want .word form", got)
+	}
+}

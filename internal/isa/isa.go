@@ -1,0 +1,332 @@
+// Package isa defines the MIPS-I instruction subset executed by the
+// PLASMA-like network processor cores simulated in this repository.
+//
+// The package provides 32-bit instruction word encoding and decoding, the
+// register file naming conventions, a disassembler, and instruction
+// classification helpers used by the offline monitoring-graph analysis
+// (control-flow kind, branch targets, delay-slot-free semantics).
+//
+// The simulated core deliberately omits branch delay slots: the original
+// PLASMA core resolves them in hardware, and the hardware monitor of the
+// paper observes the *retired* instruction stream, which is identical either
+// way. Dropping delay slots keeps the monitoring-graph successor relation
+// exactly "next instruction or branch target".
+package isa
+
+import "fmt"
+
+// Word is a 32-bit instruction word as fetched from memory.
+type Word uint32
+
+// Opcode values (bits 31:26 of the instruction word).
+const (
+	OpSpecial uint32 = 0x00 // R-type, function in bits 5:0
+	OpRegImm  uint32 = 0x01 // BLTZ/BGEZ and friends, selector in rt
+	OpJ       uint32 = 0x02
+	OpJAL     uint32 = 0x03
+	OpBEQ     uint32 = 0x04
+	OpBNE     uint32 = 0x05
+	OpBLEZ    uint32 = 0x06
+	OpBGTZ    uint32 = 0x07
+	OpADDI    uint32 = 0x08
+	OpADDIU   uint32 = 0x09
+	OpSLTI    uint32 = 0x0A
+	OpSLTIU   uint32 = 0x0B
+	OpANDI    uint32 = 0x0C
+	OpORI     uint32 = 0x0D
+	OpXORI    uint32 = 0x0E
+	OpLUI     uint32 = 0x0F
+	OpLB      uint32 = 0x20
+	OpLH      uint32 = 0x21
+	OpLW      uint32 = 0x23
+	OpLBU     uint32 = 0x24
+	OpLHU     uint32 = 0x25
+	OpSB      uint32 = 0x28
+	OpSH      uint32 = 0x29
+	OpSW      uint32 = 0x2B
+)
+
+// SPECIAL function codes (bits 5:0 when opcode == OpSpecial).
+const (
+	FnSLL     uint32 = 0x00
+	FnSRL     uint32 = 0x02
+	FnSRA     uint32 = 0x03
+	FnSLLV    uint32 = 0x04
+	FnSRLV    uint32 = 0x06
+	FnSRAV    uint32 = 0x07
+	FnJR      uint32 = 0x08
+	FnJALR    uint32 = 0x09
+	FnSYSCALL uint32 = 0x0C
+	FnBREAK   uint32 = 0x0D
+	FnMFHI    uint32 = 0x10
+	FnMTHI    uint32 = 0x11
+	FnMFLO    uint32 = 0x12
+	FnMTLO    uint32 = 0x13
+	FnMULT    uint32 = 0x18
+	FnMULTU   uint32 = 0x19
+	FnDIV     uint32 = 0x1A
+	FnDIVU    uint32 = 0x1B
+	FnADD     uint32 = 0x20
+	FnADDU    uint32 = 0x21
+	FnSUB     uint32 = 0x22
+	FnSUBU    uint32 = 0x23
+	FnAND     uint32 = 0x24
+	FnOR      uint32 = 0x25
+	FnXOR     uint32 = 0x26
+	FnNOR     uint32 = 0x27
+	FnSLT     uint32 = 0x2A
+	FnSLTU    uint32 = 0x2B
+)
+
+// REGIMM rt selectors (when opcode == OpRegImm).
+const (
+	RtBLTZ   uint32 = 0x00
+	RtBGEZ   uint32 = 0x01
+	RtBLTZAL uint32 = 0x10
+	RtBGEZAL uint32 = 0x11
+)
+
+// Register numbers with conventional MIPS ABI names.
+const (
+	RegZero = 0 // $zero — hardwired zero
+	RegAT   = 1 // $at — assembler temporary
+	RegV0   = 2 // $v0 — return value
+	RegV1   = 3 // $v1
+	RegA0   = 4 // $a0 — argument
+	RegA1   = 5 // $a1
+	RegA2   = 6 // $a2
+	RegA3   = 7 // $a3
+	RegT0   = 8 // $t0 — caller-saved temporaries
+	RegT1   = 9
+	RegT2   = 10
+	RegT3   = 11
+	RegT4   = 12
+	RegT5   = 13
+	RegT6   = 14
+	RegT7   = 15
+	RegS0   = 16 // $s0 — callee-saved
+	RegS1   = 17
+	RegS2   = 18
+	RegS3   = 19
+	RegS4   = 20
+	RegS5   = 21
+	RegS6   = 22
+	RegS7   = 23
+	RegT8   = 24
+	RegT9   = 25
+	RegK0   = 26 // $k0 — kernel reserved
+	RegK1   = 27
+	RegGP   = 28 // $gp — global pointer
+	RegSP   = 29 // $sp — stack pointer
+	RegFP   = 30 // $fp — frame pointer
+	RegRA   = 31 // $ra — return address
+)
+
+// RegNames maps register numbers to their conventional ABI names (without
+// the leading '$').
+var RegNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// RegName returns the ABI name for register r, e.g. "$sp".
+func RegName(r uint32) string {
+	if r < 32 {
+		return "$" + RegNames[r]
+	}
+	return fmt.Sprintf("$?%d", r)
+}
+
+// RegNumber returns the register number for a name such as "$sp", "sp",
+// "$29" or "29". The second return value reports whether the name resolved.
+func RegNumber(name string) (uint32, bool) {
+	if len(name) > 0 && name[0] == '$' {
+		name = name[1:]
+	}
+	for i, n := range RegNames {
+		if n == name {
+			return uint32(i), true
+		}
+	}
+	// Numeric form.
+	var v uint32
+	if len(name) == 0 {
+		return 0, false
+	}
+	for _, c := range name {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + uint32(c-'0')
+	}
+	if v < 32 {
+		return v, true
+	}
+	return 0, false
+}
+
+// Field accessors on the raw instruction word.
+
+// Op returns the major opcode, bits 31:26.
+func (w Word) Op() uint32 { return uint32(w) >> 26 }
+
+// Rs returns the rs field, bits 25:21.
+func (w Word) Rs() uint32 { return (uint32(w) >> 21) & 0x1F }
+
+// Rt returns the rt field, bits 20:16.
+func (w Word) Rt() uint32 { return (uint32(w) >> 16) & 0x1F }
+
+// Rd returns the rd field, bits 15:11.
+func (w Word) Rd() uint32 { return (uint32(w) >> 11) & 0x1F }
+
+// Shamt returns the shift-amount field, bits 10:6.
+func (w Word) Shamt() uint32 { return (uint32(w) >> 6) & 0x1F }
+
+// Fn returns the SPECIAL function field, bits 5:0.
+func (w Word) Fn() uint32 { return uint32(w) & 0x3F }
+
+// Imm returns the raw 16-bit immediate field.
+func (w Word) Imm() uint16 { return uint16(w) }
+
+// SImm returns the immediate field sign-extended to 32 bits.
+func (w Word) SImm() int32 { return int32(int16(uint16(w))) }
+
+// Target returns the 26-bit jump target field.
+func (w Word) Target() uint32 { return uint32(w) & 0x03FFFFFF }
+
+// Encoders.
+
+// EncodeR builds an R-type (SPECIAL) instruction word.
+func EncodeR(fn, rs, rt, rd, shamt uint32) Word {
+	return Word(OpSpecial<<26 | (rs&0x1F)<<21 | (rt&0x1F)<<16 | (rd&0x1F)<<11 | (shamt&0x1F)<<6 | (fn & 0x3F))
+}
+
+// EncodeI builds an I-type instruction word.
+func EncodeI(op, rs, rt uint32, imm uint16) Word {
+	return Word((op&0x3F)<<26 | (rs&0x1F)<<21 | (rt&0x1F)<<16 | uint32(imm))
+}
+
+// EncodeJ builds a J-type instruction word; target is a byte address whose
+// word index is stored in the low 26 bits.
+func EncodeJ(op uint32, targetAddr uint32) Word {
+	return Word((op&0x3F)<<26 | (targetAddr>>2)&0x03FFFFFF)
+}
+
+// NOP is the canonical no-operation encoding (sll $zero, $zero, 0).
+const NOP Word = 0
+
+// Kind classifies an instruction for control-flow analysis.
+type Kind int
+
+const (
+	// KindSeq is a plain sequential instruction (ALU, load, store, ...).
+	KindSeq Kind = iota
+	// KindBranch is a conditional branch: successors are both the fall
+	// through and the branch target.
+	KindBranch
+	// KindJump is an unconditional direct jump (j, jal): single successor
+	// at the encoded target. jal additionally links $ra.
+	KindJump
+	// KindJumpReg is an indirect jump (jr, jalr): the successor set is not
+	// statically known from the word alone; the analyzer resolves it from
+	// call-site knowledge (returns) or treats it as "any block entry".
+	KindJumpReg
+	// KindTrap is syscall/break: the core traps (our simulator halts or
+	// services it); treated as a block terminator.
+	KindTrap
+)
+
+// Classify reports the control-flow kind of the instruction word.
+func Classify(w Word) Kind {
+	switch w.Op() {
+	case OpSpecial:
+		switch w.Fn() {
+		case FnJR, FnJALR:
+			return KindJumpReg
+		case FnSYSCALL, FnBREAK:
+			return KindTrap
+		}
+		return KindSeq
+	case OpRegImm:
+		switch w.Rt() {
+		case RtBLTZ, RtBGEZ, RtBLTZAL, RtBGEZAL:
+			return KindBranch
+		}
+		return KindSeq
+	case OpJ, OpJAL:
+		return KindJump
+	case OpBEQ, OpBNE, OpBLEZ, OpBGTZ:
+		return KindBranch
+	}
+	return KindSeq
+}
+
+// IsLink reports whether the instruction writes a return address to $ra
+// (jal, jalr with rd=$ra, bltzal, bgezal).
+func IsLink(w Word) bool {
+	switch w.Op() {
+	case OpJAL:
+		return true
+	case OpSpecial:
+		return w.Fn() == FnJALR
+	case OpRegImm:
+		return w.Rt() == RtBLTZAL || w.Rt() == RtBGEZAL
+	}
+	return false
+}
+
+// BranchTarget returns the branch destination of a conditional branch at
+// byte address pc. Valid only when Classify(w) == KindBranch.
+func BranchTarget(pc uint32, w Word) uint32 {
+	return pc + 4 + uint32(w.SImm())<<2
+}
+
+// JumpTarget returns the destination of a direct jump at byte address pc.
+// Valid only when Classify(w) == KindJump. The upper 4 bits come from the
+// address of the following instruction, per the MIPS J-format.
+func JumpTarget(pc uint32, w Word) uint32 {
+	return ((pc + 4) & 0xF0000000) | w.Target()<<2
+}
+
+// IsMemAccess reports whether the instruction reads or writes data memory,
+// and whether the access is a store.
+func IsMemAccess(w Word) (mem, store bool) {
+	switch w.Op() {
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU:
+		return true, false
+	case OpSB, OpSH, OpSW:
+		return true, true
+	}
+	return false, false
+}
+
+// Valid reports whether the word decodes to an instruction this subset
+// implements. The CPU raises a reserved-instruction exception otherwise.
+func Valid(w Word) bool {
+	switch w.Op() {
+	case OpSpecial:
+		switch w.Fn() {
+		case FnSLL, FnSRL, FnSRA, FnSLLV, FnSRLV, FnSRAV,
+			FnJR, FnJALR, FnSYSCALL, FnBREAK,
+			FnMFHI, FnMTHI, FnMFLO, FnMTLO,
+			FnMULT, FnMULTU, FnDIV, FnDIVU,
+			FnADD, FnADDU, FnSUB, FnSUBU,
+			FnAND, FnOR, FnXOR, FnNOR, FnSLT, FnSLTU:
+			return true
+		}
+		return false
+	case OpRegImm:
+		switch w.Rt() {
+		case RtBLTZ, RtBGEZ, RtBLTZAL, RtBGEZAL:
+			return true
+		}
+		return false
+	case OpJ, OpJAL, OpBEQ, OpBNE, OpBLEZ, OpBGTZ,
+		OpADDI, OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI, OpLUI,
+		OpLB, OpLH, OpLW, OpLBU, OpLHU, OpSB, OpSH, OpSW:
+		return true
+	}
+	return false
+}

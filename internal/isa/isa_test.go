@@ -1,0 +1,205 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldAccessors(t *testing.T) {
+	// add $t0, $t1, $t2 -> opcode 0, rs=9, rt=10, rd=8, fn=0x20
+	w := EncodeR(FnADD, RegT1, RegT2, RegT0, 0)
+	if w.Op() != OpSpecial {
+		t.Errorf("Op = %#x, want SPECIAL", w.Op())
+	}
+	if w.Rs() != RegT1 || w.Rt() != RegT2 || w.Rd() != RegT0 {
+		t.Errorf("fields rs=%d rt=%d rd=%d", w.Rs(), w.Rt(), w.Rd())
+	}
+	if w.Fn() != FnADD {
+		t.Errorf("Fn = %#x, want %#x", w.Fn(), FnADD)
+	}
+}
+
+func TestEncodeIImmediates(t *testing.T) {
+	w := EncodeI(OpADDIU, RegSP, RegSP, 0xFFFC) // addiu sp, sp, -4
+	if w.SImm() != -4 {
+		t.Errorf("SImm = %d, want -4", w.SImm())
+	}
+	if w.Imm() != 0xFFFC {
+		t.Errorf("Imm = %#x, want 0xFFFC", w.Imm())
+	}
+}
+
+func TestEncodeJTargetRoundTrip(t *testing.T) {
+	for _, addr := range []uint32{0x0, 0x400, 0x0003FFFC, 0x01234568} {
+		w := EncodeJ(OpJ, addr)
+		got := JumpTarget(0x100, w)
+		if got != addr {
+			t.Errorf("JumpTarget(EncodeJ(%#x)) = %#x", addr, got)
+		}
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	// beq at pc=0x100 with offset +3 words targets 0x100+4+12 = 0x110.
+	w := EncodeI(OpBEQ, 0, 0, 3)
+	if got := BranchTarget(0x100, w); got != 0x110 {
+		t.Errorf("forward target = %#x, want 0x110", got)
+	}
+	// Negative offset -1 word: 0x100+4-4 = 0x100 (self loop via branch).
+	w = EncodeI(OpBEQ, 0, 0, 0xFFFF)
+	if got := BranchTarget(0x100, w); got != 0x100 {
+		t.Errorf("backward target = %#x, want 0x100", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		w    Word
+		want Kind
+	}{
+		{EncodeR(FnADD, 1, 2, 3, 0), KindSeq},
+		{EncodeI(OpLW, RegSP, RegT0, 0), KindSeq},
+		{EncodeI(OpBEQ, 1, 2, 8), KindBranch},
+		{EncodeI(OpBNE, 1, 2, 8), KindBranch},
+		{EncodeI(OpBLEZ, 1, 0, 8), KindBranch},
+		{EncodeI(OpBGTZ, 1, 0, 8), KindBranch},
+		{EncodeI(OpRegImm, 1, RtBLTZ, 8), KindBranch},
+		{EncodeI(OpRegImm, 1, RtBGEZAL, 8), KindBranch},
+		{EncodeJ(OpJ, 0x40), KindJump},
+		{EncodeJ(OpJAL, 0x40), KindJump},
+		{EncodeR(FnJR, RegRA, 0, 0, 0), KindJumpReg},
+		{EncodeR(FnJALR, RegT9, 0, RegRA, 0), KindJumpReg},
+		{EncodeR(FnSYSCALL, 0, 0, 0, 0), KindTrap},
+		{EncodeR(FnBREAK, 0, 0, 0, 0), KindTrap},
+	}
+	for _, c := range cases {
+		if got := Classify(c.w); got != c.want {
+			t.Errorf("Classify(%08x) = %v, want %v (%s)", uint32(c.w), got, c.want, Disasm(0, c.w))
+		}
+	}
+}
+
+func TestIsLink(t *testing.T) {
+	if !IsLink(EncodeJ(OpJAL, 0x40)) {
+		t.Error("jal should link")
+	}
+	if !IsLink(EncodeR(FnJALR, RegT9, 0, RegRA, 0)) {
+		t.Error("jalr should link")
+	}
+	if !IsLink(EncodeI(OpRegImm, 1, RtBGEZAL, 4)) {
+		t.Error("bgezal should link")
+	}
+	if IsLink(EncodeJ(OpJ, 0x40)) {
+		t.Error("j should not link")
+	}
+	if IsLink(EncodeR(FnJR, RegRA, 0, 0, 0)) {
+		t.Error("jr should not link")
+	}
+}
+
+func TestIsMemAccess(t *testing.T) {
+	mem, store := IsMemAccess(EncodeI(OpLW, 1, 2, 0))
+	if !mem || store {
+		t.Error("lw should be a non-store memory access")
+	}
+	mem, store = IsMemAccess(EncodeI(OpSW, 1, 2, 0))
+	if !mem || !store {
+		t.Error("sw should be a store")
+	}
+	mem, _ = IsMemAccess(EncodeR(FnADD, 1, 2, 3, 0))
+	if mem {
+		t.Error("add is not a memory access")
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	if RegName(RegSP) != "$sp" {
+		t.Errorf("RegName(29) = %s", RegName(RegSP))
+	}
+	for i := uint32(0); i < 32; i++ {
+		n := RegName(i)
+		got, ok := RegNumber(n)
+		if !ok || got != i {
+			t.Errorf("RegNumber(RegName(%d)) = %d, %v", i, got, ok)
+		}
+	}
+	if _, ok := RegNumber("$99"); ok {
+		t.Error("register 99 should not resolve")
+	}
+	if _, ok := RegNumber("bogus"); ok {
+		t.Error("register 'bogus' should not resolve")
+	}
+	if r, ok := RegNumber("31"); !ok || r != 31 {
+		t.Error("numeric register names should resolve")
+	}
+}
+
+func TestValidCoversEncodedInstructions(t *testing.T) {
+	ws := []Word{
+		EncodeR(FnADDU, 1, 2, 3, 0),
+		EncodeR(FnSLL, 0, 2, 3, 5),
+		EncodeI(OpORI, 1, 2, 0xFF),
+		EncodeI(OpLW, 1, 2, 4),
+		EncodeJ(OpJAL, 0x40),
+		EncodeI(OpRegImm, 3, RtBLTZ, 4),
+	}
+	for _, w := range ws {
+		if !Valid(w) {
+			t.Errorf("Valid(%08x)=false for %s", uint32(w), Disasm(0, w))
+		}
+	}
+	// Reserved opcodes must be invalid.
+	invalid := []Word{
+		Word(0x3F << 26),              // opcode 0x3F unassigned
+		EncodeR(0x3F, 0, 0, 0, 0),     // SPECIAL fn 0x3F unassigned
+		EncodeI(OpRegImm, 0, 0x1F, 0), // REGIMM rt 0x1F unassigned
+	}
+	for _, w := range invalid {
+		if Valid(w) {
+			t.Errorf("Valid(%08x)=true, want false", uint32(w))
+		}
+	}
+}
+
+// Property: encoding field extraction is consistent for random field values.
+func TestQuickEncodeRFields(t *testing.T) {
+	f := func(fn, rs, rt, rd, sh uint8) bool {
+		w := EncodeR(uint32(fn), uint32(rs), uint32(rt), uint32(rd), uint32(sh))
+		return w.Op() == OpSpecial &&
+			w.Rs() == uint32(rs&0x1F) &&
+			w.Rt() == uint32(rt&0x1F) &&
+			w.Rd() == uint32(rd&0x1F) &&
+			w.Shamt() == uint32(sh&0x1F) &&
+			w.Fn() == uint32(fn&0x3F)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sign extension of the immediate matches int16 semantics.
+func TestQuickSImm(t *testing.T) {
+	f := func(op uint8, imm uint16) bool {
+		w := EncodeI(uint32(op&0x3F), 0, 0, imm)
+		return w.SImm() == int32(int16(imm)) && w.Imm() == imm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: branch targets round-trip through offset arithmetic for random
+// in-range targets.
+func TestQuickBranchTargetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		pc := uint32(rng.Intn(1<<20)) &^ 3
+		off := int32(int16(rng.Uint32()))
+		target := pc + 4 + uint32(off)<<2
+		w := EncodeI(OpBEQ, 0, 0, uint16(off))
+		if got := BranchTarget(pc, w); got != target {
+			t.Fatalf("pc=%#x off=%d: got %#x want %#x", pc, off, got, target)
+		}
+	}
+}

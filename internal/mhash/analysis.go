@@ -1,0 +1,238 @@
+package mhash
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// PairDistribution is the Figure 6 data set: for every possible Hamming
+// distance of a 32-bit input pair (1..32), the distribution of Hamming
+// distances of the corresponding W-bit hash pair (0..W).
+type PairDistribution struct {
+	Width  int       // hash width W in bits
+	Pairs  int       // pairs sampled per input distance
+	Counts [33][]int // Counts[d][h]: input HD d produced output HD h
+}
+
+// NewHasher constructs a fresh Hasher for a given parameter; used by the
+// analysis driver so each sampled pair can use an independent parameter
+// (the paper notes input and key are symmetric in the Merkle tree).
+type NewHasher func(param uint32) Hasher
+
+// HammingDistribution reproduces the Figure 6 experiment: for each input
+// Hamming distance d in 1..32, sample pairsPerDistance random 32-bit pairs
+// (x, y) with HD(x,y) = d under a fresh random parameter, and record the
+// Hamming distance of their hashes.
+func HammingDistribution(mk NewHasher, pairsPerDistance int, rng *rand.Rand) *PairDistribution {
+	probe := mk(0)
+	w := probe.Width()
+	pd := &PairDistribution{Width: w, Pairs: pairsPerDistance}
+	for d := 1; d <= 32; d++ {
+		pd.Counts[d] = make([]int, w+1)
+		for i := 0; i < pairsPerDistance; i++ {
+			h := mk(rng.Uint32())
+			x := rng.Uint32()
+			y := flipBits(x, d, rng)
+			hd := hamming8(h.Hash(x), h.Hash(y))
+			pd.Counts[d][hd]++
+		}
+	}
+	return pd
+}
+
+// flipBits returns x with exactly d distinct random bit positions flipped.
+func flipBits(x uint32, d int, rng *rand.Rand) uint32 {
+	perm := rng.Perm(32)
+	for _, p := range perm[:d] {
+		x ^= 1 << uint(p)
+	}
+	return x
+}
+
+func hamming8(a, b uint8) int {
+	return popcount32(uint32(a ^ b))
+}
+
+// Mean returns the mean output Hamming distance for input distance d.
+func (pd *PairDistribution) Mean(d int) float64 {
+	var sum, n int
+	for h, c := range pd.Counts[d] {
+		sum += h * c
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Fractions returns Counts[d] normalized to probabilities.
+func (pd *PairDistribution) Fractions(d int) []float64 {
+	out := make([]float64, len(pd.Counts[d]))
+	var n int
+	for _, c := range pd.Counts[d] {
+		n += c
+	}
+	if n == 0 {
+		return out
+	}
+	for h, c := range pd.Counts[d] {
+		out[h] = float64(c) / float64(n)
+	}
+	return out
+}
+
+// ReferenceBinomial returns the output-HD distribution an ideal random
+// mapping would produce: two independent uniform W-bit values differ in each
+// bit with probability 1/2, i.e. Binomial(W, 1/2).
+func ReferenceBinomial(width int) []float64 {
+	out := make([]float64, width+1)
+	total := math.Pow(2, float64(width))
+	c := 1.0
+	for k := 0; k <= width; k++ {
+		out[k] = c / total
+		c = c * float64(width-k) / float64(k+1)
+	}
+	return out
+}
+
+// ChiSquare computes the chi-square statistic of the measured output-HD
+// distribution for input distance d against the ideal binomial reference.
+// Small values mean "indistinguishable from random changes" (the paper's
+// Figure 6 claim); the statistic has width degrees of freedom.
+func (pd *PairDistribution) ChiSquare(d int) float64 {
+	ref := ReferenceBinomial(pd.Width)
+	var n int
+	for _, c := range pd.Counts[d] {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	var chi float64
+	for h, c := range pd.Counts[d] {
+		exp := ref[h] * float64(n)
+		if exp > 0 {
+			diff := float64(c) - exp
+			chi += diff * diff / exp
+		}
+	}
+	return chi
+}
+
+// TotalVariation computes the total-variation distance between the measured
+// distribution at input distance d and the binomial reference (0 = exactly
+// random-looking, 1 = completely distinguishable).
+func (pd *PairDistribution) TotalVariation(d int) float64 {
+	ref := ReferenceBinomial(pd.Width)
+	frac := pd.Fractions(d)
+	var tv float64
+	for h := range frac {
+		tv += math.Abs(frac[h] - ref[h])
+	}
+	return tv / 2
+}
+
+// Table renders the distribution as rows "inputHD  p(out=0) ... p(out=W)
+// mean", matching the series plotted in Figure 6.
+func (pd *PairDistribution) Table() string {
+	s := "inHD"
+	for h := 0; h <= pd.Width; h++ {
+		s += fmt.Sprintf("  p(h=%d)", h)
+	}
+	s += "   mean    TV-vs-random\n"
+	for d := 1; d <= 32; d++ {
+		s += fmt.Sprintf("%4d", d)
+		for _, f := range pd.Fractions(d) {
+			s += fmt.Sprintf("  %.4f", f)
+		}
+		s += fmt.Sprintf("  %.3f  %.4f\n", pd.Mean(d), pd.TotalVariation(d))
+	}
+	return s
+}
+
+// CSV renders the distribution as comma-separated rows for plotting:
+// input_hd, p(out=0..W), mean, tv_vs_random.
+func (pd *PairDistribution) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("input_hd")
+	for h := 0; h <= pd.Width; h++ {
+		fmt.Fprintf(&sb, ",p_out_%d", h)
+	}
+	sb.WriteString(",mean,tv_vs_random\n")
+	for d := 1; d <= 32; d++ {
+		fmt.Fprintf(&sb, "%d", d)
+		for _, f := range pd.Fractions(d) {
+			fmt.Fprintf(&sb, ",%.6f", f)
+		}
+		fmt.Fprintf(&sb, ",%.4f,%.6f\n", pd.Mean(d), pd.TotalVariation(d))
+	}
+	return sb.String()
+}
+
+// CollisionRate estimates the probability that two uniformly random
+// distinct instruction words collide under a fresh random parameter. An
+// ideal W-bit hash gives 2^-W.
+func CollisionRate(mk NewHasher, samples int, rng *rand.Rand) float64 {
+	coll := 0
+	for i := 0; i < samples; i++ {
+		h := mk(rng.Uint32())
+		x := rng.Uint32()
+		y := rng.Uint32()
+		for y == x {
+			y = rng.Uint32()
+		}
+		if h.Hash(x) == h.Hash(y) {
+			coll++
+		}
+	}
+	return float64(coll) / float64(samples)
+}
+
+// EscapeProbability estimates the probability that a random k-instruction
+// attack sequence produces exactly the hash sequence of a given valid
+// k-instruction sequence under an unknown random parameter — the paper's
+// geometric-decrease argument (§2.1: 1/16 for one instruction, 1/256 for
+// two, ...). Returns the measured probability for each k in 1..maxK.
+func EscapeProbability(mk NewHasher, maxK, trials int, rng *rand.Rand) []float64 {
+	out := make([]float64, maxK+1)
+	for k := 1; k <= maxK; k++ {
+		hits := 0
+		for t := 0; t < trials; t++ {
+			h := mk(rng.Uint32())
+			match := true
+			for i := 0; i < k; i++ {
+				valid := rng.Uint32()
+				attack := rng.Uint32()
+				if h.Hash(valid) != h.Hash(attack) {
+					match = false
+					break
+				}
+			}
+			if match {
+				hits++
+			}
+		}
+		out[k] = float64(hits) / float64(trials)
+	}
+	return out
+}
+
+// ParameterSensitivity estimates the probability that the same instruction
+// hashes to the same value under two independent random parameters — the
+// homogeneity metric: low sensitivity would let one brute-forced attack
+// transfer across routers. Ideal: 2^-W.
+func ParameterSensitivity(mk NewHasher, samples int, rng *rand.Rand) float64 {
+	same := 0
+	for i := 0; i < samples; i++ {
+		instr := rng.Uint32()
+		h1 := mk(rng.Uint32())
+		h2 := mk(rng.Uint32())
+		if h1.Hash(instr) == h2.Hash(instr) {
+			same++
+		}
+	}
+	return float64(same) / float64(samples)
+}

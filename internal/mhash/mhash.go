@@ -1,0 +1,187 @@
+// Package mhash implements the parameterizable hash functions used by the
+// hardware monitor.
+//
+// The primary function is the paper's Merkle-tree hash (§3.2, Figure 4): a
+// binary tree of 2W-to-W-bit compression nodes. Leaf nodes combine W bits of
+// the secret 32-bit hash parameter with W bits of the 32-bit instruction
+// word; inner nodes combine the outputs of their children. With the paper's
+// W = 4 this yields 8 leaves and a 15-node tree producing the 4-bit hash
+// reported to the monitor. The compression function used in the prototype is
+// the 4-bit arithmetic sum of both inputs.
+//
+// A conventional bitcount (population count) hash is provided as the
+// baseline of Table 3, and alternative compression functions (XOR, S-box)
+// support the ablation benches.
+package mhash
+
+import "fmt"
+
+// Compress is a 2W-to-W-bit compression function. Inputs and output are
+// W-bit values stored in uint8 (W ≤ 8).
+type Compress func(a, b uint8) uint8
+
+// Hasher maps a 32-bit instruction word to a short hash reported to the
+// hardware monitor.
+type Hasher interface {
+	// Hash returns the W-bit hash of the instruction word.
+	Hash(instr uint32) uint8
+	// Width returns W, the hash width in bits.
+	Width() int
+}
+
+// SumCompress returns the paper's compression function: the W-bit
+// arithmetic sum (addition modulo 2^W) of both inputs.
+func SumCompress(width int) Compress {
+	mask := uint8(1<<width - 1)
+	return func(a, b uint8) uint8 { return (a + b) & mask }
+}
+
+// XorCompress returns bitwise XOR compression (a weaker, linear choice —
+// used by the ablation bench to show why the prototype prefers the sum:
+// XOR makes the whole tree linear in GF(2), so differentials are
+// parameter-independent).
+func XorCompress(width int) Compress {
+	mask := uint8(1<<width - 1)
+	return func(a, b uint8) uint8 { return (a ^ b) & mask }
+}
+
+// SBoxCompress returns a fixed nonlinear 8-to-4-bit compression built from
+// a small substitution box (only defined for width 4). The table is a
+// de-correlated permutation-derived box generated from the AES S-box low
+// nibbles, giving stronger avalanche than the arithmetic sum at higher LUT
+// cost.
+func SBoxCompress() Compress {
+	return func(a, b uint8) uint8 {
+		return sbox8to4[(a&0xF)<<4|(b&0xF)]
+	}
+}
+
+// sbox8to4 maps an 8-bit input to 4 bits. Derived from the low nibbles of
+// the AES S-box (a fixed, public constant — the security of the scheme
+// rests on the secret parameter, not on the box).
+var sbox8to4 = [256]uint8{
+	0x3, 0xC, 0x7, 0xB, 0x2, 0xB, 0xF, 0x5, 0x0, 0x1, 0x7, 0xB, 0xE, 0x7, 0xB, 0x6,
+	0xA, 0x2, 0x9, 0xD, 0xA, 0x9, 0x7, 0x0, 0xD, 0x4, 0x2, 0xF, 0xC, 0x4, 0x2, 0x0,
+	0x7, 0xD, 0x3, 0x6, 0x6, 0xF, 0x7, 0xC, 0x4, 0x5, 0x5, 0x1, 0x1, 0x8, 0x1, 0x5,
+	0x4, 0x7, 0x3, 0x3, 0x8, 0x6, 0x5, 0xA, 0x7, 0x2, 0x0, 0x2, 0x3, 0x7, 0x2, 0x5,
+	0x9, 0x3, 0xC, 0xA, 0xB, 0xE, 0xA, 0x0, 0x2, 0x3, 0x6, 0x3, 0x9, 0x3, 0xF, 0x4,
+	0x3, 0x1, 0x0, 0xD, 0x0, 0xC, 0x1, 0xA, 0xA, 0xB, 0xE, 0x9, 0xA, 0xC, 0x8, 0xF,
+	0x0, 0xF, 0xA, 0xB, 0x3, 0xD, 0x3, 0x5, 0x5, 0x9, 0x2, 0xF, 0x0, 0x3, 0xE, 0x8,
+	0x1, 0x3, 0x0, 0x3, 0x2, 0xD, 0x6, 0x5, 0xC, 0x6, 0x8, 0x1, 0xC, 0xD, 0x8, 0x2,
+	0xD, 0xC, 0x3, 0xC, 0x7, 0x7, 0x4, 0x7, 0x4, 0xE, 0xC, 0xD, 0x4, 0xF, 0x9, 0x3,
+	0x0, 0x1, 0xF, 0xB, 0x2, 0x5, 0xA, 0x6, 0x6, 0xE, 0x8, 0x4, 0xE, 0xE, 0xB, 0xB,
+	0x0, 0x2, 0xA, 0xA, 0x9, 0x6, 0x4, 0x5, 0x2, 0x2, 0xA, 0x2, 0x1, 0x6, 0x4, 0x9,
+	0x7, 0x8, 0x7, 0xD, 0xC, 0x5, 0x4, 0x9, 0xC, 0x6, 0x4, 0xA, 0x5, 0x6, 0xE, 0x8,
+	0xA, 0x8, 0x5, 0x6, 0x6, 0x6, 0x4, 0x6, 0x8, 0xB, 0x4, 0xF, 0xB, 0xB, 0xB, 0xA,
+	0x0, 0x8, 0x9, 0x1, 0x9, 0x9, 0xE, 0xE, 0x1, 0xD, 0x5, 0x5, 0x0, 0x5, 0xE, 0xE,
+	0x1, 0x8, 0x8, 0x1, 0x9, 0xD, 0xE, 0x4, 0x8, 0xE, 0x7, 0xB, 0xB, 0xD, 0x5, 0xF,
+	0xC, 0x1, 0x9, 0xD, 0xF, 0x0, 0x7, 0x1, 0x1, 0x9, 0x9, 0xE, 0xF, 0xF, 0x9, 0x6,
+}
+
+// Merkle is the paper's parameterizable Merkle-tree hash.
+type Merkle struct {
+	param    uint32
+	width    int
+	compress Compress
+}
+
+// NewMerkle builds the paper's configuration: 4-bit hash, arithmetic-sum
+// compression, with the given 32-bit parameter.
+func NewMerkle(param uint32) *Merkle {
+	return &Merkle{param: param, width: 4, compress: SumCompress(4)}
+}
+
+// NewMerkleWith builds a Merkle hash of the given width (must divide 32 and
+// be 1..8) with a custom compression function.
+func NewMerkleWith(param uint32, width int, c Compress) (*Merkle, error) {
+	switch width {
+	case 1, 2, 4, 8:
+	default:
+		return nil, fmt.Errorf("mhash: width %d must be one of 1, 2, 4, 8", width)
+	}
+	if c == nil {
+		c = SumCompress(width)
+	}
+	return &Merkle{param: param, width: width, compress: c}, nil
+}
+
+// Param returns the secret 32-bit hash parameter.
+func (m *Merkle) Param() uint32 { return m.param }
+
+// Width returns the hash width in bits.
+func (m *Merkle) Width() int { return m.width }
+
+// Hash computes the W-bit hash of the 32-bit instruction word by evaluating
+// the compression tree: leaves combine parameter chunks with instruction
+// chunks, inner nodes combine child outputs, down to a single W-bit root.
+// Allocation-free: this runs once per retired instruction in the simulator.
+func (m *Merkle) Hash(instr uint32) uint8 {
+	w := m.width
+	mask := uint32(1<<w - 1)
+	n := 32 / w // number of W-bit chunks, at most 32
+	var buf [32]uint8
+	level := buf[:n]
+	for i := 0; i < n; i++ {
+		sh := uint(i * w)
+		p := uint8((m.param >> sh) & mask)
+		d := uint8((instr >> sh) & mask)
+		level[i] = m.compress(p, d)
+	}
+	// Reduce to the root.
+	for len(level) > 1 {
+		next := level[:len(level)/2]
+		for i := range next {
+			next[i] = m.compress(level[2*i], level[2*i+1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// NodeCount returns the number of compression nodes in the tree (Table 3
+// resource accounting: each node is one 2W-to-W compressor).
+func (m *Merkle) NodeCount() int {
+	n := 32 / m.width
+	return 2*n - 1
+}
+
+// Bitcount is the conventional baseline hash of Table 3: the number of set
+// bits in the instruction word, truncated to the hash width. It has no
+// secret parameter, which is exactly the homogeneity weakness SDMMon
+// removes.
+type Bitcount struct {
+	width int
+}
+
+// NewBitcount returns the bitcount hash at the paper's 4-bit width.
+func NewBitcount() *Bitcount { return &Bitcount{width: 4} }
+
+// NewBitcountWith returns a bitcount hash with the given width (1..8 bits).
+func NewBitcountWith(width int) (*Bitcount, error) {
+	if width < 1 || width > 8 {
+		return nil, fmt.Errorf("mhash: width %d out of range 1..8", width)
+	}
+	return &Bitcount{width: width}, nil
+}
+
+// Width returns the hash width in bits.
+func (b *Bitcount) Width() int { return b.width }
+
+// Hash counts set bits and truncates to the hash width.
+func (b *Bitcount) Hash(instr uint32) uint8 {
+	n := popcount32(instr)
+	return uint8(n) & uint8(1<<b.width-1)
+}
+
+func popcount32(v uint32) int {
+	v = v - ((v >> 1) & 0x55555555)
+	v = (v & 0x33333333) + ((v >> 2) & 0x33333333)
+	v = (v + (v >> 4)) & 0x0F0F0F0F
+	return int((v * 0x01010101) >> 24)
+}
+
+// Compile-time interface checks.
+var (
+	_ Hasher = (*Merkle)(nil)
+	_ Hasher = (*Bitcount)(nil)
+)

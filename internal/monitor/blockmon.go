@@ -1,0 +1,237 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"sdmmon/internal/asm"
+	"sdmmon/internal/isa"
+	"sdmmon/internal/mhash"
+)
+
+// Block-granularity monitoring, the coarser design point of the related
+// work the paper contrasts with (Arora et al. DATE'05, IMPRES DAC'06):
+// instead of checking every instruction's hash against a per-instruction
+// graph, the monitor accumulates a signature over a basic block and checks
+// it once at the block boundary. The block graph is smaller, but an attack
+// is detected only when the running block ends — the ablation quantifies
+// the latency and memory trade-off against the paper's per-instruction
+// scheme.
+
+// BlockGraph is the block-granularity monitoring structure.
+type BlockGraph struct {
+	Width int
+	Entry uint32 // entry block's First address
+	// blocks maps a block's First address to its record.
+	blocks map[uint32]*BlockNode
+	order  []uint32
+}
+
+// BlockNode is one monitored basic block.
+type BlockNode struct {
+	First, Last uint32
+	Sig         uint8    // accumulated W-bit signature of the block's instructions
+	Succ        []uint32 // First addresses of successor blocks
+}
+
+// Len returns the number of blocks.
+func (g *BlockGraph) Len() int { return len(g.order) }
+
+// Block returns the node starting at addr.
+func (g *BlockGraph) Block(addr uint32) *BlockNode { return g.blocks[addr] }
+
+// blockSig folds per-instruction hashes into a block signature: a rotate-
+// and-xor accumulator, cheap in hardware (one W-bit register per core).
+func blockSig(h mhash.Hasher, words []isa.Word) uint8 {
+	w := h.Width()
+	mask := uint8(1<<w - 1)
+	var acc uint8
+	for _, word := range words {
+		acc = ((acc << 1) | (acc >> (uint(w) - 1))) & mask // rotate left 1
+		acc ^= h.Hash(uint32(word))
+	}
+	return acc
+}
+
+// ExtractBlocks builds the block-granularity graph from a program.
+func ExtractBlocks(p *asm.Program, h mhash.Hasher) (*BlockGraph, error) {
+	g, err := Extract(p, h)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := BuildCFG(p, g)
+	if err != nil {
+		return nil, err
+	}
+	bg := &BlockGraph{Width: h.Width(), blocks: map[uint32]*BlockNode{}}
+	for _, b := range cfg.Blocks {
+		var words []isa.Word
+		for a := b.First; a <= b.Last; a += 4 {
+			w, ok := p.WordAt(a)
+			if !ok {
+				return nil, fmt.Errorf("monitor: block instruction 0x%x missing", a)
+			}
+			words = append(words, w)
+		}
+		node := &BlockNode{First: b.First, Last: b.Last, Sig: blockSig(h, words)}
+		// Successor addresses may point mid-block in the instruction
+		// graph; resolve to containing blocks.
+		for _, s := range b.Succ {
+			node.Succ = append(node.Succ, containingBlock(cfg, s))
+		}
+		node.Succ = dedupSorted(node.Succ)
+		bg.blocks[b.First] = node
+		bg.order = append(bg.order, b.First)
+	}
+	sort.Slice(bg.order, func(i, j int) bool { return bg.order[i] < bg.order[j] })
+	bg.Entry = containingBlock(cfg, p.Entry)
+	return bg, nil
+}
+
+func containingBlock(cfg *CFG, addr uint32) uint32 {
+	for _, b := range cfg.Blocks {
+		if addr >= b.First && addr <= b.Last {
+			return b.First
+		}
+	}
+	return addr
+}
+
+// MemoryBits returns the hardware footprint: per block, the W-bit signature
+// plus two successor indices and a 2-bit kind (same record shape as the
+// instruction graph, one record per block instead of per instruction).
+func (g *BlockGraph) MemoryBits() int {
+	n := len(g.order)
+	if n == 0 {
+		return 0
+	}
+	idxBits := bitsFor(n)
+	bits := n * (g.Width + 2 + 2*idxBits)
+	for _, a := range g.order {
+		if s := len(g.blocks[a].Succ); s > 2 {
+			bits += s * idxBits
+		}
+	}
+	return bits
+}
+
+// blockCand is one NFA candidate: a block plus the progress of the
+// signature accumulator inside it (candidates entered at different times
+// carry independent accumulators — one W-bit register and a position
+// counter per tracked candidate in hardware).
+type blockCand struct {
+	addr uint32
+	acc  uint8
+	pos  int
+}
+
+// BlockMonitor is the runtime block-granularity checker.
+type BlockMonitor struct {
+	g      *BlockGraph
+	hasher mhash.Hasher
+
+	cur     []blockCand
+	alarmed bool
+
+	Checked      uint64
+	Alarms       uint64
+	MaxPositions int
+}
+
+// NewBlock builds the block-granularity monitor.
+func NewBlock(g *BlockGraph, h mhash.Hasher) (*BlockMonitor, error) {
+	if g.Width != h.Width() {
+		return nil, fmt.Errorf("monitor: block graph width %d != hash unit width %d", g.Width, h.Width())
+	}
+	m := &BlockMonitor{g: g, hasher: h}
+	m.Reset()
+	return m, nil
+}
+
+// Reset re-arms at the entry block.
+func (m *BlockMonitor) Reset() {
+	m.cur = m.cur[:0]
+	m.cur = append(m.cur, blockCand{addr: m.g.Entry})
+	m.alarmed = false
+	if m.MaxPositions == 0 {
+		m.MaxPositions = 1
+	}
+}
+
+// Alarmed reports the alarm state.
+func (m *BlockMonitor) Alarmed() bool { return m.alarmed }
+
+// Positions returns the current candidate count.
+func (m *BlockMonitor) Positions() int { return len(m.cur) }
+
+// Observe consumes one retired instruction (cpu.TraceFunc signature). The
+// signature check fires only when a candidate reaches its block boundary —
+// the source of this design's detection latency.
+func (m *BlockMonitor) Observe(pc uint32, w isa.Word) bool {
+	if m.alarmed {
+		return false
+	}
+	m.Checked++
+	width := uint(m.hasher.Width())
+	mask := uint8(1<<width - 1)
+	h := m.hasher.Hash(uint32(w))
+
+	var next []blockCand
+	seen := map[blockCand]bool{}
+	push := func(c blockCand) {
+		if !seen[c] {
+			seen[c] = true
+			next = append(next, c)
+		}
+	}
+	for _, c := range m.cur {
+		b := m.g.Block(c.addr)
+		if b == nil {
+			continue
+		}
+		acc := ((c.acc << 1) | (c.acc >> (width - 1))) & mask
+		acc ^= h
+		pos := c.pos + 1
+		blen := int(b.Last-b.First)/4 + 1
+		switch {
+		case pos < blen:
+			push(blockCand{addr: c.addr, acc: acc, pos: pos})
+		case pos == blen:
+			if acc == b.Sig {
+				for _, s := range b.Succ {
+					push(blockCand{addr: s})
+				}
+				// A matched terminal block contributes no candidates; any
+				// further instruction then alarms, as in the instruction
+				// monitor.
+			}
+		}
+	}
+	if len(next) == 0 {
+		// Distinguish "matched terminal, done" from deviation exactly as
+		// the hardware does: a terminal match leaves no expectation, and
+		// this instruction WAS the terminal's last — check whether any
+		// candidate just matched a terminal block.
+		for _, c := range m.cur {
+			b := m.g.Block(c.addr)
+			if b == nil {
+				continue
+			}
+			blen := int(b.Last-b.First)/4 + 1
+			acc := ((c.acc << 1) | (c.acc >> (width - 1))) & mask
+			acc ^= h
+			if c.pos+1 == blen && acc == b.Sig && len(b.Succ) == 0 {
+				m.cur = next
+				return true
+			}
+		}
+		m.alarmed = true
+		m.Alarms++
+		return false
+	}
+	m.cur = next
+	if len(m.cur) > m.MaxPositions {
+		m.MaxPositions = len(m.cur)
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sdmmon/internal/asm"
+	"sdmmon/internal/isa"
+)
+
+// BasicBlock is a maximal straight-line instruction sequence: control enters
+// only at First and leaves only after Last. The paper's offline analysis
+// (§2.1) is described at basic-block granularity; the monitoring graph is
+// the per-instruction refinement of this CFG.
+type BasicBlock struct {
+	First, Last uint32   // first and last instruction addresses (inclusive)
+	Succ        []uint32 // First addresses of successor blocks
+}
+
+// Len returns the number of instructions in the block.
+func (b *BasicBlock) Len() int { return int(b.Last-b.First)/4 + 1 }
+
+// CFG is the basic-block control-flow graph of a program.
+type CFG struct {
+	Entry  uint32
+	Blocks []*BasicBlock // sorted by First
+}
+
+// Block returns the block starting at addr, or nil.
+func (c *CFG) Block(addr uint32) *BasicBlock {
+	i := sort.Search(len(c.Blocks), func(i int) bool { return c.Blocks[i].First >= addr })
+	if i < len(c.Blocks) && c.Blocks[i].First == addr {
+		return c.Blocks[i]
+	}
+	return nil
+}
+
+// BuildCFG partitions the program's code into basic blocks using the same
+// successor resolution as Extract.
+func BuildCFG(p *asm.Program, g *Graph) (*CFG, error) {
+	words := p.CodeWords()
+	if len(words) == 0 {
+		return nil, fmt.Errorf("monitor: program has no code")
+	}
+	// Leaders: entry, every successor of a non-sequential node, and every
+	// instruction following a control-flow instruction.
+	leaders := map[uint32]bool{p.Entry: true}
+	for _, cw := range words {
+		n := g.Node(cw.Addr)
+		if n == nil {
+			return nil, fmt.Errorf("monitor: address 0x%x missing from graph", cw.Addr)
+		}
+		if isa.Classify(cw.W) != isa.KindSeq {
+			for _, s := range n.Succ {
+				leaders[s] = true
+			}
+			leaders[cw.Addr+4] = true
+		}
+	}
+
+	cfg := &CFG{Entry: p.Entry}
+	var cur *BasicBlock
+	for i, cw := range words {
+		if cur == nil || leaders[cw.Addr] || (i > 0 && words[i-1].Addr+4 != cw.Addr) {
+			if cur != nil {
+				cfg.Blocks = append(cfg.Blocks, cur)
+			}
+			cur = &BasicBlock{First: cw.Addr, Last: cw.Addr}
+		}
+		cur.Last = cw.Addr
+		if isa.Classify(cw.W) != isa.KindSeq {
+			cur.Succ = append([]uint32(nil), g.Node(cw.Addr).Succ...)
+			cfg.Blocks = append(cfg.Blocks, cur)
+			cur = nil
+		}
+	}
+	if cur != nil {
+		// Fell off the end of a code segment: successor is whatever the
+		// last node's graph successors are.
+		cur.Succ = append([]uint32(nil), g.Node(cur.Last).Succ...)
+		cfg.Blocks = append(cfg.Blocks, cur)
+	}
+	sort.Slice(cfg.Blocks, func(i, j int) bool { return cfg.Blocks[i].First < cfg.Blocks[j].First })
+
+	// Sequential-block successors: a block ending in a KindSeq instruction
+	// falls through to the next leader.
+	for _, b := range cfg.Blocks {
+		if len(b.Succ) == 0 {
+			if w, ok := p.WordAt(b.Last); ok && isa.Classify(w) == isa.KindSeq {
+				if n := g.Node(b.Last); n != nil {
+					b.Succ = append([]uint32(nil), n.Succ...)
+				}
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// Dump renders the CFG with disassembly, for the mongen tool.
+func (c *CFG) Dump(p *asm.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "entry: 0x%x, %d basic blocks\n", c.Entry, len(c.Blocks))
+	for _, b := range c.Blocks {
+		fmt.Fprintf(&sb, "\nblock 0x%x..0x%x (%d instructions)\n", b.First, b.Last, b.Len())
+		for a := b.First; a <= b.Last; a += 4 {
+			if w, ok := p.WordAt(a); ok {
+				fmt.Fprintf(&sb, "  %06x: %08x  %s\n", a, uint32(w), isa.Disasm(a, w))
+			}
+		}
+		if len(b.Succ) > 0 {
+			fmt.Fprintf(&sb, "  -> ")
+			for i, s := range b.Succ {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "0x%x", s)
+			}
+			sb.WriteString("\n")
+		} else {
+			sb.WriteString("  -> (terminal)\n")
+		}
+	}
+	return sb.String()
+}

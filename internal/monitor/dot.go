@@ -1,0 +1,77 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"sdmmon/internal/asm"
+	"sdmmon/internal/isa"
+)
+
+// DotCFG renders the basic-block CFG in Graphviz dot format, one record per
+// block with its disassembly — the operator's visual check of the offline
+// analysis.
+func (c *CFG) DotCFG(p *asm.Program) string {
+	var sb strings.Builder
+	sb.WriteString("digraph cfg {\n  node [shape=box, fontname=\"monospace\", fontsize=9];\n")
+	for _, b := range c.Blocks {
+		var lines []string
+		for a := b.First; a <= b.Last; a += 4 {
+			if w, ok := p.WordAt(a); ok {
+				lines = append(lines, fmt.Sprintf("%04x: %s", a, escapeDot(isa.Disasm(a, w))))
+			}
+		}
+		shape := ""
+		if b.First == c.Entry {
+			shape = ", penwidth=2"
+		}
+		fmt.Fprintf(&sb, "  b%x [label=\"%s\"%s];\n", b.First, strings.Join(lines, "\\l")+"\\l", shape)
+	}
+	for _, b := range c.Blocks {
+		for _, s := range b.Succ {
+			target := s
+			// An edge to a mid-block address points at the block holding it.
+			for _, bb := range c.Blocks {
+				if s >= bb.First && s <= bb.Last {
+					target = bb.First
+					break
+				}
+			}
+			fmt.Fprintf(&sb, "  b%x -> b%x;\n", b.First, target)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// DotGraph renders the per-instruction monitoring graph in dot format:
+// every node carries its address and hash; branch fan-out and indirect
+// return edges are visible. Useful for small programs.
+func (g *Graph) DotGraph() string {
+	var sb strings.Builder
+	sb.WriteString("digraph monitoring {\n  node [shape=circle, fontname=\"monospace\", fontsize=8];\n")
+	for _, a := range g.Addrs() {
+		n := g.Node(a)
+		style := ""
+		if a == g.Entry {
+			style = ", penwidth=2"
+		}
+		if len(n.Succ) == 0 {
+			style += ", peripheries=2"
+		}
+		fmt.Fprintf(&sb, "  n%x [label=\"%x\\nh=%x\"%s];\n", a, a, n.Hash, style)
+	}
+	for _, a := range g.Addrs() {
+		for _, s := range g.Node(a).Succ {
+			fmt.Fprintf(&sb, "  n%x -> n%x;\n", a, s)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}

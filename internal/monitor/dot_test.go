@@ -1,0 +1,77 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDotCFG(t *testing.T) {
+	p, g, _ := buildGraph(t, loopSrc, 5)
+	cfg, err := BuildCFG(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := cfg.DotCFG(p)
+	for _, want := range []string{"digraph cfg", "->", "addiu", "}"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot missing %q", want)
+		}
+	}
+	// Every block appears as a node.
+	for _, b := range cfg.Blocks {
+		if !strings.Contains(dot, nodeName(b.First)) {
+			t.Errorf("block 0x%x missing from dot", b.First)
+		}
+	}
+	// Balanced braces, edges target declared nodes.
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func nodeName(a uint32) string {
+	return "b" + strings.ToLower(strings.TrimPrefix(hex(a), "0x"))
+}
+
+func hex(a uint32) string {
+	const digits = "0123456789abcdef"
+	if a == 0 {
+		return "0x0"
+	}
+	var out []byte
+	for a > 0 {
+		out = append([]byte{digits[a&0xF]}, out...)
+		a >>= 4
+	}
+	return "0x" + string(out)
+}
+
+func TestDotGraph(t *testing.T) {
+	_, g, _ := buildGraph(t, loopSrc, 6)
+	dot := g.DotGraph()
+	if !strings.Contains(dot, "digraph monitoring") {
+		t.Fatal("header missing")
+	}
+	// One node statement per graph node.
+	if got := strings.Count(dot, "[label="); got != g.Len() {
+		t.Errorf("%d node statements for %d nodes", got, g.Len())
+	}
+	// Edge count equals total successor count.
+	edges := 0
+	for _, a := range g.Addrs() {
+		edges += len(g.Node(a).Succ)
+	}
+	if got := strings.Count(dot, "->"); got != edges {
+		t.Errorf("%d edges rendered, want %d", got, edges)
+	}
+	// Entry is emphasized, terminals double-circled.
+	if !strings.Contains(dot, "penwidth=2") || !strings.Contains(dot, "peripheries=2") {
+		t.Error("entry/terminal styling missing")
+	}
+}
+
+func TestEscapeDot(t *testing.T) {
+	if escapeDot(`a"b\c`) != `a\"b\\c` {
+		t.Errorf("escape = %q", escapeDot(`a"b\c`))
+	}
+}

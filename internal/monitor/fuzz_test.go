@@ -1,0 +1,38 @@
+package monitor
+
+import (
+	"testing"
+
+	"sdmmon/internal/asm"
+	"sdmmon/internal/mhash"
+)
+
+func FuzzDeserializeGraph(f *testing.F) {
+	p := asm.MustAssemble(loopSrc)
+	h := mhash.NewMerkle(0x1234)
+	g, err := Extract(p, h)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(g.Serialize())
+	f.Add([]byte("SDMG"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g2, err := Deserialize(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must serialize, pack and drive a monitor
+		// without panicking.
+		_ = g2.Serialize()
+		if g2.Width == 4 {
+			if m, err := New(g2, mhash.NewMerkle(1)); err == nil {
+				m.Observe(0, 0)
+			}
+		}
+		if pk, err := Pack(g2); err == nil {
+			_, _ = pk.Unpack()
+			_ = pk.MemoryBits()
+		}
+	})
+}

@@ -1,0 +1,292 @@
+// Package monitor implements the hardware monitor of the paper (§2.1,
+// based on Mao & Wolf, IEEE ToC 2010): offline analysis extracts a
+// monitoring graph from the processing binary — all possible control-flow
+// operations between instructions plus a short hash of every instruction
+// word — and a runtime checker compares the hash of each retired
+// instruction against the graph, raising a reset alarm on deviation.
+//
+// The runtime monitor never sees the program counter or instruction word
+// itself, only the W-bit hash reported by the parameterizable hash unit;
+// control-flow ambiguity (a branch has two valid next operations) is
+// handled by tracking a *set* of candidate graph positions, exactly like
+// the hardware's parallel comparison.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"sdmmon/internal/asm"
+	"sdmmon/internal/isa"
+	"sdmmon/internal/mhash"
+)
+
+// Node is one monitoring-graph vertex: an instruction address, the W-bit
+// hash of the instruction word stored there, and the addresses execution may
+// retire next.
+type Node struct {
+	Addr uint32
+	Hash uint8
+	Succ []uint32 // sorted, deduplicated; empty for terminal instructions
+}
+
+// Graph is the monitoring graph for one processing binary under one hash
+// parameterization. The graph stores hash values, never instruction words:
+// that is what keeps it a fraction of the binary's size (§2.1).
+type Graph struct {
+	Width int    // hash width W in bits
+	Entry uint32 // program entry address
+	nodes map[uint32]*Node
+	order []uint32 // node addresses in ascending order
+}
+
+// Node returns the graph node at addr, or nil.
+func (g *Graph) Node(addr uint32) *Node { return g.nodes[addr] }
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.order) }
+
+// Addrs returns all node addresses in ascending order. The returned slice
+// is shared; callers must not modify it.
+func (g *Graph) Addrs() []uint32 { return g.order }
+
+// Extract performs the offline analysis of Figure 1: it walks every
+// instruction of the program, hashes it with the operator's parameterized
+// hash function, and records the valid successor set.
+//
+// Indirect control flow is resolved conservatively:
+//   - "jr $ra" may return to any instruction following a call site;
+//   - other register jumps (jalr, computed jr) may enter any known function
+//     entry (jal targets and the program entry) or return site.
+func Extract(p *asm.Program, h mhash.Hasher) (*Graph, error) {
+	words := p.CodeWords()
+	if len(words) == 0 {
+		return nil, fmt.Errorf("monitor: program has no code")
+	}
+	inCode := make(map[uint32]bool, len(words))
+	for _, cw := range words {
+		inCode[cw.Addr] = true
+	}
+	if !inCode[p.Entry] {
+		return nil, fmt.Errorf("monitor: entry 0x%x is not a code address", p.Entry)
+	}
+
+	// Pass 1: call-site and call-target discovery for indirect flow.
+	var returnSites, callEntries []uint32
+	callEntries = append(callEntries, p.Entry)
+	for _, cw := range words {
+		switch isa.Classify(cw.W) {
+		case isa.KindJump:
+			if cw.W.Op() == isa.OpJAL {
+				if t := isa.JumpTarget(cw.Addr, cw.W); inCode[t] {
+					callEntries = append(callEntries, t)
+				}
+				if inCode[cw.Addr+4] {
+					returnSites = append(returnSites, cw.Addr+4)
+				}
+			}
+		case isa.KindJumpReg:
+			if cw.W.Fn() == isa.FnJALR {
+				if inCode[cw.Addr+4] {
+					returnSites = append(returnSites, cw.Addr+4)
+				}
+			}
+		case isa.KindBranch:
+			if isa.IsLink(cw.W) { // bltzal/bgezal
+				if inCode[cw.Addr+4] {
+					returnSites = append(returnSites, cw.Addr+4)
+				}
+				if t := isa.BranchTarget(cw.Addr, cw.W); inCode[t] {
+					callEntries = append(callEntries, t)
+				}
+			}
+		}
+	}
+	returnSites = dedupSorted(returnSites)
+	callEntries = dedupSorted(callEntries)
+
+	g := &Graph{Width: h.Width(), Entry: p.Entry, nodes: make(map[uint32]*Node, len(words))}
+	for _, cw := range words {
+		n := &Node{Addr: cw.Addr, Hash: h.Hash(uint32(cw.W))}
+		next := cw.Addr + 4
+		switch isa.Classify(cw.W) {
+		case isa.KindSeq:
+			if inCode[next] {
+				n.Succ = []uint32{next}
+			}
+		case isa.KindBranch:
+			t := isa.BranchTarget(cw.Addr, cw.W)
+			if inCode[next] {
+				n.Succ = append(n.Succ, next)
+			}
+			if inCode[t] {
+				n.Succ = append(n.Succ, t)
+			}
+		case isa.KindJump:
+			if t := isa.JumpTarget(cw.Addr, cw.W); inCode[t] {
+				n.Succ = []uint32{t}
+			}
+		case isa.KindJumpReg:
+			if cw.W.Fn() == isa.FnJR && cw.W.Rs() == isa.RegRA {
+				n.Succ = append([]uint32(nil), returnSites...)
+			} else {
+				n.Succ = append(append([]uint32(nil), callEntries...), returnSites...)
+			}
+		case isa.KindTrap:
+			if cw.W.Fn() == isa.FnSYSCALL && inCode[next] {
+				// The core continues after a serviced syscall.
+				n.Succ = []uint32{next}
+			}
+			// break is terminal: no successors.
+		}
+		n.Succ = dedupSorted(n.Succ)
+		g.nodes[cw.Addr] = n
+		g.order = append(g.order, cw.Addr)
+	}
+	sort.Slice(g.order, func(i, j int) bool { return g.order[i] < g.order[j] })
+	return g, nil
+}
+
+func dedupSorted(xs []uint32) []uint32 {
+	if len(xs) == 0 {
+		return nil
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// MemoryBits returns the exact monitor-memory footprint of the graph in
+// the hardware layout (see PackedGraph): per node one fixed-width record of
+// W + 2 + 2·ceil(log2(N)) bits, plus the shared fan-out table for indirect
+// jumps.
+func (g *Graph) MemoryBits() int {
+	p, err := Pack(g)
+	if err != nil {
+		return 0
+	}
+	return p.MemoryBits()
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		return 1
+	}
+	return b
+}
+
+// Serialize encodes the graph deterministically; this is the "monitoring
+// graph" component of the signed SDMMon package.
+func (g *Graph) Serialize() []byte {
+	var out []byte
+	put32 := func(v uint32) { out = append(out, byte(v>>24), byte(v>>16), byte(v>>8), byte(v)) }
+	out = append(out, 'S', 'D', 'M', 'G')
+	out = append(out, byte(g.Width))
+	put32(g.Entry)
+	put32(uint32(len(g.order)))
+	for _, a := range g.order {
+		n := g.nodes[a]
+		put32(n.Addr)
+		out = append(out, n.Hash)
+		out = append(out, byte(len(n.Succ)))
+		for _, s := range n.Succ {
+			put32(s)
+		}
+	}
+	return out
+}
+
+// Deserialize decodes a graph produced by Serialize.
+func Deserialize(b []byte) (*Graph, error) {
+	if len(b) < 13 || b[0] != 'S' || b[1] != 'D' || b[2] != 'M' || b[3] != 'G' {
+		return nil, fmt.Errorf("monitor: bad graph magic")
+	}
+	get32 := func(off int) uint32 {
+		return uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3])
+	}
+	g := &Graph{Width: int(b[4]), Entry: get32(5), nodes: map[uint32]*Node{}}
+	if g.Width < 1 || g.Width > 8 {
+		return nil, fmt.Errorf("monitor: bad hash width %d", g.Width)
+	}
+	count := int(get32(9))
+	off := 13
+	for i := 0; i < count; i++ {
+		if off+6 > len(b) {
+			return nil, fmt.Errorf("monitor: truncated node %d", i)
+		}
+		n := &Node{Addr: get32(off), Hash: b[off+4]}
+		ns := int(b[off+5])
+		off += 6
+		if off+4*ns > len(b) {
+			return nil, fmt.Errorf("monitor: truncated successors of node %d", i)
+		}
+		for j := 0; j < ns; j++ {
+			n.Succ = append(n.Succ, get32(off))
+			off += 4
+		}
+		if _, dup := g.nodes[n.Addr]; dup {
+			return nil, fmt.Errorf("monitor: duplicate node 0x%x", n.Addr)
+		}
+		g.nodes[n.Addr] = n
+		g.order = append(g.order, n.Addr)
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("monitor: %d trailing bytes", len(b)-off)
+	}
+	for i := 1; i < len(g.order); i++ {
+		if g.order[i] <= g.order[i-1] {
+			return nil, fmt.Errorf("monitor: nodes not in address order")
+		}
+	}
+	if _, ok := g.nodes[g.Entry]; !ok && count > 0 {
+		return nil, fmt.Errorf("monitor: entry 0x%x missing from graph", g.Entry)
+	}
+	// Every successor must reference an existing node: dangling edges would
+	// silently shrink the monitor's acceptance set.
+	for _, a := range g.order {
+		for _, s := range g.nodes[a].Succ {
+			if g.nodes[s] == nil {
+				return nil, fmt.Errorf("monitor: node 0x%x has dangling successor 0x%x", a, s)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Validate cross-checks the graph against a program: every code address has
+// a node, every node hash matches the parameterized hash of the word found
+// there, and all successors are in-graph. Used in tests and by the device's
+// optional post-installation self-check.
+func (g *Graph) Validate(p *asm.Program, h mhash.Hasher) error {
+	if h.Width() != g.Width {
+		return fmt.Errorf("monitor: hash width %d != graph width %d", h.Width(), g.Width)
+	}
+	words := p.CodeWords()
+	if len(words) != g.Len() {
+		return fmt.Errorf("monitor: %d code words but %d graph nodes", len(words), g.Len())
+	}
+	for _, cw := range words {
+		n := g.nodes[cw.Addr]
+		if n == nil {
+			return fmt.Errorf("monitor: no node for code address 0x%x", cw.Addr)
+		}
+		if n.Hash != h.Hash(uint32(cw.W)) {
+			return fmt.Errorf("monitor: hash mismatch at 0x%x", cw.Addr)
+		}
+		for _, s := range n.Succ {
+			if g.nodes[s] == nil {
+				return fmt.Errorf("monitor: successor 0x%x of 0x%x not in graph", s, cw.Addr)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,401 @@
+package monitor
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sdmmon/internal/asm"
+	"sdmmon/internal/cpu"
+	"sdmmon/internal/isa"
+	"sdmmon/internal/mhash"
+)
+
+const loopSrc = `
+	.text 0x0
+main:
+	li $t0, 5
+loop:
+	addiu $t0, $t0, -1
+	bgtz $t0, loop
+	jal leaf
+	break
+leaf:
+	addu $v0, $zero, $zero
+	jr $ra
+`
+
+func buildGraph(t *testing.T, src string, param uint32) (*asm.Program, *Graph, mhash.Hasher) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	h := mhash.NewMerkle(param)
+	g, err := Extract(p, h)
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	return p, g, h
+}
+
+func TestExtractBasics(t *testing.T) {
+	p, g, h := buildGraph(t, loopSrc, 0xA5A5A5A5)
+	if g.Len() != len(p.CodeWords()) {
+		t.Fatalf("graph has %d nodes, program has %d words", g.Len(), len(p.CodeWords()))
+	}
+	if err := g.Validate(p, h); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The branch node must have two successors.
+	bgtz := g.Node(0x8)
+	if bgtz == nil || len(bgtz.Succ) != 2 {
+		t.Fatalf("branch node: %+v", bgtz)
+	}
+	// jal has a single successor: the call target.
+	jal := g.Node(0xC)
+	if jal == nil || len(jal.Succ) != 1 || jal.Succ[0] != p.Symbols["leaf"] {
+		t.Fatalf("jal node: %+v", jal)
+	}
+	// jr $ra may return to the instruction after any call site.
+	jr := g.Node(p.Symbols["leaf"] + 4)
+	if jr == nil || len(jr.Succ) != 1 || jr.Succ[0] != 0x10 {
+		t.Fatalf("jr node: %+v", jr)
+	}
+	// break is terminal.
+	brk := g.Node(0x10)
+	if brk == nil || len(brk.Succ) != 0 {
+		t.Fatalf("break node: %+v", brk)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	p := &asm.Program{}
+	if _, err := Extract(p, mhash.NewMerkle(0)); err == nil {
+		t.Error("empty program accepted")
+	}
+	q := asm.MustAssemble(".text 0x0\nmain:\nbreak\n")
+	q.Entry = 0x1234 // entry outside code
+	if _, err := Extract(q, mhash.NewMerkle(0)); err == nil {
+		t.Error("bad entry accepted")
+	}
+}
+
+// runMonitored executes the program with a monitor attached and reports the
+// exception (nil on clean halt).
+func runMonitored(t *testing.T, p *asm.Program, m *Monitor, memSize int, setup func(*cpu.CPU)) *cpu.Exception {
+	t.Helper()
+	mem := cpu.NewMemory(memSize)
+	p.LoadInto(mem)
+	c := cpu.New(mem, p.Entry)
+	c.Regs[isa.RegSP] = uint32(mem.Size())
+	c.Trace = m.Observe
+	if setup != nil {
+		setup(c)
+	}
+	_, exc := c.Run(1_000_000)
+	return exc
+}
+
+func TestBenignRunNoAlarm(t *testing.T) {
+	p, g, h := buildGraph(t, loopSrc, 0xDEADBEEF)
+	m, err := New(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exc := runMonitored(t, p, m, 64*1024, nil); exc != nil {
+		t.Fatalf("benign run raised %v (alarm pc %#x)", exc, m.AlarmPC())
+	}
+	if m.Alarmed() {
+		t.Error("monitor alarmed on valid execution")
+	}
+	if m.Checked == 0 {
+		t.Error("monitor observed nothing")
+	}
+}
+
+func TestBenignRunManyParameters(t *testing.T) {
+	// SR2: any parameter must accept the valid execution, because the
+	// operator generates the graph with the same parameter the device uses.
+	rng := rand.New(rand.NewSource(20))
+	for i := 0; i < 25; i++ {
+		p, g, h := buildGraph(t, loopSrc, rng.Uint32())
+		m, err := New(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exc := runMonitored(t, p, m, 64*1024, nil); exc != nil {
+			t.Fatalf("param %d: benign run raised %v", i, exc)
+		}
+	}
+}
+
+func TestWidthMismatchRejected(t *testing.T) {
+	_, g, _ := buildGraph(t, loopSrc, 1)
+	h8, _ := mhash.NewMerkleWith(1, 8, nil)
+	if _, err := New(g, h8); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if _, err := NewDFA(g, h8); err == nil {
+		t.Error("DFA width mismatch accepted")
+	}
+}
+
+// Hijacked execution: after the program runs normally for a while, the
+// trace suddenly reports instructions that are not in the binary (as after
+// a stack smash into packet-derived code). The monitor must alarm within a
+// few instructions, with escape probability ~16^-k.
+func TestHijackDetected(t *testing.T) {
+	_, g, h := buildGraph(t, loopSrc, 0x13572468)
+	m, err := New(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay a valid prefix by hand: li, addiu, bgtz.
+	p := asm.MustAssemble(loopSrc)
+	words := p.CodeWords()
+	for i := 0; i < 3; i++ {
+		if !m.Observe(words[i].Addr, words[i].W) {
+			t.Fatalf("valid prefix rejected at %d", i)
+		}
+	}
+	// Now feed attacker instructions (random words at a bogus address).
+	rng := rand.New(rand.NewSource(30))
+	detected := false
+	for i := 0; i < 16; i++ {
+		w := isa.Word(rng.Uint32())
+		if !m.Observe(0x8000+uint32(4*i), w) {
+			detected = true
+			break
+		}
+	}
+	if !detected {
+		t.Fatal("16 random attacker instructions escaped the monitor")
+	}
+	if !m.Alarmed() {
+		t.Error("Alarmed() should be true")
+	}
+	// Once alarmed, the monitor stays alarmed until reset.
+	if m.Observe(0, words[0].W) {
+		t.Error("alarmed monitor accepted an instruction")
+	}
+	m.Reset()
+	if m.Alarmed() {
+		t.Error("Reset did not clear the alarm")
+	}
+	if !m.Observe(words[0].Addr, words[0].W) {
+		t.Error("monitor rejects valid entry after reset")
+	}
+}
+
+func TestDetectionLatencyGeometric(t *testing.T) {
+	// Measure the probability that a single random attacker instruction is
+	// accepted: ≈ (positions)·2^-4. With one position it is 1/16 (§2.1).
+	_, g, _ := buildGraph(t, loopSrc, 0)
+	rng := rand.New(rand.NewSource(31))
+	accepted := 0
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		hh := mhash.NewMerkle(rng.Uint32())
+		gg, err := Extract(asm.MustAssemble(loopSrc), hh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := New(gg, hh)
+		if m.Observe(0x9000, isa.Word(rng.Uint32())) {
+			accepted++
+		}
+	}
+	_ = g
+	got := float64(accepted) / trials
+	if got < 0.03 || got > 0.10 {
+		t.Errorf("first-instruction escape rate %.4f, want ≈1/16", got)
+	}
+}
+
+func TestMonitorIgnoresPC(t *testing.T) {
+	// The hardware monitor sees only hashes. Feeding the right instruction
+	// words with wrong PCs must behave identically.
+	p, g, h := buildGraph(t, loopSrc, 0x777)
+	m, _ := New(g, h)
+	for i, cw := range p.CodeWords()[:3] {
+		if !m.Observe(0xFFFF0000+uint32(i), cw.W) {
+			t.Fatal("monitor used the pc for matching")
+		}
+	}
+}
+
+func TestGraphSerializeRoundTrip(t *testing.T) {
+	p, g, h := buildGraph(t, loopSrc, 0xBEEF)
+	b := g.Serialize()
+	g2, err := Deserialize(b)
+	if err != nil {
+		t.Fatalf("Deserialize: %v", err)
+	}
+	if g2.Width != g.Width || g2.Entry != g.Entry || g2.Len() != g.Len() {
+		t.Fatal("header mismatch")
+	}
+	if err := g2.Validate(p, h); err != nil {
+		t.Fatalf("round-tripped graph invalid: %v", err)
+	}
+	// The decoded graph drives a monitor identically.
+	m, _ := New(g2, h)
+	if exc := runMonitored(t, p, m, 64*1024, nil); exc != nil {
+		t.Fatalf("round-tripped graph alarmed: %v", exc)
+	}
+}
+
+func TestDeserializeErrors(t *testing.T) {
+	if _, err := Deserialize([]byte("XXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	_, g, _ := buildGraph(t, loopSrc, 1)
+	b := g.Serialize()
+	if _, err := Deserialize(b[:len(b)-3]); err == nil {
+		t.Error("truncated graph accepted")
+	}
+	if _, err := Deserialize(append(b, 1, 2, 3)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), b...)
+	bad[4] = 13 // absurd width
+	if _, err := Deserialize(bad); err == nil {
+		t.Error("bad width accepted")
+	}
+}
+
+func TestValidateCatchesTampering(t *testing.T) {
+	p, g, h := buildGraph(t, loopSrc, 42)
+	// Tamper with one node's hash — the AC2 attacker's forged graph.
+	addr := g.Addrs()[2]
+	g.Node(addr).Hash ^= 0x5
+	if err := g.Validate(p, h); err == nil {
+		t.Error("tampered hash not caught")
+	}
+}
+
+func TestMemoryBits(t *testing.T) {
+	_, g, _ := buildGraph(t, loopSrc, 7)
+	bits := g.MemoryBits()
+	if bits <= 0 {
+		t.Fatal("no memory bits")
+	}
+	// Sanity: the graph must be much smaller than the binary it describes
+	// (the paper's compactness argument): < 32 bits per instruction.
+	if bits >= 32*g.Len() {
+		t.Errorf("graph (%d bits) not smaller than binary (%d bits)", bits, 32*g.Len())
+	}
+}
+
+func TestNFAvsDFA(t *testing.T) {
+	// Construct a program in which a branch's two successor instructions
+	// hash identically under some parameter; the NFA must follow both,
+	// while the DFA can commit to the wrong one and later false-alarm.
+	src := `
+	.text 0x0
+main:
+	bgtz $a0, big
+	addu $v0, $zero, $zero
+	break
+big:
+	addu $v0, $zero, $zero
+	addu $v0, $a0, $a0
+	break
+`
+	p := asm.MustAssemble(src)
+	h := mhash.NewMerkle(0x1111)
+	g, err := Extract(p, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Take the branch (a0 > 0): valid path main->big.
+	nfa, _ := New(g, h)
+	exc := runMonitored(t, p, nfa, 4096, func(c *cpu.CPU) { c.Regs[isa.RegA0] = 5 })
+	if exc != nil {
+		t.Fatalf("NFA alarmed on valid path: %v", exc)
+	}
+	// Both branch successors (addu $v0,$zero,$zero at 0x4 and 0xC) are the
+	// same word, so the DFA (which always picks the lower address) follows
+	// the fall-through and then sees the hash of "addu $v0,$a0,$a0" where
+	// it expects "break": false alarm on a perfectly valid execution.
+	dfa, _ := NewDFA(g, h)
+	mem := cpu.NewMemory(4096)
+	p.LoadInto(mem)
+	c := cpu.New(mem, p.Entry)
+	c.Regs[isa.RegA0] = 5
+	c.Trace = dfa.Observe
+	_, dexc := c.Run(10000)
+	if dexc == nil || dexc.Kind != cpu.ExcMonitorAlarm {
+		t.Fatalf("DFA ablation should false-alarm, got %v", dexc)
+	}
+	if !dfa.FalseCapable {
+		t.Error("DFA never hit a choice point")
+	}
+}
+
+func TestMaxPositionsTracked(t *testing.T) {
+	p, g, h := buildGraph(t, loopSrc, 3)
+	m, _ := New(g, h)
+	if exc := runMonitored(t, p, m, 64*1024, nil); exc != nil {
+		t.Fatal(exc)
+	}
+	if m.MaxPositions < 1 {
+		t.Error("MaxPositions not tracked")
+	}
+}
+
+func TestBuildCFG(t *testing.T) {
+	p, g, _ := buildGraph(t, loopSrc, 5)
+	cfg, err := BuildCFG(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Entry != p.Entry {
+		t.Errorf("cfg entry %#x", cfg.Entry)
+	}
+	// Blocks: [main: li], [loop: addiu,bgtz], [jal], [break], [leaf: addu, jr].
+	if len(cfg.Blocks) < 4 {
+		t.Fatalf("got %d blocks: %+v", len(cfg.Blocks), cfg.Blocks)
+	}
+	// Every instruction must be covered by exactly one block.
+	covered := map[uint32]int{}
+	for _, b := range cfg.Blocks {
+		for a := b.First; a <= b.Last; a += 4 {
+			covered[a]++
+		}
+	}
+	for _, cw := range p.CodeWords() {
+		if covered[cw.Addr] != 1 {
+			t.Errorf("address %#x covered %d times", cw.Addr, covered[cw.Addr])
+		}
+	}
+	// The loop block must have itself as one successor.
+	lb := cfg.Block(p.Symbols["loop"])
+	if lb == nil {
+		t.Fatal("no block at loop label")
+	}
+	self := false
+	for _, s := range lb.Succ {
+		if s == lb.First {
+			self = true
+		}
+	}
+	if !self {
+		t.Error("loop block has no self edge")
+	}
+	// Dump produces per-block text.
+	d := cfg.Dump(p)
+	if !strings.Contains(d, "basic blocks") || !strings.Contains(d, "->") {
+		t.Error("Dump output malformed")
+	}
+}
+
+func TestGraphSmallerThanBinary(t *testing.T) {
+	// §2.1: "reduce the size of the monitoring graph to a fraction of the
+	// processing binary".
+	p, g, _ := buildGraph(t, loopSrc, 9)
+	binBits := len(p.Serialize()) * 8
+	if g.MemoryBits() >= binBits {
+		t.Errorf("graph %d bits >= binary %d bits", g.MemoryBits(), binBits)
+	}
+}

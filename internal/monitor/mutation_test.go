@@ -1,0 +1,74 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Deserialize faces attacker-reachable input (it runs before signature
+// verification in a hostile-download scenario and on device-local storage);
+// it must never panic on corrupt bytes, only return errors — and any bytes
+// it does accept must produce a usable graph.
+func TestDeserializeMutationRobustness(t *testing.T) {
+	_, g, h := buildGraph(t, loopSrc, 0x1234)
+	good := g.Serialize()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		mut := append([]byte(nil), good...)
+		switch rng.Intn(4) {
+		case 0: // flip bytes
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+			}
+		case 1: // truncate
+			mut = mut[:rng.Intn(len(mut))]
+		case 2: // extend
+			extra := make([]byte, 1+rng.Intn(16))
+			rng.Read(extra)
+			mut = append(mut, extra...)
+		case 3: // splice random block
+			if len(mut) > 8 {
+				at := rng.Intn(len(mut) - 4)
+				rng.Read(mut[at : at+4])
+			}
+		}
+		g2, err := Deserialize(mut)
+		if err != nil {
+			continue
+		}
+		// Accepted mutants must still be self-consistent enough to build
+		// a monitor (successors may dangle only if Deserialize allows it —
+		// it must not).
+		hh := h
+		if g2.Width != hh.Width() {
+			continue
+		}
+		if _, err := New(g2, hh); err != nil {
+			t.Fatalf("accepted graph unusable: %v", err)
+		}
+	}
+}
+
+func TestPackMutationViaDeserialize(t *testing.T) {
+	// Round-trip packing of any graph Deserialize accepts must not panic.
+	_, g, _ := buildGraph(t, loopSrc, 99)
+	good := g.Serialize()
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		mut := append([]byte(nil), good...)
+		mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		g2, err := Deserialize(mut)
+		if err != nil {
+			continue
+		}
+		p, err := Pack(g2)
+		if err != nil {
+			continue
+		}
+		if _, err := p.Unpack(); err != nil {
+			// Unpack errors are fine; panics are not (covered by reaching
+			// this line at all).
+			continue
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package monitor
+
+import (
+	"fmt"
+
+	"sdmmon/internal/isa"
+	"sdmmon/internal/mhash"
+)
+
+// PackedMonitor is the runtime monitor operating directly on the packed
+// hardware layout: candidate positions are dense node indices, records are
+// decoded on the fly, and the position set is a pair of flat bitmaps — the
+// same structures the RTL monitor holds in block RAM and flops. It is
+// semantically identical to Monitor (proved by the equivalence tests) and
+// considerably faster, so the NP uses it on the per-instruction path.
+type PackedMonitor struct {
+	p      *PackedGraph
+	hasher mhash.Hasher
+
+	// Decoded record arrays (the "monitor memory" contents).
+	hash  []uint8
+	kind  []uint8
+	f0    []int32
+	f1    []int32
+	fan   []int32 // fan-out table entries
+	fanAt []int32 // per-indirect-node offset into fan
+	fanN  []int32 // per-indirect-node count
+
+	cur, next []uint64 // position bitmaps, one bit per node
+
+	alarmed bool
+	alarmPC uint32
+
+	Checked      uint64
+	Alarms       uint64
+	MaxPositions int
+}
+
+// NewPacked builds a packed monitor from the hardware layout.
+func NewPacked(p *PackedGraph, h mhash.Hasher) (*PackedMonitor, error) {
+	if p.Width != h.Width() {
+		return nil, fmt.Errorf("monitor: packed width %d != hash unit width %d", p.Width, h.Width())
+	}
+	n := p.Nodes()
+	m := &PackedMonitor{
+		p: p, hasher: h,
+		hash: make([]uint8, n),
+		kind: make([]uint8, n),
+		f0:   make([]int32, n),
+		f1:   make([]int32, n),
+		cur:  make([]uint64, (n+63)/64),
+		next: make([]uint64, (n+63)/64),
+	}
+	// Decode the node records once (hardware reads them per access; the
+	// software model trades memory for speed).
+	r := p.bits.reader()
+	type ind struct{ node, offset int }
+	var inds []ind
+	for i := 0; i < n; i++ {
+		m.hash[i] = uint8(r.read(p.Width))
+		m.kind[i] = uint8(r.read(2))
+		f0 := r.read(p.IdxBits)
+		f1 := r.read(p.IdxBits)
+		m.f0[i] = int32(f0)
+		m.f1[i] = int32(f1)
+		if m.kind[i] == pkIndirect {
+			inds = append(inds, ind{node: i, offset: int(f0<<p.IdxBits | f1)})
+		}
+	}
+	m.fanAt = make([]int32, n)
+	m.fanN = make([]int32, n)
+	if len(inds) > 0 {
+		fr := p.fanout.reader()
+		total := p.fanoutEntries - len(inds)
+		m.fan = make([]int32, total)
+		for i := range m.fan {
+			m.fan[i] = int32(fr.read(p.IdxBits))
+		}
+		counts := make([]int32, len(inds))
+		for i := range counts {
+			counts[i] = int32(fr.read(p.IdxBits))
+		}
+		off := int32(0)
+		for i, x := range inds {
+			if int32(x.offset) != off {
+				return nil, fmt.Errorf("monitor: packed fan-out offset mismatch")
+			}
+			m.fanAt[x.node] = off
+			m.fanN[x.node] = counts[i]
+			off += counts[i]
+		}
+	}
+	m.Reset()
+	return m, nil
+}
+
+// Reset re-arms the monitor at the entry node.
+func (m *PackedMonitor) Reset() {
+	for i := range m.cur {
+		m.cur[i] = 0
+	}
+	m.setBit(m.cur, m.p.Entry)
+	m.alarmed = false
+	if m.MaxPositions == 0 {
+		m.MaxPositions = 1
+	}
+}
+
+func (m *PackedMonitor) setBit(bm []uint64, i int) { bm[i/64] |= 1 << uint(i%64) }
+
+// Alarmed reports whether the alarm line is asserted.
+func (m *PackedMonitor) Alarmed() bool { return m.alarmed }
+
+// AlarmPC returns the diagnostic pc captured at alarm time.
+func (m *PackedMonitor) AlarmPC() uint32 { return m.alarmPC }
+
+// Observe consumes one retired instruction (cpu.TraceFunc signature).
+func (m *PackedMonitor) Observe(pc uint32, w isa.Word) bool {
+	if m.alarmed {
+		return false
+	}
+	m.Checked++
+	h := m.hasher.Hash(uint32(w))
+
+	for i := range m.next {
+		m.next[i] = 0
+	}
+	matched := false
+	positions := 0
+	for wi, bits := range m.cur {
+		for bits != 0 {
+			b := bits & (-bits)
+			idx := wi*64 + trailingZeros(b)
+			bits &^= b
+			if m.hash[idx] != h {
+				continue
+			}
+			matched = true
+			switch m.kind[idx] {
+			case pkDirect:
+				m.setBit(m.next, int(m.f0[idx]))
+			case pkBranch:
+				m.setBit(m.next, int(m.f0[idx]))
+				m.setBit(m.next, int(m.f1[idx]))
+			case pkIndirect:
+				at, n := m.fanAt[idx], m.fanN[idx]
+				for j := at; j < at+n; j++ {
+					m.setBit(m.next, int(m.fan[j]))
+				}
+			case pkTerminal:
+				// Matches, contributes no successors.
+			}
+		}
+	}
+	if !matched {
+		m.alarmed = true
+		m.alarmPC = pc
+		m.Alarms++
+		return false
+	}
+	m.cur, m.next = m.next, m.cur
+	for _, bits := range m.cur {
+		positions += popcount64(bits)
+	}
+	if positions > m.MaxPositions {
+		m.MaxPositions = positions
+	}
+	return true
+}
+
+// Positions returns the current candidate count.
+func (m *PackedMonitor) Positions() int {
+	n := 0
+	for _, bits := range m.cur {
+		n += popcount64(bits)
+	}
+	return n
+}
+
+func trailingZeros(v uint64) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+func popcount64(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}

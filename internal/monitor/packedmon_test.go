@@ -1,0 +1,164 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/cpu"
+	"sdmmon/internal/isa"
+	"sdmmon/internal/mhash"
+)
+
+func newPackedMonitor(t *testing.T, g *Graph, h mhash.Hasher) *PackedMonitor {
+	t.Helper()
+	p, err := Pack(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewPacked(p, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPackedMonitorBenignRun(t *testing.T) {
+	p, g, h := buildGraph(t, loopSrc, 0xDEAD)
+	m := newPackedMonitor(t, g, h)
+	mem := cpu.NewMemory(64 * 1024)
+	p.LoadInto(mem)
+	c := cpu.New(mem, p.Entry)
+	c.Regs[isa.RegSP] = uint32(mem.Size())
+	c.Trace = m.Observe
+	if _, exc := c.Run(100000); exc != nil {
+		t.Fatalf("packed monitor alarmed on valid run: %v (pc %#x)", exc, m.AlarmPC())
+	}
+	if m.Checked == 0 || m.Alarmed() {
+		t.Error("monitor state wrong after clean run")
+	}
+}
+
+// The semantic core: packed and map-based monitors agree on every
+// observation of both valid and hostile streams.
+func TestPackedMonitorEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		prog, g, h := buildGraph(t, loopSrc, rng.Uint32())
+		ref, err := New(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm := newPackedMonitor(t, g, h)
+
+		// Build a stream: a valid prefix (real code words along a run)
+		// followed by random attacker words.
+		var stream []isa.Word
+		for _, cw := range prog.CodeWords() {
+			stream = append(stream, cw.W)
+		}
+		for i := 0; i < 32; i++ {
+			stream = append(stream, isa.Word(rng.Uint32()))
+		}
+		for i, w := range stream {
+			a := ref.Observe(uint32(4*i), w)
+			b := pm.Observe(uint32(4*i), w)
+			if a != b {
+				t.Fatalf("trial %d: monitors disagree at step %d (ref=%v packed=%v)", trial, i, a, b)
+			}
+			if ref.Alarmed() != pm.Alarmed() {
+				t.Fatalf("trial %d: alarm state diverged at step %d", trial, i)
+			}
+			if !a {
+				break
+			}
+			if ref.Positions() != pm.Positions() {
+				t.Fatalf("trial %d step %d: positions %d vs %d", trial, i, ref.Positions(), pm.Positions())
+			}
+		}
+		// Reset and re-observe the entry.
+		ref.Reset()
+		pm.Reset()
+		if ref.Observe(0, stream[0]) != pm.Observe(0, stream[0]) {
+			t.Fatal("post-reset divergence")
+		}
+	}
+}
+
+func TestPackedMonitorEquivalenceOnApps(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, app := range apps.All() {
+		prog, err := app.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := mhash.NewMerkle(rng.Uint32())
+		g, err := Extract(prog, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := New(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm := newPackedMonitor(t, g, h)
+		for _, cw := range prog.CodeWords() {
+			a := ref.Observe(cw.Addr, cw.W)
+			b := pm.Observe(cw.Addr, cw.W)
+			if a != b {
+				t.Fatalf("%s: disagreement at 0x%x", app.Name, cw.Addr)
+			}
+			if !a {
+				break
+			}
+		}
+	}
+}
+
+func TestPackedMonitorWidthMismatch(t *testing.T) {
+	_, g, _ := buildGraph(t, loopSrc, 1)
+	p, err := Pack(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h8, _ := mhash.NewMerkleWith(1, 8, nil)
+	if _, err := NewPacked(p, h8); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestPackedMonitorStaysAlarmed(t *testing.T) {
+	prog, g, h := buildGraph(t, loopSrc, 3)
+	m := newPackedMonitor(t, g, h)
+	words := prog.CodeWords()
+	if !m.Observe(0, words[0].W) {
+		t.Fatal("entry rejected")
+	}
+	// Force an alarm with a never-matching stream.
+	alarmed := false
+	for i := 0; i < 20; i++ {
+		if !m.Observe(uint32(i), isa.Word(0xFFFFFFFF)^isa.Word(i)) {
+			alarmed = true
+			break
+		}
+	}
+	if !alarmed {
+		t.Fatal("no alarm on garbage stream")
+	}
+	if m.Observe(0, words[0].W) {
+		t.Error("alarmed monitor accepted input")
+	}
+	m.Reset()
+	if !m.Observe(0, words[0].W) {
+		t.Error("reset monitor rejected valid entry")
+	}
+}
+
+func TestBitHelpers(t *testing.T) {
+	if trailingZeros(1) != 0 || trailingZeros(8) != 3 || trailingZeros(1<<63) != 63 {
+		t.Error("trailingZeros wrong")
+	}
+	if popcount64(0) != 0 || popcount64(0xFF) != 8 || popcount64(1<<63|1) != 2 {
+		t.Error("popcount64 wrong")
+	}
+}

@@ -1,0 +1,161 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/cpu"
+	"sdmmon/internal/isa"
+	"sdmmon/internal/mhash"
+)
+
+// Property: any prefix of a valid execution trace is accepted — the monitor
+// never alarms early on valid code, regardless of where processing stops.
+func TestPropertyPrefixClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	prog, g, h := buildGraph(t, loopSrc, rng.Uint32())
+	// Record a full valid trace.
+	var trace []struct {
+		pc uint32
+		w  isa.Word
+	}
+	mem := cpu.NewMemory(64 * 1024)
+	prog.LoadInto(mem)
+	c := cpu.New(mem, prog.Entry)
+	c.Regs[isa.RegSP] = uint32(mem.Size())
+	c.Trace = func(pc uint32, w isa.Word) bool {
+		trace = append(trace, struct {
+			pc uint32
+			w  isa.Word
+		}{pc, w})
+		return true
+	}
+	if _, exc := c.Run(100000); exc != nil {
+		t.Fatal(exc)
+	}
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(len(trace))
+		m, err := New(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if !m.Observe(trace[i].pc, trace[i].w) {
+				t.Fatalf("prefix of length %d rejected at %d", n, i)
+			}
+		}
+	}
+}
+
+// Property: observation is deterministic — two monitors fed the same stream
+// agree step by step.
+func TestPropertyDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	_, g, h := buildGraph(t, loopSrc, rng.Uint32())
+	m1, err := New(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		w := isa.Word(rng.Uint32())
+		a := m1.Observe(uint32(4*i), w)
+		b := m2.Observe(uint32(4*i), w)
+		if a != b {
+			t.Fatalf("divergence at step %d", i)
+		}
+		if !a {
+			m1.Reset()
+			m2.Reset()
+		}
+	}
+}
+
+// Property: the candidate set can only shrink to empty via an alarm — it is
+// never empty while the monitor reports acceptance.
+func TestPropertyNonEmptyWhileAccepting(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for _, app := range apps.All() {
+		prog, err := app.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := mhash.NewMerkle(rng.Uint32())
+		g, err := Extract(prog, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			var w isa.Word
+			if rng.Intn(2) == 0 {
+				cw := prog.CodeWords()
+				w = cw[rng.Intn(len(cw))].W
+			} else {
+				w = isa.Word(rng.Uint32())
+			}
+			ok := m.Observe(uint32(4*i), w)
+			if ok && m.Positions() == 0 {
+				// A matched terminal legitimately empties the NEXT set;
+				// the following observation must then alarm.
+				if m.Observe(0, w) {
+					t.Fatalf("%s: accepted with empty candidate set", app.Name)
+				}
+				m.Reset()
+				continue
+			}
+			if !ok {
+				m.Reset()
+			}
+		}
+	}
+}
+
+// Property: graph extraction is parameter-stable in structure — the same
+// program under different parameters yields identical node addresses and
+// successor sets, differing only in hashes.
+func TestPropertyGraphStructureParamInvariant(t *testing.T) {
+	prog, err := apps.IPv4CM().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := Extract(prog, mhash.NewMerkle(0x11111111))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Extract(prog, mhash.NewMerkle(0x22222222))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Len() != g2.Len() || g1.Entry != g2.Entry {
+		t.Fatal("structure differs")
+	}
+	hashDiffs := 0
+	for i, a := range g1.Addrs() {
+		if g2.Addrs()[i] != a {
+			t.Fatal("address sets differ")
+		}
+		n1, n2 := g1.Node(a), g2.Node(a)
+		if len(n1.Succ) != len(n2.Succ) {
+			t.Fatalf("successor sets differ at 0x%x", a)
+		}
+		for j := range n1.Succ {
+			if n1.Succ[j] != n2.Succ[j] {
+				t.Fatalf("successor %d differs at 0x%x", j, a)
+			}
+		}
+		if n1.Hash != n2.Hash {
+			hashDiffs++
+		}
+	}
+	if hashDiffs == 0 {
+		t.Error("different parameters produced identical hashes everywhere")
+	}
+}

@@ -1,0 +1,197 @@
+package netlist
+
+import "fmt"
+
+// fullAdder emits sum/carry gates for one adder bit and tags them for
+// carry-chain mapping. cin may be -1 (half adder).
+func (b *Builder) fullAdder(a, x, cin Signal, wantCout bool) (sum, cout Signal) {
+	if cin < 0 {
+		sum = b.Xor(a, x)
+		cout = Signal(-1)
+		if wantCout {
+			cout = b.And(a, x)
+		}
+		b.TagAdder(FullAdder{A: a, B: x, Cin: -1, Sum: sum, Cout: cout})
+		return sum, cout
+	}
+	axb := b.Xor(a, x)
+	sum = b.Xor(axb, cin)
+	cout = Signal(-1)
+	if wantCout {
+		// majority(a, x, cin) = (a∧x) ∨ (cin∧(a⊕x))
+		cout = b.Or(b.And(a, x), b.And(cin, axb))
+	}
+	b.TagAdder(FullAdder{A: a, B: x, Cin: cin, Sum: sum, Cout: cout})
+	return sum, cout
+}
+
+// AddMod builds a ripple adder computing (a + x) mod 2^n where n = len(a);
+// the final carry-out is dropped. This is one Merkle compression node for
+// the arithmetic-sum function.
+func (b *Builder) AddMod(a, x []Signal) []Signal {
+	if len(a) != len(x) {
+		panic(fmt.Sprintf("netlist: AddMod width mismatch %d != %d", len(a), len(x)))
+	}
+	out := make([]Signal, len(a))
+	carry := Signal(-1)
+	for i := range a {
+		wantCout := i < len(a)-1
+		out[i], carry = b.fullAdder(a[i], x[i], carry, wantCout)
+	}
+	return out
+}
+
+// Add builds a full ripple adder with carry-out: returns n+1 signals.
+func (b *Builder) Add(a, x []Signal) []Signal {
+	if len(a) != len(x) {
+		panic(fmt.Sprintf("netlist: Add width mismatch %d != %d", len(a), len(x)))
+	}
+	out := make([]Signal, len(a)+1)
+	carry := Signal(-1)
+	for i := range a {
+		out[i], carry = b.fullAdder(a[i], x[i], carry, true)
+	}
+	out[len(a)] = carry
+	return out
+}
+
+// AddUneven adds buses of different widths (zero-extending the shorter) and
+// returns max(len)+1 bits.
+func (b *Builder) AddUneven(a, x []Signal) []Signal {
+	if len(a) < len(x) {
+		a, x = x, a
+	}
+	zero := b.Const(false)
+	xe := make([]Signal, len(a))
+	copy(xe, x)
+	for i := len(x); i < len(a); i++ {
+		xe[i] = zero
+	}
+	return b.Add(a, xe)
+}
+
+// Popcount builds a full-adder compressor tree counting the set bits of
+// bits; the result bus has ceil(log2(len+1)) signals. This is the
+// "bitcount" baseline hash datapath of Table 3.
+func (b *Builder) Popcount(bits []Signal) []Signal {
+	if len(bits) == 0 {
+		return []Signal{b.Const(false)}
+	}
+	// Work column-wise: counts[i] is a list of bits of weight 2^i.
+	counts := [][]Signal{append([]Signal(nil), bits...)}
+	for col := 0; col < len(counts); col++ {
+		for len(counts[col]) > 1 {
+			c := counts[col]
+			var rem []Signal
+			for len(c) >= 3 {
+				s, co := b.fullAdder(c[0], c[1], c[2], true)
+				rem = append(rem, s)
+				counts = ensureCol(counts, col+1)
+				counts[col+1] = append(counts[col+1], co)
+				c = c[3:]
+			}
+			if len(c) == 2 {
+				s, co := b.fullAdder(c[0], c[1], -1, true)
+				rem = append(rem, s)
+				counts = ensureCol(counts, col+1)
+				counts[col+1] = append(counts[col+1], co)
+				c = c[:0]
+			}
+			rem = append(rem, c...)
+			counts[col] = rem
+		}
+	}
+	out := make([]Signal, len(counts))
+	for i, c := range counts {
+		if len(c) == 1 {
+			out[i] = c[0]
+		} else {
+			out[i] = b.Const(false)
+		}
+	}
+	return out
+}
+
+func ensureCol(counts [][]Signal, col int) [][]Signal {
+	for len(counts) <= col {
+		counts = append(counts, nil)
+	}
+	return counts
+}
+
+// XorBus returns the bitwise XOR of two equal-width buses.
+func (b *Builder) XorBus(a, x []Signal) []Signal {
+	if len(a) != len(x) {
+		panic("netlist: XorBus width mismatch")
+	}
+	out := make([]Signal, len(a))
+	for i := range a {
+		out[i] = b.Xor(a[i], x[i])
+	}
+	return out
+}
+
+// Equal returns a single signal that is 1 iff buses a and x are equal.
+// This is the monitor's hash comparator.
+func (b *Builder) Equal(a, x []Signal) Signal {
+	if len(a) != len(x) {
+		panic("netlist: Equal width mismatch")
+	}
+	var acc Signal = -1
+	for i := range a {
+		eq := b.Not(b.Xor(a[i], x[i]))
+		if acc < 0 {
+			acc = eq
+		} else {
+			acc = b.And(acc, eq)
+		}
+	}
+	return acc
+}
+
+// MuxBus selects between two equal-width buses.
+func (b *Builder) MuxBus(sel Signal, lo, hi []Signal) []Signal {
+	if len(lo) != len(hi) {
+		panic("netlist: MuxBus width mismatch")
+	}
+	out := make([]Signal, len(lo))
+	for i := range lo {
+		out[i] = b.Mux(sel, lo[i], hi[i])
+	}
+	return out
+}
+
+// RegisterBus inserts a DFF on every signal of the bus.
+func (b *Builder) RegisterBus(name string, d []Signal) []Signal {
+	out := make([]Signal, len(d))
+	for i := range d {
+		out[i] = b.DFF(d[i], fmt.Sprintf("%s[%d]", name, i))
+	}
+	return out
+}
+
+// LUTRom builds combinational logic computing rom[addr] for a constant
+// table, as a mux tree over the address bits. Values are outWidth bits.
+func (b *Builder) LUTRom(addr []Signal, rom []uint64, outWidth int) []Signal {
+	n := 1 << uint(len(addr))
+	if len(rom) != n {
+		panic(fmt.Sprintf("netlist: rom size %d != 2^%d", len(rom), len(addr)))
+	}
+	out := make([]Signal, outWidth)
+	for bit := 0; bit < outWidth; bit++ {
+		// Leaf constants, then a mux tree selecting by address bits.
+		level := make([]Signal, n)
+		for i := 0; i < n; i++ {
+			level[i] = b.Const(rom[i]&(1<<uint(bit)) != 0)
+		}
+		for d := 0; d < len(addr); d++ {
+			next := make([]Signal, len(level)/2)
+			for i := range next {
+				next[i] = b.Mux(addr[d], level[2*i], level[2*i+1])
+			}
+			level = next
+		}
+		out[bit] = level[0]
+	}
+	return out
+}

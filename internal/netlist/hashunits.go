@@ -1,0 +1,101 @@
+package netlist
+
+// This file constructs the two hash units of Table 3 as gate-level
+// netlists. Both units are pipelined one stage deep, matching the
+// prototype: the instruction word is registered at the input and the hash
+// at the output, so the hash of instruction N is available while the core
+// retires instruction N+1 — within the available cycle time, as §4.3 notes.
+//
+// The Merkle unit's 32-bit parameter is *not* built from flip-flops: the
+// prototype stores it in a small memory (Table 3 reports it as 32 memory
+// bits, 0 extra FFs), which the resource model (internal/fpga) accounts
+// separately. For simulation the parameter is exposed as an input bus.
+
+// MerkleUnitOptions configures BuildMerkleUnit.
+type MerkleUnitOptions struct {
+	// Registered adds the input/output pipeline registers of the real
+	// unit. Disable for pure combinational equivalence checking.
+	Registered bool
+}
+
+// BuildMerkleUnit builds the paper's 15-node Merkle-tree hash datapath
+// (4-bit arithmetic-sum compression): buses "instr" (32), "param" (32) in,
+// "hash" (4) out.
+func BuildMerkleUnit(opt MerkleUnitOptions) *Circuit {
+	b := NewBuilder("merkle-hash-unit")
+	instr := b.InputBus("instr", 32)
+	param := b.InputBus("param", 32)
+	valid := b.Input("valid")
+
+	if opt.Registered {
+		instr = b.RegisterBus("instr_r", instr)
+		valid = b.DFF(valid, "valid_r")
+	}
+
+	// Leaf level: 8 nodes, each compressing (param nibble, instr nibble).
+	level := make([][]Signal, 8)
+	for i := 0; i < 8; i++ {
+		pn := param[4*i : 4*i+4]
+		dn := instr[4*i : 4*i+4]
+		level[i] = b.AddMod(pn, dn)
+	}
+	// Inner levels: 4, 2, 1 nodes.
+	for len(level) > 1 {
+		next := make([][]Signal, len(level)/2)
+		for i := range next {
+			next[i] = b.AddMod(level[2*i], level[2*i+1])
+		}
+		level = next
+	}
+	hash := level[0]
+
+	if opt.Registered {
+		hash = b.RegisterBus("hash_r", hash)
+	}
+	b.OutputBus("hash", hash)
+	b.Output("hash_valid", valid)
+	return b.Build()
+}
+
+// BitcountUnitOptions configures BuildBitcountUnit.
+type BitcountUnitOptions struct {
+	Registered bool
+}
+
+// BuildBitcountUnit builds the conventional baseline of Table 3: a
+// popcount compressor tree over the 32-bit instruction word, truncated to
+// the 4-bit hash. Buses "instr" (32) in, "hash" (4) out.
+func BuildBitcountUnit(opt BitcountUnitOptions) *Circuit {
+	b := NewBuilder("bitcount-hash-unit")
+	instr := b.InputBus("instr", 32)
+	valid := b.Input("valid")
+
+	if opt.Registered {
+		instr = b.RegisterBus("instr_r", instr)
+		valid = b.DFF(valid, "valid_r")
+	}
+
+	count := b.Popcount(instr) // 6 bits
+	hash := count[:4]
+
+	if opt.Registered {
+		hash = b.RegisterBus("hash_r", hash)
+		// The prototype's baseline registers one extra count bit before
+		// truncation (one flop more than the Merkle unit's 37 — Table 3
+		// reports 38).
+		_ = b.DFF(count[4], "count_r4")
+	}
+	b.OutputBus("hash", hash)
+	b.Output("hash_valid", valid)
+	return b.Build()
+}
+
+// BuildComparator builds the monitor's hash comparator: "got" (width) and
+// "want" (width) in, "match" out. Used by the monitor-logic resource macro.
+func BuildComparator(width int) *Circuit {
+	b := NewBuilder("hash-comparator")
+	got := b.InputBus("got", width)
+	want := b.InputBus("want", width)
+	b.Output("match", b.Equal(got, want))
+	return b.Build()
+}

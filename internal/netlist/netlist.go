@@ -1,0 +1,208 @@
+// Package netlist provides gate-level boolean networks: construction,
+// levelized simulation, and structural metadata used by the technology
+// mapper (internal/techmap).
+//
+// The hash units of Table 3 are built as netlists here, simulated to prove
+// bit-exact equivalence with the software models in internal/mhash, and
+// mapped onto FPGA LUTs to regenerate the paper's resource numbers.
+package netlist
+
+import "fmt"
+
+// Kind identifies a gate's function.
+type Kind int
+
+const (
+	// KInput is a primary input.
+	KInput Kind = iota
+	// KConst0 and KConst1 are constant drivers.
+	KConst0
+	KConst1
+	// KNot, KAnd, KOr, KXor are the basic gates (And/Or/Xor are 2-input).
+	KNot
+	KAnd
+	KOr
+	KXor
+	// KMux selects In[1] when In[0] is 0, In[2] when In[0] is 1.
+	KMux
+	// KDFF is a D flip-flop: its output is the registered value of In[0].
+	KDFF
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KInput:
+		return "input"
+	case KConst0:
+		return "const0"
+	case KConst1:
+		return "const1"
+	case KNot:
+		return "not"
+	case KAnd:
+		return "and"
+	case KOr:
+		return "or"
+	case KXor:
+		return "xor"
+	case KMux:
+		return "mux"
+	case KDFF:
+		return "dff"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Signal names a gate output; it is an index into Circuit.Gates.
+type Signal int
+
+// Gate is one netlist node.
+type Gate struct {
+	Kind Kind
+	In   []Signal
+	Name string // optional debug name
+}
+
+// FullAdder tags three gates (sum, carry outputs and their logical inputs)
+// as one bit of a structural adder. The technology mapper can place tagged
+// full adders on the FPGA's dedicated carry chain (arithmetic mode), which
+// is how RTL adder trees achieve the paper's LUT counts.
+type FullAdder struct {
+	A, B, Cin Signal // Cin < 0 means a half adder
+	Sum, Cout Signal // Cout < 0 means the carry-out is unused (mod-2^n add)
+}
+
+// Circuit is a complete netlist.
+type Circuit struct {
+	Name    string
+	Gates   []Gate
+	Inputs  []Signal            // primary inputs in declaration order
+	Outputs []Signal            // primary outputs in declaration order
+	Ports   map[string][]Signal // named buses (inputs and outputs)
+	Adders  []FullAdder         // carry-chain candidates
+
+	portDir map[string]bool // port name -> true when it is an input port
+}
+
+// PortIsInput reports whether the named port is an input.
+func (c *Circuit) PortIsInput(name string) bool { return c.portDir[name] }
+
+// NumGates returns the number of logic gates (excluding inputs, constants
+// and DFFs).
+func (c *Circuit) NumGates() int {
+	n := 0
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case KNot, KAnd, KOr, KXor, KMux:
+			n++
+		}
+	}
+	return n
+}
+
+// NumDFFs returns the number of flip-flops.
+func (c *Circuit) NumDFFs() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind == KDFF {
+			n++
+		}
+	}
+	return n
+}
+
+// Builder incrementally constructs a Circuit.
+type Builder struct {
+	c Circuit
+}
+
+// NewBuilder creates a Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	b := &Builder{}
+	b.c.Name = name
+	b.c.Ports = map[string][]Signal{}
+	b.c.portDir = map[string]bool{}
+	return b
+}
+
+func (b *Builder) add(g Gate) Signal {
+	b.c.Gates = append(b.c.Gates, g)
+	return Signal(len(b.c.Gates) - 1)
+}
+
+func (b *Builder) newInput(name string) Signal {
+	s := b.add(Gate{Kind: KInput, Name: name})
+	b.c.Inputs = append(b.c.Inputs, s)
+	return s
+}
+
+// Input declares one primary input (also registered as a 1-bit input port).
+func (b *Builder) Input(name string) Signal {
+	s := b.newInput(name)
+	b.c.Ports[name] = []Signal{s}
+	b.c.portDir[name] = true
+	return s
+}
+
+// InputBus declares a bus of n primary inputs, LSB first.
+func (b *Builder) InputBus(name string, n int) []Signal {
+	out := make([]Signal, n)
+	for i := range out {
+		out[i] = b.newInput(fmt.Sprintf("%s[%d]", name, i))
+	}
+	b.c.Ports[name] = out
+	b.c.portDir[name] = true
+	return out
+}
+
+// Const returns a constant driver.
+func (b *Builder) Const(v bool) Signal {
+	if v {
+		return b.add(Gate{Kind: KConst1})
+	}
+	return b.add(Gate{Kind: KConst0})
+}
+
+// Not returns ¬a.
+func (b *Builder) Not(a Signal) Signal { return b.add(Gate{Kind: KNot, In: []Signal{a}}) }
+
+// And returns a∧b.
+func (b *Builder) And(a, x Signal) Signal { return b.add(Gate{Kind: KAnd, In: []Signal{a, x}}) }
+
+// Or returns a∨b.
+func (b *Builder) Or(a, x Signal) Signal { return b.add(Gate{Kind: KOr, In: []Signal{a, x}}) }
+
+// Xor returns a⊕b.
+func (b *Builder) Xor(a, x Signal) Signal { return b.add(Gate{Kind: KXor, In: []Signal{a, x}}) }
+
+// Mux returns sel ? hi : lo.
+func (b *Builder) Mux(sel, lo, hi Signal) Signal {
+	return b.add(Gate{Kind: KMux, In: []Signal{sel, lo, hi}})
+}
+
+// DFF registers d and returns the flop's output.
+func (b *Builder) DFF(d Signal, name string) Signal {
+	return b.add(Gate{Kind: KDFF, In: []Signal{d}, Name: name})
+}
+
+// Output designates s as a primary output with the given name.
+func (b *Builder) Output(name string, s Signal) {
+	b.c.Outputs = append(b.c.Outputs, s)
+	b.c.Ports[name] = append(b.c.Ports[name], s)
+	b.c.portDir[name] = false
+}
+
+// OutputBus designates a bus of outputs, LSB first.
+func (b *Builder) OutputBus(name string, ss []Signal) {
+	for _, s := range ss {
+		b.c.Outputs = append(b.c.Outputs, s)
+	}
+	b.c.Ports[name] = append([]Signal(nil), ss...)
+	b.c.portDir[name] = false
+}
+
+// TagAdder records a full/half adder for carry-chain mapping.
+func (b *Builder) TagAdder(fa FullAdder) { b.c.Adders = append(b.c.Adders, fa) }
+
+// Build finalizes and returns the circuit.
+func (b *Builder) Build() *Circuit { return &b.c }

@@ -1,0 +1,359 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sdmmon/internal/mhash"
+)
+
+func TestBasicGates(t *testing.T) {
+	b := NewBuilder("gates")
+	a := b.Input("a")
+	x := b.Input("x")
+	b.Output("and", b.And(a, x))
+	b.Output("or", b.Or(a, x))
+	b.Output("xor", b.Xor(a, x))
+	b.Output("not", b.Not(a))
+	b.Output("mux", b.Mux(a, x, b.Const(true)))
+	c := b.Build()
+	s, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		a, x                   bool
+		and, or, xor, not, mux bool
+	}{
+		{false, false, false, false, false, true, false},
+		{false, true, false, true, true, true, true},
+		{true, false, false, true, true, false, true},
+		{true, true, true, true, false, false, true},
+	} {
+		s.SetInput(a, tc.a)
+		s.SetInput(x, tc.x)
+		s.Eval()
+		if s.Value(c.Outputs[0]) != tc.and || s.Value(c.Outputs[1]) != tc.or ||
+			s.Value(c.Outputs[2]) != tc.xor || s.Value(c.Outputs[3]) != tc.not ||
+			s.Value(c.Outputs[4]) != tc.mux {
+			t.Errorf("a=%v x=%v: got %v %v %v %v %v", tc.a, tc.x,
+				s.Value(c.Outputs[0]), s.Value(c.Outputs[1]), s.Value(c.Outputs[2]),
+				s.Value(c.Outputs[3]), s.Value(c.Outputs[4]))
+		}
+	}
+}
+
+func TestAdders(t *testing.T) {
+	b := NewBuilder("add")
+	a := b.InputBus("a", 8)
+	x := b.InputBus("x", 8)
+	b.OutputBus("mod", b.AddMod(a, x))
+	b.OutputBus("full", b.Add(a, x))
+	c := b.Build()
+	s, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		av, xv := uint64(rng.Intn(256)), uint64(rng.Intn(256))
+		s.SetBus("a", av)
+		s.SetBus("x", xv)
+		s.Eval()
+		mod, _ := s.Bus("mod")
+		full, _ := s.Bus("full")
+		if mod != (av+xv)&0xFF {
+			t.Fatalf("AddMod(%d,%d) = %d", av, xv, mod)
+		}
+		if full != av+xv {
+			t.Fatalf("Add(%d,%d) = %d", av, xv, full)
+		}
+	}
+	if len(c.Adders) == 0 {
+		t.Error("adders not tagged for carry chains")
+	}
+}
+
+func TestAddUneven(t *testing.T) {
+	b := NewBuilder("uneven")
+	a := b.InputBus("a", 6)
+	x := b.InputBus("x", 3)
+	b.OutputBus("sum", b.AddUneven(a, x))
+	c := b.Build()
+	for av := uint64(0); av < 64; av += 7 {
+		for xv := uint64(0); xv < 8; xv++ {
+			got, err := EvalFunc(c, map[string]uint64{"a": av, "x": xv}, "sum")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != av+xv {
+				t.Fatalf("AddUneven(%d,%d) = %d", av, xv, got)
+			}
+		}
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	b := NewBuilder("pop")
+	in := b.InputBus("in", 32)
+	b.OutputBus("count", b.Popcount(in))
+	c := b.Build()
+	s, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	check := func(v uint32) {
+		t.Helper()
+		s.SetBus("in", uint64(v))
+		s.Eval()
+		got, _ := s.Bus("count")
+		want := uint64(0)
+		for i := 0; i < 32; i++ {
+			if v&(1<<uint(i)) != 0 {
+				want++
+			}
+		}
+		if got != want {
+			t.Fatalf("Popcount(%#x) = %d, want %d", v, got, want)
+		}
+	}
+	check(0)
+	check(0xFFFFFFFF)
+	check(1)
+	check(0x80000000)
+	for i := 0; i < 500; i++ {
+		check(rng.Uint32())
+	}
+}
+
+func TestEqualAndMuxBus(t *testing.T) {
+	b := NewBuilder("eqmux")
+	a := b.InputBus("a", 4)
+	x := b.InputBus("x", 4)
+	sel := b.Input("sel")
+	b.Output("eq", b.Equal(a, x))
+	b.OutputBus("mux", b.MuxBus(sel, a, x))
+	c := b.Build()
+	s, _ := NewSimulator(c)
+	for av := uint64(0); av < 16; av++ {
+		for xv := uint64(0); xv < 16; xv++ {
+			s.SetBus("a", av)
+			s.SetBus("x", xv)
+			s.SetInput(sel, false)
+			s.Eval()
+			if s.Value(c.Ports["eq"][0]) != (av == xv) {
+				t.Fatalf("Equal(%d,%d) wrong", av, xv)
+			}
+			if m, _ := s.Bus("mux"); m != av {
+				t.Fatalf("MuxBus sel=0 = %d, want %d", m, av)
+			}
+			s.SetInput(sel, true)
+			s.Eval()
+			if m, _ := s.Bus("mux"); m != xv {
+				t.Fatalf("MuxBus sel=1 = %d, want %d", m, xv)
+			}
+		}
+	}
+}
+
+func TestDFFPipeline(t *testing.T) {
+	// Two-stage shift register.
+	b := NewBuilder("shift")
+	d := b.Input("d")
+	q1 := b.DFF(d, "q1")
+	q2 := b.DFF(q1, "q2")
+	b.Output("q", q2)
+	c := b.Build()
+	s, _ := NewSimulator(c)
+	seq := []bool{true, false, true, true, false}
+	var got []bool
+	for _, v := range seq {
+		s.SetInput(d, v)
+		s.Step()
+		got = append(got, s.Value(q2))
+	}
+	// After step i, q2 holds the input applied at step i-1 (two flops, and
+	// each Step clocks both from the values combinationally visible at the
+	// start of the step): [init, d1, d2, d3, d4].
+	want := []bool{false, true, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cycle %d: q=%v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if c.NumDFFs() != 2 {
+		t.Errorf("NumDFFs = %d", c.NumDFFs())
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	b := NewBuilder("cycle")
+	a := b.Input("a")
+	// Build a gate and then force a self-loop.
+	g := b.And(a, a)
+	c := b.Build()
+	c.Gates[g].In[1] = g
+	if _, err := NewSimulator(c); err == nil {
+		t.Error("combinational cycle not detected")
+	}
+}
+
+func TestLUTRom(t *testing.T) {
+	rom := make([]uint64, 16)
+	for i := range rom {
+		rom[i] = uint64((i * 7) & 0xF)
+	}
+	b := NewBuilder("rom")
+	addr := b.InputBus("addr", 4)
+	b.OutputBus("data", b.LUTRom(addr, rom, 4))
+	c := b.Build()
+	for i := uint64(0); i < 16; i++ {
+		got, err := EvalFunc(c, map[string]uint64{"addr": i}, "data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != rom[i] {
+			t.Fatalf("rom[%d] = %d, want %d", i, got, rom[i])
+		}
+	}
+}
+
+func TestBusErrors(t *testing.T) {
+	b := NewBuilder("x")
+	b.InputBus("a", 2)
+	c := b.Build()
+	s, _ := NewSimulator(c)
+	if err := s.SetBus("nope", 1); err == nil {
+		t.Error("unknown input bus accepted")
+	}
+	if _, err := s.Bus("nope"); err == nil {
+		t.Error("unknown output bus accepted")
+	}
+	if _, err := EvalFunc(c, map[string]uint64{"nope": 0}, "a"); err == nil {
+		t.Error("EvalFunc with bad bus accepted")
+	}
+}
+
+// The central equivalence check: the gate-level Merkle unit computes
+// exactly the same function as the software model used by the operator to
+// generate monitoring graphs.
+func TestMerkleUnitMatchesSoftware(t *testing.T) {
+	c := BuildMerkleUnit(MerkleUnitOptions{Registered: false})
+	s, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		param, instr := rng.Uint32(), rng.Uint32()
+		s.SetBus("param", uint64(param))
+		s.SetBus("instr", uint64(instr))
+		s.Eval()
+		got, _ := s.Bus("hash")
+		want := mhash.NewMerkle(param).Hash(instr)
+		if uint8(got) != want {
+			t.Fatalf("param=%#x instr=%#x: circuit %x, software %x", param, instr, got, want)
+		}
+	}
+}
+
+func TestBitcountUnitMatchesSoftware(t *testing.T) {
+	c := BuildBitcountUnit(BitcountUnitOptions{Registered: false})
+	s, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := mhash.NewBitcount()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		instr := rng.Uint32()
+		s.SetBus("instr", uint64(instr))
+		s.Eval()
+		got, _ := s.Bus("hash")
+		if uint8(got) != sw.Hash(instr) {
+			t.Fatalf("instr=%#x: circuit %x, software %x", instr, got, sw.Hash(instr))
+		}
+	}
+}
+
+func TestRegisteredUnitsPipeline(t *testing.T) {
+	c := BuildMerkleUnit(MerkleUnitOptions{Registered: true})
+	// Table 3 flop accounting: 32 instr + 1 valid + 4 hash = 37.
+	if got := c.NumDFFs(); got != 37 {
+		t.Errorf("merkle unit FFs = %d, want 37", got)
+	}
+	cb := BuildBitcountUnit(BitcountUnitOptions{Registered: true})
+	if got := cb.NumDFFs(); got != 38 {
+		t.Errorf("bitcount unit FFs = %d, want 38", got)
+	}
+	// The registered Merkle unit still computes the right value after the
+	// pipeline fills (instr registered, then hash registered: 2 cycles).
+	s, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	param, instr := uint32(0xC0FFEE11), uint32(0x8C8A0004)
+	s.SetBus("param", uint64(param))
+	s.SetBus("instr", uint64(instr))
+	s.Step()
+	s.Step()
+	got, _ := s.Bus("hash")
+	if uint8(got) != mhash.NewMerkle(param).Hash(instr) {
+		t.Errorf("pipelined hash = %x, want %x", got, mhash.NewMerkle(param).Hash(instr))
+	}
+}
+
+func TestComparatorCircuit(t *testing.T) {
+	c := BuildComparator(4)
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			got, err := EvalFunc(c, map[string]uint64{"got": a, "want": b}, "match")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (got == 1) != (a == b) {
+				t.Fatalf("compare(%d,%d) = %d", a, b, got)
+			}
+		}
+	}
+}
+
+// Property test: AddMod is addition mod 256 for random inputs.
+func TestQuickAddMod(t *testing.T) {
+	b := NewBuilder("q")
+	a := b.InputBus("a", 8)
+	x := b.InputBus("x", 8)
+	b.OutputBus("s", b.AddMod(a, x))
+	c := b.Build()
+	s, _ := NewSimulator(c)
+	f := func(av, xv uint8) bool {
+		s.SetBus("a", uint64(av))
+		s.SetBus("x", uint64(xv))
+		s.Eval()
+		got, _ := s.Bus("s")
+		return uint8(got) == av+xv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGateCountsAndKindString(t *testing.T) {
+	c := BuildMerkleUnit(MerkleUnitOptions{Registered: false})
+	if c.NumGates() == 0 {
+		t.Error("no gates")
+	}
+	if c.NumDFFs() != 0 {
+		t.Error("combinational unit has DFFs")
+	}
+	for _, k := range []Kind{KInput, KConst0, KConst1, KNot, KAnd, KOr, KXor, KMux, KDFF} {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind has no name")
+	}
+}

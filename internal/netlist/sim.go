@@ -1,0 +1,140 @@
+package netlist
+
+import "fmt"
+
+// Simulator evaluates a circuit. Combinational logic is evaluated in
+// topological order each Step; DFFs update on the Step boundary (a rising
+// clock edge).
+type Simulator struct {
+	c     *Circuit
+	order []Signal // topological order of non-input, non-DFF gates
+	val   []bool   // current value of every gate output
+	next  []bool   // scratch for DFF next-state
+}
+
+// NewSimulator builds a simulator, verifying the combinational logic is
+// acyclic (cycles through DFFs are fine).
+func NewSimulator(c *Circuit) (*Simulator, error) {
+	s := &Simulator{c: c, val: make([]bool, len(c.Gates)), next: make([]bool, len(c.Gates))}
+	// Topological sort over combinational edges only.
+	state := make([]int, len(c.Gates)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(Signal) error
+	visit = func(g Signal) error {
+		switch state[g] {
+		case 1:
+			return fmt.Errorf("netlist: combinational cycle through gate %d (%s)", g, c.Gates[g].Kind)
+		case 2:
+			return nil
+		}
+		state[g] = 1
+		gt := c.Gates[g]
+		if gt.Kind != KDFF && gt.Kind != KInput {
+			for _, in := range gt.In {
+				if err := visit(in); err != nil {
+					return err
+				}
+			}
+			s.order = append(s.order, g)
+		}
+		state[g] = 2
+		return nil
+	}
+	for i := range c.Gates {
+		if err := visit(Signal(i)); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// SetInput sets the value of a primary input or DFF (for initialization).
+func (s *Simulator) SetInput(sig Signal, v bool) { s.val[sig] = v }
+
+// SetBus drives a named input bus with the low bits of v, LSB first.
+func (s *Simulator) SetBus(name string, v uint64) error {
+	bus, ok := s.c.Ports[name]
+	if !ok {
+		return fmt.Errorf("netlist: no bus %q", name)
+	}
+	for i, sig := range bus {
+		s.val[sig] = v&(1<<uint(i)) != 0
+	}
+	return nil
+}
+
+// Eval propagates the current input and DFF values through the
+// combinational logic without clocking the DFFs.
+func (s *Simulator) Eval() {
+	for _, g := range s.order {
+		gt := &s.c.Gates[g]
+		switch gt.Kind {
+		case KConst0:
+			s.val[g] = false
+		case KConst1:
+			s.val[g] = true
+		case KNot:
+			s.val[g] = !s.val[gt.In[0]]
+		case KAnd:
+			s.val[g] = s.val[gt.In[0]] && s.val[gt.In[1]]
+		case KOr:
+			s.val[g] = s.val[gt.In[0]] || s.val[gt.In[1]]
+		case KXor:
+			s.val[g] = s.val[gt.In[0]] != s.val[gt.In[1]]
+		case KMux:
+			if s.val[gt.In[0]] {
+				s.val[g] = s.val[gt.In[2]]
+			} else {
+				s.val[g] = s.val[gt.In[1]]
+			}
+		}
+	}
+}
+
+// Step evaluates the combinational logic and then clocks every DFF.
+func (s *Simulator) Step() {
+	s.Eval()
+	for i := range s.c.Gates {
+		if s.c.Gates[i].Kind == KDFF {
+			s.next[i] = s.val[s.c.Gates[i].In[0]]
+		}
+	}
+	for i := range s.c.Gates {
+		if s.c.Gates[i].Kind == KDFF {
+			s.val[i] = s.next[i]
+		}
+	}
+}
+
+// Value returns the current value of a signal (after Eval/Step).
+func (s *Simulator) Value(sig Signal) bool { return s.val[sig] }
+
+// Bus reads a named bus as an unsigned integer, LSB first.
+func (s *Simulator) Bus(name string) (uint64, error) {
+	bus, ok := s.c.Ports[name]
+	if !ok {
+		return 0, fmt.Errorf("netlist: no bus %q", name)
+	}
+	var v uint64
+	for i, sig := range bus {
+		if s.val[sig] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, nil
+}
+
+// EvalFunc is a convenience for purely combinational circuits: drive the
+// named input buses, evaluate, and read the named output bus.
+func EvalFunc(c *Circuit, inputs map[string]uint64, output string) (uint64, error) {
+	s, err := NewSimulator(c)
+	if err != nil {
+		return 0, err
+	}
+	for name, v := range inputs {
+		if err := s.SetBus(name, v); err != nil {
+			return 0, err
+		}
+	}
+	s.Eval()
+	return s.Bus(output)
+}

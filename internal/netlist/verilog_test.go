@@ -1,0 +1,102 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerilogMerkleUnit(t *testing.T) {
+	c := BuildMerkleUnit(MerkleUnitOptions{Registered: true})
+	v := c.Verilog()
+	for _, want := range []string{
+		"module merkle_hash_unit",
+		"input wire clk",
+		"input wire [31:0] instr",
+		"input wire [31:0] param",
+		"output wire [3:0] hash",
+		"always @(posedge clk)",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q", want)
+		}
+	}
+	// Every gate must be declared exactly once.
+	if n := strings.Count(v, "module "); n != 1 {
+		t.Errorf("%d module headers", n)
+	}
+	// Structural sanity: assigns for all combinational gates.
+	comb := c.NumGates()
+	if got := strings.Count(v, "assign n"); got < comb {
+		t.Errorf("%d gate assigns for %d gates", got, comb)
+	}
+	// Registers appear as nonblocking assignments.
+	if got := strings.Count(v, "<="); got != c.NumDFFs() {
+		t.Errorf("%d nonblocking assigns for %d DFFs", got, c.NumDFFs())
+	}
+}
+
+func TestVerilogCombinationalUnit(t *testing.T) {
+	c := BuildBitcountUnit(BitcountUnitOptions{Registered: false})
+	v := c.Verilog()
+	if strings.Contains(v, "clk") {
+		t.Error("combinational circuit should have no clock")
+	}
+	if !strings.Contains(v, "output wire [3:0] hash") {
+		t.Error("missing hash output")
+	}
+}
+
+func TestVerilogSingleBitPorts(t *testing.T) {
+	b := NewBuilder("tiny")
+	x := b.Input("x")
+	y := b.Input("y")
+	b.Output("f", b.And(x, y))
+	v := b.Build().Verilog()
+	for _, want := range []string{"input wire x", "input wire y", "output wire f", "assign f = "} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q in:\n%s", want, v)
+		}
+	}
+}
+
+func TestVerilogMuxAndConsts(t *testing.T) {
+	b := NewBuilder("m")
+	s := b.Input("s")
+	b.Output("o", b.Mux(s, b.Const(false), b.Const(true)))
+	v := b.Build().Verilog()
+	if !strings.Contains(v, "1'b0") || !strings.Contains(v, "1'b1") || !strings.Contains(v, "?") {
+		t.Errorf("mux/const forms missing:\n%s", v)
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"merkle-hash-unit": "merkle_hash_unit",
+		"a b":              "a_b",
+		"9lives":           "_9lives",
+		"":                 "anon",
+		"ok_name2":         "ok_name2",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSetBusOnSingleInput(t *testing.T) {
+	// Input() now registers a 1-bit port; SetBus must drive it.
+	c := BuildMerkleUnit(MerkleUnitOptions{Registered: false})
+	s, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetBus("valid", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Eval()
+	if v, err := s.Bus("hash_valid"); err != nil || v != 1 {
+		t.Errorf("hash_valid = %d, %v", v, err)
+	}
+}

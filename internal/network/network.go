@@ -1,0 +1,210 @@
+// Package network simulates the system environment around the routers: an
+// operator distributing bundles to a fleet of identical devices, traffic
+// flowing through them, and the fleet-scale attack experiments behind the
+// paper's homogeneity argument (§1, §3.2): "a potentially successful brute
+// force attack on one system cannot be exploited on other systems".
+//
+// The fleet here installs bundles directly onto the NPs (the cryptographic
+// installation path is exercised end-to-end in internal/core with a small
+// number of devices; generating an RSA-2048 identity per simulated router
+// would only slow the data-plane experiments down without changing them).
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/attack"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+	"sdmmon/internal/npu"
+	"sdmmon/internal/packet"
+)
+
+// Router is one fleet member: a monitored single-app NP plus the secret
+// parameter its monitoring graph was generated with.
+type Router struct {
+	ID    string
+	NP    *npu.NP
+	Param uint32
+}
+
+// FleetConfig configures NewFleet.
+type FleetConfig struct {
+	Size int
+	// DiverseParams draws a fresh hash parameter per router (SR2); false
+	// models the homogeneous fleet the paper warns about.
+	DiverseParams bool
+	// Compression selects the Merkle compression (nil = the paper's sum).
+	Compression mhash.Compress
+	// CoresPerRouter defaults to 1.
+	CoresPerRouter int
+	// Monitors defaults to true; false builds the unprotected baseline.
+	MonitorsDisabled bool
+	// App defaults to the vulnerable ipv4cm.
+	App *apps.App
+	// Seed drives parameter drawing.
+	Seed int64
+}
+
+// Fleet is a set of routers running the same application.
+type Fleet struct {
+	Routers []*Router
+	App     *apps.App
+	mkHash  func(uint32) mhash.Hasher
+}
+
+// NewFleet builds and programs a fleet.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Size < 1 {
+		return nil, fmt.Errorf("network: fleet size %d", cfg.Size)
+	}
+	if cfg.CoresPerRouter == 0 {
+		cfg.CoresPerRouter = 1
+	}
+	if cfg.App == nil {
+		cfg.App = apps.IPv4CM()
+	}
+	mk := func(p uint32) mhash.Hasher { return mhash.NewMerkle(p) }
+	if cfg.Compression != nil {
+		c := cfg.Compression
+		mk = func(p uint32) mhash.Hasher {
+			h, err := mhash.NewMerkleWith(p, 4, c)
+			if err != nil {
+				panic(err) // width 4 is always valid
+			}
+			return h
+		}
+	}
+	prog, err := cfg.App.Program()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	shared := rng.Uint32()
+
+	f := &Fleet{App: cfg.App, mkHash: mk}
+	for i := 0; i < cfg.Size; i++ {
+		param := shared
+		if cfg.DiverseParams {
+			param = rng.Uint32()
+		}
+		np, err := npu.New(npu.Config{
+			Cores:           cfg.CoresPerRouter,
+			MonitorsEnabled: !cfg.MonitorsDisabled,
+			NewHasher:       mk,
+		})
+		if err != nil {
+			return nil, err
+		}
+		h := mk(param)
+		g, err := monitor.Extract(prog, h)
+		if err != nil {
+			return nil, err
+		}
+		if err := np.InstallAll(cfg.App.Name, prog.Serialize(), g.Serialize(), param); err != nil {
+			return nil, err
+		}
+		f.Routers = append(f.Routers, &Router{ID: fmt.Sprintf("router-%d", i), NP: np, Param: param})
+	}
+	return f, nil
+}
+
+// Hasher builds the fleet's hash unit for a parameter (attacker tooling).
+func (f *Fleet) Hasher(param uint32) mhash.Hasher { return f.mkHash(param) }
+
+// RunTraffic pushes n benign packets through every router and returns the
+// total number of false alarms (should be zero).
+func (f *Fleet) RunTraffic(n int, seed int64) (falseAlarms int, err error) {
+	for _, r := range f.Routers {
+		gen := packet.NewGenerator(seed)
+		gen.OptionWords = 1
+		for i := 0; i < n; i++ {
+			res, err := r.NP.Process(gen.Next(), 0)
+			if err != nil {
+				return falseAlarms, err
+			}
+			if res.Detected {
+				falseAlarms++
+			}
+		}
+	}
+	return falseAlarms, nil
+}
+
+// CascadeResult summarizes a fleet-wide attack replay.
+type CascadeResult struct {
+	Fleet       int
+	Engineered  bool // the attacker found a matching attack for router 0
+	Compromised int  // routers with corrupted persistent state
+	Detected    int  // routers whose monitor alarmed on the attack packet
+}
+
+// Cascade runs the homogeneity experiment (E6): the attacker obtains router
+// 0's hash parameter (leak or per-§3.2 brute force on one unit), engineers
+// the one-instruction persistent-corruption attack against it, and replays
+// the identical packet against the whole fleet. Compromise is judged by the
+// corruption surviving in scratch memory.
+func (f *Fleet) Cascade() (CascadeResult, error) {
+	res := CascadeResult{Fleet: len(f.Routers)}
+	prog, err := f.App.Program()
+	if err != nil {
+		return res, err
+	}
+	smash := attack.DefaultSmash()
+	h0 := f.mkHash(f.Routers[0].Param)
+	pkt, ok, err := smash.PersistAttack(prog, h0)
+	if err != nil {
+		return res, err
+	}
+	res.Engineered = ok
+	if !ok {
+		return res, nil
+	}
+	for _, r := range f.Routers {
+		out, err := r.NP.ProcessOn(0, pkt, 0)
+		if err != nil {
+			return res, err
+		}
+		if out.Detected {
+			res.Detected++
+		}
+		hit, err := attack.PersistSucceeded(r.NP, 0)
+		if err != nil {
+			return res, err
+		}
+		if hit {
+			res.Compromised++
+		}
+	}
+	return res, nil
+}
+
+// SmashAll sends the generic (non-engineered) hijack packet to every router
+// and reports how many detected it — the E8 detection experiment at fleet
+// scale.
+func (f *Fleet) SmashAll() (detected, hijacked int, err error) {
+	smash := attack.DefaultSmash()
+	code, err := smash.HijackPayload()
+	if err != nil {
+		return 0, 0, err
+	}
+	pkt, err := smash.CraftPacket(code)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, r := range f.Routers {
+		out, err := r.NP.ProcessOn(0, pkt, 0)
+		if err != nil {
+			return detected, hijacked, err
+		}
+		if out.Detected {
+			detected++
+		}
+		if attack.Succeeded(apps.PacketResult{Verdict: out.Verdict, Packet: out.Packet}) {
+			hijacked++
+		}
+	}
+	return detected, hijacked, nil
+}

@@ -1,0 +1,190 @@
+package network
+
+import (
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/attack"
+	"sdmmon/internal/mhash"
+)
+
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := NewFleet(FleetConfig{Size: 0}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}
+
+func TestFleetParams(t *testing.T) {
+	homo, err := NewFleet(FleetConfig{Size: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range homo.Routers[1:] {
+		if r.Param != homo.Routers[0].Param {
+			t.Fatal("homogeneous fleet has diverse parameters")
+		}
+	}
+	div, err := NewFleet(FleetConfig{Size: 8, DiverseParams: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for _, r := range div.Routers {
+		seen[r.Param] = true
+	}
+	if len(seen) < 7 {
+		t.Errorf("diverse fleet drew only %d distinct parameters", len(seen))
+	}
+}
+
+func TestFleetBenignTraffic(t *testing.T) {
+	f, err := NewFleet(FleetConfig{Size: 4, DiverseParams: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms, err := f.RunTraffic(40, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarms != 0 {
+		t.Errorf("%d false alarms on benign traffic", alarms)
+	}
+}
+
+func TestSmashAllDetectedWhenMonitored(t *testing.T) {
+	f, err := NewFleet(FleetConfig{Size: 8, DiverseParams: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected, hijacked, err := f.SmashAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hijacked != 0 {
+		t.Errorf("%d routers hijacked despite monitors", hijacked)
+	}
+	if detected < 7 {
+		t.Errorf("only %d/8 detections", detected)
+	}
+}
+
+func TestSmashAllHijacksUnmonitoredFleet(t *testing.T) {
+	f, err := NewFleet(FleetConfig{Size: 4, MonitorsDisabled: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected, hijacked, err := f.SmashAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detected != 0 {
+		t.Error("unmonitored fleet detected attacks")
+	}
+	if hijacked != 4 {
+		t.Errorf("%d/4 hijacked, want all", hijacked)
+	}
+}
+
+// E6, finding included: under the paper's sum compression the engineered
+// attack compromises the whole fleet even with diverse parameters; the
+// S-box compression contains it.
+func TestCascadeContainment(t *testing.T) {
+	// Homogeneous fleet, sum compression: total compromise (the paper's
+	// warning scenario).
+	homo, err := NewFleet(FleetConfig{Size: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := homo.Cascade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Engineered {
+		t.Fatal("attacker failed to engineer against the leaked parameter")
+	}
+	if res.Compromised != 12 {
+		t.Errorf("homogeneous sum fleet: %d/12 compromised, want 12", res.Compromised)
+	}
+
+	// Diverse fleet, sum compression: STILL total compromise — the
+	// collapse finding (hash equality is parameter-independent).
+	divSum, err := NewFleet(FleetConfig{Size: 12, DiverseParams: true, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = divSum.Cascade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engineered && res.Compromised != 12 {
+		t.Errorf("diverse sum fleet: %d/12 compromised — expected the collapse finding (12)",
+			res.Compromised)
+	}
+
+	// Diverse fleet, S-box compression: contained to ≈1/16 per router.
+	divBox, err := NewFleet(FleetConfig{Size: 24, DiverseParams: true,
+		Compression: mhash.SBoxCompress(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = divBox.Cascade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Engineered {
+		t.Skip("no matching store variant under this parameter (rare); seed-dependent")
+	}
+	// Router 0 is compromised by construction; transfers beyond it should
+	// be rare (expected ≈ 24/16 ≈ 1.5; allow up to 7).
+	if res.Compromised > 8 {
+		t.Errorf("s-box diverse fleet: %d/24 compromised, want containment", res.Compromised)
+	}
+	if res.Compromised < 1 {
+		t.Error("router 0 itself should be compromised (attack engineered against it)")
+	}
+	// Detection accounting: the persist attack always trips the alarm one
+	// instruction later on the router it matches; on mismatching routers
+	// it alarms immediately. Either way every router detects it.
+	if res.Detected != 24 {
+		t.Errorf("detected on %d/24 routers", res.Detected)
+	}
+}
+
+func TestCascadeWithSafeApp(t *testing.T) {
+	// The bounds-checked app is not smashable: no compromise anywhere.
+	f, err := NewFleet(FleetConfig{Size: 4, App: apps.IPv4Safe(), Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Cascade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compromised != 0 {
+		t.Errorf("safe app compromised on %d routers", res.Compromised)
+	}
+}
+
+func TestTransferProbabilityAnalytic(t *testing.T) {
+	// Cross-check the analytic transfer probabilities used in
+	// EXPERIMENTS.md: sum → 1.0, s-box → ≈1/16.
+	sum := func(p uint32) mhash.Hasher { return mhash.NewMerkle(p) }
+	if got := transferProb(t, sum); got != 1.0 {
+		t.Errorf("sum transfer probability = %.3f, want 1.0", got)
+	}
+	box := func(p uint32) mhash.Hasher {
+		h, err := mhash.NewMerkleWith(p, 4, mhash.SBoxCompress())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	if got := transferProb(t, box); got < 0.03 || got > 0.11 {
+		t.Errorf("s-box transfer probability = %.3f, want ≈1/16", got)
+	}
+}
+
+func transferProb(t *testing.T, mk func(uint32) mhash.Hasher) float64 {
+	t.Helper()
+	return attack.TransferProbability(mk, 3000, 42)
+}

@@ -1,0 +1,37 @@
+package network
+
+import "fmt"
+
+// PathResult describes one packet's traversal of a multi-hop router path.
+type PathResult struct {
+	Hops       int  // routers that processed the packet
+	Delivered  bool // emerged from the last hop with a forward verdict
+	DetectedAt int  // hop index whose monitor alarmed, -1 if none
+	Packet     []byte
+}
+
+// ForwardPath pushes one packet through the fleet's routers in order — a
+// line topology, each router running its installed application on the
+// packet as rewritten by the previous hop. Processing stops at the first
+// drop or alarm; the network keeps operating afterwards (per-packet
+// recovery).
+func (f *Fleet) ForwardPath(pkt []byte, qdepth int) (PathResult, error) {
+	res := PathResult{DetectedAt: -1, Packet: append([]byte(nil), pkt...)}
+	for i, r := range f.Routers {
+		out, err := r.NP.Process(res.Packet, qdepth)
+		if err != nil {
+			return res, fmt.Errorf("network: hop %d: %w", i, err)
+		}
+		res.Hops++
+		if out.Detected {
+			res.DetectedAt = i
+			return res, nil
+		}
+		if out.Verdict != 1 {
+			return res, nil // dropped (TTL, policy)
+		}
+		res.Packet = out.Packet
+	}
+	res.Delivered = true
+	return res, nil
+}

@@ -1,0 +1,165 @@
+package network
+
+import (
+	"testing"
+
+	"sdmmon/internal/attack"
+	"sdmmon/internal/packet"
+)
+
+func pathFleet(t *testing.T, hops int, monitored bool) *Fleet {
+	t.Helper()
+	f, err := NewFleet(FleetConfig{
+		Size: hops, DiverseParams: true, Seed: 41, MonitorsDisabled: !monitored,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPathDeliversBenignTraffic(t *testing.T) {
+	const hops = 3
+	f := pathFleet(t, hops, true)
+	gen := packet.NewGenerator(7)
+	for i := 0; i < 100; i++ {
+		in := gen.Next()
+		if in[8] <= hops { // would legitimately expire en route
+			continue
+		}
+		res, err := f.ForwardPath(in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Delivered || res.Hops != hops {
+			t.Fatalf("packet %d: hops=%d delivered=%v detectedAt=%d",
+				i, res.Hops, res.Delivered, res.DetectedAt)
+		}
+		// TTL decremented once per hop; header checksum still valid.
+		if res.Packet[8] != in[8]-hops {
+			t.Errorf("TTL %d -> %d over %d hops", in[8], res.Packet[8], hops)
+		}
+		if !packet.ChecksumOK(res.Packet) {
+			t.Error("checksum broken in flight")
+		}
+	}
+}
+
+func TestPathExpiresTTL(t *testing.T) {
+	f := pathFleet(t, 3, true)
+	gen := packet.NewGenerator(8)
+	pkt := gen.Next()
+	pkt[8] = 2 // expires at the third hop
+	// Re-checksum after the edit.
+	p, err := packet.ParseIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err = p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.ForwardPath(pkt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Fatal("TTL-2 packet delivered over 3 hops")
+	}
+	if res.Hops != 3 || res.DetectedAt != -1 {
+		t.Errorf("hops=%d detectedAt=%d", res.Hops, res.DetectedAt)
+	}
+}
+
+func TestPathStopsAttackAtFirstHop(t *testing.T) {
+	f := pathFleet(t, 3, true)
+	smash := attack.DefaultSmash()
+	code, err := smash.HijackPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := smash.CraftPacket(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.ForwardPath(atk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Fatal("attack packet delivered")
+	}
+	if res.DetectedAt != 0 {
+		t.Errorf("detected at hop %d, want 0", res.DetectedAt)
+	}
+	// The path keeps delivering afterwards (recovery).
+	gen := packet.NewGenerator(9)
+	out, err := f.ForwardPath(gen.Next(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Delivered {
+		t.Error("path dead after recovery")
+	}
+}
+
+// The attack packet is dangerous at EVERY hop: forwarded by an unmonitored
+// router, it still carries the overflow and smashes the next monitored hop,
+// which catches it. Defense in depth works across the path.
+func TestPathAttackCaughtDownstreamOfUnmonitoredHop(t *testing.T) {
+	f0 := pathFleet(t, 1, false) // legacy unmonitored edge router
+	f12 := pathFleet(t, 2, true) // monitored core network
+	smash := attack.DefaultSmash()
+	code, err := smash.HijackPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := smash.CraftPacket(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := f0.ForwardPath(atk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r0.Delivered {
+		t.Fatal("unmonitored hop did not forward the hijack output")
+	}
+	res, err := f12.ForwardPath(r0.Packet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectedAt != 0 {
+		t.Errorf("monitored hop did not catch the forwarded attack (detectedAt=%d)", res.DetectedAt)
+	}
+}
+
+// Honest negative result: the monitor protects the *processor*, not packet
+// semantics. A benign packet whose destination was tampered upstream (the
+// outcome of a successful hijack on a legacy router) is processed by valid
+// code downstream and sails through — monitors cannot flag it.
+func TestPathDoesNotCatchUpstreamSemanticDamage(t *testing.T) {
+	f := pathFleet(t, 2, true)
+	gen := packet.NewGenerator(10)
+	pkt := gen.Next()
+	// Upstream damage: destination rewritten to the attacker sink.
+	p, err := packet.ParseIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Dst = attack.SinkIP
+	tampered, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.ForwardPath(tampered, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectedAt != -1 {
+		t.Error("monitor flagged a validly-processed (but semantically tampered) packet")
+	}
+	if !res.Delivered {
+		t.Error("tampered-but-wellformed packet dropped")
+	}
+}

@@ -1,0 +1,84 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/attack"
+	"sdmmon/internal/monitor"
+	"sdmmon/internal/npu"
+	"sdmmon/internal/packet"
+)
+
+// Soak test: a sustained mixed workload across many cores, parameters and
+// applications must produce zero false alarms and zero escaped attacks.
+// Skipped under -short.
+func TestSoakMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(77))
+	smash := attack.DefaultSmash()
+	code, err := smash.HijackPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := smash.CraftPacket(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 6
+	for round := 0; round < rounds; round++ {
+		np, err := npu.New(npu.Config{Cores: 4, MonitorsEnabled: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A different app per round, all cores re-keyed.
+		appList := apps.All()
+		app := appList[round%len(appList)]
+		prog, err := app.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		param := rng.Uint32()
+		h := np.HasherFor(param)
+		g, err := monitor.Extract(prog, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := np.InstallAll(app.Name, prog.Serialize(), g.Serialize(), param); err != nil {
+			t.Fatal(err)
+		}
+		gen := packet.NewGenerator(int64(round))
+		gen.OptionWords = round % 4
+		escaped := 0
+		for i := 0; i < 5000; i++ {
+			var pkt []byte
+			isAttack := app.Vulnerable && i%500 == 250
+			if isAttack {
+				pkt = atk
+			} else {
+				pkt = gen.Next()
+			}
+			res, err := np.Process(pkt, rng.Intn(50))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !isAttack && res.Detected {
+				t.Fatalf("round %d (%s): false alarm on benign packet %d", round, app.Name, i)
+			}
+			if isAttack && attack.Succeeded(apps.PacketResult{Verdict: res.Verdict, Packet: res.Packet}) {
+				escaped++
+			}
+		}
+		if escaped > 0 {
+			t.Errorf("round %d (%s): %d attacks escaped", round, app.Name, escaped)
+		}
+		s := np.Stats()
+		if s.Processed != 5000 {
+			t.Errorf("round %d: processed %d", round, s.Processed)
+		}
+	}
+}

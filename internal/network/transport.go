@@ -1,0 +1,71 @@
+package network
+
+import (
+	"fmt"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/core"
+	"sdmmon/internal/timing"
+)
+
+// Link models the operator→router management path ("devices distributed
+// anywhere in the Internet", §5): serialization bandwidth plus a fixed
+// round-trip setup cost. The prototype's 1 Gbps port never limits the
+// download — the Nios II's per-byte receive processing does — so both are
+// accounted: the wire time here, the processing time in the Table 2 model.
+type Link struct {
+	BandwidthBps float64 // payload bits per second on the wire
+	RTTSeconds   float64 // connection setup (FTP control dialog)
+}
+
+// GigE is the prototype's 1 Gbps management port with WAN-ish latency.
+func GigE() Link { return Link{BandwidthBps: 1e9, RTTSeconds: 0.05} }
+
+// TransferSeconds returns the wire time for n bytes.
+func (l Link) TransferSeconds(n int) float64 {
+	if l.BandwidthBps <= 0 {
+		return 0
+	}
+	return l.RTTSeconds + float64(8*n)/l.BandwidthBps
+}
+
+// DeliveryReport records one router's installation including transport.
+type DeliveryReport struct {
+	DeviceID       string
+	Install        *core.InstallReport
+	WireSeconds    float64 // link serialization + RTT
+	ProcessSeconds float64 // control-processor work (Table 2 model)
+	TotalSeconds   float64
+}
+
+// Distribute programs every device with the application over the link,
+// running the real cryptographic pipeline on each and accounting both wire
+// and control-processor time. Each device receives its own package with a
+// fresh hash parameter (SR2/SR4).
+func Distribute(op *core.Operator, devices []*core.Device, app *apps.App, link Link) ([]DeliveryReport, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("network: no devices to program")
+	}
+	model := timing.NiosIIPrototype()
+	var out []DeliveryReport
+	for _, dev := range devices {
+		wire, err := op.ProgramWire(dev.Public(), app)
+		if err != nil {
+			return out, fmt.Errorf("network: packaging for %s: %w", dev.ID, err)
+		}
+		rep, err := dev.Install(wire)
+		if err != nil {
+			return out, fmt.Errorf("network: install on %s: %w", dev.ID, err)
+		}
+		wireS := link.TransferSeconds(len(wire))
+		procS := model.EstimateOps(rep.Ops)
+		out = append(out, DeliveryReport{
+			DeviceID:       dev.ID,
+			Install:        rep,
+			WireSeconds:    wireS,
+			ProcessSeconds: procS,
+			TotalSeconds:   wireS + procS,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/monitor"
+	"sdmmon/internal/npu"
+	"sdmmon/internal/packet"
+)
+
+// WorkloadManager addresses the paper's "Dynamics" challenge (§1): multiple
+// cores are managed and reprogrammed at runtime as traffic and network
+// functionality change. Packets are classified to traffic classes, each
+// class is served by an application, and at the end of every epoch the core
+// assignment is rebalanced to the observed mix — each reprogramming drawing
+// a fresh hash parameter exactly as a real operator push would (SR2).
+//
+// (Workload management policy itself is out of the paper's scope — it cites
+// Wu & Wolf [13] — so the policy here is deliberately simple: proportional
+// core shares with at least one core per class seen.)
+type WorkloadManager struct {
+	np      *npu.NP
+	classes []WorkloadClass
+	rng     *rand.Rand
+
+	assignment []string // core -> app name
+	rr         map[string]int
+	counts     map[string]int
+	epochSize  int
+	inEpoch    int
+
+	// Stats.
+	Reprograms int
+	Processed  int
+	Fallback   int // packets served by a core not running their class app
+	paramsUsed map[uint32]bool
+}
+
+// WorkloadClass binds a traffic class to the application serving it.
+type WorkloadClass struct {
+	Name string
+	App  *apps.App
+	// Match classifies a wire-format packet.
+	Match func(pkt []byte) bool
+}
+
+// DefaultClasses splits traffic into UDP (echo service) and everything else
+// (IPv4 forwarding).
+func DefaultClasses() []WorkloadClass {
+	return []WorkloadClass{
+		{
+			Name: "udp",
+			App:  apps.UDPEcho(),
+			Match: func(pkt []byte) bool {
+				return len(pkt) >= 20 && pkt[9] == packet.ProtoUDP
+			},
+		},
+		{
+			Name:  "other",
+			App:   apps.IPv4Safe(),
+			Match: func(pkt []byte) bool { return true },
+		},
+	}
+}
+
+// NewWorkloadManager builds a manager over an NP whose cores it will
+// program. epochSize is the rebalancing period in packets.
+func NewWorkloadManager(np *npu.NP, classes []WorkloadClass, epochSize int, seed int64) (*WorkloadManager, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("network: no traffic classes")
+	}
+	if epochSize < 1 {
+		return nil, fmt.Errorf("network: epoch size %d", epochSize)
+	}
+	m := &WorkloadManager{
+		np:         np,
+		classes:    classes,
+		rng:        rand.New(rand.NewSource(seed)),
+		assignment: make([]string, np.Cores()),
+		rr:         map[string]int{},
+		counts:     map[string]int{},
+		epochSize:  epochSize,
+		paramsUsed: map[uint32]bool{},
+	}
+	// Initial assignment: first class everywhere.
+	for c := 0; c < np.Cores(); c++ {
+		if err := m.program(c, classes[0].Name); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// program installs the class's app on a core with a fresh parameter.
+func (m *WorkloadManager) program(core int, className string) error {
+	cls, err := m.class(className)
+	if err != nil {
+		return err
+	}
+	prog, err := cls.App.Program()
+	if err != nil {
+		return err
+	}
+	param := m.rng.Uint32()
+	h := m.np.HasherFor(param)
+	g, err := monitor.Extract(prog, h)
+	if err != nil {
+		return err
+	}
+	if err := m.np.Install(core, cls.Name, prog.Serialize(), g.Serialize(), param); err != nil {
+		return err
+	}
+	m.assignment[core] = cls.Name
+	m.Reprograms++
+	m.paramsUsed[param] = true
+	return nil
+}
+
+func (m *WorkloadManager) class(name string) (*WorkloadClass, error) {
+	for i := range m.classes {
+		if m.classes[i].Name == name {
+			return &m.classes[i], nil
+		}
+	}
+	return nil, fmt.Errorf("network: unknown class %q", name)
+}
+
+// classify returns the first matching class name.
+func (m *WorkloadManager) classify(pkt []byte) string {
+	for i := range m.classes {
+		if m.classes[i].Match(pkt) {
+			return m.classes[i].Name
+		}
+	}
+	return m.classes[len(m.classes)-1].Name
+}
+
+// Process routes one packet to a core running its class's application
+// (round-robin among them; any core as fallback) and advances the epoch.
+func (m *WorkloadManager) Process(pkt []byte, qdepth int) (npu.Result, error) {
+	name := m.classify(pkt)
+	m.counts[name]++
+	m.Processed++
+	m.inEpoch++
+
+	core := -1
+	matching := 0
+	for c, a := range m.assignment {
+		if a == name {
+			matching++
+			_ = c
+		}
+	}
+	if matching > 0 {
+		k := m.rr[name] % matching
+		m.rr[name]++
+		for c, a := range m.assignment {
+			if a == name {
+				if k == 0 {
+					core = c
+					break
+				}
+				k--
+			}
+		}
+	} else {
+		core = m.rr["_fallback"] % m.np.Cores()
+		m.rr["_fallback"]++
+		m.Fallback++
+	}
+	res, err := m.np.ProcessOn(core, pkt, qdepth)
+	if err != nil {
+		return res, err
+	}
+	if m.inEpoch >= m.epochSize {
+		if err := m.rebalance(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// rebalance reassigns cores proportionally to the epoch's class mix.
+func (m *WorkloadManager) rebalance() error {
+	defer func() {
+		m.inEpoch = 0
+		m.counts = map[string]int{}
+	}()
+	total := 0
+	for _, n := range m.counts {
+		total += n
+	}
+	if total == 0 {
+		return nil
+	}
+	cores := m.np.Cores()
+	// Desired share per class: proportional, at least 1 core for any class
+	// with traffic, fill remainder with the largest class.
+	type share struct {
+		name string
+		want int
+		frac float64
+	}
+	var shares []share
+	for i := range m.classes {
+		n := m.counts[m.classes[i].Name]
+		if n == 0 {
+			continue
+		}
+		f := float64(n) / float64(total) * float64(cores)
+		w := int(f)
+		if w == 0 {
+			w = 1
+		}
+		shares = append(shares, share{m.classes[i].Name, w, f})
+	}
+	sum := 0
+	for _, s := range shares {
+		sum += s.want
+	}
+	for i := 0; sum > cores && i < len(shares); i++ {
+		// Trim over-allocation from the smallest shares.
+		min := 0
+		for j := range shares {
+			if shares[j].frac < shares[min].frac {
+				min = j
+			}
+		}
+		if shares[min].want > 1 {
+			shares[min].want--
+			sum--
+		} else {
+			shares[min].frac = 1e9 // cannot trim; look elsewhere
+		}
+	}
+	for sum < cores && len(shares) > 0 {
+		max := 0
+		for j := range shares {
+			if shares[j].frac > shares[max].frac {
+				max = j
+			}
+		}
+		shares[max].want++
+		sum++
+	}
+
+	// Build the target assignment, changing as few cores as possible.
+	want := map[string]int{}
+	for _, s := range shares {
+		want[s.name] = s.want
+	}
+	have := map[string]int{}
+	for _, a := range m.assignment {
+		have[a]++
+	}
+	for c := 0; c < cores; c++ {
+		a := m.assignment[c]
+		if have[a] > want[a] {
+			// This core must switch to an under-served class.
+			for _, s := range shares {
+				if have[s.name] < want[s.name] {
+					have[a]--
+					have[s.name]++
+					if err := m.program(c, s.name); err != nil {
+						return err
+					}
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Assignment returns the current core→class mapping.
+func (m *WorkloadManager) Assignment() []string {
+	return append([]string(nil), m.assignment...)
+}
+
+// FreshParameters reports how many distinct hash parameters installations
+// have used — every reprogramming must re-key (SR2).
+func (m *WorkloadManager) FreshParameters() int { return len(m.paramsUsed) }

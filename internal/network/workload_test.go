@@ -1,0 +1,126 @@
+package network
+
+import (
+	"testing"
+
+	"sdmmon/internal/npu"
+	"sdmmon/internal/packet"
+)
+
+func newManagedNP(t *testing.T, cores, epoch int) (*npu.NP, *WorkloadManager) {
+	t.Helper()
+	np, err := npu.New(npu.Config{Cores: cores, MonitorsEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewWorkloadManager(np, DefaultClasses(), epoch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return np, m
+}
+
+func TestWorkloadManagerValidation(t *testing.T) {
+	np, err := npu.New(npu.Config{Cores: 1, MonitorsEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorkloadManager(np, nil, 10, 1); err == nil {
+		t.Error("no classes accepted")
+	}
+	if _, err := NewWorkloadManager(np, DefaultClasses(), 0, 1); err == nil {
+		t.Error("zero epoch accepted")
+	}
+}
+
+func TestWorkloadShiftsCoresWithTraffic(t *testing.T) {
+	_, m := newManagedNP(t, 4, 200)
+	initial := m.Reprograms // the initial programming of all cores
+	if initial != 4 {
+		t.Fatalf("initial reprograms = %d, want 4", initial)
+	}
+
+	// Phase 1: mostly non-UDP traffic.
+	gen := packet.NewGenerator(2)
+	gen.UDPShare = 0.1
+	for i := 0; i < 600; i++ {
+		if _, err := m.Process(gen.Next(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	phase1 := m.Assignment()
+	udp1 := countOf(phase1, "udp")
+
+	// Phase 2: the mix flips to UDP-heavy; the manager must shift cores.
+	gen.UDPShare = 0.9
+	for i := 0; i < 600; i++ {
+		if _, err := m.Process(gen.Next(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	phase2 := m.Assignment()
+	udp2 := countOf(phase2, "udp")
+
+	if udp2 <= udp1 {
+		t.Errorf("udp cores did not grow under udp-heavy traffic: %v -> %v", phase1, phase2)
+	}
+	if m.Reprograms <= initial {
+		t.Error("no runtime reprogramming happened")
+	}
+	// Every installation drew a fresh parameter (SR2 under dynamics).
+	if m.FreshParameters() != m.Reprograms {
+		t.Errorf("parameters %d != reprograms %d — a parameter was reused",
+			m.FreshParameters(), m.Reprograms)
+	}
+}
+
+func countOf(assignment []string, name string) int {
+	n := 0
+	for _, a := range assignment {
+		if a == name {
+			n++
+		}
+	}
+	return n
+}
+
+func TestWorkloadNoFalseAlarmsAcrossReprogramming(t *testing.T) {
+	np, m := newManagedNP(t, 3, 100)
+	gen := packet.NewGenerator(3)
+	gen.UDPShare = 0.5
+	for i := 0; i < 900; i++ {
+		// Oscillate the mix to force repeated rebalancing.
+		if i%300 == 0 {
+			gen.UDPShare = 1 - gen.UDPShare
+		}
+		res, err := m.Process(gen.Next(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detected {
+			t.Fatalf("false alarm at packet %d on core %d", i, res.Core)
+		}
+	}
+	if np.Stats().Alarms != 0 {
+		t.Errorf("alarms = %d", np.Stats().Alarms)
+	}
+	if m.Processed != 900 {
+		t.Errorf("processed = %d", m.Processed)
+	}
+}
+
+func TestWorkloadFallbackServesUnassignedClass(t *testing.T) {
+	// With a single core, one class owns it and the other is served by
+	// fallback routing.
+	_, m := newManagedNP(t, 1, 1000)
+	gen := packet.NewGenerator(4)
+	gen.UDPShare = 0.5
+	for i := 0; i < 100; i++ {
+		if _, err := m.Process(gen.Next(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Fallback == 0 {
+		t.Error("expected fallback routing with one core and two classes")
+	}
+}

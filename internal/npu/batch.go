@@ -1,0 +1,107 @@
+package npu
+
+import (
+	"fmt"
+	"sync"
+
+	"sdmmon/internal/apps"
+)
+
+// ProcessBatch runs a batch of packets across the NP's cores concurrently —
+// one goroutine per core, each with its own CPU, memory, hash unit and
+// monitor, exactly like the hardware's parallelism. Packets are distributed
+// by a shared work channel (packet-level load balancing); results keep
+// their input order. Statistics are aggregated once at the end, so the
+// per-packet path stays lock-free.
+func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
+	loaded := 0
+	for _, s := range np.slots {
+		if s.loaded {
+			loaded++
+		}
+	}
+	if loaded == 0 {
+		return nil, fmt.Errorf("npu: no core has an application installed")
+	}
+
+	type job struct {
+		idx int
+		pkt []byte
+	}
+	// Buffered so producers never gate consumers: the whole batch is
+	// enqueued up front and the cores drain it at their own pace.
+	jobs := make(chan job, len(pkts))
+	results := make([]Result, len(pkts))
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+
+	// Per-core deltas merged into np.stats after the barrier.
+	deltas := make([]Stats, len(np.slots))
+
+	for coreID, slot := range np.slots {
+		if !slot.loaded {
+			continue
+		}
+		wg.Add(1)
+		go func(coreID int, slot *coreSlot) {
+			defer wg.Done()
+			d := &deltas[coreID]
+			for j := range jobs {
+				res, err := processOnSlot(slot, coreID, j.pkt, qdepth, np.cfg.MonitorsEnabled, d)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				results[j.idx] = res
+			}
+		}(coreID, slot)
+	}
+	for i, p := range pkts {
+		jobs <- job{idx: i, pkt: p}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, d := range deltas {
+		np.stats.Processed += d.Processed
+		np.stats.Forwarded += d.Forwarded
+		np.stats.Dropped += d.Dropped
+		np.stats.Alarms += d.Alarms
+		np.stats.Faults += d.Faults
+		np.stats.Cycles += d.Cycles
+	}
+	return results, nil
+}
+
+// processOnSlot is the lock-free per-core packet path shared by ProcessOn
+// (via the stats pointer indirection) and ProcessBatch.
+func processOnSlot(slot *coreSlot, coreID int, pkt []byte, qdepth int, monitors bool, stats *Stats) (Result, error) {
+	if monitors {
+		slot.mon.Reset()
+	}
+	res := slot.core.Process(pkt, qdepth)
+
+	out := Result{Core: coreID, Verdict: res.Verdict, Packet: res.Packet, Cycles: res.Cycles}
+	stats.Processed++
+	stats.Cycles += res.Cycles
+	switch {
+	case res.Exc != nil && monitors && slot.mon.Alarmed():
+		out.Detected = true
+		out.Verdict = apps.VerdictDrop
+		stats.Alarms++
+		stats.Dropped++
+	case res.Exc != nil:
+		out.Faulted = true
+		out.Verdict = apps.VerdictDrop
+		stats.Faults++
+		stats.Dropped++
+	case res.Verdict == apps.VerdictForward:
+		stats.Forwarded++
+	default:
+		stats.Dropped++
+	}
+	return out, nil
+}

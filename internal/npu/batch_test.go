@@ -1,0 +1,109 @@
+package npu
+
+import (
+	"bytes"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/packet"
+)
+
+func TestProcessBatchMatchesSequential(t *testing.T) {
+	mkNP := func() *NP {
+		np := newNP(t, 4, true)
+		bin, g := makeBundle(t, apps.IPv4CM(), 0xBA7C)
+		if err := np.InstallAll("ipv4cm", bin, g, 0xBA7C); err != nil {
+			t.Fatal(err)
+		}
+		return np
+	}
+	gen := packet.NewGenerator(61)
+	gen.OptionWords = 1
+	pkts := make([][]byte, 200)
+	for i := range pkts {
+		pkts[i] = gen.Next()
+	}
+	// Interleave attacks.
+	atk := attackSmash(t)
+	for i := 20; i < len(pkts); i += 50 {
+		pkts[i] = atk
+	}
+
+	seqNP := mkNP()
+	var seqResults []Result
+	for _, p := range pkts {
+		r, err := seqNP.Process(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqResults = append(seqResults, r)
+	}
+
+	batchNP := mkNP()
+	batchResults, err := batchNP.ProcessBatch(pkts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batchResults) != len(pkts) {
+		t.Fatalf("%d results", len(batchResults))
+	}
+	// Outcomes per packet are identical (core assignment may differ).
+	for i := range pkts {
+		s, b := seqResults[i], batchResults[i]
+		if s.Verdict != b.Verdict || s.Detected != b.Detected || s.Faulted != b.Faulted {
+			t.Errorf("packet %d: sequential %+v vs batch %+v", i, s, b)
+		}
+		if !bytes.Equal(s.Packet, b.Packet) {
+			t.Errorf("packet %d: output bytes differ", i)
+		}
+	}
+	// Aggregate stats agree.
+	ss, bs := seqNP.Stats(), batchNP.Stats()
+	if ss.Processed != bs.Processed || ss.Forwarded != bs.Forwarded ||
+		ss.Dropped != bs.Dropped || ss.Alarms != bs.Alarms || ss.Faults != bs.Faults {
+		t.Errorf("stats: sequential %+v vs batch %+v", ss, bs)
+	}
+}
+
+func TestProcessBatchNoCores(t *testing.T) {
+	np := newNP(t, 2, true)
+	if _, err := np.ProcessBatch([][]byte{{1}}, 0); err == nil {
+		t.Error("batch without installed app accepted")
+	}
+}
+
+func TestProcessBatchEmpty(t *testing.T) {
+	np := queuedNP(t, 1)
+	res, err := np.ProcessBatch(nil, 0)
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty batch: %v, %d results", err, len(res))
+	}
+}
+
+func TestProcessBatchCompletesAndAttributesCores(t *testing.T) {
+	// Work distribution is packet-level stealing, so how many cores run
+	// depends on the host scheduler (on a single-CPU host one worker may
+	// drain the whole queue). The contract: every packet is processed
+	// exactly once and attributed to a valid core.
+	np := queuedNP(t, 4)
+	gen := packet.NewGenerator(62)
+	pkts := make([][]byte, 400)
+	for i := range pkts {
+		pkts[i] = gen.Next()
+	}
+	results, err := np.ProcessBatch(pkts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(pkts) {
+		t.Fatalf("%d results for %d packets", len(results), len(pkts))
+	}
+	for i, r := range results {
+		if r.Core < 0 || r.Core >= 4 {
+			t.Fatalf("packet %d attributed to core %d", i, r.Core)
+		}
+	}
+	if got := np.Stats().Processed; got != 400 {
+		t.Errorf("processed %d", got)
+	}
+}

@@ -1,0 +1,98 @@
+package npu
+
+import (
+	"sort"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/packet"
+)
+
+func TestLibraryLoadAndSwitch(t *testing.T) {
+	np := newNP(t, 1, true)
+	if err := np.LoadLibraryApp(apps.IPv4CM(), 0x1001); err != nil {
+		t.Fatal(err)
+	}
+	if err := np.LoadLibraryApp(apps.UDPEcho(), 0x1002); err != nil {
+		t.Fatal(err)
+	}
+	if err := np.LoadLibraryApp(apps.Counter(), 0x1003); err != nil {
+		t.Fatal(err)
+	}
+	names := np.Library()
+	sort.Strings(names)
+	if len(names) != 3 || names[0] != "counter" {
+		t.Fatalf("library = %v", names)
+	}
+
+	gen := packet.NewGenerator(71)
+	gen.OptionWords = 1
+	for _, name := range []string{"ipv4cm", "udpecho", "counter", "ipv4cm"} {
+		cycles, err := np.Switch(0, name)
+		if err != nil {
+			t.Fatalf("switch to %s: %v", name, err)
+		}
+		if cycles == 0 || cycles > 1000 {
+			t.Errorf("switch cost %d cycles implausible", cycles)
+		}
+		// Traffic flows alarm-free immediately after every switch.
+		for i := 0; i < 20; i++ {
+			res, err := np.Process(gen.Next(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Detected {
+				t.Fatalf("false alarm after switching to %s", name)
+			}
+		}
+		if got, _ := np.AppOn(0); got != name {
+			t.Errorf("AppOn = %s, want %s", got, name)
+		}
+	}
+}
+
+func TestSwitchErrors(t *testing.T) {
+	np := newNP(t, 1, true)
+	if _, err := np.Switch(0, "ghost"); err == nil {
+		t.Error("switch to unloaded app accepted")
+	}
+	if err := np.LoadLibraryApp(apps.Counter(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := np.Switch(5, "counter"); err == nil {
+		t.Error("switch on bad core accepted")
+	}
+}
+
+func TestLoadLibraryValidates(t *testing.T) {
+	np := newNP(t, 1, true)
+	bin, g := makeBundle(t, apps.IPv4CM(), 7)
+	if err := np.LoadLibrary("x", bin, g, 8); err == nil {
+		t.Error("mismatched parameter accepted into library")
+	}
+	if err := np.LoadLibrary("x", []byte("junk"), g, 7); err == nil {
+		t.Error("junk binary accepted into library")
+	}
+	if err := np.LoadLibrary("x", bin, []byte("junk"), 7); err == nil {
+		t.Error("junk graph accepted into library")
+	}
+}
+
+// The paper's quantitative contrast: a resident switch costs microseconds
+// at 100 MHz while a fresh secure installation costs ~25 s on the
+// prototype (Table 2) — about six orders of magnitude.
+func TestSwitchVsInstallCostGap(t *testing.T) {
+	np := newNP(t, 1, true)
+	if err := np.LoadLibraryApp(apps.IPv4CM(), 0xAA); err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := np.Switch(0, "ipv4cm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	switchSeconds := float64(cycles) / 100e6
+	const installSeconds = 25.0 // Table 2 total
+	if ratio := installSeconds / switchSeconds; ratio < 1e5 {
+		t.Errorf("install/switch ratio %.0f, expected >= 1e5", ratio)
+	}
+}

@@ -1,0 +1,215 @@
+// Package npu models the multiprocessor network processor of the paper: a
+// set of PLASMA-like cores, each paired with a parameterizable hash unit
+// and a hardware monitor, behind a packet dispatcher. Packets are assigned
+// to cores; a monitor alarm triggers the paper's recovery sequence (§2.1):
+// drop the attack packet, reset the core and its monitor, continue with the
+// next packet.
+package npu
+
+import (
+	"fmt"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/asm"
+	"sdmmon/internal/cpu"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+)
+
+// Stats aggregates data-plane outcomes.
+type Stats struct {
+	Processed uint64
+	Forwarded uint64
+	Dropped   uint64 // verdict drops (TTL, malformed) — not attacks
+	Alarms    uint64 // monitor alarms (attack detections + any false alarms)
+	Faults    uint64 // architectural exceptions without monitor alarm
+	Cycles    uint64
+}
+
+// coreSlot is one core with its security hardware.
+type coreSlot struct {
+	core    *apps.Core
+	mon     *monitor.PackedMonitor
+	tracer  *cpu.Tracer
+	hasher  mhash.Hasher
+	appName string
+	loaded  bool
+}
+
+// Config configures an NP instance.
+type Config struct {
+	// Cores is the number of processing cores (the prototype has one; the
+	// architecture targets many, §1 "Dynamics").
+	Cores int
+	// MonitorsEnabled disconnects the monitors when false (the insecure
+	// baseline for comparison benches).
+	MonitorsEnabled bool
+	// NewHasher builds the per-installation hash unit from a parameter.
+	// Defaults to the paper's 4-bit sum-compression Merkle tree.
+	NewHasher func(param uint32) mhash.Hasher
+	// TraceDepth, when > 0, keeps a per-core forensic ring of the last N
+	// retired instructions (with the alarm instruction flagged).
+	TraceDepth int
+}
+
+// NP is a multicore network processor.
+type NP struct {
+	cfg     Config
+	slots   []*coreSlot
+	next    int // round-robin dispatch pointer
+	stats   Stats
+	library map[string]*residentApp // verified bundles kept in memory
+}
+
+// New builds an NP.
+func New(cfg Config) (*NP, error) {
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("npu: %d cores", cfg.Cores)
+	}
+	if cfg.NewHasher == nil {
+		cfg.NewHasher = func(p uint32) mhash.Hasher { return mhash.NewMerkle(p) }
+	}
+	np := &NP{cfg: cfg, slots: make([]*coreSlot, cfg.Cores)}
+	for i := range np.slots {
+		np.slots[i] = &coreSlot{}
+	}
+	return np, nil
+}
+
+// Cores returns the core count.
+func (np *NP) Cores() int { return len(np.slots) }
+
+// HasherFor builds a hash unit for a parameter using this NP's configured
+// hash family; the operator-side graph extraction must use the same family.
+func (np *NP) HasherFor(param uint32) mhash.Hasher { return np.cfg.NewHasher(param) }
+
+// Stats returns a copy of the aggregate statistics.
+func (np *NP) Stats() Stats { return np.stats }
+
+// Install loads a verified bundle onto one core: the processing binary, the
+// monitoring graph, and the hash parameter. This is the step the secure
+// installation protocol gates; the NP itself trusts its caller (the control
+// processor) to have verified the package.
+func (np *NP) Install(coreID int, name string, binary, graph []byte, param uint32) error {
+	if coreID < 0 || coreID >= len(np.slots) {
+		return fmt.Errorf("npu: core %d out of range", coreID)
+	}
+	prog, err := asm.Deserialize(binary)
+	if err != nil {
+		return fmt.Errorf("npu: binary: %w", err)
+	}
+	g, err := monitor.Deserialize(graph)
+	if err != nil {
+		return fmt.Errorf("npu: graph: %w", err)
+	}
+	hasher := np.cfg.NewHasher(param)
+	// Post-installation self-check: the graph must actually describe this
+	// binary under this parameter (defense in depth; catches operator
+	// tooling bugs, not attacks — those are stopped by the signature).
+	if err := g.Validate(prog, hasher); err != nil {
+		return fmt.Errorf("npu: graph/binary mismatch: %w", err)
+	}
+	// The per-instruction path runs on the packed hardware-layout monitor
+	// (bitmap position set over dense node indices).
+	packed, err := monitor.Pack(g)
+	if err != nil {
+		return fmt.Errorf("npu: %w", err)
+	}
+	mon, err := monitor.NewPacked(packed, hasher)
+	if err != nil {
+		return fmt.Errorf("npu: %w", err)
+	}
+	slot := np.slots[coreID]
+	slot.core = apps.NewCore(prog)
+	slot.mon = mon
+	slot.hasher = hasher
+	slot.appName = name
+	slot.loaded = true
+	var trace cpu.TraceFunc
+	if np.cfg.MonitorsEnabled {
+		trace = mon.Observe
+	}
+	if np.cfg.TraceDepth > 0 {
+		slot.tracer = cpu.NewTracer(np.cfg.TraceDepth, trace)
+		trace = slot.tracer.Observe
+	}
+	slot.core.Trace = trace
+	return nil
+}
+
+// TraceDump returns the core's forensic trace (last n instructions), or ""
+// when tracing is disabled.
+func (np *NP) TraceDump(coreID, n int) string {
+	if coreID < 0 || coreID >= len(np.slots) || np.slots[coreID].tracer == nil {
+		return ""
+	}
+	return np.slots[coreID].tracer.Dump(n)
+}
+
+// InstallAll installs the same bundle on every core.
+func (np *NP) InstallAll(name string, binary, graph []byte, param uint32) error {
+	for i := range np.slots {
+		if err := np.Install(i, name, binary, graph, param); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppOn reports the application installed on a core.
+func (np *NP) AppOn(coreID int) (string, bool) {
+	if coreID < 0 || coreID >= len(np.slots) || !np.slots[coreID].loaded {
+		return "", false
+	}
+	return np.slots[coreID].appName, true
+}
+
+// Result describes one packet's fate.
+type Result struct {
+	Core     int
+	Verdict  int
+	Packet   []byte
+	Detected bool // monitor alarm fired (packet dropped, core reset)
+	Faulted  bool // architectural exception without an alarm
+	Cycles   uint64
+}
+
+// Process dispatches one packet round-robin across loaded cores.
+func (np *NP) Process(pkt []byte, qdepth int) (Result, error) {
+	n := len(np.slots)
+	for i := 0; i < n; i++ {
+		id := (np.next + i) % n
+		if np.slots[id].loaded {
+			np.next = (id + 1) % n
+			return np.ProcessOn(id, pkt, qdepth)
+		}
+	}
+	return Result{}, fmt.Errorf("npu: no core has an application installed")
+}
+
+// ProcessOn runs one packet on a specific core. On a monitor alarm the
+// paper's recovery applies: the attack packet is dropped, core and monitor
+// reset, processing continues.
+func (np *NP) ProcessOn(coreID int, pkt []byte, qdepth int) (Result, error) {
+	if coreID < 0 || coreID >= len(np.slots) || !np.slots[coreID].loaded {
+		return Result{}, fmt.Errorf("npu: core %d not loaded", coreID)
+	}
+	return processOnSlot(np.slots[coreID], coreID, pkt, qdepth, np.cfg.MonitorsEnabled, &np.stats)
+}
+
+// Scratch exposes a core's scratch memory for persistence experiments.
+func (np *NP) Scratch(coreID, off, n int) ([]byte, error) {
+	if coreID < 0 || coreID >= len(np.slots) || !np.slots[coreID].loaded {
+		return nil, fmt.Errorf("npu: core %d not loaded", coreID)
+	}
+	return np.slots[coreID].core.Scratch(off, n), nil
+}
+
+// MonitorStats reports a core's monitor counters.
+func (np *NP) MonitorStats(coreID int) (checked, alarms uint64, maxPositions int, err error) {
+	if coreID < 0 || coreID >= len(np.slots) || !np.slots[coreID].loaded {
+		return 0, 0, 0, fmt.Errorf("npu: core %d not loaded", coreID)
+	}
+	m := np.slots[coreID].mon
+	return m.Checked, m.Alarms, m.MaxPositions, nil
+}

@@ -1,0 +1,253 @@
+package npu
+
+import (
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/attack"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+	"sdmmon/internal/packet"
+)
+
+// makeBundle assembles an app and extracts its graph under param.
+func makeBundle(t *testing.T, app *apps.App, param uint32) (binary, graph []byte) {
+	t.Helper()
+	prog, err := app.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mhash.NewMerkle(param)
+	g, err := monitor.Extract(prog, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Serialize(), g.Serialize()
+}
+
+func newNP(t *testing.T, cores int, monitors bool) *NP {
+	t.Helper()
+	np, err := New(Config{Cores: cores, MonitorsEnabled: monitors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return np
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Cores: 0}); err == nil {
+		t.Error("0 cores accepted")
+	}
+}
+
+func TestInstallAndProcess(t *testing.T) {
+	np := newNP(t, 2, true)
+	bin, g := makeBundle(t, apps.IPv4CM(), 0x1234)
+	if err := np.InstallAll("ipv4cm", bin, g, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	gen := packet.NewGenerator(1)
+	for i := 0; i < 50; i++ {
+		res, err := np.Process(gen.Next(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detected || res.Faulted {
+			t.Fatalf("packet %d: detected=%v faulted=%v", i, res.Detected, res.Faulted)
+		}
+	}
+	s := np.Stats()
+	if s.Processed != 50 || s.Forwarded != 50 || s.Alarms != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if name, ok := np.AppOn(0); !ok || name != "ipv4cm" {
+		t.Errorf("AppOn = %q, %v", name, ok)
+	}
+}
+
+func TestRoundRobinDispatch(t *testing.T) {
+	np := newNP(t, 3, true)
+	bin, g := makeBundle(t, apps.Counter(), 0x77)
+	if err := np.InstallAll("counter", bin, g, 0x77); err != nil {
+		t.Fatal(err)
+	}
+	gen := packet.NewGenerator(2)
+	seen := map[int]int{}
+	for i := 0; i < 9; i++ {
+		res, err := np.Process(gen.Next(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[res.Core]++
+	}
+	for c := 0; c < 3; c++ {
+		if seen[c] != 3 {
+			t.Errorf("core %d got %d packets, want 3 (%v)", c, seen[c], seen)
+		}
+	}
+}
+
+func TestInstallValidatesBundle(t *testing.T) {
+	np := newNP(t, 1, true)
+	bin, g := makeBundle(t, apps.IPv4CM(), 5)
+	// Wrong parameter: graph hashes will not match.
+	if err := np.Install(0, "x", bin, g, 6); err == nil {
+		t.Error("mismatched parameter accepted")
+	}
+	if err := np.Install(0, "x", []byte("junk"), g, 5); err == nil {
+		t.Error("junk binary accepted")
+	}
+	if err := np.Install(0, "x", bin, []byte("junk"), 5); err == nil {
+		t.Error("junk graph accepted")
+	}
+	if err := np.Install(5, "x", bin, g, 5); err == nil {
+		t.Error("core out of range accepted")
+	}
+}
+
+func TestProcessWithoutInstall(t *testing.T) {
+	np := newNP(t, 1, true)
+	if _, err := np.Process([]byte{1, 2, 3}, 0); err == nil {
+		t.Error("process without app accepted")
+	}
+	if _, err := np.ProcessOn(0, []byte{1}, 0); err == nil {
+		t.Error("ProcessOn unloaded core accepted")
+	}
+	if _, err := np.Scratch(0, 0, 4); err == nil {
+		t.Error("Scratch on unloaded core accepted")
+	}
+	if _, _, _, err := np.MonitorStats(0); err == nil {
+		t.Error("MonitorStats on unloaded core accepted")
+	}
+}
+
+func TestAttackDetectedAndRecovered(t *testing.T) {
+	np := newNP(t, 2, true)
+	bin, g := makeBundle(t, apps.IPv4CM(), 0xFACE)
+	if err := np.InstallAll("ipv4cm", bin, g, 0xFACE); err != nil {
+		t.Fatal(err)
+	}
+	smash := attack.DefaultSmash()
+	code, err := smash.HijackPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := smash.CraftPacket(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := np.Process(atk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatal("attack not detected")
+	}
+	if res.Verdict != apps.VerdictDrop {
+		t.Error("detected attack not dropped")
+	}
+	// Recovery: the same core keeps processing benign traffic afterwards.
+	gen := packet.NewGenerator(3)
+	for i := 0; i < 20; i++ {
+		res, err := np.Process(gen.Next(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detected {
+			t.Fatalf("false alarm after recovery at packet %d", i)
+		}
+	}
+	s := np.Stats()
+	if s.Alarms != 1 {
+		t.Errorf("alarms = %d, want 1", s.Alarms)
+	}
+	if _, alarms, _, err := np.MonitorStats(res.Core); err != nil || alarms > 1 {
+		t.Errorf("monitor stats: alarms=%d err=%v", alarms, err)
+	}
+}
+
+func TestUnmonitoredNPIsHijacked(t *testing.T) {
+	// The baseline of the security argument: without monitors the same
+	// packet owns the core.
+	np := newNP(t, 1, false)
+	bin, g := makeBundle(t, apps.IPv4CM(), 0xFACE)
+	if err := np.InstallAll("ipv4cm", bin, g, 0xFACE); err != nil {
+		t.Fatal(err)
+	}
+	smash := attack.DefaultSmash()
+	code, err := smash.HijackPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := smash.CraftPacket(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := np.Process(atk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Fatal("monitors disabled but attack detected")
+	}
+	if !attack.Succeeded(toPacketResult(res)) {
+		t.Fatalf("hijack should succeed unmonitored: verdict=%d", res.Verdict)
+	}
+}
+
+func toPacketResult(r Result) apps.PacketResult {
+	return apps.PacketResult{Verdict: r.Verdict, Packet: r.Packet}
+}
+
+func TestPerCoreInstallDifferentApps(t *testing.T) {
+	np := newNP(t, 2, true)
+	binA, gA := makeBundle(t, apps.UDPEcho(), 1)
+	binB, gB := makeBundle(t, apps.Counter(), 2)
+	if err := np.Install(0, "udpecho", binA, gA, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := np.Install(1, "counter", binB, gB, 2); err != nil {
+		t.Fatal(err)
+	}
+	gen := packet.NewGenerator(4)
+	pkt := gen.Next()
+	if _, err := np.ProcessOn(0, pkt, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := np.ProcessOn(1, pkt, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := np.AppOn(0); a != "udpecho" {
+		t.Errorf("core 0 app = %s", a)
+	}
+	if a, _ := np.AppOn(1); a != "counter" {
+		t.Errorf("core 1 app = %s", a)
+	}
+}
+
+func TestReinstallReplacesApp(t *testing.T) {
+	// The "Dynamics" requirement: cores are reprogrammed at runtime.
+	np := newNP(t, 1, true)
+	binA, gA := makeBundle(t, apps.IPv4CM(), 10)
+	if err := np.Install(0, "ipv4cm", binA, gA, 10); err != nil {
+		t.Fatal(err)
+	}
+	gen := packet.NewGenerator(5)
+	if _, err := np.Process(gen.Next(), 0); err != nil {
+		t.Fatal(err)
+	}
+	binB, gB := makeBundle(t, apps.UDPEcho(), 11)
+	if err := np.Install(0, "udpecho", binB, gB, 11); err != nil {
+		t.Fatal(err)
+	}
+	res, err := np.Process(gen.Next(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Error("false alarm after reinstallation")
+	}
+	if a, _ := np.AppOn(0); a != "udpecho" {
+		t.Errorf("app after reinstall = %s", a)
+	}
+}

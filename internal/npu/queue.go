@@ -1,0 +1,157 @@
+package npu
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// QueueSim runs the NP behind an ingress queue in virtual time, making the
+// queue depth the applications see *endogenous*: packets arrive by a
+// Poisson-ish process, cores drain the queue at their actual simulated
+// cycle cost, and the congestion-management path of IPv4+CM marks packets
+// exactly when the real backlog crosses its threshold.
+type QueueSim struct {
+	NP *NP
+	// Capacity is the ingress queue limit; arrivals beyond it tail-drop.
+	Capacity int
+	// MeanInterArrival is the average cycles between arrivals.
+	MeanInterArrival float64
+	// Seed drives the arrival process.
+	Seed int64
+}
+
+// QueueStats summarizes a queued run.
+type QueueStats struct {
+	Arrived   int
+	TailDrops int // dropped at the full ingress queue
+	Processed int
+	Forwarded int
+	ECNMarked int // forwarded packets carrying the CE mark
+	AppDrops  int
+	MaxQueue  int
+	AvgQueue  float64
+	Cycles    uint64 // virtual time consumed
+	// ServiceCycles is the total core time spent processing; divided by
+	// Cycles (× cores) it gives the utilization.
+	ServiceCycles uint64
+}
+
+// Utilization returns the busy fraction of the NP's cores over the run.
+func (s QueueStats) Utilization(cores int) float64 {
+	if s.Cycles == 0 || cores == 0 {
+		return 0
+	}
+	return float64(s.ServiceCycles) / (float64(s.Cycles) * float64(cores))
+}
+
+// Run feeds n generated packets through the queue.
+func (q *QueueSim) Run(n int, gen func() []byte) (QueueStats, error) {
+	var st QueueStats
+	if q.Capacity < 1 {
+		return st, fmt.Errorf("npu: queue capacity %d", q.Capacity)
+	}
+	if q.MeanInterArrival <= 0 {
+		return st, fmt.Errorf("npu: mean inter-arrival %f", q.MeanInterArrival)
+	}
+	rng := rand.New(rand.NewSource(q.Seed))
+	cores := q.NP.Cores()
+	busyUntil := make([]uint64, cores)
+	var queue [][]byte
+	var clock uint64
+	nextArrival := uint64(0)
+	arrivals := 0
+	var queueAreaCycles float64
+	lastClock := uint64(0)
+
+	draw := func() uint64 {
+		// Exponential inter-arrival, floored at 1 cycle.
+		d := rng.ExpFloat64() * q.MeanInterArrival
+		if d < 1 {
+			d = 1
+		}
+		return uint64(d)
+	}
+
+	for arrivals < n || len(queue) > 0 || anyBusy(busyUntil, clock) {
+		// Advance virtual time to the next event.
+		next := ^uint64(0)
+		if arrivals < n && nextArrival < next {
+			next = nextArrival
+		}
+		for _, b := range busyUntil {
+			if b > clock && b < next {
+				next = b
+			}
+		}
+		// A free core with a queued packet is an immediate event.
+		if len(queue) > 0 {
+			for _, b := range busyUntil {
+				if b <= clock {
+					next = clock
+					break
+				}
+			}
+		}
+		if next == ^uint64(0) {
+			break
+		}
+		queueAreaCycles += float64(len(queue)) * float64(next-lastClock)
+		lastClock = next
+		clock = next
+
+		// Arrival.
+		if arrivals < n && clock >= nextArrival {
+			pkt := gen()
+			arrivals++
+			st.Arrived++
+			if len(queue) >= q.Capacity {
+				st.TailDrops++
+			} else {
+				queue = append(queue, pkt)
+				if len(queue) > st.MaxQueue {
+					st.MaxQueue = len(queue)
+				}
+			}
+			nextArrival = clock + draw()
+		}
+
+		// Dispatch to every free core.
+		for c := 0; c < cores && len(queue) > 0; c++ {
+			if busyUntil[c] > clock {
+				continue
+			}
+			pkt := queue[0]
+			queue = queue[1:]
+			res, err := q.NP.ProcessOn(c, pkt, len(queue))
+			if err != nil {
+				return st, err
+			}
+			st.Processed++
+			st.ServiceCycles += res.Cycles
+			busyUntil[c] = clock + res.Cycles
+			switch {
+			case res.Verdict == 1 && !res.Detected && !res.Faulted:
+				st.Forwarded++
+				if len(res.Packet) > 1 && res.Packet[1]&0x3 == 0x3 {
+					st.ECNMarked++
+				}
+			default:
+				st.AppDrops++
+			}
+		}
+	}
+	st.Cycles = clock
+	if clock > 0 {
+		st.AvgQueue = queueAreaCycles / float64(clock)
+	}
+	return st, nil
+}
+
+func anyBusy(busy []uint64, clock uint64) bool {
+	for _, b := range busy {
+		if b > clock {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,171 @@
+package npu
+
+import (
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/attack"
+	"sdmmon/internal/packet"
+)
+
+func queuedNP(t *testing.T, cores int) *NP {
+	t.Helper()
+	np := newNP(t, cores, true)
+	bin, g := makeBundle(t, apps.IPv4CM(), 0x600D)
+	if err := np.InstallAll("ipv4cm", bin, g, 0x600D); err != nil {
+		t.Fatal(err)
+	}
+	return np
+}
+
+func TestQueueSimValidation(t *testing.T) {
+	np := queuedNP(t, 1)
+	q := &QueueSim{NP: np, Capacity: 0, MeanInterArrival: 10}
+	if _, err := q.Run(1, nil); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	q = &QueueSim{NP: np, Capacity: 10, MeanInterArrival: 0}
+	if _, err := q.Run(1, nil); err == nil {
+		t.Error("zero inter-arrival accepted")
+	}
+}
+
+func TestQueueLightLoadNoPressure(t *testing.T) {
+	np := queuedNP(t, 2)
+	gen := packet.NewGenerator(1)
+	// Processing takes ~80 cycles/packet on one of two cores; arrivals
+	// every ~400 cycles leave the queue empty.
+	q := &QueueSim{NP: np, Capacity: 64, MeanInterArrival: 400, Seed: 1}
+	st, err := q.Run(500, gen.Next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TailDrops != 0 {
+		t.Errorf("tail drops under light load: %d", st.TailDrops)
+	}
+	if st.ECNMarked != 0 {
+		t.Errorf("CE marks under light load: %d", st.ECNMarked)
+	}
+	if st.Forwarded != st.Processed {
+		t.Errorf("forwarded %d != processed %d", st.Forwarded, st.Processed)
+	}
+	if st.AvgQueue > 1.0 {
+		t.Errorf("avg queue %f under light load", st.AvgQueue)
+	}
+}
+
+func TestQueueOverloadMarksAndDrops(t *testing.T) {
+	np := queuedNP(t, 1)
+	gen := packet.NewGenerator(2)
+	// One core at ~80+ cycles/packet with arrivals every ~20 cycles is a
+	// 4-5x overload: the queue saturates, CM marks, the tail drops.
+	q := &QueueSim{NP: np, Capacity: 64, MeanInterArrival: 20, Seed: 2}
+	st, err := q.Run(2000, gen.Next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TailDrops == 0 {
+		t.Error("no tail drops under 4x overload")
+	}
+	if st.ECNMarked == 0 {
+		t.Error("congestion management never marked under overload")
+	}
+	if st.MaxQueue < apps.CMThreshold {
+		t.Errorf("max queue %d below the CM threshold", st.MaxQueue)
+	}
+	if st.Arrived != 2000 {
+		t.Errorf("arrived %d", st.Arrived)
+	}
+	if st.Processed+st.TailDrops != st.Arrived {
+		t.Errorf("accounting: %d processed + %d dropped != %d arrived",
+			st.Processed, st.TailDrops, st.Arrived)
+	}
+}
+
+func TestQueueLoadSweepMonotone(t *testing.T) {
+	// Marking fraction grows with offered load.
+	prevMarked := -1.0
+	for _, ia := range []float64{200, 60, 25} {
+		np := queuedNP(t, 1)
+		gen := packet.NewGenerator(3)
+		q := &QueueSim{NP: np, Capacity: 64, MeanInterArrival: ia, Seed: 3}
+		st, err := q.Run(1500, gen.Next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac := 0.0
+		if st.Forwarded > 0 {
+			frac = float64(st.ECNMarked) / float64(st.Forwarded)
+		}
+		if frac < prevMarked {
+			t.Errorf("marking fraction fell from %.3f to %.3f as load rose", prevMarked, frac)
+		}
+		prevMarked = frac
+	}
+}
+
+func TestQueueAttacksDetectedUnderLoad(t *testing.T) {
+	// Detection must hold up under queue pressure: interleave attack
+	// packets into an overloaded arrival stream.
+	np := queuedNP(t, 2)
+	gen := packet.NewGenerator(5)
+	smash := attackSmash(t)
+	i := 0
+	mix := func() []byte {
+		i++
+		if i%40 == 0 {
+			return smash
+		}
+		return gen.Next()
+	}
+	q := &QueueSim{NP: np, Capacity: 64, MeanInterArrival: 25, Seed: 5}
+	st, err := q.Run(2000, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := np.Stats()
+	if s.Alarms == 0 {
+		t.Error("no attacks detected under load")
+	}
+	// Every alarm corresponds to an app-level drop (recovery).
+	if st.AppDrops < int(s.Alarms) {
+		t.Errorf("app drops %d < alarms %d", st.AppDrops, s.Alarms)
+	}
+}
+
+func attackSmash(t *testing.T) []byte {
+	t.Helper()
+	smash := attack.DefaultSmash()
+	code, err := smash.HijackPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := smash.CraftPacket(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+func TestQueueMoreCoresRelievePressure(t *testing.T) {
+	run := func(cores int) QueueStats {
+		np := queuedNP(t, cores)
+		gen := packet.NewGenerator(4)
+		q := &QueueSim{NP: np, Capacity: 64, MeanInterArrival: 30, Seed: 4}
+		st, err := q.Run(1500, gen.Next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	one := run(1)
+	four := run(4)
+	if four.TailDrops >= one.TailDrops && one.TailDrops > 0 {
+		t.Errorf("4 cores (%d drops) should beat 1 core (%d drops)",
+			four.TailDrops, one.TailDrops)
+	}
+	if four.AvgQueue >= one.AvgQueue && one.AvgQueue > 0.5 {
+		t.Errorf("4 cores avg queue %.2f should beat 1 core %.2f",
+			four.AvgQueue, one.AvgQueue)
+	}
+}

@@ -1,0 +1,171 @@
+// Package packet provides the IPv4/UDP packet representation, parsing and
+// construction used by the data plane: traffic generators build packets,
+// the network processor cores parse and rewrite them in simulated memory,
+// and the attack models craft malformed ones (§1: attacks "launched through
+// the data plane by simply sending malformed data packets").
+//
+// The NP cores process packets at layer 3 (the dispatcher strips layer 2),
+// so the wire format here starts at the IPv4 header.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Protocol numbers used by the applications.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// MaxLen is the largest packet the NP accepts (Ethernet MTU class).
+const MaxLen = 1536
+
+// IPv4 is a parsed IPv4 header plus payload.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Proto    uint8
+	Src, Dst [4]byte
+	Options  []byte // 0–40 bytes, multiple of 4
+	Payload  []byte
+}
+
+// HeaderLen returns the header length in bytes (20 + options).
+func (p *IPv4) HeaderLen() int { return 20 + len(p.Options) }
+
+// TotalLen returns the datagram length in bytes.
+func (p *IPv4) TotalLen() int { return p.HeaderLen() + len(p.Payload) }
+
+// Marshal serializes the packet with a correct header checksum.
+func (p *IPv4) Marshal() ([]byte, error) {
+	if len(p.Options) > 40 || len(p.Options)%4 != 0 {
+		return nil, fmt.Errorf("packet: options length %d invalid", len(p.Options))
+	}
+	if p.TotalLen() > MaxLen {
+		return nil, fmt.Errorf("packet: total length %d exceeds %d", p.TotalLen(), MaxLen)
+	}
+	ihl := 5 + len(p.Options)/4
+	b := make([]byte, p.TotalLen())
+	b[0] = 4<<4 | uint8(ihl)
+	b[1] = p.TOS
+	binary.BigEndian.PutUint16(b[2:], uint16(p.TotalLen()))
+	binary.BigEndian.PutUint16(b[4:], p.ID)
+	binary.BigEndian.PutUint16(b[6:], uint16(p.Flags)<<13|p.FragOff&0x1FFF)
+	b[8] = p.TTL
+	b[9] = p.Proto
+	copy(b[12:16], p.Src[:])
+	copy(b[16:20], p.Dst[:])
+	copy(b[20:], p.Options)
+	copy(b[20+len(p.Options):], p.Payload)
+	cs := Checksum(b[:20+len(p.Options)])
+	binary.BigEndian.PutUint16(b[10:], cs)
+	return b, nil
+}
+
+// ParseIPv4 parses a wire-format packet. It accepts packets with incorrect
+// checksums (flagged via ChecksumOK) because the data plane must be able to
+// inspect malformed traffic.
+func ParseIPv4(b []byte) (*IPv4, error) {
+	if len(b) < 20 {
+		return nil, fmt.Errorf("packet: %d bytes too short for IPv4", len(b))
+	}
+	if v := b[0] >> 4; v != 4 {
+		return nil, fmt.Errorf("packet: version %d", v)
+	}
+	ihl := int(b[0]&0xF) * 4
+	if ihl < 20 || ihl > len(b) {
+		return nil, fmt.Errorf("packet: header length %d invalid for %d bytes", ihl, len(b))
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total < ihl || total > len(b) {
+		return nil, fmt.Errorf("packet: total length %d invalid", total)
+	}
+	p := &IPv4{
+		TOS:     b[1],
+		ID:      binary.BigEndian.Uint16(b[4:]),
+		Flags:   uint8(binary.BigEndian.Uint16(b[6:]) >> 13),
+		FragOff: binary.BigEndian.Uint16(b[6:]) & 0x1FFF,
+		TTL:     b[8],
+		Proto:   b[9],
+	}
+	copy(p.Src[:], b[12:16])
+	copy(p.Dst[:], b[16:20])
+	p.Options = append([]byte(nil), b[20:ihl]...)
+	p.Payload = append([]byte(nil), b[ihl:total]...)
+	return p, nil
+}
+
+// Checksum computes the IPv4 header checksum over hdr (checksum field
+// treated as zero).
+func Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 { // checksum field itself
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	if len(hdr)%2 == 1 {
+		sum += uint32(hdr[len(hdr)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ChecksumOK verifies the header checksum of a wire-format packet.
+func ChecksumOK(b []byte) bool {
+	if len(b) < 20 {
+		return false
+	}
+	ihl := int(b[0]&0xF) * 4
+	if ihl < 20 || ihl > len(b) {
+		return false
+	}
+	return Checksum(b[:ihl]) == binary.BigEndian.Uint16(b[10:])
+}
+
+// UDP is a UDP header plus payload, carried in IPv4.Payload.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// Marshal serializes the UDP datagram (checksum zero: optional in IPv4).
+func (u *UDP) Marshal() []byte {
+	b := make([]byte, 8+len(u.Payload))
+	binary.BigEndian.PutUint16(b[0:], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:], uint16(8+len(u.Payload)))
+	copy(b[8:], u.Payload)
+	return b
+}
+
+// ParseUDP parses a UDP datagram.
+func ParseUDP(b []byte) (*UDP, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("packet: %d bytes too short for UDP", len(b))
+	}
+	l := int(binary.BigEndian.Uint16(b[4:]))
+	if l < 8 || l > len(b) {
+		return nil, fmt.Errorf("packet: UDP length %d invalid", l)
+	}
+	return &UDP{
+		SrcPort: binary.BigEndian.Uint16(b[0:]),
+		DstPort: binary.BigEndian.Uint16(b[2:]),
+		Payload: append([]byte(nil), b[8:l]...),
+	}, nil
+}
+
+// Addr formats a 4-byte address.
+func Addr(a [4]byte) string { return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3]) }
+
+// IP builds a 4-byte address.
+func IP(a, b, c, d byte) [4]byte { return [4]byte{a, b, c, d} }

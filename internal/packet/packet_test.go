@@ -1,0 +1,182 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func samplePacket() *IPv4 {
+	return &IPv4{
+		TOS:     0x20,
+		ID:      0x1234,
+		Flags:   2,
+		FragOff: 0,
+		TTL:     64,
+		Proto:   ProtoUDP,
+		Src:     IP(10, 1, 2, 3),
+		Dst:     IP(192, 168, 0, 9),
+		Options: []byte{0x44, 0, 0, 0},
+		Payload: []byte("hello world"),
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	p := samplePacket()
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ChecksumOK(b) {
+		t.Error("marshal produced bad checksum")
+	}
+	q, err := ParseIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TOS != p.TOS || q.ID != p.ID || q.Flags != p.Flags || q.TTL != p.TTL ||
+		q.Proto != p.Proto || q.Src != p.Src || q.Dst != p.Dst {
+		t.Errorf("fields mismatch: %+v vs %+v", q, p)
+	}
+	if !bytes.Equal(q.Options, p.Options) || !bytes.Equal(q.Payload, p.Payload) {
+		t.Error("options/payload mismatch")
+	}
+}
+
+func TestMarshalValidation(t *testing.T) {
+	p := samplePacket()
+	p.Options = make([]byte, 44) // > 40
+	if _, err := p.Marshal(); err == nil {
+		t.Error("oversized options accepted")
+	}
+	p = samplePacket()
+	p.Options = make([]byte, 3) // not multiple of 4
+	if _, err := p.Marshal(); err == nil {
+		t.Error("unaligned options accepted")
+	}
+	p = samplePacket()
+	p.Payload = make([]byte, MaxLen)
+	if _, err := p.Marshal(); err == nil {
+		t.Error("oversized packet accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseIPv4(make([]byte, 10)); err == nil {
+		t.Error("short packet accepted")
+	}
+	b, _ := samplePacket().Marshal()
+	b6 := append([]byte(nil), b...)
+	b6[0] = 0x65
+	if _, err := ParseIPv4(b6); err == nil {
+		t.Error("IPv6 version accepted")
+	}
+	bad := append([]byte(nil), b...)
+	bad[0] = 0x4F // ihl=60 > packet
+	bad = bad[:24]
+	if _, err := ParseIPv4(bad); err == nil {
+		t.Error("ihl beyond packet accepted")
+	}
+	badTotal := append([]byte(nil), b...)
+	badTotal[2], badTotal[3] = 0xFF, 0xFF
+	if _, err := ParseIPv4(badTotal); err == nil {
+		t.Error("total length beyond packet accepted")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	b, _ := samplePacket().Marshal()
+	b[8]-- // TTL change without checksum update
+	if ChecksumOK(b) {
+		t.Error("corrupted header passed checksum")
+	}
+	if ChecksumOK([]byte{1}) {
+		t.Error("tiny buffer passed checksum")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := &UDP{SrcPort: 5353, DstPort: 53, Payload: []byte("dns?")}
+	b := u.Marshal()
+	v, err := ParseUDP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SrcPort != u.SrcPort || v.DstPort != u.DstPort || !bytes.Equal(v.Payload, u.Payload) {
+		t.Error("udp mismatch")
+	}
+	if _, err := ParseUDP([]byte{1, 2}); err == nil {
+		t.Error("short UDP accepted")
+	}
+	short := u.Marshal()
+	short[4], short[5] = 0, 2 // length < 8
+	if _, err := ParseUDP(short); err == nil {
+		t.Error("bad UDP length accepted")
+	}
+}
+
+func TestGeneratorProducesValidTraffic(t *testing.T) {
+	g := NewGenerator(42)
+	g.OptionWords = 2
+	for i := 0; i < 200; i++ {
+		b := g.Next()
+		if !ChecksumOK(b) {
+			t.Fatalf("packet %d: bad checksum", i)
+		}
+		p, err := ParseIPv4(b)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if p.TTL == 0 {
+			t.Fatalf("packet %d: zero TTL", i)
+		}
+		if len(p.Options) != 8 {
+			t.Fatalf("packet %d: %d option bytes", i, len(p.Options))
+		}
+		if p.Proto == ProtoUDP {
+			if _, err := ParseUDP(p.Payload); err != nil {
+				t.Fatalf("packet %d: bad UDP: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a, b := NewGenerator(7), NewGenerator(7)
+	for i := 0; i < 20; i++ {
+		if !bytes.Equal(a.Next(), b.Next()) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestAddrFormatting(t *testing.T) {
+	if got := Addr(IP(1, 2, 3, 4)); got != "1.2.3.4" {
+		t.Errorf("Addr = %q", got)
+	}
+}
+
+// Property: marshal → parse → marshal is a fixed point.
+func TestQuickRoundTripStable(t *testing.T) {
+	f := func(tos, ttl, proto uint8, id uint16, payloadLen uint8) bool {
+		p := &IPv4{TOS: tos, ID: id, TTL: ttl, Proto: proto,
+			Src: IP(1, 2, 3, 4), Dst: IP(5, 6, 7, 8),
+			Payload: make([]byte, int(payloadLen))}
+		b1, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		q, err := ParseIPv4(b1)
+		if err != nil {
+			return false
+		}
+		b2, err := q.Marshal()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(b1, b2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package seccrypto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Certificate is the manufacturer-issued credential of §3.1 ("at
+// installation time"): the network operator's public key signed with the
+// manufacturer's private key, establishing the device's chain of trust.
+type Certificate struct {
+	Subject   string // operator name
+	KeyDER    []byte // operator public key, PKIX DER
+	Serial    uint64
+	Signature []byte // manufacturer signature over the fields above
+}
+
+// certBody serializes the signed portion deterministically.
+func certBody(subject string, keyDER []byte, serial uint64) []byte {
+	var b bytes.Buffer
+	b.WriteString("SDMC")
+	writeBytes(&b, []byte(subject))
+	writeBytes(&b, keyDER)
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], serial)
+	b.Write(s[:])
+	return b.Bytes()
+}
+
+// Marshal serializes the certificate.
+func (c *Certificate) Marshal() []byte {
+	var b bytes.Buffer
+	b.Write(certBody(c.Subject, c.KeyDER, c.Serial))
+	writeBytes(&b, c.Signature)
+	return b.Bytes()
+}
+
+// UnmarshalCertificate parses a certificate produced by Marshal.
+func UnmarshalCertificate(data []byte) (*Certificate, error) {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := r.Read(magic[:]); err != nil || string(magic[:]) != "SDMC" {
+		return nil, fmt.Errorf("seccrypto: bad certificate magic")
+	}
+	subject, err := readBytes(r)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: certificate subject: %w", err)
+	}
+	keyDER, err := readBytes(r)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: certificate key: %w", err)
+	}
+	var serial uint64
+	if err := binary.Read(r, binary.BigEndian, &serial); err != nil {
+		return nil, fmt.Errorf("seccrypto: certificate serial: %w", err)
+	}
+	sig, err := readBytes(r)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: certificate signature: %w", err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("seccrypto: %d trailing certificate bytes", r.Len())
+	}
+	return &Certificate{Subject: string(subject), KeyDER: keyDER, Serial: serial, Signature: sig}, nil
+}
+
+func writeBytes(b *bytes.Buffer, p []byte) {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(p)))
+	b.Write(l[:])
+	b.Write(p)
+}
+
+func readBytes(r *bytes.Reader) ([]byte, error) {
+	var l [4]byte
+	if _, err := r.Read(l[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(l[:])
+	if int(n) > r.Len() {
+		return nil, fmt.Errorf("length %d exceeds remaining %d", n, r.Len())
+	}
+	p := make([]byte, n)
+	if _, err := r.Read(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

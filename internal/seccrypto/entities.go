@@ -1,0 +1,104 @@
+package seccrypto
+
+import (
+	"fmt"
+	"io"
+)
+
+// Manufacturer is the root of trust (§2.2): it provisions devices with key
+// pairs at manufacturing time and issues certificates to network operators
+// at installation time.
+type Manufacturer struct {
+	Name   string
+	key    *KeyPair
+	serial uint64
+}
+
+// NewManufacturer creates a manufacturer with a fresh key pair.
+func NewManufacturer(name string, rng io.Reader) (*Manufacturer, error) {
+	k, err := GenerateKeyPair(rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Manufacturer{Name: name, key: k}, nil
+}
+
+// DeviceIdentity is the secret material configured into a network processor
+// at manufacturing time: the router key pair (K_R+/K_R-) and the
+// manufacturer's public key as root of trust.
+type DeviceIdentity struct {
+	ID  string
+	key *KeyPair
+	mfr *KeyPair // only the public half is used
+}
+
+// ProvisionDevice performs the "at manufacturing time" step of §3.1.
+func (m *Manufacturer) ProvisionDevice(id string, rng io.Reader) (*DeviceIdentity, error) {
+	k, err := GenerateKeyPair(rng)
+	if err != nil {
+		return nil, err
+	}
+	return &DeviceIdentity{ID: id, key: k, mfr: m.key}, nil
+}
+
+// IssueCertificate performs the "at installation time" step of §3.1: the
+// manufacturer signs the operator's public key, so devices can establish a
+// chain of trust to the operator.
+func (m *Manufacturer) IssueCertificate(operator *Operator) (*Certificate, error) {
+	m.serial++
+	keyDER := MarshalPublicKey(operator.keys.Public())
+	sig, err := m.key.sign(certBody(operator.Name, keyDER, m.serial))
+	if err != nil {
+		return nil, err
+	}
+	return &Certificate{Subject: operator.Name, KeyDER: keyDER, Serial: m.serial, Signature: sig}, nil
+}
+
+// Operator is the network operator: it programs devices by generating
+// monitoring graphs, drawing hash parameters and shipping signed, encrypted
+// packages.
+type Operator struct {
+	Name string
+	keys *KeyPair
+	cert *Certificate
+}
+
+// NewOperator creates an operator with a fresh key pair. The certificate is
+// attached later via SetCertificate once the manufacturer issues it.
+func NewOperator(name string, rng io.Reader) (*Operator, error) {
+	k, err := GenerateKeyPair(rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Operator{Name: name, keys: k}, nil
+}
+
+// SetCertificate attaches the manufacturer-issued certificate.
+func (o *Operator) SetCertificate(c *Certificate) { o.cert = c }
+
+// Certificate returns the attached certificate (nil before installation).
+func (o *Operator) Certificate() *Certificate { return o.cert }
+
+// PublicKeyDER returns the operator public key in PKIX DER form.
+func (o *Operator) PublicKeyDER() []byte { return MarshalPublicKey(o.keys.Public()) }
+
+// DevicePublic describes the target router for package encryption: its
+// identity and public key. Operators learn these out of band (inventory).
+type DevicePublic struct {
+	ID     string
+	KeyDER []byte
+}
+
+// PublicInfo exports the device's public identity for the operator's
+// inventory.
+func (d *DeviceIdentity) PublicInfo() DevicePublic {
+	return DevicePublic{ID: d.ID, KeyDER: MarshalPublicKey(d.key.Public())}
+}
+
+// validate checks internal invariants before use.
+func (d *DeviceIdentity) validate() error {
+	if d.key == nil || d.mfr == nil {
+		return fmt.Errorf("seccrypto: device %q not provisioned", d.ID)
+	}
+	return nil
+}

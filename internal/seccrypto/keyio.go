@@ -1,0 +1,83 @@
+package seccrypto
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/pem"
+	"fmt"
+	"io"
+)
+
+// This file provides PEM persistence for entity key material so the
+// cmd/sdmmon tool can operate across invocations, plus constructors that
+// rebuild entities from stored keys.
+
+// MarshalKeyPairPEM serializes the private key (PKCS#8 PEM).
+func (k *KeyPair) MarshalPEM() ([]byte, error) {
+	der, err := x509.MarshalPKCS8PrivateKey(k.priv)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: marshal private key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "PRIVATE KEY", Bytes: der}), nil
+}
+
+// UnmarshalKeyPairPEM parses a PKCS#8 PEM private key.
+func UnmarshalKeyPairPEM(data []byte) (*KeyPair, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != "PRIVATE KEY" {
+		return nil, fmt.Errorf("seccrypto: no PRIVATE KEY block")
+	}
+	k, err := x509.ParsePKCS8PrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: parse private key: %w", err)
+	}
+	priv, ok := k.(*rsa.PrivateKey)
+	if !ok {
+		return nil, fmt.Errorf("seccrypto: private key is %T, want RSA", k)
+	}
+	return &KeyPair{priv: priv}, nil
+}
+
+// Keys returns the entity's key pair for persistence.
+func (m *Manufacturer) Keys() *KeyPair { return m.key }
+
+// Keys returns the entity's key pair for persistence.
+func (o *Operator) Keys() *KeyPair { return o.keys }
+
+// Keys returns the device key pair for persistence.
+func (d *DeviceIdentity) Keys() *KeyPair { return d.key }
+
+// NewManufacturerWithKeys rebuilds a manufacturer from stored keys.
+func NewManufacturerWithKeys(name string, keys *KeyPair, nextSerial uint64) *Manufacturer {
+	return &Manufacturer{Name: name, key: keys, serial: nextSerial}
+}
+
+// NewOperatorWithKeys rebuilds an operator from stored keys (attach the
+// certificate separately).
+func NewOperatorWithKeys(name string, keys *KeyPair) *Operator {
+	return &Operator{Name: name, keys: keys}
+}
+
+// NewDeviceIdentityWithKeys rebuilds a device identity from its stored key
+// pair and the manufacturer root-of-trust public key (DER).
+func NewDeviceIdentityWithKeys(id string, keys *KeyPair, mfrPubDER []byte) (*DeviceIdentity, error) {
+	pub, err := UnmarshalPublicKey(mfrPubDER)
+	if err != nil {
+		return nil, err
+	}
+	return &DeviceIdentity{ID: id, key: keys, mfr: &KeyPair{priv: &rsa.PrivateKey{PublicKey: *pub}}}, nil
+}
+
+// ManufacturerPublicDER exports the root-of-trust public key for device
+// provisioning records.
+func (m *Manufacturer) PublicDER() []byte { return MarshalPublicKey(m.key.Public()) }
+
+// WriteTo is a small helper so callers can stream PEM material.
+func WritePEM(w io.Writer, k *KeyPair) error {
+	b, err := k.MarshalPEM()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

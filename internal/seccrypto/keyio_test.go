@@ -1,0 +1,129 @@
+package seccrypto
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+func TestKeyPairPEMRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	pemBytes, err := f.op.Keys().MarshalPEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(pemBytes, []byte("PRIVATE KEY")) {
+		t.Error("PEM missing header")
+	}
+	k, err := UnmarshalKeyPairPEM(pemBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Public().N.Cmp(f.op.Keys().Public().N) != 0 {
+		t.Error("modulus changed in round trip")
+	}
+}
+
+func TestUnmarshalKeyPairPEMErrors(t *testing.T) {
+	if _, err := UnmarshalKeyPairPEM([]byte("not pem")); err == nil {
+		t.Error("junk accepted")
+	}
+	if _, err := UnmarshalKeyPairPEM([]byte("-----BEGIN CERTIFICATE-----\nAAAA\n-----END CERTIFICATE-----\n")); err == nil {
+		t.Error("wrong block type accepted")
+	}
+}
+
+func TestRebuiltEntitiesInteroperate(t *testing.T) {
+	f := getFixture(t)
+	// Serialize all three entities and rebuild them, then run the full
+	// package path across the rebuilt instances.
+	mfrPEM, err := f.mfr.Keys().MarshalPEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfrKeys, err := UnmarshalKeyPairPEM(mfrPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfr2 := NewManufacturerWithKeys(f.mfr.Name, mfrKeys, 100)
+
+	opPEM, err := f.op.Keys().MarshalPEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opKeys, err := UnmarshalKeyPairPEM(opPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2 := NewOperatorWithKeys(f.op.Name, opKeys)
+	cert, err := mfr2.IssueCertificate(op2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Serial != 101 {
+		t.Errorf("serial = %d, want 101 (continued from stored state)", cert.Serial)
+	}
+	op2.SetCertificate(cert)
+
+	devPEM, err := f.dev.Keys().MarshalPEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devKeys, err := UnmarshalKeyPairPEM(devPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev2, err := NewDeviceIdentityWithKeys(f.dev.ID, devKeys, mfr2.PublicDER())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pkg, err := op2.BuildPackage(dev2.PublicInfo(), testBundle(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := dev2.OpenPackage(pkg, false)
+	if err != nil {
+		t.Fatalf("rebuilt entities cannot complete the protocol: %v", err)
+	}
+	if got.HashParam != testBundle().HashParam {
+		t.Error("bundle mismatch")
+	}
+}
+
+func TestNewDeviceIdentityWithKeysErrors(t *testing.T) {
+	f := getFixture(t)
+	if _, err := NewDeviceIdentityWithKeys("x", f.dev.Keys(), []byte("junk")); err == nil {
+		t.Error("junk manufacturer key accepted")
+	}
+}
+
+func TestBundleMarshalRoundTrip(t *testing.T) {
+	b := testBundle()
+	raw := b.Marshal()
+	got, err := UnmarshalBundle(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Binary, b.Binary) || !bytes.Equal(got.Graph, b.Graph) ||
+		got.HashParam != b.HashParam {
+		t.Error("bundle round-trip mismatch")
+	}
+	if _, err := UnmarshalBundle([]byte("nope")); err == nil {
+		t.Error("junk bundle accepted")
+	}
+	if _, err := UnmarshalBundle(raw[:len(raw)-2]); err == nil {
+		t.Error("truncated bundle accepted")
+	}
+}
+
+func TestWritePEM(t *testing.T) {
+	f := getFixture(t)
+	var buf bytes.Buffer
+	if err := WritePEM(&buf, f.op.Keys()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("PRIVATE KEY")) {
+		t.Error("WritePEM produced no PEM")
+	}
+}

@@ -1,0 +1,108 @@
+// Package seccrypto implements the cryptographic machinery of SDMMon's
+// system-level security architecture (§3): the three-entity key hierarchy
+// (network processor manufacturer → network operator → network processor
+// device), operator certificates, and the signed+encrypted package that
+// carries a processing binary, its monitoring graph and the secret hash
+// parameter to exactly one router.
+//
+// Algorithm choices follow the prototype (§4.2): RSA with 2048-bit keys for
+// signatures and key transport, AES for the bulk payload, SHA-256 digests.
+// Two deliberate hardening deviations from the 2014 OpenSSL defaults are
+// documented in DESIGN.md: OAEP (instead of PKCS#1 v1.5) for key transport
+// and the device identity bound inside the signed payload.
+package seccrypto
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"fmt"
+	"io"
+)
+
+// KeyBits is the RSA modulus size used by every entity, per §4.2.
+const KeyBits = 2048
+
+// KeyPair wraps an entity's RSA key pair.
+type KeyPair struct {
+	priv *rsa.PrivateKey
+}
+
+// GenerateKeyPair creates a fresh RSA-2048 key pair from rng (use
+// crypto/rand.Reader outside tests).
+func GenerateKeyPair(rng io.Reader) (*KeyPair, error) {
+	priv, err := rsa.GenerateKey(rng, KeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: keygen: %w", err)
+	}
+	return &KeyPair{priv: priv}, nil
+}
+
+// Public returns the public half.
+func (k *KeyPair) Public() *rsa.PublicKey { return &k.priv.PublicKey }
+
+// sign produces an RSA PKCS#1 v1.5 signature over SHA-256(msg).
+func (k *KeyPair) sign(msg []byte) ([]byte, error) {
+	d := sha256.Sum256(msg)
+	sig, err := rsa.SignPKCS1v15(rand.Reader, k.priv, crypto.SHA256, d[:])
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: sign: %w", err)
+	}
+	return sig, nil
+}
+
+// verify checks an RSA PKCS#1 v1.5 signature over SHA-256(msg).
+func verify(pub *rsa.PublicKey, msg, sig []byte) error {
+	d := sha256.Sum256(msg)
+	if err := rsa.VerifyPKCS1v15(pub, crypto.SHA256, d[:], sig); err != nil {
+		return fmt.Errorf("seccrypto: bad signature: %w", err)
+	}
+	return nil
+}
+
+// decryptKey recovers a session key encrypted to this key pair with
+// RSA-OAEP.
+func (k *KeyPair) decryptKey(enc []byte) ([]byte, error) {
+	key, err := rsa.DecryptOAEP(sha256.New(), nil, k.priv, enc, oaepLabel)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: session key decrypt: %w", err)
+	}
+	return key, nil
+}
+
+// encryptKeyTo wraps a session key to a recipient public key with RSA-OAEP.
+func encryptKeyTo(pub *rsa.PublicKey, key []byte, rng io.Reader) ([]byte, error) {
+	enc, err := rsa.EncryptOAEP(sha256.New(), rng, pub, key, oaepLabel)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: session key encrypt: %w", err)
+	}
+	return enc, nil
+}
+
+var oaepLabel = []byte("sdmmon-package-key-v1")
+
+// MarshalPublicKey serializes a public key (PKIX DER).
+func MarshalPublicKey(pub *rsa.PublicKey) []byte {
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		// rsa.PublicKey always marshals; an error here is a programming
+		// bug, not an input condition.
+		panic(fmt.Sprintf("seccrypto: marshal public key: %v", err))
+	}
+	return der
+}
+
+// UnmarshalPublicKey parses a PKIX DER public key and requires RSA.
+func UnmarshalPublicKey(der []byte) (*rsa.PublicKey, error) {
+	k, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: parse public key: %w", err)
+	}
+	pub, ok := k.(*rsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("seccrypto: public key is %T, want RSA", k)
+	}
+	return pub, nil
+}

@@ -1,0 +1,83 @@
+package seccrypto
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+	"testing"
+)
+
+// The package parser and the full verification pipeline face
+// attacker-supplied bytes directly (AC1: the attacker can inject any
+// traffic). Arbitrary corruption must produce errors — never panics, and
+// never a successfully "verified" bundle.
+func TestPackageMutationNeverVerifies(t *testing.T) {
+	f := getFixture(t)
+	pkg, err := f.op.BuildPackage(f.dev.PublicInfo(), testBundle(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := pkg.Marshal()
+	rng := mrand.New(mrand.NewSource(13))
+	accepted := 0
+	for i := 0; i < 800; i++ {
+		mut := append([]byte(nil), good...)
+		switch rng.Intn(4) {
+		case 0:
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+			}
+		case 1:
+			mut = mut[:rng.Intn(len(mut))]
+		case 2:
+			extra := make([]byte, 1+rng.Intn(16))
+			rng.Read(extra)
+			mut = append(mut, extra...)
+		case 3:
+			if len(mut) > 16 {
+				at := rng.Intn(len(mut) - 8)
+				rng.Read(mut[at : at+8])
+			}
+		}
+		p2, err := UnmarshalPackage(mut)
+		if err != nil {
+			continue
+		}
+		// Structurally valid mutants must still fail verification unless
+		// the mutation was a no-op.
+		if _, _, err := f.dev.OpenPackage(p2, false); err == nil {
+			if string(mut) != string(good) {
+				t.Fatalf("mutated package verified (iteration %d)", i)
+			}
+			accepted++
+		}
+	}
+	_ = accepted
+}
+
+func TestCertificateMutationNeverVerifies(t *testing.T) {
+	f := getFixture(t)
+	pkg, err := f.op.BuildPackage(f.dev.PublicInfo(), testBundle(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := pkg.Cert.Marshal()
+	rng := mrand.New(mrand.NewSource(14))
+	for i := 0; i < 500; i++ {
+		mut := append([]byte(nil), good...)
+		mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		c2, err := UnmarshalCertificate(mut)
+		if err != nil {
+			continue
+		}
+		if string(mut) == string(good) {
+			continue
+		}
+		// Swap the mutated certificate into an otherwise valid package:
+		// the root-of-trust check must catch it.
+		p2 := *pkg
+		p2.Cert = c2
+		if _, _, err := f.dev.OpenPackage(&p2, false); err == nil {
+			t.Fatalf("mutated certificate passed the chain of trust (iteration %d)", i)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package seccrypto
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Bundle is the plaintext content installed on a network processor: the
+// processing binary, its monitoring graph, and the secret 32-bit hash
+// parameter (§3.1 "at programming time").
+type Bundle struct {
+	Binary    []byte
+	Graph     []byte
+	HashParam uint32
+}
+
+// Marshal serializes a bundle for device-local storage (after
+// verification). The wire form is always the encrypted Package.
+func (b *Bundle) Marshal() []byte {
+	return payloadBytes("", b)
+}
+
+// UnmarshalBundle parses a bundle stored with Bundle.Marshal.
+func UnmarshalBundle(data []byte) (*Bundle, error) {
+	_, b, err := parsePayload(data)
+	return b, err
+}
+
+// Package is the envelope transmitted over the network to the router: the
+// encrypted bundle, the wrapped session key, the operator signature over
+// the plaintext, and the operator's certificate.
+type Package struct {
+	DeviceID   string
+	Cert       *Certificate
+	EncKey     []byte // AES session key wrapped to the device's K_R+
+	IV         []byte
+	EncPayload []byte // AES-256-CBC of the serialized bundle
+	Signature  []byte // operator signature over the plaintext payload
+}
+
+// Verification and tampering error conditions (SR1–SR4 test hooks).
+var (
+	ErrBadCertificate = errors.New("seccrypto: certificate not issued by manufacturer")
+	ErrBadSignature   = errors.New("seccrypto: package signature invalid")
+	ErrWrongDevice    = errors.New("seccrypto: package not addressed to this device")
+	ErrCorrupt        = errors.New("seccrypto: package corrupt")
+)
+
+// OpCounts records the cryptographic work a verification performed; the
+// timing model (internal/timing) converts these into Nios II seconds for
+// Table 2.
+type OpCounts struct {
+	DownloadBytes int // set by the transport
+	RSAPrivateOps int // 2048-bit private-key exponentiations
+	RSAPublicOps  int // 2048-bit public-key exponentiations (verify)
+	SHA256Bytes   int // bytes digested
+	AESBytes      int // bytes de/encrypted with AES
+}
+
+// Add accumulates counts.
+func (c *OpCounts) Add(o OpCounts) {
+	c.DownloadBytes += o.DownloadBytes
+	c.RSAPrivateOps += o.RSAPrivateOps
+	c.RSAPublicOps += o.RSAPublicOps
+	c.SHA256Bytes += o.SHA256Bytes
+	c.AESBytes += o.AESBytes
+}
+
+// payload serializes a bundle with its destination identity. Binding the
+// device ID inside the signed plaintext (in addition to encrypting the
+// session key to the device) hardens SR4 against envelope re-wrapping.
+func payloadBytes(deviceID string, b *Bundle) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("SDMP")
+	writeBytes(&buf, []byte(deviceID))
+	writeBytes(&buf, b.Binary)
+	writeBytes(&buf, b.Graph)
+	var p [4]byte
+	binary.BigEndian.PutUint32(p[:], b.HashParam)
+	buf.Write(p[:])
+	return buf.Bytes()
+}
+
+func parsePayload(data []byte) (deviceID string, b *Bundle, err error) {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || string(magic[:]) != "SDMP" {
+		return "", nil, fmt.Errorf("%w: bad payload magic", ErrCorrupt)
+	}
+	id, err := readBytes(r)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: device id: %v", ErrCorrupt, err)
+	}
+	bin, err := readBytes(r)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: binary: %v", ErrCorrupt, err)
+	}
+	graph, err := readBytes(r)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: graph: %v", ErrCorrupt, err)
+	}
+	var param uint32
+	if err := binary.Read(r, binary.BigEndian, &param); err != nil {
+		return "", nil, fmt.Errorf("%w: hash parameter: %v", ErrCorrupt, err)
+	}
+	if r.Len() != 0 {
+		return "", nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, r.Len())
+	}
+	return string(id), &Bundle{Binary: bin, Graph: graph, HashParam: param}, nil
+}
+
+// BuildPackage performs the operator's "at programming time" steps of §3.1:
+// sign the (binary, graph, parameter) bundle, encrypt it under a fresh AES
+// session key, and wrap that key to the destination router's public key.
+func (o *Operator) BuildPackage(dev DevicePublic, b *Bundle, rng io.Reader) (*Package, error) {
+	if o.cert == nil {
+		return nil, fmt.Errorf("seccrypto: operator %q has no certificate", o.Name)
+	}
+	devPub, err := UnmarshalPublicKey(dev.KeyDER)
+	if err != nil {
+		return nil, err
+	}
+	plain := payloadBytes(dev.ID, b)
+	sig, err := o.keys.sign(plain)
+	if err != nil {
+		return nil, err
+	}
+	key := make([]byte, 32)
+	if _, err := io.ReadFull(rng, key); err != nil {
+		return nil, fmt.Errorf("seccrypto: session key: %w", err)
+	}
+	iv := make([]byte, aes.BlockSize)
+	if _, err := io.ReadFull(rng, iv); err != nil {
+		return nil, fmt.Errorf("seccrypto: iv: %w", err)
+	}
+	encPayload, err := aesCBCEncrypt(key, iv, plain)
+	if err != nil {
+		return nil, err
+	}
+	encKey, err := encryptKeyTo(devPub, key, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		DeviceID:   dev.ID,
+		Cert:       o.cert,
+		EncKey:     encKey,
+		IV:         iv,
+		EncPayload: encPayload,
+		Signature:  sig,
+	}, nil
+}
+
+// OpenPackage performs the device-side steps of §3.1 in the prototype's
+// order (Table 2): verify the manufacturer certificate, decrypt the AES
+// session key with the router's private key, decrypt the payload, verify
+// the operator signature, and check the device binding. It returns the
+// bundle and the operation counts consumed by the timing model.
+func (d *DeviceIdentity) OpenPackage(p *Package, skipCertCheck bool) (*Bundle, OpCounts, error) {
+	var ops OpCounts
+	if err := d.validate(); err != nil {
+		return nil, ops, err
+	}
+	if p.Cert == nil {
+		return nil, ops, fmt.Errorf("%w: missing certificate", ErrBadCertificate)
+	}
+
+	// Step: check manufacturer certificate of operator public key K_O+.
+	if !skipCertCheck {
+		body := certBody(p.Cert.Subject, p.Cert.KeyDER, p.Cert.Serial)
+		ops.RSAPublicOps++
+		ops.SHA256Bytes += len(body)
+		if err := verify(d.mfr.Public(), body, p.Cert.Signature); err != nil {
+			return nil, ops, fmt.Errorf("%w: %v", ErrBadCertificate, err)
+		}
+	}
+	operatorPub, err := UnmarshalPublicKey(p.Cert.KeyDER)
+	if err != nil {
+		return nil, ops, fmt.Errorf("%w: %v", ErrBadCertificate, err)
+	}
+
+	// Step: decrypt AES key K_sym using router's private key K_R-.
+	ops.RSAPrivateOps++
+	key, err := d.key.decryptKey(p.EncKey)
+	if err != nil {
+		// OAEP failure here means the package was wrapped for a different
+		// router: SR4.
+		return nil, ops, fmt.Errorf("%w: %v", ErrWrongDevice, err)
+	}
+
+	// Step: decrypt package with AES key K_sym.
+	ops.AESBytes += len(p.EncPayload)
+	plain, err := aesCBCDecrypt(key, p.IV, p.EncPayload)
+	if err != nil {
+		return nil, ops, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	// Step: verify packet signature with operator's public key K_O+.
+	ops.RSAPublicOps++
+	ops.SHA256Bytes += len(plain)
+	if err := verify(operatorPub, plain, p.Signature); err != nil {
+		return nil, ops, fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+
+	id, bundle, err := parsePayload(plain)
+	if err != nil {
+		return nil, ops, err
+	}
+	if id != d.ID {
+		return nil, ops, fmt.Errorf("%w: payload addressed to %q, this device is %q",
+			ErrWrongDevice, id, d.ID)
+	}
+	return bundle, ops, nil
+}
+
+func aesCBCEncrypt(key, iv, plain []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: aes: %w", err)
+	}
+	// PKCS#7 padding.
+	pad := aes.BlockSize - len(plain)%aes.BlockSize
+	padded := make([]byte, len(plain)+pad)
+	copy(padded, plain)
+	for i := len(plain); i < len(padded); i++ {
+		padded[i] = byte(pad)
+	}
+	out := make([]byte, len(padded))
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(out, padded)
+	return out, nil
+}
+
+func aesCBCDecrypt(key, iv, enc []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: aes: %w", err)
+	}
+	if len(enc) == 0 || len(enc)%aes.BlockSize != 0 {
+		return nil, fmt.Errorf("seccrypto: ciphertext length %d not a block multiple", len(enc))
+	}
+	if len(iv) != aes.BlockSize {
+		return nil, fmt.Errorf("seccrypto: iv length %d", len(iv))
+	}
+	out := make([]byte, len(enc))
+	cipher.NewCBCDecrypter(block, iv).CryptBlocks(out, enc)
+	pad := int(out[len(out)-1])
+	if pad < 1 || pad > aes.BlockSize || pad > len(out) {
+		return nil, fmt.Errorf("seccrypto: bad padding")
+	}
+	for _, b := range out[len(out)-pad:] {
+		if int(b) != pad {
+			return nil, fmt.Errorf("seccrypto: bad padding")
+		}
+	}
+	return out[:len(out)-pad], nil
+}
+
+// Marshal serializes the package for network transmission.
+func (p *Package) Marshal() []byte {
+	var b bytes.Buffer
+	b.WriteString("SDMK")
+	writeBytes(&b, []byte(p.DeviceID))
+	writeBytes(&b, p.Cert.Marshal())
+	writeBytes(&b, p.EncKey)
+	writeBytes(&b, p.IV)
+	writeBytes(&b, p.EncPayload)
+	writeBytes(&b, p.Signature)
+	return b.Bytes()
+}
+
+// UnmarshalPackage parses a package produced by Marshal.
+func UnmarshalPackage(data []byte) (*Package, error) {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || string(magic[:]) != "SDMK" {
+		return nil, fmt.Errorf("%w: bad package magic", ErrCorrupt)
+	}
+	id, err := readBytes(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: device id: %v", ErrCorrupt, err)
+	}
+	certRaw, err := readBytes(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: certificate: %v", ErrCorrupt, err)
+	}
+	cert, err := UnmarshalCertificate(certRaw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: certificate: %v", ErrCorrupt, err)
+	}
+	encKey, err := readBytes(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: session key: %v", ErrCorrupt, err)
+	}
+	iv, err := readBytes(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: iv: %v", ErrCorrupt, err)
+	}
+	encPayload, err := readBytes(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	sig, err := readBytes(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: signature: %v", ErrCorrupt, err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Len())
+	}
+	return &Package{DeviceID: string(id), Cert: cert, EncKey: encKey, IV: iv,
+		EncPayload: encPayload, Signature: sig}, nil
+}
+
+// DigestHex is a convenience for logging package identities without
+// dumping contents.
+func (p *Package) DigestHex() string {
+	d := sha256.Sum256(p.Marshal())
+	return fmt.Sprintf("%x", d[:8])
+}

@@ -1,0 +1,367 @@
+package seccrypto
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// Key generation is expensive; share one fixture across the package tests.
+type fixture struct {
+	mfr      *Manufacturer
+	op       *Operator
+	dev      *DeviceIdentity
+	dev2     *DeviceIdentity
+	otherMfr *Manufacturer
+	rogue    *Operator // no certificate from mfr
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixture
+)
+
+func getFixture(t testing.TB) *fixture {
+	if t != nil {
+		t.Helper()
+	}
+	fixOnce.Do(func() {
+		var err error
+		must := func(e error) {
+			if err == nil {
+				err = e
+			}
+		}
+		var mfr, otherMfr *Manufacturer
+		var op, rogue *Operator
+		mfr, e := NewManufacturer("acme-np", rand.Reader)
+		must(e)
+		otherMfr, e = NewManufacturer("evil-fab", rand.Reader)
+		must(e)
+		op, e = NewOperator("backbone-isp", rand.Reader)
+		must(e)
+		rogue, e = NewOperator("rogue-isp", rand.Reader)
+		must(e)
+		if err != nil {
+			panic(err)
+		}
+		cert, e := mfr.IssueCertificate(op)
+		if e != nil {
+			panic(e)
+		}
+		op.SetCertificate(cert)
+		// The rogue operator self-certifies with the wrong manufacturer.
+		rcert, e := otherMfr.IssueCertificate(rogue)
+		if e != nil {
+			panic(e)
+		}
+		rogue.SetCertificate(rcert)
+		dev, e := mfr.ProvisionDevice("router-0", rand.Reader)
+		if e != nil {
+			panic(e)
+		}
+		dev2, e := mfr.ProvisionDevice("router-1", rand.Reader)
+		if e != nil {
+			panic(e)
+		}
+		fix = fixture{mfr: mfr, op: op, dev: dev, dev2: dev2, otherMfr: otherMfr, rogue: rogue}
+	})
+	return &fix
+}
+
+func testBundle() *Bundle {
+	return &Bundle{
+		Binary:    bytes.Repeat([]byte{0xAB, 0xCD}, 600),
+		Graph:     bytes.Repeat([]byte{0x12}, 400),
+		HashParam: 0xDEADBEEF,
+	}
+}
+
+func TestHonestPackageRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	pkg, err := f.op.BuildPackage(f.dev.PublicInfo(), testBundle(), rand.Reader)
+	if err != nil {
+		t.Fatalf("BuildPackage: %v", err)
+	}
+	got, ops, err := f.dev.OpenPackage(pkg, false)
+	if err != nil {
+		t.Fatalf("OpenPackage: %v", err)
+	}
+	want := testBundle()
+	if !bytes.Equal(got.Binary, want.Binary) || !bytes.Equal(got.Graph, want.Graph) ||
+		got.HashParam != want.HashParam {
+		t.Error("bundle mismatch after round trip")
+	}
+	// Operation counts consumed by the timing model: 1 private op (key
+	// unwrap), 2 public ops (cert + signature), AES over the payload.
+	if ops.RSAPrivateOps != 1 || ops.RSAPublicOps != 2 {
+		t.Errorf("ops = %+v", ops)
+	}
+	if ops.AESBytes < len(want.Binary) {
+		t.Errorf("AES bytes %d below payload size", ops.AESBytes)
+	}
+	if ops.SHA256Bytes == 0 {
+		t.Error("no SHA bytes counted")
+	}
+}
+
+func TestSkipCertCheck(t *testing.T) {
+	// Table 2's footnote: the certificate check can be skipped after the
+	// first installation; only one public-key op remains.
+	f := getFixture(t)
+	pkg, err := f.op.BuildPackage(f.dev.PublicInfo(), testBundle(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ops, err := f.dev.OpenPackage(pkg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops.RSAPublicOps != 1 {
+		t.Errorf("RSAPublicOps = %d, want 1 with cert check skipped", ops.RSAPublicOps)
+	}
+}
+
+// SR1: only packages signed by a certified operator install.
+func TestSR1RejectsRogueOperator(t *testing.T) {
+	f := getFixture(t)
+	pkg, err := f.rogue.BuildPackage(f.dev.PublicInfo(), testBundle(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = f.dev.OpenPackage(pkg, false)
+	if !errors.Is(err, ErrBadCertificate) {
+		t.Errorf("rogue operator: err = %v, want ErrBadCertificate", err)
+	}
+}
+
+// SR1: payload tampering breaks the signature.
+func TestSR1RejectsTamperedPayload(t *testing.T) {
+	f := getFixture(t)
+	pkg, err := f.op.BuildPackage(f.dev.PublicInfo(), testBundle(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg.EncPayload[40] ^= 0x01
+	_, _, err = f.dev.OpenPackage(pkg, false)
+	if err == nil {
+		t.Fatal("tampered payload accepted")
+	}
+	if !errors.Is(err, ErrBadSignature) && !errors.Is(err, ErrCorrupt) {
+		t.Errorf("tampered payload: err = %v", err)
+	}
+}
+
+// SR1/AC2: an attacker swapping in a forged monitoring graph (to make
+// malicious code look valid) cannot produce a valid signature.
+func TestSR1RejectsSwappedGraph(t *testing.T) {
+	f := getFixture(t)
+	good, err := f.op.BuildPackage(f.dev.PublicInfo(), testBundle(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := testBundle()
+	evil.Graph = bytes.Repeat([]byte{0x66}, 400)
+	// The attacker re-encrypts an evil bundle under their own session key
+	// but must reuse the operator's signature (they cannot forge one).
+	forged, err := f.rogue.BuildPackage(f.dev.PublicInfo(), evil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged.Cert = good.Cert
+	forged.Signature = good.Signature
+	_, _, err = f.dev.OpenPackage(forged, false)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Errorf("swapped graph: err = %v, want ErrBadSignature", err)
+	}
+}
+
+// SR3: the payload is confidential — ciphertext reveals nothing readable.
+func TestSR3Confidentiality(t *testing.T) {
+	f := getFixture(t)
+	b := testBundle()
+	b.Binary = []byte("SECRET-PROPRIETARY-PIPELINE-CODE-SECRET")
+	pkg, err := f.op.BuildPackage(f.dev.PublicInfo(), b, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := pkg.Marshal()
+	if bytes.Contains(wire, b.Binary) {
+		t.Error("binary visible on the wire")
+	}
+	if bytes.Contains(wire, []byte("SECRET")) {
+		t.Error("plaintext fragment visible on the wire")
+	}
+	var param [4]byte
+	param[0], param[1], param[2], param[3] = 0xDE, 0xAD, 0xBE, 0xEF
+	if bytes.Contains(wire, param[:]) {
+		t.Error("hash parameter visible on the wire")
+	}
+}
+
+// SR4: a package built for router-0 must not open on router-1.
+func TestSR4DeviceBinding(t *testing.T) {
+	f := getFixture(t)
+	pkg, err := f.op.BuildPackage(f.dev.PublicInfo(), testBundle(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = f.dev2.OpenPackage(pkg, false)
+	if !errors.Is(err, ErrWrongDevice) {
+		t.Errorf("cross-device: err = %v, want ErrWrongDevice", err)
+	}
+}
+
+// SR4 hardening: even re-wrapping the session key for another device fails
+// because the device ID is bound inside the signed payload.
+func TestSR4RewrapDefeated(t *testing.T) {
+	f := getFixture(t)
+	// Build identical bundles for both devices; then graft router-0's
+	// encrypted payload+signature onto router-1's key wrapping.
+	p0, err := f.op.BuildPackage(f.dev.PublicInfo(), testBundle(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := f.op.BuildPackage(f.dev2.PublicInfo(), testBundle(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spliced := &Package{
+		DeviceID:   p1.DeviceID,
+		Cert:       p0.Cert,
+		EncKey:     p1.EncKey,     // wrapped for router-1
+		IV:         p0.IV,         // but payload from router-0's package
+		EncPayload: p0.EncPayload, // (encrypted under a different K_sym)
+		Signature:  p0.Signature,
+	}
+	if _, _, err := f.dev2.OpenPackage(spliced, false); err == nil {
+		t.Fatal("spliced package accepted")
+	}
+}
+
+func TestCertificateRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	c := f.op.Certificate()
+	b := c.Marshal()
+	c2, err := UnmarshalCertificate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Subject != c.Subject || c2.Serial != c.Serial ||
+		!bytes.Equal(c2.KeyDER, c.KeyDER) || !bytes.Equal(c2.Signature, c.Signature) {
+		t.Error("certificate round-trip mismatch")
+	}
+	if _, err := UnmarshalCertificate([]byte("bogus")); err == nil {
+		t.Error("bad certificate accepted")
+	}
+	if _, err := UnmarshalCertificate(append(b, 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestPackageMarshalRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	pkg, err := f.op.BuildPackage(f.dev.PublicInfo(), testBundle(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := pkg.Marshal()
+	got, err := UnmarshalPackage(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DeviceID != pkg.DeviceID || !bytes.Equal(got.EncKey, pkg.EncKey) ||
+		!bytes.Equal(got.EncPayload, pkg.EncPayload) || !bytes.Equal(got.Signature, pkg.Signature) {
+		t.Error("package round-trip mismatch")
+	}
+	// The round-tripped package still opens.
+	if _, _, err := f.dev.OpenPackage(got, false); err != nil {
+		t.Errorf("round-tripped package rejected: %v", err)
+	}
+	if pkg.DigestHex() != got.DigestHex() {
+		t.Error("digest mismatch")
+	}
+	if _, err := UnmarshalPackage(wire[:10]); err == nil {
+		t.Error("truncated package accepted")
+	}
+	if _, err := UnmarshalPackage(append(wire, 1)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestOperatorWithoutCertificateCannotShip(t *testing.T) {
+	op, err := NewOperator("fresh", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := getFixture(t)
+	if _, err := op.BuildPackage(f.dev.PublicInfo(), testBundle(), rand.Reader); err == nil {
+		t.Error("uncertified operator built a package")
+	}
+}
+
+func TestPublicKeyMarshalRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	der := f.op.PublicKeyDER()
+	pub, err := UnmarshalPublicKey(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.N.Cmp(f.op.keys.Public().N) != 0 {
+		t.Error("modulus mismatch")
+	}
+	if _, err := UnmarshalPublicKey([]byte{1, 2, 3}); err == nil {
+		t.Error("junk DER accepted")
+	}
+}
+
+func TestAESPaddingErrors(t *testing.T) {
+	key := make([]byte, 32)
+	iv := make([]byte, 16)
+	if _, err := aesCBCDecrypt(key, iv, []byte{1, 2, 3}); err == nil {
+		t.Error("non-block ciphertext accepted")
+	}
+	if _, err := aesCBCDecrypt(key, iv[:4], make([]byte, 16)); err == nil {
+		t.Error("short iv accepted")
+	}
+	enc, err := aesCBCEncrypt(key, iv, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := aesCBCDecrypt(key, iv, enc)
+	if err != nil || string(dec) != "hello" {
+		t.Errorf("cbc round trip: %q %v", dec, err)
+	}
+	// Exact block-size plaintext grows by a full padding block.
+	enc16, err := aesCBCEncrypt(key, iv, make([]byte, 16))
+	if err != nil || len(enc16) != 32 {
+		t.Errorf("block-aligned padding: len %d, err %v", len(enc16), err)
+	}
+}
+
+func TestOpCountsAdd(t *testing.T) {
+	a := OpCounts{DownloadBytes: 1, RSAPrivateOps: 2, RSAPublicOps: 3, SHA256Bytes: 4, AESBytes: 5}
+	b := a
+	a.Add(b)
+	if a.DownloadBytes != 2 || a.RSAPrivateOps != 4 || a.RSAPublicOps != 6 ||
+		a.SHA256Bytes != 8 || a.AESBytes != 10 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestCertificateSerialIncrements(t *testing.T) {
+	f := getFixture(t)
+	c1, err := f.mfr.IssueCertificate(f.op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := f.mfr.IssueCertificate(f.op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Serial != c1.Serial+1 {
+		t.Errorf("serials %d, %d", c1.Serial, c2.Serial)
+	}
+}

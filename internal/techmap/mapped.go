@@ -1,0 +1,236 @@
+package techmap
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sdmmon/internal/netlist"
+)
+
+// LUT is one mapped lookup table: a root gate, its cut leaves, and the
+// truth table of the root as a function of the leaves (bit i of Truth is
+// the output for leaf assignment i, leaf 0 = LSB).
+type LUT struct {
+	Root   netlist.Signal
+	Leaves []netlist.Signal
+	Truth  []uint64 // packed bitset of 2^len(Leaves) bits
+}
+
+// Lookup evaluates the LUT for a leaf assignment.
+func (l *LUT) Lookup(assign uint32) bool {
+	return l.Truth[assign/64]&(1<<(assign%64)) != 0
+}
+
+// Mapped is the post-mapping network: the chosen LUTs plus the carry-chain
+// adders that bypass generic covering.
+type Mapped struct {
+	Circuit *netlist.Circuit
+	LUTs    []LUT
+	Result  *Result
+}
+
+// MapNetwork runs the mapper and additionally extracts the mapped LUT
+// network with computed truth tables, enabling post-mapping verification.
+func MapNetwork(c *netlist.Circuit, opt Options) (*Mapped, error) {
+	opt = opt.withDefaults()
+	if opt.K < 2 || opt.K > 8 {
+		return nil, fmt.Errorf("techmap: K=%d out of range 2..8", opt.K)
+	}
+	// Re-run the mapper to get internal state. Map() recomputes the same
+	// deterministic choices.
+	res, m, err := mapInternal(c, opt)
+	if err != nil {
+		return nil, err
+	}
+	needed := m.coveredRoots()
+	out := &Mapped{Circuit: c, Result: res}
+	for _, root := range needed {
+		leaves := m.best[root]
+		truth, err := m.truthOf(root, leaves)
+		if err != nil {
+			return nil, err
+		}
+		out.LUTs = append(out.LUTs, LUT{
+			Root:   root,
+			Leaves: append([]netlist.Signal(nil), leaves...),
+			Truth:  truth,
+		})
+	}
+	return out, nil
+}
+
+// coveredRoots returns the mapped roots in deterministic topological order.
+func (m *mapper) coveredRoots() []netlist.Signal {
+	needed := map[netlist.Signal]bool{}
+	var require func(netlist.Signal)
+	require = func(s netlist.Signal) {
+		if m.isLeaf[s] || m.isConst[s] || needed[s] {
+			return
+		}
+		if m.chainGate[s] && !m.chainOut[s] {
+			return
+		}
+		needed[s] = true
+		for _, leaf := range m.best[s] {
+			require(leaf)
+		}
+	}
+	for _, out := range m.c.Outputs {
+		require(out)
+	}
+	for _, g := range m.c.Gates {
+		if g.Kind == netlist.KDFF {
+			require(g.In[0])
+		}
+	}
+	var order []netlist.Signal
+	for i := range m.c.Gates {
+		if needed[netlist.Signal(i)] {
+			order = append(order, netlist.Signal(i))
+		}
+	}
+	return order
+}
+
+// truthOf computes the root's function of its cut leaves by exhaustive cone
+// evaluation (≤ 2^K assignments).
+func (m *mapper) truthOf(root netlist.Signal, leaves cut) ([]uint64, error) {
+	n := len(leaves)
+	size := 1 << uint(n)
+	truth := make([]uint64, (size+63)/64)
+	val := map[netlist.Signal]bool{}
+	var eval func(netlist.Signal) (bool, error)
+	eval = func(s netlist.Signal) (bool, error) {
+		if v, ok := val[s]; ok {
+			return v, nil
+		}
+		g := m.c.Gates[s]
+		var v bool
+		var err error
+		switch g.Kind {
+		case netlist.KConst0:
+			v = false
+		case netlist.KConst1:
+			v = true
+		case netlist.KInput, netlist.KDFF:
+			return false, fmt.Errorf("techmap: cone of gate %d escapes cut through %d", root, s)
+		case netlist.KNot:
+			v, err = eval(g.In[0])
+			v = !v
+		case netlist.KAnd:
+			a, e1 := eval(g.In[0])
+			b, e2 := eval(g.In[1])
+			v, err = a && b, firstErr(e1, e2)
+		case netlist.KOr:
+			a, e1 := eval(g.In[0])
+			b, e2 := eval(g.In[1])
+			v, err = a || b, firstErr(e1, e2)
+		case netlist.KXor:
+			a, e1 := eval(g.In[0])
+			b, e2 := eval(g.In[1])
+			v, err = a != b, firstErr(e1, e2)
+		case netlist.KMux:
+			sel, e1 := eval(g.In[0])
+			var x bool
+			var e2 error
+			if sel {
+				x, e2 = eval(g.In[2])
+			} else {
+				x, e2 = eval(g.In[1])
+			}
+			v, err = x, firstErr(e1, e2)
+		default:
+			return false, fmt.Errorf("techmap: unexpected gate kind %v in cone", g.Kind)
+		}
+		if err != nil {
+			return false, err
+		}
+		val[s] = v
+		return v, nil
+	}
+	for a := 0; a < size; a++ {
+		clear(val)
+		for i, leaf := range leaves {
+			val[leaf] = a&(1<<uint(i)) != 0
+		}
+		v, err := eval(root)
+		if err != nil {
+			return nil, err
+		}
+		if v {
+			truth[a/64] |= 1 << uint(a%64)
+		}
+	}
+	return truth, nil
+}
+
+func firstErr(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
+}
+
+// VerifyMapping checks the mapped network against the original gate-level
+// circuit on random input vectors: for every LUT, the truth-table lookup on
+// the simulated leaf values must equal the simulated root value, and every
+// primary output / DFF input must be a mapped root, a leaf-level signal, or
+// a constant. This is the post-synthesis equivalence gate of the flow.
+func VerifyMapping(c *netlist.Circuit, m *Mapped, vectors int, seed int64) error {
+	sim, err := netlist.NewSimulator(c)
+	if err != nil {
+		return err
+	}
+	// Coverage check.
+	mappedRoot := map[netlist.Signal]bool{}
+	for _, l := range m.LUTs {
+		mappedRoot[l.Root] = true
+	}
+	isDrivable := func(s netlist.Signal) bool {
+		switch c.Gates[s].Kind {
+		case netlist.KInput, netlist.KDFF, netlist.KConst0, netlist.KConst1:
+			return true
+		}
+		if mappedRoot[s] {
+			return true
+		}
+		// Carry-chain outputs are produced by dedicated arithmetic cells.
+		for _, fa := range c.Adders {
+			if s == fa.Sum || s == fa.Cout {
+				return true
+			}
+		}
+		return false
+	}
+	for _, out := range c.Outputs {
+		if !isDrivable(out) {
+			return fmt.Errorf("techmap: output gate %d not driven by the mapped network", out)
+		}
+	}
+	for i, g := range c.Gates {
+		if g.Kind == netlist.KDFF && !isDrivable(g.In[0]) {
+			return fmt.Errorf("techmap: DFF %d input not driven by the mapped network", i)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	for v := 0; v < vectors; v++ {
+		for _, in := range c.Inputs {
+			sim.SetInput(in, rng.Intn(2) == 1)
+		}
+		sim.Eval()
+		for _, l := range m.LUTs {
+			var assign uint32
+			for i, leaf := range l.Leaves {
+				if sim.Value(leaf) {
+					assign |= 1 << uint(i)
+				}
+			}
+			if l.Lookup(assign) != sim.Value(l.Root) {
+				return fmt.Errorf("techmap: LUT at gate %d disagrees with reference on vector %d",
+					l.Root, v)
+			}
+		}
+	}
+	return nil
+}

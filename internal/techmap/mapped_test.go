@@ -1,0 +1,126 @@
+package techmap
+
+import (
+	"testing"
+
+	"sdmmon/internal/netlist"
+)
+
+func TestMapNetworkSimpleFunctions(t *testing.T) {
+	b := netlist.NewBuilder("fn")
+	x := b.Input("x")
+	y := b.Input("y")
+	z := b.Input("z")
+	// f = (x & y) ^ ~z — fits one LUT.
+	f := b.Xor(b.And(x, y), b.Not(z))
+	b.Output("f", f)
+	c := b.Build()
+	m, err := MapNetwork(c, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.LUTs) != 1 {
+		t.Fatalf("got %d LUTs, want 1", len(m.LUTs))
+	}
+	if err := VerifyMapping(c, m, 64, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The truth table itself: check all 8 assignments.
+	l := m.LUTs[0]
+	if len(l.Leaves) != 3 {
+		t.Fatalf("LUT has %d leaves", len(l.Leaves))
+	}
+	// Build reference over leaf order.
+	pos := map[netlist.Signal]int{}
+	for i, leaf := range l.Leaves {
+		pos[leaf] = i
+	}
+	for a := uint32(0); a < 8; a++ {
+		bit := func(s netlist.Signal) bool { return a&(1<<uint(pos[s])) != 0 }
+		want := (bit(x) && bit(y)) != !bit(z)
+		if l.Lookup(a) != want {
+			t.Errorf("assign %03b: lut=%v want=%v", a, l.Lookup(a), want)
+		}
+	}
+}
+
+func TestMapNetworkVerifiesHashUnits(t *testing.T) {
+	// The flow's equivalence gate on the real Table 3 circuits.
+	for _, tc := range []struct {
+		name string
+		ckt  *netlist.Circuit
+		opt  Options
+	}{
+		{"merkle-K4-chains", netlist.BuildMerkleUnit(netlist.MerkleUnitOptions{}), Options{K: 4, UseCarryChains: true}},
+		{"merkle-K4-plain", netlist.BuildMerkleUnit(netlist.MerkleUnitOptions{}), Options{K: 4}},
+		{"merkle-K6-plain", netlist.BuildMerkleUnit(netlist.MerkleUnitOptions{}), Options{K: 6}},
+		{"bitcount-K4", netlist.BuildBitcountUnit(netlist.BitcountUnitOptions{}), Options{K: 4}},
+		{"comparator", netlist.BuildComparator(4), Options{K: 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := MapNetwork(tc.ckt, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyMapping(tc.ckt, m, 200, 7); err != nil {
+				t.Fatal(err)
+			}
+			if len(m.LUTs) != m.Result.LUTs {
+				t.Errorf("extracted %d LUTs, result says %d", len(m.LUTs), m.Result.LUTs)
+			}
+		})
+	}
+}
+
+func TestMapNetworkRegisteredCircuit(t *testing.T) {
+	// DFF inputs must be covered; verification drives random input vectors
+	// with DFFs at reset state.
+	ckt := netlist.BuildMerkleUnit(netlist.MerkleUnitOptions{Registered: true})
+	m, err := MapNetwork(ckt, Options{K: 4, UseCarryChains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMapping(ckt, m, 50, 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyMappingCatchesCorruptTruth(t *testing.T) {
+	b := netlist.NewBuilder("bad")
+	x := b.Input("x")
+	y := b.Input("y")
+	b.Output("f", b.And(x, y))
+	c := b.Build()
+	m, err := MapNetwork(c, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LUTs[0].Truth[0] ^= 0xF // corrupt
+	if err := VerifyMapping(c, m, 32, 2); err == nil {
+		t.Error("corrupted truth table passed verification")
+	}
+}
+
+func TestVerifyMappingCatchesMissingLUT(t *testing.T) {
+	b := netlist.NewBuilder("gap")
+	x := b.Input("x")
+	y := b.Input("y")
+	b.Output("f", b.Or(x, y))
+	c := b.Build()
+	m, err := MapNetwork(c, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LUTs = nil // drop the cover
+	if err := VerifyMapping(c, m, 4, 3); err == nil {
+		t.Error("uncovered output passed verification")
+	}
+}
+
+func TestMapNetworkBadOptions(t *testing.T) {
+	b := netlist.NewBuilder("x")
+	b.Output("o", b.Input("i"))
+	if _, err := MapNetwork(b.Build(), Options{K: 1}); err == nil {
+		t.Error("K=1 accepted")
+	}
+}

@@ -1,0 +1,445 @@
+// Package techmap maps gate-level netlists (internal/netlist) onto K-input
+// FPGA lookup tables, modelling the Stratix IV ALUT fabric of the paper's
+// DE4 prototype.
+//
+// The mapper is a classic priority-cuts area-oriented LUT mapper: it
+// enumerates bounded cut sets per gate in topological order, selects a
+// representative cut by area flow, and derives the final LUT network by
+// walking the chosen cuts back from the outputs. Structural adders tagged
+// by the netlist builders can optionally be placed on the dedicated carry
+// chain (one ALUT in arithmetic mode per adder bit), which is how real
+// synthesis reaches the paper's Table 3 numbers for the Merkle unit.
+package techmap
+
+import (
+	"fmt"
+	"sort"
+
+	"sdmmon/internal/netlist"
+)
+
+// Options configures the mapper.
+type Options struct {
+	// K is the LUT input count. 4 models a classic 4-LUT fabric; 6 models
+	// the Stratix IV ALUT in normal mode. Default 4.
+	K int
+	// MaxCuts bounds the cut set kept per gate (priority cuts). Default 8.
+	MaxCuts int
+	// UseCarryChains places tagged full adders into arithmetic mode, one
+	// ALUT per adder bit, instead of covering them with generic LUTs.
+	UseCarryChains bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 4
+	}
+	if o.MaxCuts == 0 {
+		o.MaxCuts = 8
+	}
+	return o
+}
+
+// Result reports the mapped design's resource usage.
+type Result struct {
+	Name       string
+	LUTs       int // generic K-LUTs
+	CarryALUTs int // ALUTs consumed in arithmetic (carry-chain) mode
+	FFs        int // flip-flops
+	Depth      int // logic levels on the critical path
+}
+
+// TotalALUTs is the combined combinational-cell count (LUTs + carry ALUTs),
+// the quantity Table 3 reports in its "LUTs" row.
+func (r *Result) TotalALUTs() int { return r.LUTs + r.CarryALUTs }
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %d LUTs (+%d carry ALUTs), %d FFs, depth %d",
+		r.Name, r.LUTs, r.CarryALUTs, r.FFs, r.Depth)
+}
+
+// cut is a sorted set of leaf signals.
+type cut []netlist.Signal
+
+func (c cut) contains(s netlist.Signal) bool {
+	for _, x := range c {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeCuts unions two sorted cuts; ok=false if the result exceeds k leaves.
+func mergeCuts(a, b cut, k int) (cut, bool) {
+	out := make(cut, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+		if len(out) > k {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+type mapper struct {
+	c   *netlist.Circuit
+	opt Options
+
+	isLeaf    []bool // primary inputs, constants, DFF outputs, chain outputs
+	isConst   []bool
+	chainGate []bool // gates swallowed by a carry chain
+	chainOut  []bool // Sum/Cout signals produced by the chain
+	fanout    []int
+
+	cuts    [][]cut   // candidate cuts per gate
+	best    []cut     // chosen representative cut
+	areaFlw []float64 // area flow of the chosen cut
+	depth   []int     // mapped depth
+}
+
+// Map runs the technology mapper and returns resource usage.
+func Map(c *netlist.Circuit, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if opt.K < 2 || opt.K > 8 {
+		return nil, fmt.Errorf("techmap: K=%d out of range 2..8", opt.K)
+	}
+	res, _, err := mapInternal(c, opt)
+	return res, err
+}
+
+// mapInternal runs the mapper and exposes its state for post-mapping
+// network extraction. opt must already be validated/defaulted.
+func mapInternal(c *netlist.Circuit, opt Options) (*Result, *mapper, error) {
+	n := len(c.Gates)
+	m := &mapper{
+		c: c, opt: opt,
+		isLeaf:    make([]bool, n),
+		isConst:   make([]bool, n),
+		chainGate: make([]bool, n),
+		chainOut:  make([]bool, n),
+		fanout:    make([]int, n),
+		cuts:      make([][]cut, n),
+		best:      make([]cut, n),
+		areaFlw:   make([]float64, n),
+		depth:     make([]int, n),
+	}
+
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case netlist.KInput, netlist.KDFF:
+			m.isLeaf[i] = true
+		case netlist.KConst0, netlist.KConst1:
+			m.isConst[i] = true
+		}
+		for _, in := range g.In {
+			m.fanout[in]++
+		}
+	}
+	for _, out := range c.Outputs {
+		m.fanout[out]++
+	}
+
+	carryALUTs := 0
+	if opt.UseCarryChains {
+		carryALUTs = m.absorbCarryChains()
+	}
+
+	order, err := topoOrder(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, g := range order {
+		m.enumerate(g)
+	}
+
+	luts, depth := m.cover()
+	return &Result{
+		Name:       c.Name,
+		LUTs:       luts,
+		CarryALUTs: carryALUTs,
+		FFs:        c.NumDFFs(),
+		Depth:      depth,
+	}, m, nil
+}
+
+// absorbCarryChains marks tagged adder cones as chain-mapped. Each tagged
+// adder bit costs one ALUT. An adder whose internal gates have external
+// fanout is left to the generic mapper.
+func (m *mapper) absorbCarryChains() int {
+	count := 0
+	for _, fa := range m.c.Adders {
+		internal := m.adderCone(fa)
+		if internal == nil {
+			continue
+		}
+		ok := true
+		for g := range internal {
+			if g == fa.Sum || g == fa.Cout {
+				continue
+			}
+			// Internal gate referenced outside the adder cone: skip chain.
+			ext := m.fanout[g]
+			for h := range internal {
+				for _, in := range m.c.Gates[h].In {
+					if in == g {
+						ext--
+					}
+				}
+			}
+			if ext > 0 {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		for g := range internal {
+			m.chainGate[g] = true
+		}
+		m.chainOut[fa.Sum] = true
+		m.isLeaf[fa.Sum] = true
+		if fa.Cout >= 0 {
+			m.chainOut[fa.Cout] = true
+			m.isLeaf[fa.Cout] = true
+		}
+		count++
+	}
+	return count
+}
+
+// adderCone returns the gates reachable from Sum and Cout down to the
+// adder's {A, B, Cin} boundary, or nil if the cone is malformed.
+func (m *mapper) adderCone(fa netlist.FullAdder) map[netlist.Signal]bool {
+	stop := map[netlist.Signal]bool{fa.A: true, fa.B: true}
+	if fa.Cin >= 0 {
+		stop[fa.Cin] = true
+	}
+	cone := map[netlist.Signal]bool{}
+	var walk func(netlist.Signal) bool
+	walk = func(s netlist.Signal) bool {
+		if stop[s] || cone[s] {
+			return true
+		}
+		k := m.c.Gates[s].Kind
+		if k == netlist.KInput || k == netlist.KDFF || k == netlist.KConst0 || k == netlist.KConst1 {
+			// Reached a non-boundary leaf: cone escapes the adder.
+			return false
+		}
+		cone[s] = true
+		for _, in := range m.c.Gates[s].In {
+			if !walk(in) {
+				return false
+			}
+		}
+		return true
+	}
+	if !walk(fa.Sum) {
+		return nil
+	}
+	if fa.Cout >= 0 && !walk(fa.Cout) {
+		return nil
+	}
+	return cone
+}
+
+func topoOrder(c *netlist.Circuit) ([]netlist.Signal, error) {
+	state := make([]int, len(c.Gates))
+	var order []netlist.Signal
+	var visit func(netlist.Signal) error
+	visit = func(g netlist.Signal) error {
+		switch state[g] {
+		case 1:
+			return fmt.Errorf("techmap: combinational cycle at gate %d", g)
+		case 2:
+			return nil
+		}
+		state[g] = 1
+		if kind := c.Gates[g].Kind; kind != netlist.KDFF && kind != netlist.KInput {
+			for _, in := range c.Gates[g].In {
+				if err := visit(in); err != nil {
+					return err
+				}
+			}
+		}
+		state[g] = 2
+		order = append(order, g)
+		return nil
+	}
+	for i := range c.Gates {
+		if err := visit(netlist.Signal(i)); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// enumerate computes the priority cut set for gate g.
+func (m *mapper) enumerate(g netlist.Signal) {
+	gt := m.c.Gates[g]
+	if m.isLeaf[g] || m.isConst[g] {
+		m.cuts[g] = []cut{{}} // leaves contribute themselves at merge time
+		m.best[g] = cut{}
+		m.areaFlw[g] = 0
+		m.depth[g] = 0
+		return
+	}
+	if m.chainGate[g] && !m.chainOut[g] {
+		// Swallowed by a carry chain; never referenced by the generic
+		// mapper (fanout was verified in absorbCarryChains).
+		return
+	}
+
+	switch gt.Kind {
+	case netlist.KNot, netlist.KAnd, netlist.KOr, netlist.KXor, netlist.KMux:
+	default:
+		return
+	}
+
+	// Base candidate sets per input: the input's own cuts, or the trivial
+	// cut {input} if the input is a mapped node/leaf.
+	inCuts := make([][]cut, len(gt.In))
+	for i, in := range gt.In {
+		var cands []cut
+		if m.isConst[in] {
+			cands = []cut{{}} // constants cost no leaf
+		} else if m.isLeaf[in] {
+			cands = []cut{{in}}
+		} else {
+			cands = append(cands, cut{in})
+			cands = append(cands, m.cuts[in]...)
+		}
+		inCuts[i] = cands
+	}
+
+	// Cross-merge.
+	acc := []cut{{}}
+	for _, cands := range inCuts {
+		var next []cut
+		for _, a := range acc {
+			for _, b := range cands {
+				if merged, ok := mergeCuts(a, b, m.opt.K); ok {
+					next = append(next, merged)
+				}
+			}
+		}
+		acc = dedupCuts(next)
+		if len(acc) > 4*m.opt.MaxCuts {
+			acc = m.prioritize(acc)[:4*m.opt.MaxCuts]
+		}
+	}
+	acc = m.prioritize(acc)
+	if len(acc) > m.opt.MaxCuts {
+		acc = acc[:m.opt.MaxCuts]
+	}
+	if len(acc) == 0 {
+		acc = []cut{{}}
+	}
+	m.cuts[g] = acc
+	m.best[g] = acc[0]
+	m.areaFlw[g] = m.flowOf(acc[0])
+	m.depth[g] = m.depthOf(acc[0])
+}
+
+func dedupCuts(cs []cut) []cut {
+	seen := map[string]bool{}
+	out := cs[:0]
+	for _, c := range cs {
+		key := ""
+		for _, s := range c {
+			key += fmt.Sprintf("%d,", s)
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// prioritize sorts cuts by (area flow, depth, size).
+func (m *mapper) prioritize(cs []cut) []cut {
+	sort.SliceStable(cs, func(i, j int) bool {
+		fi, fj := m.flowOf(cs[i]), m.flowOf(cs[j])
+		if fi != fj {
+			return fi < fj
+		}
+		di, dj := m.depthOf(cs[i]), m.depthOf(cs[j])
+		if di != dj {
+			return di < dj
+		}
+		return len(cs[i]) < len(cs[j])
+	})
+	return cs
+}
+
+func (m *mapper) flowOf(c cut) float64 {
+	f := 1.0
+	for _, leaf := range c {
+		if m.isLeaf[leaf] {
+			continue
+		}
+		fo := m.fanout[leaf]
+		if fo < 1 {
+			fo = 1
+		}
+		f += m.areaFlw[leaf] / float64(fo)
+	}
+	return f
+}
+
+func (m *mapper) depthOf(c cut) int {
+	d := 0
+	for _, leaf := range c {
+		if m.depth[leaf] > d {
+			d = m.depth[leaf]
+		}
+	}
+	return d + 1
+}
+
+// cover derives the final LUT network from the chosen cuts.
+func (m *mapper) cover() (luts, depth int) {
+	needed := map[netlist.Signal]bool{}
+	var require func(netlist.Signal)
+	require = func(s netlist.Signal) {
+		if m.isLeaf[s] || m.isConst[s] || needed[s] {
+			return
+		}
+		if m.chainGate[s] && !m.chainOut[s] {
+			return
+		}
+		needed[s] = true
+		for _, leaf := range m.best[s] {
+			require(leaf)
+		}
+	}
+	// Roots: primary outputs and DFF data inputs.
+	for _, out := range m.c.Outputs {
+		require(out)
+	}
+	for _, g := range m.c.Gates {
+		if g.Kind == netlist.KDFF {
+			require(g.In[0])
+		}
+	}
+	maxD := 0
+	for s := range needed {
+		if m.depth[s] > maxD {
+			maxD = m.depth[s]
+		}
+	}
+	return len(needed), maxD
+}

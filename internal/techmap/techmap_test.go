@@ -1,0 +1,199 @@
+package techmap
+
+import (
+	"testing"
+
+	"sdmmon/internal/netlist"
+)
+
+func TestMapSimpleAnd(t *testing.T) {
+	b := netlist.NewBuilder("and2")
+	x := b.Input("x")
+	y := b.Input("y")
+	b.Output("o", b.And(x, y))
+	r, err := Map(b.Build(), Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LUTs != 1 || r.FFs != 0 || r.Depth != 1 {
+		t.Errorf("and2: %v", r)
+	}
+}
+
+func TestMapAbsorbsChains(t *testing.T) {
+	// A 6-input AND tree fits in: 2 LUT4s (4+3 inputs) or similar; must be
+	// at most 2 LUTs and never 5 (one per gate).
+	b := netlist.NewBuilder("and6")
+	in := b.InputBus("in", 6)
+	acc := in[0]
+	for _, s := range in[1:] {
+		acc = b.And(acc, s)
+	}
+	b.Output("o", acc)
+	r, err := Map(b.Build(), Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LUTs > 2 {
+		t.Errorf("and6 took %d LUT4s, want <=2", r.LUTs)
+	}
+	r6, err := Map(b.Build(), Options{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r6.LUTs != 1 {
+		t.Errorf("and6 took %d LUT6s, want 1", r6.LUTs)
+	}
+}
+
+func TestMapConstantsAreFree(t *testing.T) {
+	// A 4-bit ROM output is a function of 4 address bits: exactly 1 LUT4
+	// per output bit once constants are propagated.
+	rom := make([]uint64, 16)
+	for i := range rom {
+		rom[i] = uint64((i*5 + 3) & 0xF)
+	}
+	b := netlist.NewBuilder("rom16x4")
+	addr := b.InputBus("addr", 4)
+	b.OutputBus("data", b.LUTRom(addr, rom, 4))
+	r, err := Map(b.Build(), Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LUTs > 4 {
+		t.Errorf("rom16x4 took %d LUT4s, want <=4", r.LUTs)
+	}
+}
+
+func TestCarryChainMode(t *testing.T) {
+	b := netlist.NewBuilder("add8")
+	a := b.InputBus("a", 8)
+	x := b.InputBus("x", 8)
+	b.OutputBus("s", b.Add(a, x))
+	c := b.Build()
+
+	plain, err := Map(c, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chained, err := Map(c, Options{K: 4, UseCarryChains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chained.CarryALUTs != 8 {
+		t.Errorf("add8 used %d carry ALUTs, want 8", chained.CarryALUTs)
+	}
+	if chained.LUTs != 0 {
+		t.Errorf("add8 with chains still used %d generic LUTs", chained.LUTs)
+	}
+	if plain.CarryALUTs != 0 {
+		t.Errorf("plain mapping used carry ALUTs")
+	}
+	if plain.LUTs <= chained.TotalALUTs()/2 {
+		t.Errorf("plain (%d) should cost clearly more than chained (%d)",
+			plain.LUTs, chained.TotalALUTs())
+	}
+}
+
+func TestFFCounting(t *testing.T) {
+	b := netlist.NewBuilder("reg")
+	d := b.InputBus("d", 5)
+	q := b.RegisterBus("q", d)
+	b.OutputBus("q", q)
+	r, err := Map(b.Build(), Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FFs != 5 {
+		t.Errorf("FFs = %d, want 5", r.FFs)
+	}
+	if r.LUTs != 0 {
+		t.Errorf("pure register file needed %d LUTs", r.LUTs)
+	}
+}
+
+func TestLogicFeedingFFsIsMapped(t *testing.T) {
+	b := netlist.NewBuilder("regfn")
+	x := b.Input("x")
+	y := b.Input("y")
+	q := b.DFF(b.And(x, y), "q")
+	b.Output("q", q)
+	r, err := Map(b.Build(), Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LUTs != 1 || r.FFs != 1 {
+		t.Errorf("regfn: %v", r)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	b := netlist.NewBuilder("x")
+	b.Output("o", b.Input("i"))
+	if _, err := Map(b.Build(), Options{K: 1}); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := Map(b.Build(), Options{K: 9}); err == nil {
+		t.Error("K=9 accepted")
+	}
+	if _, err := Map(b.Build(), Options{}); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestDepthReported(t *testing.T) {
+	// A 16-input XOR tree needs at least 2 LUT4 levels.
+	b := netlist.NewBuilder("xor16")
+	in := b.InputBus("in", 16)
+	for len(in) > 1 {
+		var next []netlist.Signal
+		for i := 0; i+1 < len(in); i += 2 {
+			next = append(next, b.Xor(in[i], in[i+1]))
+		}
+		in = next
+	}
+	b.Output("o", in[0])
+	r, err := Map(b.Build(), Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Depth < 2 {
+		t.Errorf("xor16 depth = %d, want >= 2", r.Depth)
+	}
+}
+
+func TestHashUnitsMapAndCompare(t *testing.T) {
+	// The Table 3 shape: the structural Merkle adder tree on carry chains
+	// must cost fewer combinational cells than the behavioral popcount
+	// mapped to generic LUTs.
+	merkle := netlist.BuildMerkleUnit(netlist.MerkleUnitOptions{Registered: true})
+	bitcount := netlist.BuildBitcountUnit(netlist.BitcountUnitOptions{Registered: true})
+
+	rm, err := Map(merkle, Options{K: 4, UseCarryChains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Map(bitcount, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("merkle: %v", rm)
+	t.Logf("bitcount: %v", rb)
+	if rm.TotalALUTs() >= rb.TotalALUTs() {
+		t.Errorf("merkle (%d ALUTs) should beat bitcount (%d LUTs)",
+			rm.TotalALUTs(), rb.LUTs)
+	}
+	if rm.FFs != 37 || rb.FFs != 38 {
+		t.Errorf("FFs: merkle %d (want 37), bitcount %d (want 38)", rm.FFs, rb.FFs)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	r := &Result{Name: "x", LUTs: 3, CarryALUTs: 2, FFs: 1, Depth: 4}
+	if r.TotalALUTs() != 5 {
+		t.Error("TotalALUTs wrong")
+	}
+	if len(r.String()) == 0 {
+		t.Error("empty String")
+	}
+}

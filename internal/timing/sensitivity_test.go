@@ -1,0 +1,59 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShapeOKOnBaseModel(t *testing.T) {
+	m := NiosIIPrototype()
+	if !ShapeOK(m.Table2(PrototypePackageInput())) {
+		t.Fatal("base model fails its own shape claims")
+	}
+}
+
+func TestShapeOKDetectsBrokenOrdering(t *testing.T) {
+	m := NiosIIPrototype()
+	m.AESCyclesPerByte *= 10 // AES now dwarfs the RSA private op
+	if ShapeOK(m.Table2(PrototypePackageInput())) {
+		t.Error("shape check missed an inverted ordering")
+	}
+}
+
+func TestSensitivityShapeRobustAt20Percent(t *testing.T) {
+	rows := SensitivityAnalysis(NiosIIPrototype(), 0.20, PrototypePackageInput())
+	if len(rows) != 10 { // 5 constants × 2 directions
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.ShapeHeld {
+			t.Errorf("shape broke under %s ×%.2f (total %.2f s)", r.Param, r.Factor, r.Total)
+		}
+		if r.Total < 15 || r.Total > 40 {
+			t.Errorf("%s ×%.2f: total %.2f s implausible", r.Param, r.Factor, r.Total)
+		}
+	}
+}
+
+func TestSensitivityShapeEventuallyBreaks(t *testing.T) {
+	// The check must not be vacuous: at extreme perturbations the ordering
+	// does break somewhere.
+	rows := SensitivityAnalysis(NiosIIPrototype(), 0.95, PrototypePackageInput())
+	broke := false
+	for _, r := range rows {
+		if !r.ShapeHeld {
+			broke = true
+		}
+	}
+	if !broke {
+		t.Error("shape held under ±95% perturbations — the check is vacuous")
+	}
+}
+
+func TestRenderSensitivity(t *testing.T) {
+	rows := SensitivityAnalysis(NiosIIPrototype(), 0.2, PrototypePackageInput())
+	s := RenderSensitivity(rows)
+	if !strings.Contains(s, "MACCycles") || !strings.Contains(s, "shape holds") {
+		t.Errorf("render malformed:\n%s", s)
+	}
+}

@@ -1,0 +1,156 @@
+package timing
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sdmmon/internal/seccrypto"
+)
+
+func TestModMulScalesQuadratically(t *testing.T) {
+	m := NiosIIPrototype()
+	r := m.modMulCycles(2048) / m.modMulCycles(1024)
+	if math.Abs(r-4) > 1e-9 {
+		t.Errorf("2048/1024 modmul ratio = %f, want 4", r)
+	}
+}
+
+func TestRSAPrivateVsPublic(t *testing.T) {
+	m := NiosIIPrototype()
+	priv := m.RSAPrivateCycles(2048)
+	pub := m.RSAPublicCycles(2048)
+	// Private = 1.5·2048 multiplications vs 17: ratio ≈ 180.
+	if r := priv / pub; r < 150 || r > 210 {
+		t.Errorf("private/public ratio = %.1f", r)
+	}
+}
+
+func TestTable2ReproducesPaper(t *testing.T) {
+	m := NiosIIPrototype()
+	steps := m.Table2(PrototypePackageInput())
+	if len(steps) != 7 {
+		t.Fatalf("%d steps", len(steps))
+	}
+	for _, s := range steps {
+		if s.Paper <= 0 {
+			continue
+		}
+		err := math.Abs(s.Seconds-s.Paper) / s.Paper
+		if err > 0.15 {
+			t.Errorf("%s: model %.2f s vs paper %.2f s (%.0f%% off)",
+				s.Name, s.Seconds, s.Paper, err*100)
+		}
+	}
+	// Shape: RSA private-key decrypt is the most expensive step, AES
+	// second; download cheapest.
+	byName := map[string]float64{}
+	for _, s := range steps {
+		byName[s.Name] = s.Seconds
+	}
+	if !(byName["Decrypt AES key using router private key"] > byName["Decrypt package with AES key"]) {
+		t.Error("RSA private op should dominate AES decrypt")
+	}
+	if !(byName["Decrypt package with AES key"] > byName["Verify package signature with operator public key"]) {
+		t.Error("AES decrypt should exceed signature verify")
+	}
+	if !(byName["Download data from FTP server"] < byName["Check manufacturer certificate of operator public key"]) {
+		t.Error("download should be the cheapest step")
+	}
+	// The paper's acceptability claim: total ≈ 25 s.
+	if tot := byName["Total"]; tot < 20 || tot > 31 {
+		t.Errorf("total %.2f s, want ≈25 s", tot)
+	}
+}
+
+func TestTable2SmallPackage(t *testing.T) {
+	// With our actual (KB-scale) bundles the per-process overhead and the
+	// RSA private op dominate; the table still renders and totals stay
+	// consistent.
+	m := NiosIIPrototype()
+	in := Table2Input{WireBytes: 4096, CertBodyBytes: 300, PayloadBytes: 3000, PlainBytes: 3000}
+	steps := m.Table2(in)
+	var sum float64
+	byName := map[string]float64{}
+	for _, s := range steps {
+		byName[s.Name] = s.Seconds
+		if s.Name != "Total" && !strings.HasPrefix(s.Name, "Total (") {
+			sum += s.Seconds
+		}
+	}
+	if math.Abs(sum-byName["Total"]) > 1e-9 {
+		t.Errorf("total %.4f != sum %.4f", byName["Total"], sum)
+	}
+	if byName["Decrypt AES key using router private key"] < 5 {
+		t.Error("RSA private op should still cost seconds on a small package")
+	}
+}
+
+func TestEstimateOpsConsistentWithTable(t *testing.T) {
+	// The aggregate estimator over real OpCounts must agree with the
+	// per-step table (minus fixed overheads) for the same workload.
+	m := NiosIIPrototype()
+	in := PrototypePackageInput()
+	ops := seccrypto.OpCounts{
+		DownloadBytes: in.WireBytes,
+		RSAPrivateOps: 1,
+		RSAPublicOps:  2,
+		SHA256Bytes:   in.PlainBytes + in.CertBodyBytes,
+		AESBytes:      in.PayloadBytes,
+	}
+	est := m.EstimateOps(ops)
+	steps := m.Table2(in)
+	var total float64
+	for _, s := range steps {
+		if s.Name == "Total" {
+			total = s.Seconds
+		}
+	}
+	overheads := 4*m.Seconds(m.ExecOverheadCycles) + m.NetRoundTripSeconds
+	if math.Abs((est+overheads)-total) > 0.05 {
+		t.Errorf("estimate+overheads %.2f != table total %.2f", est+overheads, total)
+	}
+}
+
+func TestInputFromPackageUsesRealSizes(t *testing.T) {
+	in := Table2Input{WireBytes: 100, CertBodyBytes: 10, PayloadBytes: 50, PlainBytes: 50}
+	_ = in
+	// Construct a tiny real package via the fake-free path is exercised in
+	// the core package tests; here check the derivation helper contract on
+	// a synthetic value.
+	p := &seccrypto.Package{
+		DeviceID:   "r0",
+		Cert:       &seccrypto.Certificate{Subject: "op", KeyDER: make([]byte, 270), Signature: make([]byte, 256)},
+		EncKey:     make([]byte, 256),
+		IV:         make([]byte, 16),
+		EncPayload: make([]byte, 1024),
+		Signature:  make([]byte, 256),
+	}
+	got := InputFromPackage(p)
+	if got.PayloadBytes != 1024 || got.PlainBytes != 1024 {
+		t.Errorf("payload sizes: %+v", got)
+	}
+	if got.WireBytes <= 1024+256+256 {
+		t.Errorf("wire size %d too small", got.WireBytes)
+	}
+	if got.CertBodyBytes == 0 {
+		t.Error("cert body empty")
+	}
+}
+
+func TestRender(t *testing.T) {
+	m := NiosIIPrototype()
+	out := Render("Table 2", m.Table2(PrototypePackageInput()))
+	for _, want := range []string{"Table 2", "Download", "Total", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	m := NiosIIPrototype()
+	if got := m.Seconds(100e6); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("100M cycles = %f s", got)
+	}
+}
