@@ -1,10 +1,15 @@
 # SDMMon — build, test and reproduction targets.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build vet test test-short bench fuzz experiments examples verilog clean
+.PHONY: all check build vet fmt-check test test-short test-race bench fuzz experiments examples verilog clean
 
-all: build vet test
+all: check
+
+# The default CI gate: build, static checks, full tests, and the race
+# detector over the concurrent packages.
+check: build vet fmt-check test test-race
 
 build:
 	$(GO) build ./...
@@ -12,21 +17,32 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fail if any file is not gofmt-clean.
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
 
+# Race detector over the packages with real goroutine concurrency (the
+# ProcessBatch workers and the network-path pipeline).
+test-race:
+	$(GO) test -race ./internal/npu/... ./internal/network/...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Brief fuzzing pass over the attacker-facing parsers.
+# Brief fuzzing pass over the attacker-facing parsers and the data plane.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzAssemble -fuzztime=30s ./internal/asm/
 	$(GO) test -run=NONE -fuzz=FuzzDeserializeProgram -fuzztime=30s ./internal/asm/
 	$(GO) test -run=NONE -fuzz=FuzzDeserializeGraph -fuzztime=30s ./internal/monitor/
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalPackage -fuzztime=30s ./internal/seccrypto/
+	$(GO) test -run=NONE -fuzz=FuzzProcessPacket -fuzztime=30s ./internal/npu/
 
 # Regenerate every table/figure of the paper (EXPERIMENTS.md source).
 experiments:

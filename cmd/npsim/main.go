@@ -31,12 +31,55 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for traffic and hash parameter")
 	clockMHz := flag.Float64("clock", 100, "core clock in MHz for throughput reporting")
 	trace := flag.Int("trace", 0, "forensic trace depth; dumps the trace of the first alarm")
+	bench := flag.Bool("bench", false, "run the throughput sweep (1/2/4/8 cores x batch sizes, fast vs reference) and write -benchout")
+	benchOut := flag.String("benchout", "BENCH_npu.json", "output file for -bench")
+	benchPackets := flag.Int("benchpackets", 20000, "packets per sweep point in -bench mode")
 	flag.Parse()
 
-	if err := run(*appName, *cores, *packets, *attacks, *monitors, *qdepth, *optWords, *seed, *clockMHz, *trace); err != nil {
+	var err error
+	if *bench {
+		err = runBench(*appName, *benchPackets, *optWords, *seed, *benchOut)
+	} else {
+		err = run(*appName, *cores, *packets, *attacks, *monitors, *qdepth, *optWords, *seed, *clockMHz, *trace)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "npsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runBench sweeps core counts and batch sizes over both monitoring paths and
+// writes the machine-readable BENCH_npu.json baseline.
+func runBench(appName string, packets, optWords int, seed int64, out string) error {
+	report := npu.NewBenchReport(appName, "npsim -bench")
+	fmt.Printf("npsim bench: %s, %d packets/point, GOMAXPROCS=%d\n",
+		report.App, packets, report.GOMAXPROCS)
+	fmt.Printf("%-10s %6s %6s %14s %10s %12s %9s\n",
+		"path", "cores", "batch", "pkts/sec", "ns/pkt", "simcyc/pkt", "hit-rate")
+	for _, reference := range []bool{false, true} {
+		for _, cores := range []int{1, 2, 4, 8} {
+			for _, batch := range []int{64, 256} {
+				p, err := npu.MeasureThroughput(npu.ThroughputConfig{
+					App: appName, Cores: cores, Batch: batch, Packets: packets,
+					Reference: reference, Seed: seed, OptionWords: optWords,
+				})
+				if err != nil {
+					return err
+				}
+				report.Add(p)
+				fmt.Printf("%-10s %6d %6d %14.0f %10.0f %12.1f %9.3f\n",
+					p.Path, p.Cores, p.Batch, p.PktsPerSec, p.NsPerPkt, p.SimCyclesPerPkt, p.HashHitRate)
+			}
+		}
+	}
+	if err := report.Write(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	for k, s := range report.SpeedupFastVsReference {
+		fmt.Printf("  speedup fast/reference %s: %.2fx\n", k, s)
+	}
+	return nil
 }
 
 func run(appName string, cores, packets, attacks int, monitors bool, qdepth, optWords int, seed int64, clockMHz float64, traceDepth int) error {

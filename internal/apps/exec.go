@@ -20,6 +20,10 @@ type Core struct {
 	Trace cpu.TraceFunc
 	// MaxCyclesPerPacket is the watchdog budget (default 200k).
 	MaxCyclesPerPacket uint64
+
+	// out is the reused output-packet buffer: Process reads the packet
+	// region back into it without allocating.
+	out []byte
 }
 
 // NewCore loads prog into a fresh core.
@@ -35,16 +39,22 @@ func NewCore(prog *asm.Program) *Core {
 }
 
 // PacketResult is the outcome of processing one packet.
+//
+// Packet aliases the core's reused output buffer: it is valid until the
+// next Process call on the same core. Callers that retain results across
+// packets must copy it. This keeps the steady-state packet path free of
+// heap allocations.
 type PacketResult struct {
 	Verdict int
-	Packet  []byte // packet bytes after processing
+	Packet  []byte // packet bytes after processing (aliased, see above)
 	Cycles  uint64
 	Exc     *cpu.Exception // nil on clean completion
 }
 
 // Process runs the loaded application over one packet. The core is reset
 // (registers, PC) per packet — the recovery model of §2.1 — but memory
-// persists so scratch state survives.
+// persists so scratch state survives. The steady-state path (no
+// architectural exception) performs zero heap allocations.
 func (c *Core) Process(pkt []byte, qdepth int) PacketResult {
 	if len(pkt) > MemSize-PktBase {
 		return PacketResult{Verdict: VerdictDrop, Packet: pkt}
@@ -60,12 +70,12 @@ func (c *Core) Process(pkt []byte, qdepth int) PacketResult {
 	c.cpu.Regs[isa.RegSP] = StackTop
 
 	cycles, exc := c.cpu.Run(c.MaxCyclesPerPacket)
-	out := c.mem.ReadBytes(PktBase, len(pkt))
+	c.out = c.mem.AppendBytes(c.out[:0], PktBase, len(pkt))
 	verdict := int(c.cpu.Regs[isa.RegV0])
 	if exc != nil {
 		verdict = VerdictDrop // recovery drops the attack packet
 	}
-	return PacketResult{Verdict: verdict, Packet: out, Cycles: cycles, Exc: exc}
+	return PacketResult{Verdict: verdict, Packet: c.out, Cycles: cycles, Exc: exc}
 }
 
 // Scratch reads n bytes of the core's scratch region.

@@ -74,11 +74,30 @@ func (m *Memory) WriteBytes(addr uint32, data []byte) {
 
 // ReadBytes copies n bytes from RAM at addr.
 func (m *Memory) ReadBytes(addr uint32, n int) []byte {
-	out := make([]byte, n)
-	if int(addr) < len(m.data) {
-		copy(out, m.data[addr:])
+	return m.AppendBytes(nil, addr, n)
+}
+
+// AppendBytes appends n bytes of RAM starting at addr to dst and returns
+// the extended slice; bytes past the end of RAM read as zero. It reuses
+// dst's capacity, so callers that recycle a buffer read memory without
+// allocating — the packet data-plane path depends on this.
+func (m *Memory) AppendBytes(dst []byte, addr uint32, n int) []byte {
+	if cap(dst)-len(dst) < n {
+		grown := make([]byte, len(dst), len(dst)+n)
+		copy(grown, dst)
+		dst = grown
 	}
-	return out
+	start := len(dst)
+	dst = dst[:start+n]
+	out := dst[start:]
+	copied := 0
+	if int(addr) < len(m.data) {
+		copied = copy(out, m.data[addr:])
+	}
+	for i := copied; i < n; i++ {
+		out[i] = 0
+	}
+	return dst
 }
 
 // inRange reports whether an n-byte access at addr fits in RAM.

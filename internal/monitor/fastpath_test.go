@@ -1,0 +1,135 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/isa"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/packet"
+)
+
+// The fast path under test: flattened PackedMonitor fed by a FastHasher
+// (word-keyed hash cache, concrete dispatch). The reference: map-based
+// Monitor fed by the uncached Merkle hasher. This file proves equivalence
+// on benign traffic; the attack-side equivalence (E8 stack smash,
+// packet-derived code) lives in internal/attack/fastpath_test.go because
+// package attack imports monitor.
+
+func fastAndRefMonitors(t *testing.T, app *apps.App, param uint32) (*PackedMonitor, *Monitor, *apps.Core, *apps.Core) {
+	t.Helper()
+	prog, err := app.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := mhash.NewMerkle(param)
+	g, err := Extract(prog, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Pack(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastMon, err := NewPacked(p, mhash.NewFastDefault(mhash.NewMerkle(param)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMon, err := New(g, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastCore, refCore := apps.NewCore(prog), apps.NewCore(prog)
+	fastCore.Trace = fastMon.Observe
+	refCore.Trace = refMon.Observe
+	return fastMon, refMon, fastCore, refCore
+}
+
+// TestFastPathEquivalenceBenign runs identical benign traffic through the
+// fast path and the reference on every built-in application and demands
+// identical outcomes, instruction counts and candidate-set behaviour.
+func TestFastPathEquivalenceBenign(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, app := range apps.All() {
+		fastMon, refMon, fastCore, refCore := fastAndRefMonitors(t, app, rng.Uint32())
+		gen := packet.NewGenerator(int64(rng.Int31()))
+		gen.OptionWords = 2
+		for i := 0; i < 50; i++ {
+			pkt := gen.Next()
+			fastMon.Reset()
+			refMon.Reset()
+			fr := fastCore.Process(pkt, i%64)
+			rr := refCore.Process(pkt, i%64)
+			if (fr.Exc == nil) != (rr.Exc == nil) || fastMon.Alarmed() != refMon.Alarmed() {
+				t.Fatalf("%s pkt %d: fast exc=%v alarm=%v, ref exc=%v alarm=%v",
+					app.Name, i, fr.Exc, fastMon.Alarmed(), rr.Exc, refMon.Alarmed())
+			}
+			if fr.Verdict != rr.Verdict {
+				t.Fatalf("%s pkt %d: verdicts %d vs %d", app.Name, i, fr.Verdict, rr.Verdict)
+			}
+		}
+		fc, fa, fp := fastMon.Counters()
+		rc, ra, rp := refMon.Counters()
+		if fc != rc || fa != ra || fp != rp {
+			t.Fatalf("%s: counters fast=(%d,%d,%d) ref=(%d,%d,%d)", app.Name, fc, fa, fp, rc, ra, rp)
+		}
+		if fc == 0 {
+			t.Fatalf("%s: no instructions observed", app.Name)
+		}
+	}
+}
+
+// TestFastPathEquivalenceRandomStreams drives both monitors over raw
+// instruction streams (valid prefix, then attacker garbage) across random
+// parameters, comparing every single decision.
+func TestFastPathEquivalenceRandomStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	prog, err := apps.IPv4CM().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 12; trial++ {
+		param := rng.Uint32()
+		ref := mhash.NewMerkle(param)
+		g, err := Extract(prog, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Pack(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastMon, err := NewPacked(p, mhash.NewFastDefault(mhash.NewMerkle(param)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refMon, err := New(g, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words := prog.CodeWords()
+		for i := 0; i < 2000; i++ {
+			var w uint32
+			if rng.Intn(4) > 0 {
+				w = uint32(words[rng.Intn(len(words))].W)
+			} else {
+				w = rng.Uint32()
+			}
+			a := refMon.Observe(uint32(4*i), isa.Word(w))
+			b := fastMon.Observe(uint32(4*i), isa.Word(w))
+			if a != b || refMon.Alarmed() != fastMon.Alarmed() {
+				t.Fatalf("trial %d step %d: ref=%v fast=%v", trial, i, a, b)
+			}
+			if !a {
+				refMon.Reset()
+				fastMon.Reset()
+				continue
+			}
+			if refMon.Positions() != fastMon.Positions() {
+				t.Fatalf("trial %d step %d: positions %d vs %d",
+					trial, i, refMon.Positions(), fastMon.Positions())
+			}
+		}
+	}
+}

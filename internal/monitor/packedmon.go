@@ -2,29 +2,37 @@ package monitor
 
 import (
 	"fmt"
+	"math/bits"
 
 	"sdmmon/internal/isa"
 	"sdmmon/internal/mhash"
 )
 
 // PackedMonitor is the runtime monitor operating directly on the packed
-// hardware layout: candidate positions are dense node indices, records are
-// decoded on the fly, and the position set is a pair of flat bitmaps — the
-// same structures the RTL monitor holds in block RAM and flops. It is
-// semantically identical to Monitor (proved by the equivalence tests) and
-// considerably faster, so the NP uses it on the per-instruction path.
+// hardware layout. At install time (NewPacked) the node records are
+// compiled into dense flat arrays, so the per-instruction step is nothing
+// but array reads and bitmask operations — no maps, no branching on node
+// kinds, and no heap allocations:
+//
+//   - match[h] is a bitmap of the nodes whose stored hash is h: ANDing it
+//     with the current position bitmap yields the surviving candidates in
+//     one word-parallel operation (the hardware's parallel comparators);
+//   - succ holds one successor bitmap row per node (direct, branch and
+//     indirect fan-outs all compile to the same representation), so
+//     advancing is OR-ing the rows of the surviving candidates.
+//
+// It is semantically identical to Monitor (proved by the equivalence
+// tests), and the NP uses it on the per-instruction path. When the hash
+// unit is a *mhash.FastHasher the monitor calls it through a concrete
+// pointer, keeping interface dispatch out of the inner loop.
 type PackedMonitor struct {
 	p      *PackedGraph
 	hasher mhash.Hasher
+	fast   *mhash.FastHasher // non-nil when hasher is a FastHasher
 
-	// Decoded record arrays (the "monitor memory" contents).
-	hash  []uint8
-	kind  []uint8
-	f0    []int32
-	f1    []int32
-	fan   []int32 // fan-out table entries
-	fanAt []int32 // per-indirect-node offset into fan
-	fanN  []int32 // per-indirect-node count
+	stride int        // words per bitmap
+	match  [][]uint64 // hash value -> bitmap of nodes with that hash
+	succ   []uint64   // node index -> successor bitmap row (stride words)
 
 	cur, next []uint64 // position bitmaps, one bit per node
 
@@ -36,45 +44,65 @@ type PackedMonitor struct {
 	MaxPositions int
 }
 
-// NewPacked builds a packed monitor from the hardware layout.
+// NewPacked builds a packed monitor from the hardware layout, compiling the
+// record stream into the flat transition arrays described above.
 func NewPacked(p *PackedGraph, h mhash.Hasher) (*PackedMonitor, error) {
 	if p.Width != h.Width() {
 		return nil, fmt.Errorf("monitor: packed width %d != hash unit width %d", p.Width, h.Width())
 	}
 	n := p.Nodes()
+	stride := (n + 63) / 64
 	m := &PackedMonitor{
 		p: p, hasher: h,
-		hash: make([]uint8, n),
-		kind: make([]uint8, n),
-		f0:   make([]int32, n),
-		f1:   make([]int32, n),
-		cur:  make([]uint64, (n+63)/64),
-		next: make([]uint64, (n+63)/64),
+		stride: stride,
+		match:  make([][]uint64, 1<<p.Width),
+		succ:   make([]uint64, n*stride),
+		cur:    make([]uint64, stride),
+		next:   make([]uint64, stride),
 	}
+	if fh, ok := h.(*mhash.FastHasher); ok {
+		m.fast = fh
+	}
+	for i := range m.match {
+		m.match[i] = make([]uint64, stride)
+	}
+
 	// Decode the node records once (hardware reads them per access; the
-	// software model trades memory for speed).
+	// software model trades memory for speed) and compile them.
 	r := p.bits.reader()
 	type ind struct{ node, offset int }
 	var inds []ind
+	kind := make([]uint8, n)
+	f0 := make([]uint64, n)
+	f1 := make([]uint64, n)
 	for i := 0; i < n; i++ {
-		m.hash[i] = uint8(r.read(p.Width))
-		m.kind[i] = uint8(r.read(2))
-		f0 := r.read(p.IdxBits)
-		f1 := r.read(p.IdxBits)
-		m.f0[i] = int32(f0)
-		m.f1[i] = int32(f1)
-		if m.kind[i] == pkIndirect {
-			inds = append(inds, ind{node: i, offset: int(f0<<p.IdxBits | f1)})
+		h := r.read(p.Width)
+		kind[i] = uint8(r.read(2))
+		f0[i] = r.read(p.IdxBits)
+		f1[i] = r.read(p.IdxBits)
+		setBit(m.match[h], i)
+		if kind[i] == pkIndirect {
+			inds = append(inds, ind{node: i, offset: int(f0[i]<<p.IdxBits | f1[i])})
 		}
 	}
-	m.fanAt = make([]int32, n)
-	m.fanN = make([]int32, n)
+	for i := 0; i < n; i++ {
+		row := m.succ[i*stride : (i+1)*stride]
+		switch kind[i] {
+		case pkDirect:
+			setBit(row, int(f0[i]))
+		case pkBranch:
+			setBit(row, int(f0[i]))
+			setBit(row, int(f1[i]))
+		case pkTerminal:
+			// Matches, contributes no successors: the row stays zero.
+		}
+	}
 	if len(inds) > 0 {
 		fr := p.fanout.reader()
 		total := p.fanoutEntries - len(inds)
-		m.fan = make([]int32, total)
-		for i := range m.fan {
-			m.fan[i] = int32(fr.read(p.IdxBits))
+		fan := make([]int32, total)
+		for i := range fan {
+			fan[i] = int32(fr.read(p.IdxBits))
 		}
 		counts := make([]int32, len(inds))
 		for i := range counts {
@@ -85,8 +113,10 @@ func NewPacked(p *PackedGraph, h mhash.Hasher) (*PackedMonitor, error) {
 			if int32(x.offset) != off {
 				return nil, fmt.Errorf("monitor: packed fan-out offset mismatch")
 			}
-			m.fanAt[x.node] = off
-			m.fanN[x.node] = counts[i]
+			row := m.succ[x.node*stride : (x.node+1)*stride]
+			for j := off; j < off+counts[i]; j++ {
+				setBit(row, int(fan[j]))
+			}
 			off += counts[i]
 		}
 	}
@@ -99,14 +129,14 @@ func (m *PackedMonitor) Reset() {
 	for i := range m.cur {
 		m.cur[i] = 0
 	}
-	m.setBit(m.cur, m.p.Entry)
+	setBit(m.cur, m.p.Entry)
 	m.alarmed = false
 	if m.MaxPositions == 0 {
 		m.MaxPositions = 1
 	}
 }
 
-func (m *PackedMonitor) setBit(bm []uint64, i int) { bm[i/64] |= 1 << uint(i%64) }
+func setBit(bm []uint64, i int) { bm[i/64] |= 1 << uint(i%64) }
 
 // Alarmed reports whether the alarm line is asserted.
 func (m *PackedMonitor) Alarmed() bool { return m.alarmed }
@@ -114,41 +144,56 @@ func (m *PackedMonitor) Alarmed() bool { return m.alarmed }
 // AlarmPC returns the diagnostic pc captured at alarm time.
 func (m *PackedMonitor) AlarmPC() uint32 { return m.alarmPC }
 
-// Observe consumes one retired instruction (cpu.TraceFunc signature).
+// Counters returns the monitor's lifetime statistics.
+func (m *PackedMonitor) Counters() (checked, alarms uint64, maxPositions int) {
+	return m.Checked, m.Alarms, m.MaxPositions
+}
+
+// CacheStats reports the instruction-hash cache counters, or zeros when the
+// monitor's hash unit is not a FastHasher.
+func (m *PackedMonitor) CacheStats() (hits, misses uint64) {
+	if m.fast == nil {
+		return 0, 0
+	}
+	return m.fast.Hits, m.fast.Misses
+}
+
+// Observe consumes one retired instruction (cpu.TraceFunc signature). The
+// steady-state path performs zero heap allocations.
 func (m *PackedMonitor) Observe(pc uint32, w isa.Word) bool {
 	if m.alarmed {
 		return false
 	}
 	m.Checked++
-	h := m.hasher.Hash(uint32(w))
+	var h uint8
+	if m.fast != nil {
+		h = m.fast.Hash(uint32(w))
+	} else {
+		h = m.hasher.Hash(uint32(w))
+	}
 
-	for i := range m.next {
-		m.next[i] = 0
+	hb := m.match[h]
+	next := m.next
+	for i := range next {
+		next[i] = 0
 	}
 	matched := false
-	positions := 0
-	for wi, bits := range m.cur {
-		for bits != 0 {
-			b := bits & (-bits)
-			idx := wi*64 + trailingZeros(b)
-			bits &^= b
-			if m.hash[idx] != h {
-				continue
-			}
-			matched = true
-			switch m.kind[idx] {
-			case pkDirect:
-				m.setBit(m.next, int(m.f0[idx]))
-			case pkBranch:
-				m.setBit(m.next, int(m.f0[idx]))
-				m.setBit(m.next, int(m.f1[idx]))
-			case pkIndirect:
-				at, n := m.fanAt[idx], m.fanN[idx]
-				for j := at; j < at+n; j++ {
-					m.setBit(m.next, int(m.fan[j]))
-				}
-			case pkTerminal:
-				// Matches, contributes no successors.
+	stride := m.stride
+	for wi, cw := range m.cur {
+		// Word-parallel comparison: candidates whose stored hash equals
+		// the reported hash.
+		bw := cw & hb[wi]
+		if bw == 0 {
+			continue
+		}
+		matched = true
+		base := wi * 64
+		for bw != 0 {
+			idx := base + bits.TrailingZeros64(bw)
+			bw &= bw - 1
+			row := m.succ[idx*stride : (idx+1)*stride]
+			for k, v := range row {
+				next[k] |= v
 			}
 		}
 	}
@@ -158,9 +203,10 @@ func (m *PackedMonitor) Observe(pc uint32, w isa.Word) bool {
 		m.Alarms++
 		return false
 	}
-	m.cur, m.next = m.next, m.cur
-	for _, bits := range m.cur {
-		positions += popcount64(bits)
+	m.cur, m.next = next, m.cur
+	positions := 0
+	for _, bw := range m.cur {
+		positions += bits.OnesCount64(bw)
 	}
 	if positions > m.MaxPositions {
 		m.MaxPositions = positions
@@ -171,26 +217,8 @@ func (m *PackedMonitor) Observe(pc uint32, w isa.Word) bool {
 // Positions returns the current candidate count.
 func (m *PackedMonitor) Positions() int {
 	n := 0
-	for _, bits := range m.cur {
-		n += popcount64(bits)
-	}
-	return n
-}
-
-func trailingZeros(v uint64) int {
-	n := 0
-	for v&1 == 0 {
-		v >>= 1
-		n++
-	}
-	return n
-}
-
-func popcount64(v uint64) int {
-	n := 0
-	for v != 0 {
-		v &= v - 1
-		n++
+	for _, bw := range m.cur {
+		n += bits.OnesCount64(bw)
 	}
 	return n
 }

@@ -153,12 +153,3 @@ func TestPackedMonitorStaysAlarmed(t *testing.T) {
 		t.Error("reset monitor rejected valid entry")
 	}
 }
-
-func TestBitHelpers(t *testing.T) {
-	if trailingZeros(1) != 0 || trailingZeros(8) != 3 || trailingZeros(1<<63) != 63 {
-		t.Error("trailingZeros wrong")
-	}
-	if popcount64(0) != 0 || popcount64(0xFF) != 8 || popcount64(1<<63|1) != 2 {
-		t.Error("popcount64 wrong")
-	}
-}

@@ -1,0 +1,77 @@
+package npu
+
+import (
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/packet"
+)
+
+// The tentpole guarantee: the steady-state packet path — dispatch, core
+// reset, per-instruction hashing and monitoring, output read-back, stats —
+// performs zero heap allocations per packet.
+
+func allocNP(t *testing.T, cores int, reference bool) *NP {
+	t.Helper()
+	np, err := New(Config{Cores: cores, MonitorsEnabled: true, Reference: reference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, g := makeBundle(t, apps.IPv4CM(), 0xA110C)
+	if err := np.InstallAll("ipv4cm", bin, g, 0xA110C); err != nil {
+		t.Fatal(err)
+	}
+	return np
+}
+
+func TestProcessOnZeroAllocs(t *testing.T) {
+	np := allocNP(t, 1, false)
+	gen := packet.NewGenerator(31)
+	gen.OptionWords = 2
+	pkts := make([][]byte, 32)
+	for i := range pkts {
+		pkts[i] = gen.Next()
+	}
+	// Warm up: populate the hash cache and size the output buffer.
+	for _, p := range pkts {
+		if _, err := np.ProcessOn(0, p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := np.ProcessOn(0, pkts[i%len(pkts)], 0); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ProcessOn allocates %.2f objects/packet, want 0", allocs)
+	}
+}
+
+// TestProcessBatchAmortizedAllocs: the batch path reuses its arena, offsets
+// and delta scratch, so per-packet allocations amortize to (almost)
+// nothing; what remains is the returned results slice and the per-batch
+// goroutine bookkeeping.
+func TestProcessBatchAmortizedAllocs(t *testing.T) {
+	np := allocNP(t, 4, false)
+	gen := packet.NewGenerator(32)
+	gen.OptionWords = 1
+	pkts := make([][]byte, 512)
+	for i := range pkts {
+		pkts[i] = gen.Next()
+	}
+	if _, err := np.ProcessBatch(pkts, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := np.ProcessBatch(pkts, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perPacket := allocs / float64(len(pkts))
+	if perPacket > 0.1 {
+		t.Fatalf("batch path allocates %.3f objects/packet (%.0f/batch), want <= 0.1", perPacket, allocs)
+	}
+}

@@ -3,16 +3,28 @@ package npu
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sdmmon/internal/apps"
 )
 
 // ProcessBatch runs a batch of packets across the NP's cores concurrently —
 // one goroutine per core, each with its own CPU, memory, hash unit and
-// monitor, exactly like the hardware's parallelism. Packets are distributed
-// by a shared work channel (packet-level load balancing); results keep
-// their input order. Statistics are aggregated once at the end, so the
-// per-packet path stays lock-free.
+// monitor, exactly like the hardware's parallelism. Workers claim packets
+// from a shared atomic cursor (packet-level load balancing with no channel
+// traffic); results keep their input order: results[i] is the fate of
+// pkts[i].
+//
+// Output bytes are copied into a per-NP arena that is reused across
+// batches, so the per-packet path performs no heap allocations in steady
+// state; see Result for the lifetime of the Packet slices.
+//
+// Error semantics: a packet that cannot be processed (e.g. it exceeds the
+// packet memory window) leaves its zero-valued Result in place and the
+// first such error is returned alongside the full results slice. Statistics
+// for every packet that *was* processed are always merged into the NP's
+// aggregate stats, error or not — partial work never vanishes from the
+// counters.
 func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
 	loaded := 0
 	for _, s := range np.slots {
@@ -24,20 +36,36 @@ func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
 		return nil, fmt.Errorf("npu: no core has an application installed")
 	}
 
-	type job struct {
-		idx int
-		pkt []byte
-	}
-	// Buffered so producers never gate consumers: the whole batch is
-	// enqueued up front and the cores drain it at their own pace.
-	jobs := make(chan job, len(pkts))
 	results := make([]Result, len(pkts))
+
+	// Arena sizing: output length equals input length, so the per-result
+	// regions are known up front and workers copy into disjoint slices.
+	if len(np.offs) < len(pkts)+1 {
+		np.offs = make([]int, len(pkts)+1)
+	}
+	offs := np.offs[:len(pkts)+1]
+	offs[0] = 0
+	for i, p := range pkts {
+		offs[i+1] = offs[i] + len(p)
+	}
+	total := offs[len(pkts)]
+	if cap(np.arena) < total {
+		np.arena = make([]byte, total)
+	}
+	arena := np.arena[:total]
+
+	if len(np.deltas) != len(np.slots) {
+		np.deltas = make([]Stats, len(np.slots))
+	}
+	deltas := np.deltas
+	for i := range deltas {
+		deltas[i] = Stats{}
+	}
+
+	var cursor atomic.Int64
 	var firstErr error
 	var errOnce sync.Once
 	var wg sync.WaitGroup
-
-	// Per-core deltas merged into np.stats after the barrier.
-	deltas := make([]Stats, len(np.slots))
 
 	for coreID, slot := range np.slots {
 		if !slot.loaded {
@@ -47,38 +75,53 @@ func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
 		go func(coreID int, slot *coreSlot) {
 			defer wg.Done()
 			d := &deltas[coreID]
-			for j := range jobs {
-				res, err := processOnSlot(slot, coreID, j.pkt, qdepth, np.cfg.MonitorsEnabled, d)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(pkts) {
+					return
+				}
+				res, err := processOnSlot(slot, coreID, pkts[i], qdepth, np.cfg.MonitorsEnabled, d)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					continue
 				}
-				results[j.idx] = res
+				// Copy the aliased core output into this packet's arena
+				// region so every result in the batch stays valid at once.
+				dst := arena[offs[i]:offs[i+1]]
+				copy(dst, res.Packet)
+				res.Packet = dst
+				results[i] = res
 			}
 		}(coreID, slot)
 	}
-	for i, p := range pkts {
-		jobs <- job{idx: i, pkt: p}
-	}
-	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	// Merge per-core deltas unconditionally: packets processed before or
+	// after an errored one stay visible in the aggregate statistics.
+	for i := range deltas {
+		np.stats.add(&deltas[i])
 	}
-	for _, d := range deltas {
-		np.stats.Processed += d.Processed
-		np.stats.Forwarded += d.Forwarded
-		np.stats.Dropped += d.Dropped
-		np.stats.Alarms += d.Alarms
-		np.stats.Faults += d.Faults
-		np.stats.Cycles += d.Cycles
-	}
-	return results, nil
+	return results, firstErr
+}
+
+// add accumulates d into s.
+func (s *Stats) add(d *Stats) {
+	s.Processed += d.Processed
+	s.Forwarded += d.Forwarded
+	s.Dropped += d.Dropped
+	s.Alarms += d.Alarms
+	s.Faults += d.Faults
+	s.Cycles += d.Cycles
 }
 
 // processOnSlot is the lock-free per-core packet path shared by ProcessOn
-// (via the stats pointer indirection) and ProcessBatch.
+// (via the stats pointer indirection) and ProcessBatch. In steady state
+// (no architectural exception) it performs zero heap allocations; the
+// returned Result.Packet aliases the core's output buffer.
 func processOnSlot(slot *coreSlot, coreID int, pkt []byte, qdepth int, monitors bool, stats *Stats) (Result, error) {
+	if len(pkt) > apps.MemSize-apps.PktBase {
+		return Result{}, fmt.Errorf("npu: packet length %d exceeds the %d-byte packet memory window",
+			len(pkt), apps.MemSize-apps.PktBase)
+	}
 	if monitors {
 		slot.mon.Reset()
 	}

@@ -36,6 +36,9 @@ func TestProcessBatchMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Result.Packet aliases the core's output buffer; copy to retain
+		// it past the next packet on that core.
+		r.Packet = append([]byte(nil), r.Packet...)
 		seqResults = append(seqResults, r)
 	}
 
@@ -62,6 +65,62 @@ func TestProcessBatchMatchesSequential(t *testing.T) {
 	if ss.Processed != bs.Processed || ss.Forwarded != bs.Forwarded ||
 		ss.Dropped != bs.Dropped || ss.Alarms != bs.Alarms || ss.Faults != bs.Faults {
 		t.Errorf("stats: sequential %+v vs batch %+v", ss, bs)
+	}
+}
+
+// TestProcessBatchPartialError pins the error semantics: a packet that
+// cannot be processed (here: larger than the packet memory window) yields
+// its zero Result and the first error, while every other packet is still
+// processed, still ordered, and still counted in the aggregate stats —
+// partial work never vanishes.
+func TestProcessBatchPartialError(t *testing.T) {
+	np := queuedNP(t, 4)
+	gen := packet.NewGenerator(63)
+	pkts := make([][]byte, 100)
+	for i := range pkts {
+		pkts[i] = gen.Next()
+	}
+	oversized := make([]byte, apps.MemSize-apps.PktBase+1)
+	pkts[37] = oversized
+
+	results, err := np.ProcessBatch(pkts, 0)
+	if err == nil {
+		t.Fatal("oversized packet produced no error")
+	}
+	if len(results) != len(pkts) {
+		t.Fatalf("%d results for %d packets", len(results), len(pkts))
+	}
+	if results[37].Packet != nil || results[37].Verdict != 0 {
+		t.Errorf("errored packet has non-zero result %+v", results[37])
+	}
+	processedResults := 0
+	for i, r := range results {
+		if i == 37 {
+			continue
+		}
+		if r.Packet == nil {
+			t.Fatalf("packet %d has no result", i)
+		}
+		processedResults++
+	}
+	s := np.Stats()
+	if s.Processed != uint64(processedResults) {
+		t.Errorf("stats merged %d processed, want %d", s.Processed, processedResults)
+	}
+	if s.Processed != s.Forwarded+s.Dropped {
+		t.Errorf("conservation violated: %+v", s)
+	}
+}
+
+// TestProcessOnOversized pins the same error on the single-packet path,
+// with stats untouched.
+func TestProcessOnOversized(t *testing.T) {
+	np := queuedNP(t, 1)
+	if _, err := np.ProcessOn(0, make([]byte, apps.MemSize-apps.PktBase+1), 0); err == nil {
+		t.Fatal("oversized packet accepted")
+	}
+	if s := np.Stats(); s.Processed != 0 {
+		t.Errorf("errored packet counted: %+v", s)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"sdmmon/internal/apps"
 	"sdmmon/internal/asm"
 	"sdmmon/internal/cpu"
+	"sdmmon/internal/isa"
 	"sdmmon/internal/mhash"
 	"sdmmon/internal/monitor"
 )
@@ -26,10 +27,22 @@ type Stats struct {
 	Cycles    uint64
 }
 
+// coreMonitor abstracts the per-core monitor implementation: the flattened
+// packed fast path (default) or the map-based NFA reference
+// (Config.Reference). Both are semantically identical — proved by the
+// equivalence tests in internal/monitor and internal/attack.
+type coreMonitor interface {
+	Observe(pc uint32, w isa.Word) bool
+	Reset()
+	Alarmed() bool
+	AlarmPC() uint32
+	Counters() (checked, alarms uint64, maxPositions int)
+}
+
 // coreSlot is one core with its security hardware.
 type coreSlot struct {
 	core    *apps.Core
-	mon     *monitor.PackedMonitor
+	mon     coreMonitor
 	tracer  *cpu.Tracer
 	hasher  mhash.Hasher
 	appName string
@@ -50,6 +63,17 @@ type Config struct {
 	// TraceDepth, when > 0, keeps a per-core forensic ring of the last N
 	// retired instructions (with the alarm instruction flagged).
 	TraceDepth int
+	// Reference selects the pre-optimization monitoring path: the
+	// map-based NFA monitor stepping an uncached hash unit. The default
+	// (false) is the allocation-free fast path — flattened PackedMonitor
+	// transitions plus a word-keyed FastHasher. The two are semantically
+	// identical; Reference exists for A/B throughput comparison
+	// (cmd/npsim -bench, BenchmarkNPThroughput).
+	Reference bool
+	// HashCacheBits sizes the per-core instruction-hash cache as log2 of
+	// the entry count; 0 selects mhash.DefaultFastCacheBits. Ignored when
+	// Reference is set.
+	HashCacheBits int
 }
 
 // NP is a multicore network processor.
@@ -59,6 +83,13 @@ type NP struct {
 	next    int // round-robin dispatch pointer
 	stats   Stats
 	library map[string]*residentApp // verified bundles kept in memory
+
+	// Reused ProcessBatch scratch (see batch.go): packet-copy arena,
+	// per-result offsets, per-core stat deltas. Amortizes batch setup to
+	// zero allocations in steady state.
+	arena  []byte
+	offs   []int
+	deltas []Stats
 }
 
 // New builds an NP.
@@ -109,15 +140,32 @@ func (np *NP) Install(coreID int, name string, binary, graph []byte, param uint3
 	if err := g.Validate(prog, hasher); err != nil {
 		return fmt.Errorf("npu: graph/binary mismatch: %w", err)
 	}
-	// The per-instruction path runs on the packed hardware-layout monitor
-	// (bitmap position set over dense node indices).
-	packed, err := monitor.Pack(g)
-	if err != nil {
-		return fmt.Errorf("npu: %w", err)
-	}
-	mon, err := monitor.NewPacked(packed, hasher)
-	if err != nil {
-		return fmt.Errorf("npu: %w", err)
+	var mon coreMonitor
+	if np.cfg.Reference {
+		// Pre-optimization reference: map-based NFA monitor, uncached
+		// hash unit.
+		m, err := monitor.New(g, hasher)
+		if err != nil {
+			return fmt.Errorf("npu: %w", err)
+		}
+		mon = m
+	} else {
+		// The per-instruction fast path: packed hardware-layout monitor
+		// compiled to flat transition arrays, fed by a word-keyed
+		// instruction-hash cache with concrete (non-interface) dispatch.
+		packed, err := monitor.Pack(g)
+		if err != nil {
+			return fmt.Errorf("npu: %w", err)
+		}
+		cacheBits := np.cfg.HashCacheBits
+		if cacheBits == 0 {
+			cacheBits = mhash.DefaultFastCacheBits
+		}
+		m, err := monitor.NewPacked(packed, mhash.NewFast(hasher, cacheBits))
+		if err != nil {
+			return fmt.Errorf("npu: %w", err)
+		}
+		mon = m
 	}
 	slot := np.slots[coreID]
 	slot.core = apps.NewCore(prog)
@@ -165,6 +213,12 @@ func (np *NP) AppOn(coreID int) (string, bool) {
 }
 
 // Result describes one packet's fate.
+//
+// Packet aliases reused storage: after Process/ProcessOn it points at the
+// core's output buffer and is valid until the next packet on that core;
+// after ProcessBatch it points into the NP's batch arena and is valid until
+// the next ProcessBatch call. Copy it to retain it longer. This is what
+// keeps the steady-state data plane allocation-free.
 type Result struct {
 	Core     int
 	Verdict  int
@@ -210,6 +264,6 @@ func (np *NP) MonitorStats(coreID int) (checked, alarms uint64, maxPositions int
 	if coreID < 0 || coreID >= len(np.slots) || !np.slots[coreID].loaded {
 		return 0, 0, 0, fmt.Errorf("npu: core %d not loaded", coreID)
 	}
-	m := np.slots[coreID].mon
-	return m.Checked, m.Alarms, m.MaxPositions, nil
+	checked, alarms, maxPositions = np.slots[coreID].mon.Counters()
+	return checked, alarms, maxPositions, nil
 }

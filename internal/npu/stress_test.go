@@ -1,0 +1,98 @@
+package npu
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"sdmmon/internal/packet"
+)
+
+// TestProcessBatchStress drives thousands of packets through the
+// goroutine-per-core batch path (run under `make test-race`) and asserts
+// the two batch invariants:
+//
+//  1. Result-order preservation: results[i] is the fate of pkts[i]. Each
+//     packet carries a unique ID in its payload tail, which ipv4cm never
+//     touches, so the ID must survive into the matching result slot.
+//  2. Stats conservation: every packet is counted exactly once and
+//     Processed == Forwarded + Dropped.
+func TestProcessBatchStress(t *testing.T) {
+	const cores = 4
+	n := 4000
+	batches := 3
+	if testing.Short() {
+		n, batches = 800, 2
+	}
+	np := queuedNP(t, cores)
+	atk := attackSmash(t)
+	gen := packet.NewGenerator(64)
+	gen.OptionWords = 1
+	gen.MinPayload, gen.MaxPayload = 16, 64
+
+	var wantProcessed uint64
+	for batch := 0; batch < batches; batch++ {
+		pkts := make([][]byte, n)
+		ids := make([]uint32, n)
+		for i := range pkts {
+			if i%97 == 96 {
+				// Interleave attack packets: they alarm, drop, and must
+				// not disturb ordering or counting of their neighbours.
+				pkts[i] = atk
+				continue
+			}
+			p := gen.Next()
+			id := uint32(batch)<<16 | uint32(i)
+			binary.BigEndian.PutUint32(p[len(p)-4:], id)
+			pkts[i] = p
+			ids[i] = id
+		}
+		results, err := np.ProcessBatch(pkts, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != n {
+			t.Fatalf("batch %d: %d results", batch, len(results))
+		}
+		for i, r := range results {
+			if pkts[i] == nil || i%97 == 96 {
+				if !r.Detected && !r.Faulted {
+					t.Fatalf("batch %d packet %d: attack neither detected nor faulted: %+v", batch, i, r)
+				}
+				continue
+			}
+			if r.Core < 0 || r.Core >= cores {
+				t.Fatalf("batch %d packet %d: core %d", batch, i, r.Core)
+			}
+			if len(r.Packet) != len(pkts[i]) {
+				t.Fatalf("batch %d packet %d: %d output bytes for %d input", batch, i, len(r.Packet), len(pkts[i]))
+			}
+			if got := binary.BigEndian.Uint32(r.Packet[len(r.Packet)-4:]); got != ids[i] {
+				t.Fatalf("batch %d: result %d carries ID %#x, want %#x — order not preserved", batch, i, got, ids[i])
+			}
+		}
+		wantProcessed += uint64(n)
+	}
+	s := np.Stats()
+	if s.Processed != wantProcessed {
+		t.Errorf("processed %d packets, want %d", s.Processed, wantProcessed)
+	}
+	if s.Processed != s.Forwarded+s.Dropped {
+		t.Errorf("stats conservation violated: Processed=%d Forwarded=%d Dropped=%d",
+			s.Processed, s.Forwarded, s.Dropped)
+	}
+	if s.Alarms == 0 {
+		t.Error("no alarms despite interleaved attacks")
+	}
+	// Per-core monitor counters are consistent with the aggregate.
+	var monAlarms uint64
+	for c := 0; c < cores; c++ {
+		_, alarms, _, err := np.MonitorStats(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		monAlarms += alarms
+	}
+	if monAlarms != s.Alarms {
+		t.Errorf("monitor alarms %d != aggregate %d", monAlarms, s.Alarms)
+	}
+}
