@@ -3,13 +3,13 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all check build vet fmt-check test test-short test-race bench fuzz experiments examples verilog clean
+.PHONY: all check build vet fmt-check test test-short test-race test-faults bench fuzz experiments examples verilog clean
 
 all: check
 
-# The default CI gate: build, static checks, full tests, and the race
-# detector over the concurrent packages.
-check: build vet fmt-check test test-race
+# The default CI gate: build, static checks, full tests, the race
+# detector over the concurrent packages, and the fault-injection suite.
+check: build vet fmt-check test test-race test-faults
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ test-short:
 # ProcessBatch workers and the network-path pipeline).
 test-race:
 	$(GO) test -race ./internal/npu/... ./internal/network/...
+
+# The resilience suite under the race detector: fault injectors, core
+# quarantine/recovery, and the retrying secure install.
+test-faults:
+	$(GO) test -race ./internal/fault/...
+	$(GO) test -race -run 'FaultInjection|Supervisor|Quarantine|Recovery|Watchdog|Reliable|QueueSim' \
+		./internal/npu/... ./internal/network/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

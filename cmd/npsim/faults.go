@@ -1,0 +1,287 @@
+package main
+
+import (
+	"fmt"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/core"
+	"sdmmon/internal/fault"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+	"sdmmon/internal/network"
+	"sdmmon/internal/npu"
+	"sdmmon/internal/packet"
+)
+
+// runFaults drives one (or all) fault-injection scenarios and prints what
+// the resilience machinery did about each: detection rate, recovery,
+// accounting conservation, and quarantine state. Deterministic per seed.
+func runFaults(scenario, appName string, cores int, seed int64) error {
+	scenarios := map[string]func(string, int, int64) error{
+		"bitflip":  faultBitflip,
+		"hashflip": faultHashflip,
+		"hang":     faultHang,
+		"spurious": faultSpurious,
+		"graph":    faultGraph,
+		"link":     faultLink,
+	}
+	if scenario == "all" {
+		for _, name := range []string{"bitflip", "hashflip", "hang", "spurious", "graph", "link"} {
+			if err := scenarios[name](appName, cores, seed); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := scenarios[scenario]
+	if !ok {
+		return fmt.Errorf("unknown fault scenario %q (want bitflip, hashflip, hang, spurious, graph, link, or all)", scenario)
+	}
+	return fn(appName, cores, seed)
+}
+
+// faultNP builds a supervisor-enabled NP with the app on every core and
+// returns it with the serialized bundle for re-installs.
+func faultNP(appName string, cores int, param uint32, hasher func(uint32) mhash.Hasher) (*npu.NP, []byte, []byte, error) {
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	prog, err := app.Program()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g, err := monitor.Extract(prog, mhash.NewMerkle(param))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	np, err := npu.New(npu.Config{
+		Cores:           cores,
+		MonitorsEnabled: true,
+		Supervisor:      npu.DefaultSupervisorConfig(),
+		NewHasher:       hasher,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bin, gb := prog.Serialize(), g.Serialize()
+	if err := np.InstallAll(appName, bin, gb, param); err != nil {
+		return nil, nil, nil, err
+	}
+	return np, bin, gb, nil
+}
+
+func conservationLine(s npu.Stats) string {
+	status := "CONSERVED"
+	if !s.Conserved() {
+		status = "VIOLATED"
+	}
+	return fmt.Sprintf("accounting: processed=%d forwarded=%d dropped=%d (alarms=%d faults=%d verdict=%d) — %s",
+		s.Processed, s.Forwarded, s.Dropped, s.Alarms, s.Faults, s.VerdictDrops(), status)
+}
+
+func faultBitflip(appName string, cores int, seed int64) error {
+	const param, trials = 0xB17F, 200
+	np, bin, gb, err := faultNP(appName, 1, param, nil)
+	if err != nil {
+		return err
+	}
+	inj := fault.New(seed)
+	gen := packet.NewGenerator(seed)
+	detected, faulted, silent, recovered := 0, 0, 0, 0
+	for i := 0; i < trials; i++ {
+		c, err := np.Core(0)
+		if err != nil {
+			return err
+		}
+		inj.FlipCodeBit(c)
+		res, err := np.ProcessOn(0, gen.Next(), 0)
+		if err != nil {
+			return err
+		}
+		switch {
+		case res.Detected:
+			detected++
+		case res.Faulted:
+			faulted++
+		default:
+			silent++
+		}
+		// Heal by re-install (also lifts any quarantine into probation),
+		// then probe that the core recovered.
+		if err := np.InstallAll(appName, bin, gb, param); err != nil {
+			return err
+		}
+		if probe, err := np.ProcessOn(0, gen.Next(), 0); err == nil && !probe.Detected && !probe.Faulted {
+			recovered++
+		}
+	}
+	fmt.Printf("[bitflip] %d single-bit instruction-memory flips on %s:\n", trials, appName)
+	fmt.Printf("  detected=%d (%.0f%%) arch-faulted=%d silent=%d (unexecuted or 4-bit hash collision)\n",
+		detected, 100*float64(detected)/trials, faulted, silent)
+	fmt.Printf("  recovered after re-install: %d/%d\n", recovered, trials)
+	fmt.Printf("  %s\n", conservationLine(np.Stats()))
+	return nil
+}
+
+func faultHashflip(appName string, cores int, seed int64) error {
+	const param = 0xFA17
+	inj := fault.New(seed)
+	var flaky []*fault.FlakyHasher
+	np, bin, gb, err := faultNP(appName, 1, param, func(p uint32) mhash.Hasher {
+		h := inj.FlakyHasher(mhash.NewMerkle(p), 0)
+		flaky = append(flaky, h)
+		return h
+	})
+	if err != nil {
+		return err
+	}
+	// Cold cache, then a hash unit that corrupts every output.
+	if err := np.InstallAll(appName, bin, gb, param); err != nil {
+		return err
+	}
+	for _, h := range flaky {
+		h.SetRate(1)
+	}
+	gen := packet.NewGenerator(seed)
+	alarms, pkts := 0, 0
+	for i := 0; i < 64; i++ {
+		if h, _ := np.CoreHealth(0); h == npu.CoreQuarantined {
+			break
+		}
+		res, err := np.ProcessOn(0, gen.Next(), 0)
+		if err != nil {
+			return err
+		}
+		pkts++
+		if res.Detected {
+			alarms++
+		}
+	}
+	health, _ := np.CoreHealth(0)
+	fmt.Printf("[hashflip] hash unit corrupting every output on core 0:\n")
+	fmt.Printf("  %d alarms in %d packets, core health: %s, available cores: %d/1\n",
+		alarms, pkts, health, np.AvailableCores())
+	fmt.Printf("  %s\n", conservationLine(np.Stats()))
+	return nil
+}
+
+func faultHang(appName string, cores int, seed int64) error {
+	np, _, _, err := faultNP(appName, 1, 0x4A46, nil)
+	if err != nil {
+		return err
+	}
+	c, err := np.Core(0)
+	if err != nil {
+		return err
+	}
+	inj := fault.New(seed)
+	restore := inj.Hang(c, 8)
+	gen := packet.NewGenerator(seed)
+	res, err := np.ProcessOn(0, gen.Next(), 0)
+	if err != nil {
+		return err
+	}
+	trippedIn := res.Cycles
+	restore()
+	probe, err := np.ProcessOn(0, gen.Next(), 0)
+	if err != nil {
+		return err
+	}
+	s := np.Stats()
+	fmt.Printf("[hang] cycle budget shrunk to 8 on core 0:\n")
+	fmt.Printf("  watchdog tripped in %d cycles (trips=%d, distinct from alarms=%d)\n",
+		trippedIn, s.WatchdogTrips, s.Alarms)
+	fmt.Printf("  after budget restore: verdict=%d faulted=%v (core recovered)\n", probe.Verdict, probe.Faulted)
+	fmt.Printf("  %s\n", conservationLine(s))
+	return nil
+}
+
+func faultSpurious(appName string, cores int, seed int64) error {
+	np, _, _, err := faultNP(appName, 1, 0x5105, nil)
+	if err != nil {
+		return err
+	}
+	c, err := np.Core(0)
+	if err != nil {
+		return err
+	}
+	inj := fault.New(seed)
+	inj.Poison(c, c.Program().Entry)
+	res, err := np.ProcessOn(0, packet.NewGenerator(seed).Next(), 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[spurious] reserved opcode written over the entry instruction:\n")
+	fmt.Printf("  detected=%v faulted=%v verdict=%d (monitor flags the foreign word before the trap)\n",
+		res.Detected, res.Faulted, res.Verdict)
+	fmt.Printf("  %s\n", conservationLine(np.Stats()))
+	return nil
+}
+
+func faultGraph(appName string, cores int, seed int64) error {
+	const param = 0x6F0F
+	np, bin, gb, err := faultNP(appName, 1, param, nil)
+	if err != nil {
+		return err
+	}
+	inj := fault.New(seed)
+	rejected := 0
+	const trials = 64
+	for i := 0; i < trials; i++ {
+		bad := inj.CorruptBits(gb, 1+i%8)
+		if err := np.InstallAll(appName, bin, bad, param); err != nil {
+			rejected++
+		}
+	}
+	fmt.Printf("[graph] monitoring graph corrupted at install (%d trials, 1-8 bit flips):\n", trials)
+	fmt.Printf("  rejected by the install self-check: %d/%d\n", rejected, trials)
+	return nil
+}
+
+func faultLink(appName string, cores int, seed int64) error {
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return err
+	}
+	mfr, err := core.NewManufacturer("acme", nil)
+	if err != nil {
+		return err
+	}
+	op, err := core.NewOperator("isp", nil)
+	if err != nil {
+		return err
+	}
+	if err := mfr.Certify(op); err != nil {
+		return err
+	}
+	var devices []*core.Device
+	for i := 0; i < 4; i++ {
+		d, err := mfr.Manufacture(fmt.Sprintf("router-%d", i), core.DeviceConfig{Cores: cores, MonitorsEnabled: true})
+		if err != nil {
+			return err
+		}
+		devices = append(devices, d)
+	}
+	faults := fault.LinkFaults{DropRate: 0.25, CorruptRate: 0.15, DuplicateRate: 0.05}
+	link := network.NewLossyLink(network.GigE(), faults, seed)
+	pol := network.DefaultRetryPolicy()
+	pol.MaxAttempts = 32
+	out, err := network.DistributeReliable(op, devices, app, link, pol, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[link] secure install of %s to 4 routers over %.0f%% drop / %.0f%% corrupt / %.0f%% duplicate:\n",
+		appName, 100*faults.DropRate, 100*faults.CorruptRate, 100*faults.DuplicateRate)
+	for _, r := range out.Reports {
+		status := "installed"
+		if r.Err != nil {
+			status = r.Err.Error()
+		}
+		fmt.Printf("  %-10s attempts=%-2d backoff=%5.2fs total=%5.2fs  %s\n",
+			r.DeviceID, r.Attempts, r.BackoffSeconds, r.TotalSeconds, status)
+	}
+	fmt.Printf("  converged=%v succeeded=%d failed=%d total attempts=%d\n",
+		out.Converged(), out.Succeeded, out.Failed, out.TotalAttempts)
+	return nil
+}

@@ -34,12 +34,16 @@ func main() {
 	bench := flag.Bool("bench", false, "run the throughput sweep (1/2/4/8 cores x batch sizes, fast vs reference) and write -benchout")
 	benchOut := flag.String("benchout", "BENCH_npu.json", "output file for -bench")
 	benchPackets := flag.Int("benchpackets", 20000, "packets per sweep point in -bench mode")
+	faults := flag.String("faults", "", "fault-injection scenario: bitflip, hashflip, hang, spurious, graph, link, or all")
 	flag.Parse()
 
 	var err error
-	if *bench {
+	switch {
+	case *faults != "":
+		err = runFaults(*faults, *appName, *cores, *seed)
+	case *bench:
 		err = runBench(*appName, *benchPackets, *optWords, *seed, *benchOut)
-	} else {
+	default:
 		err = run(*appName, *cores, *packets, *attacks, *monitors, *qdepth, *optWords, *seed, *clockMHz, *trace)
 	}
 	if err != nil {
@@ -71,6 +75,20 @@ func runBench(appName string, packets, optWords int, seed int64, out string) err
 					p.Path, p.Cores, p.Batch, p.PktsPerSec, p.NsPerPkt, p.SimCyclesPerPkt, p.HashHitRate)
 			}
 		}
+	}
+	// Degraded-mode points: half the cores quarantined, dispatch routing
+	// around them — the throughput floor the supervisor guarantees.
+	for _, cores := range []int{4, 8} {
+		p, err := npu.MeasureThroughput(npu.ThroughputConfig{
+			App: appName, Cores: cores, Batch: 256, Packets: packets,
+			Seed: seed, OptionWords: optWords, QuarantineCores: cores / 2,
+		})
+		if err != nil {
+			return err
+		}
+		report.Add(p)
+		fmt.Printf("%-10s %6d %6d %14.0f %10.0f %12.1f %9.3f  (%d cores quarantined)\n",
+			p.Path, p.Cores, p.Batch, p.PktsPerSec, p.NsPerPkt, p.SimCyclesPerPkt, p.HashHitRate, p.QuarantinedCores)
 	}
 	if err := report.Write(out); err != nil {
 		return err

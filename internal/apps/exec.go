@@ -78,6 +78,16 @@ func (c *Core) Process(pkt []byte, qdepth int) PacketResult {
 	return PacketResult{Verdict: verdict, Packet: c.out, Cycles: cycles, Exc: exc}
 }
 
+// Recover performs the paper's §2.1 recovery reset at the moment an alarm
+// or architectural exception is handled: all registers cleared (including
+// the stack pointer) and the PC forced back to the entry point. Memory is
+// untouched — the binary stays loaded and scratch state persists, exactly
+// like the hardware reset line.
+func (c *Core) Recover() { c.cpu.Reset(c.prog.Entry) }
+
+// Program exposes the loaded program (diagnostics and fault injection).
+func (c *Core) Program() *asm.Program { return c.prog }
+
 // Scratch reads n bytes of the core's scratch region.
 func (c *Core) Scratch(off, n int) []byte {
 	return c.mem.ReadBytes(uint32(ScratchBase+off), n)

@@ -54,6 +54,15 @@ func (t *Tracer) Observe(pc uint32, w isa.Word) bool {
 	return ok
 }
 
+// Reset clears the ring and the retired counter. The NP's recovery path
+// wipes the forensic trace when the core takes its next packet after an
+// alarm — the dump window is between the alarm and that packet.
+func (t *Tracer) Reset() {
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.count = 0
+}
+
 // Retired returns the total number of instructions observed.
 func (t *Tracer) Retired() uint64 { return t.count }
 
@@ -62,6 +71,9 @@ func (t *Tracer) Last(n int) []TraceEntry {
 	size := len(t.ring)
 	if n > size {
 		n = size
+	}
+	if n <= 0 {
+		return nil
 	}
 	out := make([]TraceEntry, 0, n)
 	start := (t.next - n + size) % size

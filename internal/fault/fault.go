@@ -1,0 +1,156 @@
+// Package fault provides deterministic, seeded fault injectors for the
+// resilience suite: bit flips in a core's instruction memory, flaky
+// hash-unit outputs, corruption of serialized monitoring-graph bundles,
+// forced core hangs (cycle-budget exhaustion), spurious exceptions, and
+// drop/corrupt/duplicate faults on the management wire.
+//
+// Every injector draws from a single seeded source, so a fault scenario is
+// a pure function of its seed: the invariant tests and `npsim -faults`
+// replay the exact same fault sequence on every run.
+package fault
+
+import (
+	"math/rand"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/mhash"
+)
+
+// Injector is a deterministic fault source.
+type Injector struct {
+	rng *rand.Rand
+}
+
+// New builds an injector seeded for reproducible fault sequences.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Rand exposes the injector's random source (scenario drivers that need
+// auxiliary deterministic choices).
+func (in *Injector) Rand() *rand.Rand { return in.rng }
+
+// FlipBit flips one bit of the instruction word at byte address addr in the
+// core's memory — a single-event upset in the instruction store. The
+// corruption is persistent: the paper's recovery resets registers, not
+// memory, so only a re-installation heals it.
+func (in *Injector) FlipBit(c *apps.Core, addr uint32, bit uint) bool {
+	raw, ok := c.Mem().Load32(addr)
+	if !ok {
+		return false
+	}
+	return c.Mem().Store32(addr, raw^(1<<(bit&31)))
+}
+
+// FlipCodeBit flips a random bit in a random instruction word of the
+// core's loaded program and returns the faulted location.
+func (in *Injector) FlipCodeBit(c *apps.Core) (addr uint32, bit uint) {
+	words := c.Program().CodeWords()
+	cw := words[in.rng.Intn(len(words))]
+	bit = uint(in.rng.Intn(32))
+	in.FlipBit(c, cw.Addr, bit)
+	return cw.Addr, bit
+}
+
+// Poison overwrites the instruction word at addr with a word that does not
+// decode to any implemented instruction, forcing a spurious architectural
+// exception (reserved-instruction) if the monitor's hash check lets it
+// retire.
+func (in *Injector) Poison(c *apps.Core, addr uint32) bool {
+	// 0x3F is an unassigned primary opcode in the implemented MIPS-I
+	// subset, so the word never validates regardless of its operand bits.
+	const reserved = 0xFC00_0000
+	return c.Mem().Store32(addr, reserved|uint32(in.rng.Intn(1<<16)))
+}
+
+// Hang models runaway code by exhausting the core's cycle budget: the
+// watchdog budget is shrunk to `budget` cycles so any packet trips
+// ExcCycleLimit. The returned function restores the original budget.
+func (in *Injector) Hang(c *apps.Core, budget uint64) (restore func()) {
+	old := c.MaxCyclesPerPacket
+	if budget < 1 {
+		budget = 1
+	}
+	c.MaxCyclesPerPacket = budget
+	return func() { c.MaxCyclesPerPacket = old }
+}
+
+// CorruptBits returns a copy of b with nbits random bit positions flipped
+// (at most one flip per position).
+func (in *Injector) CorruptBits(b []byte, nbits int) []byte {
+	out := append([]byte(nil), b...)
+	if len(out) == 0 {
+		return out
+	}
+	for i := 0; i < nbits; i++ {
+		pos := in.rng.Intn(len(out) * 8)
+		out[pos/8] ^= 1 << uint(pos%8)
+	}
+	return out
+}
+
+// FlakyHasher wraps a hash unit and flips a random output bit on a
+// configurable fraction of lookups — a hardware fault in the monitor's own
+// hash circuit. Rate 0 passes through untouched; SetRate arms the fault
+// after installation (the install-time self-check would otherwise reject
+// the unit outright, which is its own test case).
+type FlakyHasher struct {
+	inner mhash.Hasher
+	rng   *rand.Rand
+	rate  float64
+	flips uint64
+}
+
+// FlakyHasher derives a faulty hash unit from the injector's seed stream.
+func (in *Injector) FlakyHasher(inner mhash.Hasher, rate float64) *FlakyHasher {
+	return &FlakyHasher{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(in.rng.Int63())),
+		rate:  rate,
+	}
+}
+
+// SetRate changes the per-lookup corruption probability.
+func (h *FlakyHasher) SetRate(r float64) { h.rate = r }
+
+// Flips reports how many lookups were corrupted.
+func (h *FlakyHasher) Flips() uint64 { return h.flips }
+
+// Hash implements mhash.Hasher with injected output corruption.
+func (h *FlakyHasher) Hash(instr uint32) uint8 {
+	v := h.inner.Hash(instr)
+	if h.rate > 0 && h.rng.Float64() < h.rate {
+		h.flips++
+		v ^= 1 << uint(h.rng.Intn(h.inner.Width()))
+	}
+	return v
+}
+
+// Width implements mhash.Hasher.
+func (h *FlakyHasher) Width() int { return h.inner.Width() }
+
+// LinkFaults parameterizes the management-path fault model: each delivered
+// datagram is independently dropped, bit-corrupted, or duplicated.
+type LinkFaults struct {
+	DropRate      float64
+	CorruptRate   float64
+	DuplicateRate float64
+}
+
+// Wire applies the link fault model to one datagram. It returns zero
+// copies (dropped), one copy (possibly corrupted), or two copies
+// (duplicated). The input slice is never aliased by the output.
+func (in *Injector) Wire(wire []byte, f LinkFaults) [][]byte {
+	if in.rng.Float64() < f.DropRate {
+		return nil
+	}
+	out := append([]byte(nil), wire...)
+	if in.rng.Float64() < f.CorruptRate {
+		out = in.CorruptBits(out, 1+in.rng.Intn(8))
+	}
+	copies := [][]byte{out}
+	if in.rng.Float64() < f.DuplicateRate {
+		copies = append(copies, append([]byte(nil), out...))
+	}
+	return copies
+}

@@ -1,0 +1,158 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/mhash"
+)
+
+func testCore(t *testing.T) *apps.Core {
+	t.Helper()
+	prog, err := apps.IPv4CM().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return apps.NewCore(prog)
+}
+
+// Same seed, same faults: the whole point of the injector is that a
+// scenario replays bit-for-bit.
+func TestInjectorDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	ca, cb := testCore(t), testCore(t)
+	for i := 0; i < 16; i++ {
+		addrA, bitA := a.FlipCodeBit(ca)
+		addrB, bitB := b.FlipCodeBit(cb)
+		if addrA != addrB || bitA != bitB {
+			t.Fatalf("flip %d diverged: (%#x,%d) vs (%#x,%d)", i, addrA, bitA, addrB, bitB)
+		}
+	}
+	wire := []byte("0123456789abcdef0123456789abcdef")
+	f := LinkFaults{DropRate: 0.3, CorruptRate: 0.3, DuplicateRate: 0.2}
+	for i := 0; i < 64; i++ {
+		outA, outB := a.Wire(wire, f), b.Wire(wire, f)
+		if len(outA) != len(outB) {
+			t.Fatalf("wire %d: %d vs %d copies", i, len(outA), len(outB))
+		}
+		for j := range outA {
+			if !bytes.Equal(outA[j], outB[j]) {
+				t.Fatalf("wire %d copy %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestFlipBitFlipsExactlyOneBit(t *testing.T) {
+	in := New(1)
+	c := testCore(t)
+	words := c.Program().CodeWords()
+	addr := words[0].Addr
+	before, _ := c.Mem().Load32(addr)
+	if !in.FlipBit(c, addr, 7) {
+		t.Fatal("FlipBit failed")
+	}
+	after, _ := c.Mem().Load32(addr)
+	if before^after != 1<<7 {
+		t.Fatalf("flip changed %#x, want bit 7 only", before^after)
+	}
+}
+
+func TestCorruptBitsBounded(t *testing.T) {
+	in := New(9)
+	orig := bytes.Repeat([]byte{0xA5}, 64)
+	out := in.CorruptBits(orig, 5)
+	if len(out) != len(orig) {
+		t.Fatalf("length changed: %d -> %d", len(orig), len(out))
+	}
+	diff := 0
+	for i := range out {
+		for b := 0; b < 8; b++ {
+			if (out[i]^orig[i])>>b&1 == 1 {
+				diff++
+			}
+		}
+	}
+	if diff < 1 || diff > 5 {
+		t.Fatalf("%d bits flipped, want 1..5", diff)
+	}
+	if !bytes.Equal(orig, bytes.Repeat([]byte{0xA5}, 64)) {
+		t.Fatal("input was mutated")
+	}
+}
+
+func TestFlakyHasherRateAndWidth(t *testing.T) {
+	in := New(3)
+	inner := mhash.NewMerkle(0xBEEF)
+	h := in.FlakyHasher(inner, 0)
+	for w := uint32(0); w < 256; w++ {
+		if h.Hash(w) != inner.Hash(w) {
+			t.Fatalf("rate 0 corrupted word %d", w)
+		}
+	}
+	if h.Width() != inner.Width() {
+		t.Fatalf("width %d != %d", h.Width(), inner.Width())
+	}
+	h.SetRate(1)
+	mask := uint8(1<<inner.Width() - 1)
+	for w := uint32(0); w < 256; w++ {
+		got := h.Hash(w)
+		if got == inner.Hash(w) {
+			t.Fatalf("rate 1 left word %d intact", w)
+		}
+		if got&^mask != 0 {
+			t.Fatalf("corrupted hash %#x exceeds width %d", got, inner.Width())
+		}
+	}
+	if h.Flips() != 256 {
+		t.Fatalf("flips=%d want 256", h.Flips())
+	}
+}
+
+func TestWireFaultRates(t *testing.T) {
+	in := New(7)
+	wire := bytes.Repeat([]byte{0x42}, 128)
+	f := LinkFaults{DropRate: 0.3, CorruptRate: 0.2, DuplicateRate: 0.1}
+	const n = 2000
+	drops, dups, corrupt := 0, 0, 0
+	for i := 0; i < n; i++ {
+		out := in.Wire(wire, f)
+		switch {
+		case len(out) == 0:
+			drops++
+			continue
+		case len(out) == 2:
+			dups++
+			if !bytes.Equal(out[0], out[1]) {
+				t.Fatal("duplicate differs from original copy")
+			}
+		}
+		if !bytes.Equal(out[0], wire) {
+			corrupt++
+		}
+	}
+	if drops < n*2/10 || drops > n*4/10 {
+		t.Errorf("drops=%d, want ~%d", drops, n*3/10)
+	}
+	if corrupt < n/10 || corrupt > n*3/10 {
+		t.Errorf("corrupted=%d, want ~%d of delivered", corrupt, n*2/10)
+	}
+	if dups < n/20 || dups > n*2/10 {
+		t.Errorf("duplicates=%d, want ~%d", dups, n/10)
+	}
+}
+
+func TestHangShrinksAndRestoresBudget(t *testing.T) {
+	in := New(5)
+	c := testCore(t)
+	orig := c.MaxCyclesPerPacket
+	restore := in.Hang(c, 8)
+	if c.MaxCyclesPerPacket != 8 {
+		t.Fatalf("budget %d, want 8", c.MaxCyclesPerPacket)
+	}
+	restore()
+	if c.MaxCyclesPerPacket != orig {
+		t.Fatalf("budget %d after restore, want %d", c.MaxCyclesPerPacket, orig)
+	}
+}

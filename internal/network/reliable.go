@@ -1,0 +1,190 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/core"
+	"sdmmon/internal/fault"
+	"sdmmon/internal/timing"
+)
+
+// This file makes the secure-installation path survive the management
+// network it actually runs over (§5: "devices distributed anywhere in the
+// Internet"): packages are retransmitted over a lossy link with capped
+// exponential backoff plus jitter, each router has a delivery deadline, and
+// a fleet rollout reports partial failure per router instead of aborting.
+// Corrupted packages are indistinguishable from attacks at the device — the
+// signature or decryption check fails — so they are retried, never trusted.
+
+// Rollout outcome errors recorded per router in DeliveryReport.Err.
+var (
+	// ErrDeliveryAttempts: the retry budget ran out without one verified
+	// installation.
+	ErrDeliveryAttempts = errors.New("network: delivery attempts exhausted")
+	// ErrDeliveryDeadline: the per-router deadline elapsed first.
+	ErrDeliveryDeadline = errors.New("network: delivery deadline exceeded")
+)
+
+// LossyLink is a management path with injected faults: datagrams are
+// dropped, bit-corrupted, or duplicated per fault.LinkFaults, and routers
+// listed in Dead receive nothing at all (a permanently unreachable device).
+// Timing still follows the embedded Link.
+type LossyLink struct {
+	Link
+	Faults fault.LinkFaults
+	// Dead routers drop every datagram regardless of Faults.
+	Dead map[string]bool
+
+	inj *fault.Injector
+}
+
+// NewLossyLink builds a lossy link over base with a deterministic fault
+// stream drawn from seed.
+func NewLossyLink(base Link, faults fault.LinkFaults, seed int64) *LossyLink {
+	return &LossyLink{Link: base, Faults: faults, inj: fault.New(seed)}
+}
+
+// Deliver transports one datagram toward a device and returns what arrives:
+// zero, one (possibly corrupted), or two copies.
+func (l *LossyLink) Deliver(deviceID string, wire []byte) [][]byte {
+	if l.Dead[deviceID] {
+		return nil
+	}
+	if l.inj == nil {
+		return [][]byte{append([]byte(nil), wire...)}
+	}
+	return l.inj.Wire(wire, l.Faults)
+}
+
+// RetryPolicy bounds the per-router retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the transmission budget per router (>= 1).
+	MaxAttempts int
+	// BaseBackoffSeconds is the wait after the first failed attempt; it
+	// doubles per attempt up to MaxBackoffSeconds.
+	BaseBackoffSeconds float64
+	MaxBackoffSeconds  float64
+	// JitterFrac spreads each backoff uniformly over ±JitterFrac of its
+	// nominal value (decorrelates fleet-wide retry storms).
+	JitterFrac float64
+	// DeadlineSeconds is the per-router budget in simulated seconds (wire
+	// time + backoff); 0 disables the deadline.
+	DeadlineSeconds float64
+}
+
+// DefaultRetryPolicy matches a WAN management path: 8 attempts, 100 ms
+// initial backoff capped at 5 s, ±25% jitter, 60 s per-router deadline.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:        8,
+		BaseBackoffSeconds: 0.1,
+		MaxBackoffSeconds:  5,
+		JitterFrac:         0.25,
+		DeadlineSeconds:    60,
+	}
+}
+
+// backoff returns the jittered wait before transmission attempt+1.
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) float64 {
+	b := p.BaseBackoffSeconds * math.Pow(2, float64(attempt-1))
+	if p.MaxBackoffSeconds > 0 && b > p.MaxBackoffSeconds {
+		b = p.MaxBackoffSeconds
+	}
+	if p.JitterFrac > 0 {
+		b *= 1 + p.JitterFrac*(2*rng.Float64()-1)
+	}
+	return b
+}
+
+// FleetRollout is the outcome of a reliable fleet-wide installation.
+type FleetRollout struct {
+	Reports   []DeliveryReport
+	Succeeded int
+	Failed    int
+	// TotalAttempts sums transmissions across the fleet.
+	TotalAttempts int
+}
+
+// Converged reports whether every router installed successfully.
+func (r FleetRollout) Converged() bool { return r.Failed == 0 }
+
+// DistributeReliable programs every device over a lossy link, retrying
+// per router with capped exponential backoff until the package verifies,
+// the attempt budget runs out, or the router's deadline passes. A router
+// that never converges is reported as failed — with its attempt count and
+// error — while the rest of the fleet proceeds; only infrastructure errors
+// (packaging itself failing) abort the rollout.
+func DistributeReliable(op *core.Operator, devices []*core.Device, app *apps.App, link *LossyLink, pol RetryPolicy, seed int64) (FleetRollout, error) {
+	var out FleetRollout
+	if len(devices) == 0 {
+		return out, fmt.Errorf("network: no devices to program")
+	}
+	if pol.MaxAttempts < 1 {
+		pol.MaxAttempts = 1
+	}
+	model := timing.NiosIIPrototype()
+	rng := rand.New(rand.NewSource(seed))
+	for _, dev := range devices {
+		wire, err := op.ProgramWire(dev.Public(), app)
+		if err != nil {
+			return out, fmt.Errorf("network: packaging for %s: %w", dev.ID, err)
+		}
+		rep := deliverWithRetry(dev, wire, link, pol, model, rng)
+		out.Reports = append(out.Reports, rep)
+		out.TotalAttempts += rep.Attempts
+		if rep.Err == nil {
+			out.Succeeded++
+		} else {
+			out.Failed++
+		}
+	}
+	return out, nil
+}
+
+// deliverWithRetry runs the per-router retry loop for one prepared package.
+func deliverWithRetry(dev *core.Device, wire []byte, link *LossyLink, pol RetryPolicy, model timing.CostModel, rng *rand.Rand) DeliveryReport {
+	rep := DeliveryReport{DeviceID: dev.ID}
+	var lastErr error
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		rep.Attempts = attempt
+		// The wire time is spent whether or not the package arrives: a
+		// lost transfer is only discovered when the response times out.
+		rep.WireSeconds += link.TransferSeconds(len(wire))
+		copies := link.Deliver(dev.ID, wire)
+		if len(copies) == 0 {
+			lastErr = fmt.Errorf("network: %s attempt %d: package lost in transit", dev.ID, attempt)
+		}
+		for _, c := range copies {
+			inst, err := dev.Install(c)
+			if err != nil {
+				// Bit corruption surfaces as a signature/decrypt/parse
+				// failure — exactly like an attack. Never trust it;
+				// retransmit instead.
+				lastErr = fmt.Errorf("network: %s attempt %d: %w", dev.ID, attempt, err)
+				continue
+			}
+			// Converged. Duplicate copies of an already-installed
+			// package are simply ignored by stopping here.
+			rep.Install = inst
+			rep.ProcessSeconds = model.EstimateOps(inst.Ops)
+			rep.TotalSeconds = rep.WireSeconds + rep.ProcessSeconds + rep.BackoffSeconds
+			return rep
+		}
+		if pol.DeadlineSeconds > 0 && rep.WireSeconds+rep.BackoffSeconds > pol.DeadlineSeconds {
+			rep.Err = fmt.Errorf("%w after %d attempts (%.2fs): %v",
+				ErrDeliveryDeadline, attempt, rep.WireSeconds+rep.BackoffSeconds, lastErr)
+			rep.TotalSeconds = rep.WireSeconds + rep.BackoffSeconds
+			return rep
+		}
+		if attempt < pol.MaxAttempts {
+			rep.BackoffSeconds += pol.backoff(attempt, rng)
+		}
+	}
+	rep.Err = fmt.Errorf("%w (%d attempts): %v", ErrDeliveryAttempts, pol.MaxAttempts, lastErr)
+	rep.TotalSeconds = rep.WireSeconds + rep.BackoffSeconds
+	return rep
+}

@@ -1,0 +1,179 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/core"
+	"sdmmon/internal/fault"
+	"sdmmon/internal/packet"
+)
+
+// reliableFleet builds an operator and n certified routers for rollout
+// tests.
+func reliableFleet(t *testing.T, n int) (*core.Operator, []*core.Device) {
+	t.Helper()
+	mfr, err := core.NewManufacturer("acme", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := core.NewOperator("isp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mfr.Certify(op); err != nil {
+		t.Fatal(err)
+	}
+	var devices []*core.Device
+	for i := 0; i < n; i++ {
+		d, err := mfr.Manufacture(fmt.Sprintf("router-%d", i), core.DeviceConfig{Cores: 1, MonitorsEnabled: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		devices = append(devices, d)
+	}
+	return op, devices
+}
+
+// The acceptance scenario: a 4-router fleet over a link losing and
+// corrupting well above 10% of datagrams still converges, with retries
+// visible per router and every installed package verified.
+func TestDistributeReliableConvergesOverLossyLink(t *testing.T) {
+	op, devices := reliableFleet(t, 4)
+	link := NewLossyLink(GigE(), fault.LinkFaults{DropRate: 0.25, CorruptRate: 0.15, DuplicateRate: 0.05}, 99)
+	pol := DefaultRetryPolicy()
+	pol.MaxAttempts = 32
+	pol.DeadlineSeconds = 0 // attempts bound only; loss decides the count
+
+	out, err := DistributeReliable(op, devices, apps.IPv4CM(), link, pol, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged() {
+		t.Fatalf("fleet did not converge: %d failed, reports %+v", out.Failed, out.Reports)
+	}
+	if out.Succeeded != 4 || len(out.Reports) != 4 {
+		t.Fatalf("succeeded=%d reports=%d, want 4/4", out.Succeeded, len(out.Reports))
+	}
+	if out.TotalAttempts <= 4 {
+		t.Errorf("TotalAttempts=%d over a 40%% faulty link — losses were not exercised", out.TotalAttempts)
+	}
+	for _, r := range out.Reports {
+		if r.Install == nil || r.Err != nil {
+			t.Fatalf("%s: converged rollout has Install=%v Err=%v", r.DeviceID, r.Install, r.Err)
+		}
+		if r.Attempts < 1 {
+			t.Errorf("%s: attempts=%d", r.DeviceID, r.Attempts)
+		}
+		if r.Attempts > 1 && r.BackoffSeconds <= 0 {
+			t.Errorf("%s: %d attempts but no backoff accrued", r.DeviceID, r.Attempts)
+		}
+		if r.TotalSeconds < r.WireSeconds+r.BackoffSeconds {
+			t.Errorf("%s: TotalSeconds=%g below wire+backoff", r.DeviceID, r.TotalSeconds)
+		}
+	}
+	// The installs are real: every router processes benign traffic clean.
+	gen := packet.NewGenerator(11)
+	for _, d := range devices {
+		res, err := d.Process(gen.Next(), 0)
+		if err != nil || res.Detected {
+			t.Fatalf("%s: post-rollout traffic failed: res=%+v err=%v", d.ID, res, err)
+		}
+	}
+}
+
+// A permanently dead router is a partial failure with a typed error — not
+// a fleet abort: the other routers still converge.
+func TestDistributeReliablePartialFailure(t *testing.T) {
+	op, devices := reliableFleet(t, 4)
+	link := NewLossyLink(GigE(), fault.LinkFaults{}, 1)
+	link.Dead = map[string]bool{devices[2].ID: true}
+	pol := DefaultRetryPolicy()
+	pol.DeadlineSeconds = 0
+
+	out, err := DistributeReliable(op, devices, apps.IPv4CM(), link, pol, 3)
+	if err != nil {
+		t.Fatalf("partial failure must not abort the fleet: %v", err)
+	}
+	if out.Succeeded != 3 || out.Failed != 1 {
+		t.Fatalf("succeeded=%d failed=%d, want 3/1", out.Succeeded, out.Failed)
+	}
+	dead := out.Reports[2]
+	if dead.DeviceID != devices[2].ID {
+		t.Fatalf("report order changed: %s", dead.DeviceID)
+	}
+	if !errors.Is(dead.Err, ErrDeliveryAttempts) {
+		t.Fatalf("dead router error = %v, want ErrDeliveryAttempts", dead.Err)
+	}
+	if dead.Attempts != pol.MaxAttempts || dead.Install != nil {
+		t.Errorf("dead router: attempts=%d install=%v", dead.Attempts, dead.Install)
+	}
+	for i, r := range out.Reports {
+		if i == 2 {
+			continue
+		}
+		if r.Err != nil || r.Install == nil || r.Attempts != 1 {
+			t.Errorf("%s: clean-link router not installed in one attempt: %+v", r.DeviceID, r)
+		}
+	}
+}
+
+// A tight per-router deadline trips ErrDeliveryDeadline before the attempt
+// budget runs out.
+func TestDistributeReliableDeadline(t *testing.T) {
+	op, devices := reliableFleet(t, 1)
+	link := NewLossyLink(GigE(), fault.LinkFaults{DropRate: 1}, 5)
+	pol := RetryPolicy{
+		MaxAttempts:        1000,
+		BaseBackoffSeconds: 0.5,
+		MaxBackoffSeconds:  2,
+		DeadlineSeconds:    3,
+	}
+	out, err := DistributeReliable(op, devices, apps.IPv4CM(), link, pol, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := out.Reports[0]
+	if !errors.Is(rep.Err, ErrDeliveryDeadline) {
+		t.Fatalf("error = %v, want ErrDeliveryDeadline", rep.Err)
+	}
+	if rep.Attempts >= pol.MaxAttempts {
+		t.Errorf("deadline should trip before the %d-attempt budget (used %d)", pol.MaxAttempts, rep.Attempts)
+	}
+	if out.Converged() {
+		t.Error("Converged() true with a failed router")
+	}
+}
+
+// Corrupted packages must be rejected by the crypto pipeline and retried —
+// a corrupt-only link (nothing dropped) still converges, proving the
+// device never trusts a damaged package and the retry loop heals it.
+func TestDistributeReliableCorruptionNeverTrusted(t *testing.T) {
+	op, devices := reliableFleet(t, 2)
+	link := NewLossyLink(GigE(), fault.LinkFaults{CorruptRate: 0.5}, 21)
+	pol := DefaultRetryPolicy()
+	pol.MaxAttempts = 64
+	pol.DeadlineSeconds = 0
+
+	out, err := DistributeReliable(op, devices, apps.IPv4CM(), link, pol, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged() {
+		t.Fatalf("corrupt-only link did not converge: %+v", out.Reports)
+	}
+	// Every converged install passed the full verification pipeline; a
+	// corrupted package that had been accepted would show up here as a
+	// router alarming on its own (mis-hashed) code immediately.
+	gen := packet.NewGenerator(17)
+	for _, d := range devices {
+		for i := 0; i < 20; i++ {
+			res, err := d.Process(gen.Next(), 0)
+			if err != nil || res.Detected {
+				t.Fatalf("%s: corrupted install slipped through: res=%+v err=%v", d.ID, res, err)
+			}
+		}
+	}
+}

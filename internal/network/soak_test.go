@@ -2,7 +2,9 @@ package network
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"sdmmon/internal/apps"
 	"sdmmon/internal/attack"
@@ -11,6 +13,31 @@ import (
 	"sdmmon/internal/packet"
 )
 
+// checkGoroutineLeak fails the test if goroutines spawned during it (e.g.
+// ProcessBatch workers) are still alive at cleanup. Workers may take a
+// moment to unwind after the final batch returns, so the baseline is
+// polled with a deadline rather than compared once.
+func checkGoroutineLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				buf = buf[:runtime.Stack(buf, true)]
+				t.Errorf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
 // Soak test: a sustained mixed workload across many cores, parameters and
 // applications must produce zero false alarms and zero escaped attacks.
 // Skipped under -short.
@@ -18,6 +45,7 @@ func TestSoakMixedWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
 	}
+	checkGoroutineLeak(t)
 	rng := rand.New(rand.NewSource(77))
 	smash := attack.DefaultSmash()
 	code, err := smash.HijackPayload()
@@ -76,9 +104,28 @@ func TestSoakMixedWorkload(t *testing.T) {
 		if escaped > 0 {
 			t.Errorf("round %d (%s): %d attacks escaped", round, app.Name, escaped)
 		}
+		// A burst through the concurrent batch path: its worker goroutines
+		// must all unwind (the leak check at the top holds them to that)
+		// and accounting must stay exact.
+		burst := make([][]byte, 512)
+		for i := range burst {
+			burst[i] = gen.Next()
+		}
+		results, err := np.ProcessBatch(burst, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, res := range results {
+			if res.Detected {
+				t.Fatalf("round %d: false alarm in batch packet %d", round, i)
+			}
+		}
 		s := np.Stats()
-		if s.Processed != 5000 {
+		if s.Processed != 5000+512 {
 			t.Errorf("round %d: processed %d", round, s.Processed)
+		}
+		if !s.Conserved() {
+			t.Errorf("round %d: accounting not conserved: %+v", round, s)
 		}
 	}
 }

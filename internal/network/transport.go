@@ -32,10 +32,16 @@ func (l Link) TransferSeconds(n int) float64 {
 // DeliveryReport records one router's installation including transport.
 type DeliveryReport struct {
 	DeviceID       string
-	Install        *core.InstallReport
-	WireSeconds    float64 // link serialization + RTT
-	ProcessSeconds float64 // control-processor work (Table 2 model)
+	Install        *core.InstallReport // nil when the install never converged
+	WireSeconds    float64             // link serialization + RTT, all attempts
+	ProcessSeconds float64             // control-processor work (Table 2 model)
+	BackoffSeconds float64             // time spent waiting between retries
 	TotalSeconds   float64
+	// Attempts is the number of transmissions (1 on a clean link).
+	Attempts int
+	// Err records why the install never converged (deadline, attempts
+	// exhausted); nil on success.
+	Err error
 }
 
 // Distribute programs every device with the application over the link,
@@ -65,6 +71,7 @@ func Distribute(op *core.Operator, devices []*core.Device, app *apps.App, link L
 			WireSeconds:    wireS,
 			ProcessSeconds: procS,
 			TotalSeconds:   wireS + procS,
+			Attempts:       1,
 		})
 	}
 	return out, nil

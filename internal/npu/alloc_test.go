@@ -9,11 +9,18 @@ import (
 
 // The tentpole guarantee: the steady-state packet path — dispatch, core
 // reset, per-instruction hashing and monitoring, output read-back, stats —
-// performs zero heap allocations per packet.
+// performs zero heap allocations per packet. The supervisor is enabled
+// here deliberately: health tracking rides the same path and must not
+// cost an allocation (its sliding window is a preallocated ring).
 
 func allocNP(t *testing.T, cores int, reference bool) *NP {
 	t.Helper()
-	np, err := New(Config{Cores: cores, MonitorsEnabled: true, Reference: reference})
+	np, err := New(Config{
+		Cores:           cores,
+		MonitorsEnabled: true,
+		Reference:       reference,
+		Supervisor:      DefaultSupervisorConfig(),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"sdmmon/internal/apps"
+	"sdmmon/internal/cpu"
 )
 
 // ProcessBatch runs a batch of packets across the NP's cores concurrently —
@@ -26,14 +27,20 @@ import (
 // aggregate stats, error or not — partial work never vanishes from the
 // counters.
 func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
-	loaded := 0
+	loaded, available := 0, 0
 	for _, s := range np.slots {
 		if s.loaded {
 			loaded++
 		}
+		if s.available() {
+			available++
+		}
 	}
 	if loaded == 0 {
-		return nil, fmt.Errorf("npu: no core has an application installed")
+		return nil, ErrNoAppInstalled
+	}
+	if available == 0 {
+		return nil, ErrNoCoreAvailable
 	}
 
 	results := make([]Result, len(pkts))
@@ -68,7 +75,7 @@ func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
 	var wg sync.WaitGroup
 
 	for coreID, slot := range np.slots {
-		if !slot.loaded {
+		if !slot.available() {
 			continue
 		}
 		wg.Add(1)
@@ -76,6 +83,13 @@ func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
 			defer wg.Done()
 			d := &deltas[coreID]
 			for {
+				// A core quarantined mid-batch stops claiming packets;
+				// the shared cursor hands the remainder to the other
+				// workers. Only this goroutine writes its slot's state,
+				// so the read is race-free.
+				if slot.sup.quarantined {
+					return
+				}
 				i := int(cursor.Add(1)) - 1
 				if i >= len(pkts) {
 					return
@@ -100,6 +114,12 @@ func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
 	for i := range deltas {
 		np.stats.add(&deltas[i])
 	}
+	// Every worker quarantined mid-batch: the unclaimed tail was never
+	// processed. Claimed packets are always processed before the claim
+	// loop re-checks quarantine, so the cursor bounds the loss exactly.
+	if n := int(cursor.Load()); n < len(pkts) && firstErr == nil {
+		firstErr = fmt.Errorf("npu: %d packets unprocessed: %w", len(pkts)-n, ErrNoCoreAvailable)
+	}
 	return results, firstErr
 }
 
@@ -110,6 +130,8 @@ func (s *Stats) add(d *Stats) {
 	s.Dropped += d.Dropped
 	s.Alarms += d.Alarms
 	s.Faults += d.Faults
+	s.WatchdogTrips += d.WatchdogTrips
+	s.Quarantines += d.Quarantines
 	s.Cycles += d.Cycles
 }
 
@@ -125,26 +147,54 @@ func processOnSlot(slot *coreSlot, coreID int, pkt []byte, qdepth int, monitors 
 	if monitors {
 		slot.mon.Reset()
 	}
+	// Deferred tail of the previous packet's recovery: wipe the forensic
+	// trace once the core takes new traffic (the dump stays readable
+	// between the alarm and this packet).
+	if slot.resetTrace {
+		if slot.tracer != nil {
+			slot.tracer.Reset()
+		}
+		slot.resetTrace = false
+	}
 	res := slot.core.Process(pkt, qdepth)
 
 	out := Result{Core: coreID, Verdict: res.Verdict, Packet: res.Packet, Cycles: res.Cycles}
 	stats.Processed++
 	stats.Cycles += res.Cycles
+	event := false
 	switch {
 	case res.Exc != nil && monitors && slot.mon.Alarmed():
 		out.Detected = true
 		out.Verdict = apps.VerdictDrop
 		stats.Alarms++
 		stats.Dropped++
+		event = true
 	case res.Exc != nil:
 		out.Faulted = true
 		out.Verdict = apps.VerdictDrop
 		stats.Faults++
+		if res.Exc.Kind == cpu.ExcCycleLimit {
+			stats.WatchdogTrips++
+		}
 		stats.Dropped++
+		event = true
 	case res.Verdict == apps.VerdictForward:
 		stats.Forwarded++
 	default:
 		stats.Dropped++
+	}
+	if event {
+		// §2.1 recovery, eagerly at the alarm/fault boundary: packet
+		// dropped (above), registers cleared with PC back at the entry
+		// point, monitor reset. All fixed-size state — no allocation.
+		slot.core.Recover()
+		if monitors {
+			slot.mon.Reset()
+		}
+		slot.resetTrace = true
+	}
+	if slot.sup.record(event) {
+		stats.Quarantines++
 	}
 	return out, nil
 }

@@ -26,6 +26,10 @@ type ThroughputConfig struct {
 	Reference   bool  // pre-optimization path (map NFA + uncached hash unit)
 	Seed        int64 // traffic and hash-parameter seed
 	OptionWords int   // IP option words in benign traffic
+	// QuarantineCores removes the first N cores from dispatch before the
+	// timed region — the degraded-mode throughput point (graceful
+	// degradation after the supervisor isolates faulty cores).
+	QuarantineCores int
 }
 
 // BenchPoint is one measured sweep point of the throughput harness.
@@ -39,10 +43,19 @@ type BenchPoint struct {
 	NsPerPkt        float64 `json:"ns_per_pkt"`
 	SimCyclesPerPkt float64 `json:"sim_cycles_per_pkt"`
 	HashHitRate     float64 `json:"hash_hit_rate"` // 0 on the reference path
+	// QuarantinedCores > 0 marks a degraded-mode point: that many cores
+	// were quarantined before the timed region.
+	QuarantinedCores int `json:"quarantined_cores,omitempty"`
 }
 
 // Key identifies the sweep point independent of which path produced it.
-func (p BenchPoint) Key() string { return fmt.Sprintf("cores=%d/batch=%d", p.Cores, p.Batch) }
+func (p BenchPoint) Key() string {
+	k := fmt.Sprintf("cores=%d/batch=%d", p.Cores, p.Batch)
+	if p.QuarantinedCores > 0 {
+		k += fmt.Sprintf("/quarantined=%d", p.QuarantinedCores)
+	}
+	return k
+}
 
 // BenchReport is the BENCH_npu.json document.
 type BenchReport struct {
@@ -60,7 +73,7 @@ type BenchReport struct {
 // growing iteration counts and only the last (longest) run should stick.
 func (r *BenchReport) Add(p BenchPoint) {
 	for i := range r.Points {
-		if r.Points[i].Path == p.Path && r.Points[i].Cores == p.Cores && r.Points[i].Batch == p.Batch {
+		if r.Points[i].Path == p.Path && r.Points[i].Key() == p.Key() {
 			r.Points[i] = p
 			return
 		}
@@ -161,9 +174,19 @@ func MeasureThroughput(cfg ThroughputConfig) (BenchPoint, error) {
 	if cfg.Packets < cfg.Batch {
 		cfg.Packets = cfg.Batch
 	}
+	if cfg.QuarantineCores < 0 || cfg.QuarantineCores >= cfg.Cores {
+		return BenchPoint{}, fmt.Errorf("npu: bench needs 0 <= quarantined cores < cores")
+	}
 	np, err := NewBenchNP(cfg.App, cfg.Cores, cfg.Reference, cfg.Seed)
 	if err != nil {
 		return BenchPoint{}, err
+	}
+	// Degraded mode: knock out the first N cores the way the supervisor
+	// would, leaving dispatch to route around them.
+	for i := 0; i < cfg.QuarantineCores; i++ {
+		if err := np.Quarantine(i); err != nil {
+			return BenchPoint{}, err
+		}
 	}
 	optWords := cfg.OptionWords
 	if optWords == 0 {
@@ -191,10 +214,11 @@ func MeasureThroughput(cfg ThroughputConfig) (BenchPoint, error) {
 	misses -= missesBefore
 
 	p := BenchPoint{
-		Cores:       cfg.Cores,
-		Batch:       cfg.Batch,
-		Packets:     after.Processed - before.Processed,
-		WallSeconds: wall,
+		Cores:            cfg.Cores,
+		Batch:            cfg.Batch,
+		Packets:          after.Processed - before.Processed,
+		WallSeconds:      wall,
+		QuarantinedCores: cfg.QuarantineCores,
 	}
 	if cfg.Reference {
 		p.Path = "reference"

@@ -1,0 +1,313 @@
+package npu
+
+import (
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/fault"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+	"sdmmon/internal/packet"
+)
+
+// The invariant suite: whatever fault is injected, the NP must (1) detect
+// it or reject it at install time, (2) recover within the documented cycle
+// bound (the watchdog budget plus the reset sequence), (3) conserve packet
+// accounting exactly, and (4) never leave a monitor silently dead.
+
+// assertMonitorLive fails if a core's monitor stopped checking
+// instructions while traffic flowed — the "silently dead monitor" case.
+func assertMonitorLive(t *testing.T, np *NP, coreID int, checkedBefore uint64) uint64 {
+	t.Helper()
+	checked, _, _, err := np.MonitorStats(coreID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked <= checkedBefore {
+		t.Fatalf("core %d monitor silently dead: checked stuck at %d", coreID, checked)
+	}
+	return checked
+}
+
+// Instruction-memory bit flips: every undetected flip must still leave the
+// NP conserving packets, and a detected flip must recover within the cycle
+// bound — the next packet on that core processes normally (after the flip
+// is healed by re-install).
+func TestFaultInjectionBitFlipSweep(t *testing.T) {
+	np, err := New(Config{Cores: 1, MonitorsEnabled: true, Supervisor: testSupervisor()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, g := makeBundle(t, apps.IPv4CM(), 0xF1F)
+	inj := fault.New(1234)
+	gen := packet.NewGenerator(55)
+
+	detected, faulted, silent := 0, 0, 0
+	const trials = 48
+	for i := 0; i < trials; i++ {
+		if err := np.InstallAll("ipv4cm", bin, g, 0xF1F); err != nil {
+			t.Fatal(err)
+		}
+		c, err := np.Core(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj.FlipCodeBit(c)
+		res, err := np.ProcessOn(0, gen.Next(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case res.Detected:
+			detected++
+		case res.Faulted:
+			faulted++
+		default:
+			// The flipped word was never executed on this path, or the
+			// 4-bit hash collided (expected ~1/16 of executed flips).
+			silent++
+		}
+		// Recovery bound: the faulted packet itself can burn at most the
+		// watchdog budget; nothing may exceed it.
+		if res.Cycles > c.MaxCyclesPerPacket+64 {
+			t.Fatalf("trial %d: %d cycles exceeds the recovery bound", i, res.Cycles)
+		}
+		// Recovery invariant: after re-install (healing the flip), a
+		// benign packet forwards immediately.
+		if err := np.InstallAll("ipv4cm", bin, g, 0xF1F); err != nil {
+			t.Fatal(err)
+		}
+		probe, err := np.ProcessOn(0, gen.Next(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probe.Detected || probe.Faulted {
+			t.Fatalf("trial %d: core did not recover after re-install", i)
+		}
+	}
+	s := np.Stats()
+	if !s.Conserved() {
+		t.Fatalf("accounting not conserved: %+v", s)
+	}
+	if int(s.Alarms) != detected {
+		t.Fatalf("Alarms=%d but %d detections observed", s.Alarms, detected)
+	}
+	if detected == 0 {
+		t.Fatal("bit-flip sweep never triggered the monitor — injector is broken")
+	}
+	t.Logf("bit flips: %d detected, %d arch-faulted, %d silent of %d", detected, faulted, silent, trials)
+}
+
+// A flaky hash unit (the monitor's own circuit faulting) must raise
+// alarms, not silently stop checking, and the supervisor must quarantine
+// the core — the monitor-liveness invariant.
+func TestFaultInjectionFlakyHashUnit(t *testing.T) {
+	inj := fault.New(77)
+	var flaky []*fault.FlakyHasher
+	cfg := Config{
+		Cores:           1,
+		MonitorsEnabled: true,
+		Supervisor:      testSupervisor(),
+		NewHasher: func(p uint32) mhash.Hasher {
+			h := inj.FlakyHasher(mhash.NewMerkle(p), 0)
+			flaky = append(flaky, h)
+			return h
+		},
+	}
+	np, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := apps.IPv4CM().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := monitor.Extract(prog, mhash.NewMerkle(0xFA17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := np.InstallAll("ipv4cm", prog.Serialize(), g.Serialize(), 0xFA17); err != nil {
+		t.Fatal(err)
+	}
+	// Healthy baseline, then arm the hash-unit fault. The fast path caches
+	// instruction hashes per installation, so re-install first: a cold
+	// cache forces every lookup through the (now flaky) hash circuit.
+	gen := packet.NewGenerator(9)
+	res, err := np.ProcessOn(0, gen.Next(), 0)
+	if err != nil || res.Detected {
+		t.Fatalf("clean baseline failed: res=%+v err=%v", res, err)
+	}
+	assertMonitorLive(t, np, 0, 0)
+	if err := np.InstallAll("ipv4cm", prog.Serialize(), g.Serialize(), 0xFA17); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range flaky {
+		h.SetRate(1)
+	}
+	alarms := 0
+	for i := 0; i < 32; i++ {
+		if h, _ := np.CoreHealth(0); h == CoreQuarantined {
+			break
+		}
+		res, err := np.ProcessOn(0, gen.Next(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detected {
+			alarms++
+		}
+	}
+	if alarms == 0 {
+		t.Fatal("flaky hash unit raised no alarms — monitor silently dead")
+	}
+	if h, _ := np.CoreHealth(0); h != CoreQuarantined {
+		t.Fatalf("flaky-hash core not quarantined (health %v)", h)
+	}
+	assertMonitorLive(t, np, 0, 0)
+	if s := np.Stats(); !s.Conserved() {
+		t.Fatalf("accounting not conserved: %+v", s)
+	}
+}
+
+// Monitoring-graph corruption at install time: the install-time self-check
+// must reject the bundle, or — when the corruption lands in semantically
+// irrelevant bits — the installed monitor must still be live on traffic.
+func TestFaultInjectionGraphCorruption(t *testing.T) {
+	np, err := New(Config{Cores: 1, MonitorsEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, g := makeBundle(t, apps.IPv4CM(), 0x60F)
+	inj := fault.New(4242)
+	gen := packet.NewGenerator(13)
+
+	rejected, accepted := 0, 0
+	for i := 0; i < 32; i++ {
+		bad := inj.CorruptBits(g, 1+i%8)
+		if err := np.InstallAll("ipv4cm", bin, bad, 0x60F); err != nil {
+			rejected++
+			continue
+		}
+		accepted++
+		// Corruption slipped past the self-check: the monitor must still
+		// observe instructions (not silently dead).
+		if _, err := np.ProcessOn(0, gen.Next(), 0); err != nil {
+			t.Fatal(err)
+		}
+		assertMonitorLive(t, np, 0, 0)
+	}
+	if rejected == 0 {
+		t.Fatal("no corrupted graph was rejected — install self-check is dead")
+	}
+	t.Logf("graph corruption: %d rejected at install, %d accepted-but-live of 32", rejected, accepted)
+}
+
+// Hang injection (cycle-budget exhaustion): the watchdog must trip, be
+// surfaced distinctly in Stats.WatchdogTrips, and the core must take the
+// next packet normally once the budget is restored.
+func TestFaultInjectionHangWatchdog(t *testing.T) {
+	np := supervisedNP(t, 1)
+	c, err := np.Core(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New(5)
+	restore := inj.Hang(c, 8)
+	gen := packet.NewGenerator(31)
+	res, err := np.ProcessOn(0, gen.Next(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Faulted || res.Detected {
+		t.Fatalf("hung packet: %+v, want Faulted without alarm", res)
+	}
+	if res.Cycles > 8+64 {
+		t.Fatalf("hung packet burned %d cycles, beyond the watchdog bound", res.Cycles)
+	}
+	s := np.Stats()
+	if s.WatchdogTrips != 1 {
+		t.Fatalf("WatchdogTrips=%d, want 1 (distinct from Faults=%d)", s.WatchdogTrips, s.Faults)
+	}
+	if s.Faults != 1 {
+		t.Fatalf("Faults=%d, want 1", s.Faults)
+	}
+	// Recovery: restore the budget, next packet forwards.
+	restore()
+	res, err = np.ProcessOn(0, gen.Next(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != apps.VerdictForward || res.Faulted {
+		t.Fatalf("core did not recover from hang: %+v", res)
+	}
+	if s := np.Stats(); !s.Conserved() {
+		t.Fatalf("accounting not conserved: %+v", s)
+	}
+}
+
+// A persistent hang (budget never restored) is a persistent fault: the
+// supervisor quarantines the hung core and WatchdogTrips counts every trip.
+func TestFaultInjectionPersistentHangQuarantines(t *testing.T) {
+	np := supervisedNP(t, 1)
+	c, err := np.Core(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.New(6).Hang(c, 4) // never restored
+	gen := packet.NewGenerator(41)
+	for i := 0; i < 32; i++ {
+		if h, _ := np.CoreHealth(0); h == CoreQuarantined {
+			break
+		}
+		if _, err := np.ProcessOn(0, gen.Next(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, _ := np.CoreHealth(0); h != CoreQuarantined {
+		t.Fatal("persistently hung core was not quarantined")
+	}
+	s := np.Stats()
+	if s.WatchdogTrips == 0 || s.WatchdogTrips != s.Faults {
+		t.Fatalf("WatchdogTrips=%d Faults=%d, want equal and nonzero", s.WatchdogTrips, s.Faults)
+	}
+}
+
+// Spurious exceptions from a poisoned (undecodable) instruction word: with
+// monitors on, the hash mismatch alarms; with monitors off, the reserved-
+// instruction trap still drops the packet. Either way accounting holds.
+func TestFaultInjectionSpuriousException(t *testing.T) {
+	for _, monitors := range []bool{true, false} {
+		np, err := New(Config{Cores: 1, MonitorsEnabled: monitors})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, g := makeBundle(t, apps.IPv4CM(), 0x5105)
+		if err := np.InstallAll("ipv4cm", bin, g, 0x5105); err != nil {
+			t.Fatal(err)
+		}
+		c, err := np.Core(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj := fault.New(8)
+		if !inj.Poison(c, c.Program().Entry) {
+			t.Fatal("poison failed")
+		}
+		res, err := np.ProcessOn(0, packet.NewGenerator(2).Next(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != apps.VerdictDrop {
+			t.Fatalf("monitors=%v: poisoned packet not dropped: %+v", monitors, res)
+		}
+		if monitors && !res.Detected {
+			t.Errorf("monitors on: poisoned instruction not detected (hash should mismatch)")
+		}
+		if !monitors && !res.Faulted {
+			t.Errorf("monitors off: poisoned instruction did not fault")
+		}
+		if s := np.Stats(); !s.Conserved() {
+			t.Fatalf("monitors=%v: accounting not conserved: %+v", monitors, s)
+		}
+	}
+}

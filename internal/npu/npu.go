@@ -21,11 +21,27 @@ import (
 type Stats struct {
 	Processed uint64
 	Forwarded uint64
-	Dropped   uint64 // verdict drops (TTL, malformed) — not attacks
+	Dropped   uint64 // all drops: verdict drops + alarm drops + fault drops
 	Alarms    uint64 // monitor alarms (attack detections + any false alarms)
 	Faults    uint64 // architectural exceptions without monitor alarm
-	Cycles    uint64
+	// WatchdogTrips counts the subset of Faults that were cycle-budget
+	// exhaustions (ExcCycleLimit) — hung/runaway cores, surfaced
+	// distinctly so hang injection is observable.
+	WatchdogTrips uint64
+	// Quarantines counts supervisor quarantine transitions (including
+	// probation failures that re-quarantine a core).
+	Quarantines uint64
+	Cycles      uint64
 }
+
+// VerdictDrops returns the drops decided by the application itself (TTL,
+// malformed, ACL deny) — Dropped minus the alarm and fault drops.
+func (s Stats) VerdictDrops() uint64 { return s.Dropped - s.Alarms - s.Faults }
+
+// Conserved reports exact packet conservation: every processed packet is
+// either forwarded or dropped (verdict, alarm, or fault) — the accounting
+// invariant the fault-injection suite holds the data plane to.
+func (s Stats) Conserved() bool { return s.Processed == s.Forwarded+s.Dropped }
 
 // coreMonitor abstracts the per-core monitor implementation: the flattened
 // packed fast path (default) or the map-based NFA reference
@@ -47,6 +63,12 @@ type coreSlot struct {
 	hasher  mhash.Hasher
 	appName string
 	loaded  bool
+	// resetTrace defers the forensic-trace wipe of the recovery sequence
+	// to the core's next packet, keeping the dump readable between an
+	// alarm and that packet (the window npsim -trace uses).
+	resetTrace bool
+	// sup is the per-core health tracker (see supervisor.go).
+	sup supState
 }
 
 // Config configures an NP instance.
@@ -74,6 +96,10 @@ type Config struct {
 	// the entry count; 0 selects mhash.DefaultFastCacheBits. Ignored when
 	// Reference is set.
 	HashCacheBits int
+	// Supervisor enables the per-core health tracker (quarantine on
+	// persistent alarms/faults, probation after re-install). The zero
+	// value disables it.
+	Supervisor SupervisorConfig
 }
 
 // NP is a multicore network processor.
@@ -102,7 +128,7 @@ func New(cfg Config) (*NP, error) {
 	}
 	np := &NP{cfg: cfg, slots: make([]*coreSlot, cfg.Cores)}
 	for i := range np.slots {
-		np.slots[i] = &coreSlot{}
+		np.slots[i] = &coreSlot{sup: newSupState(cfg.Supervisor)}
 	}
 	return np, nil
 }
@@ -182,6 +208,11 @@ func (np *NP) Install(coreID int, name string, binary, graph []byte, param uint3
 		trace = slot.tracer.Observe
 	}
 	slot.core.Trace = trace
+	slot.resetTrace = false
+	// A quarantined core re-enters dispatch on probation: the clean
+	// re-install (fresh core memory, fresh monitor) is the probe step of
+	// the quarantine policy.
+	slot.sup.onInstall()
 	return nil
 }
 
@@ -228,17 +259,28 @@ type Result struct {
 	Cycles   uint64
 }
 
-// Process dispatches one packet round-robin across loaded cores.
+// Process dispatches one packet round-robin across available (loaded,
+// non-quarantined) cores.
 func (np *NP) Process(pkt []byte, qdepth int) (Result, error) {
 	n := len(np.slots)
+	anyLoaded := false
 	for i := 0; i < n; i++ {
 		id := (np.next + i) % n
-		if np.slots[id].loaded {
-			np.next = (id + 1) % n
-			return np.ProcessOn(id, pkt, qdepth)
+		s := np.slots[id]
+		if !s.loaded {
+			continue
 		}
+		anyLoaded = true
+		if s.sup.quarantined {
+			continue
+		}
+		np.next = (id + 1) % n
+		return np.ProcessOn(id, pkt, qdepth)
 	}
-	return Result{}, fmt.Errorf("npu: no core has an application installed")
+	if anyLoaded {
+		return Result{}, ErrNoCoreAvailable
+	}
+	return Result{}, ErrNoAppInstalled
 }
 
 // ProcessOn runs one packet on a specific core. On a monitor alarm the
@@ -248,7 +290,28 @@ func (np *NP) ProcessOn(coreID int, pkt []byte, qdepth int) (Result, error) {
 	if coreID < 0 || coreID >= len(np.slots) || !np.slots[coreID].loaded {
 		return Result{}, fmt.Errorf("npu: core %d not loaded", coreID)
 	}
+	if np.slots[coreID].sup.quarantined {
+		return Result{}, fmt.Errorf("npu: core %d: %w", coreID, ErrCoreQuarantined)
+	}
 	return processOnSlot(np.slots[coreID], coreID, pkt, qdepth, np.cfg.MonitorsEnabled, &np.stats)
+}
+
+// Core exposes a core's execution engine for diagnostics and fault
+// injection (the fault suite flips bits in its instruction memory and
+// shrinks its watchdog budget).
+func (np *NP) Core(coreID int) (*apps.Core, error) {
+	if coreID < 0 || coreID >= len(np.slots) || !np.slots[coreID].loaded {
+		return nil, fmt.Errorf("npu: core %d not loaded", coreID)
+	}
+	return np.slots[coreID].core, nil
+}
+
+// Tracer exposes a core's forensic tracer, or nil when tracing is off.
+func (np *NP) Tracer(coreID int) *cpu.Tracer {
+	if coreID < 0 || coreID >= len(np.slots) {
+		return nil
+	}
+	return np.slots[coreID].tracer
 }
 
 // Scratch exposes a core's scratch memory for persistence experiments.

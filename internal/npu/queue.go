@@ -1,8 +1,17 @@
 package npu
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+)
+
+// Typed configuration errors for QueueSim.Run.
+var (
+	// ErrQueueCapacity: Capacity must be at least 1.
+	ErrQueueCapacity = errors.New("npu: queue capacity must be >= 1")
+	// ErrQueueInterArrival: MeanInterArrival must be positive.
+	ErrQueueInterArrival = errors.New("npu: mean inter-arrival must be positive")
 )
 
 // QueueSim runs the NP behind an ingress queue in virtual time, making the
@@ -30,7 +39,14 @@ type QueueStats struct {
 	AppDrops  int
 	MaxQueue  int
 	AvgQueue  float64
-	Cycles    uint64 // virtual time consumed
+	// StarvedDrops counts packets dropped because every core was
+	// quarantined (a wedged NP sheds its whole backlog; included in
+	// TailDrops for conservation).
+	StarvedDrops int
+	// QuarantinedCores is the number of quarantined cores at run end —
+	// the visible face of graceful degradation.
+	QuarantinedCores int
+	Cycles           uint64 // virtual time consumed
 	// ServiceCycles is the total core time spent processing; divided by
 	// Cycles (× cores) it gives the utilization.
 	ServiceCycles uint64
@@ -48,10 +64,10 @@ func (s QueueStats) Utilization(cores int) float64 {
 func (q *QueueSim) Run(n int, gen func() []byte) (QueueStats, error) {
 	var st QueueStats
 	if q.Capacity < 1 {
-		return st, fmt.Errorf("npu: queue capacity %d", q.Capacity)
+		return st, fmt.Errorf("%w (got %d)", ErrQueueCapacity, q.Capacity)
 	}
 	if q.MeanInterArrival <= 0 {
-		return st, fmt.Errorf("npu: mean inter-arrival %f", q.MeanInterArrival)
+		return st, fmt.Errorf("%w (got %g)", ErrQueueInterArrival, q.MeanInterArrival)
 	}
 	rng := rand.New(rand.NewSource(q.Seed))
 	cores := q.NP.Cores()
@@ -83,10 +99,12 @@ func (q *QueueSim) Run(n int, gen func() []byte) (QueueStats, error) {
 				next = b
 			}
 		}
-		// A free core with a queued packet is an immediate event.
+		// A free available core with a queued packet is an immediate
+		// event. Quarantined cores don't count — otherwise a wedged NP
+		// would spin the clock in place.
 		if len(queue) > 0 {
-			for _, b := range busyUntil {
-				if b <= clock {
+			for c, b := range busyUntil {
+				if b <= clock && q.NP.slots[c].available() {
 					next = clock
 					break
 				}
@@ -115,9 +133,9 @@ func (q *QueueSim) Run(n int, gen func() []byte) (QueueStats, error) {
 			nextArrival = clock + draw()
 		}
 
-		// Dispatch to every free core.
+		// Dispatch to every free available core.
 		for c := 0; c < cores && len(queue) > 0; c++ {
-			if busyUntil[c] > clock {
+			if busyUntil[c] > clock || !q.NP.slots[c].available() {
 				continue
 			}
 			pkt := queue[0]
@@ -139,8 +157,22 @@ func (q *QueueSim) Run(n int, gen func() []byte) (QueueStats, error) {
 				st.AppDrops++
 			}
 		}
+
+		// Graceful degradation's worst case: every core quarantined. The
+		// backlog can never drain, so it is shed at the queue — counted,
+		// not lost — and the run finishes once arrivals stop.
+		if len(queue) > 0 && q.NP.AvailableCores() == 0 {
+			st.StarvedDrops += len(queue)
+			st.TailDrops += len(queue)
+			queue = queue[:0]
+		}
 	}
 	st.Cycles = clock
+	for c := 0; c < cores; c++ {
+		if q.NP.slots[c].sup.quarantined {
+			st.QuarantinedCores++
+		}
+	}
 	if clock > 0 {
 		st.AvgQueue = queueAreaCycles / float64(clock)
 	}

@@ -1,0 +1,357 @@
+package npu
+
+import (
+	"errors"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/fault"
+	"sdmmon/internal/packet"
+)
+
+// testSupervisor is a fast-converging policy for tests.
+func testSupervisor() SupervisorConfig {
+	return SupervisorConfig{Window: 16, Threshold: 4, ProbationPackets: 8}
+}
+
+func supervisedNP(t *testing.T, cores int) *NP {
+	t.Helper()
+	np, err := New(Config{Cores: cores, MonitorsEnabled: true, Supervisor: testSupervisor()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, g := makeBundle(t, apps.IPv4CM(), 0x5AFE)
+	if err := np.InstallAll("ipv4cm", bin, g, 0x5AFE); err != nil {
+		t.Fatal(err)
+	}
+	return np
+}
+
+// injectPersistentFault flips an instruction-memory bit on coreID that the
+// monitor provably alarms on: it probes flips of the entry word bit by bit
+// (re-installing between probes) until one detects, then leaves that flip
+// in place. Deterministic for a fixed bundle/parameter.
+func injectPersistentFault(t *testing.T, np *NP, coreID int) {
+	t.Helper()
+	bin, g := makeBundle(t, apps.IPv4CM(), 0x5AFE)
+	gen := packet.NewGenerator(99)
+	c, err := np.Core(coreID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := c.Program().Entry
+	inj := fault.New(1)
+	for bit := uint(0); bit < 32; bit++ {
+		if err := np.Install(coreID, "ipv4cm", bin, g, 0x5AFE); err != nil {
+			t.Fatal(err)
+		}
+		c, _ = np.Core(coreID)
+		if !inj.FlipBit(c, entry, bit) {
+			t.Fatalf("flip at %#x failed", entry)
+		}
+		res, err := np.ProcessOn(coreID, gen.Next(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detected {
+			return // fault armed, one alarm already recorded
+		}
+	}
+	t.Fatal("no entry-word bit flip produced an alarm")
+}
+
+// driveToQuarantine feeds benign packets at the faulty core until the
+// supervisor quarantines it, bounding the recovery loop.
+func driveToQuarantine(t *testing.T, np *NP, coreID, maxPackets int) int {
+	t.Helper()
+	gen := packet.NewGenerator(123)
+	for i := 0; i < maxPackets; i++ {
+		if h, _ := np.CoreHealth(coreID); h == CoreQuarantined {
+			return i
+		}
+		if _, err := np.ProcessOn(coreID, gen.Next(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, _ := np.CoreHealth(coreID)
+	if h != CoreQuarantined {
+		t.Fatalf("core %d not quarantined after %d packets (health %v)", coreID, maxPackets, h)
+	}
+	return maxPackets
+}
+
+// The tentpole lifecycle: persistent fault → repeated alarms → quarantine →
+// the NP keeps forwarding degraded → clean re-install → probation → healthy.
+func TestSupervisorQuarantineLifecycle(t *testing.T) {
+	np := supervisedNP(t, 2)
+	injectPersistentFault(t, np, 0)
+	driveToQuarantine(t, np, 0, 64)
+
+	s := np.Stats()
+	if s.Quarantines != 1 {
+		t.Fatalf("Quarantines=%d, want 1", s.Quarantines)
+	}
+	if !s.Conserved() {
+		t.Fatalf("accounting not conserved: %+v", s)
+	}
+	if got := np.AvailableCores(); got != 1 {
+		t.Fatalf("AvailableCores=%d, want 1", got)
+	}
+	if _, err := np.ProcessOn(0, packet.NewGenerator(5).Next(), 0); !errors.Is(err, ErrCoreQuarantined) {
+		t.Fatalf("ProcessOn quarantined core: err=%v, want ErrCoreQuarantined", err)
+	}
+
+	// Graceful degradation: round-robin dispatch forwards on core 1 only.
+	gen := packet.NewGenerator(7)
+	for i := 0; i < 10; i++ {
+		res, err := np.Process(gen.Next(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Core != 1 {
+			t.Fatalf("packet dispatched to quarantined core %d", res.Core)
+		}
+		if !(res.Verdict == apps.VerdictForward && !res.Detected) {
+			t.Fatalf("degraded NP failed benign packet %d: %+v", i, res)
+		}
+	}
+
+	// Probe-reintroduction: a clean re-install enters probation...
+	bin, g := makeBundle(t, apps.IPv4CM(), 0x5AFE)
+	if err := np.Install(0, "ipv4cm", bin, g, 0x5AFE); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := np.CoreHealth(0); h != CoreProbation {
+		t.Fatalf("health after re-install: %v, want probation", h)
+	}
+	// ...and clean packets graduate it back to full health.
+	for i := 0; i < testSupervisor().ProbationPackets; i++ {
+		res, err := np.ProcessOn(0, gen.Next(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detected || res.Faulted {
+			t.Fatalf("probation packet %d alarmed on a clean core", i)
+		}
+	}
+	if h, _ := np.CoreHealth(0); h != CoreHealthy {
+		t.Fatalf("health after probation: %v, want healthy", h)
+	}
+	if got := np.AvailableCores(); got != 2 {
+		t.Fatalf("AvailableCores=%d, want 2", got)
+	}
+}
+
+// A fault that survives the re-install (still-broken hardware) fails
+// probation on its first alarm and re-quarantines immediately.
+func TestSupervisorProbationFailure(t *testing.T) {
+	np := supervisedNP(t, 1)
+	injectPersistentFault(t, np, 0)
+	driveToQuarantine(t, np, 0, 64)
+
+	bin, g := makeBundle(t, apps.IPv4CM(), 0x5AFE)
+	if err := np.Install(0, "ipv4cm", bin, g, 0x5AFE); err != nil {
+		t.Fatal(err)
+	}
+	// Re-arm the same persistent fault on the freshly installed core.
+	injectPersistentFault(t, np, 0)
+	// injectPersistentFault re-installs while probing, so the core is on
+	// probation with one alarm already taken: it must be quarantined at
+	// once, not after Threshold events.
+	if h, _ := np.CoreHealth(0); h != CoreQuarantined {
+		t.Fatalf("health after probation alarm: %v, want quarantined", h)
+	}
+	if s := np.Stats(); s.Quarantines != 2 {
+		t.Fatalf("Quarantines=%d, want 2", s.Quarantines)
+	}
+}
+
+// All cores quarantined: dispatch reports the typed error, not a panic or
+// a silent drop.
+func TestSupervisorAllQuarantined(t *testing.T) {
+	np := supervisedNP(t, 1)
+	if err := np.Quarantine(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := np.Process(packet.NewGenerator(1).Next(), 0); !errors.Is(err, ErrNoCoreAvailable) {
+		t.Fatalf("Process: err=%v, want ErrNoCoreAvailable", err)
+	}
+	if _, err := np.ProcessBatch([][]byte{packet.NewGenerator(1).Next()}, 0); !errors.Is(err, ErrNoCoreAvailable) {
+		t.Fatalf("ProcessBatch: err=%v, want ErrNoCoreAvailable", err)
+	}
+}
+
+// Mid-batch quarantine, deterministic single-core version: the only worker
+// alarms on every packet, quarantines partway through the batch, and the
+// unprocessed tail surfaces as the typed error — with the processed prefix
+// fully accounted.
+func TestSupervisorQuarantineMidBatch(t *testing.T) {
+	np := supervisedNP(t, 1)
+	injectPersistentFault(t, np, 0)
+
+	before := np.Stats()
+	gen := packet.NewGenerator(17)
+	pkts := make([][]byte, 64)
+	for i := range pkts {
+		pkts[i] = gen.Next()
+	}
+	results, err := np.ProcessBatch(pkts, 0)
+	if !errors.Is(err, ErrNoCoreAvailable) {
+		t.Fatalf("err=%v, want ErrNoCoreAvailable for the unprocessed tail", err)
+	}
+	if h, _ := np.CoreHealth(0); h != CoreQuarantined {
+		t.Fatalf("core 0 health %v, want quarantined", h)
+	}
+	s := np.Stats()
+	if !s.Conserved() {
+		t.Fatalf("accounting not conserved: %+v", s)
+	}
+	processed := int(s.Processed - before.Processed)
+	if processed == 0 || processed >= len(pkts) {
+		t.Fatalf("processed %d of %d, want a strict mid-batch prefix", processed, len(pkts))
+	}
+	// The processed prefix has fates; the unprocessed tail is zero-valued.
+	for i := 0; i < processed; i++ {
+		if !results[i].Detected {
+			t.Fatalf("packet %d on the faulty core not detected", i)
+		}
+	}
+	for i := processed; i < len(pkts); i++ {
+		if results[i].Detected || results[i].Faulted || results[i].Packet != nil {
+			t.Fatalf("unprocessed packet %d has a fate: %+v", i, results[i])
+		}
+	}
+}
+
+// A batch over a degraded NP (one core already quarantined) completes in
+// full on the remaining core — every packet gets a fate and the aggregate
+// statistics stay conserved.
+func TestBatchDegradedOnQuarantinedCore(t *testing.T) {
+	np := supervisedNP(t, 2)
+	if err := np.Quarantine(0); err != nil {
+		t.Fatal(err)
+	}
+	gen := packet.NewGenerator(17)
+	pkts := make([][]byte, 256)
+	for i := range pkts {
+		pkts[i] = gen.Next()
+	}
+	results, err := np.ProcessBatch(pkts, 0)
+	if err != nil {
+		t.Fatalf("batch with one healthy core errored: %v", err)
+	}
+	for i, r := range results {
+		if r.Core != 1 {
+			t.Fatalf("packet %d ran on quarantined core %d", i, r.Core)
+		}
+		if r.Verdict != apps.VerdictForward || r.Detected || r.Faulted {
+			t.Fatalf("benign packet %d not forwarded: %+v", i, r)
+		}
+	}
+	if s := np.Stats(); !s.Conserved() {
+		t.Fatalf("accounting not conserved: %+v", s)
+	}
+}
+
+// Manual quarantine works without the supervisor enabled (operator action,
+// degraded-throughput bench).
+func TestManualQuarantineWithoutSupervisor(t *testing.T) {
+	np := newNP(t, 2, true)
+	bin, g := makeBundle(t, apps.IPv4CM(), 0xD00D)
+	if err := np.InstallAll("ipv4cm", bin, g, 0xD00D); err != nil {
+		t.Fatal(err)
+	}
+	if err := np.Quarantine(0); err != nil {
+		t.Fatal(err)
+	}
+	gen := packet.NewGenerator(3)
+	for i := 0; i < 6; i++ {
+		res, err := np.Process(gen.Next(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Core != 1 {
+			t.Fatalf("dispatched to manually quarantined core %d", res.Core)
+		}
+	}
+	// Re-install releases it even with the supervisor off (no probation).
+	if err := np.Install(0, "ipv4cm", bin, g, 0xD00D); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := np.CoreHealth(0); h != CoreHealthy {
+		t.Fatalf("health after re-install: %v, want healthy", h)
+	}
+}
+
+// Quarantine visibly degrades the queued NP: the run completes, the
+// remaining core forwards, and packet accounting is exactly conserved.
+func TestQueueSimQuarantineDegradation(t *testing.T) {
+	np := supervisedNP(t, 2)
+	if err := np.Quarantine(0); err != nil {
+		t.Fatal(err)
+	}
+	gen := packet.NewGenerator(21)
+	q := &QueueSim{NP: np, Capacity: 32, MeanInterArrival: 200, Seed: 2}
+	st, err := q.Run(400, gen.Next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QuarantinedCores != 1 {
+		t.Fatalf("QuarantinedCores=%d, want 1", st.QuarantinedCores)
+	}
+	if st.Forwarded == 0 {
+		t.Fatal("degraded NP forwarded nothing")
+	}
+	if st.Arrived != st.TailDrops+st.Processed {
+		t.Fatalf("queue accounting broken: arrived=%d taildrops=%d processed=%d",
+			st.Arrived, st.TailDrops, st.Processed)
+	}
+	if st.Processed != st.Forwarded+st.AppDrops {
+		t.Fatalf("drain accounting broken: %+v", st)
+	}
+}
+
+// The fully wedged NP sheds its backlog at the queue and terminates.
+func TestQueueSimAllQuarantinedSheds(t *testing.T) {
+	np := supervisedNP(t, 2)
+	for c := 0; c < 2; c++ {
+		if err := np.Quarantine(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := packet.NewGenerator(22)
+	q := &QueueSim{NP: np, Capacity: 16, MeanInterArrival: 50, Seed: 3}
+	st, err := q.Run(200, gen.Next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Processed != 0 {
+		t.Fatalf("wedged NP processed %d packets", st.Processed)
+	}
+	if st.StarvedDrops == 0 {
+		t.Fatal("no starved drops recorded")
+	}
+	if st.Arrived != st.TailDrops+st.Processed {
+		t.Fatalf("conservation broken: %+v", st)
+	}
+	if st.QuarantinedCores != 2 {
+		t.Fatalf("QuarantinedCores=%d, want 2", st.QuarantinedCores)
+	}
+}
+
+// Typed validation errors (the satellite): errors.Is must match.
+func TestQueueSimTypedErrors(t *testing.T) {
+	np := queuedNP(t, 1)
+	q := &QueueSim{NP: np, Capacity: 0, MeanInterArrival: 10}
+	if _, err := q.Run(1, nil); !errors.Is(err, ErrQueueCapacity) {
+		t.Errorf("capacity error %v, want ErrQueueCapacity", err)
+	}
+	q = &QueueSim{NP: np, Capacity: 10, MeanInterArrival: 0}
+	if _, err := q.Run(1, nil); !errors.Is(err, ErrQueueInterArrival) {
+		t.Errorf("inter-arrival error %v, want ErrQueueInterArrival", err)
+	}
+	q = &QueueSim{NP: np, Capacity: 10, MeanInterArrival: -3}
+	if _, err := q.Run(1, nil); !errors.Is(err, ErrQueueInterArrival) {
+		t.Errorf("negative inter-arrival error %v, want ErrQueueInterArrival", err)
+	}
+}
