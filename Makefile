@@ -3,13 +3,14 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all check build vet fmt-check test test-short test-race test-faults bench fuzz experiments examples verilog clean
+.PHONY: all check build vet fmt-check test test-short test-race test-faults test-rollout bench fuzz experiments examples verilog clean
 
 all: check
 
 # The default CI gate: build, static checks, full tests, the race
-# detector over the concurrent packages, and the fault-injection suite.
-check: build vet fmt-check test test-race test-faults
+# detector over the concurrent packages, the fault-injection suite, and
+# the live-upgrade suite.
+check: build vet fmt-check test test-race test-faults test-rollout
 
 build:
 	$(GO) build ./...
@@ -32,6 +33,13 @@ test-short:
 # ProcessBatch workers and the network-path pipeline).
 test-race:
 	$(GO) test -race ./internal/npu/... ./internal/network/...
+
+# The live-upgrade suite under the race detector: staged install and
+# atomic cutover, canary rollout with auto-rollback, and the
+# anti-downgrade sequence ledger.
+test-rollout:
+	$(GO) test -race -run 'Upgrade|Stage|Commit|Rollback|Rollout|Downgrade|Manifest|Sequence|Ledger|Replay' \
+		./internal/seccrypto/... ./internal/npu/... ./internal/core/... ./internal/network/...
 
 # The resilience suite under the race detector: fault injectors, core
 # quarantine/recovery, and the retrying secure install.

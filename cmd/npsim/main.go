@@ -35,10 +35,14 @@ func main() {
 	benchOut := flag.String("benchout", "BENCH_npu.json", "output file for -bench")
 	benchPackets := flag.Int("benchpackets", 20000, "packets per sweep point in -bench mode")
 	faults := flag.String("faults", "", "fault-injection scenario: bitflip, hashflip, hang, spurious, graph, link, or all")
+	rollout := flag.String("rollout", "", "live-upgrade scenario: clean, badcanary, lossy, or all")
+	routers := flag.Int("routers", 4, "fleet size for -rollout")
 	flag.Parse()
 
 	var err error
 	switch {
+	case *rollout != "":
+		err = runRollout(*rollout, *routers, *cores, *seed)
 	case *faults != "":
 		err = runFaults(*faults, *appName, *cores, *seed)
 	case *bench:

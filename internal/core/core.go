@@ -66,6 +66,10 @@ type DeviceConfig struct {
 	// Compression selects the Merkle compression function; nil means the
 	// paper's arithmetic sum.
 	Compression mhash.Compress
+	// Supervisor enables the NP's per-core health tracker (quarantine on
+	// persistent alarms/faults). The rollout health gate reads its state;
+	// the zero value disables it.
+	Supervisor npu.SupervisorConfig
 }
 
 // DefaultDeviceConfig is a 4-core monitored device with the paper's hash.
@@ -96,6 +100,7 @@ func (m *Manufacturer) Manufacture(id string, cfg DeviceConfig) (*Device, error)
 		Cores:           cfg.Cores,
 		MonitorsEnabled: cfg.MonitorsEnabled,
 		NewHasher:       newHasher,
+		Supervisor:      cfg.Supervisor,
 	})
 	if err != nil {
 		return nil, err
@@ -117,6 +122,39 @@ type Operator struct {
 	// Compression must match the fleet's device configuration; nil means
 	// the paper's arithmetic sum.
 	Compression mhash.Compress
+
+	// appSeq is the operator's per-application monotonic release counter;
+	// every prepared bundle carries the next value in its signed manifest.
+	// Devices track their own high-water marks, so a shared fleet-wide
+	// counter is sufficient (each device just sees increasing numbers).
+	appSeq map[string]uint64
+	// appVersion is the human-facing semantic version stamped into
+	// manifests, set with SetAppVersion ("" derives a label from the
+	// sequence).
+	appVersion map[string]string
+}
+
+// SetAppVersion sets the semantic version label stamped into subsequent
+// manifests for an application (e.g. "2.1.0" before a fleet upgrade).
+func (o *Operator) SetAppVersion(appName, version string) {
+	if o.appVersion == nil {
+		o.appVersion = map[string]string{}
+	}
+	o.appVersion[appName] = version
+}
+
+// nextManifest draws the next release manifest for an application.
+func (o *Operator) nextManifest(appName string) seccrypto.Manifest {
+	if o.appSeq == nil {
+		o.appSeq = map[string]uint64{}
+	}
+	o.appSeq[appName]++
+	seq := o.appSeq[appName]
+	version := o.appVersion[appName]
+	if version == "" {
+		version = fmt.Sprintf("0.0.%d", seq)
+	}
+	return seccrypto.Manifest{AppName: appName, Version: version, Sequence: seq}
 }
 
 // NewOperator creates an operator. rng may be nil (crypto/rand).
@@ -156,6 +194,7 @@ func (o *Operator) PrepareBundle(app *apps.App) (*seccrypto.Bundle, error) {
 		return nil, err
 	}
 	return &seccrypto.Bundle{
+		Manifest:  o.nextManifest(app.Name),
 		Binary:    prog.Serialize(),
 		Graph:     g.Serialize(),
 		HashParam: param,

@@ -76,24 +76,47 @@ func (d *Device) InstallOn(wire []byte, coreID int) (*InstallReport, error) {
 	return d.install(wire, coreID)
 }
 
-func (d *Device) install(wire []byte, coreID int) (*InstallReport, error) {
-	pkg, err := seccrypto.UnmarshalPackage(wire)
+// open runs the full package verification pipeline (unmarshal, revocation,
+// certificate with pinning, decrypt, signature, device binding,
+// anti-downgrade) shared by the destructive install, the resident-library
+// load, and the staged-upgrade path.
+func (d *Device) open(wire []byte) (pkg *seccrypto.Package, bundle *seccrypto.Bundle,
+	ops seccrypto.OpCounts, skipCert bool, err error) {
+	pkg, err = seccrypto.UnmarshalPackage(wire)
 	if err != nil {
-		return nil, err
+		return nil, nil, ops, false, err
 	}
 	if pkg.Cert != nil && d.revoked[pkg.Cert.Serial] {
-		return nil, fmt.Errorf("core: certificate serial %d revoked: %w",
+		return nil, nil, ops, false, fmt.Errorf("core: certificate serial %d revoked: %w",
 			pkg.Cert.Serial, seccrypto.ErrBadCertificate)
 	}
-	skipCert := pkg.Cert != nil && d.pinnedOperatorKey != nil &&
+	skipCert = pkg.Cert != nil && d.pinnedOperatorKey != nil &&
 		bytes.Equal(pkg.Cert.KeyDER, d.pinnedOperatorKey)
-	bundle, ops, err := d.identity.OpenPackage(pkg, skipCert)
+	bundle, ops, err = d.identity.OpenPackage(pkg, skipCert)
+	if err != nil {
+		return nil, nil, ops, skipCert, err
+	}
+	ops.DownloadBytes = len(wire)
+	return pkg, bundle, ops, skipCert, nil
+}
+
+// bundleName derives the NP-visible application label: the signed manifest
+// identity when present (so operators and the rollout engine can read which
+// release a core runs), the package digest otherwise.
+func bundleName(pkg *seccrypto.Package, bundle *seccrypto.Bundle) string {
+	if m := bundle.Manifest; !m.Zero() {
+		return fmt.Sprintf("%s@%s", m.AppName, m.Version)
+	}
+	return fmt.Sprintf("bundle-%s", pkg.DigestHex())
+}
+
+func (d *Device) install(wire []byte, coreID int) (*InstallReport, error) {
+	pkg, bundle, ops, skipCert, err := d.open(wire)
 	if err != nil {
 		return nil, err
 	}
-	ops.DownloadBytes = len(wire)
 
-	name := fmt.Sprintf("bundle-%s", pkg.DigestHex())
+	name := bundleName(pkg, bundle)
 	if coreID < 0 {
 		err = d.np.InstallAll(name, bundle.Binary, bundle.Graph, bundle.HashParam)
 	} else {
@@ -113,6 +136,65 @@ func (d *Device) install(wire []byte, coreID int) (*InstallReport, error) {
 	}
 	d.installs = append(d.installs, rep)
 	return &rep, nil
+}
+
+// StageUpgrade verifies a package and stages its bundle into every NP core's
+// shadow slot: the currently live application keeps serving packets until
+// CommitUpgrade cuts over. The full cryptographic pipeline (including the
+// anti-downgrade sequence check) runs here, so a staged bundle is as trusted
+// as an installed one.
+func (d *Device) StageUpgrade(wire []byte) (*InstallReport, error) {
+	pkg, bundle, ops, skipCert, err := d.open(wire)
+	if err != nil {
+		return nil, err
+	}
+	name := bundleName(pkg, bundle)
+	if err := d.np.StageInstallAll(name, bundle.Binary, bundle.Graph, bundle.HashParam); err != nil {
+		return nil, err
+	}
+	d.pinnedOperatorKey = append([]byte(nil), pkg.Cert.KeyDER...)
+	rep := InstallReport{
+		App:          name,
+		WireBytes:    len(wire),
+		Ops:          ops,
+		ModelSeconds: d.cost.EstimateOps(ops),
+		CertChecked:  !skipCert,
+	}
+	d.installs = append(d.installs, rep)
+	return &rep, nil
+}
+
+// CommitUpgrade atomically cuts every core over to its staged bundle (per
+// core at a packet boundary), retaining the displaced version for
+// RollbackUpgrade. Returns the simulated NP cutover cost in core cycles.
+func (d *Device) CommitUpgrade() (uint64, error) { return d.np.CommitAll() }
+
+// AbortUpgrade discards any staged bundles; the live application is
+// untouched.
+func (d *Device) AbortUpgrade() { d.np.AbortAllStaged() }
+
+// RollbackUpgrade restores the retained previous version on every core.
+// Returns the simulated NP cutover cost in core cycles.
+func (d *Device) RollbackUpgrade() (uint64, error) { return d.np.RollbackAll() }
+
+// LiveApp reports the application label live on core 0 (fleet devices run
+// one application on all cores).
+func (d *Device) LiveApp() (string, bool) { return d.np.AppOn(0) }
+
+// SequenceState serializes the device's anti-downgrade high-water marks for
+// persistence across reboots.
+func (d *Device) SequenceState() []byte { return d.identity.Sequences().Marshal() }
+
+// RestoreSequenceState reloads persisted anti-downgrade state (the reboot
+// path). Restoring stale or empty state re-opens the replay window — exactly
+// why the ledger must be persisted.
+func (d *Device) RestoreSequenceState(state []byte) error {
+	l, err := seccrypto.UnmarshalSequenceLedger(state)
+	if err != nil {
+		return err
+	}
+	d.identity.RestoreSequences(l)
+	return nil
 }
 
 // InstallResident verifies a package and stores its bundle in the NP's

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/npu"
+	"sdmmon/internal/packet"
+	"sdmmon/internal/seccrypto"
+)
+
+// Upgrade tests use their own fixture: the shared one's operator counters
+// are touched by every other test, and these tests reason about exact
+// sequence numbers.
+type upFixture struct {
+	op  *Operator
+	dev *Device
+}
+
+var (
+	upOnce sync.Once
+	upFix  upFixture
+)
+
+func getUpgradeFixture(t *testing.T) *upFixture {
+	t.Helper()
+	upOnce.Do(func() {
+		mfr, err := NewManufacturer("upg-acme", nil)
+		if err != nil {
+			panic(err)
+		}
+		op, err := NewOperator("upg-isp", nil)
+		if err != nil {
+			panic(err)
+		}
+		if err := mfr.Certify(op); err != nil {
+			panic(err)
+		}
+		dev, err := mfr.Manufacture("upg-r0", DeviceConfig{
+			Cores: 2, MonitorsEnabled: true, Supervisor: npu.DefaultSupervisorConfig(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		upFix = upFixture{op: op, dev: dev}
+	})
+	return &upFix
+}
+
+// The device-level staged upgrade: verified staging leaves the old version
+// live, commit cuts over, rollback restores — and the manifest identity is
+// what AppOn/LiveApp report.
+func TestDeviceStagedUpgradeLifecycle(t *testing.T) {
+	f := getUpgradeFixture(t)
+	f.op.SetAppVersion("udpecho", "1.0.0")
+	wire1, err := f.op.ProgramWire(f.dev.Public(), apps.UDPEcho())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.dev.Install(wire1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.App != "udpecho@1.0.0" {
+		t.Fatalf("install named %q, want manifest identity udpecho@1.0.0", rep.App)
+	}
+
+	f.op.SetAppVersion("udpecho", "1.1.0")
+	wire2, err := f.op.ProgramWire(f.dev.Public(), apps.UDPEcho())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srep, err := f.dev.StageUpgrade(wire2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.App != "udpecho@1.1.0" {
+		t.Fatalf("staged name %q", srep.App)
+	}
+	if live, _ := f.dev.LiveApp(); live != "udpecho@1.0.0" {
+		t.Fatalf("staging replaced the live version: %q", live)
+	}
+	// Old version serves during the staged window.
+	if res, err := f.dev.Process(packet.NewGenerator(3).Next(), 0); err != nil || res.Faulted {
+		t.Fatalf("live traffic during staging: res=%+v err=%v", res, err)
+	}
+
+	cycles, err := f.dev.CommitUpgrade()
+	if err != nil || cycles == 0 {
+		t.Fatalf("CommitUpgrade: cycles=%d err=%v", cycles, err)
+	}
+	if live, _ := f.dev.LiveApp(); live != "udpecho@1.1.0" {
+		t.Fatalf("after commit live=%q", live)
+	}
+
+	if _, err := f.dev.RollbackUpgrade(); err != nil {
+		t.Fatal(err)
+	}
+	if live, _ := f.dev.LiveApp(); live != "udpecho@1.0.0" {
+		t.Fatalf("after rollback live=%q", live)
+	}
+	// Roll forward again so later tests see the highest version live.
+	if _, err := f.dev.RollbackUpgrade(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Anti-downgrade: the captured 1.0.0 wire replays against both install
+	// paths and is refused by the sequence ledger, not by crypto.
+	if _, err := f.dev.Install(wire1); !errors.Is(err, seccrypto.ErrDowngrade) {
+		t.Fatalf("replayed v1 wire via Install: %v, want ErrDowngrade", err)
+	}
+	if _, err := f.dev.StageUpgrade(wire1); !errors.Is(err, seccrypto.ErrDowngrade) {
+		t.Fatalf("replayed v1 wire via StageUpgrade: %v, want ErrDowngrade", err)
+	}
+}
+
+// Aborting a staged upgrade leaves nothing to commit and the live version
+// untouched.
+func TestDeviceAbortUpgrade(t *testing.T) {
+	f := getUpgradeFixture(t)
+	before, _ := f.dev.LiveApp()
+	f.op.SetAppVersion("udpecho", "1.2.0")
+	wire, err := f.op.ProgramWire(f.dev.Public(), apps.UDPEcho())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.dev.StageUpgrade(wire); err != nil {
+		t.Fatal(err)
+	}
+	f.dev.AbortUpgrade()
+	if _, err := f.dev.CommitUpgrade(); !errors.Is(err, npu.ErrNothingStaged) {
+		t.Fatalf("commit after abort: %v, want ErrNothingStaged", err)
+	}
+	if live, _ := f.dev.LiveApp(); live != before {
+		t.Fatalf("abort changed the live version: %q -> %q", before, live)
+	}
+}
+
+// The anti-downgrade ledger survives a reboot via SequenceState /
+// RestoreSequenceState — and a reboot that loses the state re-opens the
+// replay window, which is exactly why the state is persisted.
+func TestSequenceStatePersistence(t *testing.T) {
+	f := getUpgradeFixture(t)
+	f.op.SetAppVersion("counter", "1.0.0")
+	wire1, err := f.op.ProgramWire(f.dev.Public(), apps.Counter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.dev.Install(wire1); err != nil {
+		t.Fatal(err)
+	}
+	f.op.SetAppVersion("counter", "2.0.0")
+	wire2, err := f.op.ProgramWire(f.dev.Public(), apps.Counter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.dev.Install(wire2); err != nil {
+		t.Fatal(err)
+	}
+	saved := f.dev.SequenceState()
+
+	// Reboot that lost the ledger: the old wire installs again.
+	if err := f.dev.RestoreSequenceState(seccrypto.NewSequenceLedger().Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.dev.Install(wire1); err != nil {
+		t.Fatalf("replay after ledger loss should succeed (window re-opened): %v", err)
+	}
+
+	// Reboot with the persisted ledger: the replay is refused.
+	if err := f.dev.RestoreSequenceState(saved); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.dev.Install(wire1); !errors.Is(err, seccrypto.ErrDowngrade) {
+		t.Fatalf("replay after ledger restore: %v, want ErrDowngrade", err)
+	}
+
+	// Corrupt persisted state is rejected, not silently accepted as empty.
+	if err := f.dev.RestoreSequenceState([]byte("garbage")); err == nil {
+		t.Fatal("RestoreSequenceState accepted garbage")
+	}
+}

@@ -133,7 +133,7 @@ func DistributeReliable(op *core.Operator, devices []*core.Device, app *apps.App
 		if err != nil {
 			return out, fmt.Errorf("network: packaging for %s: %w", dev.ID, err)
 		}
-		rep := deliverWithRetry(dev, wire, link, pol, model, rng)
+		rep := deliverWithRetry(dev, wire, link, pol, model, rng, (*core.Device).Install)
 		out.Reports = append(out.Reports, rep)
 		out.TotalAttempts += rep.Attempts
 		if rep.Err == nil {
@@ -145,8 +145,14 @@ func DistributeReliable(op *core.Operator, devices []*core.Device, app *apps.App
 	return out, nil
 }
 
+// installFunc is how a delivered package lands on the device: the
+// destructive (*core.Device).Install for plain distribution, or
+// (*core.Device).StageUpgrade for the staged rollout path — the retry loop
+// is identical either way because both run the full verification pipeline.
+type installFunc func(dev *core.Device, wire []byte) (*core.InstallReport, error)
+
 // deliverWithRetry runs the per-router retry loop for one prepared package.
-func deliverWithRetry(dev *core.Device, wire []byte, link *LossyLink, pol RetryPolicy, model timing.CostModel, rng *rand.Rand) DeliveryReport {
+func deliverWithRetry(dev *core.Device, wire []byte, link *LossyLink, pol RetryPolicy, model timing.CostModel, rng *rand.Rand, install installFunc) DeliveryReport {
 	rep := DeliveryReport{DeviceID: dev.ID}
 	var lastErr error
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
@@ -159,7 +165,7 @@ func deliverWithRetry(dev *core.Device, wire []byte, link *LossyLink, pol RetryP
 			lastErr = fmt.Errorf("network: %s attempt %d: package lost in transit", dev.ID, attempt)
 		}
 		for _, c := range copies {
-			inst, err := dev.Install(c)
+			inst, err := install(dev, c)
 			if err != nil {
 				// Bit corruption surfaces as a signature/decrypt/parse
 				// failure — exactly like an attack. Never trust it;

@@ -29,12 +29,14 @@ import (
 func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
 	loaded, available := 0, 0
 	for _, s := range np.slots {
+		s.mu.Lock()
 		if s.loaded {
 			loaded++
 		}
 		if s.available() {
 			available++
 		}
+		s.mu.Unlock()
 	}
 	if loaded == 0 {
 		return nil, ErrNoAppInstalled
@@ -75,7 +77,10 @@ func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
 	var wg sync.WaitGroup
 
 	for coreID, slot := range np.slots {
-		if !slot.available() {
+		slot.mu.Lock()
+		ok := slot.available()
+		slot.mu.Unlock()
+		if !ok {
 			continue
 		}
 		wg.Add(1)
@@ -85,9 +90,13 @@ func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
 			for {
 				// A core quarantined mid-batch stops claiming packets;
 				// the shared cursor hands the remainder to the other
-				// workers. Only this goroutine writes its slot's state,
-				// so the read is race-free.
-				if slot.sup.quarantined {
+				// workers. The slot lock orders this read against
+				// concurrent commits/rollbacks (which may lift a
+				// quarantine) as well as this worker's own writes.
+				slot.mu.Lock()
+				q := slot.sup.quarantined
+				slot.mu.Unlock()
+				if q {
 					return
 				}
 				i := int(cursor.Add(1)) - 1
@@ -135,15 +144,21 @@ func (s *Stats) add(d *Stats) {
 	s.Cycles += d.Cycles
 }
 
-// processOnSlot is the lock-free per-core packet path shared by ProcessOn
-// (via the stats pointer indirection) and ProcessBatch. In steady state
-// (no architectural exception) it performs zero heap allocations; the
-// returned Result.Packet aliases the core's output buffer.
+// processOnSlot is the per-core packet path shared by ProcessOn (via the
+// stats pointer indirection) and ProcessBatch. It holds the slot lock for
+// the duration of the packet, so a concurrent Commit/Rollback drains the
+// in-flight packet and cuts over at the boundary — no packet ever executes
+// against a mixed binary/monitor/hasher image. The lock is per-core and
+// uncontended in steady state; the path still performs zero heap
+// allocations, and the returned Result.Packet aliases the core's output
+// buffer.
 func processOnSlot(slot *coreSlot, coreID int, pkt []byte, qdepth int, monitors bool, stats *Stats) (Result, error) {
 	if len(pkt) > apps.MemSize-apps.PktBase {
 		return Result{}, fmt.Errorf("npu: packet length %d exceeds the %d-byte packet memory window",
 			len(pkt), apps.MemSize-apps.PktBase)
 	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
 	if monitors {
 		slot.mon.Reset()
 	}

@@ -8,6 +8,7 @@ package npu
 
 import (
 	"fmt"
+	"sync"
 
 	"sdmmon/internal/apps"
 	"sdmmon/internal/asm"
@@ -55,8 +56,26 @@ type coreMonitor interface {
 	Counters() (checked, alarms uint64, maxPositions int)
 }
 
+// preparedApp is a fully built installation image: core with loaded program,
+// compiled monitor, wired tracer, and hash unit. Building one is the
+// expensive, fallible half of an installation; making it live is a pointer
+// swap. Both the live slot contents and the staged/retained shadow slots are
+// preparedApps.
+type preparedApp struct {
+	core    *apps.Core
+	mon     coreMonitor
+	tracer  *cpu.Tracer
+	hasher  mhash.Hasher
+	appName string
+}
+
 // coreSlot is one core with its security hardware.
 type coreSlot struct {
+	// mu serializes the packet path against install/commit/rollback swaps:
+	// a cutover acquires the lock and therefore waits for the in-flight
+	// packet to retire — the "per-core drain" that makes commits atomic at
+	// packet boundaries. Uncontended in steady state and allocation-free.
+	mu      sync.Mutex
 	core    *apps.Core
 	mon     coreMonitor
 	tracer  *cpu.Tracer
@@ -69,6 +88,31 @@ type coreSlot struct {
 	resetTrace bool
 	// sup is the per-core health tracker (see supervisor.go).
 	sup supState
+	// staged is the shadow slot of the two-phase install (see upgrade.go):
+	// a prepared bundle awaiting Commit while the live slot keeps serving.
+	staged *preparedApp
+	// prev is the retained previous version after a Commit, restored by
+	// Rollback.
+	prev *preparedApp
+}
+
+// liveImage captures the current live installation as a preparedApp (for
+// retention at commit time). Call with mu held.
+func (s *coreSlot) liveImage() *preparedApp {
+	return &preparedApp{core: s.core, mon: s.mon, tracer: s.tracer,
+		hasher: s.hasher, appName: s.appName}
+}
+
+// setLive makes a prepared image the slot's live installation. Call with mu
+// held.
+func (s *coreSlot) setLive(p *preparedApp) {
+	s.core = p.core
+	s.mon = p.mon
+	s.tracer = p.tracer
+	s.hasher = p.hasher
+	s.appName = p.appName
+	s.loaded = true
+	s.resetTrace = false
 }
 
 // Config configures an NP instance.
@@ -143,28 +187,26 @@ func (np *NP) HasherFor(param uint32) mhash.Hasher { return np.cfg.NewHasher(par
 // Stats returns a copy of the aggregate statistics.
 func (np *NP) Stats() Stats { return np.stats }
 
-// Install loads a verified bundle onto one core: the processing binary, the
-// monitoring graph, and the hash parameter. This is the step the secure
-// installation protocol gates; the NP itself trusts its caller (the control
-// processor) to have verified the package.
-func (np *NP) Install(coreID int, name string, binary, graph []byte, param uint32) error {
-	if coreID < 0 || coreID >= len(np.slots) {
-		return fmt.Errorf("npu: core %d out of range", coreID)
-	}
+// prepare builds a complete installation image from a verified bundle:
+// deserialize binary and graph, build the hash unit, run the graph/binary
+// self-check, compile the monitor, and wire the trace chain. It touches no
+// slot — callers decide whether the image becomes live immediately (Install)
+// or waits in a shadow slot (StageInstall).
+func (np *NP) prepare(name string, binary, graph []byte, param uint32) (*preparedApp, error) {
 	prog, err := asm.Deserialize(binary)
 	if err != nil {
-		return fmt.Errorf("npu: binary: %w", err)
+		return nil, fmt.Errorf("npu: binary: %w", err)
 	}
 	g, err := monitor.Deserialize(graph)
 	if err != nil {
-		return fmt.Errorf("npu: graph: %w", err)
+		return nil, fmt.Errorf("npu: graph: %w", err)
 	}
 	hasher := np.cfg.NewHasher(param)
 	// Post-installation self-check: the graph must actually describe this
 	// binary under this parameter (defense in depth; catches operator
 	// tooling bugs, not attacks — those are stopped by the signature).
 	if err := g.Validate(prog, hasher); err != nil {
-		return fmt.Errorf("npu: graph/binary mismatch: %w", err)
+		return nil, fmt.Errorf("npu: graph/binary mismatch: %w", err)
 	}
 	var mon coreMonitor
 	if np.cfg.Reference {
@@ -172,7 +214,7 @@ func (np *NP) Install(coreID int, name string, binary, graph []byte, param uint3
 		// hash unit.
 		m, err := monitor.New(g, hasher)
 		if err != nil {
-			return fmt.Errorf("npu: %w", err)
+			return nil, fmt.Errorf("npu: %w", err)
 		}
 		mon = m
 	} else {
@@ -181,7 +223,7 @@ func (np *NP) Install(coreID int, name string, binary, graph []byte, param uint3
 		// instruction-hash cache with concrete (non-interface) dispatch.
 		packed, err := monitor.Pack(g)
 		if err != nil {
-			return fmt.Errorf("npu: %w", err)
+			return nil, fmt.Errorf("npu: %w", err)
 		}
 		cacheBits := np.cfg.HashCacheBits
 		if cacheBits == 0 {
@@ -189,26 +231,43 @@ func (np *NP) Install(coreID int, name string, binary, graph []byte, param uint3
 		}
 		m, err := monitor.NewPacked(packed, mhash.NewFast(hasher, cacheBits))
 		if err != nil {
-			return fmt.Errorf("npu: %w", err)
+			return nil, fmt.Errorf("npu: %w", err)
 		}
 		mon = m
 	}
-	slot := np.slots[coreID]
-	slot.core = apps.NewCore(prog)
-	slot.mon = mon
-	slot.hasher = hasher
-	slot.appName = name
-	slot.loaded = true
+	p := &preparedApp{core: apps.NewCore(prog), mon: mon, hasher: hasher, appName: name}
 	var trace cpu.TraceFunc
 	if np.cfg.MonitorsEnabled {
 		trace = mon.Observe
 	}
 	if np.cfg.TraceDepth > 0 {
-		slot.tracer = cpu.NewTracer(np.cfg.TraceDepth, trace)
-		trace = slot.tracer.Observe
+		p.tracer = cpu.NewTracer(np.cfg.TraceDepth, trace)
+		trace = p.tracer.Observe
 	}
-	slot.core.Trace = trace
-	slot.resetTrace = false
+	p.core.Trace = trace
+	return p, nil
+}
+
+// Install loads a verified bundle onto one core: the processing binary, the
+// monitoring graph, and the hash parameter. This is the step the secure
+// installation protocol gates; the NP itself trusts its caller (the control
+// processor) to have verified the package. Install is destructive — the
+// previous installation is discarded along with any staged or retained
+// version; live upgrades use StageInstall/Commit (upgrade.go) instead.
+func (np *NP) Install(coreID int, name string, binary, graph []byte, param uint32) error {
+	if coreID < 0 || coreID >= len(np.slots) {
+		return fmt.Errorf("npu: core %d out of range", coreID)
+	}
+	p, err := np.prepare(name, binary, graph, param)
+	if err != nil {
+		return err
+	}
+	slot := np.slots[coreID]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	slot.setLive(p)
+	slot.staged = nil
+	slot.prev = nil
 	// A quarantined core re-enters dispatch on probation: the clean
 	// re-install (fresh core memory, fresh monitor) is the probe step of
 	// the quarantine policy.
@@ -225,12 +284,28 @@ func (np *NP) TraceDump(coreID, n int) string {
 	return np.slots[coreID].tracer.Dump(n)
 }
 
-// InstallAll installs the same bundle on every core.
+// InstallAll installs the same bundle on every core, transactionally: every
+// core's image is prepared and self-checked before any slot is mutated, so a
+// bundle that fails validation for core N can no longer leave cores 0..N-1
+// upgraded and the rest stale. (Per-core preparation matters even for an
+// identical bundle — the configured hash-unit factory may be stateful, as
+// the fault-injection suite's flaky hashers are.)
 func (np *NP) InstallAll(name string, binary, graph []byte, param uint32) error {
+	prepared := make([]*preparedApp, len(np.slots))
 	for i := range np.slots {
-		if err := np.Install(i, name, binary, graph, param); err != nil {
+		p, err := np.prepare(name, binary, graph, param)
+		if err != nil {
 			return err
 		}
+		prepared[i] = p
+	}
+	for i, slot := range np.slots {
+		slot.mu.Lock()
+		slot.setLive(prepared[i])
+		slot.staged = nil
+		slot.prev = nil
+		slot.sup.onInstall()
+		slot.mu.Unlock()
 	}
 	return nil
 }

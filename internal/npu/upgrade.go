@@ -1,0 +1,242 @@
+package npu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Live upgrades (DESIGN.md §10): the paper's secure dynamic installation
+// (§3) pushes new bundles to routers that are already serving traffic, but a
+// destructive Install replaces the live slot in place — one bad byte and the
+// core is down until a good bundle arrives. The two-phase path separates the
+// expensive, fallible work from the cutover: StageInstall deserializes,
+// packs, and self-checks the new bundle into a shadow slot while the old
+// bundle keeps forwarding packets; Commit swaps the shadow in at a packet
+// boundary (the per-core lock drains the in-flight packet, so no packet ever
+// sees mixed binary/monitor/hasher state) and retains the displaced version;
+// Rollback swaps the retained version back just as atomically. Abort throws
+// a staged bundle away without touching the live slot.
+
+// Upgrade lifecycle errors.
+var (
+	// ErrNothingStaged: Commit was called with no staged bundle on the core.
+	ErrNothingStaged = errors.New("npu: nothing staged")
+	// ErrNothingRetained: Rollback was called but the core has no retained
+	// previous version (never committed, or freshly installed).
+	ErrNothingRetained = errors.New("npu: no retained version to roll back to")
+)
+
+// commitCycles is the simulated cost of one core's atomic cutover: the
+// staged image is already resident (program memory, monitor bank, hash
+// parameter all loaded at staging time), so the commit is a bank select plus
+// the fixed core reset sequence — the same constant the resident-application
+// Switch path charges.
+const commitCycles = 64
+
+// StageInstall prepares a bundle into a core's shadow slot: deserialize the
+// binary and graph, compile the packed monitor, build the hash unit, and run
+// the graph/binary self-check — all without touching the live slot, which
+// keeps serving packets. A later StageInstall replaces the staged bundle; a
+// quarantined core may stage (that is how it gets healed) but stays out of
+// dispatch until the commit re-introduces it on probation.
+func (np *NP) StageInstall(coreID int, name string, binary, graph []byte, param uint32) error {
+	if coreID < 0 || coreID >= len(np.slots) {
+		return fmt.Errorf("npu: core %d out of range", coreID)
+	}
+	p, err := np.prepare(name, binary, graph, param)
+	if err != nil {
+		return err
+	}
+	slot := np.slots[coreID]
+	slot.mu.Lock()
+	slot.staged = p
+	slot.mu.Unlock()
+	return nil
+}
+
+// StageInstallAll stages the same bundle on every core. Preparation happens
+// for every core before any shadow slot is written, so a failure leaves all
+// cores exactly as they were.
+func (np *NP) StageInstallAll(name string, binary, graph []byte, param uint32) error {
+	prepared := make([]*preparedApp, len(np.slots))
+	for i := range np.slots {
+		p, err := np.prepare(name, binary, graph, param)
+		if err != nil {
+			return err
+		}
+		prepared[i] = p
+	}
+	for i, slot := range np.slots {
+		slot.mu.Lock()
+		slot.staged = prepared[i]
+		slot.mu.Unlock()
+	}
+	return nil
+}
+
+// Commit cuts one core over to its staged bundle at a packet boundary: the
+// per-core lock waits for the in-flight packet (if any) to retire, the
+// staged image becomes live, and the displaced image is retained for
+// Rollback. A quarantined core re-enters dispatch on probation, exactly like
+// a destructive re-install. Returns the simulated cutover cost in core
+// cycles. Safe to call while ProcessBatch is running.
+func (np *NP) Commit(coreID int) (uint64, error) {
+	if coreID < 0 || coreID >= len(np.slots) {
+		return 0, fmt.Errorf("npu: core %d out of range", coreID)
+	}
+	slot := np.slots[coreID]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.staged == nil {
+		return 0, fmt.Errorf("npu: core %d: %w", coreID, ErrNothingStaged)
+	}
+	if slot.loaded {
+		slot.prev = slot.liveImage()
+	}
+	slot.setLive(slot.staged)
+	slot.staged = nil
+	slot.sup.onInstall()
+	return commitCycles, nil
+}
+
+// CommitAll commits every core, all-or-nothing: if any core has nothing
+// staged, no core is cut over. Cores commit one at a time, each at its own
+// packet boundary — the data plane never pauses fleet-wide, and a packet in
+// flight on core 1 while core 0 commits still sees a consistent (old or new,
+// never mixed) image on whichever core runs it.
+func (np *NP) CommitAll() (uint64, error) {
+	for i, slot := range np.slots {
+		slot.mu.Lock()
+		staged := slot.staged != nil
+		slot.mu.Unlock()
+		if !staged {
+			return 0, fmt.Errorf("npu: core %d: %w", i, ErrNothingStaged)
+		}
+	}
+	var cycles uint64
+	for i := range np.slots {
+		c, err := np.Commit(i)
+		if err != nil {
+			return cycles, err
+		}
+		cycles += c
+	}
+	return cycles, nil
+}
+
+// AbortStaged discards a core's staged bundle (no-op if nothing is staged).
+// The live slot is untouched.
+func (np *NP) AbortStaged(coreID int) error {
+	if coreID < 0 || coreID >= len(np.slots) {
+		return fmt.Errorf("npu: core %d out of range", coreID)
+	}
+	slot := np.slots[coreID]
+	slot.mu.Lock()
+	slot.staged = nil
+	slot.mu.Unlock()
+	return nil
+}
+
+// AbortAllStaged discards every core's staged bundle.
+func (np *NP) AbortAllStaged() {
+	for i := range np.slots {
+		_ = np.AbortStaged(i)
+	}
+}
+
+// Rollback restores a core's retained previous version at a packet boundary,
+// swapping it with the current live image (so a roll-forward is possible by
+// rolling back again). The retained image keeps its scratch memory — the
+// hardware model is a bank switch, not a reload. The core returns to
+// dispatch on probation if it was quarantined. Returns the simulated cutover
+// cost in cycles.
+func (np *NP) Rollback(coreID int) (uint64, error) {
+	if coreID < 0 || coreID >= len(np.slots) {
+		return 0, fmt.Errorf("npu: core %d out of range", coreID)
+	}
+	slot := np.slots[coreID]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.prev == nil {
+		return 0, fmt.Errorf("npu: core %d: %w", coreID, ErrNothingRetained)
+	}
+	displaced := slot.liveImage()
+	s := slot.prev
+	slot.setLive(s)
+	slot.prev = displaced
+	slot.sup.onInstall()
+	return commitCycles, nil
+}
+
+// RollbackAll rolls every core back, all-or-nothing: if any core has no
+// retained version, no core is touched.
+func (np *NP) RollbackAll() (uint64, error) {
+	for i, slot := range np.slots {
+		slot.mu.Lock()
+		ok := slot.prev != nil
+		slot.mu.Unlock()
+		if !ok {
+			return 0, fmt.Errorf("npu: core %d: %w", i, ErrNothingRetained)
+		}
+	}
+	var cycles uint64
+	for i := range np.slots {
+		c, err := np.Rollback(i)
+		if err != nil {
+			return cycles, err
+		}
+		cycles += c
+	}
+	return cycles, nil
+}
+
+// HasStaged reports whether a core has a staged (uncommitted) bundle.
+func (np *NP) HasStaged(coreID int) bool {
+	if coreID < 0 || coreID >= len(np.slots) {
+		return false
+	}
+	slot := np.slots[coreID]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	return slot.staged != nil
+}
+
+// CanRollback reports whether a core retains a previous version.
+func (np *NP) CanRollback(coreID int) bool {
+	if coreID < 0 || coreID >= len(np.slots) {
+		return false
+	}
+	slot := np.slots[coreID]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	return slot.prev != nil
+}
+
+// StagedApp reports the application name staged on a core, if any.
+func (np *NP) StagedApp(coreID int) (string, bool) {
+	if coreID < 0 || coreID >= len(np.slots) {
+		return "", false
+	}
+	slot := np.slots[coreID]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.staged == nil {
+		return "", false
+	}
+	return slot.staged.appName, true
+}
+
+// RetainedApp reports the application name of a core's retained previous
+// version, if any.
+func (np *NP) RetainedApp(coreID int) (string, bool) {
+	if coreID < 0 || coreID >= len(np.slots) {
+		return "", false
+	}
+	slot := np.slots[coreID]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.prev == nil {
+		return "", false
+	}
+	return slot.prev.appName, true
+}

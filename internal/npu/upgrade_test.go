@@ -1,0 +1,407 @@
+package npu
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/attack"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/packet"
+)
+
+// stagedNP builds a supervised NP with v1 (udpecho) live on every core and
+// returns it together with a staged-ready v2 bundle (counter).
+func stagedNP(t *testing.T, cores int) (np *NP, bin2, g2 []byte) {
+	t.Helper()
+	np, err := New(Config{Cores: cores, MonitorsEnabled: true, Supervisor: DefaultSupervisorConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin1, g1 := makeBundle(t, apps.UDPEcho(), 0x1111)
+	if err := np.InstallAll("v1", bin1, g1, 0x1111); err != nil {
+		t.Fatal(err)
+	}
+	bin2, g2 = makeBundle(t, apps.Counter(), 0x2222)
+	return np, bin2, g2
+}
+
+// The full lifecycle on one core: stage leaves the old version live, commit
+// cuts over and retains it, rollback swaps back, rolling back again
+// roll-forwards.
+func TestStageCommitRollbackLifecycle(t *testing.T) {
+	np, bin2, g2 := stagedNP(t, 2)
+	gen := packet.NewGenerator(7)
+
+	if err := np.StageInstall(0, "v2", bin2, g2, 0x2222); err != nil {
+		t.Fatal(err)
+	}
+	if app, _ := np.AppOn(0); app != "v1" {
+		t.Fatalf("staging replaced the live app: %q", app)
+	}
+	if app, ok := np.StagedApp(0); !ok || app != "v2" {
+		t.Fatalf("StagedApp=%q,%v want v2", app, ok)
+	}
+	// The old version serves while v2 sits staged.
+	if res, err := np.ProcessOn(0, gen.Next(), 0); err != nil || res.Faulted || res.Detected {
+		t.Fatalf("live app broken while staged: res=%+v err=%v", res, err)
+	}
+
+	cycles, err := np.Commit(0)
+	if err != nil || cycles != commitCycles {
+		t.Fatalf("Commit: cycles=%d err=%v", cycles, err)
+	}
+	if app, _ := np.AppOn(0); app != "v2" {
+		t.Fatalf("after commit live=%q want v2", app)
+	}
+	if _, ok := np.StagedApp(0); ok {
+		t.Fatal("staged slot not cleared by commit")
+	}
+	if app, ok := np.RetainedApp(0); !ok || app != "v1" {
+		t.Fatalf("RetainedApp=%q,%v want v1", app, ok)
+	}
+	if res, err := np.ProcessOn(0, gen.Next(), 0); err != nil || res.Faulted || res.Detected {
+		t.Fatalf("v2 broken after commit: res=%+v err=%v", res, err)
+	}
+
+	if _, err := np.Rollback(0); err != nil {
+		t.Fatal(err)
+	}
+	if app, _ := np.AppOn(0); app != "v1" {
+		t.Fatalf("after rollback live=%q want v1", app)
+	}
+	// Rollback swapped, so v2 is now the retained version: rolling back
+	// again is a roll-forward.
+	if app, _ := np.RetainedApp(0); app != "v2" {
+		t.Fatalf("retained after rollback=%q want v2", app)
+	}
+	if _, err := np.Rollback(0); err != nil {
+		t.Fatal(err)
+	}
+	if app, _ := np.AppOn(0); app != "v2" {
+		t.Fatalf("after roll-forward live=%q want v2", app)
+	}
+	if s := np.Stats(); !s.Conserved() {
+		t.Fatalf("accounting not conserved: %+v", s)
+	}
+}
+
+func TestUpgradeErrorPaths(t *testing.T) {
+	np, bin2, g2 := stagedNP(t, 2)
+
+	if _, err := np.Commit(0); !errors.Is(err, ErrNothingStaged) {
+		t.Fatalf("Commit with nothing staged: %v", err)
+	}
+	if _, err := np.Rollback(0); !errors.Is(err, ErrNothingRetained) {
+		t.Fatalf("Rollback with nothing retained: %v", err)
+	}
+
+	// CommitAll is all-or-nothing: one core staged, the other not — nothing
+	// commits.
+	if err := np.StageInstall(0, "v2", bin2, g2, 0x2222); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := np.CommitAll(); !errors.Is(err, ErrNothingStaged) {
+		t.Fatalf("partial CommitAll: %v", err)
+	}
+	if app, _ := np.AppOn(0); app != "v1" {
+		t.Fatalf("partial CommitAll mutated core 0: live=%q", app)
+	}
+
+	// Abort drops the staged bundle without touching the live slot.
+	if err := np.AbortStaged(0); err != nil {
+		t.Fatal(err)
+	}
+	if np.HasStaged(0) {
+		t.Fatal("AbortStaged left a staged bundle")
+	}
+	if app, _ := np.AppOn(0); app != "v1" {
+		t.Fatalf("AbortStaged mutated the live slot: %q", app)
+	}
+
+	// RollbackAll is all-or-nothing too: commit only core 0, core 1 has no
+	// retained version.
+	if err := np.StageInstall(0, "v2", bin2, g2, 0x2222); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := np.Commit(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := np.RollbackAll(); !errors.Is(err, ErrNothingRetained) {
+		t.Fatalf("partial RollbackAll: %v", err)
+	}
+	if app, _ := np.AppOn(0); app != "v2" {
+		t.Fatalf("partial RollbackAll mutated core 0: live=%q", app)
+	}
+}
+
+// countingHasher corrupts the hash stream once a configured factory call is
+// reached — a stateful hash-unit factory, the way InstallAll can partially
+// fail on an otherwise valid bundle.
+type corruptHasher struct{ inner mhash.Hasher }
+
+func (c corruptHasher) Hash(instr uint32) uint8 { return c.inner.Hash(instr) + 1 }
+func (c corruptHasher) Width() int              { return c.inner.Width() }
+
+// Satellite regression (the pre-upgrade InstallAll bug): a bundle whose
+// preparation fails for a *later* core must leave every core on the old
+// version — not cores 0..N-1 upgraded and the rest stale.
+func TestInstallAllTransactionalOnPartialFailure(t *testing.T) {
+	calls, failFrom := 0, 1<<30
+	np, err := New(Config{
+		Cores:           4,
+		MonitorsEnabled: true,
+		NewHasher: func(p uint32) mhash.Hasher {
+			calls++
+			if calls >= failFrom {
+				return corruptHasher{inner: mhash.NewMerkle(p)}
+			}
+			return mhash.NewMerkle(p)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin1, g1 := makeBundle(t, apps.UDPEcho(), 0x1111)
+	if err := np.InstallAll("v1", bin1, g1, 0x1111); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second install: the factory goes bad on the third core's preparation.
+	bin2, g2 := makeBundle(t, apps.Counter(), 0x2222)
+	failFrom = calls + 3
+	if err := np.InstallAll("v2", bin2, g2, 0x2222); err == nil {
+		t.Fatal("InstallAll succeeded with a corrupting hash factory")
+	}
+	for i := 0; i < np.Cores(); i++ {
+		if app, ok := np.AppOn(i); !ok || app != "v1" {
+			t.Fatalf("core %d on %q after failed InstallAll, want v1 everywhere", i, app)
+		}
+	}
+	// And the same atomicity for the staged path: no core may hold a
+	// partially staged bundle.
+	failFrom = calls + 3
+	if err := np.StageInstallAll("v2", bin2, g2, 0x2222); err == nil {
+		t.Fatal("StageInstallAll succeeded with a corrupting hash factory")
+	}
+	for i := 0; i < np.Cores(); i++ {
+		if np.HasStaged(i) {
+			t.Fatalf("core %d holds a staged bundle after failed StageInstallAll", i)
+		}
+	}
+	// The fleet still serves traffic on v1.
+	if _, err := np.Process(packet.NewGenerator(3).Next(), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Edge case: staging onto a quarantined core works (that is how it heals),
+// but the quarantine is not lifted until the commit — the staged bundle must
+// not resurrect a sick core early.
+func TestStageOnQuarantinedCoreLiftsOnlyAtCommit(t *testing.T) {
+	np, bin2, g2 := stagedNP(t, 2)
+	if err := np.Quarantine(1); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := np.StageInstall(1, "v2", bin2, g2, 0x2222); err != nil {
+		t.Fatalf("staging onto quarantined core: %v", err)
+	}
+	if h, _ := np.CoreHealth(1); h != CoreQuarantined {
+		t.Fatalf("staging lifted the quarantine early: health=%v", h)
+	}
+	if _, err := np.ProcessOn(1, packet.NewGenerator(9).Next(), 0); !errors.Is(err, ErrCoreQuarantined) {
+		t.Fatalf("quarantined core took traffic while staged: %v", err)
+	}
+
+	if _, err := np.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := np.CoreHealth(1); h != CoreProbation {
+		t.Fatalf("committed core health=%v, want probation", h)
+	}
+	if res, err := np.ProcessOn(1, packet.NewGenerator(9).Next(), 0); err != nil || res.Faulted {
+		t.Fatalf("committed core rejected traffic: res=%+v err=%v", res, err)
+	}
+}
+
+// Edge case: CommitAll racing ProcessBatch (run under -race). The per-core
+// lock drains the in-flight packet, so no packet executes against a mixed
+// image: with monitors on, a torn binary/monitor pair would alarm, and the
+// accounting must stay exactly conserved.
+func TestCommitDuringProcessBatch(t *testing.T) {
+	np, bin2, g2 := stagedNP(t, 4)
+	gen := packet.NewGenerator(17)
+	const batches, batchSize = 40, 64
+	all := make([][][]byte, batches)
+	for b := range all {
+		all[b] = make([][]byte, batchSize)
+		for i := range all[b] {
+			all[b][i] = gen.Next()
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errc := make(chan error, batches)
+	go func() {
+		defer wg.Done()
+		for b := range all {
+			if _, err := np.ProcessBatch(all[b], 0); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	// Upgrade mid-traffic, then roll back mid-traffic, then forward again.
+	if err := np.StageInstallAll("v2", bin2, g2, 0x2222); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := np.CommitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := np.RollbackAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := np.RollbackAll(); err != nil { // roll-forward to v2
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	s := np.Stats()
+	if !s.Conserved() {
+		t.Fatalf("accounting not conserved across live upgrade: %+v", s)
+	}
+	if s.Alarms != 0 || s.Faults != 0 {
+		t.Fatalf("upgrade under traffic caused %d alarms / %d faults — a packet saw a mixed image", s.Alarms, s.Faults)
+	}
+	if s.Processed != batches*batchSize {
+		t.Fatalf("Processed=%d want %d (packets lost during cutover)", s.Processed, batches*batchSize)
+	}
+	for i := 0; i < np.Cores(); i++ {
+		if app, _ := np.AppOn(i); app != "v2" {
+			t.Fatalf("core %d on %q after roll-forward, want v2", i, app)
+		}
+	}
+}
+
+// Edge case: rollback targeting a retained slot that was the *source* of
+// alarms. The vulnerable v1 raised alarms (even quarantined the core), was
+// upgraded away, and is rolled back to: the rollback must reset supervisor
+// state (probation), and the restored core must process benign traffic —
+// the alarm was the packet's fault, not the image's.
+func TestRollbackAfterRetainedSlotAlarmed(t *testing.T) {
+	np, err := New(Config{Cores: 1, MonitorsEnabled: true,
+		Supervisor: SupervisorConfig{Window: 8, Threshold: 2, ProbationPackets: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin1, g1 := makeBundle(t, apps.IPv4CM(), 0x1111)
+	if err := np.InstallAll("v1", bin1, g1, 0x1111); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the vulnerable v1 into quarantine with attack packets.
+	smash := attack.DefaultSmash()
+	code, err := smash.HijackPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := smash.CraftPacket(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := 0
+	for i := 0; i < 4; i++ {
+		res, err := np.ProcessOn(0, atk, 0)
+		if errors.Is(err, ErrCoreQuarantined) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detected {
+			alarms++
+		}
+	}
+	if alarms == 0 {
+		t.Fatal("attack traffic never alarmed — fixture broken")
+	}
+	if h, _ := np.CoreHealth(0); h != CoreQuarantined {
+		t.Fatalf("core not quarantined after repeated alarms: %v", h)
+	}
+
+	// Upgrade to the patched version, then roll back to the alarm source.
+	bin2, g2 := makeBundle(t, apps.IPv4Safe(), 0x2222)
+	if err := np.StageInstallAll("v2", bin2, g2, 0x2222); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := np.CommitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := np.RollbackAll(); err != nil {
+		t.Fatal(err)
+	}
+	if app, _ := np.AppOn(0); app != "v1" {
+		t.Fatalf("live=%q after rollback, want v1", app)
+	}
+	if h, _ := np.CoreHealth(0); h != CoreProbation {
+		t.Fatalf("rolled-back core health=%v, want probation", h)
+	}
+	// Benign traffic runs clean on the restored (recovered) image.
+	gen := packet.NewGenerator(23)
+	for i := 0; i < 8; i++ {
+		if res, err := np.ProcessOn(0, gen.Next(), 0); err != nil || res.Detected || res.Faulted {
+			t.Fatalf("benign packet %d on rolled-back core: res=%+v err=%v", i, res, err)
+		}
+	}
+	// And the monitor is still live: the attack is re-detected.
+	res, err := np.ProcessOn(0, atk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatal("rolled-back monitor missed the attack")
+	}
+	if s := np.Stats(); !s.Conserved() {
+		t.Fatalf("accounting not conserved: %+v", s)
+	}
+}
+
+// The acceptance bar: the per-core drain lock must not cost the steady-state
+// packet path its zero-allocation property — including after a live upgrade.
+func TestZeroAllocsAfterUpgrade(t *testing.T) {
+	np, bin2, g2 := stagedNP(t, 1)
+	if err := np.StageInstallAll("v2", bin2, g2, 0x2222); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := np.CommitAll(); err != nil {
+		t.Fatal(err)
+	}
+	gen := packet.NewGenerator(31)
+	pkts := make([][]byte, 32)
+	for i := range pkts {
+		pkts[i] = gen.Next()
+	}
+	for _, p := range pkts { // warm up hash cache + output buffer
+		if _, err := np.ProcessOn(0, p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := np.ProcessOn(0, pkts[i%len(pkts)], 0); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("post-upgrade steady state allocates %.2f objects/packet, want 0", allocs)
+	}
+}

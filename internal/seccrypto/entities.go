@@ -25,11 +25,31 @@ func NewManufacturer(name string, rng io.Reader) (*Manufacturer, error) {
 
 // DeviceIdentity is the secret material configured into a network processor
 // at manufacturing time: the router key pair (K_R+/K_R-) and the
-// manufacturer's public key as root of trust.
+// manufacturer's public key as root of trust, plus the anti-downgrade
+// sequence ledger the device accumulates over its lifetime.
 type DeviceIdentity struct {
 	ID  string
 	key *KeyPair
 	mfr *KeyPair // only the public half is used
+	seq *SequenceLedger
+}
+
+// Sequences returns the device's anti-downgrade ledger (lazily created).
+func (d *DeviceIdentity) Sequences() *SequenceLedger {
+	if d.seq == nil {
+		d.seq = NewSequenceLedger()
+	}
+	return d.seq
+}
+
+// RestoreSequences replaces the ledger — the reboot path, after reloading
+// persisted high-water marks with UnmarshalSequenceLedger. A nil ledger
+// resets to empty (factory state, losing replay protection).
+func (d *DeviceIdentity) RestoreSequences(l *SequenceLedger) {
+	if l == nil {
+		l = NewSequenceLedger()
+	}
+	d.seq = l
 }
 
 // ProvisionDevice performs the "at manufacturing time" step of §3.1.

@@ -1,0 +1,140 @@
+package seccrypto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The paper's per-router binding (SR4) stops a package built for one device
+// from installing on another, but says nothing about *time*: a recorded
+// package for the same device verifies forever, so an attacker who captured
+// last year's vulnerable release can replay it and roll the router back
+// (a downgrade attack). The manifest closes that hole: every bundle carries
+// an application name, a human-facing semantic version, and a monotonic
+// sequence number, all inside the signed plaintext, and each device keeps a
+// per-application high-water mark that a verified package must exceed.
+
+// Manifest identifies one release of a bundle. It is serialized inside the
+// signed (and encrypted) payload, so any mutation of it invalidates the
+// operator signature.
+type Manifest struct {
+	// AppName is the stable application identity the sequence is scoped to.
+	AppName string
+	// Version is the operator-facing semantic version label ("2.1.0").
+	Version string
+	// Sequence is the strictly monotonic release counter for AppName. A
+	// device accepts a package only if Sequence exceeds its high-water mark
+	// for the application; 0 marks a legacy/unversioned bundle that bypasses
+	// the ledger (and earns no replay protection).
+	Sequence uint64
+}
+
+// Zero reports whether the manifest is the unversioned legacy value.
+func (m Manifest) Zero() bool {
+	return m.AppName == "" && m.Version == "" && m.Sequence == 0
+}
+
+func (m Manifest) String() string {
+	if m.Zero() {
+		return "(unversioned)"
+	}
+	return fmt.Sprintf("%s@%s#%d", m.AppName, m.Version, m.Sequence)
+}
+
+// ErrDowngrade is returned when a verified package carries a sequence number
+// at or below the device's high-water mark for its application — a replayed
+// or downgraded release.
+var ErrDowngrade = errors.New("seccrypto: bundle sequence regression (downgrade or replay)")
+
+// SequenceLedger is a device's per-application high-water marks of accepted
+// bundle sequence numbers. It is persisted across reboots (Marshal /
+// UnmarshalSequenceLedger) so replay protection survives power cycles.
+type SequenceLedger struct {
+	high map[string]uint64
+}
+
+// NewSequenceLedger returns an empty ledger.
+func NewSequenceLedger() *SequenceLedger {
+	return &SequenceLedger{high: map[string]uint64{}}
+}
+
+// HighWater returns the highest accepted sequence for an application (0 if
+// none was ever accepted).
+func (l *SequenceLedger) HighWater(app string) uint64 {
+	if l == nil || l.high == nil {
+		return 0
+	}
+	return l.high[app]
+}
+
+// Accept checks seq against the application's high-water mark and advances
+// it. Equal or lower sequences are rejected with ErrDowngrade: equality is a
+// replay, less is a downgrade.
+func (l *SequenceLedger) Accept(app string, seq uint64) error {
+	if l.high == nil {
+		l.high = map[string]uint64{}
+	}
+	if hw := l.high[app]; seq <= hw {
+		return fmt.Errorf("%w: %s sequence %d, device high-water %d", ErrDowngrade, app, seq, hw)
+	}
+	l.high[app] = seq
+	return nil
+}
+
+// Marshal serializes the ledger for device-local persistence. Entries are
+// sorted by application name so the encoding is deterministic.
+func (l *SequenceLedger) Marshal() []byte {
+	var names []string
+	for n := range l.high {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	buf.WriteString("SDMS")
+	var c [4]byte
+	binary.BigEndian.PutUint32(c[:], uint32(len(names)))
+	buf.Write(c[:])
+	for _, n := range names {
+		writeBytes(&buf, []byte(n))
+		var s [8]byte
+		binary.BigEndian.PutUint64(s[:], l.high[n])
+		buf.Write(s[:])
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalSequenceLedger parses a ledger stored with Marshal.
+func UnmarshalSequenceLedger(data []byte) (*SequenceLedger, error) {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || string(magic[:]) != "SDMS" {
+		return nil, fmt.Errorf("%w: bad ledger magic", ErrCorrupt)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.BigEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: ledger count: %v", ErrCorrupt, err)
+	}
+	if int64(count) > int64(r.Len()) { // each entry needs >= 12 bytes
+		return nil, fmt.Errorf("%w: ledger count %d exceeds payload", ErrCorrupt, count)
+	}
+	l := NewSequenceLedger()
+	for i := uint32(0); i < count; i++ {
+		name, err := readBytes(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: ledger entry %d: %v", ErrCorrupt, i, err)
+		}
+		var seq uint64
+		if err := binary.Read(r, binary.BigEndian, &seq); err != nil {
+			return nil, fmt.Errorf("%w: ledger entry %d sequence: %v", ErrCorrupt, i, err)
+		}
+		l.high[string(name)] = seq
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing ledger bytes", ErrCorrupt, r.Len())
+	}
+	return l, nil
+}

@@ -1,0 +1,265 @@
+package seccrypto
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+)
+
+// versionedBundle returns a test bundle carrying a release manifest.
+func versionedBundle(app, version string, seq uint64) *Bundle {
+	b := testBundle()
+	b.Manifest = Manifest{AppName: app, Version: version, Sequence: seq}
+	return b
+}
+
+func TestManifestZeroAndString(t *testing.T) {
+	var z Manifest
+	if !z.Zero() {
+		t.Error("zero manifest not Zero()")
+	}
+	if z.String() != "(unversioned)" {
+		t.Errorf("zero String=%q", z.String())
+	}
+	m := Manifest{AppName: "fw", Version: "2.1.0", Sequence: 7}
+	if m.Zero() {
+		t.Error("populated manifest reported Zero()")
+	}
+	if m.String() != "fw@2.1.0#7" {
+		t.Errorf("String=%q", m.String())
+	}
+}
+
+// The manifest survives the full encrypt/sign/verify round trip.
+func TestManifestRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	want := versionedBundle("mrt-app", "1.4.2", 9)
+	pkg, err := f.op.BuildPackage(f.dev.PublicInfo(), want, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := f.dev.OpenPackage(pkg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Manifest != want.Manifest {
+		t.Errorf("manifest = %v, want %v", got.Manifest, want.Manifest)
+	}
+	// Bundle-local storage round trip too.
+	back, err := UnmarshalBundle(want.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Manifest != want.Manifest {
+		t.Errorf("stored manifest = %v, want %v", back.Manifest, want.Manifest)
+	}
+}
+
+// Replays and downgrades of fully verified packages are rejected; only
+// strictly increasing sequences install.
+func TestSequenceRegressionRejected(t *testing.T) {
+	f := getFixture(t)
+	open := func(seq uint64) error {
+		pkg, err := f.op.BuildPackage(f.dev.PublicInfo(), versionedBundle("srr-app", "1.0.0", seq), rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = f.dev.OpenPackage(pkg, false)
+		return err
+	}
+	if err := open(5); err != nil {
+		t.Fatalf("first install seq=5: %v", err)
+	}
+	if err := open(5); !errors.Is(err, ErrDowngrade) { // replay
+		t.Fatalf("replayed seq=5: %v, want ErrDowngrade", err)
+	}
+	if err := open(4); !errors.Is(err, ErrDowngrade) { // downgrade
+		t.Fatalf("downgraded seq=4: %v, want ErrDowngrade", err)
+	}
+	if err := open(6); err != nil { // legitimate upgrade
+		t.Fatalf("upgrade seq=6: %v", err)
+	}
+	if hw := f.dev.Sequences().HighWater("srr-app"); hw != 6 {
+		t.Fatalf("high-water=%d, want 6", hw)
+	}
+}
+
+// The exact same wire package replayed to the same device is rejected on the
+// second delivery — the recorded-release attack.
+func TestExactPackageReplayRejected(t *testing.T) {
+	f := getFixture(t)
+	pkg, err := f.op.BuildPackage(f.dev.PublicInfo(), versionedBundle("epr-app", "3.0.0", 1), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.dev.OpenPackage(pkg, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.dev.OpenPackage(pkg, false); !errors.Is(err, ErrDowngrade) {
+		t.Fatalf("replay of identical package: %v, want ErrDowngrade", err)
+	}
+}
+
+// The ledger advances only on packages that passed every cryptographic
+// check: a tampered high-sequence package must not burn the sequence space.
+func TestLedgerNotAdvancedByFailedVerification(t *testing.T) {
+	f := getFixture(t)
+	pkg, err := f.op.BuildPackage(f.dev.PublicInfo(), versionedBundle("lna-app", "9.0.0", 100), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg.EncPayload[len(pkg.EncPayload)/2] ^= 0x40
+	if _, _, err := f.dev.OpenPackage(pkg, false); err == nil {
+		t.Fatal("tampered package verified")
+	}
+	if hw := f.dev.Sequences().HighWater("lna-app"); hw != 0 {
+		t.Fatalf("failed verification advanced the ledger to %d", hw)
+	}
+	// A genuine low-sequence release still installs afterwards.
+	good, err := f.op.BuildPackage(f.dev.PublicInfo(), versionedBundle("lna-app", "1.0.0", 1), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.dev.OpenPackage(good, false); err != nil {
+		t.Fatalf("genuine release after tampered one: %v", err)
+	}
+}
+
+// Unversioned (legacy) bundles bypass the ledger: installable repeatedly,
+// but with no replay protection — the documented trade-off.
+func TestLegacyBundleBypassesLedger(t *testing.T) {
+	f := getFixture(t)
+	for i := 0; i < 2; i++ {
+		pkg, err := f.op.BuildPackage(f.dev.PublicInfo(), testBundle(), rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := f.dev.OpenPackage(pkg, false); err != nil {
+			t.Fatalf("legacy install %d: %v", i, err)
+		}
+	}
+}
+
+// Satellite: a mutated manifest must fail the signature even when the
+// attacker re-encrypts the payload perfectly. The attacker builds a valid
+// SDM2 payload with the sequence bumped, encrypts it under their own session
+// key wrapped to the real device, but can only attach the original
+// signature.
+func TestManifestMutationFailsSignature(t *testing.T) {
+	f := getFixture(t)
+	pkg, err := f.op.BuildPackage(f.dev.PublicInfo(), versionedBundle("mmf-app", "1.0.0", 3), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	devPub, err := UnmarshalPublicKey(f.dev.PublicInfo().KeyDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := payloadBytes(f.dev.ID, versionedBundle("mmf-app", "99.0.0", 999))
+	key := bytes.Repeat([]byte{0x42}, 32)
+	iv := bytes.Repeat([]byte{0x24}, 16)
+	encPayload, err := aesCBCEncrypt(key, iv, forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encKey, err := encryptKeyTo(devPub, key, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg.EncKey, pkg.IV, pkg.EncPayload = encKey, iv, encPayload
+
+	_, _, err = f.dev.OpenPackage(pkg, false)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("manifest mutation: %v, want ErrBadSignature", err)
+	}
+	if hw := f.dev.Sequences().HighWater("mmf-app"); hw != 0 {
+		t.Fatalf("forged manifest advanced the ledger to %d", hw)
+	}
+}
+
+func TestSequenceLedgerAccept(t *testing.T) {
+	l := NewSequenceLedger()
+	if hw := l.HighWater("a"); hw != 0 {
+		t.Fatalf("fresh high-water=%d", hw)
+	}
+	if err := l.Accept("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Accept("a", 1); !errors.Is(err, ErrDowngrade) {
+		t.Fatalf("equal sequence: %v", err)
+	}
+	if err := l.Accept("b", 1); err != nil { // independent per app
+		t.Fatal(err)
+	}
+	if err := l.Accept("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Accept("a", 9); !errors.Is(err, ErrDowngrade) {
+		t.Fatalf("lower sequence: %v", err)
+	}
+}
+
+func TestSequenceLedgerMarshalRoundTrip(t *testing.T) {
+	l := NewSequenceLedger()
+	for app, seq := range map[string]uint64{"fw": 12, "nat": 1, "acl": 0xFFFFFFFFFF} {
+		if err := l.Accept(app, seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := UnmarshalSequenceLedger(l.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"fw", "nat", "acl", "missing"} {
+		if got.HighWater(app) != l.HighWater(app) {
+			t.Errorf("%s: high-water %d != %d", app, got.HighWater(app), l.HighWater(app))
+		}
+	}
+	// Deterministic encoding (sorted by name).
+	if !bytes.Equal(l.Marshal(), got.Marshal()) {
+		t.Error("ledger encoding not deterministic")
+	}
+
+	for _, bad := range [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("SDMS"),                 // missing count
+		[]byte("SDMS\xFF\xFF\xFF\xFF"), // absurd count
+		append(l.Marshal(), 0x00),      // trailing byte
+		[]byte("SDMS\x00\x00\x00\x01\x00\x00\x00\x02a"), // truncated entry
+	} {
+		if _, err := UnmarshalSequenceLedger(bad); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("UnmarshalSequenceLedger(%q): %v, want ErrCorrupt", bad, err)
+		}
+	}
+}
+
+// RestoreSequences replaces a device's ledger (the reboot path); nil restores
+// to empty, re-opening the replay window — documented, and tested so the
+// behaviour is deliberate.
+func TestRestoreSequences(t *testing.T) {
+	f := getFixture(t)
+	dev := f.dev2
+	pkg, err := f.op.BuildPackage(dev.PublicInfo(), versionedBundle("rs-app", "1.0.0", 2), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.dev2.OpenPackage(pkg, false); err != nil {
+		t.Fatal(err)
+	}
+
+	saved, err := UnmarshalSequenceLedger(dev.Sequences().Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.RestoreSequences(nil) // simulated reboot without persisted state
+	if _, _, err := dev.OpenPackage(pkg, false); err != nil {
+		t.Fatalf("replay after ledger wipe should verify (window re-opened): %v", err)
+	}
+	dev.RestoreSequences(saved) // reboot with persisted state
+	if _, _, err := dev.OpenPackage(pkg, false); !errors.Is(err, ErrDowngrade) {
+		t.Fatalf("replay after ledger restore: %v, want ErrDowngrade", err)
+	}
+}

@@ -12,9 +12,11 @@ import (
 )
 
 // Bundle is the plaintext content installed on a network processor: the
-// processing binary, its monitoring graph, and the secret 32-bit hash
-// parameter (§3.1 "at programming time").
+// processing binary, its monitoring graph, the secret 32-bit hash parameter
+// (§3.1 "at programming time"), and the release manifest that versions the
+// bundle against downgrade replays.
 type Bundle struct {
+	Manifest  Manifest
 	Binary    []byte
 	Graph     []byte
 	HashParam uint32
@@ -74,11 +76,18 @@ func (c *OpCounts) Add(o OpCounts) {
 
 // payload serializes a bundle with its destination identity. Binding the
 // device ID inside the signed plaintext (in addition to encrypting the
-// session key to the device) hardens SR4 against envelope re-wrapping.
+// session key to the device) hardens SR4 against envelope re-wrapping; the
+// manifest rides inside the same signed region, so version and sequence
+// cannot be stripped or rewritten without breaking the signature.
 func payloadBytes(deviceID string, b *Bundle) []byte {
 	var buf bytes.Buffer
-	buf.WriteString("SDMP")
+	buf.WriteString("SDM2")
 	writeBytes(&buf, []byte(deviceID))
+	writeBytes(&buf, []byte(b.Manifest.AppName))
+	writeBytes(&buf, []byte(b.Manifest.Version))
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], b.Manifest.Sequence)
+	buf.Write(s[:])
 	writeBytes(&buf, b.Binary)
 	writeBytes(&buf, b.Graph)
 	var p [4]byte
@@ -87,15 +96,35 @@ func payloadBytes(deviceID string, b *Bundle) []byte {
 	return buf.Bytes()
 }
 
+// parsePayload accepts both the current "SDM2" payload (with manifest) and
+// the legacy "SDMP" form, which decodes with a zero manifest and therefore
+// no replay protection.
 func parsePayload(data []byte) (deviceID string, b *Bundle, err error) {
 	r := bytes.NewReader(data)
 	var magic [4]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil || string(magic[:]) != "SDMP" {
+	if _, err := io.ReadFull(r, magic[:]); err != nil ||
+		(string(magic[:]) != "SDM2" && string(magic[:]) != "SDMP") {
 		return "", nil, fmt.Errorf("%w: bad payload magic", ErrCorrupt)
 	}
+	versioned := string(magic[:]) == "SDM2"
 	id, err := readBytes(r)
 	if err != nil {
 		return "", nil, fmt.Errorf("%w: device id: %v", ErrCorrupt, err)
+	}
+	var m Manifest
+	if versioned {
+		app, err := readBytes(r)
+		if err != nil {
+			return "", nil, fmt.Errorf("%w: manifest app: %v", ErrCorrupt, err)
+		}
+		ver, err := readBytes(r)
+		if err != nil {
+			return "", nil, fmt.Errorf("%w: manifest version: %v", ErrCorrupt, err)
+		}
+		if err := binary.Read(r, binary.BigEndian, &m.Sequence); err != nil {
+			return "", nil, fmt.Errorf("%w: manifest sequence: %v", ErrCorrupt, err)
+		}
+		m.AppName, m.Version = string(app), string(ver)
 	}
 	bin, err := readBytes(r)
 	if err != nil {
@@ -112,7 +141,7 @@ func parsePayload(data []byte) (deviceID string, b *Bundle, err error) {
 	if r.Len() != 0 {
 		return "", nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, r.Len())
 	}
-	return string(id), &Bundle{Binary: bin, Graph: graph, HashParam: param}, nil
+	return string(id), &Bundle{Manifest: m, Binary: bin, Graph: graph, HashParam: param}, nil
 }
 
 // BuildPackage performs the operator's "at programming time" steps of §3.1:
@@ -215,6 +244,15 @@ func (d *DeviceIdentity) OpenPackage(p *Package, skipCertCheck bool) (*Bundle, O
 	if id != d.ID {
 		return nil, ops, fmt.Errorf("%w: payload addressed to %q, this device is %q",
 			ErrWrongDevice, id, d.ID)
+	}
+	// Anti-downgrade: a fully verified package must still advance the
+	// device's per-application sequence high-water mark. The check runs
+	// last so crypto failures keep their specific errors, and the ledger
+	// only ever advances on packages that passed every other check.
+	if !bundle.Manifest.Zero() {
+		if err := d.Sequences().Accept(bundle.Manifest.AppName, bundle.Manifest.Sequence); err != nil {
+			return nil, ops, err
+		}
 	}
 	return bundle, ops, nil
 }

@@ -1,0 +1,45 @@
+package timing
+
+// RolloutCost aggregates the simulated cost of a staged fleet upgrade: the
+// management-plane side (wire time, control-processor crypto, retry backoff,
+// summed over every delivery attempt) plus the data-plane side (NP cutover
+// cycles for commits and rollbacks). The two live on different clocks — the
+// control processor does seconds of RSA/AES work while a commit is a 64-cycle
+// bank switch — which is the quantitative core of the zero-downtime claim:
+// TotalSeconds is dominated entirely by work done while the old version keeps
+// forwarding packets.
+type RolloutCost struct {
+	WireSeconds    float64 // link serialization + RTT across all attempts
+	ProcessSeconds float64 // control-processor package verification (Table 2 model)
+	BackoffSeconds float64 // retry waits between delivery attempts
+	// DrainCycles is NP core cycles spent in atomic cutovers (commits and
+	// rollbacks) — the only time the data plane is affected at all.
+	DrainCycles uint64
+	// Attempts counts transmissions; Deliveries counts routers that
+	// received a verified package.
+	Attempts   int
+	Deliveries int
+}
+
+// AddDelivery folds one router's delivery accounting into the total.
+func (c *RolloutCost) AddDelivery(wire, process, backoff float64, attempts int, delivered bool) {
+	c.WireSeconds += wire
+	c.ProcessSeconds += process
+	c.BackoffSeconds += backoff
+	c.Attempts += attempts
+	if delivered {
+		c.Deliveries++
+	}
+}
+
+// TotalSeconds converts the aggregate to seconds under a cost model. The
+// drain contribution is cycles at the model clock — nanoseconds against the
+// seconds of crypto — making the asymmetry auditable rather than asserted.
+func (c RolloutCost) TotalSeconds(m CostModel) float64 {
+	return c.WireSeconds + c.ProcessSeconds + c.BackoffSeconds + m.Seconds(float64(c.DrainCycles))
+}
+
+// DrainSeconds isolates the data-plane interruption under a cost model.
+func (c RolloutCost) DrainSeconds(m CostModel) float64 {
+	return m.Seconds(float64(c.DrainCycles))
+}
