@@ -3,14 +3,14 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all check build vet fmt-check test test-short test-race test-faults test-rollout bench fuzz experiments examples verilog clean
+.PHONY: all check build vet fmt-check test test-short test-race test-obs test-faults test-rollout bench fuzz experiments examples verilog clean
 
 all: check
 
 # The default CI gate: build, static checks, full tests, the race
-# detector over the concurrent packages, the fault-injection suite, and
-# the live-upgrade suite.
-check: build vet fmt-check test test-race test-faults test-rollout
+# detector over the concurrent packages, the observability layer, the
+# fault-injection suite, and the live-upgrade suite.
+check: build vet fmt-check test test-race test-obs test-faults test-rollout
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,14 @@ test-short:
 # ProcessBatch workers and the network-path pipeline).
 test-race:
 	$(GO) test -race ./internal/npu/... ./internal/network/...
+
+# The observability layer under the race detector: event rings, the
+# metrics registry, the exporters, and the stats/telemetry consistency
+# tests in the packages that publish into it.
+test-obs:
+	$(GO) test -race ./internal/obs/...
+	$(GO) test -race -run 'Obs|Telemetry|Stats|WireGroundTruth|RoundTrip|DoubleCount' \
+		./internal/npu/... ./internal/network/... ./cmd/npsim/...
 
 # The live-upgrade suite under the race detector: staged install and
 # atomic cutover, canary rollout with auto-rollback, and the

@@ -10,14 +10,17 @@ import (
 	"sdmmon/internal/monitor"
 	"sdmmon/internal/network"
 	"sdmmon/internal/npu"
+	"sdmmon/internal/obs"
 	"sdmmon/internal/packet"
 )
 
 // runFaults drives one (or all) fault-injection scenarios and prints what
 // the resilience machinery did about each: detection rate, recovery,
 // accounting conservation, and quarantine state. Deterministic per seed.
-func runFaults(scenario, appName string, cores int, seed int64) error {
-	scenarios := map[string]func(string, int, int64) error{
+// Each scenario also asserts its own expected outcome and fails (structured,
+// non-zero exit) when the resilience machinery did not hold.
+func runFaults(scenario, appName string, cores int, seed int64, col *obs.Collector) error {
+	scenarios := map[string]func(string, int, int64, *obs.Collector) error{
 		"bitflip":  faultBitflip,
 		"hashflip": faultHashflip,
 		"hang":     faultHang,
@@ -27,8 +30,8 @@ func runFaults(scenario, appName string, cores int, seed int64) error {
 	}
 	if scenario == "all" {
 		for _, name := range []string{"bitflip", "hashflip", "hang", "spurious", "graph", "link"} {
-			if err := scenarios[name](appName, cores, seed); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
+			if err := scenarios[name](appName, cores, seed, col); err != nil {
+				return &scenarioError{Mode: "faults", Scenario: name, Err: err}
 			}
 		}
 		return nil
@@ -37,12 +40,15 @@ func runFaults(scenario, appName string, cores int, seed int64) error {
 	if !ok {
 		return fmt.Errorf("unknown fault scenario %q (want bitflip, hashflip, hang, spurious, graph, link, or all)", scenario)
 	}
-	return fn(appName, cores, seed)
+	if err := fn(appName, cores, seed, col); err != nil {
+		return &scenarioError{Mode: "faults", Scenario: scenario, Err: err}
+	}
+	return nil
 }
 
 // faultNP builds a supervisor-enabled NP with the app on every core and
 // returns it with the serialized bundle for re-installs.
-func faultNP(appName string, cores int, param uint32, hasher func(uint32) mhash.Hasher) (*npu.NP, []byte, []byte, error) {
+func faultNP(appName string, cores int, param uint32, hasher func(uint32) mhash.Hasher, col *obs.Collector) (*npu.NP, []byte, []byte, error) {
 	app, err := apps.ByName(appName)
 	if err != nil {
 		return nil, nil, nil, err
@@ -60,6 +66,7 @@ func faultNP(appName string, cores int, param uint32, hasher func(uint32) mhash.
 		MonitorsEnabled: true,
 		Supervisor:      npu.DefaultSupervisorConfig(),
 		NewHasher:       hasher,
+		Obs:             col,
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -80,9 +87,9 @@ func conservationLine(s npu.Stats) string {
 		s.Processed, s.Forwarded, s.Dropped, s.Alarms, s.Faults, s.VerdictDrops(), status)
 }
 
-func faultBitflip(appName string, cores int, seed int64) error {
+func faultBitflip(appName string, cores int, seed int64, col *obs.Collector) error {
 	const param, trials = 0xB17F, 200
-	np, bin, gb, err := faultNP(appName, 1, param, nil)
+	np, bin, gb, err := faultNP(appName, 1, param, nil, col)
 	if err != nil {
 		return err
 	}
@@ -120,11 +127,18 @@ func faultBitflip(appName string, cores int, seed int64) error {
 	fmt.Printf("  detected=%d (%.0f%%) arch-faulted=%d silent=%d (unexecuted or 4-bit hash collision)\n",
 		detected, 100*float64(detected)/trials, faulted, silent)
 	fmt.Printf("  recovered after re-install: %d/%d\n", recovered, trials)
-	fmt.Printf("  %s\n", conservationLine(np.Stats()))
+	s := np.Stats()
+	fmt.Printf("  %s\n", conservationLine(s))
+	if !s.Conserved() {
+		return fmt.Errorf("packet accounting violated: %+v", s)
+	}
+	if recovered != trials {
+		return fmt.Errorf("only %d/%d cores recovered after re-install", recovered, trials)
+	}
 	return nil
 }
 
-func faultHashflip(appName string, cores int, seed int64) error {
+func faultHashflip(appName string, cores int, seed int64, col *obs.Collector) error {
 	const param = 0xFA17
 	inj := fault.New(seed)
 	var flaky []*fault.FlakyHasher
@@ -132,7 +146,7 @@ func faultHashflip(appName string, cores int, seed int64) error {
 		h := inj.FlakyHasher(mhash.NewMerkle(p), 0)
 		flaky = append(flaky, h)
 		return h
-	})
+	}, col)
 	if err != nil {
 		return err
 	}
@@ -162,12 +176,19 @@ func faultHashflip(appName string, cores int, seed int64) error {
 	fmt.Printf("[hashflip] hash unit corrupting every output on core 0:\n")
 	fmt.Printf("  %d alarms in %d packets, core health: %s, available cores: %d/1\n",
 		alarms, pkts, health, np.AvailableCores())
-	fmt.Printf("  %s\n", conservationLine(np.Stats()))
+	s := np.Stats()
+	fmt.Printf("  %s\n", conservationLine(s))
+	if health != npu.CoreQuarantined {
+		return fmt.Errorf("core not quarantined despite a hash unit corrupting every output (health=%s)", health)
+	}
+	if !s.Conserved() {
+		return fmt.Errorf("packet accounting violated: %+v", s)
+	}
 	return nil
 }
 
-func faultHang(appName string, cores int, seed int64) error {
-	np, _, _, err := faultNP(appName, 1, 0x4A46, nil)
+func faultHang(appName string, cores int, seed int64, col *obs.Collector) error {
+	np, _, _, err := faultNP(appName, 1, 0x4A46, nil, col)
 	if err != nil {
 		return err
 	}
@@ -194,11 +215,20 @@ func faultHang(appName string, cores int, seed int64) error {
 		trippedIn, s.WatchdogTrips, s.Alarms)
 	fmt.Printf("  after budget restore: verdict=%d faulted=%v (core recovered)\n", probe.Verdict, probe.Faulted)
 	fmt.Printf("  %s\n", conservationLine(s))
+	if s.WatchdogTrips < 1 {
+		return fmt.Errorf("watchdog never tripped under an 8-cycle budget: %+v", s)
+	}
+	if probe.Faulted || probe.Detected {
+		return fmt.Errorf("core did not recover after budget restore: %+v", probe)
+	}
+	if !s.Conserved() {
+		return fmt.Errorf("packet accounting violated: %+v", s)
+	}
 	return nil
 }
 
-func faultSpurious(appName string, cores int, seed int64) error {
-	np, _, _, err := faultNP(appName, 1, 0x5105, nil)
+func faultSpurious(appName string, cores int, seed int64, col *obs.Collector) error {
+	np, _, _, err := faultNP(appName, 1, 0x5105, nil, col)
 	if err != nil {
 		return err
 	}
@@ -215,13 +245,20 @@ func faultSpurious(appName string, cores int, seed int64) error {
 	fmt.Printf("[spurious] reserved opcode written over the entry instruction:\n")
 	fmt.Printf("  detected=%v faulted=%v verdict=%d (monitor flags the foreign word before the trap)\n",
 		res.Detected, res.Faulted, res.Verdict)
-	fmt.Printf("  %s\n", conservationLine(np.Stats()))
+	s := np.Stats()
+	fmt.Printf("  %s\n", conservationLine(s))
+	if !res.Detected && !res.Faulted {
+		return fmt.Errorf("poisoned entry instruction neither detected nor trapped: %+v", res)
+	}
+	if !s.Conserved() {
+		return fmt.Errorf("packet accounting violated: %+v", s)
+	}
 	return nil
 }
 
-func faultGraph(appName string, cores int, seed int64) error {
+func faultGraph(appName string, cores int, seed int64, col *obs.Collector) error {
 	const param = 0x6F0F
-	np, bin, gb, err := faultNP(appName, 1, param, nil)
+	np, bin, gb, err := faultNP(appName, 1, param, nil, col)
 	if err != nil {
 		return err
 	}
@@ -236,10 +273,16 @@ func faultGraph(appName string, cores int, seed int64) error {
 	}
 	fmt.Printf("[graph] monitoring graph corrupted at install (%d trials, 1-8 bit flips):\n", trials)
 	fmt.Printf("  rejected by the install self-check: %d/%d\n", rejected, trials)
+	// A flip can land in a semantically dead bit of the serialization and
+	// decode to an equivalent graph, so 100% rejection is not guaranteed —
+	// but the self-check must stop the overwhelming majority.
+	if rejected*10 < trials*9 {
+		return fmt.Errorf("%d/%d corrupted graphs slipped past the install self-check", trials-rejected, trials)
+	}
 	return nil
 }
 
-func faultLink(appName string, cores int, seed int64) error {
+func faultLink(appName string, cores int, seed int64, col *obs.Collector) error {
 	app, err := apps.ByName(appName)
 	if err != nil {
 		return err
@@ -257,7 +300,7 @@ func faultLink(appName string, cores int, seed int64) error {
 	}
 	var devices []*core.Device
 	for i := 0; i < 4; i++ {
-		d, err := mfr.Manufacture(fmt.Sprintf("router-%d", i), core.DeviceConfig{Cores: cores, MonitorsEnabled: true})
+		d, err := mfr.Manufacture(fmt.Sprintf("router-%d", i), core.DeviceConfig{Cores: cores, MonitorsEnabled: true, Obs: col})
 		if err != nil {
 			return err
 		}
@@ -265,6 +308,7 @@ func faultLink(appName string, cores int, seed int64) error {
 	}
 	faults := fault.LinkFaults{DropRate: 0.25, CorruptRate: 0.15, DuplicateRate: 0.05}
 	link := network.NewLossyLink(network.GigE(), faults, seed)
+	link.Obs = col
 	pol := network.DefaultRetryPolicy()
 	pol.MaxAttempts = 32
 	out, err := network.DistributeReliable(op, devices, app, link, pol, seed)
@@ -283,5 +327,8 @@ func faultLink(appName string, cores int, seed int64) error {
 	}
 	fmt.Printf("  converged=%v succeeded=%d failed=%d total attempts=%d\n",
 		out.Converged(), out.Succeeded, out.Failed, out.TotalAttempts)
+	if !out.Converged() {
+		return fmt.Errorf("fleet did not converge: %d routers failed", out.Failed)
+	}
 	return nil
 }

@@ -4,19 +4,29 @@
 // installation path (use cmd/sdmmon for the full lifecycle).
 //
 //	npsim -app ipv4cm -cores 4 -packets 20000 -attacks 20 -monitors=true
+//
+// Telemetry: -metrics writes a snapshot of every counter/gauge/histogram on
+// exit (Prometheus text for a .prom path, JSON otherwise), -trace writes the
+// structured alarm/recovery/install event log as JSON lines, and -pprof
+// serves net/http/pprof while the simulation runs.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"strings"
 
 	"sdmmon/internal/apps"
 	"sdmmon/internal/attack"
 	"sdmmon/internal/mhash"
 	"sdmmon/internal/monitor"
 	"sdmmon/internal/npu"
+	"sdmmon/internal/obs"
 	"sdmmon/internal/packet"
 )
 
@@ -30,30 +40,116 @@ func main() {
 	optWords := flag.Int("optwords", 1, "IP option words in benign traffic")
 	seed := flag.Int64("seed", 1, "seed for traffic and hash parameter")
 	clockMHz := flag.Float64("clock", 100, "core clock in MHz for throughput reporting")
-	trace := flag.Int("trace", 0, "forensic trace depth; dumps the trace of the first alarm")
+	forensic := flag.Int("forensic", 0, "forensic trace depth; dumps the instruction trace of the first alarm")
 	bench := flag.Bool("bench", false, "run the throughput sweep (1/2/4/8 cores x batch sizes, fast vs reference) and write -benchout")
 	benchOut := flag.String("benchout", "BENCH_npu.json", "output file for -bench")
 	benchPackets := flag.Int("benchpackets", 20000, "packets per sweep point in -bench mode")
 	faults := flag.String("faults", "", "fault-injection scenario: bitflip, hashflip, hang, spurious, graph, link, or all")
 	rollout := flag.String("rollout", "", "live-upgrade scenario: clean, badcanary, lossy, or all")
 	routers := flag.Int("routers", 4, "fleet size for -rollout")
+	metricsOut := flag.String("metrics", "", "write a metrics snapshot on exit (.prom = Prometheus text, otherwise JSON)")
+	traceOut := flag.String("trace", "", "write the structured event trace as JSON lines on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	var col *obs.Collector
+	if *metricsOut != "" || *traceOut != "" || *pprofAddr != "" {
+		col = obs.New(obs.DefaultRingDepth)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "npsim: pprof:", err)
+			}
+		}()
+	}
 
 	var err error
 	switch {
 	case *rollout != "":
-		err = runRollout(*rollout, *routers, *cores, *seed)
+		err = runRollout(*rollout, *routers, *cores, *seed, col)
 	case *faults != "":
-		err = runFaults(*faults, *appName, *cores, *seed)
+		err = runFaults(*faults, *appName, *cores, *seed, col)
 	case *bench:
 		err = runBench(*appName, *benchPackets, *optWords, *seed, *benchOut)
 	default:
-		err = run(*appName, *cores, *packets, *attacks, *monitors, *qdepth, *optWords, *seed, *clockMHz, *trace)
+		err = run(*appName, *cores, *packets, *attacks, *monitors, *qdepth, *optWords, *seed, *clockMHz, *forensic, col)
+	}
+	// Telemetry is written even when the scenario failed: the snapshot of a
+	// failing run is exactly what a post-mortem needs.
+	if werr := writeTelemetry(col, *metricsOut, *traceOut); werr != nil && err == nil {
+		err = werr
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "npsim:", err)
+		var se *scenarioError
+		if errors.As(err, &se) {
+			fmt.Fprintf(os.Stderr, "npsim: FAIL mode=%s scenario=%s: %v\n", se.Mode, se.Scenario, se.Err)
+		} else {
+			fmt.Fprintln(os.Stderr, "npsim:", err)
+		}
 		os.Exit(1)
 	}
+}
+
+// scenarioError is a structured scenario failure: which mode (faults or
+// rollout) and which scenario failed, and why. main renders it as a single
+// machine-greppable "npsim: FAIL mode=… scenario=…" line and exits non-zero.
+type scenarioError struct {
+	Mode     string
+	Scenario string
+	Err      error
+}
+
+func (e *scenarioError) Error() string {
+	return fmt.Sprintf("%s scenario %q failed: %v", e.Mode, e.Scenario, e.Err)
+}
+
+func (e *scenarioError) Unwrap() error { return e.Err }
+
+// writeTelemetry flushes the collector to the requested output files.
+func writeTelemetry(col *obs.Collector, metricsPath, tracePath string) error {
+	if col == nil {
+		return nil
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		snap := col.Snapshot()
+		if strings.HasSuffix(metricsPath, ".prom") {
+			err = snap.WritePrometheus(f)
+		} else {
+			err = snap.WriteJSON(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing metrics to %s: %w", metricsPath, err)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", metricsPath)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		events := col.Events()
+		err = obs.WriteTrace(f, events)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing trace to %s: %w", tracePath, err)
+		}
+		dropped := ""
+		if n := col.DroppedEvents(); n > 0 {
+			dropped = fmt.Sprintf(" (%d dropped at the rings)", n)
+		}
+		fmt.Printf("wrote %d trace events to %s%s\n", len(events), tracePath, dropped)
+	}
+	return nil
 }
 
 // runBench sweeps core counts and batch sizes over both monitoring paths and
@@ -94,6 +190,20 @@ func runBench(appName string, packets, optWords int, seed int64, out string) err
 		fmt.Printf("%-10s %6d %6d %14.0f %10.0f %12.1f %9.3f  (%d cores quarantined)\n",
 			p.Path, p.Cores, p.Batch, p.PktsPerSec, p.NsPerPkt, p.SimCyclesPerPkt, p.HashHitRate, p.QuarantinedCores)
 	}
+	// Instrumented points: the same sweep shape at the largest configuration
+	// with a live collector attached, quantifying the telemetry overhead.
+	for _, cores := range []int{4, 8} {
+		p, err := npu.MeasureThroughput(npu.ThroughputConfig{
+			App: appName, Cores: cores, Batch: 256, Packets: packets,
+			Seed: seed, OptionWords: optWords, Instrumented: true,
+		})
+		if err != nil {
+			return err
+		}
+		report.Add(p)
+		fmt.Printf("%-10s %6d %6d %14.0f %10.0f %12.1f %9.3f  (instrumented)\n",
+			p.Path, p.Cores, p.Batch, p.PktsPerSec, p.NsPerPkt, p.SimCyclesPerPkt, p.HashHitRate)
+	}
 	if err := report.Write(out); err != nil {
 		return err
 	}
@@ -101,10 +211,13 @@ func runBench(appName string, packets, optWords int, seed int64, out string) err
 	for k, s := range report.SpeedupFastVsReference {
 		fmt.Printf("  speedup fast/reference %s: %.2fx\n", k, s)
 	}
+	for k, o := range report.OverheadInstrumented {
+		fmt.Printf("  overhead instrumented/bare %s: %.2f%%\n", k, 100*(o-1))
+	}
 	return nil
 }
 
-func run(appName string, cores, packets, attacks int, monitors bool, qdepth, optWords int, seed int64, clockMHz float64, traceDepth int) error {
+func run(appName string, cores, packets, attacks int, monitors bool, qdepth, optWords int, seed int64, clockMHz float64, forensicDepth int, col *obs.Collector) error {
 	app, err := apps.ByName(appName)
 	if err != nil {
 		return err
@@ -120,7 +233,7 @@ func run(appName string, cores, packets, attacks int, monitors bool, qdepth, opt
 	if err != nil {
 		return err
 	}
-	np, err := npu.New(npu.Config{Cores: cores, MonitorsEnabled: monitors, TraceDepth: traceDepth})
+	np, err := npu.New(npu.Config{Cores: cores, MonitorsEnabled: monitors, TraceDepth: forensicDepth, Obs: col})
 	if err != nil {
 		return err
 	}
@@ -169,10 +282,10 @@ func run(appName string, cores, packets, attacks int, monitors bool, qdepth, opt
 		if isAttack && attack.Succeeded(apps.PacketResult{Verdict: res.Verdict, Packet: res.Packet}) {
 			hijacked++
 		}
-		if res.Detected && traceDepth > 0 {
+		if res.Detected && forensicDepth > 0 {
 			fmt.Printf("\nALARM on core %d — forensic trace (last %d instructions, !! = alarm):\n%s\n",
-				res.Core, traceDepth, np.TraceDump(res.Core, traceDepth))
-			traceDepth = 0 // dump the first alarm only
+				res.Core, forensicDepth, np.TraceDump(res.Core, forensicDepth))
+			forensicDepth = 0 // dump the first alarm only
 		}
 	}
 

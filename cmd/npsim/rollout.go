@@ -9,6 +9,7 @@ import (
 	"sdmmon/internal/fault"
 	"sdmmon/internal/network"
 	"sdmmon/internal/npu"
+	"sdmmon/internal/obs"
 	"sdmmon/internal/seccrypto"
 	"sdmmon/internal/timing"
 )
@@ -17,16 +18,16 @@ import (
 // fleet upgrade (with an anti-downgrade replay attempt afterwards), a bad
 // canary that trips the health gate and rolls the fleet back, and an upgrade
 // over a faulty management link. Deterministic per seed.
-func runRollout(scenario string, routers, cores int, seed int64) error {
-	scenarios := map[string]func(int, int, int64) error{
+func runRollout(scenario string, routers, cores int, seed int64, col *obs.Collector) error {
+	scenarios := map[string]func(int, int, int64, *obs.Collector) error{
 		"clean":     rolloutClean,
 		"badcanary": rolloutBadCanary,
 		"lossy":     rolloutLossy,
 	}
 	if scenario == "all" {
 		for _, name := range []string{"clean", "badcanary", "lossy"} {
-			if err := scenarios[name](routers, cores, seed); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
+			if err := scenarios[name](routers, cores, seed, col); err != nil {
+				return &scenarioError{Mode: "rollout", Scenario: name, Err: err}
 			}
 		}
 		return nil
@@ -35,13 +36,16 @@ func runRollout(scenario string, routers, cores int, seed int64) error {
 	if !ok {
 		return fmt.Errorf("unknown rollout scenario %q (want clean, badcanary, lossy, or all)", scenario)
 	}
-	return fn(routers, cores, seed)
+	if err := fn(routers, cores, seed, col); err != nil {
+		return &scenarioError{Mode: "rollout", Scenario: scenario, Err: err}
+	}
+	return nil
 }
 
 // rolloutFleet manufactures a supervised fleet and installs version 1.0.0 of
 // the echo application on every router, returning the operator, devices, and
 // the first router's v1 wire package (for the replay demonstration).
-func rolloutFleet(routers, cores int) (*core.Operator, []*core.Device, []byte, error) {
+func rolloutFleet(routers, cores int, col *obs.Collector) (*core.Operator, []*core.Device, []byte, error) {
 	man, err := core.NewManufacturer("acme", nil)
 	if err != nil {
 		return nil, nil, nil, err
@@ -57,6 +61,7 @@ func rolloutFleet(routers, cores int) (*core.Operator, []*core.Device, []byte, e
 	cfg := core.DefaultDeviceConfig()
 	cfg.Cores = cores
 	cfg.Supervisor = npu.DefaultSupervisorConfig()
+	cfg.Obs = col
 	var devices []*core.Device
 	var replayWire []byte
 	for i := 0; i < routers; i++ {
@@ -118,14 +123,15 @@ func deviceLive(devices []*core.Device, id string) (string, bool) {
 // rolloutClean upgrades the fleet 1.0.0 → 1.1.0 over a clean link, then
 // replays the captured 1.0.0 package to show the anti-downgrade ledger
 // rejecting it.
-func rolloutClean(routers, cores int, seed int64) error {
+func rolloutClean(routers, cores int, seed int64, col *obs.Collector) error {
 	fmt.Printf("rollout clean: %d routers x %d cores, canary + health gate\n", routers, cores)
-	op, devices, replayWire, err := rolloutFleet(routers, cores)
+	op, devices, replayWire, err := rolloutFleet(routers, cores, col)
 	if err != nil {
 		return err
 	}
 	op.SetAppVersion("udpecho", "1.1.0")
 	link := network.NewLossyLink(network.GigE(), fault.LinkFaults{}, seed)
+	link.Obs = col
 	rep, err := network.UpgradeFleet(op, devices, apps.UDPEcho(), network.RolloutConfig{
 		Link: link, Seed: seed,
 	}, nil)
@@ -150,14 +156,15 @@ func rolloutClean(routers, cores int, seed int64) error {
 // rolloutBadCanary upgrades toward a release that faults on every packet.
 // The canary's health gate must catch it and roll the fleet back with no
 // router left on the bad version.
-func rolloutBadCanary(routers, cores int, seed int64) error {
+func rolloutBadCanary(routers, cores int, seed int64, col *obs.Collector) error {
 	fmt.Printf("rollout badcanary: %d routers x %d cores, faulty 2.0.0 release\n", routers, cores)
-	op, devices, _, err := rolloutFleet(routers, cores)
+	op, devices, _, err := rolloutFleet(routers, cores, col)
 	if err != nil {
 		return err
 	}
 	op.SetAppVersion("udpecho", "2.0.0")
 	link := network.NewLossyLink(network.GigE(), fault.LinkFaults{}, seed)
+	link.Obs = col
 	rep, err := network.UpgradeFleet(op, devices, apps.FaultyEcho(), network.RolloutConfig{
 		Link: link, Seed: seed,
 	}, nil)
@@ -180,15 +187,16 @@ func rolloutBadCanary(routers, cores int, seed int64) error {
 // rolloutLossy upgrades over a dropping/corrupting management link: staging
 // retries per router until the package verifies, and the data plane never
 // sees any of it.
-func rolloutLossy(routers, cores int, seed int64) error {
+func rolloutLossy(routers, cores int, seed int64, col *obs.Collector) error {
 	fmt.Printf("rollout lossy: %d routers x %d cores, 30%% drop / 15%% corrupt link\n", routers, cores)
-	op, devices, _, err := rolloutFleet(routers, cores)
+	op, devices, _, err := rolloutFleet(routers, cores, col)
 	if err != nil {
 		return err
 	}
 	op.SetAppVersion("udpecho", "1.2.0")
 	link := network.NewLossyLink(network.GigE(),
 		fault.LinkFaults{DropRate: 0.3, CorruptRate: 0.15}, seed)
+	link.Obs = col
 	rep, err := network.UpgradeFleet(op, devices, apps.UDPEcho(), network.RolloutConfig{
 		Link: link, Seed: seed,
 	}, nil)

@@ -25,6 +25,7 @@ import (
 	"sdmmon/internal/mhash"
 	"sdmmon/internal/monitor"
 	"sdmmon/internal/npu"
+	"sdmmon/internal/obs"
 	"sdmmon/internal/seccrypto"
 	"sdmmon/internal/timing"
 )
@@ -70,6 +71,11 @@ type DeviceConfig struct {
 	// persistent alarms/faults). The rollout health gate reads its state;
 	// the zero value disables it.
 	Supervisor npu.SupervisorConfig
+	// Obs, when set, attaches a telemetry collector: the NP publishes
+	// packet/alarm counters, per-core cycle histograms and lifecycle trace
+	// events into it, and the device adds secure-install counters plus a
+	// verification-time histogram. Nil disables all hooks at zero cost.
+	Obs *obs.Collector
 }
 
 // DefaultDeviceConfig is a 4-core monitored device with the paper's hash.
@@ -101,17 +107,24 @@ func (m *Manufacturer) Manufacture(id string, cfg DeviceConfig) (*Device, error)
 		MonitorsEnabled: cfg.MonitorsEnabled,
 		NewHasher:       newHasher,
 		Supervisor:      cfg.Supervisor,
+		Obs:             cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Device{
+	d := &Device{
 		ID:        id,
 		identity:  ident,
 		np:        np,
 		cost:      timing.NiosIIPrototype(),
 		newHasher: newHasher,
-	}, nil
+	}
+	if reg := cfg.Obs.Registry(); reg != nil {
+		d.mSecInstalls = reg.Counter("sec_installs_total")
+		d.mSecFailures = reg.Counter("sec_install_failures_total")
+		d.hSecVerify = reg.Histogram("sec_verify_seconds", obs.SecondsBuckets)
+	}
+	return d, nil
 }
 
 // Operator prepares and ships signed application bundles.

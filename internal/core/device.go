@@ -6,6 +6,7 @@ import (
 
 	"sdmmon/internal/mhash"
 	"sdmmon/internal/npu"
+	"sdmmon/internal/obs"
 	"sdmmon/internal/seccrypto"
 	"sdmmon/internal/timing"
 )
@@ -30,6 +31,23 @@ type Device struct {
 	// beyond the paper: operator key rotation needs a way to retire the
 	// old certificate).
 	revoked map[uint64]bool
+
+	// Secure-install telemetry, resolved once at manufacture; nil (no
+	// collector attached) makes every publish a no-op.
+	mSecInstalls *obs.Counter
+	mSecFailures *obs.Counter
+	hSecVerify   *obs.Histogram
+}
+
+// recordInstall publishes one verification-pipeline outcome: a counted
+// failure, or a counted success with its modeled control-processor seconds.
+func (d *Device) recordInstall(rep *InstallReport, err error) {
+	if err != nil {
+		d.mSecFailures.Inc()
+		return
+	}
+	d.mSecInstalls.Inc()
+	d.hSecVerify.Observe(rep.ModelSeconds)
 }
 
 // RevokeCertificate blacklists a certificate serial (distributed by the
@@ -110,7 +128,8 @@ func bundleName(pkg *seccrypto.Package, bundle *seccrypto.Bundle) string {
 	return fmt.Sprintf("bundle-%s", pkg.DigestHex())
 }
 
-func (d *Device) install(wire []byte, coreID int) (*InstallReport, error) {
+func (d *Device) install(wire []byte, coreID int) (rep *InstallReport, err error) {
+	defer func() { d.recordInstall(rep, err) }()
 	pkg, bundle, ops, skipCert, err := d.open(wire)
 	if err != nil {
 		return nil, err
@@ -127,15 +146,15 @@ func (d *Device) install(wire []byte, coreID int) (*InstallReport, error) {
 	}
 	d.pinnedOperatorKey = append([]byte(nil), pkg.Cert.KeyDER...)
 
-	rep := InstallReport{
+	r := InstallReport{
 		App:          name,
 		WireBytes:    len(wire),
 		Ops:          ops,
 		ModelSeconds: d.cost.EstimateOps(ops),
 		CertChecked:  !skipCert,
 	}
-	d.installs = append(d.installs, rep)
-	return &rep, nil
+	d.installs = append(d.installs, r)
+	return &r, nil
 }
 
 // StageUpgrade verifies a package and stages its bundle into every NP core's
@@ -143,7 +162,8 @@ func (d *Device) install(wire []byte, coreID int) (*InstallReport, error) {
 // CommitUpgrade cuts over. The full cryptographic pipeline (including the
 // anti-downgrade sequence check) runs here, so a staged bundle is as trusted
 // as an installed one.
-func (d *Device) StageUpgrade(wire []byte) (*InstallReport, error) {
+func (d *Device) StageUpgrade(wire []byte) (rep *InstallReport, err error) {
+	defer func() { d.recordInstall(rep, err) }()
 	pkg, bundle, ops, skipCert, err := d.open(wire)
 	if err != nil {
 		return nil, err
@@ -153,15 +173,15 @@ func (d *Device) StageUpgrade(wire []byte) (*InstallReport, error) {
 		return nil, err
 	}
 	d.pinnedOperatorKey = append([]byte(nil), pkg.Cert.KeyDER...)
-	rep := InstallReport{
+	r := InstallReport{
 		App:          name,
 		WireBytes:    len(wire),
 		Ops:          ops,
 		ModelSeconds: d.cost.EstimateOps(ops),
 		CertChecked:  !skipCert,
 	}
-	d.installs = append(d.installs, rep)
-	return &rep, nil
+	d.installs = append(d.installs, r)
+	return &r, nil
 }
 
 // CommitUpgrade atomically cuts every core over to its staged bundle (per
@@ -201,7 +221,8 @@ func (d *Device) RestoreSequenceState(state []byte) error {
 // resident application library under the given name, without programming
 // any core. Cores switch to resident applications in microseconds via
 // Switch — the §4.2 fast path for dynamic workload changes.
-func (d *Device) InstallResident(wire []byte, name string) (*InstallReport, error) {
+func (d *Device) InstallResident(wire []byte, name string) (rep *InstallReport, err error) {
+	defer func() { d.recordInstall(rep, err) }()
 	pkg, err := seccrypto.UnmarshalPackage(wire)
 	if err != nil {
 		return nil, err
@@ -221,15 +242,15 @@ func (d *Device) InstallResident(wire []byte, name string) (*InstallReport, erro
 		return nil, err
 	}
 	d.pinnedOperatorKey = append([]byte(nil), pkg.Cert.KeyDER...)
-	rep := InstallReport{
+	r := InstallReport{
 		App:          name,
 		WireBytes:    len(wire),
 		Ops:          ops,
 		ModelSeconds: d.cost.EstimateOps(ops),
 		CertChecked:  !skipCert,
 	}
-	d.installs = append(d.installs, rep)
-	return &rep, nil
+	d.installs = append(d.installs, r)
+	return &r, nil
 }
 
 // Switch points a core at a resident application (no cryptography on this

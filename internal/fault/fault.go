@@ -18,7 +18,8 @@ import (
 
 // Injector is a deterministic fault source.
 type Injector struct {
-	rng *rand.Rand
+	rng  *rand.Rand
+	wire WireStats
 }
 
 // New builds an injector seeded for reproducible fault sequences.
@@ -137,20 +138,42 @@ type LinkFaults struct {
 	DuplicateRate float64
 }
 
+// WireStats is the injector's ground-truth accounting of what it did to the
+// management wire — the reference the delivery reports are audited against:
+// every dropped or corrupted datagram must surface as exactly one failed
+// delivery attempt upstream.
+type WireStats struct {
+	// Sent counts datagrams offered to the wire (calls to Wire).
+	Sent uint64
+	// Dropped counts datagrams that produced zero copies.
+	Dropped uint64
+	// Corrupted counts datagrams whose delivered copy was bit-flipped.
+	Corrupted uint64
+	// Duplicated counts datagrams delivered twice.
+	Duplicated uint64
+}
+
+// WireStats returns the injector's cumulative wire fault accounting.
+func (in *Injector) WireStats() WireStats { return in.wire }
+
 // Wire applies the link fault model to one datagram. It returns zero
 // copies (dropped), one copy (possibly corrupted), or two copies
 // (duplicated). The input slice is never aliased by the output.
 func (in *Injector) Wire(wire []byte, f LinkFaults) [][]byte {
+	in.wire.Sent++
 	if in.rng.Float64() < f.DropRate {
+		in.wire.Dropped++
 		return nil
 	}
 	out := append([]byte(nil), wire...)
 	if in.rng.Float64() < f.CorruptRate {
 		out = in.CorruptBits(out, 1+in.rng.Intn(8))
+		in.wire.Corrupted++
 	}
 	copies := [][]byte{out}
 	if in.rng.Float64() < f.DuplicateRate {
 		copies = append(copies, append([]byte(nil), out...))
+		in.wire.Duplicated++
 	}
 	return copies
 }

@@ -1,0 +1,295 @@
+package network
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/core"
+	"sdmmon/internal/fault"
+	"sdmmon/internal/npu"
+	"sdmmon/internal/obs"
+)
+
+// TestReliableReportMatchesWireGroundTruth audits the delivery accounting
+// against the injector's own record of what it did to the wire: every
+// dropped or corrupted datagram is exactly one failed attempt, every clean
+// delivery exactly one success, and nothing is counted twice on the retry
+// path. The published metrics must agree with the report to the counter.
+func TestReliableReportMatchesWireGroundTruth(t *testing.T) {
+	op, devices := reliableFleet(t, 4)
+	col := obs.New(64)
+	link := NewLossyLink(GigE(), fault.LinkFaults{DropRate: 0.3, CorruptRate: 0.2, DuplicateRate: 0.1}, 4242)
+	link.Obs = col
+	pol := DefaultRetryPolicy()
+	pol.MaxAttempts = 64
+	pol.DeadlineSeconds = 0
+
+	out, err := DistributeReliable(op, devices, apps.IPv4CM(), link, pol, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged() {
+		t.Fatalf("fleet did not converge: %+v", out.Reports)
+	}
+
+	// Per-router attempts sum to the fleet total — the aggregate is not
+	// double-counted anywhere on the retry path.
+	var sum int
+	var backoff, wiresec float64
+	for _, r := range out.Reports {
+		sum += r.Attempts
+		backoff += r.BackoffSeconds
+		wiresec += r.WireSeconds
+	}
+	if sum != out.TotalAttempts {
+		t.Fatalf("sum of per-router attempts %d != TotalAttempts %d", sum, out.TotalAttempts)
+	}
+
+	// Ground truth: with no dead routers and no deadline, every transmission
+	// reaches the injector once, and every failed attempt is exactly one
+	// dropped or corrupted datagram (a duplicated corrupt datagram fails
+	// both copies of the one attempt).
+	st := link.WireStats()
+	if st.Sent != uint64(out.TotalAttempts) {
+		t.Fatalf("wire saw %d datagrams, reports claim %d attempts", st.Sent, out.TotalAttempts)
+	}
+	if got, want := uint64(out.TotalAttempts), st.Dropped+st.Corrupted+uint64(out.Succeeded); got != want {
+		t.Fatalf("attempts %d != dropped %d + corrupted %d + succeeded %d",
+			out.TotalAttempts, st.Dropped, st.Corrupted, out.Succeeded)
+	}
+
+	// The exported counters match the report exactly.
+	snap := col.Snapshot()
+	if got := snap.Counters["net_delivery_attempts_total"]; got != uint64(out.TotalAttempts) {
+		t.Errorf("net_delivery_attempts_total = %d, want %d", got, out.TotalAttempts)
+	}
+	if got := snap.Counters["net_deliveries_total"]; got != uint64(out.Succeeded) {
+		t.Errorf("net_deliveries_total = %d, want %d", got, out.Succeeded)
+	}
+	if got := snap.Counters["net_delivery_failures_total"]; got != 0 {
+		t.Errorf("net_delivery_failures_total = %d on a converged fleet", got)
+	}
+	if got := snap.Gauges["net_backoff_seconds_total"]; math.Abs(got-backoff) > 1e-9 {
+		t.Errorf("net_backoff_seconds_total = %g, want %g", got, backoff)
+	}
+	if got := snap.Gauges["net_wire_seconds_total"]; math.Abs(got-wiresec) > 1e-9 {
+		t.Errorf("net_wire_seconds_total = %g, want %g", got, wiresec)
+	}
+	if h, ok := snap.Histograms["net_verify_seconds"]; !ok || h.Count != uint64(out.Succeeded) {
+		t.Errorf("net_verify_seconds count = %+v, want %d samples", h, out.Succeeded)
+	}
+}
+
+// TestDeadlineStopsBeforeNextTransmit pins the deadline-overrun fix: once
+// the accrued backoff pushes wire+backoff past DeadlineSeconds, the loop
+// must give up instead of transmitting one more time. With a 10 s backoff
+// against a 3 s deadline the very first retry wait blows the budget, so
+// exactly one transmission may happen.
+func TestDeadlineStopsBeforeNextTransmit(t *testing.T) {
+	op, devices := reliableFleet(t, 1)
+	link := NewLossyLink(GigE(), fault.LinkFaults{DropRate: 1}, 2)
+	pol := RetryPolicy{
+		MaxAttempts:        1000,
+		BaseBackoffSeconds: 10,
+		MaxBackoffSeconds:  10,
+		DeadlineSeconds:    3,
+	}
+	out, err := DistributeReliable(op, devices, apps.IPv4CM(), link, pol, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := out.Reports[0]
+	if !errors.Is(rep.Err, ErrDeliveryDeadline) {
+		t.Fatalf("error = %v, want ErrDeliveryDeadline", rep.Err)
+	}
+	if rep.Attempts != 1 {
+		t.Errorf("attempts = %d: transmitted again after the backoff already exceeded the deadline", rep.Attempts)
+	}
+	if st := link.WireStats(); st.Sent != 1 {
+		t.Errorf("wire saw %d datagrams, want 1", st.Sent)
+	}
+}
+
+// obsFleet is upgradeFleet with one shared collector attached to every
+// device (fleet-aggregate telemetry).
+func obsFleet(t *testing.T, n int, col *obs.Collector) (*core.Operator, []*core.Device) {
+	t.Helper()
+	mfr, err := core.NewManufacturer("acme", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := core.NewOperator("isp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mfr.Certify(op); err != nil {
+		t.Fatal(err)
+	}
+	op.SetAppVersion("udpecho", "1.0.0")
+	var devices []*core.Device
+	for i := 0; i < n; i++ {
+		d, err := mfr.Manufacture(fmt.Sprintf("router-%d", i), core.DeviceConfig{
+			Cores: 2, MonitorsEnabled: true, Supervisor: npu.DefaultSupervisorConfig(), Obs: col,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := op.ProgramWire(d.Public(), apps.UDPEcho())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Install(wire); err != nil {
+			t.Fatal(err)
+		}
+		devices = append(devices, d)
+	}
+	return op, devices
+}
+
+// TestRolloutExportersRoundTrip is the acceptance scenario: a fleet rollout
+// over a mildly lossy link with telemetry on, whose JSON and Prometheus
+// exports both carry counters consistent with the RolloutReport itself.
+func TestRolloutExportersRoundTrip(t *testing.T) {
+	col := obs.New(obs.DefaultRingDepth)
+	op, devices := obsFleet(t, 4, col)
+	op.SetAppVersion("udpecho", "1.1.0")
+	link := NewLossyLink(GigE(), fault.LinkFaults{DropRate: 0.2}, 77)
+	link.Obs = col
+	pol := DefaultRetryPolicy()
+	pol.DeadlineSeconds = 0
+
+	rep, err := UpgradeFleet(op, devices, apps.UDPEcho(), RolloutConfig{Link: link, Seed: 5, Policy: pol}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("rollout incomplete: %q", rep.Reason)
+	}
+
+	snap := col.Snapshot()
+
+	// The published gauges mirror the report.
+	gauges := map[string]float64{
+		"rollout_attempts":          float64(rep.Cost.Attempts),
+		"rollout_deliveries":        float64(rep.Cost.Deliveries),
+		"rollout_backoff_seconds":   rep.Cost.BackoffSeconds,
+		"rollout_wire_seconds":      rep.Cost.WireSeconds,
+		"rollout_crypto_seconds":    rep.Cost.ProcessSeconds,
+		"rollout_drain_cycles":      float64(rep.Cost.DrainCycles),
+		"rollout_packets_processed": float64(rep.Processed),
+		"rollout_packets_forwarded": float64(rep.Forwarded),
+		"rollout_packets_dropped":   float64(rep.Dropped),
+		"rollout_waves":             float64(rep.Waves),
+	}
+	for name, want := range gauges {
+		if got := snap.Gauges[name]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %g, want %g (report %+v)", name, got, want, rep.Cost)
+		}
+	}
+	// The NP-side aggregate counters include every health-sample packet
+	// (plus nothing else: the fleet only processed sample traffic).
+	if got := snap.Counters["np_packets_processed_total"]; got != rep.Processed {
+		t.Errorf("np_packets_processed_total = %d, want report Processed %d", got, rep.Processed)
+	}
+	// Stage/commit trace events reached the rings: 4 routers × 2 cores.
+	var stages, commits int
+	for _, e := range col.Events() {
+		switch e.Kind {
+		case obs.EvStage:
+			stages++
+		case obs.EvCommit:
+			commits++
+		}
+	}
+	if stages < 8 || commits != 8 {
+		t.Errorf("trace: %d stage, %d commit events, want ≥8 and exactly 8", stages, commits)
+	}
+
+	// JSON round-trip: export → parse → same numbers.
+	var jb strings.Builder
+	if err := snap.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var back obs.Snapshot
+	if err := json.Unmarshal([]byte(jb.String()), &back); err != nil {
+		t.Fatalf("JSON export does not parse: %v", err)
+	}
+	if back.Gauges["rollout_attempts"] != float64(rep.Cost.Attempts) ||
+		back.Counters["np_packets_processed_total"] != rep.Processed {
+		t.Errorf("JSON round-trip diverged from report: %+v", back.Gauges)
+	}
+
+	// Prometheus round-trip: the text export carries the same values.
+	var pb strings.Builder
+	if err := snap.WritePrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	promText := pb.String()
+	for _, want := range []string{
+		fmt.Sprintf("rollout_attempts %d", rep.Cost.Attempts),
+		fmt.Sprintf("rollout_deliveries %d", rep.Cost.Deliveries),
+		fmt.Sprintf("np_packets_processed_total %d", rep.Processed),
+	} {
+		if !strings.Contains(promText, want+"\n") {
+			t.Errorf("prometheus export missing %q:\n%s", want, promText)
+		}
+	}
+}
+
+// A resumed rollout must not double any of its carried-forward accounting:
+// the resumed report's totals stay consistent, and republishing them leaves
+// the gauges equal to the final report (not summed across runs).
+func TestRolloutResumeDoesNotDoubleCount(t *testing.T) {
+	col := obs.New(obs.DefaultRingDepth)
+	op, devices := obsFleet(t, 4, col)
+	op.SetAppVersion("udpecho", "1.1.0")
+	link := NewLossyLink(GigE(), fault.LinkFaults{}, 1)
+	link.Obs = col
+	link.Dead = map[string]bool{devices[3].ID: true}
+	pol := DefaultRetryPolicy()
+	pol.MaxAttempts = 3
+	pol.DeadlineSeconds = 0
+
+	rep1, err := UpgradeFleet(op, devices, apps.UDPEcho(), RolloutConfig{Link: link, Seed: 9, Policy: pol}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Completed {
+		t.Fatal("rollout completed despite a dead router")
+	}
+
+	// Heal the link; resume with the prior report.
+	link.Dead = nil
+	op.SetAppVersion("udpecho", "1.2.0")
+	rep2, err := UpgradeFleet(op, devices, apps.UDPEcho(), RolloutConfig{Link: link, Seed: 9, Policy: pol}, rep1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Completed {
+		t.Fatalf("resume incomplete: %q", rep2.Reason)
+	}
+
+	// Carried totals are monotonic and consistent: the resumed report owns
+	// all traffic from both runs, conserved.
+	if rep2.Processed <= rep1.Processed {
+		t.Errorf("resume lost traffic accounting: %d then %d", rep1.Processed, rep2.Processed)
+	}
+	if rep2.Processed != rep2.Forwarded+rep2.Dropped {
+		t.Errorf("resumed totals not conserved: processed=%d fwd=%d drop=%d",
+			rep2.Processed, rep2.Forwarded, rep2.Dropped)
+	}
+	// The gauges equal the final report — Set semantics, no doubling on
+	// republication.
+	snap := col.Snapshot()
+	if got := snap.Gauges["rollout_packets_processed"]; got != float64(rep2.Processed) {
+		t.Errorf("rollout_packets_processed = %g, want %d", got, rep2.Processed)
+	}
+	if got := snap.Gauges["rollout_attempts"]; got != float64(rep2.Cost.Attempts) {
+		t.Errorf("rollout_attempts = %g, want %d", got, rep2.Cost.Attempts)
+	}
+}

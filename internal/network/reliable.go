@@ -9,6 +9,7 @@ import (
 	"sdmmon/internal/apps"
 	"sdmmon/internal/core"
 	"sdmmon/internal/fault"
+	"sdmmon/internal/obs"
 	"sdmmon/internal/timing"
 )
 
@@ -38,6 +39,10 @@ type LossyLink struct {
 	Faults fault.LinkFaults
 	// Dead routers drop every datagram regardless of Faults.
 	Dead map[string]bool
+	// Obs, when set, receives delivery telemetry (attempt/outcome counters,
+	// wire/backoff second totals, verify-time histogram) from every retry
+	// loop run over this link. Nil disables instrumentation at zero cost.
+	Obs *obs.Collector
 
 	inj *fault.Injector
 }
@@ -46,6 +51,16 @@ type LossyLink struct {
 // stream drawn from seed.
 func NewLossyLink(base Link, faults fault.LinkFaults, seed int64) *LossyLink {
 	return &LossyLink{Link: base, Faults: faults, inj: fault.New(seed)}
+}
+
+// WireStats exposes the injector's ground-truth fault accounting (zero
+// value when the link was built without an injector). Dead-router drops are
+// not wire faults and are not counted here.
+func (l *LossyLink) WireStats() fault.WireStats {
+	if l.inj == nil {
+		return fault.WireStats{}
+	}
+	return l.inj.WireStats()
 }
 
 // Deliver transports one datagram toward a device and returns what arrives:
@@ -154,6 +169,7 @@ type installFunc func(dev *core.Device, wire []byte) (*core.InstallReport, error
 // deliverWithRetry runs the per-router retry loop for one prepared package.
 func deliverWithRetry(dev *core.Device, wire []byte, link *LossyLink, pol RetryPolicy, model timing.CostModel, rng *rand.Rand, install installFunc) DeliveryReport {
 	rep := DeliveryReport{DeviceID: dev.ID}
+	defer func() { publishDelivery(link, &rep) }()
 	var lastErr error
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
 		rep.Attempts = attempt
@@ -180,17 +196,41 @@ func deliverWithRetry(dev *core.Device, wire []byte, link *LossyLink, pol RetryP
 			rep.TotalSeconds = rep.WireSeconds + rep.ProcessSeconds + rep.BackoffSeconds
 			return rep
 		}
+		// Accrue the backoff before the deadline check. The previous order
+		// (check, then accrue) let attempt N+1 transmit even when the wait
+		// preceding it had already blown the per-router budget — the report
+		// then both overran DeadlineSeconds and overstated attempts.
+		if attempt < pol.MaxAttempts {
+			rep.BackoffSeconds += pol.backoff(attempt, rng)
+		}
 		if pol.DeadlineSeconds > 0 && rep.WireSeconds+rep.BackoffSeconds > pol.DeadlineSeconds {
 			rep.Err = fmt.Errorf("%w after %d attempts (%.2fs): %v",
 				ErrDeliveryDeadline, attempt, rep.WireSeconds+rep.BackoffSeconds, lastErr)
 			rep.TotalSeconds = rep.WireSeconds + rep.BackoffSeconds
 			return rep
 		}
-		if attempt < pol.MaxAttempts {
-			rep.BackoffSeconds += pol.backoff(attempt, rng)
-		}
 	}
 	rep.Err = fmt.Errorf("%w (%d attempts): %v", ErrDeliveryAttempts, pol.MaxAttempts, lastErr)
 	rep.TotalSeconds = rep.WireSeconds + rep.BackoffSeconds
 	return rep
+}
+
+// publishDelivery folds one finished delivery report into the link's
+// collector. No-op (a handful of nil checks) when the link carries no
+// collector — the management plane shares the data plane's disabled-hook
+// contract.
+func publishDelivery(link *LossyLink, rep *DeliveryReport) {
+	reg := link.Obs.Registry()
+	if reg == nil {
+		return
+	}
+	reg.Counter("net_delivery_attempts_total").Add(uint64(rep.Attempts))
+	reg.Gauge("net_wire_seconds_total").Add(rep.WireSeconds)
+	reg.Gauge("net_backoff_seconds_total").Add(rep.BackoffSeconds)
+	if rep.Err == nil {
+		reg.Counter("net_deliveries_total").Inc()
+		reg.Histogram("net_verify_seconds", obs.SecondsBuckets).Observe(rep.ProcessSeconds)
+	} else {
+		reg.Counter("net_delivery_failures_total").Inc()
+	}
 }

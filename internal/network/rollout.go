@@ -7,6 +7,7 @@ import (
 
 	"sdmmon/internal/apps"
 	"sdmmon/internal/core"
+	"sdmmon/internal/obs"
 	"sdmmon/internal/packet"
 	"sdmmon/internal/timing"
 )
@@ -251,6 +252,15 @@ func UpgradeFleet(op *core.Operator, devices []*core.Device, app *apps.App, cfg 
 	if prior != nil {
 		rep.Target = prior.Target
 		rep.Cost = prior.Cost
+		// The traffic totals carry over too: Cost already accumulates
+		// across runs, so restarting the packet counters at zero made a
+		// resumed report internally inconsistent (attempts from two runs
+		// against samples from one).
+		rep.Processed = prior.Processed
+		rep.Forwarded = prior.Forwarded
+		rep.Dropped = prior.Dropped
+		rep.Alarms = prior.Alarms
+		rep.Faults = prior.Faults
 	}
 	var todo []int
 	for i, dev := range devices {
@@ -296,6 +306,7 @@ func UpgradeFleet(op *core.Operator, devices []*core.Device, app *apps.App, cfg 
 				rep.Completed = false
 			}
 		}
+		publishRollout(rep, cfg.Link.Obs)
 		return rep, err
 	}
 	account := func(d [3]uint64, h HealthSample) {
@@ -422,4 +433,22 @@ func UpgradeFleet(op *core.Operator, devices []*core.Device, app *apps.App, cfg 
 	}
 
 	return finish("", nil)
+}
+
+// publishRollout exports a rollout report's running totals into the link's
+// collector: the cost aggregate plus the fleet traffic gauges. Everything is
+// a Set, so a resumed rollout republishing its carried-forward totals stays
+// consistent with the report instead of doubling. Nil-safe.
+func publishRollout(rep *RolloutReport, col *obs.Collector) {
+	reg := col.Registry()
+	if reg == nil {
+		return
+	}
+	rep.Cost.Publish(reg)
+	reg.Gauge("rollout_packets_processed").Set(float64(rep.Processed))
+	reg.Gauge("rollout_packets_forwarded").Set(float64(rep.Forwarded))
+	reg.Gauge("rollout_packets_dropped").Set(float64(rep.Dropped))
+	reg.Gauge("rollout_alarms").Set(float64(rep.Alarms))
+	reg.Gauge("rollout_faults").Set(float64(rep.Faults))
+	reg.Gauge("rollout_waves").Set(float64(rep.Waves))
 }

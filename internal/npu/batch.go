@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sdmmon/internal/apps"
 	"sdmmon/internal/cpu"
+	"sdmmon/internal/obs"
 )
 
 // ProcessBatch runs a batch of packets across the NP's cores concurrently —
@@ -76,6 +78,13 @@ func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
 	var errOnce sync.Once
 	var wg sync.WaitGroup
 
+	// Batch latency is measured only when a collector is attached: the
+	// clock reads bracket the fan-out/fan-in, not the per-packet path.
+	var batchStart time.Time
+	if np.batchLat != nil {
+		batchStart = time.Now()
+	}
+
 	for coreID, slot := range np.slots {
 		slot.mu.Lock()
 		ok := slot.available()
@@ -119,9 +128,15 @@ func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
 	}
 	wg.Wait()
 	// Merge per-core deltas unconditionally: packets processed before or
-	// after an errored one stay visible in the aggregate statistics.
+	// after an errored one stay visible in the aggregate statistics. The
+	// deltas are summed first so the stats mutex is taken once per batch.
+	var merged Stats
 	for i := range deltas {
-		np.stats.add(&deltas[i])
+		merged.add(&deltas[i])
+	}
+	np.mergeStats(&merged)
+	if np.batchLat != nil {
+		np.batchLat.Observe(time.Since(batchStart).Seconds())
 	}
 	// Every worker quarantined mid-batch: the unclaimed tail was never
 	// processed. Claimed packets are always processed before the claim
@@ -176,6 +191,7 @@ func processOnSlot(slot *coreSlot, coreID int, pkt []byte, qdepth int, monitors 
 	out := Result{Core: coreID, Verdict: res.Verdict, Packet: res.Packet, Cycles: res.Cycles}
 	stats.Processed++
 	stats.Cycles += res.Cycles
+	slot.cyc.Observe(float64(res.Cycles))
 	event := false
 	switch {
 	case res.Exc != nil && monitors && slot.mon.Alarmed():
@@ -184,12 +200,16 @@ func processOnSlot(slot *coreSlot, coreID int, pkt []byte, qdepth int, monitors 
 		stats.Alarms++
 		stats.Dropped++
 		event = true
+		slot.ring.Emit(obs.EvAlarm, slot.mon.AlarmPC(), res.Cycles)
 	case res.Exc != nil:
 		out.Faulted = true
 		out.Verdict = apps.VerdictDrop
 		stats.Faults++
 		if res.Exc.Kind == cpu.ExcCycleLimit {
 			stats.WatchdogTrips++
+			slot.ring.Emit(obs.EvWatchdog, 0, res.Cycles)
+		} else {
+			slot.ring.Emit(obs.EvFault, 0, res.Cycles)
 		}
 		stats.Dropped++
 		event = true
@@ -207,9 +227,11 @@ func processOnSlot(slot *coreSlot, coreID int, pkt []byte, qdepth int, monitors 
 			slot.mon.Reset()
 		}
 		slot.resetTrace = true
+		slot.ring.Emit(obs.EvRecover, 0, 0)
 	}
 	if slot.sup.record(event) {
 		stats.Quarantines++
+		slot.ring.Emit(obs.EvQuarantine, 0, 0)
 	}
 	return out, nil
 }

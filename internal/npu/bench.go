@@ -10,6 +10,7 @@ import (
 	"sdmmon/internal/apps"
 	"sdmmon/internal/mhash"
 	"sdmmon/internal/monitor"
+	"sdmmon/internal/obs"
 	"sdmmon/internal/packet"
 )
 
@@ -30,6 +31,11 @@ type ThroughputConfig struct {
 	// timed region — the degraded-mode throughput point (graceful
 	// degradation after the supervisor isolates faulty cores).
 	QuarantineCores int
+	// Instrumented attaches a live telemetry collector (counters, per-core
+	// cycle histograms, event rings) for the timed region — the
+	// observability-overhead point, to be compared against the bare point
+	// of the same shape.
+	Instrumented bool
 }
 
 // BenchPoint is one measured sweep point of the throughput harness.
@@ -46,6 +52,8 @@ type BenchPoint struct {
 	// QuarantinedCores > 0 marks a degraded-mode point: that many cores
 	// were quarantined before the timed region.
 	QuarantinedCores int `json:"quarantined_cores,omitempty"`
+	// Instrumented marks a point measured with a live telemetry collector.
+	Instrumented bool `json:"instrumented,omitempty"`
 }
 
 // Key identifies the sweep point independent of which path produced it.
@@ -54,7 +62,17 @@ func (p BenchPoint) Key() string {
 	if p.QuarantinedCores > 0 {
 		k += fmt.Sprintf("/quarantined=%d", p.QuarantinedCores)
 	}
+	if p.Instrumented {
+		k += "/instrumented"
+	}
 	return k
+}
+
+// bareKey is the key of the uninstrumented point of the same shape.
+func (p BenchPoint) bareKey() string {
+	bare := p
+	bare.Instrumented = false
+	return bare.Key()
 }
 
 // BenchReport is the BENCH_npu.json document.
@@ -66,6 +84,11 @@ type BenchReport struct {
 	// SpeedupFastVsReference maps a sweep-point key to fast-path pps divided
 	// by reference-path pps, for every point measured on both paths.
 	SpeedupFastVsReference map[string]float64 `json:"speedup_fast_vs_reference,omitempty"`
+	// OverheadInstrumented maps a sweep-point key to bare-path ns/pkt
+	// divided by instrumented ns/pkt inverse — i.e. instrumented time over
+	// bare time — for every shape measured both ways. 1.03 = 3% slower with
+	// telemetry on.
+	OverheadInstrumented map[string]float64 `json:"overhead_instrumented,omitempty"`
 }
 
 // Add records a point, replacing any earlier measurement of the same
@@ -101,6 +124,26 @@ func (r *BenchReport) Write(path string) error {
 			r.SpeedupFastVsReference[k] = f / rp
 		}
 	}
+	// Instrumented-vs-bare delta for every shape measured both ways (same
+	// path, same cores/batch, one with a live collector).
+	bare := make(map[string]float64)
+	for _, p := range r.Points {
+		if !p.Instrumented {
+			bare[p.Path+"/"+p.Key()] = p.PktsPerSec
+		}
+	}
+	r.OverheadInstrumented = nil
+	for _, p := range r.Points {
+		if !p.Instrumented || p.PktsPerSec <= 0 {
+			continue
+		}
+		if bp, ok := bare[p.Path+"/"+p.bareKey()]; ok && bp > 0 {
+			if r.OverheadInstrumented == nil {
+				r.OverheadInstrumented = make(map[string]float64)
+			}
+			r.OverheadInstrumented[p.Path+"/"+p.bareKey()] = bp / p.PktsPerSec
+		}
+	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
@@ -111,6 +154,12 @@ func (r *BenchReport) Write(path string) error {
 // NewBenchNP builds an NP with the named application and its monitoring
 // graph installed on every core — the standard fixture for throughput runs.
 func NewBenchNP(appName string, cores int, reference bool, seed int64) (*NP, error) {
+	return NewBenchNPWith(appName, cores, reference, seed, nil)
+}
+
+// NewBenchNPWith is NewBenchNP with an optional telemetry collector attached
+// (the instrumented-overhead fixture).
+func NewBenchNPWith(appName string, cores int, reference bool, seed int64, col *obs.Collector) (*NP, error) {
 	if appName == "" {
 		appName = "ipv4cm"
 	}
@@ -127,7 +176,7 @@ func NewBenchNP(appName string, cores int, reference bool, seed int64) (*NP, err
 	if err != nil {
 		return nil, err
 	}
-	np, err := New(Config{Cores: cores, MonitorsEnabled: true, Reference: reference})
+	np, err := New(Config{Cores: cores, MonitorsEnabled: true, Reference: reference, Obs: col})
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +226,11 @@ func MeasureThroughput(cfg ThroughputConfig) (BenchPoint, error) {
 	if cfg.QuarantineCores < 0 || cfg.QuarantineCores >= cfg.Cores {
 		return BenchPoint{}, fmt.Errorf("npu: bench needs 0 <= quarantined cores < cores")
 	}
-	np, err := NewBenchNP(cfg.App, cfg.Cores, cfg.Reference, cfg.Seed)
+	var col *obs.Collector
+	if cfg.Instrumented {
+		col = obs.New(obs.DefaultRingDepth)
+	}
+	np, err := NewBenchNPWith(cfg.App, cfg.Cores, cfg.Reference, cfg.Seed, col)
 	if err != nil {
 		return BenchPoint{}, err
 	}
@@ -219,6 +272,7 @@ func MeasureThroughput(cfg ThroughputConfig) (BenchPoint, error) {
 		Packets:          after.Processed - before.Processed,
 		WallSeconds:      wall,
 		QuarantinedCores: cfg.QuarantineCores,
+		Instrumented:     cfg.Instrumented,
 	}
 	if cfg.Reference {
 		p.Path = "reference"

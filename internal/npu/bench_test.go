@@ -1,0 +1,94 @@
+package npu
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestInstrumentedOverheadBounded is the acceptance gate for the telemetry
+// layer: with a live collector attached, the batch fast path must stay within
+// 5% of the bare path's throughput. One wall-clock comparison on a loaded CI
+// machine is noise, so each side takes the best of several runs and the
+// threshold gets a few full retries before the test gives up.
+func TestInstrumentedOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock throughput comparison")
+	}
+	const (
+		packets   = 1 << 15
+		threshold = 1.05
+		retries   = 4
+	)
+	shape := ThroughputConfig{Cores: 4, Batch: 256, Packets: packets, Seed: 11}
+	best := func(cfg ThroughputConfig) float64 {
+		var pps float64
+		for i := 0; i < 3; i++ {
+			p, err := MeasureThroughput(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.PktsPerSec > pps {
+				pps = p.PktsPerSec
+			}
+		}
+		return pps
+	}
+	var overhead float64
+	for attempt := 0; attempt < retries; attempt++ {
+		bareCfg, instrCfg := shape, shape
+		instrCfg.Instrumented = true
+		bare := best(bareCfg)
+		instr := best(instrCfg)
+		if bare <= 0 || instr <= 0 {
+			t.Fatalf("degenerate throughput: bare=%v instrumented=%v", bare, instr)
+		}
+		overhead = bare / instr
+		if overhead <= threshold {
+			t.Logf("instrumented overhead %.2f%% (bare %.0f pps, instrumented %.0f pps)",
+				(overhead-1)*100, bare, instr)
+			return
+		}
+		t.Logf("attempt %d: overhead %.2f%% over the %.0f%% budget, retrying",
+			attempt+1, (overhead-1)*100, (threshold-1)*100)
+	}
+	t.Errorf("instrumented path %.2f%% slower than bare after %d attempts (budget %.0f%%)",
+		(overhead-1)*100, retries, (threshold-1)*100)
+}
+
+// TestMeasureThroughputInstrumentedPoint checks the sweep-point plumbing: an
+// instrumented point is marked as such, keys itself distinctly from the bare
+// point of the same shape, and the report derives the overhead ratio.
+func TestMeasureThroughputInstrumentedPoint(t *testing.T) {
+	cfg := ThroughputConfig{Cores: 2, Batch: 64, Packets: 256, Seed: 3, Instrumented: true}
+	p, err := MeasureThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Instrumented {
+		t.Error("point not marked instrumented")
+	}
+	if p.Key() != "cores=2/batch=64/instrumented" {
+		t.Errorf("Key() = %q", p.Key())
+	}
+	if p.bareKey() != "cores=2/batch=64" {
+		t.Errorf("bareKey() = %q", p.bareKey())
+	}
+	if p.Packets != 256 {
+		t.Errorf("Packets = %d, want 256", p.Packets)
+	}
+
+	bare := p
+	bare.Instrumented = false
+	bare.PktsPerSec = 2 * p.PktsPerSec // synthetic: bare exactly 2x faster
+	rep := NewBenchReport("ipv4cm", "test")
+	rep.Add(bare)
+	rep.Add(p)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	got := rep.OverheadInstrumented["fast/cores=2/batch=64"]
+	if got < 1.99 || got > 2.01 {
+		t.Errorf("OverheadInstrumented = %v, want ~2.0", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sdmmon/internal/isa"
 	"sdmmon/internal/mhash"
 	"sdmmon/internal/monitor"
+	"sdmmon/internal/obs"
 )
 
 // Stats aggregates data-plane outcomes.
@@ -36,8 +37,16 @@ type Stats struct {
 }
 
 // VerdictDrops returns the drops decided by the application itself (TTL,
-// malformed, ACL deny) — Dropped minus the alarm and fault drops.
-func (s Stats) VerdictDrops() uint64 { return s.Dropped - s.Alarms - s.Faults }
+// malformed, ACL deny) — Dropped minus the alarm and fault drops. Clamped
+// at zero: an alarm or fault outcome counted without a corresponding drop
+// (mid-quarantine accounting windows) must read as "no verdict drops", not
+// wrap to a huge unsigned value.
+func (s Stats) VerdictDrops() uint64 {
+	if s.Dropped < s.Alarms+s.Faults {
+		return 0
+	}
+	return s.Dropped - s.Alarms - s.Faults
+}
 
 // Conserved reports exact packet conservation: every processed packet is
 // either forwarded or dropped (verdict, alarm, or fault) — the accounting
@@ -84,8 +93,13 @@ type coreSlot struct {
 	loaded  bool
 	// resetTrace defers the forensic-trace wipe of the recovery sequence
 	// to the core's next packet, keeping the dump readable between an
-	// alarm and that packet (the window npsim -trace uses).
+	// alarm and that packet (the window npsim -forensic uses).
 	resetTrace bool
+	// ring and cyc are this core's telemetry hooks (nil when the NP has no
+	// collector): the lifecycle event ring and the per-packet cycle
+	// histogram. Both are allocation-free to write.
+	ring *obs.EventRing
+	cyc  *obs.Histogram
 	// sup is the per-core health tracker (see supervisor.go).
 	sup supState
 	// staged is the shadow slot of the two-phase install (see upgrade.go):
@@ -144,6 +158,11 @@ type Config struct {
 	// persistent alarms/faults, probation after re-install). The zero
 	// value disables it.
 	Supervisor SupervisorConfig
+	// Obs attaches a telemetry collector: per-core lifecycle event rings,
+	// aggregate outcome counters, per-core cycle histograms, and the batch
+	// latency distribution. Nil disables all hooks at zero cost (the
+	// packet path stays allocation-free either way).
+	Obs *obs.Collector
 }
 
 // NP is a multicore network processor.
@@ -153,6 +172,20 @@ type NP struct {
 	next    int // round-robin dispatch pointer
 	stats   Stats
 	library map[string]*residentApp // verified bundles kept in memory
+
+	// statsMu guards the aggregate stats: ProcessOn and the ProcessBatch
+	// merge write through mergeStats while Stats() snapshots concurrently.
+	statsMu sync.Mutex
+
+	// Telemetry hooks (all nil without Config.Obs): aggregate outcome
+	// counters mirrored from the stats merge, lifecycle counters from the
+	// install/upgrade paths, and the batch latency histogram.
+	mProcessed, mForwarded, mDropped *obs.Counter
+	mAlarms, mFaults, mWatchdog      *obs.Counter
+	mQuarantines                     *obs.Counter
+	mInstalls, mStages, mCommits     *obs.Counter
+	mRollbacks, mAborts              *obs.Counter
+	batchLat                         *obs.Histogram
 
 	// Reused ProcessBatch scratch (see batch.go): packet-copy arena,
 	// per-result offsets, per-core stat deltas. Amortizes batch setup to
@@ -174,6 +207,26 @@ func New(cfg Config) (*NP, error) {
 	for i := range np.slots {
 		np.slots[i] = &coreSlot{sup: newSupState(cfg.Supervisor)}
 	}
+	if cfg.Obs != nil {
+		reg := cfg.Obs.Registry()
+		np.mProcessed = reg.Counter("np_packets_processed_total")
+		np.mForwarded = reg.Counter("np_packets_forwarded_total")
+		np.mDropped = reg.Counter("np_packets_dropped_total")
+		np.mAlarms = reg.Counter("np_alarms_total")
+		np.mFaults = reg.Counter("np_faults_total")
+		np.mWatchdog = reg.Counter("np_watchdog_trips_total")
+		np.mQuarantines = reg.Counter("np_quarantines_total")
+		np.mInstalls = reg.Counter("np_installs_total")
+		np.mStages = reg.Counter("np_stages_total")
+		np.mCommits = reg.Counter("np_commits_total")
+		np.mRollbacks = reg.Counter("np_rollbacks_total")
+		np.mAborts = reg.Counter("np_aborts_total")
+		np.batchLat = reg.Histogram("np_batch_seconds", obs.LatencyBuckets)
+		for i, slot := range np.slots {
+			slot.ring = cfg.Obs.Ring(i)
+			slot.cyc = reg.Histogram(fmt.Sprintf(`np_packet_cycles{core="%d"}`, i), obs.CycleBuckets)
+		}
+	}
 	return np, nil
 }
 
@@ -184,8 +237,32 @@ func (np *NP) Cores() int { return len(np.slots) }
 // hash family; the operator-side graph extraction must use the same family.
 func (np *NP) HasherFor(param uint32) mhash.Hasher { return np.cfg.NewHasher(param) }
 
-// Stats returns a copy of the aggregate statistics.
-func (np *NP) Stats() Stats { return np.stats }
+// Stats returns a copy of the aggregate statistics. Safe to call
+// concurrently with Process/ProcessOn/ProcessBatch: the copy is taken under
+// the stats mutex, so it is always a consistent snapshot, never a torn read
+// of counters mid-merge.
+func (np *NP) Stats() Stats {
+	np.statsMu.Lock()
+	defer np.statsMu.Unlock()
+	return np.stats
+}
+
+// mergeStats folds a per-call delta into the aggregate under the stats
+// mutex and mirrors the delta into the telemetry counters (nil-safe no-ops
+// without a collector). The delta is computed lock-free on the packet path;
+// only the fold serializes.
+func (np *NP) mergeStats(d *Stats) {
+	np.statsMu.Lock()
+	np.stats.add(d)
+	np.statsMu.Unlock()
+	np.mProcessed.Add(d.Processed)
+	np.mForwarded.Add(d.Forwarded)
+	np.mDropped.Add(d.Dropped)
+	np.mAlarms.Add(d.Alarms)
+	np.mFaults.Add(d.Faults)
+	np.mWatchdog.Add(d.WatchdogTrips)
+	np.mQuarantines.Add(d.Quarantines)
+}
 
 // prepare builds a complete installation image from a verified bundle:
 // deserialize binary and graph, build the hash unit, run the graph/binary
@@ -272,6 +349,8 @@ func (np *NP) Install(coreID int, name string, binary, graph []byte, param uint3
 	// re-install (fresh core memory, fresh monitor) is the probe step of
 	// the quarantine policy.
 	slot.sup.onInstall()
+	slot.ring.Emit(obs.EvInstall, 0, 0)
+	np.mInstalls.Inc()
 	return nil
 }
 
@@ -306,6 +385,8 @@ func (np *NP) InstallAll(name string, binary, graph []byte, param uint32) error 
 		slot.prev = nil
 		slot.sup.onInstall()
 		slot.mu.Unlock()
+		slot.ring.Emit(obs.EvInstall, 0, 0)
+		np.mInstalls.Inc()
 	}
 	return nil
 }
@@ -368,7 +449,16 @@ func (np *NP) ProcessOn(coreID int, pkt []byte, qdepth int) (Result, error) {
 	if np.slots[coreID].sup.quarantined {
 		return Result{}, fmt.Errorf("npu: core %d: %w", coreID, ErrCoreQuarantined)
 	}
-	return processOnSlot(np.slots[coreID], coreID, pkt, qdepth, np.cfg.MonitorsEnabled, &np.stats)
+	// Accumulate into a stack-local delta and fold it in under the stats
+	// mutex: Stats() readers and ProcessOn calls on other cores never race
+	// on the aggregate, and the packet path stays allocation-free.
+	var d Stats
+	res, err := processOnSlot(np.slots[coreID], coreID, pkt, qdepth, np.cfg.MonitorsEnabled, &d)
+	if err != nil {
+		return res, err
+	}
+	np.mergeStats(&d)
+	return res, nil
 }
 
 // Core exposes a core's execution engine for diagnostics and fault

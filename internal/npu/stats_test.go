@@ -1,0 +1,167 @@
+package npu
+
+import (
+	"sync"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/obs"
+	"sdmmon/internal/packet"
+)
+
+// TestStatsConcurrentWithBatch reads the aggregate stats while ProcessBatch
+// is running. Under -race this pins the snapshot semantics of NP.Stats():
+// readers must never observe torn counters or race with the per-batch merge.
+func TestStatsConcurrentWithBatch(t *testing.T) {
+	np := newNP(t, 4, true)
+	bin, g := makeBundle(t, apps.IPv4CM(), 0xBA7C)
+	if err := np.InstallAll("ipv4cm", bin, g, 0xBA7C); err != nil {
+		t.Fatal(err)
+	}
+	gen := packet.NewGenerator(71)
+	pkts := make([][]byte, 256)
+	for i := range pkts {
+		pkts[i] = gen.Next()
+	}
+	atk := attackSmash(t)
+	for i := 10; i < len(pkts); i += 40 {
+		pkts[i] = atk
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Every snapshot must be internally consistent: the merge
+			// is atomic with respect to readers, so conservation holds
+			// at every instant, not just at quiescence.
+			if s := np.Stats(); !s.Conserved() {
+				t.Errorf("torn stats snapshot: %+v", s)
+				return
+			}
+		}
+	}()
+	for round := 0; round < 8; round++ {
+		if _, err := np.ProcessBatch(pkts, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	s := np.Stats()
+	if want := uint64(8 * len(pkts)); s.Processed != want {
+		t.Fatalf("Processed = %d, want %d", s.Processed, want)
+	}
+	if !s.Conserved() {
+		t.Fatalf("final stats not conserved: %+v", s)
+	}
+}
+
+// TestVerdictDropsClamp pins the unsigned-underflow fix: when alarm/fault
+// counts exceed drops (transient mid-quarantine accounting windows),
+// VerdictDrops must clamp at zero instead of wrapping to ~2^64.
+func TestVerdictDropsClamp(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Stats
+		want uint64
+	}{
+		{"normal", Stats{Processed: 10, Forwarded: 5, Dropped: 5, Alarms: 2, Faults: 1}, 2},
+		{"all verdict", Stats{Processed: 4, Dropped: 4}, 4},
+		{"exact", Stats{Processed: 3, Dropped: 3, Alarms: 2, Faults: 1}, 0},
+		{"underflow", Stats{Processed: 2, Dropped: 1, Alarms: 1, Faults: 1}, 0},
+		{"underflow alarms only", Stats{Dropped: 0, Alarms: 5}, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.s.VerdictDrops(); got != tc.want {
+			t.Errorf("%s: VerdictDrops() = %d, want %d", tc.name, got, tc.want)
+		}
+		if got := tc.s.VerdictDrops(); got > tc.s.Dropped {
+			t.Errorf("%s: VerdictDrops() = %d exceeds Dropped = %d (wrapped?)", tc.name, got, tc.s.Dropped)
+		}
+	}
+	// Alongside Conserved(): a conserved stats snapshot always yields a
+	// sane decomposition Forwarded + VerdictDrops + Alarms + Faults ≤
+	// Processed.
+	s := Stats{Processed: 10, Forwarded: 6, Dropped: 4, Alarms: 1, Faults: 1}
+	if !s.Conserved() {
+		t.Fatal("fixture not conserved")
+	}
+	if s.Forwarded+s.VerdictDrops()+s.Alarms+s.Faults != s.Processed {
+		t.Errorf("decomposition broken: %+v", s)
+	}
+}
+
+// TestObsMirrorsStats checks the tentpole wiring: when a collector is
+// attached, the aggregate counters and per-core cycle histograms track the
+// NP's own statistics exactly.
+func TestObsMirrorsStats(t *testing.T) {
+	col := obs.New(1024)
+	np, err := New(Config{Cores: 2, MonitorsEnabled: true, Obs: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, g := makeBundle(t, apps.IPv4CM(), 0xBA7C)
+	if err := np.InstallAll("ipv4cm", bin, g, 0xBA7C); err != nil {
+		t.Fatal(err)
+	}
+	gen := packet.NewGenerator(72)
+	pkts := make([][]byte, 64)
+	for i := range pkts {
+		pkts[i] = gen.Next()
+	}
+	pkts[7] = attackSmash(t)
+	if _, err := np.ProcessBatch(pkts, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	s := np.Stats()
+	snap := col.Snapshot()
+	for name, want := range map[string]uint64{
+		"np_packets_processed_total": s.Processed,
+		"np_packets_forwarded_total": s.Forwarded,
+		"np_packets_dropped_total":   s.Dropped,
+		"np_alarms_total":            s.Alarms,
+		"np_faults_total":            s.Faults,
+		"np_installs_total":          2,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d (stats %+v)", name, got, want, s)
+		}
+	}
+	var hcount uint64
+	for name, h := range snap.Histograms {
+		if len(name) >= len("np_packet_cycles") && name[:len("np_packet_cycles")] == "np_packet_cycles" {
+			hcount += h.Count
+		}
+	}
+	if hcount != s.Processed {
+		t.Errorf("per-core cycle histogram samples = %d, want Processed = %d", hcount, s.Processed)
+	}
+	if bl, ok := snap.Histograms["np_batch_seconds"]; !ok || bl.Count != 1 {
+		t.Errorf("np_batch_seconds count = %+v, want 1 sample", bl)
+	}
+
+	// Alarm events made it into the ring with recovery following.
+	events := col.Events()
+	var alarms, recovers int
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EvAlarm:
+			alarms++
+		case obs.EvRecover:
+			recovers++
+		}
+	}
+	if alarms == 0 || recovers != alarms {
+		t.Errorf("trace: %d alarms, %d recoveries (events %d)", alarms, recovers, len(events))
+	}
+}

@@ -3,6 +3,8 @@ package npu
 import (
 	"errors"
 	"fmt"
+
+	"sdmmon/internal/obs"
 )
 
 // Live upgrades (DESIGN.md §10): the paper's secure dynamic installation
@@ -51,6 +53,8 @@ func (np *NP) StageInstall(coreID int, name string, binary, graph []byte, param 
 	slot.mu.Lock()
 	slot.staged = p
 	slot.mu.Unlock()
+	slot.ring.Emit(obs.EvStage, 0, 0)
+	np.mStages.Inc()
 	return nil
 }
 
@@ -70,6 +74,8 @@ func (np *NP) StageInstallAll(name string, binary, graph []byte, param uint32) e
 		slot.mu.Lock()
 		slot.staged = prepared[i]
 		slot.mu.Unlock()
+		slot.ring.Emit(obs.EvStage, 0, 0)
+		np.mStages.Inc()
 	}
 	return nil
 }
@@ -96,6 +102,8 @@ func (np *NP) Commit(coreID int) (uint64, error) {
 	slot.setLive(slot.staged)
 	slot.staged = nil
 	slot.sup.onInstall()
+	slot.ring.Emit(obs.EvCommit, 0, commitCycles)
+	np.mCommits.Inc()
 	return commitCycles, nil
 }
 
@@ -132,8 +140,13 @@ func (np *NP) AbortStaged(coreID int) error {
 	}
 	slot := np.slots[coreID]
 	slot.mu.Lock()
+	hadStaged := slot.staged != nil
 	slot.staged = nil
 	slot.mu.Unlock()
+	if hadStaged {
+		slot.ring.Emit(obs.EvAbort, 0, 0)
+		np.mAborts.Inc()
+	}
 	return nil
 }
 
@@ -165,6 +178,8 @@ func (np *NP) Rollback(coreID int) (uint64, error) {
 	slot.setLive(s)
 	slot.prev = displaced
 	slot.sup.onInstall()
+	slot.ring.Emit(obs.EvRollback, 0, commitCycles)
+	np.mRollbacks.Inc()
 	return commitCycles, nil
 }
 

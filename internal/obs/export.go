@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HistogramSnapshot is the exported form of one histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	// Counts has len(Bounds)+1 entries; the last is the overflow bucket.
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    float64  `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, plus the
+// event-trace drop counter — the JSON export schema.
+type Snapshot struct {
+	Counters      map[string]uint64            `json:"counters,omitempty"`
+	Gauges        map[string]float64           `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	DroppedEvents uint64                       `json:"dropped_events,omitempty"`
+}
+
+// Snapshot copies the registry's current values. Nil-safe (empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = HistogramSnapshot{
+				Bounds: append([]float64(nil), h.Bounds()...),
+				Counts: h.BucketCounts(),
+				Count:  h.Count(),
+				Sum:    h.Sum(),
+			}
+		}
+	}
+	return s
+}
+
+// Snapshot exports the collector's registry with the event drop counter
+// attached. Nil-safe.
+func (c *Collector) Snapshot() Snapshot {
+	s := c.Registry().Snapshot()
+	s.DroppedEvents = c.DroppedEvents()
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// splitName separates a metric name with optional inline labels:
+// `np_packet_cycles{core="0"}` → base `np_packet_cycles`, labels
+// `core="0"`.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// joinLabels renders a label set (either part may be empty).
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + "," + b
+}
+
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Metrics are sorted by name so the output is deterministic (golden
+// files, diffable scrapes). Histograms expand to cumulative _bucket series
+// plus _sum and _count, folding inline labels in with the le label.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		base, _ := splitName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", base, n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		base, _ := splitName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", base, n, promFloat(s.Gauges[n])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		base, labels := splitName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = promFloat(h.Bounds[i])
+			}
+			ls := joinLabels(labels, `le="`+le+`"`)
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, ls, cum); err != nil {
+				return err
+			}
+		}
+		sumName, countName := base+"_sum", base+"_count"
+		if labels != "" {
+			sumName += "{" + labels + "}"
+			countName += "{" + labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n", sumName, promFloat(h.Sum), countName, h.Count); err != nil {
+			return err
+		}
+	}
+
+	if s.DroppedEvents > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE obs_trace_dropped_events counter\nobs_trace_dropped_events %d\n", s.DroppedEvents); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eventJSON is the trace-export schema for one event.
+type eventJSON struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	Core int32  `json:"core"`
+	PC   uint32 `json:"pc,omitempty"`
+	Aux  uint64 `json:"aux,omitempty"`
+}
+
+// WriteTrace writes events as JSON lines (one object per line), the
+// `npsim -trace` file format.
+func WriteTrace(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(eventJSON{
+			Seq: ev.Seq, Kind: ev.Kind.String(), Core: ev.Core, PC: ev.PC, Aux: ev.Aux,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

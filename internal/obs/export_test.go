@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildFixture populates a collector with fixed values so the exporter
+// output is exactly reproducible.
+func buildFixture() *Collector {
+	c := New(8)
+	reg := c.Registry()
+	reg.Counter("np_packets_processed_total").Add(100)
+	reg.Counter("np_alarms_total").Add(3)
+	reg.Gauge("rollout_backoff_seconds").Set(1.5)
+	h := reg.Histogram(`np_packet_cycles{core="0"}`, []float64{100, 1000})
+	h.Observe(50)
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+	c.Ring(0).Emit(EvAlarm, 0x44, 123)
+	c.Ring(0).Emit(EvRecover, 0, 0)
+	return c
+}
+
+const goldenProm = `# TYPE np_alarms_total counter
+np_alarms_total 3
+# TYPE np_packets_processed_total counter
+np_packets_processed_total 100
+# TYPE rollout_backoff_seconds gauge
+rollout_backoff_seconds 1.5
+# TYPE np_packet_cycles histogram
+np_packet_cycles_bucket{core="0",le="100"} 2
+np_packet_cycles_bucket{core="0",le="1000"} 3
+np_packet_cycles_bucket{core="0",le="+Inf"} 4
+np_packet_cycles_sum{core="0"} 5600
+np_packet_cycles_count{core="0"} 4
+`
+
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildFixture().Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenProm {
+		t.Fatalf("prometheus export mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), goldenProm)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := buildFixture()
+	var b strings.Builder
+	if err := c.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("JSON export does not parse back: %v", err)
+	}
+	if back.Counters["np_packets_processed_total"] != 100 ||
+		back.Counters["np_alarms_total"] != 3 {
+		t.Errorf("counters did not round-trip: %+v", back.Counters)
+	}
+	if back.Gauges["rollout_backoff_seconds"] != 1.5 {
+		t.Errorf("gauges did not round-trip: %+v", back.Gauges)
+	}
+	h, ok := back.Histograms[`np_packet_cycles{core="0"}`]
+	if !ok {
+		t.Fatalf("histogram missing from JSON: %+v", back.Histograms)
+	}
+	if h.Count != 4 || h.Sum != 5600 || len(h.Counts) != 3 || h.Counts[2] != 1 {
+		t.Errorf("histogram did not round-trip: %+v", h)
+	}
+}
+
+func TestTraceExport(t *testing.T) {
+	c := buildFixture()
+	var b strings.Builder
+	if err := WriteTrace(&b, c.Events()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trace = %d lines, want 2:\n%s", len(lines), b.String())
+	}
+	var first struct {
+		Seq  uint64 `json:"seq"`
+		Kind string `json:"kind"`
+		Core int32  `json:"core"`
+		PC   uint32 `json:"pc"`
+		Aux  uint64 `json:"aux"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Kind != "alarm" || first.PC != 0x44 || first.Aux != 123 || first.Core != 0 {
+		t.Errorf("first trace line = %+v", first)
+	}
+}
+
+// The hot-path hooks must not allocate whether telemetry is attached or
+// not: Emit writes into a preallocated ring, Observe and Add are atomics.
+func TestHooksZeroAlloc(t *testing.T) {
+	c := New(1 << 16)
+	ring := c.Ring(0)
+	h := c.Registry().Histogram("cycles", CycleBuckets)
+	cnt := c.Registry().Counter("pkts")
+	allocs := testing.AllocsPerRun(1000, func() {
+		ring.Emit(EvAlarm, 0x40, 99)
+		h.Observe(640)
+		cnt.Add(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled hooks allocate %.2f objects/op, want 0", allocs)
+	}
+
+	var nilRing *EventRing
+	var nilH *Histogram
+	var nilC *Counter
+	allocs = testing.AllocsPerRun(1000, func() {
+		nilRing.Emit(EvAlarm, 0x40, 99)
+		nilH.Observe(640)
+		nilC.Add(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled hooks allocate %.2f objects/op, want 0", allocs)
+	}
+}

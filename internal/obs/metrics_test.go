@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("pkts_total")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	if reg.Counter("pkts_total") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := reg.Gauge("seconds_total")
+	g.Add(1.5)
+	g.Add(0.25)
+	if g.Value() != 1.75 {
+		t.Fatalf("gauge = %g, want 1.75", g.Value())
+	}
+	g.Set(3)
+	if g.Value() != 3 {
+		t.Fatalf("gauge after Set = %g, want 3", g.Value())
+	}
+}
+
+// Bucket boundaries are inclusive upper edges: a sample exactly on a bound
+// lands in that bound's bucket; anything above the last bound lands in the
+// overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("cycles", []float64{10, 100, 1000})
+	samples := []float64{5, 10, 10.5, 100, 101, 1000, 1001, 99999}
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2} // (-inf,10] (10,100] (100,1000] (1000,+inf)
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Count() != uint64(len(samples)) {
+		t.Errorf("Count() = %d, want %d", h.Count(), len(samples))
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	if h.Sum() != sum {
+		t.Errorf("Sum() = %g, want %g", h.Sum(), sum)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", LatencyBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i%7) * 1e-5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count() = %d, want 8000", h.Count())
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvAlarm, EvFault, EvWatchdog, EvRecover, EvQuarantine,
+		EvInstall, EvStage, EvCommit, EvRollback, EvAbort}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if got := EventKind(200).String(); got != "kind(200)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}

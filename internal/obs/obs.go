@@ -1,0 +1,134 @@
+// Package obs is the observability layer of the monitored data plane: a
+// zero-allocation-on-the-hot-path telemetry subsystem sitting beside the
+// checking path (the FireGuard/R5Detect separation of detection from
+// reporting). It provides
+//
+//   - a structured event tracer for the alarm → reset → recover lifecycle
+//     and the install/stage/commit/rollback transitions: fixed-size records
+//     written into preallocated per-core rings, with drop counting when a
+//     ring is full and a drainable snapshot API (ring.go);
+//
+//   - a metrics registry of atomic counters, float gauges, and fixed-bucket
+//     histograms that npu, network, core, and timing publish into
+//     (metrics.go);
+//
+//   - exporters: a JSON snapshot, Prometheus-style text, and a JSON-lines
+//     event trace (export.go).
+//
+// Every hook is nil-safe: a nil *Collector yields nil rings, counters, and
+// histograms, whose methods are no-ops, so instrumented code pays only a
+// nil-check when telemetry is disabled — the PR-1 zero-alloc packet-path
+// guarantee is preserved whether or not a collector is attached.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultRingDepth is the per-core event-ring capacity when Collector is
+// built with depth 0.
+const DefaultRingDepth = 256
+
+// Collector owns the metrics registry and the per-core event rings. One
+// collector serves one device (or one simulation); all rings share a global
+// sequence counter so a merged drain is totally ordered.
+type Collector struct {
+	reg *Registry
+	seq atomic.Uint64
+
+	mu    sync.Mutex
+	rings []*EventRing
+	depth int
+}
+
+// New builds a collector. depth sizes each per-core event ring; 0 selects
+// DefaultRingDepth.
+func New(depth int) *Collector {
+	if depth <= 0 {
+		depth = DefaultRingDepth
+	}
+	return &Collector{reg: NewRegistry(), depth: depth}
+}
+
+// Registry returns the metrics registry (nil for a nil collector).
+func (c *Collector) Registry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// Ring returns the event ring for a core, creating it on first use (nil for
+// a nil collector or a negative core). Ring creation allocates; callers
+// fetch rings at install time, never on the packet path.
+func (c *Collector) Ring(core int) *EventRing {
+	if c == nil || core < 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for core >= len(c.rings) {
+		c.rings = append(c.rings, nil)
+	}
+	if c.rings[core] == nil {
+		c.rings[core] = &EventRing{
+			buf:  make([]Event, c.depth),
+			core: int32(core),
+			seq:  &c.seq,
+		}
+	}
+	return c.rings[core]
+}
+
+// snapshotRings copies the current ring set under the lock.
+func (c *Collector) snapshotRings() []*EventRing {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*EventRing, len(c.rings))
+	copy(out, c.rings)
+	return out
+}
+
+// Events returns a copy of every buffered event across all rings, ordered
+// by global sequence. The rings are left untouched.
+func (c *Collector) Events() []Event {
+	return c.collect(false)
+}
+
+// Drain returns every buffered event across all rings, ordered by global
+// sequence, and clears the rings (drop counters are preserved).
+func (c *Collector) Drain() []Event {
+	return c.collect(true)
+}
+
+func (c *Collector) collect(clear bool) []Event {
+	if c == nil {
+		return nil
+	}
+	var out []Event
+	for _, r := range c.snapshotRings() {
+		if clear {
+			out = r.Drain(out)
+		} else {
+			out = r.Snapshot(out)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// DroppedEvents sums the events every ring discarded because it was full.
+func (c *Collector) DroppedEvents() uint64 {
+	if c == nil {
+		return 0
+	}
+	var n uint64
+	for _, r := range c.snapshotRings() {
+		if r != nil {
+			n += r.Dropped()
+		}
+	}
+	return n
+}

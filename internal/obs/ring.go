@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// EventKind identifies one lifecycle transition of the monitored data plane.
+type EventKind uint8
+
+const (
+	// EvAlarm: a hardware monitor flagged an instruction (attack detected);
+	// PC is the alarm instruction address, Aux the packet's cycles.
+	EvAlarm EventKind = iota + 1
+	// EvFault: an architectural exception without a monitor alarm; Aux is
+	// the packet's cycles.
+	EvFault
+	// EvWatchdog: the subset of faults that were cycle-budget exhaustions
+	// (hung core); Aux is the cycle budget consumed.
+	EvWatchdog
+	// EvRecover: the §2.1 recovery sequence completed on the core (packet
+	// dropped, registers cleared, monitor reset).
+	EvRecover
+	// EvQuarantine: the supervisor removed the core from dispatch.
+	EvQuarantine
+	// EvInstall: a destructive install made a bundle live on the core.
+	EvInstall
+	// EvStage: a bundle was prepared into the core's shadow slot.
+	EvStage
+	// EvCommit: the staged bundle was cut over at a packet boundary; Aux is
+	// the cutover cost in cycles.
+	EvCommit
+	// EvRollback: the retained previous version was restored; Aux is the
+	// cutover cost in cycles.
+	EvRollback
+	// EvAbort: a staged bundle was discarded without touching the live slot.
+	EvAbort
+)
+
+var eventKindNames = [...]string{
+	EvAlarm:      "alarm",
+	EvFault:      "fault",
+	EvWatchdog:   "watchdog",
+	EvRecover:    "recover",
+	EvQuarantine: "quarantine",
+	EvInstall:    "install",
+	EvStage:      "stage",
+	EvCommit:     "commit",
+	EvRollback:   "rollback",
+	EvAbort:      "abort",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) && eventKindNames[k] != "" {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one fixed-size trace record. No pointers, no strings: writing an
+// event never allocates, and a ring of them is a single contiguous block.
+type Event struct {
+	// Seq is the collector-global sequence number (total order across
+	// cores).
+	Seq  uint64
+	Kind EventKind
+	// Core is the core the event happened on.
+	Core int32
+	// PC is the program counter for alarm events, 0 otherwise.
+	PC uint32
+	// Aux carries a kind-specific quantity (cycles, cutover cost).
+	Aux uint64
+}
+
+// EventRing is one core's fixed-capacity trace buffer. Writers never block
+// on a full ring: the new event is dropped and counted, which bounds both
+// memory and hot-path latency (the FireGuard design choice — telemetry must
+// never stall the checking path). The mutex is uncontended in steady state
+// (one writer per core) and guards only fixed-size state.
+type EventRing struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // oldest buffered event
+	n       int // buffered events
+	core    int32
+	seq     *atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewEventRing builds a standalone ring (outside a Collector) for tests and
+// single-core tools; depth <= 0 selects DefaultRingDepth.
+func NewEventRing(core, depth int) *EventRing {
+	if depth <= 0 {
+		depth = DefaultRingDepth
+	}
+	return &EventRing{buf: make([]Event, depth), core: int32(core), seq: &atomic.Uint64{}}
+}
+
+// Emit appends one event. When the ring is full the event is dropped and
+// counted — the trace keeps its oldest records, and the drop counter tells
+// the reader the window is incomplete. Nil-safe no-op; never allocates.
+func (r *EventRing) Emit(kind EventKind, pc uint32, aux uint64) {
+	if r == nil {
+		return
+	}
+	seq := r.seq.Add(1)
+	r.mu.Lock()
+	if r.n == len(r.buf) {
+		r.mu.Unlock()
+		r.dropped.Add(1)
+		return
+	}
+	i := r.start + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = Event{Seq: seq, Kind: kind, Core: r.core, PC: pc, Aux: aux}
+	r.n++
+	r.mu.Unlock()
+}
+
+// Len reports the number of buffered events.
+func (r *EventRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped reports how many events were discarded because the ring was full.
+func (r *EventRing) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// Snapshot appends the buffered events (oldest first) to dst without
+// clearing the ring.
+func (r *EventRing) Snapshot(dst []Event) []Event {
+	return r.copyOut(dst, false)
+}
+
+// Drain appends the buffered events (oldest first) to dst and empties the
+// ring. The drop counter is preserved — it counts lifetime losses, not
+// per-window ones.
+func (r *EventRing) Drain(dst []Event) []Event {
+	return r.copyOut(dst, true)
+}
+
+func (r *EventRing) copyOut(dst []Event, clear bool) []Event {
+	if r == nil {
+		return dst
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < r.n; i++ {
+		j := r.start + i
+		if j >= len(r.buf) {
+			j -= len(r.buf)
+		}
+		dst = append(dst, r.buf[j])
+	}
+	if clear {
+		r.start, r.n = 0, 0
+	}
+	return dst
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingEmitDrainOrder(t *testing.T) {
+	c := New(8)
+	r0, r1 := c.Ring(0), c.Ring(1)
+	r0.Emit(EvAlarm, 0x40, 100)
+	r1.Emit(EvFault, 0, 200)
+	r0.Emit(EvRecover, 0, 0)
+
+	evs := c.Events()
+	if len(evs) != 3 {
+		t.Fatalf("Events() = %d events, want 3", len(evs))
+	}
+	// Global sequence orders the merged stream across cores.
+	want := []struct {
+		kind EventKind
+		core int32
+	}{{EvAlarm, 0}, {EvFault, 1}, {EvRecover, 0}}
+	for i, w := range want {
+		if evs[i].Kind != w.kind || evs[i].Core != w.core {
+			t.Errorf("event %d = %v on core %d, want %v on core %d",
+				i, evs[i].Kind, evs[i].Core, w.kind, w.core)
+		}
+		if i > 0 && evs[i].Seq <= evs[i-1].Seq {
+			t.Errorf("event %d seq %d not increasing", i, evs[i].Seq)
+		}
+	}
+	if evs[0].PC != 0x40 || evs[0].Aux != 100 {
+		t.Errorf("alarm event payload = pc %#x aux %d", evs[0].PC, evs[0].Aux)
+	}
+
+	// Events() is non-destructive; Drain() clears.
+	if got := len(c.Events()); got != 3 {
+		t.Fatalf("second Events() = %d, want 3 (snapshot must not clear)", got)
+	}
+	if got := len(c.Drain()); got != 3 {
+		t.Fatalf("Drain() = %d, want 3", got)
+	}
+	if got := len(c.Drain()); got != 0 {
+		t.Fatalf("Drain() after drain = %d, want 0", got)
+	}
+}
+
+func TestRingOverflowDropsAndCounts(t *testing.T) {
+	r := NewEventRing(0, 4)
+	for i := 0; i < 10; i++ {
+		r.Emit(EvAlarm, uint32(i), 0)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4 (ring capacity)", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped() = %d, want 6", r.Dropped())
+	}
+	// The ring keeps the oldest records; the dropped tail is the newest.
+	evs := r.Drain(nil)
+	for i, ev := range evs {
+		if ev.PC != uint32(i) {
+			t.Errorf("event %d PC = %d, want %d (oldest-first retention)", i, ev.PC, i)
+		}
+	}
+	// Drain frees capacity but preserves the lifetime drop counter.
+	r.Emit(EvFault, 99, 0)
+	if r.Len() != 1 || r.Dropped() != 6 {
+		t.Fatalf("after drain: len=%d dropped=%d, want 1 and 6", r.Len(), r.Dropped())
+	}
+}
+
+func TestRingWrapAfterPartialDrain(t *testing.T) {
+	r := NewEventRing(0, 4)
+	for i := 0; i < 3; i++ {
+		r.Emit(EvAlarm, uint32(i), 0)
+	}
+	r.Drain(nil)
+	// start has advanced; the next writes must wrap cleanly.
+	for i := 10; i < 14; i++ {
+		r.Emit(EvCommit, uint32(i), 0)
+	}
+	evs := r.Snapshot(nil)
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.PC != uint32(10+i) {
+			t.Errorf("event %d PC = %d, want %d", i, ev.PC, 10+i)
+		}
+	}
+}
+
+// Nil collectors, rings, and metrics must be safe no-ops: this is the
+// disabled-telemetry configuration every hot-path hook relies on.
+func TestNilSafety(t *testing.T) {
+	var c *Collector
+	if c.Registry() != nil || c.Ring(0) != nil {
+		t.Fatal("nil collector must hand out nil registry and rings")
+	}
+	if c.Events() != nil || c.Drain() != nil || c.DroppedEvents() != 0 {
+		t.Fatal("nil collector event APIs must be empty no-ops")
+	}
+	var r *EventRing
+	r.Emit(EvAlarm, 0, 0)
+	if r.Len() != 0 || r.Dropped() != 0 || r.Drain(nil) != nil {
+		t.Fatal("nil ring must be a no-op")
+	}
+	var reg *Registry
+	cnt := reg.Counter("x")
+	cnt.Inc()
+	cnt.Add(5)
+	if cnt.Value() != 0 {
+		t.Fatal("nil counter must be a no-op")
+	}
+	g := reg.Gauge("y")
+	g.Add(1)
+	g.Set(2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must be a no-op")
+	}
+	h := reg.Histogram("z", CycleBuckets)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Bounds() != nil || h.BucketCounts() != nil {
+		t.Fatal("nil histogram must be a no-op")
+	}
+	if s := reg.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+// Concurrent emitters and a draining reader must be race-free (run under
+// make test-obs with -race).
+func TestRingConcurrentEmitDrain(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for core := 0; core < 4; core++ {
+		r := c.Ring(core)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Emit(EvAlarm, uint32(i), 0)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var drained int
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			drained += len(c.Drain())
+		}
+	}()
+	wg.Wait()
+	<-done
+	total := uint64(drained+len(c.Drain())) + c.DroppedEvents()
+	if total != 4000 {
+		t.Fatalf("drained+buffered+dropped = %d, want 4000", total)
+	}
+}

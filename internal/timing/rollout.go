@@ -1,5 +1,7 @@
 package timing
 
+import "sdmmon/internal/obs"
+
 // RolloutCost aggregates the simulated cost of a staged fleet upgrade: the
 // management-plane side (wire time, control-processor crypto, retry backoff,
 // summed over every delivery attempt) plus the data-plane side (NP cutover
@@ -42,4 +44,20 @@ func (c RolloutCost) TotalSeconds(m CostModel) float64 {
 // DrainSeconds isolates the data-plane interruption under a cost model.
 func (c RolloutCost) DrainSeconds(m CostModel) float64 {
 	return m.Seconds(float64(c.DrainCycles))
+}
+
+// Publish exports the aggregate into a metrics registry as gauges. Gauges
+// (Set, not Add) make republication idempotent: a resumed rollout carries
+// its prior cost forward and publishes the running total again, so the
+// exported values always equal the report's, never double. Nil-safe.
+func (c RolloutCost) Publish(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge("rollout_wire_seconds").Set(c.WireSeconds)
+	r.Gauge("rollout_crypto_seconds").Set(c.ProcessSeconds)
+	r.Gauge("rollout_backoff_seconds").Set(c.BackoffSeconds)
+	r.Gauge("rollout_drain_cycles").Set(float64(c.DrainCycles))
+	r.Gauge("rollout_attempts").Set(float64(c.Attempts))
+	r.Gauge("rollout_deliveries").Set(float64(c.Deliveries))
 }
