@@ -3,14 +3,15 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all check build vet fmt-check test test-short test-race test-obs test-faults test-rollout bench fuzz experiments examples verilog clean
+.PHONY: all check build vet fmt-check test test-short test-race test-obs test-faults test-rollout test-shard bench fuzz experiments examples verilog clean
 
 all: check
 
 # The default CI gate: build, static checks, full tests, the race
 # detector over the concurrent packages, the observability layer, the
-# fault-injection suite, and the live-upgrade suite.
-check: build vet fmt-check test test-race test-obs test-faults test-rollout
+# fault-injection suite, the live-upgrade suite, and the sharded traffic
+# plane.
+check: build vet fmt-check test test-race test-obs test-faults test-rollout test-shard
 
 build:
 	$(GO) build ./...
@@ -55,6 +56,14 @@ test-faults:
 	$(GO) test -race ./internal/fault/...
 	$(GO) test -race -run 'FaultInjection|Supervisor|Quarantine|Recovery|Watchdog|Reliable|QueueSim' \
 		./internal/npu/... ./internal/network/...
+
+# The sharded traffic plane under the race detector (dispatch, admission
+# control, failover, packet conservation), plus the scaling gate
+# (TestShardScalingGate: >= 1.6x simulated aggregate at 4 shards vs 1) run
+# without instrumentation so its virtual-time numbers are undistorted.
+test-shard:
+	$(GO) test -race ./internal/shard/...
+	$(GO) test -run 'ShardScalingGate' -count=1 ./internal/shard/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

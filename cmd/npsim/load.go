@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+	"sdmmon/internal/network"
+	"sdmmon/internal/npu"
+	"sdmmon/internal/obs"
+	"sdmmon/internal/shard"
+)
+
+// runLoad drives the sharded traffic plane under deliberate overload: K
+// line-card NPs behind the flow-affinity dispatcher, a tight submission
+// loop that outruns the drain workers (so admission control visibly marks
+// and tail-drops), and — with more than one shard — a mid-run failover
+// drill that kills the last shard under live traffic. The scenario asserts
+// its own acceptance: packet conservation across the whole plane, forward
+// progress on the survivors, and the expected failover count.
+func runLoad(appName string, shards, cores, packets int, seed int64, clockMHz float64, col *obs.Collector) error {
+	if err := loadScenario(appName, shards, cores, packets, seed, clockMHz, col); err != nil {
+		return &scenarioError{Mode: "load", Scenario: "overload", Err: err}
+	}
+	return nil
+}
+
+func loadScenario(appName string, shards, cores, packets int, seed int64, clockMHz float64, col *obs.Collector) error {
+	if shards < 1 {
+		return fmt.Errorf("need at least one shard (got %d)", shards)
+	}
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return err
+	}
+	prog, err := app.Program()
+	if err != nil {
+		return err
+	}
+	nps := make([]*npu.NP, shards)
+	for i := range nps {
+		// Each line card gets its own hash parameter, exactly as an
+		// operator programming a fleet would issue them (SR2).
+		param := uint32(seed+int64(i))*2654435761 + 0x600D
+		g, err := monitor.Extract(prog, mhash.NewMerkle(param))
+		if err != nil {
+			return err
+		}
+		np, err := npu.New(npu.Config{
+			Cores:           cores,
+			MonitorsEnabled: true,
+			Supervisor:      npu.DefaultSupervisorConfig(),
+		})
+		if err != nil {
+			return err
+		}
+		if err := np.InstallAll(appName, prog.Serialize(), g.Serialize(), param); err != nil {
+			return err
+		}
+		nps[i] = np
+	}
+	plane, err := shard.NewPlane(shard.Config{
+		NPs:           nps,
+		QueueCapacity: 256,
+		MarkThreshold: 64,
+		BatchSize:     64,
+		Obs:           col,
+	})
+	if err != nil {
+		return err
+	}
+	gen, err := network.NewFlowGenerator(256, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("npsim load: %s on %d shards x %d cores, %d packets, flow-affinity dispatch\n",
+		appName, shards, cores, packets)
+
+	drillAt := -1
+	if shards > 1 {
+		drillAt = packets * 3 / 5
+	}
+	var queued, marked, dropped, starved int
+	for i := 0; i < packets; i++ {
+		if i == drillAt {
+			// Failover drill: quarantine every core of the last shard
+			// while its worker is draining. Quarantine takes the slot
+			// lock, so this is safe against in-flight packets.
+			for c := 0; c < cores; c++ {
+				if err := nps[shards-1].Quarantine(c); err != nil {
+					return err
+				}
+			}
+			fmt.Printf("  drill: quarantined shard %d at packet %d\n", shards-1, i)
+		}
+		switch plane.Submit(gen.Next()) {
+		case shard.AdmitQueued:
+			queued++
+		case shard.AdmitMarked:
+			marked++
+		case shard.AdmitDropped:
+			dropped++
+		case shard.AdmitStarved:
+			starved++
+		}
+	}
+	plane.Close()
+
+	st := plane.Stats()
+	fmt.Printf("  admission: %d queued, %d CE-marked, %d tail-dropped, %d starved\n",
+		queued, marked, dropped, starved)
+	fmt.Printf("  %-6s %9s %9s %9s %9s %9s %8s %8s %6s\n",
+		"shard", "arrived", "fwd", "appdrop", "taildrop", "starved", "maxdepth", "batches", "state")
+	var makespan uint64
+	for _, s := range st.Shards {
+		state := "ok"
+		if s.Failed {
+			state = "FAILED"
+		}
+		fmt.Printf("  %-6d %9d %9d %9d %9d %9d %8d %8d %6s\n",
+			s.Shard, s.Arrived, s.Forwarded, s.AppDrops, s.TailDrops, s.Starved, s.MaxDepth, s.Batches, state)
+		if span := s.Cycles / uint64(cores); span > makespan {
+			makespan = span
+		}
+	}
+	processed := st.Forwarded + st.AppDrops
+	fmt.Printf("  conservation: arrived %d = forwarded %d + app-drops %d + rejected %d + tail-drops %d + starved %d + backlog %d\n",
+		st.Arrived, st.Forwarded, st.AppDrops, st.Rejected, st.TailDrops, st.Starved, st.Backlog)
+	if makespan > 0 && processed > 0 {
+		agg := float64(processed) * clockMHz * 1e6 / float64(makespan)
+		fmt.Printf("  simulated aggregate: %.2f Mpps at %.0f MHz (makespan %d cycles on the slowest shard)\n",
+			agg/1e6, clockMHz, makespan)
+	}
+
+	// Acceptance.
+	if !st.Conserved() {
+		return fmt.Errorf("packet conservation broken: %+v", st)
+	}
+	if st.Arrived != uint64(packets) {
+		return fmt.Errorf("arrived %d, submitted %d", st.Arrived, packets)
+	}
+	if st.Forwarded == 0 {
+		return fmt.Errorf("plane forwarded nothing")
+	}
+	if shards > 1 && st.Failovers < 1 {
+		return fmt.Errorf("failover drill ran but no shard failed over")
+	}
+	if shards == 1 && st.Failovers != 0 {
+		return fmt.Errorf("unexpected failover on a healthy single-shard plane")
+	}
+	fmt.Printf("  PASS: conserved across %d shards, %d failover(s)\n", shards, st.Failovers)
+	return nil
+}

@@ -28,6 +28,7 @@ import (
 	"sdmmon/internal/npu"
 	"sdmmon/internal/obs"
 	"sdmmon/internal/packet"
+	"sdmmon/internal/shard"
 )
 
 func main() {
@@ -47,13 +48,16 @@ func main() {
 	faults := flag.String("faults", "", "fault-injection scenario: bitflip, hashflip, hang, spurious, graph, link, or all")
 	rollout := flag.String("rollout", "", "live-upgrade scenario: clean, badcanary, lossy, or all")
 	routers := flag.Int("routers", 4, "fleet size for -rollout")
-	metricsOut := flag.String("metrics", "", "write a metrics snapshot on exit (.prom = Prometheus text, otherwise JSON)")
+	load := flag.Bool("load", false, "run the sharded traffic plane under overload (see -shards)")
+	shards := flag.Int("shards", 4, "line-card shards for -load")
+	metricsOut := &pathFlag{def: "npsim_metrics.json"}
+	flag.Var(metricsOut, "metrics", "write a metrics snapshot on exit; bare -metrics selects npsim_metrics.json, -metrics=FILE a path (.prom = Prometheus text, otherwise JSON)")
 	traceOut := flag.String("trace", "", "write the structured event trace as JSON lines on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	var col *obs.Collector
-	if *metricsOut != "" || *traceOut != "" || *pprofAddr != "" {
+	if metricsOut.path != "" || *traceOut != "" || *pprofAddr != "" {
 		col = obs.New(obs.DefaultRingDepth)
 	}
 	if *pprofAddr != "" {
@@ -70,6 +74,8 @@ func main() {
 		err = runRollout(*rollout, *routers, *cores, *seed, col)
 	case *faults != "":
 		err = runFaults(*faults, *appName, *cores, *seed, col)
+	case *load:
+		err = runLoad(*appName, *shards, *cores, *packets, *seed, *clockMHz, col)
 	case *bench:
 		err = runBench(*appName, *benchPackets, *optWords, *seed, *benchOut)
 	default:
@@ -77,7 +83,7 @@ func main() {
 	}
 	// Telemetry is written even when the scenario failed: the snapshot of a
 	// failing run is exactly what a post-mortem needs.
-	if werr := writeTelemetry(col, *metricsOut, *traceOut); werr != nil && err == nil {
+	if werr := writeTelemetry(col, metricsOut.path, *traceOut); werr != nil && err == nil {
 		err = werr
 	}
 	if err != nil {
@@ -90,6 +96,32 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// pathFlag is a bool-or-path flag: bare `-metrics` selects the default
+// path, `-metrics=FILE` a caller-chosen one. Because the flag package
+// treats bool-style flags as value-less, the FILE form must use `=` (a
+// space-separated path would be read as a positional argument).
+type pathFlag struct {
+	path string
+	def  string
+}
+
+func (f *pathFlag) String() string { return f.path }
+
+func (f *pathFlag) Set(s string) error {
+	switch s {
+	case "true": // bare -metrics
+		f.path = f.def
+	case "false": // -metrics=false
+		f.path = ""
+	default:
+		f.path = s
+	}
+	return nil
+}
+
+// IsBoolFlag lets the flag appear with no value.
+func (f *pathFlag) IsBoolFlag() bool { return true }
 
 // scenarioError is a structured scenario failure: which mode (faults or
 // rollout) and which scenario failed, and why. main renders it as a single
@@ -204,6 +236,24 @@ func runBench(appName string, packets, optWords int, seed int64, out string) err
 		fmt.Printf("%-10s %6d %6d %14.0f %10.0f %12.1f %9.3f  (instrumented)\n",
 			p.Path, p.Cores, p.Batch, p.PktsPerSec, p.NsPerPkt, p.SimCyclesPerPkt, p.HashHitRate)
 	}
+	// Sharded-plane points: the line-card scaling curve of the multi-NP
+	// traffic plane. The scaling is stated on the simulated aggregate
+	// (virtual time), which a small host can measure faithfully; the wall
+	// numbers ride along. See internal/shard.
+	fmt.Printf("%-10s %6s %6s %14s %14s %12s\n",
+		"path", "shards", "cores", "wall pkts/sec", "sim agg pps", "p99 batch cyc")
+	for _, shards := range []int{1, 2, 4, 8} {
+		p, err := shard.MeasureThroughput(shard.BenchConfig{
+			App: appName, Shards: shards, CoresPerShard: 2, Batch: 256,
+			Packets: packets, Flows: 256, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		report.Add(p)
+		fmt.Printf("%-10s %6d %6d %14.0f %14.0f %12d\n",
+			p.Path, p.Shards, p.Cores, p.PktsPerSec, p.SimAggPktsPerSec, p.P99BatchCycles)
+	}
 	if err := report.Write(out); err != nil {
 		return err
 	}
@@ -213,6 +263,9 @@ func runBench(appName string, packets, optWords int, seed int64, out string) err
 	}
 	for k, o := range report.OverheadInstrumented {
 		fmt.Printf("  overhead instrumented/bare %s: %.2f%%\n", k, 100*(o-1))
+	}
+	for k, s := range report.ShardScaling {
+		fmt.Printf("  shard scaling %s: %.2fx\n", k, s)
 	}
 	return nil
 }

@@ -21,10 +21,14 @@ type Link struct {
 // GigE is the prototype's 1 Gbps management port with WAN-ish latency.
 func GigE() Link { return Link{BandwidthBps: 1e9, RTTSeconds: 0.05} }
 
-// TransferSeconds returns the wire time for n bytes.
+// TransferSeconds returns the wire time for n bytes: the fixed round-trip
+// setup cost plus serialization. A non-positive bandwidth models an
+// unconstrained wire (local bench harnesses build such links): the
+// serialization term vanishes but the RTT is still paid — a zero-bandwidth
+// link must not silently discount the connection setup it still performs.
 func (l Link) TransferSeconds(n int) float64 {
 	if l.BandwidthBps <= 0 {
-		return 0
+		return l.RTTSeconds
 	}
 	return l.RTTSeconds + float64(8*n)/l.BandwidthBps
 }

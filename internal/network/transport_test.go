@@ -10,13 +10,27 @@ import (
 )
 
 func TestLinkTransferSeconds(t *testing.T) {
-	l := Link{BandwidthBps: 8000, RTTSeconds: 0.5}
-	// 1000 bytes = 8000 bits = 1 s + 0.5 s RTT.
-	if got := l.TransferSeconds(1000); math.Abs(got-1.5) > 1e-9 {
-		t.Errorf("TransferSeconds = %f", got)
+	cases := []struct {
+		name string
+		link Link
+		n    int
+		want float64
+	}{
+		// 1000 bytes = 8000 bits = 1 s serialization + 0.5 s RTT.
+		{"bandwidth plus rtt", Link{BandwidthBps: 8000, RTTSeconds: 0.5}, 1000, 1.5},
+		// Zero bytes still pay the connection setup.
+		{"zero bytes", Link{BandwidthBps: 8000, RTTSeconds: 0.5}, 0, 0.5},
+		// A zero-bandwidth (unconstrained) wire serializes for free but
+		// must not discount the RTT it still performs.
+		{"zero bandwidth keeps rtt", Link{BandwidthBps: 0, RTTSeconds: 0.25}, 1 << 20, 0.25},
+		{"negative bandwidth keeps rtt", Link{BandwidthBps: -1, RTTSeconds: 0.25}, 1 << 20, 0.25},
+		{"zero value link", Link{}, 1 << 20, 0},
+		{"zero bandwidth zero bytes", Link{RTTSeconds: 0.05}, 0, 0.05},
 	}
-	if got := (Link{}).TransferSeconds(1 << 20); got != 0 {
-		t.Errorf("zero-bandwidth link = %f", got)
+	for _, c := range cases {
+		if got := c.link.TransferSeconds(c.n); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: TransferSeconds(%d) = %v, want %v", c.name, c.n, got, c.want)
+		}
 	}
 	g := GigE()
 	if g.TransferSeconds(2<<20) > 1 {

@@ -282,3 +282,108 @@ func (m *WorkloadManager) Assignment() []string {
 // FreshParameters reports how many distinct hash parameters installations
 // have used — every reprogramming must re-key (SR2).
 func (m *WorkloadManager) FreshParameters() int { return len(m.paramsUsed) }
+
+// Flow is a stable 5-tuple identity: every packet a FlowGenerator emits for
+// a flow carries exactly these addresses, protocol and ports, so any
+// dispatcher hashing the 5-tuple sees the flow as one unit.
+type Flow struct {
+	Src, Dst         [4]byte
+	Proto            uint8 // packet.ProtoUDP or packet.ProtoTCP
+	SrcPort, DstPort uint16
+}
+
+// FlowGenerator produces benign traffic drawn from a fixed population of
+// flows. Unlike packet.Generator — which randomizes addressing per packet —
+// only the payload, ID and TTL vary here; the 5-tuple is pinned per flow.
+// That is the traffic shape flow-affinity dispatch needs: packets of one
+// flow must land on one shard, and a generator that never repeats a tuple
+// cannot exercise that property.
+type FlowGenerator struct {
+	rng   *rand.Rand
+	flows []Flow
+	// MinPayload/MaxPayload bound the application payload size (before the
+	// UDP header, for UDP flows).
+	MinPayload, MaxPayload int
+}
+
+// NewFlowGenerator builds a generator over a fixed population of flows.
+// The population is derived from the seed: same seed, same flows.
+func NewFlowGenerator(flows int, seed int64) (*FlowGenerator, error) {
+	if flows < 1 {
+		return nil, fmt.Errorf("network: flow population %d must be >= 1", flows)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pop := make([]Flow, flows)
+	for i := range pop {
+		proto := uint8(packet.ProtoTCP)
+		if rng.Float64() < 0.5 {
+			proto = packet.ProtoUDP
+		}
+		pop[i] = Flow{
+			Src:     packet.IP(10, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(1+rng.Intn(254))),
+			Dst:     packet.IP(192, 168, byte(rng.Intn(256)), byte(1+rng.Intn(254))),
+			Proto:   proto,
+			SrcPort: uint16(1024 + rng.Intn(60000)),
+			DstPort: uint16(1 + rng.Intn(1024)),
+		}
+	}
+	return &FlowGenerator{
+		rng:        rng,
+		flows:      pop,
+		MinPayload: 16,
+		MaxPayload: 256,
+	}, nil
+}
+
+// Flows returns a copy of the flow population.
+func (g *FlowGenerator) Flows() []Flow { return append([]Flow(nil), g.flows...) }
+
+// Next produces one wire-format packet for a uniformly chosen flow.
+func (g *FlowGenerator) Next() []byte {
+	pkt, _ := g.NextIndexed()
+	return pkt
+}
+
+// NextIndexed produces one packet and reports which flow it belongs to, so
+// tests can assert that same-flow packets share a dispatch target.
+func (g *FlowGenerator) NextIndexed() ([]byte, int) {
+	i := g.rng.Intn(len(g.flows))
+	f := g.flows[i]
+	payloadLen := g.MinPayload
+	if g.MaxPayload > g.MinPayload {
+		payloadLen += g.rng.Intn(g.MaxPayload - g.MinPayload)
+	}
+	payload := make([]byte, payloadLen)
+	g.rng.Read(payload)
+	switch f.Proto {
+	case packet.ProtoUDP:
+		u := &packet.UDP{SrcPort: f.SrcPort, DstPort: f.DstPort, Payload: payload}
+		payload = u.Marshal()
+	default:
+		// TCP-marked filler: the port pair sits in the first 4 payload
+		// bytes, exactly where a real TCP header carries it — which is
+		// where a 5-tuple hash reads it from the wire.
+		if len(payload) < 4 {
+			payload = make([]byte, 4)
+		}
+		payload[0] = byte(f.SrcPort >> 8)
+		payload[1] = byte(f.SrcPort)
+		payload[2] = byte(f.DstPort >> 8)
+		payload[3] = byte(f.DstPort)
+	}
+	p := &packet.IPv4{
+		TOS:     uint8(g.rng.Intn(256)) &^ 0x3, // ECN bits clear
+		ID:      uint16(g.rng.Intn(65536)),
+		TTL:     uint8(2 + g.rng.Intn(62)),
+		Proto:   f.Proto,
+		Src:     f.Src,
+		Dst:     f.Dst,
+		Payload: payload,
+	}
+	b, err := p.Marshal()
+	if err != nil {
+		// Only in-range sizes are produced; a failure is a bug.
+		panic(err)
+	}
+	return b, i
+}

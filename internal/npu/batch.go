@@ -28,7 +28,23 @@ import (
 // for every packet that *was* processed are always merged into the NP's
 // aggregate stats, error or not — partial work never vanishes from the
 // counters.
+//
+// Concurrent ProcessBatch calls on the same NP serialize on batchMu (the
+// scratch arena is single-owner), so a management-plane batch — a rollout
+// health sample, say — can run against an NP that a shard worker is
+// draining. Result.Packet slices are only valid until the next batch.
 func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
+	results, _, err := np.processBatch(pkts, qdepth)
+	return results, err
+}
+
+// processBatch is the shared batch engine: it additionally returns the
+// merged stat delta of exactly this batch, which is how DrainBatch
+// accounts a batch without a Stats() before/after window that concurrent
+// traffic on the same NP would pollute.
+func (np *NP) processBatch(pkts [][]byte, qdepth int) ([]Result, Stats, error) {
+	np.batchMu.Lock()
+	defer np.batchMu.Unlock()
 	loaded, available := 0, 0
 	for _, s := range np.slots {
 		s.mu.Lock()
@@ -41,10 +57,10 @@ func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
 		s.mu.Unlock()
 	}
 	if loaded == 0 {
-		return nil, ErrNoAppInstalled
+		return nil, Stats{}, ErrNoAppInstalled
 	}
 	if available == 0 {
-		return nil, ErrNoCoreAvailable
+		return nil, Stats{}, ErrNoCoreAvailable
 	}
 
 	results := make([]Result, len(pkts))
@@ -144,7 +160,7 @@ func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
 	if n := int(cursor.Load()); n < len(pkts) && firstErr == nil {
 		firstErr = fmt.Errorf("npu: %d packets unprocessed: %w", len(pkts)-n, ErrNoCoreAvailable)
 	}
-	return results, firstErr
+	return results, merged, firstErr
 }
 
 // add accumulates d into s.

@@ -40,15 +40,29 @@ type ThroughputConfig struct {
 
 // BenchPoint is one measured sweep point of the throughput harness.
 type BenchPoint struct {
-	Path            string  `json:"path"` // "fast" or "reference"
-	Cores           int     `json:"cores"`
+	Path string `json:"path"` // "fast", "reference" or "shard"
+	// Cores is the per-NP core count (per-shard on the "shard" path).
+	Cores int `json:"cores"`
+	// Shards > 0 marks a sharded-plane point measured across that many NPs.
+	Shards          int     `json:"shards,omitempty"`
 	Batch           int     `json:"batch"`
 	Packets         uint64  `json:"packets"`
 	WallSeconds     float64 `json:"wall_seconds"`
 	PktsPerSec      float64 `json:"pkts_per_sec"`
 	NsPerPkt        float64 `json:"ns_per_pkt"`
 	SimCyclesPerPkt float64 `json:"sim_cycles_per_pkt"`
-	HashHitRate     float64 `json:"hash_hit_rate"` // 0 on the reference path
+	// SimAggPktsPerSec is the simulated-hardware aggregate throughput of a
+	// sharded point: packets divided by the plane's virtual-time makespan
+	// (the slowest shard's busy cycles over its core count, at the modeled
+	// clock). Wall-clock throughput on the simulation host cannot show
+	// line-card scaling — the host interleaves every simulated core on the
+	// CPUs it has — so the scaling claim is made in virtual time and the
+	// wall numbers are reported alongside for honesty.
+	SimAggPktsPerSec float64 `json:"sim_agg_pkts_per_sec,omitempty"`
+	// P99BatchCycles is the 99th-percentile per-batch simulated cycle cost
+	// on a sharded point (batch latency in virtual time).
+	P99BatchCycles uint64  `json:"p99_batch_cycles,omitempty"`
+	HashHitRate    float64 `json:"hash_hit_rate"` // 0 on the reference path
 	// QuarantinedCores > 0 marks a degraded-mode point: that many cores
 	// were quarantined before the timed region.
 	QuarantinedCores int `json:"quarantined_cores,omitempty"`
@@ -59,6 +73,9 @@ type BenchPoint struct {
 // Key identifies the sweep point independent of which path produced it.
 func (p BenchPoint) Key() string {
 	k := fmt.Sprintf("cores=%d/batch=%d", p.Cores, p.Batch)
+	if p.Shards > 0 {
+		k = fmt.Sprintf("shards=%d/", p.Shards) + k
+	}
 	if p.QuarantinedCores > 0 {
 		k += fmt.Sprintf("/quarantined=%d", p.QuarantinedCores)
 	}
@@ -89,6 +106,10 @@ type BenchReport struct {
 	// bare time — for every shape measured both ways. 1.03 = 3% slower with
 	// telemetry on.
 	OverheadInstrumented map[string]float64 `json:"overhead_instrumented,omitempty"`
+	// ShardScaling maps a sharded point's key to its simulated aggregate
+	// throughput divided by the 1-shard point of the same per-shard shape —
+	// the line-card scaling curve.
+	ShardScaling map[string]float64 `json:"shard_scaling,omitempty"`
 }
 
 // Add records a point, replacing any earlier measurement of the same
@@ -142,6 +163,26 @@ func (r *BenchReport) Write(path string) error {
 				r.OverheadInstrumented = make(map[string]float64)
 			}
 			r.OverheadInstrumented[p.Path+"/"+p.bareKey()] = bp / p.PktsPerSec
+		}
+	}
+	// Line-card scaling: every sharded point against the 1-shard point of
+	// the same per-shard shape, in simulated aggregate throughput.
+	r.ShardScaling = nil
+	base := make(map[string]float64)
+	for _, p := range r.Points {
+		if p.Shards == 1 && p.SimAggPktsPerSec > 0 {
+			base[fmt.Sprintf("cores=%d/batch=%d", p.Cores, p.Batch)] = p.SimAggPktsPerSec
+		}
+	}
+	for _, p := range r.Points {
+		if p.Shards <= 0 || p.SimAggPktsPerSec <= 0 {
+			continue
+		}
+		if b, ok := base[fmt.Sprintf("cores=%d/batch=%d", p.Cores, p.Batch)]; ok && b > 0 {
+			if r.ShardScaling == nil {
+				r.ShardScaling = make(map[string]float64)
+			}
+			r.ShardScaling[p.Key()] = p.SimAggPktsPerSec / b
 		}
 	}
 	data, err := json.MarshalIndent(r, "", "  ")

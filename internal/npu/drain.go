@@ -1,0 +1,74 @@
+package npu
+
+import "sdmmon/internal/apps"
+
+// This file is the NP's face toward a multi-NP traffic plane
+// (internal/shard): a batch-drain entry point that reports per-batch
+// outcomes instead of per-packet results, and a race-safe health probe the
+// dispatcher can consult without owning the packet path.
+
+// BatchOutcome summarizes one drained batch. Unlike ProcessBatch's result
+// slice it exposes no per-packet data, so a queue drainer can account a
+// batch without walking (or retaining) individual results.
+type BatchOutcome struct {
+	Processed uint64 // packets that ran on a core
+	Forwarded uint64
+	Dropped   uint64 // verdict + alarm + fault drops
+	Alarms    uint64
+	Faults    uint64
+	// ECNMarked counts forwarded packets leaving with the CE mark set
+	// (whether the application marked them under queue pressure or they
+	// arrived pre-marked by upstream admission control).
+	ECNMarked uint64
+	Cycles    uint64
+	// Unprocessed counts packets of this batch that never reached a core:
+	// rejected before execution (oversize) or left unclaimed because every
+	// core quarantined mid-batch. Processed + Unprocessed == len(batch).
+	Unprocessed int
+}
+
+// DrainBatch runs one batch through the batch engine and summarizes its
+// fate. It is the hook a shard worker drains its ingress queue with:
+// qdepth is the backlog the congestion-management applications see, and
+// the returned error keeps ProcessBatch's semantics (first per-packet
+// error, or ErrNoCoreAvailable when the batch could not finish on a fully
+// quarantined NP). The outcome is built from this batch's own merged stat
+// delta — not a Stats() before/after window — so concurrent traffic on
+// the same NP (a rollout's health sample batching against a live line
+// card) cannot leak into the shard's accounting.
+func (np *NP) DrainBatch(pkts [][]byte, qdepth int) (BatchOutcome, error) {
+	results, d, err := np.processBatch(pkts, qdepth)
+
+	var o BatchOutcome
+	o.Processed = d.Processed
+	o.Forwarded = d.Forwarded
+	o.Dropped = d.Dropped
+	o.Alarms = d.Alarms
+	o.Faults = d.Faults
+	o.Cycles = d.Cycles
+	o.Unprocessed = len(pkts) - int(o.Processed)
+	for i := range results {
+		r := &results[i]
+		if r.Verdict == apps.VerdictForward && !r.Detected && !r.Faulted &&
+			len(r.Packet) > 1 && r.Packet[1]&0x3 == 0x3 {
+			o.ECNMarked++
+		}
+	}
+	return o, err
+}
+
+// Healthy reports whether at least one core can take traffic. Unlike
+// AvailableCores it takes each slot's lock, so it is safe to call while the
+// NP is processing (the per-NP health probe of the shard plane's failover
+// logic).
+func (np *NP) Healthy() bool {
+	for _, s := range np.slots {
+		s.mu.Lock()
+		ok := s.available()
+		s.mu.Unlock()
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -189,10 +189,14 @@ type NP struct {
 
 	// Reused ProcessBatch scratch (see batch.go): packet-copy arena,
 	// per-result offsets, per-core stat deltas. Amortizes batch setup to
-	// zero allocations in steady state.
-	arena  []byte
-	offs   []int
-	deltas []Stats
+	// zero allocations in steady state. batchMu serializes batch entry so
+	// the scratch is single-owner even when a management-plane caller
+	// (e.g. a rollout's health sample) batches against an NP whose shard
+	// worker is draining it concurrently.
+	batchMu sync.Mutex
+	arena   []byte
+	offs    []int
+	deltas  []Stats
 }
 
 // New builds an NP.

@@ -27,6 +27,12 @@ type QueueSim struct {
 	MeanInterArrival float64
 	// Seed drives the arrival process.
 	Seed int64
+	// InterArrival, when non-nil, replaces the random arrival process: it
+	// returns the gap in cycles between arrival i-1 and arrival i (the
+	// first arrival is always at cycle 0), clamped below at 1. A
+	// deterministic schedule makes AvgQueue hand-computable, which is how
+	// the time-weighted accounting is pinned by regression tests.
+	InterArrival func(i int) uint64
 }
 
 // QueueStats summarizes a queued run.
@@ -53,11 +59,26 @@ type QueueStats struct {
 }
 
 // Utilization returns the busy fraction of the NP's cores over the run.
+//
+// cores must be the NP's *total* core count (NP.Cores()) — the same
+// denominator the run dispatched over. Passing the currently-available
+// count after quarantine shrank the effective pool mid-run would overstate
+// the busy fraction (service cycles accrued on a core before it was
+// quarantined still count against full capacity). Because callers can get
+// this wrong, and because a shrunk pool can push the raw ratio past 1, the
+// result is clamped to [0, 1].
 func (s QueueStats) Utilization(cores int) float64 {
-	if s.Cycles == 0 || cores == 0 {
+	if s.Cycles == 0 || cores <= 0 {
 		return 0
 	}
-	return float64(s.ServiceCycles) / (float64(s.Cycles) * float64(cores))
+	u := float64(s.ServiceCycles) / (float64(s.Cycles) * float64(cores))
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
 }
 
 // Run feeds n generated packets through the queue.
@@ -76,10 +97,39 @@ func (q *QueueSim) Run(n int, gen func() []byte) (QueueStats, error) {
 	var clock uint64
 	nextArrival := uint64(0)
 	arrivals := 0
+	// Time-weighted queue-depth accounting. The integration invariant,
+	// pinned by TestQueueAvgQueueHandComputable: every iteration integrates
+	// depth × (next − lastClock) *before* mutating the queue, and lastClock
+	// always equals clock at the top of an iteration, so the integrated
+	// intervals exactly tile [0, clock] — including the final drain, where
+	// the queue is empty but the last packets are still in service and the
+	// clock still advances to their completion. finalize() computes the
+	// summary on *every* exit path; an early error return must not hand
+	// back stats with the horizon and average missing.
 	var queueAreaCycles float64
 	lastClock := uint64(0)
+	finalize := func() {
+		st.Cycles = clock
+		for c := 0; c < cores; c++ {
+			if q.NP.slots[c].sup.quarantined {
+				st.QuarantinedCores++
+			}
+		}
+		if clock > 0 {
+			st.AvgQueue = queueAreaCycles / float64(clock)
+		}
+	}
 
 	draw := func() uint64 {
+		if q.InterArrival != nil {
+			// Deterministic schedule: gap before arrival `arrivals`
+			// (the one being scheduled), floored at 1 cycle.
+			d := q.InterArrival(arrivals)
+			if d < 1 {
+				d = 1
+			}
+			return d
+		}
 		// Exponential inter-arrival, floored at 1 cycle.
 		d := rng.ExpFloat64() * q.MeanInterArrival
 		if d < 1 {
@@ -142,6 +192,7 @@ func (q *QueueSim) Run(n int, gen func() []byte) (QueueStats, error) {
 			queue = queue[1:]
 			res, err := q.NP.ProcessOn(c, pkt, len(queue))
 			if err != nil {
+				finalize()
 				return st, err
 			}
 			st.Processed++
@@ -167,15 +218,7 @@ func (q *QueueSim) Run(n int, gen func() []byte) (QueueStats, error) {
 			queue = queue[:0]
 		}
 	}
-	st.Cycles = clock
-	for c := 0; c < cores; c++ {
-		if q.NP.slots[c].sup.quarantined {
-			st.QuarantinedCores++
-		}
-	}
-	if clock > 0 {
-		st.AvgQueue = queueAreaCycles / float64(clock)
-	}
+	finalize()
 	return st, nil
 }
 

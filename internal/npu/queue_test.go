@@ -104,6 +104,77 @@ func TestQueueLoadSweepMonotone(t *testing.T) {
 	}
 }
 
+// TestQueueAvgQueueHandComputable pins the time-weighted queue-depth
+// integration on a hand-computable schedule: one core, four identical
+// packets of service cost S, arriving at cycles 0, 1, 2, 3. The queue depth
+// as a function of time is then exactly
+//
+//	0 on [0,1), 1 on [1,2), 2 on [2,3), 3 on [3,S),
+//	2 on [S,2S), 1 on [2S,3S), 0 on [3S,4S]
+//
+// so the depth integral is 1 + 2 + 3(S-3) + 2S + S = 6S - 6 queue-cycles,
+// the run ends at 4S (the final drain of packet 4), and AvgQueue must be
+// (6S-6)/(4S) — the denominator includes the tail interval where the queue
+// is already empty but the last packet is still in service.
+func TestQueueAvgQueueHandComputable(t *testing.T) {
+	// Learn the fixed packet's deterministic service cost.
+	pkt := packet.NewGenerator(7).Next()
+	probe, err := queuedNP(t, 1).ProcessOn(0, append([]byte(nil), pkt...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	S := probe.Cycles
+	if S < 4 {
+		t.Fatalf("service cost %d too small for the schedule", S)
+	}
+
+	np := queuedNP(t, 1)
+	q := &QueueSim{
+		NP: np, Capacity: 64, MeanInterArrival: 1, Seed: 7,
+		InterArrival: func(i int) uint64 { return 1 },
+	}
+	st, err := q.Run(4, func() []byte { return append([]byte(nil), pkt...) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != 4*S {
+		t.Errorf("run ended at %d cycles, want 4S = %d (final drain missing)", st.Cycles, 4*S)
+	}
+	if st.MaxQueue != 3 {
+		t.Errorf("max queue %d, want 3", st.MaxQueue)
+	}
+	want := float64(6*S-6) / float64(4*S)
+	if diff := st.AvgQueue - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("AvgQueue = %v, want %v (area 6S-6 over horizon 4S with S=%d)", st.AvgQueue, want, S)
+	}
+	// The deterministic schedule also pins utilization: 4S service cycles
+	// over a 4S horizon on one core is exactly 1.0.
+	if u := st.Utilization(np.Cores()); u != 1 {
+		t.Errorf("utilization %v, want 1.0", u)
+	}
+}
+
+// TestQueueUtilizationClamped pins the [0,1] clamp: a caller passing a
+// shrunken core count (the quarantine-mid-run mistake Utilization's
+// contract warns about) must read full utilization, not >1.
+func TestQueueUtilizationClamped(t *testing.T) {
+	st := QueueStats{Cycles: 1000, ServiceCycles: 1800}
+	if u := st.Utilization(2); u != 0.9 {
+		t.Errorf("well-formed utilization = %v, want 0.9", u)
+	}
+	// Same run accounted against 1 core (as if the caller used the
+	// post-quarantine pool): raw ratio 1.8, clamped to 1.
+	if u := st.Utilization(1); u != 1 {
+		t.Errorf("clamped utilization = %v, want 1", u)
+	}
+	if u := st.Utilization(0); u != 0 {
+		t.Errorf("zero-core utilization = %v, want 0", u)
+	}
+	if u := st.Utilization(-3); u != 0 {
+		t.Errorf("negative-core utilization = %v, want 0", u)
+	}
+}
+
 func TestQueueAttacksDetectedUnderLoad(t *testing.T) {
 	// Detection must hold up under queue pressure: interleave attack
 	// packets into an overloaded arrival stream.

@@ -185,13 +185,18 @@ func (np *NP) AvailableCores() int {
 	return n
 }
 
-// Quarantine removes a core from dispatch manually (operator action or the
-// degraded-throughput bench). It works with or without the supervisor; the
-// core returns via re-installation like any quarantined core.
+// Quarantine removes a core from dispatch manually (operator action, the
+// degraded-throughput bench, or a mid-run failover drill). It works with or
+// without the supervisor; the core returns via re-installation like any
+// quarantined core. The slot lock orders the write against an in-flight
+// packet, so quarantining a core that is actively processing is safe.
 func (np *NP) Quarantine(coreID int) error {
 	if coreID < 0 || coreID >= len(np.slots) {
 		return fmt.Errorf("npu: core %d out of range", coreID)
 	}
-	np.slots[coreID].sup.quarantined = true
+	s := np.slots[coreID]
+	s.mu.Lock()
+	s.sup.quarantined = true
+	s.mu.Unlock()
 	return nil
 }

@@ -36,19 +36,29 @@ const (
 	EvRollback
 	// EvAbort: a staged bundle was discarded without touching the live slot.
 	EvAbort
+	// EvBackpressure: a shard's ingress queue crossed its marking threshold
+	// and admission control began CE-marking arrivals; Aux is the queue
+	// depth at onset. Emitted on the edge, not per packet.
+	EvBackpressure
+	// EvFailover: a shard was removed from dispatch and its flows
+	// rendezvous-rehashed to the surviving shards; Aux is the number of
+	// queued packets shed as starved drops.
+	EvFailover
 )
 
 var eventKindNames = [...]string{
-	EvAlarm:      "alarm",
-	EvFault:      "fault",
-	EvWatchdog:   "watchdog",
-	EvRecover:    "recover",
-	EvQuarantine: "quarantine",
-	EvInstall:    "install",
-	EvStage:      "stage",
-	EvCommit:     "commit",
-	EvRollback:   "rollback",
-	EvAbort:      "abort",
+	EvAlarm:        "alarm",
+	EvFault:        "fault",
+	EvWatchdog:     "watchdog",
+	EvRecover:      "recover",
+	EvQuarantine:   "quarantine",
+	EvInstall:      "install",
+	EvStage:        "stage",
+	EvCommit:       "commit",
+	EvRollback:     "rollback",
+	EvAbort:        "abort",
+	EvBackpressure: "backpressure",
+	EvFailover:     "failover",
 }
 
 func (k EventKind) String() string {

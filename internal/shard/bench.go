@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sdmmon/internal/network"
+	"sdmmon/internal/npu"
+)
+
+// BenchConfig describes one sharded-plane measurement point.
+type BenchConfig struct {
+	App           string // application name; "" selects ipv4cm
+	Shards        int
+	CoresPerShard int
+	Batch         int // worker drain batch size
+	Packets       int // packets submitted through the plane
+	Flows         int // flow population; 0 selects 256
+	Seed          int64
+	// ClockMHz is the modeled hardware clock for the simulated aggregate
+	// throughput; 0 selects 100 MHz (the Virtex-II Pro class prototype).
+	ClockMHz float64
+}
+
+// MeasureThroughput runs one sharded point: K freshly installed NPs behind
+// the dispatcher, the whole packet budget submitted and drained to
+// completion.
+//
+// Two throughput numbers come out. PktsPerSec is wall-clock on the
+// simulation host — on a small host the shards timeshare its CPUs, so this
+// number cannot (and is not expected to) scale with K. SimAggPktsPerSec is
+// the simulated hardware's aggregate: the plane's makespan in virtual time
+// is the slowest shard's busy cycles divided by its core count (each NP's
+// cores and each line card run concurrently in real hardware), and the
+// aggregate is packets over that makespan at the modeled clock. The
+// scaling gate and the BENCH shard series are stated on the simulated
+// number, which is deterministic for a given seed.
+func MeasureThroughput(cfg BenchConfig) (npu.BenchPoint, error) {
+	if cfg.Shards < 1 || cfg.CoresPerShard < 1 {
+		return npu.BenchPoint{}, fmt.Errorf("shard: bench needs shards >= 1 and cores >= 1")
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 64
+	}
+	if cfg.Packets < 1 {
+		cfg.Packets = 4096
+	}
+	flows := cfg.Flows
+	if flows == 0 {
+		flows = 256
+	}
+	clockHz := cfg.ClockMHz * 1e6
+	if clockHz <= 0 {
+		clockHz = 100e6
+	}
+
+	nps := make([]*npu.NP, cfg.Shards)
+	for i := range nps {
+		np, err := npu.NewBenchNP(cfg.App, cfg.CoresPerShard, false, cfg.Seed+int64(i))
+		if err != nil {
+			return npu.BenchPoint{}, err
+		}
+		nps[i] = np
+	}
+	// Capacity covers the full budget and marking is disabled (threshold =
+	// capacity): no tail drops, no CE rewrites — every seed processes the
+	// identical packet set, so the virtual-time numbers are reproducible.
+	plane, err := NewPlane(Config{
+		NPs:               nps,
+		QueueCapacity:     cfg.Packets,
+		MarkThreshold:     cfg.Packets,
+		BatchSize:         cfg.Batch,
+		RecordBatchCycles: true,
+	})
+	if err != nil {
+		return npu.BenchPoint{}, err
+	}
+	gen, err := network.NewFlowGenerator(flows, cfg.Seed+101)
+	if err != nil {
+		return npu.BenchPoint{}, err
+	}
+	pkts := make([][]byte, cfg.Packets)
+	for i := range pkts {
+		pkts[i] = gen.Next()
+	}
+
+	start := time.Now()
+	for _, pkt := range pkts {
+		plane.Submit(pkt)
+	}
+	plane.Close()
+	wall := time.Since(start).Seconds()
+
+	st := plane.Stats()
+	if !st.Conserved() {
+		return npu.BenchPoint{}, fmt.Errorf("shard: bench run not conserved: %+v", st)
+	}
+	if st.TailDrops != 0 || st.Starved != 0 || st.Backlog != 0 {
+		return npu.BenchPoint{}, fmt.Errorf("shard: bench run lost packets (tail=%d starved=%d backlog=%d)",
+			st.TailDrops, st.Starved, st.Backlog)
+	}
+
+	p := npu.BenchPoint{
+		Path:        "shard",
+		Cores:       cfg.CoresPerShard,
+		Shards:      cfg.Shards,
+		Batch:       cfg.Batch,
+		Packets:     st.Forwarded + st.AppDrops,
+		WallSeconds: wall,
+	}
+	var totalCycles, makespan uint64
+	for _, s := range st.Shards {
+		totalCycles += s.Cycles
+		span := s.Cycles / uint64(cfg.CoresPerShard)
+		if span > makespan {
+			makespan = span
+		}
+	}
+	if wall > 0 {
+		p.PktsPerSec = float64(p.Packets) / wall
+		p.NsPerPkt = wall * 1e9 / float64(p.Packets)
+	}
+	if p.Packets > 0 {
+		p.SimCyclesPerPkt = float64(totalCycles) / float64(p.Packets)
+	}
+	if makespan > 0 {
+		p.SimAggPktsPerSec = float64(p.Packets) * clockHz / float64(makespan)
+	}
+	if bc := plane.BatchCycles(); len(bc) > 0 {
+		sort.Slice(bc, func(i, j int) bool { return bc[i] < bc[j] })
+		idx := (len(bc)*99+99)/100 - 1 // ceil(0.99 n) - 1: nearest-rank p99
+		if idx < 0 {
+			idx = 0
+		}
+		p.P99BatchCycles = bc[idx]
+	}
+	return p, nil
+}

@@ -1,0 +1,578 @@
+// Package shard is the multi-NP traffic plane: K independent npu.NP
+// instances ("line cards") behind a flow-affinity dispatcher. The paper
+// scales a single NP by adding cores; a deployed router scales further by
+// adding line cards, and this package supplies the system glue that makes
+// a fleet of monitored NPs look like one data plane:
+//
+//   - flow-affinity dispatch: packets are hashed on their 5-tuple and
+//     rendezvous-hashed (highest-random-weight) onto a shard, so all
+//     packets of a flow traverse one shard's FIFO queue and one NP —
+//     per-flow order is preserved end to end;
+//
+//   - admission control: each shard has a bounded ingress queue; arrivals
+//     past the marking threshold are CE-marked (ECN-style backpressure,
+//     with the IPv4 header checksum incrementally fixed per RFC 1624) and
+//     arrivals at a full queue tail-drop — counted, never silently lost;
+//
+//   - failover: a shard whose NP can no longer take traffic (every core
+//     quarantined by the supervisor) is removed from dispatch; its queued
+//     packets are shed as starved drops (the QueueSim StarvedDrops
+//     convention, preserving packet conservation) and its flows rendezvous-
+//     rehash onto the surviving shards. Rendezvous hashing moves only the
+//     failed shard's flows; every other flow keeps its shard and its order.
+//
+// Everything the plane does is observable through internal/obs: shard_*
+// counters, per-shard depth gauges, and EvBackpressure/EvFailover ring
+// events.
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sdmmon/internal/npu"
+	"sdmmon/internal/obs"
+	"sdmmon/internal/packet"
+)
+
+// FlowKeyOf hashes a wire-format packet's 5-tuple (src, dst, proto, and —
+// for TCP/UDP — the port pair that starts the L4 payload) with FNV-1a.
+// Malformed or short packets hash over whatever bytes exist, so every
+// packet gets a stable key and the dispatcher never has to reject traffic
+// the NPs are expected to inspect.
+func FlowKeyOf(pkt []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	if len(pkt) < 20 {
+		for _, b := range pkt {
+			h = (h ^ uint64(b)) * prime
+		}
+		return h
+	}
+	for _, b := range pkt[12:20] { // src, dst
+		h = (h ^ uint64(b)) * prime
+	}
+	proto := pkt[9]
+	h = (h ^ uint64(proto)) * prime
+	if proto == packet.ProtoUDP || proto == packet.ProtoTCP {
+		ihl := int(pkt[0]&0xF) * 4
+		if ihl >= 20 && len(pkt) >= ihl+4 {
+			for _, b := range pkt[ihl : ihl+4] { // src port, dst port
+				h = (h ^ uint64(b)) * prime
+			}
+		}
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer — the per-shard weight function of the
+// rendezvous hash. It is bijective, so distinct (flow, shard) pairs never
+// systematically collide.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Admission is the fate of one submitted packet at the dispatcher.
+type Admission int
+
+const (
+	// AdmitQueued: accepted onto a shard's ingress queue unmodified.
+	AdmitQueued Admission = iota
+	// AdmitMarked: accepted, but the queue was past the marking threshold
+	// and the packet now carries the CE mark.
+	AdmitMarked
+	// AdmitDropped: tail-dropped at a full ingress queue.
+	AdmitDropped
+	// AdmitStarved: no healthy shard remains (or the plane is closed); the
+	// packet was counted as a starved drop.
+	AdmitStarved
+)
+
+func (a Admission) String() string {
+	switch a {
+	case AdmitQueued:
+		return "queued"
+	case AdmitMarked:
+		return "marked"
+	case AdmitDropped:
+		return "dropped"
+	case AdmitStarved:
+		return "starved"
+	}
+	return fmt.Sprintf("admission(%d)", int(a))
+}
+
+// Config describes a plane.
+type Config struct {
+	// NPs are the line cards, one per shard, already built and installed.
+	// The plane owns their traffic from NewPlane until Close: nothing else
+	// may call Process/ProcessBatch on them concurrently.
+	NPs []*npu.NP
+	// QueueCapacity bounds each shard's ingress queue; arrivals beyond it
+	// tail-drop.
+	QueueCapacity int
+	// MarkThreshold is the queue depth at which admission starts CE-marking
+	// arrivals; 0 selects QueueCapacity/2. Setting it equal to
+	// QueueCapacity disables marking (the depth never reaches it without
+	// tail-dropping instead).
+	MarkThreshold int
+	// BatchSize caps how many packets a shard worker drains per
+	// ProcessBatch call; 0 selects 64.
+	BatchSize int
+	// Obs receives shard_* counters, per-shard depth gauges, and dispatch
+	// ring events (ring index = shard index). Give the plane a collector of
+	// its own when the NPs also publish per-core rings, or the indexes
+	// overlap. Nil disables telemetry.
+	Obs *obs.Collector
+	// RecordBatchCycles retains every drained batch's simulated cycle cost
+	// for latency percentiles. Bench-only: it allocates per batch.
+	RecordBatchCycles bool
+}
+
+// lineCard is one shard: an NP, its bounded ingress queue, and the worker
+// state draining it.
+type lineCard struct {
+	id    int
+	salt  uint64
+	np    *npu.NP
+	ring  *obs.EventRing
+	depth *obs.Gauge
+	// alive is the dispatcher's lock-free view; the authoritative failed
+	// flag lives under mu. alive is cleared only with mu held, so a
+	// dispatcher that re-checks under mu never enqueues to a dead shard.
+	alive atomic.Bool
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	queue        [][]byte
+	failed       bool
+	closed       bool
+	backpressure bool // marking in effect (edge state for EvBackpressure)
+
+	// Stats, under mu. inflight is the size of the batch the worker has
+	// dequeued but not yet accounted; Stats folds it into Backlog so the
+	// conservation invariant holds at any instant, not just at quiescence.
+	arrived, tailDrops, marked, starved      uint64
+	processed, forwarded, appDrops, rejected uint64
+	alarms, faults, ecnMarked                uint64
+	cycles, batches                          uint64
+	inflight                                 int
+	maxDepth                                 int
+	batchCycles                              []uint64
+}
+
+// Plane is the sharded traffic plane.
+type Plane struct {
+	cards     []*lineCard
+	capacity  int
+	markAt    int
+	batchSize int
+	record    bool
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+
+	starvedSubmit atomic.Uint64
+	failovers     atomic.Uint64
+
+	cArrived, cTailDrops, cMarked *obs.Counter
+	cStarved, cFailovers          *obs.Counter
+	cForwarded, cAppDrops         *obs.Counter
+}
+
+// NewPlane builds the plane and starts one drain worker per shard.
+func NewPlane(cfg Config) (*Plane, error) {
+	if len(cfg.NPs) == 0 {
+		return nil, fmt.Errorf("shard: plane needs at least one NP")
+	}
+	if cfg.QueueCapacity < 1 {
+		return nil, fmt.Errorf("shard: queue capacity %d must be >= 1", cfg.QueueCapacity)
+	}
+	markAt := cfg.MarkThreshold
+	if markAt == 0 {
+		markAt = cfg.QueueCapacity / 2
+		if markAt < 1 {
+			markAt = 1
+		}
+	}
+	if markAt < 1 || markAt > cfg.QueueCapacity {
+		return nil, fmt.Errorf("shard: mark threshold %d outside [1, %d]", markAt, cfg.QueueCapacity)
+	}
+	batch := cfg.BatchSize
+	if batch == 0 {
+		batch = 64
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("shard: batch size %d must be >= 1", batch)
+	}
+	reg := cfg.Obs.Registry()
+	p := &Plane{
+		capacity:   cfg.QueueCapacity,
+		markAt:     markAt,
+		batchSize:  batch,
+		record:     cfg.RecordBatchCycles,
+		cArrived:   reg.Counter("shard_arrived_total"),
+		cTailDrops: reg.Counter("shard_tail_drops_total"),
+		cMarked:    reg.Counter("shard_marked_total"),
+		cStarved:   reg.Counter("shard_starved_drops_total"),
+		cFailovers: reg.Counter("shard_failovers_total"),
+		cForwarded: reg.Counter("shard_forwarded_total"),
+		cAppDrops:  reg.Counter("shard_app_drops_total"),
+	}
+	for i, np := range cfg.NPs {
+		if np == nil {
+			return nil, fmt.Errorf("shard: NP %d is nil", i)
+		}
+		lc := &lineCard{
+			id: i,
+			// Golden-ratio stride keeps shard salts well separated; mix64
+			// in the weight function does the rest.
+			salt:  mix64(uint64(i)*0x9E3779B97F4A7C15 + 1),
+			np:    np,
+			ring:  cfg.Obs.Ring(i),
+			depth: reg.Gauge(fmt.Sprintf(`shard_queue_depth{shard="%d"}`, i)),
+		}
+		lc.cond = sync.NewCond(&lc.mu)
+		lc.alive.Store(true)
+		p.cards = append(p.cards, lc)
+	}
+	for _, lc := range p.cards {
+		p.wg.Add(1)
+		go p.worker(lc)
+	}
+	return p, nil
+}
+
+// Shards reports the number of line cards (healthy or not).
+func (p *Plane) Shards() int { return len(p.cards) }
+
+// ShardFor reports which shard the dispatcher would pick for a flow key
+// right now — the rendezvous argmax over the currently healthy shards, the
+// same choice Submit makes. -1 when no shard is healthy.
+func (p *Plane) ShardFor(key uint64) int {
+	best := -1
+	var bestW uint64
+	for i, lc := range p.cards {
+		if !lc.alive.Load() {
+			continue
+		}
+		w := mix64(key ^ lc.salt)
+		if best < 0 || w > bestW {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// markCE sets the ECN CE codepoint on a wire-format IPv4 packet and
+// incrementally updates the header checksum (RFC 1624: HC' = ~(~HC + ~m +
+// m')), so a marked packet stays verifiable. Reports whether the packet
+// was modified (already-CE and non-IPv4 packets are left alone).
+func markCE(pkt []byte) bool {
+	if len(pkt) < 20 || pkt[0]>>4 != 4 {
+		return false
+	}
+	if pkt[1]&0x3 == 0x3 {
+		return false
+	}
+	old := binary.BigEndian.Uint16(pkt[0:2])
+	pkt[1] |= 0x3
+	m := binary.BigEndian.Uint16(pkt[0:2])
+	hc := binary.BigEndian.Uint16(pkt[10:12])
+	sum := uint32(^hc) + uint32(^old) + uint32(m)
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	binary.BigEndian.PutUint16(pkt[10:12], ^uint16(sum))
+	return true
+}
+
+// Submit dispatches one packet. The plane takes ownership of pkt (marking
+// mutates it in place; it is later handed to an NP core). Every submission
+// is accounted under exactly one Admission outcome, which is what makes
+// the plane's conservation invariant checkable.
+func (p *Plane) Submit(pkt []byte) Admission {
+	p.cArrived.Inc()
+	if p.closed.Load() {
+		p.starvedSubmit.Add(1)
+		p.cStarved.Inc()
+		return AdmitStarved
+	}
+	key := FlowKeyOf(pkt)
+	for {
+		id := p.ShardFor(key)
+		if id < 0 {
+			p.starvedSubmit.Add(1)
+			p.cStarved.Inc()
+			return AdmitStarved
+		}
+		lc := p.cards[id]
+		lc.mu.Lock()
+		if lc.failed || lc.closed {
+			// The shard died between the lock-free pick and the lock;
+			// alive is already false, so the re-pick skips it.
+			lc.mu.Unlock()
+			continue
+		}
+		lc.arrived++
+		depth := len(lc.queue)
+		if depth >= p.capacity {
+			lc.tailDrops++
+			lc.mu.Unlock()
+			p.cTailDrops.Inc()
+			return AdmitDropped
+		}
+		adm := AdmitQueued
+		if depth >= p.markAt {
+			if !lc.backpressure {
+				lc.backpressure = true
+				lc.ring.Emit(obs.EvBackpressure, 0, uint64(depth))
+			}
+			if markCE(pkt) {
+				lc.marked++
+				adm = AdmitMarked
+			}
+		}
+		lc.queue = append(lc.queue, pkt)
+		if len(lc.queue) > lc.maxDepth {
+			lc.maxDepth = len(lc.queue)
+		}
+		lc.depth.Set(float64(len(lc.queue)))
+		lc.cond.Signal()
+		lc.mu.Unlock()
+		if adm == AdmitMarked {
+			p.cMarked.Inc()
+		}
+		return adm
+	}
+}
+
+// worker drains one shard's queue until the shard fails over or the plane
+// closes (a closing worker finishes its backlog first).
+func (p *Plane) worker(lc *lineCard) {
+	defer p.wg.Done()
+	var buf [][]byte
+	for {
+		lc.mu.Lock()
+		for len(lc.queue) == 0 && !lc.closed && !lc.failed {
+			lc.cond.Wait()
+		}
+		if lc.failed || (lc.closed && len(lc.queue) == 0) {
+			lc.mu.Unlock()
+			return
+		}
+		n := len(lc.queue)
+		if n > p.batchSize {
+			n = p.batchSize
+		}
+		if cap(buf) < n {
+			buf = make([][]byte, n)
+		}
+		batch := buf[:n]
+		copy(batch, lc.queue[:n])
+		for i := 0; i < n; i++ {
+			lc.queue[i] = nil // release for GC; the slice head advances
+		}
+		lc.queue = lc.queue[n:]
+		lc.inflight = n
+		backlog := len(lc.queue)
+		lc.mu.Unlock()
+
+		// The congestion-management applications see the residual backlog
+		// as their queue depth — the post-drain state of this shard.
+		out, err := lc.np.DrainBatch(batch, backlog)
+
+		dead := !lc.np.Healthy() ||
+			(err != nil && (errors.Is(err, npu.ErrNoCoreAvailable) || errors.Is(err, npu.ErrNoAppInstalled)))
+
+		lc.mu.Lock()
+		lc.inflight = 0
+		lc.batches++
+		lc.processed += out.Processed
+		lc.forwarded += out.Forwarded
+		lc.appDrops += out.Dropped
+		lc.alarms += out.Alarms
+		lc.faults += out.Faults
+		lc.ecnMarked += out.ECNMarked
+		lc.cycles += out.Cycles
+		if p.record {
+			lc.batchCycles = append(lc.batchCycles, out.Cycles)
+		}
+		if out.Unprocessed > 0 {
+			if dead {
+				// The batch tail never ran because the NP wedged: shed it
+				// with the queue below, conservation intact.
+				lc.starved += uint64(out.Unprocessed)
+			} else {
+				// Rejected before execution (oversize) on a healthy NP.
+				lc.rejected += uint64(out.Unprocessed)
+			}
+		}
+		if dead {
+			extra := uint64(0)
+			if out.Unprocessed > 0 {
+				extra = uint64(out.Unprocessed)
+			}
+			p.failLocked(lc, extra)
+			lc.mu.Unlock()
+			p.cForwarded.Add(out.Forwarded)
+			p.cAppDrops.Add(out.Dropped)
+			return
+		}
+		if len(lc.queue) < p.markAt {
+			lc.backpressure = false
+		}
+		lc.depth.Set(float64(len(lc.queue)))
+		lc.mu.Unlock()
+		p.cForwarded.Add(out.Forwarded)
+		p.cAppDrops.Add(out.Dropped)
+	}
+}
+
+// failLocked removes a shard from dispatch: its queued packets are shed as
+// starved drops and its flows re-rendezvous onto the survivors. Called
+// with lc.mu held. extra is already-shed work (a batch tail) folded into
+// the failover event's aux.
+func (p *Plane) failLocked(lc *lineCard, extra uint64) {
+	if lc.failed {
+		return
+	}
+	lc.failed = true
+	lc.alive.Store(false)
+	shed := uint64(len(lc.queue))
+	lc.starved += shed
+	for i := range lc.queue {
+		lc.queue[i] = nil
+	}
+	lc.queue = nil
+	lc.depth.Set(0)
+	lc.cond.Broadcast()
+	p.failovers.Add(1)
+	p.cFailovers.Inc()
+	p.cStarved.Add(shed + extra)
+	lc.ring.Emit(obs.EvFailover, 0, shed+extra)
+}
+
+// Close stops the plane: workers finish their remaining backlog, then
+// exit. Submissions racing with Close are still accounted (as queued or
+// starved); Submit after Close returns AdmitStarved.
+func (p *Plane) Close() {
+	p.closed.Store(true)
+	for _, lc := range p.cards {
+		lc.mu.Lock()
+		lc.closed = true
+		lc.cond.Broadcast()
+		lc.mu.Unlock()
+	}
+	p.wg.Wait()
+}
+
+// ShardStats is one line card's accounting.
+type ShardStats struct {
+	Shard     int
+	Failed    bool
+	Arrived   uint64 // dispatched to this shard (including tail drops)
+	TailDrops uint64
+	Marked    uint64 // CE-marked at admission
+	Starved   uint64 // shed at failover (queue + unfinished batch tail)
+	Processed uint64 // ran on a core
+	Forwarded uint64
+	AppDrops  uint64 // verdict, alarm and fault drops
+	Rejected  uint64 // refused before execution on a healthy NP (oversize)
+	Alarms    uint64
+	Faults    uint64
+	ECNMarked uint64 // forwarded packets leaving with the CE mark
+	Cycles    uint64 // simulated core cycles consumed
+	Batches   uint64
+	MaxDepth  int
+	Backlog   int // queued + in the worker's unaccounted batch at snapshot time
+}
+
+// PlaneStats aggregates the plane.
+type PlaneStats struct {
+	Shards    []ShardStats
+	Arrived   uint64 // total Submit calls
+	Forwarded uint64
+	AppDrops  uint64
+	Rejected  uint64
+	TailDrops uint64
+	Marked    uint64
+	Starved   uint64 // failover sheds + submissions with no healthy shard
+	ECNMarked uint64
+	Backlog   uint64
+	Failovers uint64
+}
+
+// Conserved checks packet conservation: every submitted packet is exactly
+// one of forwarded, app-dropped, rejected, tail-dropped, starved, or still
+// queued. This is the invariant the fault-injection suite pins.
+func (s PlaneStats) Conserved() bool {
+	return s.Arrived == s.Forwarded+s.AppDrops+s.Rejected+s.TailDrops+s.Starved+s.Backlog
+}
+
+// Stats snapshots the plane. Each shard is snapshotted under its lock,
+// and a batch the worker has dequeued but not yet accounted counts as
+// backlog, so Conserved() holds for a mid-run snapshot too — not just at
+// quiescence.
+func (p *Plane) Stats() PlaneStats {
+	var ps PlaneStats
+	for _, lc := range p.cards {
+		lc.mu.Lock()
+		s := ShardStats{
+			Shard:     lc.id,
+			Failed:    lc.failed,
+			Arrived:   lc.arrived,
+			TailDrops: lc.tailDrops,
+			Marked:    lc.marked,
+			Starved:   lc.starved,
+			Processed: lc.processed,
+			Forwarded: lc.forwarded,
+			AppDrops:  lc.appDrops,
+			Rejected:  lc.rejected,
+			Alarms:    lc.alarms,
+			Faults:    lc.faults,
+			ECNMarked: lc.ecnMarked,
+			Cycles:    lc.cycles,
+			Batches:   lc.batches,
+			MaxDepth:  lc.maxDepth,
+			Backlog:   len(lc.queue) + lc.inflight,
+		}
+		lc.mu.Unlock()
+		ps.Shards = append(ps.Shards, s)
+		ps.Arrived += s.Arrived
+		ps.Forwarded += s.Forwarded
+		ps.AppDrops += s.AppDrops
+		ps.Rejected += s.Rejected
+		ps.TailDrops += s.TailDrops
+		ps.Marked += s.Marked
+		ps.Starved += s.Starved
+		ps.ECNMarked += s.ECNMarked
+		ps.Backlog += uint64(s.Backlog)
+	}
+	ps.Arrived += p.starvedSubmit.Load()
+	ps.Starved += p.starvedSubmit.Load()
+	ps.Failovers = p.failovers.Load()
+	return ps
+}
+
+// BatchCycles returns every drained batch's simulated cycle cost across
+// all shards (only populated under Config.RecordBatchCycles).
+func (p *Plane) BatchCycles() []uint64 {
+	var out []uint64
+	for _, lc := range p.cards {
+		lc.mu.Lock()
+		out = append(out, lc.batchCycles...)
+		lc.mu.Unlock()
+	}
+	return out
+}
