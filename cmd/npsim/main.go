@@ -55,6 +55,14 @@ func main() {
 	traceOut := flag.String("trace", "", "write the structured event trace as JSON lines on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// npsim takes no positional arguments. Rejecting them loudly keeps
+		// the pre-bool-or-path `-metrics FILE` spelling from silently
+		// writing to the default path while FILE is ignored.
+		fmt.Fprintf(os.Stderr, "npsim: unexpected argument %q (path-taking flags use -flag=value, e.g. -metrics=out.json)\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var col *obs.Collector
 	if metricsOut.path != "" || *traceOut != "" || *pprofAddr != "" {

@@ -372,7 +372,10 @@ func (g *FlowGenerator) NextIndexed() ([]byte, int) {
 		payload[3] = byte(f.DstPort)
 	}
 	p := &packet.IPv4{
-		TOS:     uint8(g.rng.Intn(256)) &^ 0x3, // ECN bits clear
+		// ECT(0): the flows model ECN-capable transports, so threshold
+		// congestion at the shard planes' admission control CE-marks them
+		// instead of dropping (RFC 3168 forbids marking not-ECT traffic).
+		TOS:     uint8(g.rng.Intn(256))&^0x3 | 0x2,
 		ID:      uint16(g.rng.Intn(65536)),
 		TTL:     uint8(2 + g.rng.Intn(62)),
 		Proto:   f.Proto,

@@ -34,15 +34,18 @@ import (
 // health sample, say — can run against an NP that a shard worker is
 // draining. Result.Packet slices are only valid until the next batch.
 func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
-	results, _, err := np.processBatch(pkts, qdepth)
+	results, _, _, err := np.processBatch(pkts, qdepth)
 	return results, err
 }
 
 // processBatch is the shared batch engine: it additionally returns the
 // merged stat delta of exactly this batch, which is how DrainBatch
 // accounts a batch without a Stats() before/after window that concurrent
-// traffic on the same NP would pollute.
-func (np *NP) processBatch(pkts [][]byte, qdepth int) ([]Result, Stats, error) {
+// traffic on the same NP would pollute, and the batch's CE-marked forward
+// count, which must be tallied while batchMu is still held because the
+// results alias the reused arena (a concurrent batch overwrites it the
+// moment the lock is released).
+func (np *NP) processBatch(pkts [][]byte, qdepth int) ([]Result, Stats, uint64, error) {
 	np.batchMu.Lock()
 	defer np.batchMu.Unlock()
 	loaded, available := 0, 0
@@ -57,10 +60,10 @@ func (np *NP) processBatch(pkts [][]byte, qdepth int) ([]Result, Stats, error) {
 		s.mu.Unlock()
 	}
 	if loaded == 0 {
-		return nil, Stats{}, ErrNoAppInstalled
+		return nil, Stats{}, 0, ErrNoAppInstalled
 	}
 	if available == 0 {
-		return nil, Stats{}, ErrNoCoreAvailable
+		return nil, Stats{}, 0, ErrNoCoreAvailable
 	}
 
 	results := make([]Result, len(pkts))
@@ -160,7 +163,17 @@ func (np *NP) processBatch(pkts [][]byte, qdepth int) ([]Result, Stats, error) {
 	if n := int(cursor.Load()); n < len(pkts) && firstErr == nil {
 		firstErr = fmt.Errorf("npu: %d packets unprocessed: %w", len(pkts)-n, ErrNoCoreAvailable)
 	}
-	return results, merged, firstErr
+	// CE-marked forward count, tallied before batchMu is released: the
+	// Packet slices alias the arena, which the next batch reuses.
+	var ecnMarked uint64
+	for i := range results {
+		r := &results[i]
+		if r.Verdict == apps.VerdictForward && !r.Detected && !r.Faulted &&
+			len(r.Packet) > 1 && r.Packet[1]&0x3 == 0x3 {
+			ecnMarked++
+		}
+	}
+	return results, merged, ecnMarked, firstErr
 }
 
 // add accumulates d into s.

@@ -1,7 +1,5 @@
 package npu
 
-import "sdmmon/internal/apps"
-
 // This file is the NP's face toward a multi-NP traffic plane
 // (internal/shard): a batch-drain entry point that reports per-batch
 // outcomes instead of per-packet results, and a race-safe health probe the
@@ -35,9 +33,12 @@ type BatchOutcome struct {
 // quarantined NP). The outcome is built from this batch's own merged stat
 // delta — not a Stats() before/after window — so concurrent traffic on
 // the same NP (a rollout's health sample batching against a live line
-// card) cannot leak into the shard's accounting.
+// card) cannot leak into the shard's accounting. The ECNMarked tally comes
+// from inside the batch engine, while it still holds batchMu: the result
+// Packet slices alias the NP's reused arena, so scanning them here would
+// race a concurrent batch overwriting it.
 func (np *NP) DrainBatch(pkts [][]byte, qdepth int) (BatchOutcome, error) {
-	results, d, err := np.processBatch(pkts, qdepth)
+	_, d, ecnMarked, err := np.processBatch(pkts, qdepth)
 
 	var o BatchOutcome
 	o.Processed = d.Processed
@@ -46,14 +47,8 @@ func (np *NP) DrainBatch(pkts [][]byte, qdepth int) (BatchOutcome, error) {
 	o.Alarms = d.Alarms
 	o.Faults = d.Faults
 	o.Cycles = d.Cycles
+	o.ECNMarked = ecnMarked
 	o.Unprocessed = len(pkts) - int(o.Processed)
-	for i := range results {
-		r := &results[i]
-		if r.Verdict == apps.VerdictForward && !r.Detected && !r.Faulted &&
-			len(r.Packet) > 1 && r.Packet[1]&0x3 == 0x3 {
-			o.ECNMarked++
-		}
-	}
 	return o, err
 }
 

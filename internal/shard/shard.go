@@ -9,10 +9,12 @@
 //     packets of a flow traverse one shard's FIFO queue and one NP —
 //     per-flow order is preserved end to end;
 //
-//   - admission control: each shard has a bounded ingress queue; arrivals
-//     past the marking threshold are CE-marked (ECN-style backpressure,
-//     with the IPv4 header checksum incrementally fixed per RFC 1624) and
-//     arrivals at a full queue tail-drop — counted, never silently lost;
+//   - admission control: each shard has a bounded ingress queue; ECN-
+//     capable (ECT) arrivals past the marking threshold are CE-marked
+//     (ECN-style backpressure, with the IPv4 header checksum incrementally
+//     fixed per RFC 1624), not-ECT arrivals past the threshold are dropped
+//     in their place (RFC 3168's mark-or-drop equivalence), and arrivals
+//     at a full queue tail-drop — counted, never silently lost;
 //
 //   - failover: a shard whose NP can no longer take traffic (every core
 //     quarantined by the supervisor) is removed from dispatch; its queued
@@ -92,7 +94,9 @@ const (
 	// AdmitMarked: accepted, but the queue was past the marking threshold
 	// and the packet now carries the CE mark.
 	AdmitMarked
-	// AdmitDropped: tail-dropped at a full ingress queue.
+	// AdmitDropped: tail-dropped at a full ingress queue, or a not-ECT
+	// packet dropped past the marking threshold (RFC 3168: drop where an
+	// ECT packet would have been CE-marked).
 	AdmitDropped
 	// AdmitStarved: no healthy shard remains (or the plane is closed); the
 	// packet was counted as a starved drop.
@@ -274,15 +278,26 @@ func (p *Plane) ShardFor(key uint64) int {
 	return best
 }
 
+// ecnField reads a wire-format packet's ECN codepoint (RFC 3168: 0 =
+// not-ECT, 1 = ECT(1), 2 = ECT(0), 3 = CE), or -1 for anything that is not
+// a parseable IPv4 header.
+func ecnField(pkt []byte) int {
+	if len(pkt) < 20 || pkt[0]>>4 != 4 {
+		return -1
+	}
+	return int(pkt[1] & 0x3)
+}
+
 // markCE sets the ECN CE codepoint on a wire-format IPv4 packet and
 // incrementally updates the header checksum (RFC 1624: HC' = ~(~HC + ~m +
 // m')), so a marked packet stays verifiable. Reports whether the packet
-// was modified (already-CE and non-IPv4 packets are left alone).
+// was modified. Only ECN-capable packets — ECT(0)/ECT(1) — are marked:
+// RFC 3168 §5 forbids setting CE on not-ECT traffic (already-CE and
+// non-IPv4 packets are also left alone).
 func markCE(pkt []byte) bool {
-	if len(pkt) < 20 || pkt[0]>>4 != 4 {
-		return false
-	}
-	if pkt[1]&0x3 == 0x3 {
+	switch ecnField(pkt) {
+	case 0x1, 0x2: // ECT(1)/ECT(0): markable
+	default: // not-ECT, already-CE, or not IPv4
 		return false
 	}
 	old := binary.BigEndian.Uint16(pkt[0:2])
@@ -303,13 +318,17 @@ func markCE(pkt []byte) bool {
 // the plane's conservation invariant checkable.
 func (p *Plane) Submit(pkt []byte) Admission {
 	p.cArrived.Inc()
-	if p.closed.Load() {
-		p.starvedSubmit.Add(1)
-		p.cStarved.Inc()
-		return AdmitStarved
-	}
 	key := FlowKeyOf(pkt)
 	for {
+		// Re-checked every iteration, not just at entry: Close sets each
+		// shard's closed flag without clearing its alive bit (only failover
+		// does that), so a submission racing Close would otherwise re-pick
+		// the same closed-but-alive shard forever.
+		if p.closed.Load() {
+			p.starvedSubmit.Add(1)
+			p.cStarved.Inc()
+			return AdmitStarved
+		}
 		id := p.ShardFor(key)
 		if id < 0 {
 			p.starvedSubmit.Add(1)
@@ -319,8 +338,10 @@ func (p *Plane) Submit(pkt []byte) Admission {
 		lc := p.cards[id]
 		lc.mu.Lock()
 		if lc.failed || lc.closed {
-			// The shard died between the lock-free pick and the lock;
-			// alive is already false, so the re-pick skips it.
+			// The shard died (alive already cleared, so the re-pick skips
+			// it) or the plane is closing (observing lc.closed under the
+			// lock means Close's p.closed store already happened, so the
+			// loop-top check accounts this packet as starved).
 			lc.mu.Unlock()
 			continue
 		}
@@ -338,9 +359,21 @@ func (p *Plane) Submit(pkt []byte) Admission {
 				lc.backpressure = true
 				lc.ring.Emit(obs.EvBackpressure, 0, uint64(depth))
 			}
-			if markCE(pkt) {
+			switch ecnField(pkt) {
+			case 0x1, 0x2: // ECT: carry the congestion signal in-band
+				markCE(pkt)
 				lc.marked++
 				adm = AdmitMarked
+			case 0x3:
+				// Already CE — the signal is on the wire; admit unmodified.
+			default:
+				// Not-ECT (or not IPv4): RFC 3168 §5 requires dropping
+				// where an ECT packet would be marked. Accounted with the
+				// tail drops so conservation stays a single invariant.
+				lc.tailDrops++
+				lc.mu.Unlock()
+				p.cTailDrops.Inc()
+				return AdmitDropped
 			}
 		}
 		lc.queue = append(lc.queue, pkt)

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"sync"
 	"testing"
 
 	"sdmmon/internal/apps"
@@ -103,24 +104,80 @@ func TestFlowKeyStableAndPortSensitive(t *testing.T) {
 }
 
 func TestMarkCE(t *testing.T) {
-	pkt := packet.NewGenerator(3).Next() // ECN bits clear, checksum valid
-	if !packet.ChecksumOK(pkt) {
-		t.Fatal("generator produced a bad checksum")
+	mk := func(tos uint8) []byte {
+		p := &packet.IPv4{
+			TOS: tos, TTL: 64, Proto: packet.ProtoUDP,
+			Src: packet.IP(10, 0, 0, 1), Dst: packet.IP(10, 0, 0, 2),
+			Payload: (&packet.UDP{SrcPort: 9, DstPort: 53, Payload: []byte("q")}).Marshal(),
+		}
+		b, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
 	}
-	if !markCE(pkt) {
-		t.Fatal("markCE refused a markable packet")
+	for _, ect := range []uint8{0x1, 0x2} { // ECT(1), ECT(0)
+		pkt := mk(0x20 | ect)
+		if !packet.ChecksumOK(pkt) {
+			t.Fatal("marshal produced a bad checksum")
+		}
+		if !markCE(pkt) {
+			t.Fatalf("markCE refused an ECT packet (ECN %#x)", ect)
+		}
+		if pkt[1]&0x3 != 0x3 {
+			t.Error("CE codepoint not set")
+		}
+		if !packet.ChecksumOK(pkt) {
+			t.Error("incremental checksum update broke the header checksum")
+		}
+		if markCE(pkt) {
+			t.Error("already-CE packet re-marked")
+		}
 	}
-	if pkt[1]&0x3 != 0x3 {
-		t.Error("CE codepoint not set")
-	}
-	if !packet.ChecksumOK(pkt) {
-		t.Error("incremental checksum update broke the header checksum")
-	}
-	if markCE(pkt) {
-		t.Error("already-CE packet re-marked")
+	// RFC 3168: not-ECT traffic must never be CE-marked.
+	notECT := packet.NewGenerator(3).Next() // generator clears ECN bits
+	if markCE(notECT) {
+		t.Error("not-ECT packet marked")
 	}
 	if markCE([]byte{1, 2, 3}) {
 		t.Error("short packet marked")
+	}
+}
+
+// TestPlaneNotECTDropInsteadOfMark pins the RFC 3168 mark-or-drop
+// equivalence at admission: a burst of not-ECT traffic past the marking
+// threshold is never CE-marked — it is dropped in the mark's place — and
+// every drop is accounted so conservation still holds.
+func TestPlaneNotECTDropInsteadOfMark(t *testing.T) {
+	plane, err := NewPlane(Config{
+		NPs:           []*npu.NP{planeNP(t, 1, 77)},
+		QueueCapacity: 32,
+		MarkThreshold: 8,
+		BatchSize:     16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := packet.NewGenerator(7) // not-ECT traffic
+	var dropped, marked int
+	for i := 0; i < 20000; i++ {
+		switch plane.Submit(gen.Next()) {
+		case AdmitDropped:
+			dropped++
+		case AdmitMarked:
+			marked++
+		}
+	}
+	plane.Close()
+	st := plane.Stats()
+	if !st.Conserved() {
+		t.Fatalf("not conserved: %+v", st)
+	}
+	if marked != 0 || st.Marked != 0 {
+		t.Errorf("not-ECT traffic was CE-marked at admission (%d admissions, %d stats)", marked, st.Marked)
+	}
+	if dropped == 0 || uint64(dropped) != st.TailDrops {
+		t.Errorf("threshold drops: admission saw %d, stats say %d", dropped, st.TailDrops)
 	}
 }
 
@@ -396,6 +453,49 @@ func TestPlaneConservationUnderFaultsAndFailover(t *testing.T) {
 	}
 	if got := col.Registry().Counter("shard_forwarded_total").Value(); got != st.Forwarded {
 		t.Errorf("shard_forwarded_total = %d, want %d", got, st.Forwarded)
+	}
+}
+
+// TestPlaneSubmitRacingClose pins the Submit/Close contract: submitters
+// running concurrently with Close must terminate — Close sets each shard's
+// closed flag without clearing its alive bit, so without the loop-top
+// closed re-check Submit would re-pick the same closed-but-alive shard
+// forever — and every racing submission must still be accounted (queued or
+// starved), keeping conservation intact.
+func TestPlaneSubmitRacingClose(t *testing.T) {
+	nps := []*npu.NP{planeNP(t, 1, 51), planeNP(t, 1, 52)}
+	plane, err := NewPlane(Config{NPs: nps, QueueCapacity: 64, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const submitters = 4
+	const perSubmitter = 2000
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gen, err := network.NewFlowGenerator(32, int64(100+g))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			<-start
+			for i := 0; i < perSubmitter; i++ {
+				plane.Submit(gen.Next())
+			}
+		}(g)
+	}
+	close(start)
+	plane.Close() // races the submitters
+	wg.Wait()
+	st := plane.Stats()
+	if st.Arrived != submitters*perSubmitter {
+		t.Errorf("arrived %d, want %d", st.Arrived, submitters*perSubmitter)
+	}
+	if !st.Conserved() {
+		t.Fatalf("not conserved after racing close: %+v", st)
 	}
 }
 
