@@ -3,15 +3,15 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all check build vet fmt-check test test-short test-race test-obs test-faults test-rollout test-shard bench fuzz experiments examples verilog clean
+.PHONY: all check build vet fmt-check test test-short test-race test-obs test-faults test-rollout test-shard test-threat bench fuzz experiments examples verilog clean
 
 all: check
 
 # The default CI gate: build, static checks, full tests, the race
 # detector over the concurrent packages, the observability layer, the
-# fault-injection suite, the live-upgrade suite, and the sharded traffic
-# plane.
-check: build vet fmt-check test test-race test-obs test-faults test-rollout test-shard
+# fault-injection suite, the live-upgrade suite, the sharded traffic
+# plane, and the graded threat-response engine.
+check: build vet fmt-check test test-race test-obs test-faults test-rollout test-shard test-threat
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,14 @@ test-shard:
 	$(GO) test -race ./internal/shard/...
 	$(GO) test -run 'ShardScalingGate' -count=1 ./internal/shard/
 
+# The graded threat-response engine under the race detector: EWMA/FSM
+# edge cases, deterministic campaign replay (byte-identical incident
+# records), the live-plane concurrent-drains test, and the shard-side
+# conservation drill with responses firing mid-traffic.
+test-threat:
+	$(GO) test -race ./internal/threat/...
+	$(GO) test -race -run 'Threat' -count=1 ./internal/shard/...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -75,6 +83,8 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDeserializeGraph -fuzztime=30s ./internal/monitor/
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalPackage -fuzztime=30s ./internal/seccrypto/
 	$(GO) test -run=NONE -fuzz=FuzzProcessPacket -fuzztime=30s ./internal/npu/
+	$(GO) test -run=NONE -fuzz=FuzzThreatPolicy -fuzztime=30s ./internal/threat/
+	$(GO) test -run=NONE -fuzz=FuzzIncidentRecord -fuzztime=30s ./internal/threat/
 
 # Regenerate every table/figure of the paper (EXPERIMENTS.md source).
 experiments:

@@ -50,6 +50,8 @@ func main() {
 	routers := flag.Int("routers", 4, "fleet size for -rollout")
 	load := flag.Bool("load", false, "run the sharded traffic plane under overload (see -shards)")
 	shards := flag.Int("shards", 4, "line-card shards for -load")
+	threatDrill := flag.String("threat", "", "graded threat-response drill: burst, ramp, slowdrip, or all (self-asserting, replayed twice)")
+	incidentsOut := flag.String("incidents", "", "write captured incident records as JSON lines (with -threat)")
 	metricsOut := &pathFlag{def: "npsim_metrics.json"}
 	flag.Var(metricsOut, "metrics", "write a metrics snapshot on exit; bare -metrics selects npsim_metrics.json, -metrics=FILE a path (.prom = Prometheus text, otherwise JSON)")
 	traceOut := flag.String("trace", "", "write the structured event trace as JSON lines on exit")
@@ -82,6 +84,8 @@ func main() {
 		err = runRollout(*rollout, *routers, *cores, *seed, col)
 	case *faults != "":
 		err = runFaults(*faults, *appName, *cores, *seed, col)
+	case *threatDrill != "":
+		err = runThreat(*threatDrill, *seed, *incidentsOut)
 	case *load:
 		err = runLoad(*appName, *shards, *cores, *packets, *seed, *clockMHz, col)
 	case *bench:

@@ -491,11 +491,19 @@ func (np *NP) Scratch(coreID, off, n int) ([]byte, error) {
 	return np.slots[coreID].core.Scratch(off, n), nil
 }
 
-// MonitorStats reports a core's monitor counters.
+// MonitorStats reports a core's monitor counters. It takes the slot lock,
+// so a read concurrent with the packet path sees counters from a packet
+// boundary, never a mid-packet tear.
 func (np *NP) MonitorStats(coreID int) (checked, alarms uint64, maxPositions int, err error) {
-	if coreID < 0 || coreID >= len(np.slots) || !np.slots[coreID].loaded {
+	if coreID < 0 || coreID >= len(np.slots) {
 		return 0, 0, 0, fmt.Errorf("npu: core %d not loaded", coreID)
 	}
-	checked, alarms, maxPositions = np.slots[coreID].mon.Counters()
+	slot := np.slots[coreID]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if !slot.loaded {
+		return 0, 0, 0, fmt.Errorf("npu: core %d not loaded", coreID)
+	}
+	checked, alarms, maxPositions = slot.mon.Counters()
 	return checked, alarms, maxPositions, nil
 }

@@ -44,21 +44,33 @@ const (
 	// rendezvous-rehashed to the surviving shards; Aux is the number of
 	// queued packets shed as starved drops.
 	EvFailover
+	// EvThreatLevel: the threat classifier changed level; Aux packs the
+	// transition as from<<32|to (internal/threat level ordinals).
+	EvThreatLevel
+	// EvThreatResponse: a graded threat response fired; Aux is the action
+	// ordinal (internal/threat action enum).
+	EvThreatResponse
+	// EvIncident: the forensic capture unit persisted an incident record;
+	// Aux is the incident ID.
+	EvIncident
 )
 
 var eventKindNames = [...]string{
-	EvAlarm:        "alarm",
-	EvFault:        "fault",
-	EvWatchdog:     "watchdog",
-	EvRecover:      "recover",
-	EvQuarantine:   "quarantine",
-	EvInstall:      "install",
-	EvStage:        "stage",
-	EvCommit:       "commit",
-	EvRollback:     "rollback",
-	EvAbort:        "abort",
-	EvBackpressure: "backpressure",
-	EvFailover:     "failover",
+	EvAlarm:          "alarm",
+	EvFault:          "fault",
+	EvWatchdog:       "watchdog",
+	EvRecover:        "recover",
+	EvQuarantine:     "quarantine",
+	EvInstall:        "install",
+	EvStage:          "stage",
+	EvCommit:         "commit",
+	EvRollback:       "rollback",
+	EvAbort:          "abort",
+	EvBackpressure:   "backpressure",
+	EvFailover:       "failover",
+	EvThreatLevel:    "threat_level",
+	EvThreatResponse: "threat_response",
+	EvIncident:       "incident",
 }
 
 func (k EventKind) String() string {

@@ -163,6 +163,11 @@ type lineCard struct {
 	failed       bool
 	closed       bool
 	backpressure bool // marking in effect (edge state for EvBackpressure)
+	// Per-card admission thresholds, under mu. Seeded from the plane
+	// defaults; runtime response logic (internal/threat) tightens and
+	// restores them per shard via SetAdmission.
+	capacity int
+	markAt   int
 
 	// Stats, under mu. inflight is the size of the batch the worker has
 	// dequeued but not yet accounted; Stats folds it into Backlog so the
@@ -185,6 +190,7 @@ type Plane struct {
 	record    bool
 	wg        sync.WaitGroup
 	closed    atomic.Bool
+	lockdown  atomic.Bool
 
 	starvedSubmit atomic.Uint64
 	failovers     atomic.Uint64
@@ -246,6 +252,8 @@ func NewPlane(cfg Config) (*Plane, error) {
 			ring:  cfg.Obs.Ring(i),
 			depth: reg.Gauge(fmt.Sprintf(`shard_queue_depth{shard="%d"}`, i)),
 		}
+		lc.capacity = cfg.QueueCapacity
+		lc.markAt = markAt
 		lc.cond = sync.NewCond(&lc.mu)
 		lc.alive.Store(true)
 		p.cards = append(p.cards, lc)
@@ -324,7 +332,7 @@ func (p *Plane) Submit(pkt []byte) Admission {
 		// shard's closed flag without clearing its alive bit (only failover
 		// does that), so a submission racing Close would otherwise re-pick
 		// the same closed-but-alive shard forever.
-		if p.closed.Load() {
+		if p.closed.Load() || p.lockdown.Load() {
 			p.starvedSubmit.Add(1)
 			p.cStarved.Inc()
 			return AdmitStarved
@@ -347,14 +355,14 @@ func (p *Plane) Submit(pkt []byte) Admission {
 		}
 		lc.arrived++
 		depth := len(lc.queue)
-		if depth >= p.capacity {
+		if depth >= lc.capacity {
 			lc.tailDrops++
 			lc.mu.Unlock()
 			p.cTailDrops.Inc()
 			return AdmitDropped
 		}
 		adm := AdmitQueued
-		if depth >= p.markAt {
+		if depth >= lc.markAt {
 			if !lc.backpressure {
 				lc.backpressure = true
 				lc.ring.Emit(obs.EvBackpressure, 0, uint64(depth))
@@ -462,7 +470,7 @@ func (p *Plane) worker(lc *lineCard) {
 			p.cAppDrops.Add(out.Dropped)
 			return
 		}
-		if len(lc.queue) < p.markAt {
+		if len(lc.queue) < lc.markAt {
 			lc.backpressure = false
 		}
 		lc.depth.Set(float64(len(lc.queue)))
@@ -495,6 +503,68 @@ func (p *Plane) failLocked(lc *lineCard, extra uint64) {
 	p.cStarved.Add(shed + extra)
 	lc.ring.Emit(obs.EvFailover, 0, shed+extra)
 }
+
+// SetAdmission retunes one shard's admission thresholds at runtime: queue
+// capacity and CE-mark threshold. Packets already queued beyond a reduced
+// capacity are not shed — they drain normally; only new arrivals see the
+// tighter limits, so packet conservation is untouched. This is the lever
+// the threat engine's tighten_admission response pulls.
+func (p *Plane) SetAdmission(shard, capacity, markAt int) error {
+	if shard < 0 || shard >= len(p.cards) {
+		return fmt.Errorf("shard: no shard %d", shard)
+	}
+	if capacity < 1 {
+		return fmt.Errorf("shard: queue capacity %d must be >= 1", capacity)
+	}
+	if markAt < 1 || markAt > capacity {
+		return fmt.Errorf("shard: mark threshold %d outside [1, %d]", markAt, capacity)
+	}
+	lc := p.cards[shard]
+	lc.mu.Lock()
+	lc.capacity = capacity
+	lc.markAt = markAt
+	lc.mu.Unlock()
+	return nil
+}
+
+// Admission reports one shard's current admission thresholds.
+func (p *Plane) Admission(shard int) (capacity, markAt int, err error) {
+	if shard < 0 || shard >= len(p.cards) {
+		return 0, 0, fmt.Errorf("shard: no shard %d", shard)
+	}
+	lc := p.cards[shard]
+	lc.mu.Lock()
+	capacity, markAt = lc.capacity, lc.markAt
+	lc.mu.Unlock()
+	return capacity, markAt, nil
+}
+
+// FailShard administratively removes a shard from dispatch, exactly as if
+// its NP had wedged: queued packets are shed as starved drops and the
+// shard's flows rendezvous-rehash onto the survivors. Idempotent. This is
+// the lever the threat engine's rehash_shard response pulls.
+func (p *Plane) FailShard(shard int) error {
+	if shard < 0 || shard >= len(p.cards) {
+		return fmt.Errorf("shard: no shard %d", shard)
+	}
+	lc := p.cards[shard]
+	lc.mu.Lock()
+	p.failLocked(lc, 0)
+	lc.mu.Unlock()
+	return nil
+}
+
+// Lockdown stops admitting traffic plane-wide: every later Submit is
+// accounted as a starved drop while workers drain the existing backlog.
+// Queued packets still complete, so conservation holds throughout. This is
+// the terminal threat response; ClearLockdown re-opens admission.
+func (p *Plane) Lockdown() { p.lockdown.Store(true) }
+
+// ClearLockdown re-opens plane-wide admission after a Lockdown.
+func (p *Plane) ClearLockdown() { p.lockdown.Store(false) }
+
+// LockedDown reports whether the plane is refusing all admission.
+func (p *Plane) LockedDown() bool { return p.lockdown.Load() }
 
 // Close stops the plane: workers finish their remaining backlog, then
 // exit. Submissions racing with Close are still accounted (as queued or

@@ -1,0 +1,194 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"sdmmon/internal/network"
+	"sdmmon/internal/npu"
+)
+
+// Packet conservation must hold at every mid-run snapshot while the threat
+// engine's responses fire against live traffic — tightening admission,
+// quarantining cores, failing shards, and locking the plane down all
+// reclassify in-flight packets, and none of them may lose or double-count
+// one. This is the invariant extension the graded-response engine leans
+// on: its Sampler differences Stats() snapshots taken at arbitrary points,
+// so a transiently unbalanced snapshot would read as phantom traffic.
+func TestPlaneConservationUnderThreatResponses(t *testing.T) {
+	nps := []*npu.NP{
+		planeNP(t, 2, 61),
+		planeNP(t, 2, 62),
+		planeNP(t, 2, 63),
+	}
+	plane, err := NewPlane(Config{
+		NPs:           nps,
+		QueueCapacity: 32,
+		MarkThreshold: 8,
+		BatchSize:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := network.NewFlowGenerator(128, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 8000
+	var wg sync.WaitGroup
+	pkts := make(chan []byte, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range pkts {
+				plane.Submit(p)
+			}
+		}()
+	}
+
+	// The response script, interleaved with live traffic at fixed points in
+	// the arrival stream. Each step mimics one engine action; snapshots
+	// between steps must all balance.
+	snapshotOK := func(when string) {
+		t.Helper()
+		if st := plane.Stats(); !st.Conserved() {
+			t.Fatalf("conservation violated %s: arrived %d != fwd %d + app %d + rej %d + tail %d + starved %d + backlog %d",
+				when, st.Arrived, st.Forwarded, st.AppDrops, st.Rejected,
+				st.TailDrops, st.Starved, st.Backlog)
+		}
+	}
+
+	for i := 0; i < total; i++ {
+		switch i {
+		case total / 8: // MEDIUM: tighten the hottest shard
+			if err := plane.SetAdmission(0, 4, 2); err != nil {
+				t.Fatal(err)
+			}
+			snapshotOK("after tighten")
+		case total / 4: // HIGH: isolate a core on shard 1
+			if err := nps[1].Quarantine(0); err != nil {
+				t.Fatal(err)
+			}
+			snapshotOK("after quarantine")
+		case total / 3: // CRITICAL: rehash shard 2 away, lock the plane down
+			if err := plane.FailShard(2); err != nil {
+				t.Fatal(err)
+			}
+			plane.Lockdown()
+			snapshotOK("under lockdown")
+		case total / 2: // de-escalation: lift lockdown, restore admission
+			plane.ClearLockdown()
+			if err := plane.SetAdmission(0, 32, 8); err != nil {
+				t.Fatal(err)
+			}
+			snapshotOK("after relax")
+		}
+		pkts <- gen.Next()
+		if i%500 == 0 {
+			snapshotOK("mid-traffic")
+		}
+	}
+	close(pkts)
+	wg.Wait()
+	plane.Close()
+
+	st := plane.Stats()
+	if !st.Conserved() {
+		t.Fatalf("conservation violated at quiescence: %+v", st)
+	}
+	if st.Arrived != total {
+		t.Errorf("arrived %d, want %d", st.Arrived, total)
+	}
+	if st.Backlog != 0 {
+		t.Errorf("backlog %d after Close", st.Backlog)
+	}
+	if st.Starved == 0 {
+		t.Error("lockdown starved nothing — the drill never actually locked admission")
+	}
+	// The failed shard must stay failed and the survivors keep forwarding.
+	for _, s := range st.Shards {
+		if s.Shard == 2 && !s.Failed {
+			t.Error("shard 2 should have failed over")
+		}
+	}
+	if st.Forwarded == 0 {
+		t.Error("surviving shards forwarded nothing")
+	}
+}
+
+// SetAdmission and Admission round-trip and validate; a tightened shard
+// must actually tail-drop at the new capacity.
+func TestPlaneSetAdmission(t *testing.T) {
+	nps := []*npu.NP{planeNP(t, 1, 71)}
+	plane, err := NewPlane(Config{NPs: nps, QueueCapacity: 16, MarkThreshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Close()
+
+	capacity, markAt, err := plane.Admission(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capacity != 16 || markAt != 8 {
+		t.Fatalf("Admission(0) = %d/%d, want 16/8", capacity, markAt)
+	}
+	if err := plane.SetAdmission(0, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if capacity, markAt, _ = plane.Admission(0); capacity != 4 || markAt != 2 {
+		t.Fatalf("after SetAdmission = %d/%d, want 4/2", capacity, markAt)
+	}
+	for _, bad := range [][2]int{{0, 1}, {4, 0}, {4, 5}, {-1, -1}} {
+		if err := plane.SetAdmission(0, bad[0], bad[1]); err == nil {
+			t.Errorf("SetAdmission(0, %d, %d) accepted an unusable threshold", bad[0], bad[1])
+		}
+	}
+	if err := plane.SetAdmission(9, 4, 2); err == nil {
+		t.Error("SetAdmission accepted an unknown shard")
+	}
+	if _, _, err := plane.Admission(9); err == nil {
+		t.Error("Admission accepted an unknown shard")
+	}
+}
+
+// Lockdown must starve every submission while held and release cleanly.
+func TestPlaneLockdownStarvesAndReleases(t *testing.T) {
+	nps := []*npu.NP{planeNP(t, 1, 81)}
+	plane, err := NewPlane(Config{NPs: nps, QueueCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Close()
+	gen, err := network.NewFlowGenerator(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plane.Lockdown()
+	if !plane.LockedDown() {
+		t.Fatal("LockedDown() false after Lockdown")
+	}
+	for i := 0; i < 20; i++ {
+		if adm := plane.Submit(gen.Next()); adm != AdmitStarved {
+			t.Fatalf("submission %d under lockdown admitted as %s", i, adm)
+		}
+	}
+	st := plane.Stats()
+	if st.Starved != 20 {
+		t.Fatalf("starved = %d under lockdown, want 20", st.Starved)
+	}
+	if !st.Conserved() {
+		t.Fatalf("conservation violated under lockdown: %+v", st)
+	}
+
+	plane.ClearLockdown()
+	if plane.LockedDown() {
+		t.Fatal("LockedDown() true after ClearLockdown")
+	}
+	if adm := plane.Submit(gen.Next()); adm == AdmitStarved {
+		t.Fatal("submission starved after lockdown lifted")
+	}
+}

@@ -1,0 +1,747 @@
+package threat
+
+import (
+	"fmt"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/fault"
+	"sdmmon/internal/mhash"
+	"sdmmon/internal/monitor"
+	"sdmmon/internal/npu"
+	"sdmmon/internal/obs"
+	"sdmmon/internal/packet"
+)
+
+// A campaign is a seeded, fully synchronous fault drill against real NPs
+// and a virtual-time queue model of the traffic plane. Everything in it —
+// traffic, fault injection, dispatch, queueing, sampling, and the engine's
+// responses — advances in lockstep with the virtual clock and draws all
+// randomness from the campaign seed, so a campaign is a pure function of
+// its configuration: the same seed reproduces the same threat-level
+// trajectory and byte-identical incident records. (The live concurrent
+// plane is exercised separately, under the race detector; it cannot give
+// byte determinism and does not try to.)
+//
+// The campaign grades per-core alarm rates with a poison duty cycle: each
+// tick it corrupts the attacked core's entry instruction, steers the
+// attack share of that core's packets through it (every one trips the
+// monitor), re-installs the clean bundle, and runs the remainder clean.
+// Alarm rate on the core therefore tracks the attack duty exactly, which
+// is what lets one mechanism express a sudden burst, a staged ramp, and a
+// below-threshold slow drip.
+
+// Campaign families.
+const (
+	// FamilyBurst is a sudden full-intensity attack on every core of one
+	// shard with an arrival surge: NONE jumps straight to CRITICAL, the
+	// full response battery fires, and the plane recovers after the burst.
+	FamilyBurst = "burst"
+	// FamilyRamp is a staged escalation on one core: the duty cycle climbs
+	// 1/8 → 1/4 → 1/2 → 1, walking the classifier up LOW → MEDIUM → HIGH,
+	// where isolating the core ends the attack and the level walks back
+	// down through the dwell times.
+	FamilyRamp = "ramp"
+	// FamilySlowDrip attacks from the first tick at a duty tuned just under
+	// the EWMA baseline's sensitivity: the classifier must stay at or below
+	// LOW and capture no incidents (the evasion regression).
+	FamilySlowDrip = "slowdrip"
+)
+
+// Families lists the campaign families in their canonical order.
+func Families() []string { return []string{FamilyBurst, FamilyRamp, FamilySlowDrip} }
+
+// CampaignConfig parameterizes a campaign run.
+type CampaignConfig struct {
+	Family string
+	Seed   int64
+	// Shards and Cores size the modeled plane; 0 selects 3 shards of 4
+	// cores.
+	Shards int
+	Cores  int
+	// Ticks is the campaign length in virtual ticks; 0 selects the family
+	// default.
+	Ticks int
+	// PacketsPerTick is the plane-wide arrival rate; 0 selects 30 per
+	// shard.
+	PacketsPerTick int
+	// App names the packet application under attack; "" selects ipv4cm.
+	App string
+}
+
+// Campaign model tuning: per-shard ingress queue and service rates, in
+// packets per tick. Service exceeds the nominal arrival rate, so
+// backpressure appears only under a genuine surge.
+const (
+	campQueueCap  = 64
+	campMarkAt    = 32
+	campDrainRate = 40
+	campWarmup    = 12 // clean ticks before any family (except slowdrip) attacks
+)
+
+// CampaignEngineConfig is the engine tuning the campaigns are pinned
+// against. Alarm/fault MinStd 0.08 maps the poison duty cycle onto the
+// default FSM thresholds (duty/0.08: 1/8 → LOW, 1/4 → MEDIUM, 1/2 → HIGH,
+// 1 → CRITICAL); FreezeAt Low keeps a staged ramp from normalizing itself
+// into the baseline.
+func CampaignEngineConfig() EngineConfig {
+	cfg := DefaultEngineConfig()
+	rate := BaselineConfig{Alpha: 0.2, Warmup: 8, MinStd: 0.08}
+	cfg.Signals[SigAlarmRate] = SignalPolicy{Baseline: rate, AbsHigh: 0.6}
+	cfg.Signals[SigFaultRate] = SignalPolicy{Baseline: rate, AbsHigh: 0.6}
+	cfg.Signals[SigCycleOutlier] = SignalPolicy{Baseline: rate, AbsHigh: 0.6}
+	cfg.Signals[SigBackpressure] = SignalPolicy{
+		Baseline: BaselineConfig{Alpha: 0.2, Warmup: 8, MinStd: 0.1}, AbsHigh: 0.95,
+	}
+	cfg.FreezeAt = Low
+	return cfg
+}
+
+// attackPlan is a family's fault schedule.
+type attackPlan struct {
+	shard int
+	cores []int
+	// duty returns the attack share of each attacked core's packets at a
+	// tick, in [0, 1].
+	duty func(tick int) float64
+	// surge returns extra arrivals aimed at the attacked shard at a tick.
+	surge func(tick int) int
+}
+
+func planFor(family string, shards, cores int) (attackPlan, int, error) {
+	switch family {
+	case FamilyBurst:
+		all := make([]int, cores)
+		for i := range all {
+			all[i] = i
+		}
+		return attackPlan{
+			shard: 1 % shards,
+			cores: all,
+			duty: func(t int) float64 {
+				if t >= campWarmup && t < campWarmup+6 {
+					return 1
+				}
+				return 0
+			},
+			surge: func(t int) int {
+				if t >= campWarmup && t < campWarmup+6 {
+					return 60
+				}
+				return 0
+			},
+		}, 36, nil
+	case FamilyRamp:
+		return attackPlan{
+			shard: 0,
+			cores: []int{1 % cores},
+			duty: func(t int) float64 {
+				switch {
+				case t < campWarmup:
+					return 0
+				case t < campWarmup+6:
+					return 1.0 / 8
+				case t < campWarmup+12:
+					return 1.0 / 4
+				case t < campWarmup+18:
+					return 1.0 / 2
+				case t < campWarmup+24:
+					return 1
+				}
+				return 0
+			},
+			surge: func(int) int { return 0 },
+		}, 48, nil
+	case FamilySlowDrip:
+		return attackPlan{
+			shard: (shards - 1) % shards,
+			cores: []int{(cores - 1) % cores},
+			duty:  func(int) float64 { return 1.0 / 32 },
+			surge: func(int) int { return 0 },
+		}, 40, nil
+	}
+	return attackPlan{}, 0, fmt.Errorf("threat: unknown campaign family %q (want %s, %s, or %s)",
+		family, FamilyBurst, FamilyRamp, FamilySlowDrip)
+}
+
+// CampaignStats is the campaign model's packet accounting. Conservation:
+// Arrived == Processed + TailDrops + Starved + Backlog.
+type CampaignStats struct {
+	Arrived   uint64
+	Processed uint64
+	TailDrops uint64
+	Marked    uint64
+	Starved   uint64
+	Backlog   uint64
+	Alarms    uint64
+	Faults    uint64
+}
+
+// Conserved checks the model's packet conservation.
+func (s CampaignStats) Conserved() bool {
+	return s.Arrived == s.Processed+s.TailDrops+s.Starved+s.Backlog
+}
+
+// CampaignResult is everything a campaign run produced.
+type CampaignResult struct {
+	Family     string
+	Seed       int64
+	Trajectory []LevelTransition
+	Incidents  []IncidentRecord
+	// IncidentBytes is the canonical serialization of Incidents — the byte
+	// string the replay suite compares across runs.
+	IncidentBytes []byte
+	Peak          Level
+	Final         Level
+	Stats         CampaignStats
+	// PacketsToLevel[l] is how many packets had arrived when the classifier
+	// first reached level l; -1 if it never did.
+	PacketsToLevel [NumLevels]int64
+	// Responses summarizes what the response machinery did.
+	IsolatedCores  int
+	FailedShards   int
+	LockdownFired  bool
+	StagedZeroized bool
+	StagedLeft     int
+}
+
+// Check asserts the family's expected outcome — the self-assertions the
+// npsim -threat drill exits non-zero on. Beyond packet conservation, each
+// family pins a qualitative trajectory: burst must reach CRITICAL, fire
+// the full response battery, and recover; ramp must enter at LOW, peak at
+// HIGH or above, and be ended by core isolation; slowdrip must never rise
+// past LOW and capture nothing.
+func (r *CampaignResult) Check() error {
+	if !r.Stats.Conserved() {
+		return fmt.Errorf("threat: campaign %s packet conservation violated: %+v", r.Family, r.Stats)
+	}
+	switch r.Family {
+	case FamilyBurst:
+		if r.Peak != Critical {
+			return fmt.Errorf("threat: burst peaked at %s, want %s", r.Peak, Critical)
+		}
+		if len(r.Incidents) == 0 {
+			return fmt.Errorf("threat: burst captured no incidents")
+		}
+		if !r.LockdownFired {
+			return fmt.Errorf("threat: burst never locked the plane down")
+		}
+		if r.FailedShards == 0 {
+			return fmt.Errorf("threat: burst never rehashed the attacked shard")
+		}
+		if !r.StagedZeroized || r.StagedLeft != 0 {
+			return fmt.Errorf("threat: burst left %d staged bundles (zeroized=%v)", r.StagedLeft, r.StagedZeroized)
+		}
+		if r.Final > Low {
+			return fmt.Errorf("threat: burst ended at %s, want <= %s after recovery", r.Final, Low)
+		}
+	case FamilyRamp:
+		if len(r.Trajectory) == 0 || r.Trajectory[0].To != Low {
+			return fmt.Errorf("threat: ramp's first transition is not to %s: %+v", Low, r.Trajectory)
+		}
+		if r.Peak < High {
+			return fmt.Errorf("threat: ramp peaked at %s, want >= %s", r.Peak, High)
+		}
+		if len(r.Incidents) == 0 {
+			return fmt.Errorf("threat: ramp captured no incidents")
+		}
+		if r.IsolatedCores == 0 {
+			return fmt.Errorf("threat: ramp never isolated the offending core")
+		}
+		if r.Final > Low {
+			return fmt.Errorf("threat: ramp ended at %s, want <= %s after isolation", r.Final, Low)
+		}
+	case FamilySlowDrip:
+		if r.Peak > Low {
+			return fmt.Errorf("threat: slowdrip escalated to %s — the drip was supposed to stay under the baseline", r.Peak)
+		}
+		if len(r.Incidents) != 0 {
+			return fmt.Errorf("threat: slowdrip captured %d incidents, want 0", len(r.Incidents))
+		}
+	default:
+		return fmt.Errorf("threat: unknown campaign family %q", r.Family)
+	}
+	return nil
+}
+
+// campaign is the run state; it implements Responder so the engine's
+// actions mutate the model it is watching.
+type campaign struct {
+	cfg  CampaignConfig
+	plan attackPlan
+	nps  []*npu.NP
+	cols []*obs.Collector
+	inj  *fault.Injector
+	gen  *packet.Generator
+
+	appName string
+	bin, gb []byte
+	param   uint32
+
+	alive    []bool
+	isolated [][]bool
+	depth    []int
+	capac    []int
+	markAt   []int
+	origAdm  map[int][2]int
+	lockdown bool
+
+	// per-shard cumulative accounting
+	arrived, processed, tailDrops, marked, starved []uint64
+	alarms, faults                                 []uint64
+
+	// atkAcc is the attacked cores' duty-cycle error-diffusion accumulator.
+	atkAcc map[int]float64
+
+	res CampaignResult
+}
+
+// Responder implementation: the model mirror of PlaneResponder.
+
+func (c *campaign) TightenAdmission(shard int) error {
+	if shard < 0 || shard >= len(c.capac) {
+		return fmt.Errorf("threat: no shard %d", shard)
+	}
+	if _, ok := c.origAdm[shard]; !ok {
+		c.origAdm[shard] = [2]int{c.capac[shard], c.markAt[shard]}
+	}
+	c.capac[shard] = max(1, c.capac[shard]/2)
+	c.markAt[shard] = max(1, min(c.markAt[shard]/2, c.capac[shard]))
+	return nil
+}
+
+func (c *campaign) IsolateCore(shard, core int) error {
+	if shard < 0 || shard >= len(c.nps) {
+		return fmt.Errorf("threat: no shard %d", shard)
+	}
+	if err := c.nps[shard].Quarantine(core); err != nil {
+		return err
+	}
+	if !c.isolated[shard][core] {
+		c.isolated[shard][core] = true
+		c.res.IsolatedCores++
+	}
+	return nil
+}
+
+func (c *campaign) RehashShard(shard int) error {
+	if shard < 0 || shard >= len(c.alive) {
+		return fmt.Errorf("threat: no shard %d", shard)
+	}
+	if c.alive[shard] {
+		c.alive[shard] = false
+		// Shed the queue as starved drops, mirroring the plane's failover.
+		c.starved[shard] += uint64(c.depth[shard])
+		c.depth[shard] = 0
+		c.res.FailedShards++
+	}
+	return nil
+}
+
+func (c *campaign) ZeroizeStaged() error {
+	for _, np := range c.nps {
+		np.AbortAllStaged()
+	}
+	c.res.StagedZeroized = true
+	return nil
+}
+
+func (c *campaign) Lockdown() error {
+	c.lockdown = true
+	c.res.LockdownFired = true
+	return nil
+}
+
+func (c *campaign) Relax(to Level) error {
+	if to < Critical {
+		c.lockdown = false
+	}
+	if to >= Medium {
+		return nil
+	}
+	for shard, adm := range c.origAdm {
+		c.capac[shard], c.markAt[shard] = adm[0], adm[1]
+	}
+	c.origAdm = map[int][2]int{}
+	return nil
+}
+
+// activeCores lists a shard's non-isolated cores, ascending.
+func (c *campaign) activeCores(shard int) []int {
+	var out []int
+	for core := 0; core < c.cfg.Cores; core++ {
+		if !c.isolated[shard][core] {
+			out = append(out, core)
+		}
+	}
+	return out
+}
+
+// heal reinstalls the clean bundle on one core.
+func (c *campaign) heal(shard, core int) error {
+	return c.nps[shard].Install(core, c.appName, c.bin, c.gb, c.param)
+}
+
+// attack poisons the core's entry instruction so the next packets trip the
+// monitor, re-rolling the poison word if a hash collision made the first
+// probe silent. Returns how many of the n attack packets remain to send
+// (probes consumed some) — every probe is itself an attack packet.
+func (c *campaign) attack(shard, core, n int, counts *coreTally) (int, error) {
+	np := c.nps[shard]
+	for try := 0; try < 4 && n > 0; try++ {
+		cr, err := np.Core(core)
+		if err != nil {
+			return n, err
+		}
+		c.inj.Poison(cr, cr.Program().Entry)
+		res, err := np.ProcessOn(core, c.gen.Next(), c.depth[shard])
+		if err != nil {
+			return n, err
+		}
+		n--
+		counts.count(c, shard, res)
+		if res.Detected {
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+// coreTally is one core's per-tick packet accounting.
+type coreTally struct {
+	packets, alarms, outliers uint64
+}
+
+func (t *coreTally) count(c *campaign, shard int, res npu.Result) {
+	t.packets++
+	c.processed[shard]++
+	if res.Detected {
+		t.alarms++
+		c.alarms[shard]++
+	}
+	if res.Faulted {
+		c.faults[shard]++
+	}
+	if float64(res.Cycles) > 2048 {
+		t.outliers++
+	}
+}
+
+// RunCampaign executes one seeded campaign tick by tick and returns its
+// full result. Deterministic: same config, same result, byte for byte.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 3
+	}
+	if cfg.Cores == 0 {
+		cfg.Cores = 4
+	}
+	if cfg.App == "" {
+		cfg.App = "ipv4cm"
+	}
+	if cfg.Shards < 1 || cfg.Cores < 1 {
+		return nil, fmt.Errorf("threat: campaign needs >= 1 shard and core, got %d/%d", cfg.Shards, cfg.Cores)
+	}
+	plan, defTicks, err := planFor(cfg.Family, cfg.Shards, cfg.Cores)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Ticks == 0 {
+		cfg.Ticks = defTicks
+	}
+	if cfg.PacketsPerTick == 0 {
+		cfg.PacketsPerTick = 30 * cfg.Shards
+	}
+
+	// Build the app bundle once; every shard runs the same application.
+	app, err := apps.ByName(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := app.Program()
+	if err != nil {
+		return nil, err
+	}
+	param := uint32(cfg.Seed)*2654435761 + 0x7417
+	g, err := monitor.Extract(prog, mhash.NewMerkle(param))
+	if err != nil {
+		return nil, err
+	}
+
+	c := &campaign{
+		cfg: cfg, plan: plan,
+		inj: fault.New(cfg.Seed), gen: packet.NewGenerator(cfg.Seed),
+		appName: cfg.App, bin: prog.Serialize(), gb: g.Serialize(), param: param,
+		origAdm: map[int][2]int{}, atkAcc: map[int]float64{},
+	}
+	c.res = CampaignResult{Family: cfg.Family, Seed: cfg.Seed}
+	for l := range c.res.PacketsToLevel {
+		c.res.PacketsToLevel[l] = -1
+	}
+	c.res.PacketsToLevel[None] = 0
+
+	for i := 0; i < cfg.Shards; i++ {
+		// The campaign NPs run without the per-core supervisor: the threat
+		// engine is the only quarantine authority in this drill, so the
+		// trajectory measures its response, not the supervisor's.
+		col := obs.New(256)
+		np, err := npu.New(npu.Config{
+			Cores: cfg.Cores, MonitorsEnabled: true, Obs: col,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := np.InstallAll(cfg.App, c.bin, c.gb, param); err != nil {
+			return nil, err
+		}
+		// Stage an upgrade bundle so the zeroize_staged response has
+		// something real to discard.
+		if err := np.StageInstallAll(cfg.App, c.bin, c.gb, param); err != nil {
+			return nil, err
+		}
+		c.nps = append(c.nps, np)
+		c.cols = append(c.cols, col)
+		c.alive = append(c.alive, true)
+		c.isolated = append(c.isolated, make([]bool, cfg.Cores))
+		c.depth = append(c.depth, 0)
+		c.capac = append(c.capac, campQueueCap)
+		c.markAt = append(c.markAt, campMarkAt)
+	}
+	n := cfg.Shards
+	c.arrived = make([]uint64, n)
+	c.processed = make([]uint64, n)
+	c.tailDrops = make([]uint64, n)
+	c.marked = make([]uint64, n)
+	c.starved = make([]uint64, n)
+	c.alarms = make([]uint64, n)
+	c.faults = make([]uint64, n)
+
+	ecfg := CampaignEngineConfig()
+	ecfg.Responder = c
+	ecfg.Forensics = c.cols
+	ecfg.StatsFn = c.statsMap
+	eng, err := NewEngine(ecfg)
+	if err != nil {
+		return nil, err
+	}
+
+	for t := 0; t < cfg.Ticks; t++ {
+		samples, err := c.tick(t)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := eng.Tick(Tick(t), samples)
+		if err != nil {
+			return nil, err
+		}
+		if tr != nil && tr.To > tr.From {
+			for l := tr.From + 1; l <= tr.To; l++ {
+				if c.res.PacketsToLevel[l] < 0 {
+					c.res.PacketsToLevel[l] = int64(c.totalArrived())
+				}
+			}
+		}
+		if lvl := eng.Level(); lvl > c.res.Peak {
+			c.res.Peak = lvl
+		}
+	}
+
+	c.res.Trajectory = eng.Trajectory()
+	c.res.Incidents = eng.Incidents()
+	c.res.IncidentBytes, err = eng.IncidentBytes()
+	if err != nil {
+		return nil, err
+	}
+	c.res.Final = eng.Level()
+	c.res.Stats = c.totalStats()
+	for _, np := range c.nps {
+		for core := 0; core < cfg.Cores; core++ {
+			if np.HasStaged(core) {
+				c.res.StagedLeft++
+			}
+		}
+	}
+	return &c.res, nil
+}
+
+func (c *campaign) totalArrived() uint64 {
+	var v uint64
+	for _, a := range c.arrived {
+		v += a
+	}
+	return v
+}
+
+func (c *campaign) totalStats() CampaignStats {
+	var s CampaignStats
+	for i := range c.arrived {
+		s.Arrived += c.arrived[i]
+		s.Processed += c.processed[i]
+		s.TailDrops += c.tailDrops[i]
+		s.Marked += c.marked[i]
+		s.Starved += c.starved[i]
+		s.Backlog += uint64(c.depth[i])
+		s.Alarms += c.alarms[i]
+		s.Faults += c.faults[i]
+	}
+	return s
+}
+
+// statsMap feeds the engine's incident stats-delta capture.
+func (c *campaign) statsMap() map[string]uint64 {
+	s := c.totalStats()
+	return map[string]uint64{
+		"arrived":    s.Arrived,
+		"processed":  s.Processed,
+		"tail_drops": s.TailDrops,
+		"marked":     s.Marked,
+		"starved":    s.Starved,
+		"alarms":     s.Alarms,
+		"faults":     s.Faults,
+	}
+}
+
+// tick advances the model one virtual time step: arrivals, admission,
+// service (with the family's fault schedule), and sampling.
+func (c *campaign) tick(t int) ([]Sample, error) {
+	// Distribute arrivals round-robin over the live shards, plus the
+	// family's surge at the attacked shard.
+	perShard := make([]int, c.cfg.Shards)
+	var live []int
+	for i, a := range c.alive {
+		if a {
+			live = append(live, i)
+		}
+	}
+	if len(live) > 0 {
+		for i := 0; i < c.cfg.PacketsPerTick; i++ {
+			perShard[live[i%len(live)]]++
+		}
+	}
+	if c.alive[c.plan.shard] {
+		perShard[c.plan.shard] += c.plan.surge(t)
+	}
+
+	duty := c.plan.duty(t)
+	attacked := map[int]bool{}
+	for _, core := range c.plan.cores {
+		attacked[core] = true
+	}
+
+	samples := make([]Sample, 0, c.cfg.Shards*(c.cfg.Cores*2+2))
+	for s := 0; s < c.cfg.Shards; s++ {
+		var arrivedNow, pressureNow uint64
+		tokens := campDrainRate
+		toProcess := 0
+
+		if !c.alive[s] {
+			// A failed shard receives nothing; arrivals were redistributed.
+		} else {
+			for i := 0; i < perShard[s]; i++ {
+				c.arrived[s]++
+				arrivedNow++
+				// Backpressure measures congestion (marks and tail drops per
+				// arrival), matching the live Sampler. Lockdown starvation is
+				// deliberately NOT pressure: a response must not feed the
+				// detector that fired it, or CRITICAL becomes self-sustaining.
+				if c.lockdown {
+					c.starved[s]++
+					continue
+				}
+				if tokens > 0 {
+					// Service available: the packet goes straight to a core
+					// this tick without queueing.
+					tokens--
+					toProcess++
+					continue
+				}
+				if c.depth[s] >= c.capac[s] {
+					c.tailDrops[s]++
+					pressureNow++
+					continue
+				}
+				if c.depth[s] >= c.markAt[s] {
+					c.marked[s]++
+					pressureNow++
+				}
+				c.depth[s]++
+			}
+			// Leftover service drains backlog from earlier ticks.
+			drain := min(c.depth[s], tokens)
+			c.depth[s] -= drain
+			toProcess += drain
+		}
+
+		// Run this tick's packets. Round-robin over the active cores; on
+		// attacked cores the duty share runs against a poisoned entry
+		// instruction, the rest clean after a re-install.
+		faultsBefore := c.faults[s]
+		active := c.activeCores(s)
+		tallies := make([]coreTally, c.cfg.Cores)
+		if len(active) > 0 && toProcess > 0 {
+			quota := make([]int, len(active))
+			for i := 0; i < toProcess; i++ {
+				quota[i%len(active)]++
+			}
+			for ai, core := range active {
+				q := quota[ai]
+				if q == 0 {
+					continue
+				}
+				nAtk := 0
+				if s == c.plan.shard && attacked[core] && duty > 0 {
+					key := s*c.cfg.Cores + core
+					c.atkAcc[key] += duty * float64(q)
+					nAtk = int(c.atkAcc[key])
+					c.atkAcc[key] -= float64(nAtk)
+					nAtk = min(nAtk, q)
+				}
+				tally := &tallies[core]
+				if nAtk > 0 {
+					left, err := c.attack(s, core, nAtk, tally)
+					if err != nil {
+						return nil, err
+					}
+					for ; left > 0; left-- {
+						res, err := c.nps[s].ProcessOn(core, c.gen.Next(), c.depth[s])
+						if err != nil {
+							return nil, err
+						}
+						tally.count(c, s, res)
+					}
+					if err := c.heal(s, core); err != nil {
+						return nil, err
+					}
+				}
+				for i := nAtk; i < q; i++ {
+					res, err := c.nps[s].ProcessOn(core, c.gen.Next(), c.depth[s])
+					if err != nil {
+						return nil, err
+					}
+					tally.count(c, s, res)
+				}
+			}
+		}
+
+		// Emit this shard's samples in the sampler's canonical order.
+		for core := 0; core < c.cfg.Cores; core++ {
+			tl := tallies[core]
+			samples = append(samples,
+				Sample{Shard: s, Core: core, Signal: SigAlarmRate,
+					Value: rate(tl.alarms, tl.packets)},
+				Sample{Shard: s, Core: core, Signal: SigCycleOutlier,
+					Value: rate(tl.outliers, tl.packets)},
+			)
+		}
+		var procNow uint64
+		for core := range tallies {
+			procNow += tallies[core].packets
+		}
+		samples = append(samples,
+			Sample{Shard: s, Core: -1, Signal: SigFaultRate,
+				Value: rate(c.faults[s]-faultsBefore, procNow)},
+			Sample{Shard: s, Core: -1, Signal: SigBackpressure,
+				Value: rate(pressureNow, arrivedNow)},
+		)
+	}
+	return samples, nil
+}

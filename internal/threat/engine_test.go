@@ -1,0 +1,191 @@
+package threat
+
+import (
+	"strings"
+	"testing"
+)
+
+// Virtual time must be strictly monotonic: replays depend on tick order,
+// so a stalled or repeated clock is an error, not a silent no-op.
+func TestEngineMonotonicTick(t *testing.T) {
+	eng, err := NewEngine(DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Tick(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Tick(5, nil); err == nil {
+		t.Error("repeated tick accepted")
+	}
+	if _, err := eng.Tick(4, nil); err == nil {
+		t.Error("backwards tick accepted")
+	}
+	if _, err := eng.Tick(6, nil); err != nil {
+		t.Errorf("forward tick rejected: %v", err)
+	}
+}
+
+// AbsHigh is the cold-start cover: an extreme raw value must reach HIGH on
+// the very first tick, before any baseline has armed.
+func TestEngineAbsHighColdStart(t *testing.T) {
+	eng, err := NewEngine(DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := eng.Tick(0, []Sample{
+		{Shard: 0, Core: 0, Signal: SigAlarmRate, Value: 0.9}, // >= AbsHigh 0.5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || tr.To < High {
+		t.Fatalf("cold-start saturation tick = %+v, want escalation to >= %s", tr, High)
+	}
+}
+
+// With no responder the engine is record-only: levels move and incidents
+// capture, but nothing fires and nothing errors.
+func TestEngineRecordOnly(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.CaptureAt = Low
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := eng.Tick(0, []Sample{{Shard: 2, Core: 1, Signal: SigFaultRate, Value: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || tr.To == None {
+		t.Fatalf("saturated signal did not escalate: %+v", tr)
+	}
+	// Actions are still *planned* (they appear in the trajectory and the
+	// incident record), they just have no executor.
+	if len(tr.Actions) == 0 {
+		t.Error("escalation carries no planned actions")
+	}
+	if got := len(eng.Incidents()); got != 1 {
+		t.Fatalf("incidents = %d, want 1", got)
+	}
+	inc := eng.Incidents()[0]
+	if inc.Shard != 2 || inc.To != tr.To {
+		t.Errorf("incident does not describe the transition: %+v", inc)
+	}
+}
+
+// Baselines freeze at FreezeAt and above, and keep absorbing below it: the
+// poisoning guard. A long attack plateau at MEDIUM must not decay into the
+// baseline and de-escalate on its own.
+func TestEngineBaselineFreeze(t *testing.T) {
+	cfg := CampaignEngineConfig() // FreezeAt Low
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := []Sample{{Shard: 0, Core: 0, Signal: SigAlarmRate, Value: 0}}
+	tick := Tick(0)
+	for ; tick < 10; tick++ {
+		if _, err := eng.Tick(tick, quiet); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A plateau well above the MEDIUM threshold, held for many ticks.
+	hot := []Sample{{Shard: 0, Core: 0, Signal: SigAlarmRate, Value: 0.3}}
+	for ; tick < 40; tick++ {
+		if _, err := eng.Tick(tick, hot); err != nil {
+			t.Fatal(err)
+		}
+		if lvl := eng.Level(); tick > 10 && lvl < Medium {
+			t.Fatalf("tick %d: attack plateau normalized itself into the baseline (level %s)", tick, lvl)
+		}
+	}
+}
+
+// An escalation that jumps multiple levels sweeps every entered level's
+// policy but fires each action once.
+func TestEngineMultiLevelJumpDedupsActions(t *testing.T) {
+	rec := &recordingResponder{}
+	cfg := DefaultEngineConfig()
+	cfg.Responder = rec
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm the baseline quiet, then saturate: 1/MinStd = 50 >= the CRITICAL
+	// threshold, so NONE jumps straight to CRITICAL. The sweep covers the
+	// policies of MEDIUM (tighten), HIGH (isolate + tighten), and CRITICAL
+	// (rehash, zeroize, lockdown), with tighten deduplicated.
+	quiet := []Sample{{Shard: 1, Core: 2, Signal: SigAlarmRate, Value: 0}}
+	tick := Tick(0)
+	for ; tick < 10; tick++ {
+		if _, err := eng.Tick(tick, quiet); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := eng.Tick(tick, []Sample{{Shard: 1, Core: 2, Signal: SigAlarmRate, Value: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || tr.To != Critical {
+		t.Fatalf("saturation did not reach %s: %+v", Critical, tr)
+	}
+	want := []string{"tighten_admission", "isolate_core", "rehash_shard", "zeroize_staged", "lockdown"}
+	if strings.Join(tr.Actions, ",") != strings.Join(want, ",") {
+		t.Errorf("swept actions = %v, want %v", tr.Actions, want)
+	}
+	if rec.tightens != 1 {
+		t.Errorf("tighten fired %d times across the jump, want 1", rec.tightens)
+	}
+	if rec.isolated != 1 || rec.isolatedShard != 1 || rec.isolatedCore != 2 {
+		t.Errorf("isolate fired %d times on shard %d core %d, want once on 1/2",
+			rec.isolated, rec.isolatedShard, rec.isolatedCore)
+	}
+}
+
+type recordingResponder struct {
+	tightens, isolated          int
+	isolatedShard, isolatedCore int
+}
+
+func (r *recordingResponder) TightenAdmission(int) error { r.tightens++; return nil }
+func (r *recordingResponder) IsolateCore(s, c int) error {
+	r.isolated++
+	r.isolatedShard, r.isolatedCore = s, c
+	return nil
+}
+func (r *recordingResponder) RehashShard(int) error { return nil }
+func (r *recordingResponder) ZeroizeStaged() error  { return nil }
+func (r *recordingResponder) Lockdown() error       { return nil }
+func (r *recordingResponder) Relax(Level) error     { return nil }
+
+// The strict policy decoder rejects each malformed shape with a loud
+// error; the canonical default round-trips.
+func TestPolicyDecodeStrict(t *testing.T) {
+	bad := map[string]string{
+		"wrong version":   `{"version":2,"responses":{}}`,
+		"actions on none": `{"version":1,"responses":{"none":["lockdown"]}}`,
+		"unknown level":   `{"version":1,"responses":{"dire":["lockdown"]}}`,
+		"unknown action":  `{"version":1,"responses":{"high":["reboot"]}}`,
+		"duplicate":       `{"version":1,"responses":{"high":["lockdown","lockdown"]}}`,
+		"unknown field":   `{"version":1,"responses":{},"extra":1}`,
+		"trailing bytes":  `{"version":1,"responses":{}} x`,
+		"not json":        `hello`,
+	}
+	for name, in := range bad {
+		if _, err := DecodePolicy([]byte(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+	enc, err := DefaultPolicy().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodePolicy(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(DefaultPolicy()) {
+		t.Error("default policy does not round-trip")
+	}
+}

@@ -1,0 +1,97 @@
+package threat
+
+import (
+	"fmt"
+	"math"
+)
+
+// BaselineConfig parameterizes one EWMA baseline.
+type BaselineConfig struct {
+	// Alpha is the EWMA weight of the newest sample, in (0, 1].
+	Alpha float64
+	// Warmup is the number of samples the baseline must absorb before it
+	// arms and scores deviations; before that every score is 0 (the
+	// engine's absolute thresholds cover the cold-start window).
+	Warmup int
+	// MinStd floors the standard deviation used for scoring, so a
+	// zero-variance signal stream (a constant) yields large-but-finite
+	// scores on its first deviation instead of a division blow-up.
+	MinStd float64
+}
+
+// Validate rejects non-usable configurations loudly.
+func (c BaselineConfig) Validate() error {
+	if !(c.Alpha > 0 && c.Alpha <= 1) {
+		return fmt.Errorf("threat: baseline alpha %v outside (0, 1]", c.Alpha)
+	}
+	if c.Warmup < 1 {
+		return fmt.Errorf("threat: baseline warmup %d must be >= 1", c.Warmup)
+	}
+	if !(c.MinStd > 0) {
+		return fmt.Errorf("threat: baseline min std %v must be > 0", c.MinStd)
+	}
+	return nil
+}
+
+// Baseline tracks a signal's exponentially weighted mean and variance. The
+// update is the standard EW pair:
+//
+//	d     = v - mean
+//	mean += α·d
+//	var   = (1-α)·(var + α·d²)
+//
+// Scoring is separated from updating so the engine can score a sample
+// against the pre-sample baseline (an attack must not dilute the evidence
+// against itself) and freeze updates entirely while the threat level is
+// elevated (baseline-poisoning guard).
+type Baseline struct {
+	cfg  BaselineConfig
+	n    int
+	mean float64
+	varr float64
+}
+
+// NewBaseline builds a baseline; the config must be valid (Validate).
+func NewBaseline(cfg BaselineConfig) *Baseline {
+	return &Baseline{cfg: cfg}
+}
+
+// Armed reports whether the warmup is complete and scores are meaningful.
+func (b *Baseline) Armed() bool { return b.n >= b.cfg.Warmup }
+
+// Mean returns the current EWMA mean.
+func (b *Baseline) Mean() float64 { return b.mean }
+
+// Std returns the current floored standard deviation.
+func (b *Baseline) Std() float64 {
+	return math.Max(math.Sqrt(b.varr), b.cfg.MinStd)
+}
+
+// Score rates a sample against the current baseline: its positive deviation
+// in (floored) standard deviations, 0 for samples at or below the mean, and
+// 0 while the baseline is still warming up.
+func (b *Baseline) Score(v float64) float64 {
+	if !b.Armed() {
+		return 0
+	}
+	d := v - b.mean
+	if d <= 0 {
+		return 0
+	}
+	return d / b.Std()
+}
+
+// Observe folds a sample into the baseline. The first sample seeds the
+// mean exactly (no decay from a zero prior).
+func (b *Baseline) Observe(v float64) {
+	if b.n == 0 {
+		b.mean = v
+		b.n = 1
+		return
+	}
+	a := b.cfg.Alpha
+	d := v - b.mean
+	b.mean += a * d
+	b.varr = (1 - a) * (b.varr + a*d*d)
+	b.n++
+}

@@ -1,0 +1,234 @@
+package threat
+
+import (
+	"math"
+	"testing"
+)
+
+// Table-driven edge cases for the EWMA baseline: cold start, zero-variance
+// streams, absorption, and the scoring asymmetry (only positive deviations
+// score).
+func TestBaselineEdgeCases(t *testing.T) {
+	cfg := BaselineConfig{Alpha: 0.2, Warmup: 4, MinStd: 0.02}
+	cases := []struct {
+		name    string
+		observe []float64
+		probe   float64
+		want    func(score float64) bool
+		desc    string
+	}{
+		{
+			name:    "cold start scores zero",
+			observe: []float64{0, 0, 0}, // one short of warmup
+			probe:   100,
+			want:    func(s float64) bool { return s == 0 },
+			desc:    "an unarmed baseline must not score, however extreme the sample",
+		},
+		{
+			name:    "arms exactly at warmup",
+			observe: []float64{0, 0, 0, 0},
+			probe:   1,
+			want:    func(s float64) bool { return s > 0 },
+			desc:    "the warmup-th observation arms the baseline",
+		},
+		{
+			name:    "zero-variance stream uses the std floor",
+			observe: []float64{5, 5, 5, 5, 5, 5},
+			probe:   5.2,
+			// mean == 5 exactly, var == 0, so score = 0.2/MinStd = 10.
+			want: func(s float64) bool { return math.Abs(s-10) < 1e-9 },
+			desc: "a constant stream must yield large-but-finite scores, not a division blow-up",
+		},
+		{
+			name:    "sample at the mean scores zero",
+			observe: []float64{3, 3, 3, 3},
+			probe:   3,
+			want:    func(s float64) bool { return s == 0 },
+			desc:    "zero deviation is zero score",
+		},
+		{
+			name:    "negative deviation scores zero",
+			observe: []float64{3, 3, 3, 3},
+			probe:   1,
+			want:    func(s float64) bool { return s == 0 },
+			desc:    "quieter-than-baseline is not a threat",
+		},
+		{
+			name:    "noisy stream raises the std above the floor",
+			observe: []float64{0, 1, 0, 1, 0, 1, 0, 1},
+			probe:   2,
+			// With real variance the score must be far below the
+			// floor-divided value (2-mean)/MinStd.
+			want: func(s float64) bool { return s > 0 && s < 10 },
+			desc: "observed variance must dampen scores",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBaseline(cfg)
+			for _, v := range tc.observe {
+				b.Observe(v)
+			}
+			if got := b.Score(tc.probe); !tc.want(got) {
+				t.Errorf("score(%v) = %v after %v: %s", tc.probe, got, tc.observe, tc.desc)
+			}
+		})
+	}
+}
+
+func TestBaselineFirstObservationSeedsMean(t *testing.T) {
+	b := NewBaseline(BaselineConfig{Alpha: 0.1, Warmup: 1, MinStd: 0.01})
+	b.Observe(40)
+	if b.Mean() != 40 {
+		t.Fatalf("first observation mean = %v, want exactly 40 (no decay from a zero prior)", b.Mean())
+	}
+}
+
+func TestBaselineConfigValidate(t *testing.T) {
+	bad := []BaselineConfig{
+		{Alpha: 0, Warmup: 1, MinStd: 0.1},
+		{Alpha: 1.5, Warmup: 1, MinStd: 0.1},
+		{Alpha: 0.5, Warmup: 0, MinStd: 0.1},
+		{Alpha: 0.5, Warmup: 1, MinStd: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an unusable config", cfg)
+		}
+	}
+	if err := (BaselineConfig{Alpha: 1, Warmup: 1, MinStd: 0.001}).Validate(); err != nil {
+		t.Errorf("boundary config rejected: %v", err)
+	}
+}
+
+// Table-driven FSM edge cases: hysteresis on the boundary, dwell-time
+// expiry in virtual time, multi-level jumps, and one-level-at-a-time
+// de-escalation.
+func TestFSMEdgeCases(t *testing.T) {
+	cfg := DefaultFSMConfig() // Up [0 1.5 3 6 12], hysteresis 0.6, dwell [0 2 3 4 6]
+	type step struct {
+		tick  Tick
+		score float64
+		want  Level
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			name: "escalates exactly at the threshold",
+			steps: []step{
+				{0, 1.4999, None},
+				{1, 1.5, Low},
+			},
+		},
+		{
+			name: "multi-level jump in one step",
+			steps: []step{
+				{0, 0, None},
+				{1, 12, Critical},
+			},
+		},
+		{
+			name: "hysteresis holds the level inside the band",
+			steps: []step{
+				{0, 3, Medium},
+				// Dwell (3 ticks) expires by tick 10, so only hysteresis can
+				// hold the level: above 3*0.6 stays, at or below it leaves
+				// (3*0.6 is 1.7999… in float64, so probe either side of it).
+				{10, 1.81, Medium},
+				{11, 1.81, Medium},
+				{12, 1.79, Low},
+			},
+		},
+		{
+			name: "dwell blocks early de-escalation in virtual time",
+			steps: []step{
+				{5, 6, High},
+				{6, 0, High},   // dwelled 1 < 4
+				{8, 0, High},   // dwelled 3 < 4
+				{9, 0, Medium}, // dwelled 4 >= 4
+			},
+		},
+		{
+			name: "de-escalation is one level per step",
+			steps: []step{
+				{0, 12, Critical},
+				{6, 0, High},
+				{7, 0, High},    // High entered at 6; dwell 4
+				{10, 0, Medium}, // dwelled 4
+			},
+		},
+		{
+			name: "re-escalation resets the dwell clock",
+			steps: []step{
+				{0, 3, Medium},
+				{1, 6, High},
+				{4, 0, High},   // High entered at 1, dwelled 3 < 4
+				{5, 0, Medium}, // dwelled 4
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := NewFSM(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, st := range tc.steps {
+				got, _ := f.Step(st.tick, st.score)
+				if got != st.want {
+					t.Fatalf("step %d (tick %d, score %v): level = %s, want %s",
+						i, st.tick, st.score, got, st.want)
+				}
+			}
+		})
+	}
+}
+
+func TestFSMConfigValidate(t *testing.T) {
+	bad := []FSMConfig{
+		{Up: [NumLevels]float64{0, 2, 2, 3, 4}, Hysteresis: 0.5}, // not strictly ascending
+		{Up: [NumLevels]float64{0, 0, 1, 2, 3}, Hysteresis: 0.5}, // Up[Low] not positive
+		{Up: [NumLevels]float64{0, 1, 2, 3, 4}, Hysteresis: 0},   // hysteresis out of range
+		{Up: [NumLevels]float64{0, 1, 2, 3, 4}, Hysteresis: 1.1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewFSM(cfg); err == nil {
+			t.Errorf("NewFSM(%+v) accepted an unusable config", cfg)
+		}
+	}
+}
+
+// Simultaneous multi-signal escalation: two elevated signals on one shard
+// combine through the synergy term and jump levels a single signal would
+// not reach.
+func TestEngineMultiSignalSynergy(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.Signals = DefaultSignalPolicies()
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := []Sample{
+		{Shard: 0, Core: 0, Signal: SigAlarmRate, Value: 0},
+		{Shard: 0, Core: 0, Signal: SigCycleOutlier, Value: 0},
+	}
+	for tick := 0; tick < 10; tick++ {
+		if _, err := eng.Tick(Tick(tick), warm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each signal alone scores value/MinStd = 0.11/0.02 = 5.5 (HIGH is 6,
+	// so neither reaches HIGH solo); together 5.5 + 0.5*5.5 = 8.25 does.
+	tr, err := eng.Tick(10, []Sample{
+		{Shard: 0, Core: 0, Signal: SigAlarmRate, Value: 0.11},
+		{Shard: 0, Core: 0, Signal: SigCycleOutlier, Value: 0.11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || tr.To != High {
+		t.Fatalf("simultaneous two-signal tick = %+v, want escalation to %s via synergy", tr, High)
+	}
+}

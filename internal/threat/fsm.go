@@ -1,0 +1,98 @@
+package threat
+
+import "fmt"
+
+// FSMConfig parameterizes the threat-classifier state machine.
+type FSMConfig struct {
+	// Up[l] is the combined score at or above which the classifier calls
+	// for level l. Up[None] is ignored (always 0); the rest must be
+	// strictly ascending and positive.
+	Up [NumLevels]float64
+	// Hysteresis, in (0, 1], scales the de-escalation threshold: the
+	// classifier leaves level l only once the score falls to or below
+	// Up[l]·Hysteresis. A score inside the band (Up[l]·Hysteresis, Up[l])
+	// holds the level — the boundary chatter guard.
+	Hysteresis float64
+	// Dwell[l] is the minimum residency at level l, in virtual ticks,
+	// before a de-escalation out of l is allowed. Escalations are never
+	// dwell-delayed.
+	Dwell [NumLevels]Tick
+}
+
+// DefaultFSMConfig returns the classifier tuning the campaigns are pinned
+// against.
+func DefaultFSMConfig() FSMConfig {
+	return FSMConfig{
+		Up:         [NumLevels]float64{0, 1.5, 3, 6, 12},
+		Hysteresis: 0.6,
+		Dwell:      [NumLevels]Tick{0, 2, 3, 4, 6},
+	}
+}
+
+// Validate rejects unusable configurations loudly.
+func (c FSMConfig) Validate() error {
+	prev := 0.0
+	for l := 1; l < NumLevels; l++ {
+		if c.Up[l] <= prev {
+			return fmt.Errorf("threat: fsm Up thresholds must be strictly ascending and positive, got %v", c.Up)
+		}
+		prev = c.Up[l]
+	}
+	if !(c.Hysteresis > 0 && c.Hysteresis <= 1) {
+		return fmt.Errorf("threat: fsm hysteresis %v outside (0, 1]", c.Hysteresis)
+	}
+	return nil
+}
+
+// FSM is the threat-level state machine. Escalation is immediate (and may
+// jump several levels in one step); de-escalation is one level per step,
+// gated by the level's dwell time and the hysteresis band.
+type FSM struct {
+	cfg     FSMConfig
+	level   Level
+	entered Tick
+}
+
+// NewFSM builds a classifier at level None.
+func NewFSM(cfg FSMConfig) (*FSM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &FSM{cfg: cfg}, nil
+}
+
+// Level reports the current level.
+func (f *FSM) Level() Level { return f.level }
+
+// target returns the level the score alone calls for.
+func (f *FSM) target(score float64) Level {
+	t := None
+	for l := 1; l < NumLevels; l++ {
+		if score >= f.cfg.Up[l] {
+			t = Level(l)
+		}
+	}
+	return t
+}
+
+// Step advances the classifier one virtual tick and reports the new level
+// and whether it changed.
+func (f *FSM) Step(now Tick, score float64) (Level, bool) {
+	t := f.target(score)
+	if t > f.level {
+		f.level = t
+		f.entered = now
+		return f.level, true
+	}
+	if t < f.level {
+		cur := f.level
+		dwelled := now-f.entered >= f.cfg.Dwell[cur]
+		below := score <= f.cfg.Up[cur]*f.cfg.Hysteresis
+		if dwelled && below {
+			f.level = cur - 1
+			f.entered = now
+			return f.level, true
+		}
+	}
+	return f.level, false
+}

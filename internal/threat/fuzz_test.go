@@ -1,0 +1,98 @@
+package threat
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzThreatPolicy drives arbitrary bytes through the strict policy
+// decoder. Invariants: no panic on any input; every accepted input
+// re-encodes canonically, and Encode∘Decode is a fixed point from there
+// (decoding the canonical form yields an equal policy and identical
+// bytes).
+func FuzzThreatPolicy(f *testing.F) {
+	if enc, err := DefaultPolicy().Encode(); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte(`{"version":1,"responses":{}}`))
+	f.Add([]byte(`{"version":1,"responses":{"low":["tighten_admission"]}}`))
+	f.Add([]byte(`{"version":1,"responses":{"critical":["lockdown","zeroize_staged"]}}`))
+	f.Add([]byte(`{"version":2,"responses":{}}`))                               // wrong version
+	f.Add([]byte(`{"version":1,"responses":{"none":["lockdown"]}}`))            // actions on none
+	f.Add([]byte(`{"version":1,"responses":{"high":["nope"]}}`))                // unknown action
+	f.Add([]byte(`{"version":1,"responses":{"high":["lockdown","lockdown"]}}`)) // duplicate
+	f.Add([]byte(`{"version":1,"responses":{}} trailing`))
+	f.Add([]byte(`{"version":1,"responses":{},"extra":true}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePolicy(data)
+		if err != nil {
+			return // rejected loudly — that's a fine outcome
+		}
+		enc, err := p.Encode()
+		if err != nil {
+			t.Fatalf("accepted policy does not encode: %v", err)
+		}
+		p2, err := DecodePolicy(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected by own decoder: %v\n%s", err, enc)
+		}
+		if !p.Equal(p2) {
+			t.Fatalf("decode(encode(p)) != p for input %q", data)
+		}
+		enc2, err := p2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixed point:\n  first:  %s\n  second: %s", enc, enc2)
+		}
+	})
+}
+
+// FuzzIncidentRecord drives arbitrary bytes through the strict incident
+// decoder. Invariants: no panic; every accepted record is a
+// marshal→unmarshal→marshal fixed point (the byte-determinism the replay
+// suite depends on).
+func FuzzIncidentRecord(f *testing.F) {
+	rec := IncidentRecord{
+		ID: 1, Tick: 12, From: None, To: Critical, Score: 18.75, Shard: 1, Core: 2,
+		Readings: []SignalReading{
+			{Shard: 1, Core: 2, Signal: "alarm_rate", Value: 1, Score: 12.5},
+		},
+		Events:     []IncidentEvent{{Shard: 1, Seq: 3, Kind: "alarm", Core: 2, PC: 8, Aux: 9}},
+		StatsDelta: map[string]uint64{"alarms": 40, "arrived": 90},
+		Actions:    []string{"rehash_shard", "zeroize_staged", "lockdown"},
+	}
+	if b, err := rec.Marshal(); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"id":1,"tick":0,"from":0,"to":3,"score":6,"shard":0,"core":-1}`))
+	f.Add([]byte(`{"id":1,"tick":0,"from":0,"to":3,"score":6,"shard":0,"core":0,"bogus":1}`))
+	f.Add([]byte(`{"id":1} {"id":2}`)) // trailing data
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"score":1e999}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalIncident(data)
+		if err != nil {
+			return
+		}
+		raw, err := r.Marshal()
+		if err != nil {
+			t.Fatalf("accepted record does not marshal: %v", err)
+		}
+		back, err := UnmarshalIncident(raw)
+		if err != nil {
+			t.Fatalf("canonical form rejected by own decoder: %v\n%s", err, raw)
+		}
+		raw2, err := back.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, raw2) {
+			t.Fatalf("marshal is not a fixed point:\n  first:  %s\n  second: %s", raw, raw2)
+		}
+	})
+}

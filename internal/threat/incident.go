@@ -1,0 +1,120 @@
+package threat
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sdmmon/internal/obs"
+)
+
+// IncidentEvent is one pre-trigger EventRing record inside an incident:
+// the obs.Event fields plus the shard whose collector buffered it.
+type IncidentEvent struct {
+	Shard int    `json:"shard"`
+	Seq   uint64 `json:"seq"`
+	Kind  string `json:"kind"`
+	Core  int32  `json:"core"`
+	PC    uint32 `json:"pc,omitempty"`
+	Aux   uint64 `json:"aux,omitempty"`
+}
+
+// IncidentRecord is one forensic capture: the escalation that triggered it,
+// every signal reading of the trigger tick, the pre-trigger EventRing
+// window, and the stats delta since the previous incident (or since engine
+// start). Records contain no wall-clock time and no addresses — only
+// virtual time and deterministic counters — so the same seeded campaign
+// reproduces the same records byte for byte.
+type IncidentRecord struct {
+	ID    uint64  `json:"id"`
+	Tick  uint64  `json:"tick"`
+	From  Level   `json:"from"`
+	To    Level   `json:"to"`
+	Score float64 `json:"score"`
+	Shard int     `json:"shard"`
+	Core  int     `json:"core"`
+	// Readings carries every signal reading of the trigger tick, in
+	// sampling order.
+	Readings []SignalReading `json:"readings,omitempty"`
+	// Events is the pre-trigger window: the newest buffered ring events of
+	// each forensic collector, captured before any response action fired.
+	Events []IncidentEvent `json:"events,omitempty"`
+	// StatsDelta holds the counters that moved since the last capture
+	// (JSON object keys sort, so the encoding is canonical).
+	StatsDelta map[string]uint64 `json:"stats_delta,omitempty"`
+	// Actions lists the response actions the policy fired for this
+	// escalation, in firing order.
+	Actions []string `json:"actions,omitempty"`
+}
+
+// Marshal renders the record in its canonical byte form (compact JSON;
+// struct fields in declaration order, map keys sorted). Marshal∘Unmarshal
+// is a fixed point — the fuzz round-trip property.
+func (r *IncidentRecord) Marshal() ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// UnmarshalIncident parses a serialized incident record, rejecting unknown
+// fields and trailing garbage loudly.
+func UnmarshalIncident(b []byte) (*IncidentRecord, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var r IncidentRecord
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("threat: incident decode: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("threat: incident decode: trailing data")
+	}
+	return &r, nil
+}
+
+// MarshalIncidents renders a set of records as JSON lines — the on-disk
+// incident log format npsim writes.
+func MarshalIncidents(records []IncidentRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	for i := range records {
+		b, err := records[i].Marshal()
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteIncidents writes the JSON-lines incident log.
+func WriteIncidents(w io.Writer, records []IncidentRecord) error {
+	b, err := MarshalIncidents(records)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// captureEvents snapshots the newest `window` buffered events of each
+// forensic collector (collector index = shard) into incident form, ordered
+// by shard then ring sequence. The rings are left untouched — capture must
+// never disturb the evidence.
+func captureEvents(cols []*obs.Collector, window int) []IncidentEvent {
+	var out []IncidentEvent
+	for shard, c := range cols {
+		if c == nil {
+			continue
+		}
+		evs := c.Events()
+		if window > 0 && len(evs) > window {
+			evs = evs[len(evs)-window:]
+		}
+		for _, ev := range evs {
+			out = append(out, IncidentEvent{
+				Shard: shard, Seq: ev.Seq, Kind: ev.Kind.String(),
+				Core: ev.Core, PC: ev.PC, Aux: ev.Aux,
+			})
+		}
+	}
+	return out
+}

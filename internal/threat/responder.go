@@ -1,0 +1,105 @@
+package threat
+
+import (
+	"fmt"
+	"sync"
+
+	"sdmmon/internal/npu"
+	"sdmmon/internal/shard"
+)
+
+// PlaneResponder executes graded responses against a live shard.Plane and
+// its NPs. Tightening is reversible: the first tighten of a shard records
+// its original admission thresholds, and Relax restores them once the
+// level falls below Medium. Lockdown lifts when the level falls below
+// Critical. Core isolation and shard rehash are not undone automatically —
+// reinstating a quarantined core or a failed shard is an operator action
+// (reinstall), not something the engine should do on a quiet interval.
+type PlaneResponder struct {
+	plane *shard.Plane
+	nps   []*npu.NP
+
+	mu       sync.Mutex
+	original map[int][2]int // shard -> pre-tighten {capacity, markAt}
+}
+
+// NewPlaneResponder wires a responder to a plane and its line cards
+// (index = shard).
+func NewPlaneResponder(plane *shard.Plane, nps []*npu.NP) (*PlaneResponder, error) {
+	if plane == nil {
+		return nil, fmt.Errorf("threat: responder needs a plane")
+	}
+	if len(nps) != plane.Shards() {
+		return nil, fmt.Errorf("threat: %d NPs for %d shards", len(nps), plane.Shards())
+	}
+	return &PlaneResponder{plane: plane, nps: nps, original: map[int][2]int{}}, nil
+}
+
+// TightenAdmission halves the shard's queue capacity and CE-mark threshold
+// (floored at 1), remembering the originals for Relax. Repeated tightening
+// keeps halving but restores to the first-recorded originals.
+func (r *PlaneResponder) TightenAdmission(shard int) error {
+	capacity, markAt, err := r.plane.Admission(shard)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if _, ok := r.original[shard]; !ok {
+		r.original[shard] = [2]int{capacity, markAt}
+	}
+	r.mu.Unlock()
+	capacity = max(1, capacity/2)
+	markAt = max(1, min(markAt/2, capacity))
+	return r.plane.SetAdmission(shard, capacity, markAt)
+}
+
+// IsolateCore quarantines the offending core on the shard's NP.
+func (r *PlaneResponder) IsolateCore(shard, core int) error {
+	if shard < 0 || shard >= len(r.nps) {
+		return fmt.Errorf("threat: no shard %d", shard)
+	}
+	return r.nps[shard].Quarantine(core)
+}
+
+// RehashShard removes the shard from dispatch; its flows rendezvous-rehash
+// onto the survivors.
+func (r *PlaneResponder) RehashShard(shard int) error {
+	return r.plane.FailShard(shard)
+}
+
+// ZeroizeStaged discards every staged upgrade bundle fleet-wide.
+func (r *PlaneResponder) ZeroizeStaged() error {
+	for _, np := range r.nps {
+		np.AbortAllStaged()
+	}
+	return nil
+}
+
+// Lockdown stops plane-wide admission.
+func (r *PlaneResponder) Lockdown() error {
+	r.plane.Lockdown()
+	return nil
+}
+
+// Relax undoes reversible responses as the level falls: below Critical the
+// plane-wide lockdown lifts, below Medium every tightened shard gets its
+// original admission thresholds back.
+func (r *PlaneResponder) Relax(to Level) error {
+	if to < Critical {
+		r.plane.ClearLockdown()
+	}
+	if to >= Medium {
+		return nil
+	}
+	r.mu.Lock()
+	original := r.original
+	r.original = map[int][2]int{}
+	r.mu.Unlock()
+	var firstErr error
+	for shard, adm := range original {
+		if err := r.plane.SetAdmission(shard, adm[0], adm[1]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
