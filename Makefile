@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all check build vet fmt-check test test-short test-race test-obs test-faults test-rollout test-shard test-threat bench fuzz experiments examples verilog clean
+.PHONY: all check build vet fmt-check test test-short test-race test-obs test-faults test-rollout test-shard test-threat test-fleet bench fuzz experiments examples verilog clean
 
 all: check
 
@@ -11,7 +11,7 @@ all: check
 # detector over the concurrent packages, the observability layer, the
 # fault-injection suite, the live-upgrade suite, the sharded traffic
 # plane, and the graded threat-response engine.
-check: build vet fmt-check test test-race test-obs test-faults test-rollout test-shard test-threat
+check: build vet fmt-check test test-race test-obs test-faults test-rollout test-shard test-threat test-fleet
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,13 @@ test-threat:
 	$(GO) test -race ./internal/threat/...
 	$(GO) test -race -run 'Threat' -count=1 ./internal/shard/...
 
+# The hierarchical control plane under the race detector (wave rollouts,
+# partition-tolerant delivery, resume, rotation), plus the npsim drills
+# end to end.
+test-fleet:
+	$(GO) test -race ./internal/fleet/...
+	$(GO) run ./cmd/npsim -fleet all -routers 96 -seed 4 > /dev/null
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -85,6 +92,8 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzProcessPacket -fuzztime=30s ./internal/npu/
 	$(GO) test -run=NONE -fuzz=FuzzThreatPolicy -fuzztime=30s ./internal/threat/
 	$(GO) test -run=NONE -fuzz=FuzzIncidentRecord -fuzztime=30s ./internal/threat/
+	$(GO) test -run=NONE -fuzz=FuzzFleetReport -fuzztime=30s ./internal/fleet/
+	$(GO) test -run=NONE -fuzz=FuzzRotationPlan -fuzztime=30s ./internal/fleet/
 
 # Regenerate every table/figure of the paper (EXPERIMENTS.md source).
 experiments:

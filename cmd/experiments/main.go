@@ -30,6 +30,7 @@ func main() {
 	e11 := flag.Bool("e11", false, "E11: congestion management under queueing (extension)")
 	e12 := flag.Bool("e12", false, "E12: brute-force probe cost (extension)")
 	e13 := flag.Bool("e13", false, "E13: resident switching vs secure install (extension)")
+	e14 := flag.Bool("e14", false, "E14: fleet rotation rollout makespan (extension)")
 	pairs := flag.Int("pairs", 3000, "Figure 6 pairs per input distance (paper: 100000 total)")
 	trials := flag.Int("trials", 200000, "E5 trials per k")
 	fleet := flag.Int("fleet", 32, "E6 fleet size")
@@ -39,7 +40,7 @@ func main() {
 	csv := flag.String("csv", "", "also write the Figure 6 distribution to this CSV file")
 	flag.Parse()
 
-	all := !(*t1 || *t2 || *t3 || *f6 || *e5 || *e6 || *e7 || *e8 || *e9 || *e10 || *e11 || *e12 || *e13)
+	all := !(*t1 || *t2 || *t3 || *f6 || *e5 || *e6 || *e7 || *e8 || *e9 || *e10 || *e11 || *e12 || *e13 || *e14)
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -126,6 +127,13 @@ func main() {
 	}
 	if all || *e13 {
 		s, err := experiments.E13(*seed)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if all || *e14 {
+		s, err := experiments.E14(*seed)
 		if err != nil {
 			fail(err)
 		}

@@ -23,6 +23,7 @@ import (
 
 	"sdmmon/internal/apps"
 	"sdmmon/internal/attack"
+	"sdmmon/internal/fleet"
 	"sdmmon/internal/mhash"
 	"sdmmon/internal/monitor"
 	"sdmmon/internal/npu"
@@ -47,7 +48,8 @@ func main() {
 	benchPackets := flag.Int("benchpackets", 20000, "packets per sweep point in -bench mode")
 	faults := flag.String("faults", "", "fault-injection scenario: bitflip, hashflip, hang, spurious, graph, link, or all")
 	rollout := flag.String("rollout", "", "live-upgrade scenario: clean, badcanary, lossy, or all")
-	routers := flag.Int("routers", 4, "fleet size for -rollout")
+	routers := flag.Int("routers", 4, "fleet size for -rollout and -fleet (the fleet drills enforce a minimum of 64)")
+	fleetDrill := flag.String("fleet", "", "hierarchical control-plane drill: clean, partition, badwave, or all")
 	load := flag.Bool("load", false, "run the sharded traffic plane under overload (see -shards)")
 	shards := flag.Int("shards", 4, "line-card shards for -load")
 	threatDrill := flag.String("threat", "", "graded threat-response drill: burst, ramp, slowdrip, or all (self-asserting, replayed twice)")
@@ -80,6 +82,8 @@ func main() {
 
 	var err error
 	switch {
+	case *fleetDrill != "":
+		err = runFleet(*fleetDrill, *routers, *seed)
 	case *rollout != "":
 		err = runRollout(*rollout, *routers, *cores, *seed, col)
 	case *faults != "":
@@ -265,6 +269,31 @@ func runBench(appName string, packets, optWords int, seed int64, out string) err
 		report.Add(p)
 		fmt.Printf("%-10s %6d %6d %14.0f %14.0f %12d\n",
 			p.Path, p.Shards, p.Cores, p.PktsPerSec, p.SimAggPktsPerSec, p.P99BatchCycles)
+	}
+	// Fleet-rollout points: the control plane's makespan curve over fleet
+	// size and management-link loss, in virtual link-seconds. See
+	// internal/fleet and EXPERIMENTS.md §E14.
+	fmt.Printf("%-22s %6s %14s %10s %16s\n",
+		"fleet rollout", "groups", "makespan(s)", "attempts", "attempts/router")
+	report.FleetRollout = make(map[string]npu.FleetRolloutPoint)
+	for _, routers := range []int{100, 300, 1000} {
+		for _, drop := range []float64{0, 0.05, 0.15} {
+			m, err := fleet.MeasureRollout(routers, drop, seed)
+			if err != nil {
+				return err
+			}
+			key := fmt.Sprintf("routers=%d/loss=%.0f%%", m.Routers, m.DropRate*100)
+			report.FleetRollout[key] = npu.FleetRolloutPoint{
+				Routers:           m.Routers,
+				Groups:            m.Groups,
+				DropRate:          m.DropRate,
+				MakespanSeconds:   m.MakespanSeconds,
+				TotalAttempts:     m.TotalAttempts,
+				AttemptsPerRouter: m.AttemptsPerRouter,
+			}
+			fmt.Printf("%-22s %6d %14.2f %10d %16.2f\n",
+				key, m.Groups, m.MakespanSeconds, m.TotalAttempts, m.AttemptsPerRouter)
+		}
 	}
 	if err := report.Write(out); err != nil {
 		return err

@@ -186,15 +186,22 @@ func NewOperator(name string, rng io.Reader) (*Operator, error) {
 // fresh random 32-bit hash parameter, assemble the application, and extract
 // the monitoring graph under that parameter.
 func (o *Operator) PrepareBundle(app *apps.App) (*seccrypto.Bundle, error) {
-	prog, err := app.Program()
-	if err != nil {
-		return nil, err
-	}
 	var pb [4]byte
 	if _, err := io.ReadFull(o.rng, pb[:]); err != nil {
 		return nil, fmt.Errorf("core: parameter: %w", err)
 	}
-	param := binary.BigEndian.Uint32(pb[:])
+	return o.PrepareBundleWith(app, binary.BigEndian.Uint32(pb[:]))
+}
+
+// PrepareBundleWith is PrepareBundle with a caller-chosen hash parameter.
+// Fleet rotation plans assign parameters centrally (pairwise-distinct across
+// the fleet), so the draw moves out of the operator and the extraction runs
+// under exactly the assigned value.
+func (o *Operator) PrepareBundleWith(app *apps.App, param uint32) (*seccrypto.Bundle, error) {
+	prog, err := app.Program()
+	if err != nil {
+		return nil, err
+	}
 	var h mhash.Hasher = mhash.NewMerkle(param)
 	if o.Compression != nil {
 		h, err = mhash.NewMerkleWith(param, 4, o.Compression)
@@ -229,6 +236,20 @@ func (o *Operator) Program(dev seccrypto.DevicePublic, app *apps.App) (*seccrypt
 // transports).
 func (o *Operator) ProgramWire(dev seccrypto.DevicePublic, app *apps.App) ([]byte, error) {
 	p, err := o.Program(dev, app)
+	if err != nil {
+		return nil, err
+	}
+	return p.Marshal(), nil
+}
+
+// ProgramWireWith builds and serializes a package whose bundle carries a
+// caller-assigned hash parameter (rotation rollouts).
+func (o *Operator) ProgramWireWith(dev seccrypto.DevicePublic, app *apps.App, param uint32) ([]byte, error) {
+	b, err := o.PrepareBundleWith(app, param)
+	if err != nil {
+		return nil, err
+	}
+	p, err := o.sec.BuildPackage(dev, b, o.rng)
 	if err != nil {
 		return nil, err
 	}

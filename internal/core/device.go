@@ -201,6 +201,10 @@ func (d *Device) RollbackUpgrade() (uint64, error) { return d.np.RollbackAll() }
 // one application on all cores).
 func (d *Device) LiveApp() (string, bool) { return d.np.AppOn(0) }
 
+// LiveParam reports the hash parameter live on core 0 — the per-device
+// evidence behind the fleet's pairwise-distinct rotation invariant.
+func (d *Device) LiveParam() (uint32, bool) { return d.np.ParamOn(0) }
+
 // SequenceState serializes the device's anti-downgrade high-water marks for
 // persistence across reboots.
 func (d *Device) SequenceState() []byte { return d.identity.Sequences().Marshal() }

@@ -130,6 +130,25 @@ func (h *FlakyHasher) Hash(instr uint32) uint8 {
 // Width implements mhash.Hasher.
 func (h *FlakyHasher) Width() int { return h.inner.Width() }
 
+// PartitionLink is a scheduled network partition on a management link: every
+// datagram offered to the wire while the virtual clock is inside
+// [Start, End) is blackholed — the aggregation tier behind the link is
+// unreachable for the whole window, which is how a backhaul cut differs
+// from the per-datagram randomness of LinkFaults. Windows are expressed in
+// the same virtual seconds the delivery loops accumulate (wire + backoff
+// time), so a partition is deterministic per scenario, not per seed.
+type PartitionLink struct {
+	// Start and End bound the blackhole window in virtual seconds.
+	// A window with End <= Start never activates.
+	Start, End float64
+}
+
+// Active reports whether the partition blackholes the wire at virtual time
+// now.
+func (p PartitionLink) Active(now float64) bool {
+	return p.End > p.Start && now >= p.Start && now < p.End
+}
+
 // LinkFaults parameterizes the management-path fault model: each delivered
 // datagram is independently dropped, bit-corrupted, or duplicated.
 type LinkFaults struct {

@@ -1,0 +1,454 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"sdmmon/internal/network"
+	"sdmmon/internal/threat"
+)
+
+// Controller errors.
+var (
+	// ErrHalted: the rollout stopped on a failed health gate and the wave
+	// was rolled back. A halted report is terminal — the fix ships as a
+	// fresh release with a higher sequence, never as a resume.
+	ErrHalted = errors.New("fleet: rollout halted by health gate")
+	// ErrNotResumable: Resume was handed a halted or mismatched report.
+	ErrNotResumable = errors.New("fleet: report is not resumable")
+)
+
+// GateConfig tunes the per-wave health gate.
+type GateConfig struct {
+	// RateBudget is the tolerated increase of the wave's post-commit
+	// alarm+fault rate over its pre-rollout baseline; 0 selects 0.02.
+	RateBudget float64
+	// MaxLevel is the threat-engine ceiling: a post-wave level above it
+	// fails the gate. The zero value (None) selects Medium.
+	MaxLevel threat.Level
+	// HealthPackets is the probe depth per router per window; 0 selects 32.
+	HealthPackets int
+}
+
+func (g GateConfig) withDefaults() GateConfig {
+	if g.RateBudget == 0 {
+		g.RateBudget = 0.02
+	}
+	if g.MaxLevel == threat.None {
+		g.MaxLevel = threat.Medium
+	}
+	if g.HealthPackets == 0 {
+		g.HealthPackets = 32
+	}
+	return g
+}
+
+// RolloutConfig drives one release through the fleet.
+type RolloutConfig struct {
+	Gate GateConfig
+	// Policy bounds every per-router delivery (bundles and commands). The
+	// zero value selects DefaultRetryPolicy without the per-router
+	// deadline (virtual time, not wall time, is the budget here).
+	Policy network.RetryPolicy
+	// WaveFractions are the cumulative fleet fractions after the canary;
+	// nil selects the canonical canary → 1% → 25% → 100%.
+	WaveFractions []float64
+	// AfterCommit, when set, runs right after a router commits (fault
+	// hooks: the badwave drill poisons wave-2 routers here). Called from
+	// the router's group goroutine; it must touch only that router.
+	AfterCommit func(r *SimRouter, wave int)
+}
+
+// Controller drives wave-based rollouts over a fleet.
+type Controller struct {
+	f      *Fleet
+	cfg    RolloutConfig
+	engine *threat.Engine
+	tick   threat.Tick
+}
+
+// NewController builds a controller with its own threat engine (record-only
+// default configuration; the gate reads its level).
+func NewController(f *Fleet, cfg RolloutConfig) (*Controller, error) {
+	cfg.Gate = cfg.Gate.withDefaults()
+	if cfg.Policy.MaxAttempts == 0 {
+		cfg.Policy = network.DefaultRetryPolicy()
+		cfg.Policy.DeadlineSeconds = 0
+	}
+	if cfg.WaveFractions == nil {
+		cfg.WaveFractions = []float64{0.01, 0.25, 1.0}
+	}
+	for i, fr := range cfg.WaveFractions {
+		if fr <= 0 || fr > 1 {
+			return nil, fmt.Errorf("fleet: wave fraction %v out of (0, 1]", fr)
+		}
+		if i > 0 && fr < cfg.WaveFractions[i-1] {
+			return nil, fmt.Errorf("fleet: wave fractions must be non-decreasing")
+		}
+	}
+	if cfg.WaveFractions[len(cfg.WaveFractions)-1] != 1.0 {
+		return nil, fmt.Errorf("fleet: final wave fraction must be 1.0")
+	}
+	engine, err := threat.NewEngine(threat.DefaultEngineConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{f: f, cfg: cfg, engine: engine}, nil
+}
+
+// waveOf maps a rollout-order router index to its wave: index 0 is the
+// canary; the cumulative fractions cut the rest.
+func (c *Controller) waveOf(idx, n int) uint8 {
+	if idx == 0 {
+		return 0
+	}
+	for w, fr := range c.cfg.WaveFractions {
+		if idx < int(math.Ceil(fr*float64(n))) {
+			return uint8(w + 1)
+		}
+	}
+	return uint8(len(c.cfg.WaveFractions))
+}
+
+// Run drives a fresh rollout: derive the rotation plan, build the release,
+// and execute every wave. The returned report is also returned alongside
+// ErrHalted so a failed gate still yields the full picture.
+func (c *Controller) Run() (*FleetReport, error) {
+	routers := c.f.Routers()
+	ids := make([]string, len(routers))
+	for i, r := range routers {
+		ids[i] = r.ID
+	}
+	plan := NewRotationPlan(c.f.Seed, ids)
+	man, wires, err := c.f.BuildRelease(plan)
+	if err != nil {
+		return nil, err
+	}
+	rep := &FleetReport{
+		Seed:        c.f.Seed,
+		Release:     man,
+		Waves:       make([]WaveStatus, len(c.cfg.WaveFractions)+1),
+		GroupClocks: make([]float64, len(c.f.Groups)),
+	}
+	n := len(routers)
+	for i, r := range routers {
+		rep.Routers = append(rep.Routers, RouterRecord{ID: r.ID, Wave: c.waveOf(i, n)})
+	}
+	return c.execute(rep, wires)
+}
+
+// Resume continues a rollout from a decoded report: committed routers are
+// never re-delivered, probe totals accumulate on top of the saved ones, and
+// each group link's virtual clock picks up where the report left it (a
+// partition window that was open at the save point is still honored).
+func (c *Controller) Resume(rep *FleetReport) (*FleetReport, error) {
+	if rep.Halted {
+		return nil, fmt.Errorf("%w: halted rollout (ship a fresh release)", ErrNotResumable)
+	}
+	if rep.Seed != c.f.Seed {
+		return nil, fmt.Errorf("%w: report seed %d, fleet seed %d", ErrNotResumable, rep.Seed, c.f.Seed)
+	}
+	if len(rep.GroupClocks) != len(c.f.Groups) {
+		return nil, fmt.Errorf("%w: %d group clocks for %d groups", ErrNotResumable,
+			len(rep.GroupClocks), len(c.f.Groups))
+	}
+	ids := make([]string, 0, len(rep.Routers))
+	for i := range rep.Routers {
+		if c.f.Router(rep.Routers[i].ID) == nil {
+			return nil, fmt.Errorf("%w: unknown router %q", ErrNotResumable, rep.Routers[i].ID)
+		}
+		ids = append(ids, rep.Routers[i].ID)
+	}
+	for g, clk := range rep.GroupClocks {
+		c.f.Groups[g].Link.SetClock(clk)
+	}
+	// Re-derive the identical release: same rotation plan (pure function of
+	// seed and IDs) under the report's manifest.
+	plan := NewRotationPlan(c.f.Seed, ids)
+	wires, err := c.f.releaseWires(rep.Release, plan)
+	if err != nil {
+		return nil, err
+	}
+	cp := *rep
+	cp.Routers = append([]RouterRecord(nil), rep.Routers...)
+	cp.Waves = append([]WaveStatus(nil), rep.Waves...)
+	cp.GroupClocks = append([]float64(nil), rep.GroupClocks...)
+	cp.Completed = false
+	return c.execute(&cp, wires)
+}
+
+// routerOutcome is one router's result within a wave, produced inside its
+// group's goroutine and merged deterministically afterwards.
+type routerOutcome struct {
+	rec      *RouterRecord
+	baseline HealthSample // pre-delivery probe
+	post     HealthSample // post-commit probe (committed routers only)
+	attempts int
+	// rbAttempts counts the rollback command's transmissions separately:
+	// the forward-path attempts are merged into the report before the gate
+	// runs, so the rollback delta must not be double-counted.
+	rbAttempts int
+	state      RouterState
+	lastErr    string
+	byz        bool
+}
+
+// groupWork is one group's slice of a wave.
+type groupWork struct {
+	group   *Group
+	members []*routerOutcome // rollout order within the group
+}
+
+func add(dst *HealthSample, s HealthSample) {
+	dst.Processed += s.Processed
+	dst.Alarms += s.Alarms
+	dst.Faults += s.Faults
+}
+
+// execute runs every wave that still has work, gating between waves.
+func (c *Controller) execute(rep *FleetReport, wires map[string][]byte) (*FleetReport, error) {
+	commitWire := EncodeCommand(Command{Op: OpCommit, Manifest: rep.Release})
+	cmdSeed := network.DeriveSeed(c.f.Seed, "commit-cmd")
+
+	byID := make(map[string]*RouterRecord, len(rep.Routers))
+	for i := range rep.Routers {
+		byID[rep.Routers[i].ID] = &rep.Routers[i]
+	}
+
+	for w := range rep.Waves {
+		if rep.Waves[w] == WaveRolledBack {
+			continue
+		}
+		// Collect this wave's unfinished members, grouped.
+		var work []*groupWork
+		committedBefore := 0
+		for _, g := range c.f.Groups {
+			var gw *groupWork
+			for _, r := range g.Routers {
+				rec := byID[r.ID]
+				if rec == nil || int(rec.Wave) != w {
+					continue
+				}
+				if rec.State == StateCommitted {
+					committedBefore++
+					continue
+				}
+				if gw == nil {
+					gw = &groupWork{group: g}
+				}
+				gw.members = append(gw.members, &routerOutcome{rec: rec, state: rec.State})
+			}
+			if gw != nil {
+				work = append(work, gw)
+			}
+		}
+		if len(work) == 0 {
+			// Nothing left to do: every member already committed, or the
+			// wave is empty at this fleet size (e.g. a 1% wave of a tiny
+			// fleet). Either way it is vacuously committed.
+			rep.Waves[w] = WaveCommitted
+			continue
+		}
+
+		// Deliver concurrently per group; routers within a group are
+		// sequential (they share the link and its clock).
+		var wg sync.WaitGroup
+		for _, gw := range work {
+			wg.Add(1)
+			go func(gw *groupWork) {
+				defer wg.Done()
+				c.runGroupWave(gw, wires, commitWire, cmdSeed, w)
+			}(gw)
+		}
+		wg.Wait()
+
+		// Merge deterministically (work is group-ordered, members are
+		// rollout-ordered) and evaluate the gate.
+		var baseline, post HealthSample
+		committedNow := 0
+		for _, gw := range work {
+			for _, out := range gw.members {
+				out.rec.State = out.state
+				out.rec.Attempts += uint32(out.attempts)
+				out.rec.LastErr = out.lastErr
+				out.rec.Byzantine = out.rec.Byzantine || out.byz
+				rep.TotalAttempts += uint64(out.attempts)
+				add(&rep.Probe, out.baseline)
+				add(&rep.Probe, out.post)
+				if out.state == StateCommitted {
+					committedNow++
+					add(&baseline, out.baseline)
+					add(&post, out.post)
+				}
+			}
+		}
+
+		if committedNow == 0 && committedBefore == 0 {
+			// Nothing in this wave is live (e.g. the whole wave sat behind
+			// a partition): stop without judging later waves — the report
+			// stays resumable right here.
+			break
+		}
+		if committedNow > 0 {
+			halted, err := c.gate(rep, work, w, baseline, post, commitWire, cmdSeed)
+			if err != nil {
+				return rep, err
+			}
+			if halted {
+				c.saveClocks(rep)
+				return rep, ErrHalted
+			}
+		}
+		rep.Waves[w] = WaveCommitted
+	}
+
+	c.saveClocks(rep)
+	rep.Completed = !rep.Halted && allCommitted(rep)
+	return rep, nil
+}
+
+// runGroupWave drives one group's share of a wave over its own link:
+// baseline probe, bundle delivery, the one-shot crash hook, the commit
+// command, the post-commit hook, and the post probe with its byzantine
+// cross-check.
+func (c *Controller) runGroupWave(gw *groupWork, wires map[string][]byte, commitWire []byte, cmdSeed int64, wave int) {
+	link := gw.group.Link
+	hp := c.cfg.Gate.HealthPackets
+	for _, out := range gw.members {
+		r := c.f.Router(out.rec.ID)
+		base, _ := r.Probe(hp)
+		out.baseline = base
+
+		if out.state != StateStaged {
+			dr := network.DeliverReliable(link, r.ID, wires[r.ID], c.cfg.Policy, c.f.Seed, r.ApplyBundle)
+			out.attempts += dr.Attempts
+			if dr.Err != nil {
+				out.state, out.lastErr = StateUnreachable, dr.Err.Error()
+				continue
+			}
+			out.state = StateStaged
+		}
+		if r.crashAfterStage {
+			r.crashAfterStage = false
+			r.Crash()
+		}
+		cr := network.DeliverReliable(link, r.ID, commitWire, c.cfg.Policy, cmdSeed, r.ApplyCommand)
+		out.attempts += cr.Attempts
+		if cr.Err != nil {
+			out.lastErr = cr.Err.Error()
+			if r.staged == nil {
+				// The staged state is gone (crash); the bundle must be
+				// re-delivered on resume.
+				out.state = StateUnreachable
+			}
+			continue
+		}
+		out.state, out.lastErr = StateCommitted, ""
+		if c.cfg.AfterCommit != nil {
+			c.cfg.AfterCommit(r, wave)
+		}
+		postObs, claimed := r.Probe(hp)
+		out.post = postObs
+		// Byzantine cross-check: the gate never consumes the claimed
+		// sample, but a claim diverging from the controller's own
+		// observation marks the router.
+		out.byz = claimed != postObs
+	}
+}
+
+// gate evaluates a wave's health: rate regression against its own baseline
+// plus the threat-engine level ceiling. A failed gate rolls the wave back
+// and halts the rollout.
+func (c *Controller) gate(rep *FleetReport, work []*groupWork, wave int, baseline, post HealthSample, commitWire []byte, cmdSeed int64) (halted bool, err error) {
+	// One engine tick per judged wave: per-group alarm and fault rates from
+	// the post-commit probes.
+	var samples []threat.Sample
+	for _, gw := range work {
+		var gp HealthSample
+		for _, out := range gw.members {
+			if out.state == StateCommitted {
+				add(&gp, out.post)
+			}
+		}
+		if gp.Processed == 0 {
+			continue
+		}
+		samples = append(samples,
+			threat.Sample{Shard: gw.group.Index, Core: -1, Signal: threat.SigAlarmRate,
+				Value: float64(gp.Alarms) / float64(gp.Processed)},
+			threat.Sample{Shard: gw.group.Index, Core: -1, Signal: threat.SigFaultRate,
+				Value: float64(gp.Faults) / float64(gp.Processed)})
+	}
+	if len(samples) > 0 {
+		c.tick++
+		if _, err := c.engine.Tick(c.tick, samples); err != nil {
+			return false, err
+		}
+	}
+	regressed := post.EventRate()-baseline.EventRate() > c.cfg.Gate.RateBudget
+	level := c.engine.Level()
+	if !regressed && level <= c.cfg.Gate.MaxLevel {
+		return false, nil
+	}
+
+	// Roll the wave back over the same lossy links, concurrently per
+	// group, retried exactly like the forward path.
+	rollbackWire := EncodeCommand(Command{Op: OpRollback, Manifest: rep.Release})
+	rbSeed := network.DeriveSeed(c.f.Seed, "rollback-cmd")
+	var wg sync.WaitGroup
+	for _, gw := range work {
+		wg.Add(1)
+		go func(gw *groupWork) {
+			defer wg.Done()
+			for _, out := range gw.members {
+				if out.state != StateCommitted {
+					continue
+				}
+				r := c.f.Router(out.rec.ID)
+				rr := network.DeliverReliable(gw.group.Link, r.ID, rollbackWire, c.cfg.Policy, rbSeed, r.ApplyCommand)
+				out.rbAttempts = rr.Attempts
+				if rr.Err != nil {
+					out.lastErr = rr.Err.Error()
+					continue
+				}
+				out.state = StateRolledBack
+			}
+		}(gw)
+	}
+	wg.Wait()
+	// Merge the rollback deltas (the forward-path attempts were already
+	// folded in before the gate ran).
+	for _, gw := range work {
+		for _, out := range gw.members {
+			out.rec.State = out.state
+			out.rec.LastErr = out.lastErr
+			out.rec.Attempts += uint32(out.rbAttempts)
+			rep.TotalAttempts += uint64(out.rbAttempts)
+		}
+	}
+	rep.Waves[wave] = WaveRolledBack
+	rep.Halted = true
+	return true, nil
+}
+
+func (c *Controller) saveClocks(rep *FleetReport) {
+	for _, g := range c.f.Groups {
+		rep.GroupClocks[g.Index] = g.Link.Clock()
+	}
+	var m float64
+	for _, clk := range rep.GroupClocks {
+		m = math.Max(m, clk)
+	}
+	rep.MakespanSeconds = m
+}
+
+func allCommitted(rep *FleetReport) bool {
+	for i := range rep.Routers {
+		if rep.Routers[i].State != StateCommitted {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package network
+
+import (
+	"errors"
+	"testing"
+
+	"sdmmon/internal/apps"
+	"sdmmon/internal/fault"
+)
+
+// deliverySignature reduces a fleet rollout to the retry-loop facts that
+// must replay identically: per-router attempt counts and backoff seconds
+// (the jitter stream), and the link's ground-truth wire fault accounting.
+type deliverySignature struct {
+	attempts []int
+	backoff  []float64
+	wire     fault.WireStats
+}
+
+func signatureOf(t *testing.T, linkSeed, seed int64) deliverySignature {
+	t.Helper()
+	op, devices := reliableFleet(t, 4)
+	link := NewLossyLink(GigE(), fault.LinkFaults{DropRate: 0.3, CorruptRate: 0.2}, linkSeed)
+	pol := DefaultRetryPolicy()
+	pol.MaxAttempts = 32
+	pol.DeadlineSeconds = 0
+	out, err := DistributeReliable(op, devices, apps.IPv4CM(), link, pol, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged() {
+		t.Fatalf("fleet did not converge: %+v", out.Reports)
+	}
+	sig := deliverySignature{wire: link.WireStats()}
+	for _, r := range out.Reports {
+		sig.attempts = append(sig.attempts, r.Attempts)
+		sig.backoff = append(sig.backoff, r.BackoffSeconds)
+	}
+	return sig
+}
+
+// Satellite regression: deliverWithRetry draws its jitter from a per-call
+// seeded RNG (DeriveSeed over the recipient ID), not a stream shared across
+// routers, so two runs with the same seeds replay the identical retry
+// trajectory router by router — the property fleet-scale replay rests on.
+func TestDeliveryJitterDeterministicAcrossRuns(t *testing.T) {
+	a := signatureOf(t, 99, 7)
+	b := signatureOf(t, 99, 7)
+	if len(a.attempts) != len(b.attempts) {
+		t.Fatalf("report counts differ: %d vs %d", len(a.attempts), len(b.attempts))
+	}
+	for i := range a.attempts {
+		if a.attempts[i] != b.attempts[i] {
+			t.Errorf("router %d: attempts %d vs %d across identical runs", i, a.attempts[i], b.attempts[i])
+		}
+		if a.backoff[i] != b.backoff[i] {
+			t.Errorf("router %d: backoff %v vs %v across identical runs", i, a.backoff[i], b.backoff[i])
+		}
+	}
+	if a.wire != b.wire {
+		t.Errorf("wire stats diverged: %+v vs %+v", a.wire, b.wire)
+	}
+}
+
+// Different recipient IDs draw different jitter streams from the same seed:
+// the derivation is per-call, not a fleet-wide constant.
+func TestDeriveSeedSeparatesRecipients(t *testing.T) {
+	if DeriveSeed(7, "router-0") == DeriveSeed(7, "router-1") {
+		t.Error("distinct recipients derived the same delivery seed")
+	}
+	if DeriveSeed(7, "router-0") != DeriveSeed(7, "router-0") {
+		t.Error("seed derivation is not a pure function")
+	}
+}
+
+// A partition window blackholes the link while the virtual clock is inside
+// it and heals once the accrued wire+backoff time passes the window's end —
+// the delivery loop itself rides the partition out when its budget allows.
+func TestDeliverReliableRidesOutPartition(t *testing.T) {
+	link := NewLossyLink(GigE(), fault.LinkFaults{}, 1)
+	link.Partitions = []fault.PartitionLink{{Start: 0, End: 2}}
+	pol := RetryPolicy{MaxAttempts: 64, BaseBackoffSeconds: 0.25, MaxBackoffSeconds: 1}
+	applied := 0
+	rep := DeliverReliable(link, "r0", []byte("payload"), pol, 5, func([]byte) error {
+		applied++
+		return nil
+	})
+	if rep.Err != nil {
+		t.Fatalf("delivery should converge after the window closes: %v", rep.Err)
+	}
+	if applied != 1 {
+		t.Fatalf("apply ran %d times, want 1", applied)
+	}
+	if rep.Attempts < 2 {
+		t.Errorf("attempts=%d, want >1 (first transmissions land inside the window)", rep.Attempts)
+	}
+	if link.PartitionDrops() == 0 {
+		t.Error("no partition drops recorded for transmissions inside the window")
+	}
+	if link.Clock() < 2 {
+		t.Errorf("virtual clock %v did not pass the window end", link.Clock())
+	}
+}
+
+// A partition that outlasts the retry budget fails the delivery with the
+// typed attempts error, and every transmission is accounted as a partition
+// drop — not a wire fault.
+func TestDeliverReliablePartitionExhaustsBudget(t *testing.T) {
+	link := NewLossyLink(GigE(), fault.LinkFaults{}, 1)
+	link.Partitions = []fault.PartitionLink{{Start: 0, End: 1e9}}
+	pol := RetryPolicy{MaxAttempts: 4, BaseBackoffSeconds: 0.1, MaxBackoffSeconds: 1}
+	rep := DeliverReliable(link, "r0", []byte("payload"), pol, 5, func([]byte) error {
+		t.Fatal("apply ran during a partition")
+		return nil
+	})
+	if !errors.Is(rep.Err, ErrDeliveryAttempts) {
+		t.Fatalf("err = %v, want ErrDeliveryAttempts", rep.Err)
+	}
+	if got := link.PartitionDrops(); got != uint64(pol.MaxAttempts) {
+		t.Errorf("partition drops = %d, want %d", got, pol.MaxAttempts)
+	}
+	if ws := link.WireStats(); ws.Sent != 0 {
+		t.Errorf("partitioned transmissions leaked into wire stats: %+v", ws)
+	}
+}

@@ -31,21 +31,66 @@ var (
 )
 
 // LossyLink is a management path with injected faults: datagrams are
-// dropped, bit-corrupted, or duplicated per fault.LinkFaults, and routers
-// listed in Dead receive nothing at all (a permanently unreachable device).
-// Timing still follows the embedded Link.
+// dropped, bit-corrupted, or duplicated per fault.LinkFaults, routers
+// listed in Dead receive nothing at all (a permanently unreachable device),
+// and scheduled Partitions blackhole the whole link for virtual-time
+// windows. Timing still follows the embedded Link.
+//
+// The link carries its own virtual clock: the delivery loops advance it as
+// wire and backoff time accrue, so partition windows are evaluated against
+// the same simulated seconds the reports account. A link is owned by one
+// delivery loop at a time (the fleet control plane gives each router group
+// its own link); the clock is not synchronized further.
 type LossyLink struct {
 	Link
 	Faults fault.LinkFaults
 	// Dead routers drop every datagram regardless of Faults.
 	Dead map[string]bool
+	// Partitions are scheduled blackhole windows evaluated against the
+	// link's virtual clock at each Deliver.
+	Partitions []fault.PartitionLink
 	// Obs, when set, receives delivery telemetry (attempt/outcome counters,
 	// wire/backoff second totals, verify-time histogram) from every retry
 	// loop run over this link. Nil disables instrumentation at zero cost.
 	Obs *obs.Collector
 
 	inj *fault.Injector
+	// clock is the link's virtual time in seconds (see SetClock/Advance).
+	clock float64
+	// partitionDrops counts datagrams blackholed by an active partition
+	// window — kept apart from WireStats because a partition is scheduled
+	// infrastructure failure, not per-datagram wire randomness.
+	partitionDrops uint64
 }
+
+// SetClock positions the link's virtual clock (a rollout sets it to the
+// wave's start time before delivering over the link).
+func (l *LossyLink) SetClock(t float64) { l.clock = t }
+
+// Clock reports the link's current virtual time in seconds.
+func (l *LossyLink) Clock() float64 { return l.clock }
+
+// Advance moves the link's virtual clock forward. The delivery loops call
+// it as wire and backoff seconds accrue; dt <= 0 is ignored.
+func (l *LossyLink) Advance(dt float64) {
+	if dt > 0 {
+		l.clock += dt
+	}
+}
+
+// Partitioned reports whether a scheduled partition window blackholes the
+// link at its current virtual time.
+func (l *LossyLink) Partitioned() bool {
+	for _, p := range l.Partitions {
+		if p.Active(l.clock) {
+			return true
+		}
+	}
+	return false
+}
+
+// PartitionDrops counts datagrams blackholed by partition windows.
+func (l *LossyLink) PartitionDrops() uint64 { return l.partitionDrops }
 
 // NewLossyLink builds a lossy link over base with a deterministic fault
 // stream drawn from seed.
@@ -66,6 +111,10 @@ func (l *LossyLink) WireStats() fault.WireStats {
 // Deliver transports one datagram toward a device and returns what arrives:
 // zero, one (possibly corrupted), or two copies.
 func (l *LossyLink) Deliver(deviceID string, wire []byte) [][]byte {
+	if l.Partitioned() {
+		l.partitionDrops++
+		return nil
+	}
 	if l.Dead[deviceID] {
 		return nil
 	}
@@ -142,13 +191,12 @@ func DistributeReliable(op *core.Operator, devices []*core.Device, app *apps.App
 		pol.MaxAttempts = 1
 	}
 	model := timing.NiosIIPrototype()
-	rng := rand.New(rand.NewSource(seed))
 	for _, dev := range devices {
 		wire, err := op.ProgramWire(dev.Public(), app)
 		if err != nil {
 			return out, fmt.Errorf("network: packaging for %s: %w", dev.ID, err)
 		}
-		rep := deliverWithRetry(dev, wire, link, pol, model, rng, (*core.Device).Install)
+		rep := deliverWithRetry(dev, wire, link, pol, model, seed, (*core.Device).Install)
 		out.Reports = append(out.Reports, rep)
 		out.TotalAttempts += rep.Attempts
 		if rep.Err == nil {
@@ -166,34 +214,60 @@ func DistributeReliable(op *core.Operator, devices []*core.Device, app *apps.App
 // is identical either way because both run the full verification pipeline.
 type installFunc func(dev *core.Device, wire []byte) (*core.InstallReport, error)
 
-// deliverWithRetry runs the per-router retry loop for one prepared package.
-func deliverWithRetry(dev *core.Device, wire []byte, link *LossyLink, pol RetryPolicy, model timing.CostModel, rng *rand.Rand, install installFunc) DeliveryReport {
-	rep := DeliveryReport{DeviceID: dev.ID}
-	defer func() { publishDelivery(link, &rep) }()
+// DeriveSeed folds a recipient identity into a delivery seed (FNV-1a), so
+// every per-recipient retry loop draws jitter from its own stream. A shared
+// stream would make the jitter sequence depend on delivery order, which a
+// concurrent (per-group) fleet rollout does not have — per-call derivation
+// is what makes fleet-scale replay byte-deterministic per seed.
+func DeriveSeed(seed int64, id string) int64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range []byte(id) {
+		h = (h ^ uint64(b)) * prime
+	}
+	return seed ^ int64(h)
+}
+
+// DeliverReliable runs the capped-backoff retry loop for one recipient over
+// a lossy link: transmit, apply every arriving copy until one verifies,
+// back off with seeded jitter, give up when the attempt budget or the
+// per-recipient deadline runs out. apply must return nil only after full
+// verification — a corrupted datagram surfaces there exactly like an attack
+// and is retried, never trusted. The link's virtual clock advances with the
+// accrued wire and backoff seconds, so scheduled partition windows open and
+// close while the loop runs.
+func DeliverReliable(link *LossyLink, id string, wire []byte, pol RetryPolicy, seed int64, apply func(copy []byte) error) DeliveryReport {
+	if pol.MaxAttempts < 1 {
+		pol.MaxAttempts = 1
+	}
+	rng := rand.New(rand.NewSource(DeriveSeed(seed, id)))
+	rep := DeliveryReport{DeviceID: id}
 	var lastErr error
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
 		rep.Attempts = attempt
 		// The wire time is spent whether or not the package arrives: a
 		// lost transfer is only discovered when the response times out.
-		rep.WireSeconds += link.TransferSeconds(len(wire))
-		copies := link.Deliver(dev.ID, wire)
+		wireS := link.TransferSeconds(len(wire))
+		rep.WireSeconds += wireS
+		link.Advance(wireS)
+		copies := link.Deliver(id, wire)
 		if len(copies) == 0 {
-			lastErr = fmt.Errorf("network: %s attempt %d: package lost in transit", dev.ID, attempt)
+			lastErr = fmt.Errorf("network: %s attempt %d: package lost in transit", id, attempt)
 		}
 		for _, c := range copies {
-			inst, err := install(dev, c)
-			if err != nil {
+			if err := apply(c); err != nil {
 				// Bit corruption surfaces as a signature/decrypt/parse
 				// failure — exactly like an attack. Never trust it;
 				// retransmit instead.
-				lastErr = fmt.Errorf("network: %s attempt %d: %w", dev.ID, attempt, err)
+				lastErr = fmt.Errorf("network: %s attempt %d: %w", id, attempt, err)
 				continue
 			}
 			// Converged. Duplicate copies of an already-installed
 			// package are simply ignored by stopping here.
-			rep.Install = inst
-			rep.ProcessSeconds = model.EstimateOps(inst.Ops)
-			rep.TotalSeconds = rep.WireSeconds + rep.ProcessSeconds + rep.BackoffSeconds
+			rep.TotalSeconds = rep.WireSeconds + rep.BackoffSeconds
 			return rep
 		}
 		// Accrue the backoff before the deadline check. The previous order
@@ -201,7 +275,9 @@ func deliverWithRetry(dev *core.Device, wire []byte, link *LossyLink, pol RetryP
 		// preceding it had already blown the per-router budget — the report
 		// then both overran DeadlineSeconds and overstated attempts.
 		if attempt < pol.MaxAttempts {
-			rep.BackoffSeconds += pol.backoff(attempt, rng)
+			b := pol.backoff(attempt, rng)
+			rep.BackoffSeconds += b
+			link.Advance(b)
 		}
 		if pol.DeadlineSeconds > 0 && rep.WireSeconds+rep.BackoffSeconds > pol.DeadlineSeconds {
 			rep.Err = fmt.Errorf("%w after %d attempts (%.2fs): %v",
@@ -212,6 +288,27 @@ func deliverWithRetry(dev *core.Device, wire []byte, link *LossyLink, pol RetryP
 	}
 	rep.Err = fmt.Errorf("%w (%d attempts): %v", ErrDeliveryAttempts, pol.MaxAttempts, lastErr)
 	rep.TotalSeconds = rep.WireSeconds + rep.BackoffSeconds
+	return rep
+}
+
+// deliverWithRetry runs the per-router retry loop for one prepared package
+// through the device's cryptographic install pipeline, adding the modeled
+// control-processor verification time on success.
+func deliverWithRetry(dev *core.Device, wire []byte, link *LossyLink, pol RetryPolicy, model timing.CostModel, seed int64, install installFunc) DeliveryReport {
+	var inst *core.InstallReport
+	rep := DeliverReliable(link, dev.ID, wire, pol, seed, func(c []byte) error {
+		r, err := install(dev, c)
+		if err == nil {
+			inst = r
+		}
+		return err
+	})
+	if rep.Err == nil {
+		rep.Install = inst
+		rep.ProcessSeconds = model.EstimateOps(inst.Ops)
+		rep.TotalSeconds = rep.WireSeconds + rep.ProcessSeconds + rep.BackoffSeconds
+	}
+	publishDelivery(link, &rep)
 	return rep
 }
 

@@ -3,7 +3,6 @@ package network
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"sdmmon/internal/apps"
 	"sdmmon/internal/core"
@@ -246,7 +245,6 @@ func UpgradeFleet(op *core.Operator, devices []*core.Device, app *apps.App, cfg 
 	}
 	cfg = cfg.withDefaults(len(devices))
 	model := timing.NiosIIPrototype()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	rep := &RolloutReport{Outcomes: make([]RouterOutcome, len(devices))}
 	if prior != nil {
@@ -345,7 +343,7 @@ func UpgradeFleet(op *core.Operator, devices []*core.Device, app *apps.App, cfg 
 				return finish(fmt.Sprintf("packaging for %s failed", dev.ID),
 					fmt.Errorf("network: packaging for %s: %w", dev.ID, err))
 			}
-			drep := deliverWithRetry(dev, wire, cfg.Link, cfg.Policy, model, rng, (*core.Device).StageUpgrade)
+			drep := deliverWithRetry(dev, wire, cfg.Link, cfg.Policy, model, cfg.Seed, (*core.Device).StageUpgrade)
 			out.Delivery = &drep
 			rep.Cost.AddDelivery(drep.WireSeconds, drep.ProcessSeconds, drep.BackoffSeconds,
 				drep.Attempts, drep.Err == nil)

@@ -110,6 +110,23 @@ type BenchReport struct {
 	// throughput divided by the 1-shard point of the same per-shard shape —
 	// the line-card scaling curve.
 	ShardScaling map[string]float64 `json:"shard_scaling,omitempty"`
+	// FleetRollout maps "routers=N/loss=P%" to one complete control-plane
+	// rotation rollout at that scale and management-link loss rate, in
+	// virtual link-seconds (measured by internal/fleet; Write leaves the
+	// series untouched — only the derived ratio maps are recomputed).
+	FleetRollout map[string]FleetRolloutPoint `json:"fleet_rollout,omitempty"`
+}
+
+// FleetRolloutPoint is one fleet_rollout series entry. The fields mirror
+// fleet.RolloutMeasurement (internal/fleet depends on this package, so the
+// bench document declares its own shape).
+type FleetRolloutPoint struct {
+	Routers           int     `json:"routers"`
+	Groups            int     `json:"groups"`
+	DropRate          float64 `json:"drop_rate"`
+	MakespanSeconds   float64 `json:"makespan_seconds"`
+	TotalAttempts     uint64  `json:"total_attempts"`
+	AttemptsPerRouter float64 `json:"attempts_per_router"`
 }
 
 // Add records a point, replacing any earlier measurement of the same

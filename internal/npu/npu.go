@@ -76,6 +76,7 @@ type preparedApp struct {
 	tracer  *cpu.Tracer
 	hasher  mhash.Hasher
 	appName string
+	param   uint32
 }
 
 // coreSlot is one core with its security hardware.
@@ -90,6 +91,7 @@ type coreSlot struct {
 	tracer  *cpu.Tracer
 	hasher  mhash.Hasher
 	appName string
+	param   uint32
 	loaded  bool
 	// resetTrace defers the forensic-trace wipe of the recovery sequence
 	// to the core's next packet, keeping the dump readable between an
@@ -114,7 +116,7 @@ type coreSlot struct {
 // retention at commit time). Call with mu held.
 func (s *coreSlot) liveImage() *preparedApp {
 	return &preparedApp{core: s.core, mon: s.mon, tracer: s.tracer,
-		hasher: s.hasher, appName: s.appName}
+		hasher: s.hasher, appName: s.appName, param: s.param}
 }
 
 // setLive makes a prepared image the slot's live installation. Call with mu
@@ -125,6 +127,7 @@ func (s *coreSlot) setLive(p *preparedApp) {
 	s.tracer = p.tracer
 	s.hasher = p.hasher
 	s.appName = p.appName
+	s.param = p.param
 	s.loaded = true
 	s.resetTrace = false
 }
@@ -316,7 +319,8 @@ func (np *NP) prepare(name string, binary, graph []byte, param uint32) (*prepare
 		}
 		mon = m
 	}
-	p := &preparedApp{core: apps.NewCore(prog), mon: mon, hasher: hasher, appName: name}
+	p := &preparedApp{core: apps.NewCore(prog), mon: mon, hasher: hasher,
+		appName: name, param: param}
 	var trace cpu.TraceFunc
 	if np.cfg.MonitorsEnabled {
 		trace = mon.Observe
@@ -401,6 +405,22 @@ func (np *NP) AppOn(coreID int) (string, bool) {
 		return "", false
 	}
 	return np.slots[coreID].appName, true
+}
+
+// ParamOn reports the hash parameter of the live installation on a core —
+// the fleet rotation invariant ("no two routers share hash parameters")
+// audits the fleet through this.
+func (np *NP) ParamOn(coreID int) (uint32, bool) {
+	if coreID < 0 || coreID >= len(np.slots) {
+		return 0, false
+	}
+	slot := np.slots[coreID]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if !slot.loaded {
+		return 0, false
+	}
+	return slot.param, true
 }
 
 // Result describes one packet's fate.

@@ -1,0 +1,129 @@
+package shard
+
+import (
+	"testing"
+
+	"sdmmon/internal/network"
+	"sdmmon/internal/npu"
+	"sdmmon/internal/obs"
+)
+
+// TestPlaneControlIdempotency pins the contract the threat engine's
+// response dispatch relies on: FailShard, Lockdown, and ClearLockdown may
+// be replayed (a graded response re-fires on every tick above its
+// threshold) without double-counting failovers or shed packets, and the
+// per-card tallies, plane-wide Stats, and the registry's
+// shard_starved_drops_total counter must agree throughout.
+func TestPlaneControlIdempotency(t *testing.T) {
+	col := obs.New(0)
+	nps := make([]*npu.NP, 3)
+	for i := range nps {
+		nps[i] = planeNP(t, 1, int64(i+40))
+	}
+	plane, err := NewPlane(Config{NPs: nps, QueueCapacity: 64, Obs: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Close()
+	starvedTotal := col.Registry().Counter("shard_starved_drops_total")
+
+	gen, err := network.NewFlowGenerator(32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		plane.Submit(gen.Next())
+	}
+
+	// consistent asserts the three views of shed packets never diverge.
+	consistent := func(stage string) {
+		t.Helper()
+		st := plane.Stats()
+		if !st.Conserved() {
+			t.Fatalf("%s: not conserved: %+v", stage, st)
+		}
+		if got := starvedTotal.Value(); got != st.Starved {
+			t.Fatalf("%s: registry starved %d != stats starved %d", stage, got, st.Starved)
+		}
+	}
+	consistent("baseline")
+
+	steps := []struct {
+		name  string
+		op    func() error
+		check func(stage string)
+	}{
+		{
+			name: "FailShard",
+			op:   func() error { return plane.FailShard(1) },
+			check: func(stage string) {
+				st := plane.Stats()
+				if st.Failovers != 1 {
+					t.Errorf("%s: failovers = %d, want exactly 1", stage, st.Failovers)
+				}
+				if !st.Shards[1].Failed {
+					t.Errorf("%s: shard 1 not marked failed", stage)
+				}
+			},
+		},
+		{
+			name: "Lockdown",
+			op:   func() error { plane.Lockdown(); return nil },
+			check: func(stage string) {
+				if !plane.LockedDown() {
+					t.Errorf("%s: plane not locked down", stage)
+				}
+				if got := plane.Submit(gen.Next()); got != AdmitStarved {
+					t.Errorf("%s: admission under lockdown = %v, want starved", stage, got)
+				}
+			},
+		},
+		{
+			name: "ClearLockdown",
+			op:   func() error { plane.ClearLockdown(); return nil },
+			check: func(stage string) {
+				if plane.LockedDown() {
+					t.Errorf("%s: plane still locked down", stage)
+				}
+				if got := plane.Submit(gen.Next()); got == AdmitStarved {
+					t.Errorf("%s: healthy shards remain but admission starved", stage)
+				}
+			},
+		},
+	}
+	for _, step := range steps {
+		for _, stage := range []string{step.name + "/first", step.name + "/replay"} {
+			if err := step.op(); err != nil {
+				t.Fatalf("%s: %v", stage, err)
+			}
+			step.check(stage)
+			consistent(stage)
+		}
+	}
+
+	for _, bad := range []int{-1, 3} {
+		if err := plane.FailShard(bad); err == nil {
+			t.Errorf("FailShard(%d) accepted an out-of-range shard", bad)
+		}
+	}
+
+	// The worker dead-path replay: a batch tail sheds on a card a
+	// concurrent FailShard already failed (the worker held no lock during
+	// DrainBatch). failLocked must no-op the failover event yet still
+	// fold the tail into the plane-wide counter — this is the lost-extra
+	// bug the consistency checks above would miss at quiescence.
+	lc := plane.cards[1]
+	before := starvedTotal.Value()
+	lc.mu.Lock()
+	lc.arrived += 5 // the tail's packets were admitted before the wedge
+	lc.starved += 5 // worker accounts the unprocessed tail on the card
+	plane.failLocked(lc, 5)
+	lc.mu.Unlock()
+	if got := starvedTotal.Value(); got != before+5 {
+		t.Errorf("dead-path replay: registry starved %d, want %d", got, before+5)
+	}
+	if got := plane.Stats().Failovers; got != 1 {
+		t.Errorf("dead-path replay re-emitted failover: %d events", got)
+	}
+	consistent("dead-path replay")
+}

@@ -486,6 +486,14 @@ func (p *Plane) worker(lc *lineCard) {
 // the failover event's aux.
 func (p *Plane) failLocked(lc *lineCard, extra uint64) {
 	if lc.failed {
+		// A concurrent failover (FailShard racing a worker's dead-path
+		// during DrainBatch) already shed the queue and emitted the
+		// event, but this call's extra — a batch tail already counted on
+		// the card's starved tally — still has to reach the plane-wide
+		// counter or conservation breaks between Stats and the registry.
+		if extra > 0 {
+			p.cStarved.Add(extra)
+		}
 		return
 	}
 	lc.failed = true
