@@ -3,15 +3,16 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all check build vet fmt-check test test-short test-race test-obs test-faults test-rollout test-shard test-threat test-fleet bench fuzz experiments examples verilog clean
+.PHONY: all check build vet fmt-check test test-short test-race test-obs test-faults test-rollout test-shard test-threat test-fleet test-campaign bench fuzz experiments examples verilog clean
 
 all: check
 
 # The default CI gate: build, static checks, full tests, the race
 # detector over the concurrent packages, the observability layer, the
 # fault-injection suite, the live-upgrade suite, the sharded traffic
-# plane, and the graded threat-response engine.
-check: build vet fmt-check test test-race test-obs test-faults test-rollout test-shard test-threat test-fleet
+# plane, the graded threat-response engine, and the adversarial
+# campaign corpus.
+check: build vet fmt-check test test-race test-obs test-faults test-rollout test-shard test-threat test-fleet test-campaign
 
 build:
 	$(GO) build ./...
@@ -80,6 +81,15 @@ test-fleet:
 	$(GO) test -race ./internal/fleet/...
 	$(GO) run ./cmd/npsim -fleet all -routers 96 -seed 4 > /dev/null
 
+# The adversarial campaign corpus under the race detector: the five
+# attack families with byte-identical replay, the live concurrent-plane
+# drill, the FreezeAt poisoning contrast, the fleet evasion drill, and
+# the npsim self-asserting campaign drill end to end.
+test-campaign:
+	$(GO) test -race ./internal/campaign/...
+	$(GO) test -race -run 'Campaign' -count=1 ./internal/shard/... ./internal/threat/... ./internal/fleet/...
+	$(GO) run ./cmd/npsim -campaign all -seed 2 > /dev/null
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -94,6 +104,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzIncidentRecord -fuzztime=30s ./internal/threat/
 	$(GO) test -run=NONE -fuzz=FuzzFleetReport -fuzztime=30s ./internal/fleet/
 	$(GO) test -run=NONE -fuzz=FuzzRotationPlan -fuzztime=30s ./internal/fleet/
+	$(GO) test -run=NONE -fuzz=FuzzCampaignSpec -fuzztime=30s ./internal/campaign/
 
 # Regenerate every table/figure of the paper (EXPERIMENTS.md source).
 experiments:

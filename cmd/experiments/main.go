@@ -31,6 +31,7 @@ func main() {
 	e12 := flag.Bool("e12", false, "E12: brute-force probe cost (extension)")
 	e13 := flag.Bool("e13", false, "E13: resident switching vs secure install (extension)")
 	e14 := flag.Bool("e14", false, "E14: fleet rotation rollout makespan (extension)")
+	e15 := flag.Bool("e15", false, "E15: adversarial campaign detection latency (extension)")
 	pairs := flag.Int("pairs", 3000, "Figure 6 pairs per input distance (paper: 100000 total)")
 	trials := flag.Int("trials", 200000, "E5 trials per k")
 	fleet := flag.Int("fleet", 32, "E6 fleet size")
@@ -40,7 +41,7 @@ func main() {
 	csv := flag.String("csv", "", "also write the Figure 6 distribution to this CSV file")
 	flag.Parse()
 
-	all := !(*t1 || *t2 || *t3 || *f6 || *e5 || *e6 || *e7 || *e8 || *e9 || *e10 || *e11 || *e12 || *e13 || *e14)
+	all := !(*t1 || *t2 || *t3 || *f6 || *e5 || *e6 || *e7 || *e8 || *e9 || *e10 || *e11 || *e12 || *e13 || *e14 || *e15)
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -134,6 +135,13 @@ func main() {
 	}
 	if all || *e14 {
 		s, err := experiments.E14(*seed)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if all || *e15 {
+		s, err := experiments.E15(*seed)
 		if err != nil {
 			fail(err)
 		}

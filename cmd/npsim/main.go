@@ -23,6 +23,7 @@ import (
 
 	"sdmmon/internal/apps"
 	"sdmmon/internal/attack"
+	"sdmmon/internal/campaign"
 	"sdmmon/internal/fleet"
 	"sdmmon/internal/mhash"
 	"sdmmon/internal/monitor"
@@ -53,6 +54,7 @@ func main() {
 	load := flag.Bool("load", false, "run the sharded traffic plane under overload (see -shards)")
 	shards := flag.Int("shards", 4, "line-card shards for -load")
 	threatDrill := flag.String("threat", "", "graded threat-response drill: burst, ramp, slowdrip, or all (self-asserting, replayed twice)")
+	campaignDrill := flag.String("campaign", "", "adversarial campaign drill: gadget, collision, slowdrip, noc, poison, or all (self-asserting; replayed twice through the wire codec, plus the fleet evasion drill with all)")
 	incidentsOut := flag.String("incidents", "", "write captured incident records as JSON lines (with -threat)")
 	metricsOut := &pathFlag{def: "npsim_metrics.json"}
 	flag.Var(metricsOut, "metrics", "write a metrics snapshot on exit; bare -metrics selects npsim_metrics.json, -metrics=FILE a path (.prom = Prometheus text, otherwise JSON)")
@@ -88,6 +90,8 @@ func main() {
 		err = runRollout(*rollout, *routers, *cores, *seed, col)
 	case *faults != "":
 		err = runFaults(*faults, *appName, *cores, *seed, col)
+	case *campaignDrill != "":
+		err = runCampaign(*campaignDrill, *seed)
 	case *threatDrill != "":
 		err = runThreat(*threatDrill, *seed, *incidentsOut)
 	case *load:
@@ -294,6 +298,30 @@ func runBench(appName string, packets, optWords int, seed int64, out string) err
 			fmt.Printf("%-22s %6d %14.2f %10d %16.2f\n",
 				key, m.Groups, m.MakespanSeconds, m.TotalAttempts, m.AttemptsPerRouter)
 		}
+	}
+	// Campaign-detection points: packets-to-detection distributions of the
+	// adversarial campaign corpus, per family, over a seed sweep. See
+	// internal/campaign and EXPERIMENTS.md §E15.
+	fmt.Printf("%-22s %8s %10s %10s %14s\n",
+		"campaign family", "detected", "p50 pkts", "p99 pkts", "mean evasion")
+	report.CampaignDetection = make(map[string]npu.CampaignDetectionPoint)
+	for _, family := range campaign.Families() {
+		d, err := campaign.MeasureDetection(family, campaignSweepSeeds, seed)
+		if err != nil {
+			return err
+		}
+		report.CampaignDetection[family] = npu.CampaignDetectionPoint{
+			Family:           d.Family,
+			Runs:             d.Runs,
+			Detected:         d.Detected,
+			P50:              d.P50,
+			P99:              d.P99,
+			Min:              d.Min,
+			Max:              d.Max,
+			MeanEvasionDepth: d.MeanEvasionDepth,
+		}
+		fmt.Printf("%-22s %4d/%-3d %10d %10d %14.1f\n",
+			family, d.Detected, d.Runs, d.P50, d.P99, d.MeanEvasionDepth)
 	}
 	if err := report.Write(out); err != nil {
 		return err

@@ -1,6 +1,9 @@
 package attack
 
 import (
+	"fmt"
+	"time"
+
 	"sdmmon/internal/apps"
 	"sdmmon/internal/asm"
 	"sdmmon/internal/isa"
@@ -29,28 +32,90 @@ type BruteForceResult struct {
 	Succeeded bool // a variant passed within the budget
 }
 
-// BruteForcePersist enumerates the persist-attack store variants against
-// the oracle until one lands, up to maxProbes.
-func (c SmashConfig) BruteForcePersist(oracle ProbeOracle, maxProbes int) (BruteForceResult, error) {
-	probes := 0
-	for _, v := range c.persistVariants() {
-		if probes >= maxProbes {
+// CostedOracle is a ProbeOracle that also reports the virtual cost of the
+// probe (core cycles spent processing the attack packet), so a search can
+// be capped by attacker-side compute rather than just packet count.
+type CostedOracle func(pkt []byte) (compromised bool, cycles uint64, err error)
+
+// SearchBudget caps a collision search. At least one cap must be set —
+// unbounded searches are refused so campaign drivers cannot accidentally
+// run an open-ended enumeration against a live fleet. A zero field means
+// "no cap on that axis".
+type SearchBudget struct {
+	MaxProbes int    // packets the attacker may send (0 = uncapped)
+	MaxCycles uint64 // virtual core cycles the probes may consume (0 = uncapped)
+}
+
+func (b SearchBudget) validate() error {
+	if b.MaxProbes <= 0 && b.MaxCycles == 0 {
+		return fmt.Errorf("attack: unbounded search refused: set MaxProbes or MaxCycles")
+	}
+	if b.MaxProbes < 0 {
+		return fmt.Errorf("attack: negative probe budget %d", b.MaxProbes)
+	}
+	return nil
+}
+
+// SearchStats records the effort a collision search actually spent, whether
+// it hit a budget wall, and the wall-clock cost of the enumeration.
+// WallSeconds is informational only (it is host-timing dependent) and must
+// be excluded from any deterministic-replay comparison.
+type SearchStats struct {
+	Attempts    int     // probes actually sent
+	Cycles      uint64  // virtual core cycles consumed by the probes
+	WallSeconds float64 // host wall-clock spent in the search loop
+	Exhausted   bool    // a budget cap stopped the search before success
+}
+
+// SearchPersist enumerates the persist-attack store variants against the
+// costed oracle under an enforced budget, in the order given by variants
+// (pass c.PersistVariants() for the canonical sweep, or a reordered copy
+// for a seeded campaign). It returns the campaign outcome plus the effort
+// statistics; err is non-nil only for oracle/craft failures or an invalid
+// (unbounded) budget.
+func (c SmashConfig) SearchPersist(oracle CostedOracle, budget SearchBudget, variants []isa.Word) (BruteForceResult, SearchStats, error) {
+	var stats SearchStats
+	if err := budget.validate(); err != nil {
+		return BruteForceResult{}, stats, err
+	}
+	start := time.Now()
+	defer func() { stats.WallSeconds = time.Since(start).Seconds() }()
+	for _, v := range variants {
+		if budget.MaxProbes > 0 && stats.Attempts >= budget.MaxProbes {
+			stats.Exhausted = true
+			break
+		}
+		if budget.MaxCycles > 0 && stats.Cycles >= budget.MaxCycles {
+			stats.Exhausted = true
 			break
 		}
 		pkt, err := c.CraftPacket([]isa.Word{v})
 		if err != nil {
-			return BruteForceResult{Probes: probes}, err
+			return BruteForceResult{Probes: stats.Attempts}, stats, err
 		}
-		probes++
-		hit, err := oracle(pkt)
+		stats.Attempts++
+		hit, cycles, err := oracle(pkt)
+		stats.Cycles += cycles
 		if err != nil {
-			return BruteForceResult{Probes: probes}, err
+			return BruteForceResult{Probes: stats.Attempts}, stats, err
 		}
 		if hit {
-			return BruteForceResult{Probes: probes, Succeeded: true}, nil
+			return BruteForceResult{Probes: stats.Attempts, Succeeded: true}, stats, nil
 		}
 	}
-	return BruteForceResult{Probes: probes}, nil
+	return BruteForceResult{Probes: stats.Attempts}, stats, nil
+}
+
+// BruteForcePersist enumerates the persist-attack store variants against
+// the oracle until one lands, up to maxProbes. It is the uncosted wrapper
+// around SearchPersist kept for the homogeneity experiment.
+func (c SmashConfig) BruteForcePersist(oracle ProbeOracle, maxProbes int) (BruteForceResult, error) {
+	costed := func(pkt []byte) (bool, uint64, error) {
+		hit, err := oracle(pkt)
+		return hit, 0, err
+	}
+	res, _, err := c.SearchPersist(costed, SearchBudget{MaxProbes: maxProbes}, c.PersistVariants())
+	return res, err
 }
 
 // ExpectedProbes returns the analytic expected probe count for a
@@ -99,19 +164,26 @@ func NewNPOracle(prog *asm.Program, mk func(uint32) mhash.Hasher, param uint32) 
 // operator who reimages after each detected incident — the attacker still
 // wins as soon as one variant slips its store through.
 func (o *NPOracle) Probe(pkt []byte) (bool, error) {
+	hit, _, err := o.ProbeCosted(pkt)
+	return hit, err
+}
+
+// ProbeCosted is Probe plus the virtual cycle cost of processing the probe
+// packet, making NPOracle usable as a CostedOracle for budgeted searches.
+func (o *NPOracle) ProbeCosted(pkt []byte) (bool, uint64, error) {
 	o.mon.Reset()
-	o.core.Process(pkt, 0)
+	res := o.core.Process(pkt, 0)
 	o.tested++
 	hit, err := PersistSucceeded(coreScratch{o.core}, 0)
 	if err != nil {
-		return false, err
+		return false, res.Cycles, err
 	}
 	if hit {
-		return true, nil
+		return true, res.Cycles, nil
 	}
 	// Scrub scratch for the next probe.
 	o.core.Mem().WriteBytes(uint32(apps.ScratchBase), make([]byte, 2048))
-	return false, nil
+	return false, res.Cycles, nil
 }
 
 // Tested reports how many probes the oracle served.

@@ -99,6 +99,98 @@ func TestBruteForceBudgetRespected(t *testing.T) {
 	}
 }
 
+func TestSearchPersistBudgetTable(t *testing.T) {
+	// Satellite: budgeted search must stop at the cap, report honest effort
+	// statistics, and refuse unbounded budgets outright.
+	smash := DefaultSmash()
+	variants := smash.PersistVariants()
+	neverHit := func(pkt []byte) (bool, uint64, error) { return false, 37, nil }
+	hitAt := func(n int) CostedOracle {
+		calls := 0
+		return func(pkt []byte) (bool, uint64, error) {
+			calls++
+			return calls == n, 37, nil
+		}
+	}
+	cases := []struct {
+		name          string
+		oracle        CostedOracle
+		budget        SearchBudget
+		wantErr       bool
+		wantSucceeded bool
+		wantExhausted bool
+		wantAttempts  int
+		wantCycles    uint64
+	}{
+		{
+			name:          "probe cap exhausts",
+			oracle:        neverHit,
+			budget:        SearchBudget{MaxProbes: 8},
+			wantExhausted: true,
+			wantAttempts:  8,
+			wantCycles:    8 * 37,
+		},
+		{
+			name:   "cycle cap exhausts",
+			oracle: neverHit,
+			// 5 probes × 37 cycles = 185 ≥ 150, so the 6th is refused.
+			budget:        SearchBudget{MaxCycles: 150},
+			wantExhausted: true,
+			wantAttempts:  5,
+			wantCycles:    5 * 37,
+		},
+		{
+			name:    "unbounded refused",
+			oracle:  neverHit,
+			budget:  SearchBudget{},
+			wantErr: true,
+		},
+		{
+			name:    "negative probe cap refused",
+			oracle:  neverHit,
+			budget:  SearchBudget{MaxProbes: -1, MaxCycles: 100},
+			wantErr: true,
+		},
+		{
+			name:          "success within budget",
+			oracle:        hitAt(4),
+			budget:        SearchBudget{MaxProbes: 16, MaxCycles: 1 << 20},
+			wantSucceeded: true,
+			wantAttempts:  4,
+			wantCycles:    4 * 37,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, stats, err := smash.SearchPersist(tc.oracle, tc.budget, variants)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("want budget error, got res=%+v stats=%+v", res, stats)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Succeeded != tc.wantSucceeded {
+				t.Errorf("Succeeded=%v, want %v", res.Succeeded, tc.wantSucceeded)
+			}
+			if stats.Exhausted != tc.wantExhausted {
+				t.Errorf("Exhausted=%v, want %v", stats.Exhausted, tc.wantExhausted)
+			}
+			if stats.Attempts != tc.wantAttempts || res.Probes != tc.wantAttempts {
+				t.Errorf("Attempts=%d Probes=%d, want %d", stats.Attempts, res.Probes, tc.wantAttempts)
+			}
+			if stats.Cycles != tc.wantCycles {
+				t.Errorf("Cycles=%d, want %d", stats.Cycles, tc.wantCycles)
+			}
+			if stats.WallSeconds < 0 {
+				t.Errorf("WallSeconds=%f negative", stats.WallSeconds)
+			}
+		})
+	}
+}
+
 func TestExpectedProbes(t *testing.T) {
 	if ExpectedProbes(4, 1) != 16 {
 		t.Error("4-bit single instruction should cost 16")

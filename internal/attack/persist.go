@@ -24,13 +24,14 @@ import (
 // word 0 is the app's CM counter).
 const PersistTargetOffset = 4
 
-// persistVariants enumerates sw $rt, off($t0) with offsets sweeping the
+// PersistVariants enumerates sw $rt, off($t0) with offsets sweeping the
 // scratch region and the stored register ranging over values known to be
 // nonzero at the hijack entry point of ipv4cm ($t0 holds PktBase+20 there,
 // so offset -2064-4k targets scratch word 1+k). Both fields are attacker
 // don't-cares — any nonzero value in any scratch word is corruption — which
-// gives the brute-force search ~2000 hash-diverse candidates.
-func (c SmashConfig) persistVariants() []isa.Word {
+// gives the brute-force search ~2000 hash-diverse candidates. Exported so
+// campaign drivers can reorder the candidate stream under their own seed.
+func (c SmashConfig) PersistVariants() []isa.Word {
 	t0 := c.PktBase + 20
 	// Registers holding nonzero values when the smashed return fires:
 	// v0=1, t0=pkt+20, t2/t8=option length, a0=pkt, s0=ihl, sp, ra.
@@ -53,7 +54,7 @@ func (c SmashConfig) persistVariants() []isa.Word {
 // binary, which AC2 grants the attacker. ok=false when no store variant
 // hash-matches under h.
 func (c SmashConfig) PersistAttack(prog *asm.Program, h mhash.Hasher) (pkt []byte, ok bool, err error) {
-	retSite, err := returnSiteAfterEntryCall(prog)
+	retSite, err := ReturnSiteAfterEntryCall(prog)
 	if err != nil {
 		return nil, false, err
 	}
@@ -62,7 +63,7 @@ func (c SmashConfig) PersistAttack(prog *asm.Program, h mhash.Hasher) (pkt []byt
 		return nil, false, fmt.Errorf("attack: return site 0x%x not code", retSite)
 	}
 	want := h.Hash(uint32(retWord))
-	for _, v := range c.persistVariants() {
+	for _, v := range c.PersistVariants() {
 		if h.Hash(uint32(v)) == want {
 			p, err := c.CraftPacket([]isa.Word{v})
 			if err != nil {
@@ -74,10 +75,11 @@ func (c SmashConfig) PersistAttack(prog *asm.Program, h mhash.Hasher) (pkt []byt
 	return nil, false, nil
 }
 
-// returnSiteAfterEntryCall finds the instruction address following the
+// ReturnSiteAfterEntryCall finds the instruction address following the
 // first jal in the program: the graph position the monitor lands on after
-// the smashed jr $ra.
-func returnSiteAfterEntryCall(prog *asm.Program) (uint32, error) {
+// the smashed jr $ra. Exported so campaign drivers can compute the expected
+// fall-through hash sequence a gadget chain must match to evade.
+func ReturnSiteAfterEntryCall(prog *asm.Program) (uint32, error) {
 	for _, cw := range prog.CodeWords() {
 		if cw.W.Op() == isa.OpJAL {
 			return cw.Addr + 4, nil

@@ -1,0 +1,137 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"sdmmon/internal/threat"
+)
+
+// Every family must satisfy its own Check across a spread of seeds — the
+// same self-assertions the npsim -campaign drill enforces.
+func TestCampaignFamiliesCheck(t *testing.T) {
+	for _, fam := range Families() {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				r, err := RunCampaign(Config{Family: fam, Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := r.Check(); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+				t.Logf("seed %d: peak=%v final=%v detect@%d mutants=%d/%d depth=%.2f iso=%d adm=%d stats=%+v",
+					seed, r.Peak, r.Final, r.PacketsToDetect, r.MutantsDetected,
+					len(r.Mutants), r.EvasionDepth, r.IsolatedCores, r.AdmissionTightened, r.Stats)
+				if r.Collision != nil {
+					t.Logf("seed %d: collision=%+v", seed, *r.Collision)
+				}
+				if r.SlowDrip != nil {
+					t.Logf("seed %d: slowdrip=%+v", seed, *r.SlowDrip)
+				}
+			}
+		})
+	}
+}
+
+// A campaign is a pure function of its Spec: running the same spec twice —
+// including once through the wire encoding — must reproduce the result
+// byte for byte.
+func TestCampaignReplayByteIdentity(t *testing.T) {
+	for _, fam := range Families() {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			spec, err := ResolveSpec(Config{Family: fam, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1, err := RunSpec(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := DecodeSpec(spec.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if decoded != spec {
+				t.Fatalf("wire round trip changed the spec:\n got %+v\nwant %+v", decoded, spec)
+			}
+			r2, err := RunSpec(decoded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b1, err := r1.ReplayBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := r2.ReplayBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Errorf("replay diverged over %d/%d bytes", len(b1), len(b2))
+			}
+		})
+	}
+}
+
+// Different seeds must explore different mutants: the gadget corpus is
+// seed-driven, so two seeds produce different trajectories.
+func TestCampaignSeedsDiffer(t *testing.T) {
+	r1, err := RunCampaign(Config{Family: FamilyGadget, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunCampaign(Config{Family: FamilyGadget, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := r1.ReplayBytes()
+	b2, _ := r2.ReplayBytes()
+	if bytes.Equal(b1, b2) {
+		t.Error("seeds 1 and 2 produced identical campaigns")
+	}
+}
+
+// The conservation invariant and graded-response bookkeeping hold for
+// every family even while responses fire mid-campaign.
+func TestCampaignConservationUnderResponses(t *testing.T) {
+	for _, fam := range Families() {
+		r, err := RunCampaign(Config{Family: fam, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Stats.Conserved() {
+			t.Errorf("%s: conservation violated: %+v", fam, r.Stats)
+		}
+		if r.StagedZeroized && r.StagedLeft != 0 {
+			t.Errorf("%s: zeroize fired but %d staged bundles remain", fam, r.StagedLeft)
+		}
+	}
+}
+
+// FreezeAt override: the poison ramp must evade an engine whose baselines
+// keep absorbing (FreezeAt CRITICAL) and be caught by the frozen default.
+func TestCampaignPoisonFreezeContrast(t *testing.T) {
+	frozen, err := RunCampaign(Config{Family: FamilyPoison, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfrozen, err := RunCampaign(Config{Family: FamilyPoison, Seed: 3, FreezeAt: threat.Critical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("frozen: peak=%v toMedium=%d; unfrozen: peak=%v toMedium=%d",
+		frozen.Peak, frozen.PacketsToLevel[threat.Medium],
+		unfrozen.Peak, unfrozen.PacketsToLevel[threat.Medium])
+	if frozen.PacketsToLevel[threat.Medium] < 0 {
+		t.Error("frozen baselines never reached MEDIUM")
+	}
+	if unfrozen.Peak >= frozen.Peak && unfrozen.PacketsToLevel[threat.Medium] >= 0 &&
+		frozen.PacketsToLevel[threat.Medium] >= 0 &&
+		unfrozen.PacketsToLevel[threat.Medium] <= frozen.PacketsToLevel[threat.Medium] {
+		t.Errorf("poisoning did not degrade the unfrozen engine: frozen peak %v vs unfrozen %v",
+			frozen.Peak, unfrozen.Peak)
+	}
+}

@@ -1,0 +1,50 @@
+package campaign
+
+import (
+	"hash/fnv"
+
+	"sdmmon/internal/isa"
+)
+
+// rng is the campaign's private deterministic generator: every mutation
+// decision draws from it, so the mutant stream is a pure function of
+// (seed, family) and a campaign replays byte-identically. The package
+// deliberately avoids math/rand in non-test paths, matching the attack
+// package's idiom.
+type rng struct{ s uint64 }
+
+func newRNG(seed int64, label string) *rng {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return &rng{s: (uint64(seed)*2862933555777941757 + 3037000493) ^ h.Sum64()}
+}
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 16
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// between returns a value in [lo, hi] inclusive.
+func (r *rng) between(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// shuffleWords permutes an instruction-word slice in place
+// (Fisher–Yates).
+func (r *rng) shuffleWords(w []isa.Word) {
+	for i := len(w) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		w[i], w[j] = w[j], w[i]
+	}
+}

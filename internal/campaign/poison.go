@@ -1,0 +1,182 @@
+package campaign
+
+import (
+	"fmt"
+
+	"sdmmon/internal/npu"
+	"sdmmon/internal/threat"
+)
+
+// The poison family is the adversarial baseline-poisoning ramp FreezeAt
+// exists to contain: train the EWMA baselines with a slowly rising alarm
+// rate, then strike at a duty the trained mean would forgive. Run with the
+// campaign default (FreezeAt LOW) the baselines freeze at the clean floor
+// on the first LOW transition, the ramp reads as a growing deviation, and
+// the classifier reaches MEDIUM while the ramp is still climbing. Run with
+// FreezeAt CRITICAL (the degraded-containment configuration the FreezeAt
+// regression pins) the baselines absorb the whole ramp and the strike
+// lands a z-score under 2 — the campaign stays at or below LOW
+// throughout. The two trajectories differ only in the freeze gate.
+
+// poisonPhase is one segment of the training schedule.
+type poisonPhase struct {
+	until int // exclusive end tick
+	duty  float64
+	kind  string
+}
+
+// poisonSchedule: short clean lead-in, three-step training ramp, a strike
+// at 3/7 duty (exactly 3 of the attacked core's 7-packet quota, keeping
+// the realized rate just below the 0.6 absolute-escalation clamp), then a
+// quiet tail for decay. Total 64 ticks — the family's default length.
+var poisonSchedule = []poisonPhase{
+	{until: 6, duty: 0, kind: "lead-in"},
+	{until: 12, duty: 0.10, kind: "ramp-0.10"},
+	{until: 18, duty: 0.22, kind: "ramp-0.22"},
+	{until: 36, duty: 0.28, kind: "plateau-0.28"},
+	{until: 48, duty: 3.0 / 7.0, kind: "strike-3/7"},
+	{until: 1 << 30, duty: 0, kind: "tail"},
+}
+
+type poisonDriver struct {
+	pkt      []byte
+	core     int
+	outcomes []MutantOutcome
+}
+
+func newPoisonDriver(c *campaign) (driver, error) {
+	hijack, err := c.smash.HijackPayload()
+	if err != nil {
+		return nil, err
+	}
+	pkt, err := c.smash.CraftPacket(hijack)
+	if err != nil {
+		return nil, err
+	}
+	d := &poisonDriver{
+		pkt: pkt,
+		// The last core: with the default 30-packet/4-core shard its quota
+		// is 7, so the 3/7 strike realizes a constant per-tick rate.
+		core: c.spec.Cores - 1,
+	}
+	for i, ph := range poisonSchedule {
+		if ph.duty == 0 {
+			continue
+		}
+		start := 0
+		if i > 0 {
+			start = poisonSchedule[i-1].until
+		}
+		d.outcomes = append(d.outcomes, MutantOutcome{
+			Index: len(d.outcomes), Kind: ph.kind, Tick: start,
+		})
+	}
+	return d, nil
+}
+
+func poisonPhaseAt(t int) (int, poisonPhase) {
+	for i, ph := range poisonSchedule {
+		if t < ph.until {
+			return i, ph
+		}
+	}
+	return -1, poisonPhase{}
+}
+
+// outcomeIndex maps a schedule phase to its mutant slot (attack phases
+// only).
+func (d *poisonDriver) outcomeIndex(phase int) int {
+	idx := -1
+	for i := 0; i <= phase && i < len(poisonSchedule); i++ {
+		if poisonSchedule[i].duty > 0 {
+			idx++
+		}
+	}
+	if idx >= 0 && poisonSchedule[phase].duty == 0 {
+		return -1
+	}
+	return idx
+}
+
+func (d *poisonDriver) detectLevel() threat.Level { return threat.Medium }
+func (d *poisonDriver) attackShard() int          { return 0 }
+func (d *poisonDriver) attackCores() []int        { return []int{d.core} }
+
+func (d *poisonDriver) duty(t int) float64 {
+	_, ph := poisonPhaseAt(t)
+	return ph.duty
+}
+
+func (d *poisonDriver) surge(t int) (int, int) { return -1, 0 }
+
+func (d *poisonDriver) craft(c *campaign, t, shard, core int) (int, []byte, bool, error) {
+	phase, ph := poisonPhaseAt(t)
+	if ph.duty == 0 {
+		return 0, nil, false, nil
+	}
+	return d.outcomeIndex(phase), d.pkt, true, nil
+}
+
+func (d *poisonDriver) observe(c *campaign, t, shard, core, mi int, res npu.Result) error {
+	if mi < 0 || mi >= len(d.outcomes) {
+		return fmt.Errorf("campaign: poison phase index %d out of range", mi)
+	}
+	o := &d.outcomes[mi]
+	o.Packets++
+	if res.Detected {
+		o.Detected = true
+	}
+	return nil
+}
+
+func (d *poisonDriver) afterTick(c *campaign, t int, lvl threat.Level) error {
+	// A phase also counts as detected when the classifier reaches MEDIUM
+	// while it runs — the burst-level attribution, independent of per-packet
+	// alarms.
+	if lvl >= threat.Medium {
+		phase, ph := poisonPhaseAt(t)
+		if ph.duty > 0 {
+			if mi := d.outcomeIndex(phase); mi >= 0 {
+				d.outcomes[mi].Detected = true
+			}
+		}
+	} else if lvl <= threat.Low {
+		phase, ph := poisonPhaseAt(t)
+		if ph.duty > 0 {
+			if mi := d.outcomeIndex(phase); mi >= 0 {
+				d.outcomes[mi].Depth += c.atkTick
+			}
+		}
+	}
+	return nil
+}
+
+func (d *poisonDriver) finish(c *campaign) {
+	c.res.Mutants = d.outcomes
+	// Evasion depth: poison packets absorbed while the classifier sat at or
+	// below LOW — the whole ramp in the unfrozen configuration.
+	var slipped float64
+	for _, o := range d.outcomes {
+		slipped += float64(o.Depth)
+	}
+	c.res.EvasionDepth = slipped
+}
+
+func checkPoison(r *Result) error {
+	if r.Peak < threat.Medium {
+		return fmt.Errorf("poison: peak %v with frozen baselines, want >= MEDIUM", r.Peak)
+	}
+	if r.PacketsToLevel[threat.Medium] < 0 {
+		return fmt.Errorf("poison: frozen baselines never reached MEDIUM")
+	}
+	if r.AdmissionTightened < 1 {
+		return fmt.Errorf("poison: admission never tightened at MEDIUM")
+	}
+	if r.LockdownFired {
+		return fmt.Errorf("poison: lockdown fired below CRITICAL")
+	}
+	if r.Final > threat.Low {
+		return fmt.Errorf("poison: final level %v, want decay to <= LOW in the tail", r.Final)
+	}
+	return nil
+}

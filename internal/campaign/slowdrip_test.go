@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"testing"
+
+	"sdmmon/internal/threat"
+)
+
+// Regression for SlowDripDutyFloor: a drip whose realized per-tick rate
+// stays below Up[Medium]×MinStd = 0.24 must never escalate past LOW, and
+// one comfortably above it must escalate. The two fixed duties bracket
+// the documented floor with quantization margin (0.10 realizes at most
+// 0.125 on the 8-packet quota; 0.50 realizes 0.5).
+func TestSlowDripDutyFloorRegression(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		below, err := RunCampaign(Config{Family: FamilySlowDrip, Seed: seed, Duty: 0.10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if below.Peak > threat.Low {
+			t.Errorf("seed %d: duty 0.10 (< floor %.2f) escalated to %v, want <= LOW",
+				seed, SlowDripDutyFloor, below.Peak)
+		}
+		if len(below.Incidents) != 0 {
+			t.Errorf("seed %d: duty 0.10 captured %d incidents, want none below the floor",
+				seed, len(below.Incidents))
+		}
+		if below.SlowDrip == nil || below.SlowDrip.SlippedPackets == 0 {
+			t.Errorf("seed %d: sub-floor drip recorded no slipped packets: %+v",
+				seed, below.SlowDrip)
+		}
+		if err := below.Check(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+
+		above, err := RunCampaign(Config{Family: FamilySlowDrip, Seed: seed, Duty: 0.50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if above.Peak < threat.Medium {
+			t.Errorf("seed %d: duty 0.50 (> floor %.2f) peaked at %v, want >= MEDIUM",
+				seed, SlowDripDutyFloor, above.Peak)
+		}
+		if above.PacketsToDetect < 0 {
+			t.Errorf("seed %d: duty 0.50 never latched detection", seed)
+		}
+		t.Logf("seed %d: below floor peak=%v slipped=%d; above floor peak=%v detect@%d",
+			seed, below.Peak, below.SlowDrip.SlippedPackets, above.Peak, above.PacketsToDetect)
+	}
+}
+
+// The adaptive titration's frontier must sit below the analytic floor:
+// the engine concedes no more than the realized-rate bound predicts.
+func TestSlowDripFrontierBelowFloor(t *testing.T) {
+	r, err := RunCampaign(Config{Family: FamilySlowDrip, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if r.SlowDrip.FrontierDuty >= SlowDripDutyFloor {
+		t.Errorf("adaptive frontier %.4f at or above the analytic floor %.2f",
+			r.SlowDrip.FrontierDuty, SlowDripDutyFloor)
+	}
+}

@@ -1,0 +1,51 @@
+package fleet_test
+
+import (
+	"testing"
+
+	"sdmmon/internal/campaign"
+)
+
+// The fleet-wide evasion drill: crack one router's parameter under a probe
+// budget, replay the winning variant fleet-wide pre- and post-rotation,
+// and verify rotation collapses the transfer. Pre-rotation the homogeneous
+// fleet (the paper's deployment) falls to the single cracked variant;
+// post-rotation the variant transfers only by fresh collision (≈1/16 per
+// router under the S-box compression).
+func TestCampaignCollisionFleetDrill(t *testing.T) {
+	res, err := campaign.CollisionFleetDrill(campaign.FleetDrillConfig{Routers: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("drill: %+v", *res)
+	if res.PreTransfer != res.Routers {
+		t.Errorf("pre-rotation transfer %d/%d, want full homogeneous compromise",
+			res.PreTransfer, res.Routers)
+	}
+	if res.PostTransfer >= res.PreTransfer/2 {
+		t.Errorf("post-rotation transfer %d (pre %d): rotation did not contain the variant",
+			res.PostTransfer, res.PreTransfer)
+	}
+	if res.SearchP50 < 0 && res.SearchExhausted == 0 {
+		t.Error("post-rotation searches reported neither successes nor exhaustion")
+	}
+}
+
+// Drill determinism: the same seed replays the same drill field for field
+// (WallSeconds never enters the result).
+func TestCampaignFleetDrillDeterministic(t *testing.T) {
+	a, err := campaign.CollisionFleetDrill(campaign.FleetDrillConfig{Routers: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := campaign.CollisionFleetDrill(campaign.FleetDrillConfig{Routers: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("drill not deterministic:\n a %+v\n b %+v", *a, *b)
+	}
+}

@@ -115,6 +115,13 @@ type BenchReport struct {
 	// virtual link-seconds (measured by internal/fleet; Write leaves the
 	// series untouched — only the derived ratio maps are recomputed).
 	FleetRollout map[string]FleetRolloutPoint `json:"fleet_rollout,omitempty"`
+	// CampaignDetection maps an attack-campaign family name to its
+	// detection-latency distribution over a seed sweep (measured by
+	// internal/campaign; Write leaves the series untouched). Latencies are
+	// in packets admitted before the classifier reached the family's
+	// detection level — the adversarial-robustness trajectory the bench
+	// document carries so future PRs can see detection regress.
+	CampaignDetection map[string]CampaignDetectionPoint `json:"campaign_detection,omitempty"`
 }
 
 // FleetRolloutPoint is one fleet_rollout series entry. The fields mirror
@@ -127,6 +134,20 @@ type FleetRolloutPoint struct {
 	MakespanSeconds   float64 `json:"makespan_seconds"`
 	TotalAttempts     uint64  `json:"total_attempts"`
 	AttemptsPerRouter float64 `json:"attempts_per_router"`
+}
+
+// CampaignDetectionPoint is one campaign_detection series entry. The
+// fields mirror campaign.DetectionDistribution (internal/campaign depends
+// on this package, so the bench document declares its own shape).
+type CampaignDetectionPoint struct {
+	Family           string  `json:"family"`
+	Runs             int     `json:"runs"`
+	Detected         int     `json:"detected"`
+	P50              int64   `json:"p50"`
+	P99              int64   `json:"p99"`
+	Min              int64   `json:"min"`
+	Max              int64   `json:"max"`
+	MeanEvasionDepth float64 `json:"mean_evasion_depth"`
 }
 
 // Add records a point, replacing any earlier measurement of the same

@@ -1,0 +1,37 @@
+package shard_test
+
+import (
+	"testing"
+
+	"sdmmon/internal/campaign"
+	"sdmmon/internal/threat"
+)
+
+// The campaign corpus against the real concurrent plane: submitter
+// goroutines race the line-card workers while gadget-chain attack packets
+// ride the clean traffic and the live Sampler → Engine → PlaneResponder
+// loop responds. RunLive fails on any mid-run conservation violation, so
+// this test (run under -race by make test-campaign) pins both the
+// accounting and the thread-safety of the response path under fire.
+func TestCampaignLiveDrillConservation(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		res, err := campaign.RunLive(campaign.LiveConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Escalated {
+			t.Errorf("seed %d: attack packets never escalated the live engine", seed)
+		}
+		if res.Peak < threat.Low {
+			t.Errorf("seed %d: peak %v, want >= LOW under a gadget barrage", seed, res.Peak)
+		}
+		if res.Stats.Forwarded+res.Stats.AppDrops == 0 {
+			t.Errorf("seed %d: plane processed nothing", seed)
+		}
+		if !res.Stats.Conserved() {
+			t.Errorf("seed %d: final stats not conserved: %+v", seed, res.Stats)
+		}
+		t.Logf("seed %d: peak=%v final=%v incidents=%d isolated=%d forwarded=%d",
+			seed, res.Peak, res.Final, res.Incidents, res.IsolatedCores, res.Stats.Forwarded)
+	}
+}

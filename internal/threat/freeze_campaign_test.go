@@ -1,0 +1,58 @@
+package threat_test
+
+import (
+	"testing"
+
+	"sdmmon/internal/campaign"
+	"sdmmon/internal/threat"
+)
+
+// FreezeAt under adversarial pressure: the campaign engine's poison family
+// generates a baseline-poisoning ramp (0 → 0.10 → 0.22 → 0.28 → strike at
+// 3/7 duty) against a live engine. With the campaign default FreezeAt LOW
+// the baselines freeze at the clean floor on the first LOW transition and
+// the classifier reaches MEDIUM while the ramp is still climbing; with
+// FreezeAt CRITICAL the EWMA keeps absorbing the ramp and the strike lands
+// a z-score under 2 — the engine never leaves LOW. The freeze gate is the
+// only difference between the two runs.
+func TestFreezeAtContainsCampaignPoisoning(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		frozen, err := campaign.RunCampaign(campaign.Config{
+			Family: campaign.FamilyPoison, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unfrozen, err := campaign.RunCampaign(campaign.Config{
+			Family: campaign.FamilyPoison, Seed: seed, FreezeAt: threat.Critical,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if err := frozen.Check(); err != nil {
+			t.Errorf("seed %d: frozen run failed its own check: %v", seed, err)
+		}
+		if frozen.PacketsToLevel[threat.Medium] < 0 {
+			t.Errorf("seed %d: frozen baselines never reached MEDIUM — FreezeAt is not containing the ramp", seed)
+		}
+		if unfrozen.PacketsToLevel[threat.Medium] >= 0 {
+			t.Errorf("seed %d: unfrozen baselines reached MEDIUM at packet %d — the ramp failed to poison them",
+				seed, unfrozen.PacketsToLevel[threat.Medium])
+		}
+		if unfrozen.Peak >= frozen.Peak {
+			t.Errorf("seed %d: unfrozen peak %v >= frozen peak %v — freezing bought nothing",
+				seed, unfrozen.Peak, frozen.Peak)
+		}
+		// Both engines ran the identical packet sequence; the evasion depth
+		// (poison packets absorbed at or below LOW) must be strictly larger
+		// without freezing.
+		if unfrozen.EvasionDepth <= frozen.EvasionDepth {
+			t.Errorf("seed %d: unfrozen evasion depth %.0f <= frozen %.0f",
+				seed, unfrozen.EvasionDepth, frozen.EvasionDepth)
+		}
+		t.Logf("seed %d: frozen peak=%v toMedium=%d depth=%.0f; unfrozen peak=%v toMedium=%d depth=%.0f",
+			seed, frozen.Peak, frozen.PacketsToLevel[threat.Medium], frozen.EvasionDepth,
+			unfrozen.Peak, unfrozen.PacketsToLevel[threat.Medium], unfrozen.EvasionDepth)
+	}
+}
