@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all check build vet fmt-check test test-short test-race test-obs test-faults test-rollout test-shard test-threat test-fleet test-campaign bench fuzz experiments examples verilog clean
+.PHONY: all check build vet fmt-check test test-short test-race test-obs test-faults test-rollout test-shard test-threat test-fleet test-campaign bench bench-ingress fuzz experiments examples verilog clean
 
 all: check
 
@@ -59,12 +59,13 @@ test-faults:
 		./internal/npu/... ./internal/network/...
 
 # The sharded traffic plane under the race detector (dispatch, admission
-# control, failover, packet conservation), plus the scaling gate
-# (TestShardScalingGate: >= 1.6x simulated aggregate at 4 shards vs 1) run
-# without instrumentation so its virtual-time numbers are undistorted.
+# control, failover, packet conservation, the lock-free ingress ring),
+# plus the perf gates run without instrumentation so their numbers are
+# undistorted: TestShardScalingGate (>= 1.6x simulated aggregate at 4
+# shards vs 1) and TestIngressFastGate (>= 2x ring vs mutex hand-off).
 test-shard:
 	$(GO) test -race ./internal/shard/...
-	$(GO) test -run 'ShardScalingGate' -count=1 ./internal/shard/
+	$(GO) test -run 'ShardScalingGate|IngressFastGate' -count=1 ./internal/shard/
 
 # The graded threat-response engine under the race detector: EWMA/FSM
 # edge cases, deterministic campaign replay (byte-identical incident
@@ -92,6 +93,12 @@ test-campaign:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Re-measure only the ingress hand-off series (lock-free ring vs the
+# mutex-queue baseline at 1/4/16 submitters), merging the points into the
+# existing BENCH_npu.json and recomputing the ingress_fast ratios.
+bench-ingress:
+	$(GO) run ./cmd/npsim -benchingress
 
 # Brief fuzzing pass over the attacker-facing parsers and the data plane.
 fuzz:

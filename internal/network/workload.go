@@ -348,6 +348,31 @@ func (g *FlowGenerator) Next() []byte {
 // tests can assert that same-flow packets share a dispatch target.
 func (g *FlowGenerator) NextIndexed() ([]byte, int) {
 	i := g.rng.Intn(len(g.flows))
+	return g.packetFor(i), i
+}
+
+// NextBatch fills dst with wire-format packets and returns it. Traffic
+// comes out in flow-coherent bursts — after each uniformly drawn flow, up
+// to three more packets of the same flow may follow — because that is the
+// run structure real captures have and what batch submitters
+// (shard.Plane.SubmitBatch) amortize their per-flow dispatch work
+// against. Same rng as Next: a seeded generator stays deterministic
+// across any interleaving of Next/NextIndexed/NextBatch calls.
+func (g *FlowGenerator) NextBatch(dst [][]byte) [][]byte {
+	for i := 0; i < len(dst); {
+		flow := g.rng.Intn(len(g.flows))
+		run := 1 + g.rng.Intn(4)
+		for r := 0; r < run && i < len(dst); r++ {
+			dst[i] = g.packetFor(flow)
+			i++
+		}
+	}
+	return dst
+}
+
+// packetFor builds one packet of flow i (payload, ID and TTL drawn from
+// the generator's rng; the 5-tuple pinned by the flow).
+func (g *FlowGenerator) packetFor(i int) []byte {
 	f := g.flows[i]
 	payloadLen := g.MinPayload
 	if g.MaxPayload > g.MinPayload {
@@ -388,5 +413,5 @@ func (g *FlowGenerator) NextIndexed() ([]byte, int) {
 		// Only in-range sizes are produced; a failure is a bug.
 		panic(err)
 	}
-	return b, i
+	return b
 }

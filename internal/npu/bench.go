@@ -61,8 +61,11 @@ type BenchPoint struct {
 	SimAggPktsPerSec float64 `json:"sim_agg_pkts_per_sec,omitempty"`
 	// P99BatchCycles is the 99th-percentile per-batch simulated cycle cost
 	// on a sharded point (batch latency in virtual time).
-	P99BatchCycles uint64  `json:"p99_batch_cycles,omitempty"`
-	HashHitRate    float64 `json:"hash_hit_rate"` // 0 on the reference path
+	P99BatchCycles uint64 `json:"p99_batch_cycles,omitempty"`
+	// Submitters > 0 marks an ingress point (path "ingress_ring" or
+	// "ingress_mutex"): that many concurrent producers fed one consumer.
+	Submitters  int     `json:"submitters,omitempty"`
+	HashHitRate float64 `json:"hash_hit_rate"` // 0 on the reference path
 	// QuarantinedCores > 0 marks a degraded-mode point: that many cores
 	// were quarantined before the timed region.
 	QuarantinedCores int `json:"quarantined_cores,omitempty"`
@@ -81,6 +84,9 @@ func (p BenchPoint) Key() string {
 	}
 	if p.Instrumented {
 		k += "/instrumented"
+	}
+	if p.Submitters > 0 {
+		k += fmt.Sprintf("/submitters=%d", p.Submitters)
 	}
 	return k
 }
@@ -110,6 +116,10 @@ type BenchReport struct {
 	// throughput divided by the 1-shard point of the same per-shard shape —
 	// the line-card scaling curve.
 	ShardScaling map[string]float64 `json:"shard_scaling,omitempty"`
+	// IngressFast maps an ingress point's key to ring-ingress pps divided
+	// by mutex-queue pps of the same shape (batch, submitters) — the
+	// speedup of the lock-free hand-off over the pre-ring implementation.
+	IngressFast map[string]float64 `json:"ingress_fast,omitempty"`
 	// FleetRollout maps "routers=N/loss=P%" to one complete control-plane
 	// rotation rollout at that scale and management-link loss rate, in
 	// virtual link-seconds (measured by internal/fleet; Write leaves the
@@ -223,11 +233,46 @@ func (r *BenchReport) Write(path string) error {
 			r.ShardScaling[p.Key()] = p.SimAggPktsPerSec / b
 		}
 	}
+	// Lock-free ingress vs the mutex-queue baseline, per shape.
+	r.IngressFast = nil
+	mtx := make(map[string]float64)
+	for _, p := range r.Points {
+		if p.Path == "ingress_mutex" && p.PktsPerSec > 0 {
+			mtx[p.Key()] = p.PktsPerSec
+		}
+	}
+	for _, p := range r.Points {
+		if p.Path != "ingress_ring" || p.PktsPerSec <= 0 {
+			continue
+		}
+		if m, ok := mtx[p.Key()]; ok && m > 0 {
+			if r.IngressFast == nil {
+				r.IngressFast = make(map[string]float64)
+			}
+			r.IngressFast[p.Key()] = p.PktsPerSec / m
+		}
+	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBenchReport reads an existing BENCH document so a partial sweep
+// (make bench-ingress) can refresh its own series while every other
+// point and pass-through series survives; Write recomputes the derived
+// ratio maps from whatever points remain.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
 }
 
 // NewBenchNP builds an NP with the named application and its monitoring

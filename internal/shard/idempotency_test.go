@@ -2,6 +2,7 @@ package shard
 
 import (
 	"testing"
+	"time"
 
 	"sdmmon/internal/network"
 	"sdmmon/internal/npu"
@@ -12,8 +13,12 @@ import (
 // response dispatch relies on: FailShard, Lockdown, and ClearLockdown may
 // be replayed (a graded response re-fires on every tick above its
 // threshold) without double-counting failovers or shed packets, and the
-// per-card tallies, plane-wide Stats, and the registry's
-// shard_starved_drops_total counter must agree throughout.
+// per-card tallies, plane-wide Stats, and the registry's shard_* counters
+// must agree throughout. Since the ring rewrite the backlog shed after a
+// failover happens asynchronously on the card's worker, so the
+// consistency check waits for the views to converge instead of demanding
+// instantaneous agreement — but the failover count itself must move
+// synchronously (the threat engine reads it right after responding).
 func TestPlaneControlIdempotency(t *testing.T) {
 	col := obs.New(0)
 	nps := make([]*npu.NP, 3)
@@ -26,24 +31,45 @@ func TestPlaneControlIdempotency(t *testing.T) {
 	}
 	defer plane.Close()
 	starvedTotal := col.Registry().Counter("shard_starved_drops_total")
+	arrivedTotal := col.Registry().Counter("shard_arrived_total")
 
 	gen, err := network.NewFlowGenerator(32, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
+	submitted := 0
 	for i := 0; i < 200; i++ {
 		plane.Submit(gen.Next())
+		submitted++
 	}
 
-	// consistent asserts the three views of shed packets never diverge.
+	// consistent asserts the views of shed and arrived packets converge:
+	// conservation at every poll, and registry == Stats once the async
+	// shed (if any) quiesces.
 	consistent := func(stage string) {
 		t.Helper()
-		st := plane.Stats()
-		if !st.Conserved() {
-			t.Fatalf("%s: not conserved: %+v", stage, st)
-		}
-		if got := starvedTotal.Value(); got != st.Starved {
-			t.Fatalf("%s: registry starved %d != stats starved %d", stage, got, st.Starved)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			st := plane.Stats()
+			if !st.Conserved() {
+				t.Fatalf("%s: not conserved: %+v", stage, st)
+			}
+			// Arrival agreement (the re-pick accounting contract): every
+			// Submit counts on the plane-wide registry counter and on
+			// exactly one card (or the starved-submit tally) — a retried
+			// packet must never be double-counted across cards.
+			if got := arrivedTotal.Value(); got != st.Arrived || st.Arrived != uint64(submitted) {
+				t.Fatalf("%s: arrivals disagree: registry %d, stats %d, submitted %d",
+					stage, got, st.Arrived, submitted)
+			}
+			if got := starvedTotal.Value(); got == st.Starved {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: registry starved %d never converged to stats starved %d",
+					stage, starvedTotal.Value(), st.Starved)
+			}
+			time.Sleep(100 * time.Microsecond)
 		}
 	}
 	consistent("baseline")
@@ -73,7 +99,9 @@ func TestPlaneControlIdempotency(t *testing.T) {
 				if !plane.LockedDown() {
 					t.Errorf("%s: plane not locked down", stage)
 				}
-				if got := plane.Submit(gen.Next()); got != AdmitStarved {
+				got := plane.Submit(gen.Next())
+				submitted++
+				if got != AdmitStarved {
 					t.Errorf("%s: admission under lockdown = %v, want starved", stage, got)
 				}
 			},
@@ -85,7 +113,9 @@ func TestPlaneControlIdempotency(t *testing.T) {
 				if plane.LockedDown() {
 					t.Errorf("%s: plane still locked down", stage)
 				}
-				if got := plane.Submit(gen.Next()); got == AdmitStarved {
+				got := plane.Submit(gen.Next())
+				submitted++
+				if got == AdmitStarved {
 					t.Errorf("%s: healthy shards remain but admission starved", stage)
 				}
 			},
@@ -107,18 +137,21 @@ func TestPlaneControlIdempotency(t *testing.T) {
 		}
 	}
 
-	// The worker dead-path replay: a batch tail sheds on a card a
-	// concurrent FailShard already failed (the worker held no lock during
-	// DrainBatch). failLocked must no-op the failover event yet still
-	// fold the tail into the plane-wide counter — this is the lost-extra
-	// bug the consistency checks above would miss at quiescence.
+	// The worker dead-path replay: the worker detects a wedged NP and
+	// accounts a 5-packet unprocessed batch tail on a card a concurrent
+	// FailShard already failed (the worker holds no lock during
+	// DrainBatch, so this race is real). The tail reaches both the card
+	// tally and the plane-wide counter from the worker's own accounting,
+	// and the worker's failCard replay must lose the CAS — no second
+	// failover, no divergence between the three views.
 	lc := plane.cards[1]
 	before := starvedTotal.Value()
-	lc.mu.Lock()
-	lc.arrived += 5 // the tail's packets were admitted before the wedge
-	lc.starved += 5 // worker accounts the unprocessed tail on the card
-	plane.failLocked(lc, 5)
-	lc.mu.Unlock()
+	lc.arrived.Add(5) // the tail's packets were admitted before the wedge
+	submitted += 5    // ...and counted on the registry at Submit time
+	arrivedTotal.Add(5)
+	lc.starved.Add(5)
+	plane.cStarved.Add(5)
+	plane.failCard(lc)
 	if got := starvedTotal.Value(); got != before+5 {
 		t.Errorf("dead-path replay: registry starved %d, want %d", got, before+5)
 	}

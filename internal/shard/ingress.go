@@ -1,0 +1,231 @@
+package shard
+
+// Ingress micro-benchmark: the mutex-guarded slice queue the plane used
+// before the ring rewrite, measured head to head against the lock-free
+// ring + arena, with 1..N submitters feeding one consumer. The full-plane
+// bench (bench.go) is drain-bound on a small host — the NPs' simulated
+// cores dominate — so the ingress_fast series in BENCH_npu.json isolates
+// the mechanics this PR replaced: what does it cost to hand a packet
+// from a submitter to the shard worker?
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdmmon/internal/network"
+	"sdmmon/internal/npu"
+)
+
+// IngressConfig describes one ingress measurement point.
+type IngressConfig struct {
+	// Submitters is the number of concurrent producer goroutines.
+	Submitters int
+	// Packets is the total packet budget across all submitters.
+	Packets int
+	// Capacity bounds the queue; 0 selects 4096. Producers retry a full
+	// queue instead of dropping, so both implementations move the same
+	// packets and the number measured is sustainable hand-off throughput
+	// at a fixed bound.
+	Capacity int
+	// Batch caps the consumer's drain batch; 0 selects 64.
+	Batch int
+	// MutexQueue selects the pre-ring baseline: a mutex+cond guarded
+	// append-grown slice queue with per-packet signaling, replicated from
+	// the old Plane.Submit/worker pair.
+	MutexQueue bool
+	Seed       int64
+}
+
+// mutexIngress is the baseline: the old line card's ingress, verbatim —
+// every submit takes the lock, appends, signals; the consumer copies a
+// batch head out under the lock and advances the slice.
+type mutexIngress struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue [][]byte
+	cap   int
+}
+
+func (q *mutexIngress) submit(pkt []byte) bool {
+	// The old plane took ownership of the submitted slice, which forced
+	// the caller to cut a fresh heap buffer for every packet (a NIC
+	// driver or generator cannot hand over the buffer it is about to
+	// reuse). That allocation is part of the old design's per-packet
+	// cost, so the baseline pays it here — both implementations then
+	// offer the same contract (the caller keeps its buffer), one through
+	// the garbage collector, one through the arena.
+	owned := append([]byte(nil), pkt...)
+	q.mu.Lock()
+	if len(q.queue) >= q.cap {
+		q.mu.Unlock()
+		return false
+	}
+	q.queue = append(q.queue, owned)
+	q.cond.Signal()
+	q.mu.Unlock()
+	return true
+}
+
+func (q *mutexIngress) drain(buf [][]byte) int {
+	q.mu.Lock()
+	for len(q.queue) == 0 {
+		q.cond.Wait()
+	}
+	n := len(q.queue)
+	if n > len(buf) {
+		n = len(buf)
+	}
+	copy(buf, q.queue[:n])
+	for i := 0; i < n; i++ {
+		q.queue[i] = nil // release for GC; the slice head advances
+	}
+	q.queue = q.queue[n:]
+	q.mu.Unlock()
+	return n
+}
+
+// MeasureIngress times one ingress point: Submitters producers hand
+// Packets packets to a single consumer through either the mutex-queue
+// baseline or the ring + arena, and the wall clock runs until the
+// consumer has drained every packet. Both implementations provide the
+// same external contract — the producer's buffer is free for reuse the
+// moment submit returns — the baseline through a per-packet heap copy
+// it hands to the garbage collector (the old plane's take-ownership
+// semantics pushed exactly this allocation onto every caller), the ring
+// through a copy into a recycled arena buffer.
+func MeasureIngress(cfg IngressConfig) (npu.BenchPoint, error) {
+	if cfg.Submitters < 1 {
+		return npu.BenchPoint{}, fmt.Errorf("shard: ingress bench needs submitters >= 1")
+	}
+	if cfg.Packets < cfg.Submitters {
+		cfg.Packets = cfg.Submitters
+	}
+	capacity := cfg.Capacity
+	if capacity == 0 {
+		capacity = 4096
+	}
+	batch := cfg.Batch
+	if batch == 0 {
+		batch = 64
+	}
+	gen, err := network.NewFlowGenerator(256, cfg.Seed+77)
+	if err != nil {
+		return npu.BenchPoint{}, err
+	}
+	// Pre-cut the budget so producers touch no shared generator state.
+	per := cfg.Packets / cfg.Submitters
+	lots := make([][][]byte, cfg.Submitters)
+	total := 0
+	for i := range lots {
+		n := per
+		if i == 0 {
+			n += cfg.Packets - per*cfg.Submitters
+		}
+		lots[i] = gen.NextBatch(make([][]byte, n))
+		total += n
+	}
+
+	// Collect before timing: the caller (a sweep harness) may carry heap
+	// debt from earlier measurements, and GC assists landing inside the
+	// timed region would tax whichever implementation happens to be
+	// running — packet generation just above allocates the whole budget.
+	runtime.GC()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	if cfg.MutexQueue {
+		q := &mutexIngress{cap: capacity}
+		q.cond = sync.NewCond(&q.mu)
+		for _, lot := range lots {
+			wg.Add(1)
+			go func(lot [][]byte) {
+				defer wg.Done()
+				for _, pkt := range lot {
+					for !q.submit(pkt) {
+						runtime.Gosched()
+					}
+				}
+			}(lot)
+		}
+		buf := make([][]byte, batch)
+		for consumed := 0; consumed < total; {
+			consumed += q.drain(buf)
+		}
+	} else {
+		ring := newBufRing(capacity)
+		pool := newArena(ring.Cap(), batch)
+		var mu sync.Mutex
+		cond := sync.NewCond(&mu)
+		var parked atomic.Bool
+		for _, lot := range lots {
+			wg.Add(1)
+			go func(lot [][]byte) {
+				defer wg.Done()
+				for _, pkt := range lot {
+					b := pool.Get()
+					b.data = append(b.data[:0], pkt...)
+					for !ring.Enqueue(b) {
+						runtime.Gosched()
+					}
+					if parked.Load() {
+						mu.Lock()
+						parked.Store(false)
+						cond.Broadcast()
+						mu.Unlock()
+					}
+				}
+			}(lot)
+		}
+		buf := make([]*pbuf, batch)
+		for consumed := 0; consumed < total; {
+			n := 0
+			for n < batch {
+				b := ring.Dequeue()
+				if b == nil {
+					break
+				}
+				buf[n] = b
+				n++
+			}
+			if n == 0 {
+				parked.Store(true)
+				if ring.Empty() {
+					mu.Lock()
+					for parked.Load() && ring.Empty() {
+						cond.Wait()
+					}
+					parked.Store(false)
+					mu.Unlock()
+				} else {
+					parked.Store(false)
+				}
+				continue
+			}
+			for i := 0; i < n; i++ {
+				pool.Put(buf[i])
+			}
+			consumed += n
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	p := npu.BenchPoint{
+		Path:        "ingress_ring",
+		Batch:       batch,
+		Submitters:  cfg.Submitters,
+		Packets:     uint64(total),
+		WallSeconds: wall,
+	}
+	if cfg.MutexQueue {
+		p.Path = "ingress_mutex"
+	}
+	if wall > 0 {
+		p.PktsPerSec = float64(total) / wall
+		p.NsPerPkt = wall * 1e9 / float64(total)
+	}
+	return p, nil
+}

@@ -1,0 +1,11 @@
+//go:build race
+
+package shard
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Perf gates skip themselves under -race: the detector
+// instruments every atomic operation, which taxes the lock-free ring far
+// more than the mutex baseline and inverts the comparison the gate is
+// about. make test-shard runs the gates in a separate uninstrumented
+// pass.
+const raceEnabled = true

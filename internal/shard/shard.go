@@ -9,12 +9,19 @@
 //     packets of a flow traverse one shard's FIFO queue and one NP —
 //     per-flow order is preserved end to end;
 //
-//   - admission control: each shard has a bounded ingress queue; ECN-
-//     capable (ECT) arrivals past the marking threshold are CE-marked
-//     (ECN-style backpressure, with the IPv4 header checksum incrementally
-//     fixed per RFC 1624), not-ECT arrivals past the threshold are dropped
-//     in their place (RFC 3168's mark-or-drop equivalence), and arrivals
-//     at a full queue tail-drop — counted, never silently lost;
+//   - lock-free ingress: each shard's queue is a bounded MPSC ring of
+//     arena-pooled packet buffers (ring.go). Submit copies the caller's
+//     bytes into a pooled buffer exactly once and publishes it with two
+//     atomic operations; the shard worker is the ring's single consumer
+//     and parks on a sync.Cond only when the ring stays empty, so the
+//     steady-state path takes no lock and allocates nothing;
+//
+//   - admission control: ECN-capable (ECT) arrivals past the marking
+//     threshold are CE-marked (ECN-style backpressure, with the IPv4
+//     header checksum incrementally fixed per RFC 1624), not-ECT arrivals
+//     past the threshold are dropped in their place (RFC 3168's
+//     mark-or-drop equivalence), and arrivals at a full queue tail-drop —
+//     counted, never silently lost;
 //
 //   - failover: a shard whose NP can no longer take traffic (every core
 //     quarantined by the supervisor) is removed from dispatch; its queued
@@ -25,13 +32,18 @@
 //
 // Everything the plane does is observable through internal/obs: shard_*
 // counters, per-shard depth gauges, and EvBackpressure/EvFailover ring
-// events.
+// events. Per-card statistics are plain atomics folded by Stats(); the
+// conservation invariant (Arrived == Forwarded + AppDrops + Rejected +
+// TailDrops + Starved + Backlog) holds at any instant because every path
+// counts a packet's arrival before its outcome and Stats reads outcomes
+// before arrivals (DESIGN.md §16).
 package shard
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -124,7 +136,9 @@ type Config struct {
 	// may call Process/ProcessBatch on them concurrently.
 	NPs []*npu.NP
 	// QueueCapacity bounds each shard's ingress queue; arrivals beyond it
-	// tail-drop.
+	// tail-drop. The backing ring is sized to the next power of two, so
+	// the physical bound can sit slightly above this soft bound; admission
+	// enforces the soft bound and the ring enforces the hard one.
 	QueueCapacity int
 	// MarkThreshold is the queue depth at which admission starts CE-marking
 	// arrivals; 0 selects QueueCapacity/2. Setting it equal to
@@ -144,41 +158,102 @@ type Config struct {
 	RecordBatchCycles bool
 }
 
-// lineCard is one shard: an NP, its bounded ingress queue, and the worker
-// state draining it.
+// lineCard is one shard: an NP, its lock-free ingress ring, the arena its
+// packet buffers recycle through, and the worker state draining it. All
+// statistics are atomics — producers and the drain worker never share a
+// lock; the mutex below exists only as the worker's parking lot (and for
+// the bench-only batch-cycle log).
 type lineCard struct {
 	id    int
 	salt  uint64
 	np    *npu.NP
 	ring  *obs.EventRing
 	depth *obs.Gauge
-	// alive is the dispatcher's lock-free view; the authoritative failed
-	// flag lives under mu. alive is cleared only with mu held, so a
-	// dispatcher that re-checks under mu never enqueues to a dead shard.
-	alive atomic.Bool
 
-	mu           sync.Mutex
-	cond         *sync.Cond
-	queue        [][]byte
-	failed       bool
-	closed       bool
-	backpressure bool // marking in effect (edge state for EvBackpressure)
-	// Per-card admission thresholds, under mu. Seeded from the plane
-	// defaults; runtime response logic (internal/threat) tightens and
-	// restores them per shard via SetAdmission.
-	capacity int
-	markAt   int
+	queue *bufRing
+	pool  *arena
 
-	// Stats, under mu. inflight is the size of the batch the worker has
-	// dequeued but not yet accounted; Stats folds it into Backlog so the
-	// conservation invariant holds at any instant, not just at quiescence.
-	arrived, tailDrops, marked, starved      uint64
-	processed, forwarded, appDrops, rejected uint64
-	alarms, faults, ecnMarked                uint64
-	cycles, batches                          uint64
-	inflight                                 int
-	maxDepth                                 int
-	batchCycles                              []uint64
+	// alive is the dispatcher's view; cleared exactly once by failCard,
+	// so a cleared bit means the re-pick loop skips this shard forever.
+	alive  atomic.Bool
+	failed atomic.Bool
+	closed atomic.Bool
+	// backpressure is the marking edge state for EvBackpressure (set by
+	// the first producer past the threshold, cleared by the worker when
+	// the queue drains below it).
+	backpressure atomic.Bool
+
+	// Per-card admission thresholds. Seeded from the plane defaults;
+	// runtime response logic (internal/threat) tightens and restores them
+	// per shard via SetAdmission without stalling producers.
+	capacity atomic.Int64
+	markAt   atomic.Int64
+
+	// producers counts submitters inside their publish window (between
+	// the failed/closed check and the ring enqueue). The worker sheds a
+	// failed or closing card's ring for the last time only once this is
+	// zero, so no packet can be published into a ring nobody will drain.
+	producers atomic.Int64
+	// parked is the Dekker-style handshake with the worker's parking lot:
+	// the worker sets it and re-checks the ring; producers publish and
+	// then check it. Sequentially consistent atomics guarantee one side
+	// sees the other, so a missed wakeup is impossible.
+	parked atomic.Bool
+
+	// Producer-side tallies. Writers count arrived before the outcome;
+	// Stats reads outcomes before arrived, which keeps the derived
+	// backlog non-negative and conservation exact at any instant.
+	arrived   atomic.Uint64
+	tailDrops atomic.Uint64
+	marked    atomic.Uint64
+	maxDepth  atomic.Int64
+
+	// Worker-side tallies. inflight is the size of the batch the worker
+	// has dequeued but not yet handed back to the arena; the depth gauge
+	// folds it in so a scrape mid-drain agrees with Stats().Backlog.
+	starved   atomic.Uint64
+	processed atomic.Uint64
+	forwarded atomic.Uint64
+	appDrops  atomic.Uint64
+	rejected  atomic.Uint64
+	alarms    atomic.Uint64
+	faults    atomic.Uint64
+	ecnMarked atomic.Uint64
+	cycles    atomic.Uint64
+	batches   atomic.Uint64
+	inflight  atomic.Int64
+
+	mu          sync.Mutex // parking lot + bench-only batchCycles
+	cond        *sync.Cond
+	batchCycles []uint64
+}
+
+// park blocks the worker until traffic, failure or close. See the parked
+// field: the flag is published before the final emptiness re-check, so a
+// producer that enqueued concurrently either sees the flag (and wakes us)
+// or its packet is seen by the re-check.
+func (lc *lineCard) park() {
+	lc.parked.Store(true)
+	if !lc.queue.Empty() || lc.closed.Load() || lc.failed.Load() {
+		lc.parked.Store(false)
+		return
+	}
+	lc.mu.Lock()
+	for lc.parked.Load() && lc.queue.Empty() && !lc.closed.Load() && !lc.failed.Load() {
+		lc.cond.Wait()
+	}
+	lc.parked.Store(false)
+	lc.mu.Unlock()
+}
+
+// wake unparks the worker. Producers call it only after observing the
+// parked flag, so the steady-state submit path pays one atomic load here,
+// never a lock.
+func (lc *lineCard) wake() {
+	lc.mu.Lock()
+	lc.parked.Store(false)
+	lc.cond.Broadcast()
+	lc.mu.Unlock()
 }
 
 // Plane is the sharded traffic plane.
@@ -191,6 +266,11 @@ type Plane struct {
 	wg        sync.WaitGroup
 	closed    atomic.Bool
 	lockdown  atomic.Bool
+
+	// drainHook, when non-nil (tests only; set before traffic), runs on a
+	// worker between dequeuing a batch and handing it to the NP. pkts is
+	// the dequeued batch; the slices are only valid until the hook returns.
+	drainHook func(shard int, pkts [][]byte)
 
 	starvedSubmit atomic.Uint64
 	failovers     atomic.Uint64
@@ -252,8 +332,10 @@ func NewPlane(cfg Config) (*Plane, error) {
 			ring:  cfg.Obs.Ring(i),
 			depth: reg.Gauge(fmt.Sprintf(`shard_queue_depth{shard="%d"}`, i)),
 		}
-		lc.capacity = cfg.QueueCapacity
-		lc.markAt = markAt
+		lc.queue = newBufRing(cfg.QueueCapacity)
+		lc.pool = newArena(lc.queue.Cap(), batch)
+		lc.capacity.Store(int64(cfg.QueueCapacity))
+		lc.markAt.Store(int64(markAt))
 		lc.cond = sync.NewCond(&lc.mu)
 		lc.alive.Store(true)
 		p.cards = append(p.cards, lc)
@@ -320,203 +402,343 @@ func markCE(pkt []byte) bool {
 	return true
 }
 
-// Submit dispatches one packet. The plane takes ownership of pkt (marking
-// mutates it in place; it is later handed to an NP core). Every submission
-// is accounted under exactly one Admission outcome, which is what makes
-// the plane's conservation invariant checkable.
+// Submit dispatches one packet. The plane copies pkt into a pooled buffer
+// at admission (CE-marking mutates the copy, never the caller's bytes),
+// so the caller keeps ownership of pkt and may reuse it immediately.
+// Every submission is accounted under exactly one Admission outcome,
+// which is what makes the plane's conservation invariant checkable.
 func (p *Plane) Submit(pkt []byte) Admission {
 	p.cArrived.Inc()
-	key := FlowKeyOf(pkt)
-	for {
-		// Re-checked every iteration, not just at entry: Close sets each
-		// shard's closed flag without clearing its alive bit (only failover
-		// does that), so a submission racing Close would otherwise re-pick
-		// the same closed-but-alive shard forever.
+	// The closed/lockdown gate comes before the flow hash: a shutdown or
+	// lockdown storm starves every submission, and paying FlowKeyOf for a
+	// packet that cannot be admitted is pure waste.
+	if p.closed.Load() || p.lockdown.Load() {
+		p.starvedSubmit.Add(1)
+		p.cStarved.Inc()
+		return AdmitStarved
+	}
+	adm, _ := p.dispatch(FlowKeyOf(pkt), pkt, -1)
+	return adm
+}
+
+// BatchAdmission tallies the fates of one SubmitBatch call.
+type BatchAdmission struct {
+	Queued  int
+	Marked  int
+	Dropped int
+	Starved int
+}
+
+// Total is the number of packets the batch accounted for.
+func (b BatchAdmission) Total() int { return b.Queued + b.Marked + b.Dropped + b.Starved }
+
+// SubmitBatch dispatches a batch of packets with the plane-level arrival
+// accounting amortized to one atomic add and the rendezvous choice cached
+// across consecutive same-flow packets (flows are bursty: a batch emitted
+// by network.FlowGenerator.NextBatch, or any real capture, carries runs
+// of one flow). Per-packet semantics are identical to Submit.
+func (p *Plane) SubmitBatch(pkts [][]byte) BatchAdmission {
+	var out BatchAdmission
+	if len(pkts) == 0 {
+		return out
+	}
+	p.cArrived.Add(uint64(len(pkts)))
+	lastKey := uint64(0)
+	lastCard := -1
+	for _, pkt := range pkts {
 		if p.closed.Load() || p.lockdown.Load() {
 			p.starvedSubmit.Add(1)
 			p.cStarved.Inc()
-			return AdmitStarved
+			out.Starved++
+			continue
 		}
-		id := p.ShardFor(key)
+		key := FlowKeyOf(pkt)
+		hint := -1
+		if lastCard >= 0 && key == lastKey {
+			// Same flow as the previous packet: the rendezvous argmax is
+			// deterministic in (key, alive set), cards never return to the
+			// alive set, and dispatch re-validates the hint — so the cache
+			// can never misroute, only save the weight scan.
+			hint = lastCard
+		}
+		adm, id := p.dispatch(key, pkt, hint)
+		lastKey, lastCard = key, id
+		switch adm {
+		case AdmitQueued:
+			out.Queued++
+		case AdmitMarked:
+			out.Marked++
+		case AdmitDropped:
+			out.Dropped++
+		case AdmitStarved:
+			out.Starved++
+		}
+	}
+	return out
+}
+
+// dispatch runs the re-pick loop: pick a shard (honoring a still-alive
+// hint), try to admit, and on refusal — the card failed or the plane
+// began closing between the pick and the publish — re-check the plane
+// gates and pick again. Refusal moves no counters, so a retried packet is
+// counted arrived on exactly one card and the per-card tallies always sum
+// to the plane-level arrival count. Returns the admitting card's index
+// (-1 when starved).
+func (p *Plane) dispatch(key uint64, pkt []byte, hint int) (Admission, int) {
+	for {
+		// Re-checked every iteration, not just at entry: Close sets each
+		// shard's closed flag without clearing its alive bit (only
+		// failover does that), so a submission racing Close would
+		// otherwise re-pick the same closed-but-alive shard forever.
+		if p.closed.Load() || p.lockdown.Load() {
+			p.starvedSubmit.Add(1)
+			p.cStarved.Inc()
+			return AdmitStarved, -1
+		}
+		id := hint
+		hint = -1
+		if id < 0 || !p.cards[id].alive.Load() {
+			id = p.ShardFor(key)
+		}
 		if id < 0 {
 			p.starvedSubmit.Add(1)
 			p.cStarved.Inc()
-			return AdmitStarved
+			return AdmitStarved, -1
 		}
-		lc := p.cards[id]
-		lc.mu.Lock()
-		if lc.failed || lc.closed {
-			// The shard died (alive already cleared, so the re-pick skips
-			// it) or the plane is closing (observing lc.closed under the
-			// lock means Close's p.closed store already happened, so the
-			// loop-top check accounts this packet as starved).
-			lc.mu.Unlock()
-			continue
+		if adm, ok := p.admit(p.cards[id], pkt); ok {
+			return adm, id
 		}
-		lc.arrived++
-		depth := len(lc.queue)
-		if depth >= lc.capacity {
-			lc.tailDrops++
-			lc.mu.Unlock()
-			p.cTailDrops.Inc()
-			return AdmitDropped
-		}
-		adm := AdmitQueued
-		if depth >= lc.markAt {
-			if !lc.backpressure {
-				lc.backpressure = true
-				lc.ring.Emit(obs.EvBackpressure, 0, uint64(depth))
-			}
-			switch ecnField(pkt) {
-			case 0x1, 0x2: // ECT: carry the congestion signal in-band
-				markCE(pkt)
-				lc.marked++
-				adm = AdmitMarked
-			case 0x3:
-				// Already CE — the signal is on the wire; admit unmodified.
-			default:
-				// Not-ECT (or not IPv4): RFC 3168 §5 requires dropping
-				// where an ECT packet would be marked. Accounted with the
-				// tail drops so conservation stays a single invariant.
-				lc.tailDrops++
-				lc.mu.Unlock()
-				p.cTailDrops.Inc()
-				return AdmitDropped
-			}
-		}
-		lc.queue = append(lc.queue, pkt)
-		if len(lc.queue) > lc.maxDepth {
-			lc.maxDepth = len(lc.queue)
-		}
-		lc.depth.Set(float64(len(lc.queue)))
-		lc.cond.Signal()
-		lc.mu.Unlock()
-		if adm == AdmitMarked {
-			p.cMarked.Inc()
-		}
-		return adm
 	}
 }
 
-// worker drains one shard's queue until the shard fails over or the plane
-// closes (a closing worker finishes its backlog first).
+// admit runs one packet through lc's admission control and, on
+// acceptance, publishes a pooled copy onto the ingress ring. ok == false
+// means the card refused to consider the packet (it failed, or the plane
+// is closing) and the caller must re-pick; no accounting moved in that
+// case. The outcome of an accepted packet is decided and fully published
+// before admit returns, and its arrival is counted before its outcome.
+func (p *Plane) admit(lc *lineCard, pkt []byte) (Admission, bool) {
+	// Producer registration: the worker sheds a failed or closing card's
+	// ring for the last time only once producers reaches zero, so a
+	// submitter past this point can never strand a packet on the ring.
+	lc.producers.Add(1)
+	defer lc.producers.Add(-1)
+	if lc.failed.Load() || lc.closed.Load() {
+		return 0, false
+	}
+	lc.arrived.Add(1)
+	depth := lc.queue.Len()
+	if depth >= int(lc.capacity.Load()) {
+		lc.tailDrops.Add(1)
+		p.cTailDrops.Inc()
+		return AdmitDropped, true
+	}
+	mark := false
+	if depth >= int(lc.markAt.Load()) {
+		if lc.backpressure.CompareAndSwap(false, true) {
+			lc.ring.Emit(obs.EvBackpressure, 0, uint64(depth))
+		}
+		switch ecnField(pkt) {
+		case 0x1, 0x2: // ECT: carry the congestion signal in-band
+			mark = true
+		case 0x3:
+			// Already CE — the signal is on the wire; admit unmodified.
+		default:
+			// Not-ECT (or not IPv4): RFC 3168 §5 requires dropping where
+			// an ECT packet would be marked. Accounted with the tail
+			// drops so conservation stays a single invariant.
+			lc.tailDrops.Add(1)
+			p.cTailDrops.Inc()
+			return AdmitDropped, true
+		}
+	}
+	b := lc.pool.Get()
+	b.data = append(b.data[:0], pkt...)
+	if mark {
+		markCE(b.data)
+	}
+	if !lc.queue.Enqueue(b) {
+		// Physically full: producers raced past the soft depth check (or
+		// SetAdmission holds the soft capacity above the built ring). Same
+		// fate as the soft check — a counted tail drop.
+		lc.pool.Put(b)
+		lc.tailDrops.Add(1)
+		p.cTailDrops.Inc()
+		return AdmitDropped, true
+	}
+	d := lc.queue.Len()
+	for {
+		cur := lc.maxDepth.Load()
+		if int64(d) <= cur || lc.maxDepth.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	lc.depth.Set(float64(d + int(lc.inflight.Load())))
+	if lc.parked.Load() {
+		lc.wake()
+	}
+	if mark {
+		lc.marked.Add(1)
+		p.cMarked.Inc()
+		return AdmitMarked, true
+	}
+	return AdmitQueued, true
+}
+
+// worker drains one shard's ring until the shard fails over or the plane
+// closes (a closing worker finishes its backlog — and waits out any
+// producer mid-publish — first). It is the ring's single consumer.
 func (p *Plane) worker(lc *lineCard) {
 	defer p.wg.Done()
-	var buf [][]byte
+	batch := make([][]byte, p.batchSize)
+	bufs := make([]*pbuf, p.batchSize)
 	for {
-		lc.mu.Lock()
-		for len(lc.queue) == 0 && !lc.closed && !lc.failed {
-			lc.cond.Wait()
-		}
-		if lc.failed || (lc.closed && len(lc.queue) == 0) {
-			lc.mu.Unlock()
+		if lc.failed.Load() {
+			p.shedAndExit(lc, 0)
 			return
 		}
-		n := len(lc.queue)
-		if n > p.batchSize {
-			n = p.batchSize
+		n := 0
+		for n < p.batchSize {
+			b := lc.queue.Dequeue()
+			if b == nil {
+				break
+			}
+			bufs[n] = b
+			batch[n] = b.data
+			n++
 		}
-		if cap(buf) < n {
-			buf = make([][]byte, n)
+		if n == 0 {
+			if lc.closed.Load() {
+				if lc.producers.Load() == 0 && lc.queue.Empty() {
+					return
+				}
+				// A submitter is mid-publish; its packet is about to land
+				// (or it will abort on the closed flag). Yield, re-drain.
+				runtime.Gosched()
+				continue
+			}
+			lc.park()
+			continue
 		}
-		batch := buf[:n]
-		copy(batch, lc.queue[:n])
-		for i := 0; i < n; i++ {
-			lc.queue[i] = nil // release for GC; the slice head advances
-		}
-		lc.queue = lc.queue[n:]
-		lc.inflight = n
-		backlog := len(lc.queue)
-		lc.mu.Unlock()
 
+		lc.inflight.Store(int64(n))
+		// The gauge covers queued + in-flight from the moment of dequeue,
+		// so a scrape between dequeue and accounting agrees with
+		// Stats().Backlog instead of understating by the batch in flight.
+		lc.depth.Set(float64(lc.queue.Len() + n))
+		if p.drainHook != nil {
+			p.drainHook(lc.id, batch[:n])
+		}
 		// The congestion-management applications see the residual backlog
-		// as their queue depth — the post-drain state of this shard.
-		out, err := lc.np.DrainBatch(batch, backlog)
+		// as their queue depth — the post-drain state of this shard. The
+		// release hook recycles the arena buffers at the earliest safe
+		// moment: the batch engine's last read of the input slices.
+		out, err := lc.np.DrainBatchRelease(batch[:n], lc.queue.Len(), func() {
+			for i := 0; i < n; i++ {
+				lc.pool.Put(bufs[i])
+				bufs[i] = nil
+			}
+		})
 
 		dead := !lc.np.Healthy() ||
 			(err != nil && (errors.Is(err, npu.ErrNoCoreAvailable) || errors.Is(err, npu.ErrNoAppInstalled)))
 
-		lc.mu.Lock()
-		lc.inflight = 0
-		lc.batches++
-		lc.processed += out.Processed
-		lc.forwarded += out.Forwarded
-		lc.appDrops += out.Dropped
-		lc.alarms += out.Alarms
-		lc.faults += out.Faults
-		lc.ecnMarked += out.ECNMarked
-		lc.cycles += out.Cycles
+		lc.batches.Add(1)
+		lc.processed.Add(out.Processed)
+		lc.forwarded.Add(out.Forwarded)
+		lc.appDrops.Add(out.Dropped)
+		lc.alarms.Add(out.Alarms)
+		lc.faults.Add(out.Faults)
+		lc.ecnMarked.Add(out.ECNMarked)
+		lc.cycles.Add(out.Cycles)
 		if p.record {
+			lc.mu.Lock()
 			lc.batchCycles = append(lc.batchCycles, out.Cycles)
+			lc.mu.Unlock()
 		}
+		extra := uint64(0)
 		if out.Unprocessed > 0 {
 			if dead {
 				// The batch tail never ran because the NP wedged: shed it
 				// with the queue below, conservation intact.
-				lc.starved += uint64(out.Unprocessed)
+				extra = uint64(out.Unprocessed)
+				lc.starved.Add(extra)
+				p.cStarved.Add(extra)
 			} else {
 				// Rejected before execution (oversize) on a healthy NP.
-				lc.rejected += uint64(out.Unprocessed)
+				lc.rejected.Add(uint64(out.Unprocessed))
 			}
 		}
-		if dead {
-			extra := uint64(0)
-			if out.Unprocessed > 0 {
-				extra = uint64(out.Unprocessed)
-			}
-			p.failLocked(lc, extra)
-			lc.mu.Unlock()
-			p.cForwarded.Add(out.Forwarded)
-			p.cAppDrops.Add(out.Dropped)
-			return
-		}
-		if len(lc.queue) < lc.markAt {
-			lc.backpressure = false
-		}
-		lc.depth.Set(float64(len(lc.queue)))
-		lc.mu.Unlock()
+		lc.inflight.Store(0)
 		p.cForwarded.Add(out.Forwarded)
 		p.cAppDrops.Add(out.Dropped)
+		if dead {
+			p.failCard(lc)
+			p.shedAndExit(lc, extra)
+			return
+		}
+		if lc.queue.Len() < int(lc.markAt.Load()) {
+			lc.backpressure.Store(false)
+		}
+		lc.depth.Set(float64(lc.queue.Len()))
 	}
 }
 
-// failLocked removes a shard from dispatch: its queued packets are shed as
-// starved drops and its flows re-rendezvous onto the survivors. Called
-// with lc.mu held. extra is already-shed work (a batch tail) folded into
-// the failover event's aux.
-func (p *Plane) failLocked(lc *lineCard, extra uint64) {
-	if lc.failed {
-		// A concurrent failover (FailShard racing a worker's dead-path
-		// during DrainBatch) already shed the queue and emitted the
-		// event, but this call's extra — a batch tail already counted on
-		// the card's starved tally — still has to reach the plane-wide
-		// counter or conservation breaks between Stats and the registry.
-		if extra > 0 {
-			p.cStarved.Add(extra)
-		}
+// failCard removes a shard from dispatch. Idempotent: exactly one caller
+// wins the CAS and counts the failover (synchronously, so FailShard's
+// effect is immediately visible in Stats). The backlog shed happens on
+// the worker — the ring's single consumer — in shedAndExit.
+func (p *Plane) failCard(lc *lineCard) {
+	if !lc.failed.CompareAndSwap(false, true) {
 		return
 	}
-	lc.failed = true
 	lc.alive.Store(false)
-	shed := uint64(len(lc.queue))
-	lc.starved += shed
-	for i := range lc.queue {
-		lc.queue[i] = nil
-	}
-	lc.queue = nil
-	lc.depth.Set(0)
-	lc.cond.Broadcast()
 	p.failovers.Add(1)
 	p.cFailovers.Inc()
-	p.cStarved.Add(shed + extra)
+	lc.wake()
+}
+
+// shedAndExit is the worker's last act on a failed (or failed-while-
+// closing) card: drain everything left on the ring — the queued backlog
+// plus anything a straggling producer publishes — as starved drops, then
+// emit the failover event. extra is an already-counted batch tail folded
+// into the event's aux value. The producers gate guarantees no packet is
+// published after the final sweep: a producer not yet registered when
+// producers reads zero is ordered after that read, so it observes the
+// failed/closed flag and aborts without touching the ring.
+func (p *Plane) shedAndExit(lc *lineCard, extra uint64) {
+	shed := uint64(0)
+	for {
+		for {
+			b := lc.queue.Dequeue()
+			if b == nil {
+				break
+			}
+			lc.pool.Put(b)
+			shed++
+		}
+		if lc.producers.Load() == 0 && lc.queue.Empty() {
+			break
+		}
+		runtime.Gosched()
+	}
+	if shed > 0 {
+		lc.starved.Add(shed)
+		p.cStarved.Add(shed)
+	}
+	lc.inflight.Store(0)
+	lc.depth.Set(0)
 	lc.ring.Emit(obs.EvFailover, 0, shed+extra)
 }
 
 // SetAdmission retunes one shard's admission thresholds at runtime: queue
 // capacity and CE-mark threshold. Packets already queued beyond a reduced
 // capacity are not shed — they drain normally; only new arrivals see the
-// tighter limits, so packet conservation is untouched. This is the lever
-// the threat engine's tighten_admission response pulls.
+// tighter limits, so packet conservation is untouched. A capacity above
+// the ring built at NewPlane is enforced by the ring itself (arrivals at
+// a physically full ring tail-drop). This is the lever the threat
+// engine's tighten_admission response pulls, and it never stalls
+// producers: the thresholds are plain atomics.
 func (p *Plane) SetAdmission(shard, capacity, markAt int) error {
 	if shard < 0 || shard >= len(p.cards) {
 		return fmt.Errorf("shard: no shard %d", shard)
@@ -528,10 +750,8 @@ func (p *Plane) SetAdmission(shard, capacity, markAt int) error {
 		return fmt.Errorf("shard: mark threshold %d outside [1, %d]", markAt, capacity)
 	}
 	lc := p.cards[shard]
-	lc.mu.Lock()
-	lc.capacity = capacity
-	lc.markAt = markAt
-	lc.mu.Unlock()
+	lc.capacity.Store(int64(capacity))
+	lc.markAt.Store(int64(markAt))
 	return nil
 }
 
@@ -541,24 +761,20 @@ func (p *Plane) Admission(shard int) (capacity, markAt int, err error) {
 		return 0, 0, fmt.Errorf("shard: no shard %d", shard)
 	}
 	lc := p.cards[shard]
-	lc.mu.Lock()
-	capacity, markAt = lc.capacity, lc.markAt
-	lc.mu.Unlock()
-	return capacity, markAt, nil
+	return int(lc.capacity.Load()), int(lc.markAt.Load()), nil
 }
 
 // FailShard administratively removes a shard from dispatch, exactly as if
-// its NP had wedged: queued packets are shed as starved drops and the
-// shard's flows rendezvous-rehash onto the survivors. Idempotent. This is
-// the lever the threat engine's rehash_shard response pulls.
+// its NP had wedged: queued packets are shed as starved drops (by the
+// shard's worker, asynchronously) and the shard's flows rendezvous-rehash
+// onto the survivors. Idempotent; the failover count moves before this
+// returns. This is the lever the threat engine's rehash_shard response
+// pulls.
 func (p *Plane) FailShard(shard int) error {
 	if shard < 0 || shard >= len(p.cards) {
 		return fmt.Errorf("shard: no shard %d", shard)
 	}
-	lc := p.cards[shard]
-	lc.mu.Lock()
-	p.failLocked(lc, 0)
-	lc.mu.Unlock()
+	p.failCard(p.cards[shard])
 	return nil
 }
 
@@ -574,16 +790,15 @@ func (p *Plane) ClearLockdown() { p.lockdown.Store(false) }
 // LockedDown reports whether the plane is refusing all admission.
 func (p *Plane) LockedDown() bool { return p.lockdown.Load() }
 
-// Close stops the plane: workers finish their remaining backlog, then
-// exit. Submissions racing with Close are still accounted (as queued or
-// starved); Submit after Close returns AdmitStarved.
+// Close stops the plane: workers finish their remaining backlog (waiting
+// out producers mid-publish), then exit. Submissions racing with Close
+// are still accounted (as queued or starved); Submit after Close returns
+// AdmitStarved.
 func (p *Plane) Close() {
 	p.closed.Store(true)
 	for _, lc := range p.cards {
-		lc.mu.Lock()
-		lc.closed = true
-		lc.cond.Broadcast()
-		lc.mu.Unlock()
+		lc.closed.Store(true)
+		lc.wake()
 	}
 	p.wg.Wait()
 }
@@ -606,7 +821,7 @@ type ShardStats struct {
 	Cycles    uint64 // simulated core cycles consumed
 	Batches   uint64
 	MaxDepth  int
-	Backlog   int // queued + in the worker's unaccounted batch at snapshot time
+	Backlog   int // on the ring + in the worker's unaccounted batch at snapshot time
 }
 
 // PlaneStats aggregates the plane.
@@ -626,39 +841,43 @@ type PlaneStats struct {
 
 // Conserved checks packet conservation: every submitted packet is exactly
 // one of forwarded, app-dropped, rejected, tail-dropped, starved, or still
-// queued. This is the invariant the fault-injection suite pins.
+// queued. This is the invariant the fault-injection suite pins; a lost or
+// double-counted packet surfaces as a nonzero (or wrapped-negative)
+// Backlog once the plane quiesces.
 func (s PlaneStats) Conserved() bool {
 	return s.Arrived == s.Forwarded+s.AppDrops+s.Rejected+s.TailDrops+s.Starved+s.Backlog
 }
 
-// Stats snapshots the plane. Each shard is snapshotted under its lock,
-// and a batch the worker has dequeued but not yet accounted counts as
-// backlog, so Conserved() holds for a mid-run snapshot too — not just at
-// quiescence.
+// Stats snapshots the plane without stopping it. Per shard, the settled
+// outcome counters are read first and the arrival counter last: every
+// write path counts a packet's arrival before its outcome, so this read
+// order bounds the derived backlog (arrived minus settled) below by the
+// true in-flight count and above by packets that arrived during the
+// snapshot — never negative, and zero at quiescence. Conserved() holds
+// for a mid-run snapshot, not just after Close.
 func (p *Plane) Stats() PlaneStats {
 	var ps PlaneStats
 	for _, lc := range p.cards {
-		lc.mu.Lock()
 		s := ShardStats{
 			Shard:     lc.id,
-			Failed:    lc.failed,
-			Arrived:   lc.arrived,
-			TailDrops: lc.tailDrops,
-			Marked:    lc.marked,
-			Starved:   lc.starved,
-			Processed: lc.processed,
-			Forwarded: lc.forwarded,
-			AppDrops:  lc.appDrops,
-			Rejected:  lc.rejected,
-			Alarms:    lc.alarms,
-			Faults:    lc.faults,
-			ECNMarked: lc.ecnMarked,
-			Cycles:    lc.cycles,
-			Batches:   lc.batches,
-			MaxDepth:  lc.maxDepth,
-			Backlog:   len(lc.queue) + lc.inflight,
+			Failed:    lc.failed.Load(),
+			TailDrops: lc.tailDrops.Load(),
+			Marked:    lc.marked.Load(),
+			Starved:   lc.starved.Load(),
+			Processed: lc.processed.Load(),
+			Forwarded: lc.forwarded.Load(),
+			AppDrops:  lc.appDrops.Load(),
+			Rejected:  lc.rejected.Load(),
+			Alarms:    lc.alarms.Load(),
+			Faults:    lc.faults.Load(),
+			ECNMarked: lc.ecnMarked.Load(),
+			Cycles:    lc.cycles.Load(),
+			Batches:   lc.batches.Load(),
+			MaxDepth:  int(lc.maxDepth.Load()),
 		}
-		lc.mu.Unlock()
+		s.Arrived = lc.arrived.Load() // last: see the read-order contract above
+		settled := s.Forwarded + s.AppDrops + s.Rejected + s.TailDrops + s.Starved
+		s.Backlog = int(s.Arrived - settled)
 		ps.Shards = append(ps.Shards, s)
 		ps.Arrived += s.Arrived
 		ps.Forwarded += s.Forwarded
