@@ -3,16 +3,16 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all check build vet fmt-check test test-short test-race test-obs test-faults test-rollout test-shard test-threat test-fleet test-campaign bench bench-ingress fuzz experiments examples verilog clean
+.PHONY: all check build vet fmt-check test test-short test-race test-obs test-faults test-rollout test-shard test-threat test-fleet test-campaign test-tenant bench bench-ingress bench-tenant fuzz experiments examples verilog clean
 
 all: check
 
 # The default CI gate: build, static checks, full tests, the race
 # detector over the concurrent packages, the observability layer, the
 # fault-injection suite, the live-upgrade suite, the sharded traffic
-# plane, the graded threat-response engine, and the adversarial
-# campaign corpus.
-check: build vet fmt-check test test-race test-obs test-faults test-rollout test-shard test-threat test-fleet test-campaign
+# plane, the graded threat-response engine, the adversarial campaign
+# corpus, and the multi-tenant protection domains.
+check: build vet fmt-check test test-race test-obs test-faults test-rollout test-shard test-threat test-fleet test-campaign test-tenant
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,17 @@ test-campaign:
 	$(GO) test -race -run 'Campaign' -count=1 ./internal/shard/... ./internal/threat/... ./internal/fleet/...
 	$(GO) run ./cmd/npsim -campaign all -seed 2 > /dev/null
 
+# The multi-tenant protection domains under the race detector: the
+# trusted domain manager (per-tenant ledgers, domain-gated installs,
+# canaried tenant rollouts), the npu domain partition, the per-tenant
+# dispatch/conservation/leakage tests in the shard plane, and the npsim
+# two-tenant isolation drill end to end (gadget + noc at one tenant,
+# bystander byte-identical to a no-attack control).
+test-tenant:
+	$(GO) test -race ./internal/tenant/...
+	$(GO) test -race -run 'Tenant|Domain|Instance' -count=1 ./internal/npu/... ./internal/shard/... ./internal/campaign/...
+	$(GO) run ./cmd/npsim -tenant > /dev/null
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -99,6 +110,12 @@ bench:
 # existing BENCH_npu.json and recomputing the ingress_fast ratios.
 bench-ingress:
 	$(GO) run ./cmd/npsim -benchingress
+
+# Re-measure only the tenant_isolation series (per-tenant pkts/sec at
+# 1/2/4 tenants on a partitioned plane), merging the points into the
+# existing BENCH_npu.json and recomputing the min_vs_baseline ratios.
+bench-tenant:
+	$(GO) run ./cmd/npsim -benchtenant
 
 # Brief fuzzing pass over the attacker-facing parsers and the data plane.
 fuzz:

@@ -46,6 +46,7 @@ func main() {
 	forensic := flag.Int("forensic", 0, "forensic trace depth; dumps the instruction trace of the first alarm")
 	bench := flag.Bool("bench", false, "run the throughput sweep (1/2/4/8 cores x batch sizes, fast vs reference) and write -benchout")
 	benchIngress := flag.Bool("benchingress", false, "re-measure only the ingress hand-off points (ring vs mutex x submitters), merging into an existing -benchout")
+	benchTenant := flag.Bool("benchtenant", false, "re-measure only the tenant_isolation series (per-tenant pkts/sec at 1/2/4 tenants), merging into an existing -benchout")
 	benchOut := flag.String("benchout", "BENCH_npu.json", "output file for -bench")
 	benchPackets := flag.Int("benchpackets", 20000, "packets per sweep point in -bench mode")
 	faults := flag.String("faults", "", "fault-injection scenario: bitflip, hashflip, hang, spurious, graph, link, or all")
@@ -56,6 +57,7 @@ func main() {
 	shards := flag.Int("shards", 4, "line-card shards for -load")
 	threatDrill := flag.String("threat", "", "graded threat-response drill: burst, ramp, slowdrip, or all (self-asserting, replayed twice)")
 	campaignDrill := flag.String("campaign", "", "adversarial campaign drill: gadget, collision, slowdrip, noc, poison, or all (self-asserting; replayed twice through the wire codec, plus the fleet evasion drill with all)")
+	tenantDrill := flag.Bool("tenant", false, "run the self-asserting two-tenant isolation drill (gadget + noc at one tenant; bystander byte-identical to a no-attack control)")
 	incidentsOut := flag.String("incidents", "", "write captured incident records as JSON lines (with -threat)")
 	metricsOut := &pathFlag{def: "npsim_metrics.json"}
 	flag.Var(metricsOut, "metrics", "write a metrics snapshot on exit; bare -metrics selects npsim_metrics.json, -metrics=FILE a path (.prom = Prometheus text, otherwise JSON)")
@@ -95,10 +97,14 @@ func main() {
 		err = runCampaign(*campaignDrill, *seed)
 	case *threatDrill != "":
 		err = runThreat(*threatDrill, *seed, *incidentsOut)
+	case *tenantDrill:
+		err = runTenantDrill(*seed)
 	case *load:
 		err = runLoad(*appName, *shards, *cores, *packets, *seed, *clockMHz, col)
 	case *benchIngress:
 		err = runBenchIngress(*appName, *seed, *benchOut)
+	case *benchTenant:
+		err = runBenchTenant(*appName, *benchPackets, *seed, *benchOut)
 	case *bench:
 		err = runBench(*appName, *benchPackets, *optWords, *seed, *benchOut)
 	default:
@@ -331,6 +337,12 @@ func runBench(appName string, packets, optWords int, seed int64, out string) err
 		}
 		fmt.Printf("%-22s %4d/%-3d %10d %10d %14.1f\n",
 			family, d.Detected, d.Runs, d.P50, d.P99, d.MeanEvasionDepth)
+	}
+	// Tenant-isolation points: the slowest tenant's throughput as the plane
+	// is split among 1/2/4 tenants. See internal/tenant and EXPERIMENTS.md
+	// §E17.
+	if err := runTenantSweep(report, packets, seed); err != nil {
+		return err
 	}
 	if err := report.Write(out); err != nil {
 		return err

@@ -1,0 +1,19 @@
+package campaign
+
+import "testing"
+
+func TestTenantIsolationDrill(t *testing.T) {
+	if err := TenantIsolationDrill(0x7E4A); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The drill is seeded; a second seed guards against a lucky constant.
+func TestTenantIsolationDrillSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: one drill seed is enough")
+	}
+	if err := TenantIsolationDrill(3); err != nil {
+		t.Fatal(err)
+	}
+}

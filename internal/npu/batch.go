@@ -34,7 +34,7 @@ import (
 // health sample, say — can run against an NP that a shard worker is
 // draining. Result.Packet slices are only valid until the next batch.
 func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
-	results, _, _, err := np.processBatch(pkts, qdepth)
+	results, _, _, err := np.processBatch(pkts, qdepth, -1)
 	return results, err
 }
 
@@ -45,11 +45,19 @@ func (np *NP) ProcessBatch(pkts [][]byte, qdepth int) ([]Result, error) {
 // count, which must be tallied while batchMu is still held because the
 // results alias the reused arena (a concurrent batch overwrites it the
 // moment the lock is released).
-func (np *NP) processBatch(pkts [][]byte, qdepth int) ([]Result, Stats, uint64, error) {
+//
+// domIdx restricts the batch to the cores of one protection domain
+// (domain.go); -1 runs on every core. The loaded/available probes count
+// only participating cores, so a tenant whose domain is fully quarantined
+// sees ErrNoCoreAvailable even while other tenants' cores are healthy.
+func (np *NP) processBatch(pkts [][]byte, qdepth int, domIdx int) ([]Result, Stats, uint64, error) {
 	np.batchMu.Lock()
 	defer np.batchMu.Unlock()
 	loaded, available := 0, 0
-	for _, s := range np.slots {
+	for id, s := range np.slots {
+		if domIdx >= 0 && np.slotDomain[id] != domIdx {
+			continue
+		}
 		s.mu.Lock()
 		if s.loaded {
 			loaded++
@@ -105,6 +113,9 @@ func (np *NP) processBatch(pkts [][]byte, qdepth int) ([]Result, Stats, uint64, 
 	}
 
 	for coreID, slot := range np.slots {
+		if domIdx >= 0 && np.slotDomain[coreID] != domIdx {
+			continue
+		}
 		slot.mu.Lock()
 		ok := slot.available()
 		slot.mu.Unlock()
@@ -147,13 +158,9 @@ func (np *NP) processBatch(pkts [][]byte, qdepth int) ([]Result, Stats, uint64, 
 	}
 	wg.Wait()
 	// Merge per-core deltas unconditionally: packets processed before or
-	// after an errored one stay visible in the aggregate statistics. The
-	// deltas are summed first so the stats mutex is taken once per batch.
-	var merged Stats
-	for i := range deltas {
-		merged.add(&deltas[i])
-	}
-	np.mergeStats(&merged)
+	// after an errored one stay visible in the aggregate statistics (and in
+	// each core's domain account). The stats mutex is taken once per batch.
+	merged := np.mergeDeltas(deltas)
 	if np.batchLat != nil {
 		np.batchLat.Observe(time.Since(batchStart).Seconds())
 	}

@@ -132,6 +132,13 @@ type BenchReport struct {
 	// detection level — the adversarial-robustness trajectory the bench
 	// document carries so future PRs can see detection regress.
 	CampaignDetection map[string]CampaignDetectionPoint `json:"campaign_detection,omitempty"`
+	// TenantIsolation maps "tenants=N" to a per-tenant throughput
+	// measurement on a partitioned plane (measured by internal/tenant;
+	// Write recomputes only the derived MinVsBaseline ratios). Each tenant
+	// owns the same core count at every N, so ideal isolation keeps the
+	// slowest tenant's throughput at the tenants=1 baseline instead of
+	// dividing it by N.
+	TenantIsolation map[string]TenantIsolationPoint `json:"tenant_isolation,omitempty"`
 }
 
 // FleetRolloutPoint is one fleet_rollout series entry. The fields mirror
@@ -158,6 +165,23 @@ type CampaignDetectionPoint struct {
 	Min              int64   `json:"min"`
 	Max              int64   `json:"max"`
 	MeanEvasionDepth float64 `json:"mean_evasion_depth"`
+}
+
+// TenantIsolationPoint is one tenant_isolation series entry. The fields
+// mirror tenant.IsolationPoint (internal/tenant depends on this package,
+// so the bench document declares its own shape).
+type TenantIsolationPoint struct {
+	Tenants          int       `json:"tenants"`
+	Shards           int       `json:"shards"`
+	CoresPerTenant   int       `json:"cores_per_tenant"`
+	PacketsPerTenant uint64    `json:"packets_per_tenant"`
+	PerTenant        []float64 `json:"per_tenant_pkts_per_sec"`
+	MinPktsPerSec    float64   `json:"min_pkts_per_sec"`
+	AggPktsPerSec    float64   `json:"agg_pkts_per_sec"`
+	// MinVsBaseline is this point's MinPktsPerSec over the tenants=1
+	// point's, recomputed by Write; ~1.0 means adding tenants cost the
+	// slowest tenant nothing.
+	MinVsBaseline float64 `json:"min_vs_baseline,omitempty"`
 }
 
 // Add records a point, replacing any earlier measurement of the same
@@ -250,6 +274,13 @@ func (r *BenchReport) Write(path string) error {
 				r.IngressFast = make(map[string]float64)
 			}
 			r.IngressFast[p.Key()] = p.PktsPerSec / m
+		}
+	}
+	// Tenant isolation vs the single-tenant baseline of the same shape.
+	if base, ok := r.TenantIsolation["tenants=1"]; ok && base.MinPktsPerSec > 0 {
+		for k, p := range r.TenantIsolation {
+			p.MinVsBaseline = p.MinPktsPerSec / base.MinPktsPerSec
+			r.TenantIsolation[k] = p
 		}
 	}
 	data, err := json.MarshalIndent(r, "", "  ")

@@ -52,7 +52,36 @@ func (np *NP) DrainBatch(pkts [][]byte, qdepth int) (BatchOutcome, error) {
 // waiting for its own accounting to finish. Callers must not touch the
 // buffers from the callback onward on this goroutine's behalf.
 func (np *NP) DrainBatchRelease(pkts [][]byte, qdepth int, release func()) (BatchOutcome, error) {
-	_, d, ecnMarked, err := np.processBatch(pkts, qdepth)
+	return np.drainBatch(pkts, qdepth, -1, release)
+}
+
+// DrainBatchDomain is DrainBatch restricted to the cores of one protection
+// domain (domain.go): the batch runs only on slots the named domain owns,
+// and a fully-quarantined domain reports ErrNoCoreAvailable even while
+// other domains' cores stay healthy — which is what lets the shard plane
+// fail over one tenant's lane without disturbing the card's other tenants.
+func (np *NP) DrainBatchDomain(domain string, pkts [][]byte, qdepth int) (BatchOutcome, error) {
+	return np.DrainBatchDomainRelease(domain, pkts, qdepth, nil)
+}
+
+// DrainBatchDomainRelease is DrainBatchDomain with DrainBatchRelease's
+// buffer-return hook.
+func (np *NP) DrainBatchDomainRelease(domain string, pkts [][]byte, qdepth int, release func()) (BatchOutcome, error) {
+	idx, err := np.domainIdx(domain)
+	if err != nil {
+		if release != nil {
+			release()
+		}
+		return BatchOutcome{Unprocessed: len(pkts)}, err
+	}
+	if len(np.Domains()) == 1 {
+		idx = -1 // no partition installed: the root domain is the whole NP
+	}
+	return np.drainBatch(pkts, qdepth, idx, release)
+}
+
+func (np *NP) drainBatch(pkts [][]byte, qdepth int, domIdx int, release func()) (BatchOutcome, error) {
+	_, d, ecnMarked, err := np.processBatch(pkts, qdepth, domIdx)
 	if release != nil {
 		release()
 	}

@@ -166,6 +166,12 @@ type Config struct {
 	// latency distribution. Nil disables all hooks at zero cost (the
 	// packet path stays allocation-free either way).
 	Obs *obs.Collector
+	// Instance, when non-empty, is folded into every registered metric
+	// name as an `np="<instance>"` label. Two NPs sharing one Collector
+	// MUST set distinct instances, or they publish into the same series
+	// (`np_packet_cycles{core="0"}` names the same histogram on both).
+	// Empty keeps the historical unlabeled names for single-NP collectors.
+	Instance string
 }
 
 // NP is a multicore network processor.
@@ -178,7 +184,15 @@ type NP struct {
 
 	// statsMu guards the aggregate stats: ProcessOn and the ProcessBatch
 	// merge write through mergeStats while Stats() snapshots concurrently.
+	// It also guards the protection-domain tables below.
 	statsMu sync.Mutex
+
+	// Protection-domain partition (see domain.go): domain names (index 0 is
+	// the root domain ""), the per-slot owner index, and the per-domain
+	// stat accounts folded alongside the aggregate.
+	domains    []string
+	slotDomain []int
+	domStats   []Stats
 
 	// Telemetry hooks (all nil without Config.Obs): aggregate outcome
 	// counters mirrored from the stats merge, lifecycle counters from the
@@ -210,32 +224,47 @@ func New(cfg Config) (*NP, error) {
 	if cfg.NewHasher == nil {
 		cfg.NewHasher = func(p uint32) mhash.Hasher { return mhash.NewMerkle(p) }
 	}
-	np := &NP{cfg: cfg, slots: make([]*coreSlot, cfg.Cores)}
+	np := &NP{
+		cfg:        cfg,
+		slots:      make([]*coreSlot, cfg.Cores),
+		domains:    []string{""},
+		slotDomain: make([]int, cfg.Cores),
+		domStats:   make([]Stats, 1),
+	}
 	for i := range np.slots {
 		np.slots[i] = &coreSlot{sup: newSupState(cfg.Supervisor)}
 	}
 	if cfg.Obs != nil {
 		reg := cfg.Obs.Registry()
-		np.mProcessed = reg.Counter("np_packets_processed_total")
-		np.mForwarded = reg.Counter("np_packets_forwarded_total")
-		np.mDropped = reg.Counter("np_packets_dropped_total")
-		np.mAlarms = reg.Counter("np_alarms_total")
-		np.mFaults = reg.Counter("np_faults_total")
-		np.mWatchdog = reg.Counter("np_watchdog_trips_total")
-		np.mQuarantines = reg.Counter("np_quarantines_total")
-		np.mInstalls = reg.Counter("np_installs_total")
-		np.mStages = reg.Counter("np_stages_total")
-		np.mCommits = reg.Counter("np_commits_total")
-		np.mRollbacks = reg.Counter("np_rollbacks_total")
-		np.mAborts = reg.Counter("np_aborts_total")
-		np.batchLat = reg.Histogram("np_batch_seconds", obs.LatencyBuckets)
+		// With Config.Instance set, every name carries an np="…" label so
+		// two NPs sharing a Collector keep disjoint series; empty Instance
+		// reproduces the historical unlabeled names exactly.
+		name := func(base string) string { return obs.Labeled(base, "np", cfg.Instance) }
+		np.mProcessed = reg.Counter(name("np_packets_processed_total"))
+		np.mForwarded = reg.Counter(name("np_packets_forwarded_total"))
+		np.mDropped = reg.Counter(name("np_packets_dropped_total"))
+		np.mAlarms = reg.Counter(name("np_alarms_total"))
+		np.mFaults = reg.Counter(name("np_faults_total"))
+		np.mWatchdog = reg.Counter(name("np_watchdog_trips_total"))
+		np.mQuarantines = reg.Counter(name("np_quarantines_total"))
+		np.mInstalls = reg.Counter(name("np_installs_total"))
+		np.mStages = reg.Counter(name("np_stages_total"))
+		np.mCommits = reg.Counter(name("np_commits_total"))
+		np.mRollbacks = reg.Counter(name("np_rollbacks_total"))
+		np.mAborts = reg.Counter(name("np_aborts_total"))
+		np.batchLat = reg.Histogram(name("np_batch_seconds"), obs.LatencyBuckets)
 		for i, slot := range np.slots {
 			slot.ring = cfg.Obs.Ring(i)
-			slot.cyc = reg.Histogram(fmt.Sprintf(`np_packet_cycles{core="%d"}`, i), obs.CycleBuckets)
+			slot.cyc = reg.Histogram(
+				obs.Labeled("np_packet_cycles", "np", cfg.Instance, "core", fmt.Sprintf("%d", i)),
+				obs.CycleBuckets)
 		}
 	}
 	return np, nil
 }
+
+// Instance reports the obs label configured for this NP ("" when unset).
+func (np *NP) Instance() string { return np.cfg.Instance }
 
 // Cores returns the core count.
 func (np *NP) Cores() int { return len(np.slots) }
@@ -254,14 +283,43 @@ func (np *NP) Stats() Stats {
 	return np.stats
 }
 
-// mergeStats folds a per-call delta into the aggregate under the stats
-// mutex and mirrors the delta into the telemetry counters (nil-safe no-ops
-// without a collector). The delta is computed lock-free on the packet path;
-// only the fold serializes.
-func (np *NP) mergeStats(d *Stats) {
+// mergeStats folds a per-call delta into the aggregate — and, when a
+// domain partition is installed and the delta is attributable to a core,
+// into that core's domain account — under the stats mutex, then mirrors
+// the delta into the telemetry counters (nil-safe no-ops without a
+// collector). The delta is computed lock-free on the packet path; only the
+// fold serializes. coreID < 0 skips domain attribution.
+func (np *NP) mergeStats(d *Stats, coreID int) {
 	np.statsMu.Lock()
 	np.stats.add(d)
+	if len(np.domains) > 1 && coreID >= 0 && coreID < len(np.slotDomain) {
+		np.domStats[np.slotDomain[coreID]].add(d)
+	}
 	np.statsMu.Unlock()
+	np.mirrorStats(d)
+}
+
+// mergeDeltas folds the batch engine's per-core deltas into the aggregate
+// and each core's domain account in one stats-mutex acquisition, then
+// mirrors the merged delta into the telemetry counters. Returns the merge.
+func (np *NP) mergeDeltas(deltas []Stats) Stats {
+	var merged Stats
+	np.statsMu.Lock()
+	dom := len(np.domains) > 1
+	for i := range deltas {
+		merged.add(&deltas[i])
+		if dom && i < len(np.slotDomain) {
+			np.domStats[np.slotDomain[i]].add(&deltas[i])
+		}
+	}
+	np.stats.add(&merged)
+	np.statsMu.Unlock()
+	np.mirrorStats(&merged)
+	return merged
+}
+
+// mirrorStats mirrors a delta into the obs counters (nil-safe).
+func (np *NP) mirrorStats(d *Stats) {
 	np.mProcessed.Add(d.Processed)
 	np.mForwarded.Add(d.Forwarded)
 	np.mDropped.Add(d.Dropped)
@@ -481,7 +539,7 @@ func (np *NP) ProcessOn(coreID int, pkt []byte, qdepth int) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	np.mergeStats(&d)
+	np.mergeStats(&d, coreID)
 	return res, nil
 }
 

@@ -70,6 +70,13 @@ func (c *Collector) Snapshot() Snapshot {
 	return s
 }
 
+// MarshalCanonical renders the snapshot as compact JSON. encoding/json
+// sorts map keys, so equal snapshots always serialize to equal bytes —
+// the form the tenant-isolation drills byte-compare.
+func (s Snapshot) MarshalCanonical() ([]byte, error) {
+	return json.Marshal(s)
+}
+
 // WriteJSON writes the snapshot as indented JSON.
 func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

@@ -1,0 +1,98 @@
+package obs
+
+// Tenant/instance label plumbing. Metric names in this package carry their
+// labels inline (`np_packet_cycles{core="0"}`); multi-tenant callers build
+// those names with Labeled and audit namespace isolation with
+// Snapshot.FilterLabel — the leakage test in internal/tenant snapshots one
+// tenant's label slice before and after driving another tenant's traffic
+// and requires the two sub-snapshots to be byte-identical.
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Labeled builds a metric name with inline Prometheus-style labels:
+// Labeled("np_alarms_total", "np", "lc0", "tenant", "a") →
+// `np_alarms_total{np="lc0",tenant="a"}`. Pairs with an empty value are
+// skipped, so a single-tenant caller passing an unset label gets the bare
+// base name back and keeps its historical series names. kv must have even
+// length; a trailing odd key is ignored. Values are quoted with
+// strconv.Quote, so arbitrary tenant names cannot break the label syntax.
+func Labeled(base string, kv ...string) string {
+	var b strings.Builder
+	wrote := false
+	for i := 0; i+1 < len(kv); i += 2 {
+		if kv[i+1] == "" {
+			continue
+		}
+		if !wrote {
+			b.WriteString(base)
+			b.WriteByte('{')
+			wrote = true
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(kv[i+1]))
+	}
+	if !wrote {
+		return base
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// HasLabel reports whether a metric name carries the inline label key="value".
+func HasLabel(name, key, value string) bool {
+	_, labels := splitName(name)
+	if labels == "" {
+		return false
+	}
+	want := key + "=" + strconv.Quote(value)
+	for _, part := range strings.Split(labels, ",") {
+		if part == want {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterLabel returns the sub-snapshot of series carrying the inline label
+// key="value" — one tenant's slice of a shared registry. The result is a
+// deep copy; serializing it (encoding/json sorts map keys) gives a
+// canonical byte string suitable for exact isolation comparisons.
+func (s Snapshot) FilterLabel(key, value string) Snapshot {
+	var out Snapshot
+	for name, v := range s.Counters {
+		if HasLabel(name, key, value) {
+			if out.Counters == nil {
+				out.Counters = map[string]uint64{}
+			}
+			out.Counters[name] = v
+		}
+	}
+	for name, v := range s.Gauges {
+		if HasLabel(name, key, value) {
+			if out.Gauges == nil {
+				out.Gauges = map[string]float64{}
+			}
+			out.Gauges[name] = v
+		}
+	}
+	for name, h := range s.Histograms {
+		if HasLabel(name, key, value) {
+			if out.Histograms == nil {
+				out.Histograms = map[string]HistogramSnapshot{}
+			}
+			out.Histograms[name] = HistogramSnapshot{
+				Bounds: append([]float64(nil), h.Bounds...),
+				Counts: append([]uint64(nil), h.Counts...),
+				Count:  h.Count,
+				Sum:    h.Sum,
+			}
+		}
+	}
+	return out
+}

@@ -145,12 +145,14 @@ func TestPlaneControlIdempotency(t *testing.T) {
 	// and the worker's failCard replay must lose the CAS — no second
 	// failover, no divergence between the three views.
 	lc := plane.cards[1]
+	lane := lc.lanes[0]
 	before := starvedTotal.Value()
-	lc.arrived.Add(5) // the tail's packets were admitted before the wedge
-	submitted += 5    // ...and counted on the registry at Submit time
+	lane.arrived.Add(5) // the tail's packets were admitted before the wedge
+	submitted += 5      // ...and counted on the registry at Submit time
 	arrivedTotal.Add(5)
-	lc.starved.Add(5)
+	lane.starved.Add(5)
 	plane.cStarved.Add(5)
+	plane.tcStarved[0].Add(5)
 	plane.failCard(lc)
 	if got := starvedTotal.Value(); got != before+5 {
 		t.Errorf("dead-path replay: registry starved %d, want %d", got, before+5)
